@@ -1,0 +1,128 @@
+// F2 — Figure 2 (the three semantic layers): catalog operations as the
+// schema grows to Figure-2 scale and beyond. Sweeps the number of concepts
+// (ISA fan-out), classes, and processes, measuring concept expansion
+// (CoveredClasses), ISA closure, name lookup, and operator dispatch.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "catalog/concept.h"
+#include "gaea/kernel.h"
+
+namespace gaea {
+namespace {
+
+// Builds a registry shaped like Figure 2: one root concept, `width`
+// specializations, each with `classes_per` member classes.
+struct LayerFixture {
+  ClassRegistry classes;
+  ConceptRegistry concepts;
+  ConceptId root = kInvalidConceptId;
+
+  explicit LayerFixture(int width, int classes_per) {
+    root = concepts.Register({0, "desert", "root concept", {}}).value();
+    for (int i = 0; i < width; ++i) {
+      ConceptId child =
+          concepts.Register({0, "desert_kind_" + std::to_string(i), "", {}})
+              .value();
+      BENCH_CHECK_OK(concepts.AddIsA(child, root));
+      for (int j = 0; j < classes_per; ++j) {
+        ClassDef def("c_" + std::to_string(i) + "_" + std::to_string(j),
+                     ClassKind::kBase);
+        BENCH_CHECK_OK(def.AddAttribute({"data", TypeId::kImage, "image", ""}));
+        ClassId cid = classes.Register(std::move(def)).value();
+        BENCH_CHECK_OK(concepts.AddMemberClass(child, cid));
+      }
+    }
+  }
+};
+
+void BM_ConceptExpansion(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  LayerFixture fixture(width, 4);
+  for (auto _ : state) {
+    auto covered = fixture.concepts.CoveredClasses(fixture.root);
+    BENCH_CHECK_OK(covered.status());
+    benchmark::DoNotOptimize(covered->size());
+  }
+  state.counters["classes_covered"] = static_cast<double>(width * 4);
+}
+BENCHMARK(BM_ConceptExpansion)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_IsaClosure(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  LayerFixture fixture(width, 1);
+  for (auto _ : state) {
+    auto down = fixture.concepts.Descendants(fixture.root);
+    BENCH_CHECK_OK(down.status());
+    benchmark::DoNotOptimize(down->size());
+  }
+}
+BENCHMARK(BM_IsaClosure)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_ClassLookupByName(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  LayerFixture fixture(width, 4);
+  int i = 0;
+  for (auto _ : state) {
+    std::string name = "c_" + std::to_string(i++ % width) + "_2";
+    auto def = fixture.classes.LookupByName(name);
+    BENCH_CHECK_OK(def.status());
+    benchmark::DoNotOptimize(*def);
+  }
+}
+BENCHMARK(BM_ClassLookupByName)->Arg(16)->Arg(256);
+
+// System-level layer: operator dispatch through the registry (scalar op, so
+// the measured cost is lookup + overload match, not raster math).
+void BM_OperatorDispatch(benchmark::State& state) {
+  OperatorRegistry ops;
+  BENCH_CHECK_OK(RegisterBuiltinOperators(&ops));
+  ValueList args = {Value::Double(2.0), Value::Double(3.0)};
+  for (auto _ : state) {
+    auto v = ops.Invoke("add", args);
+    BENCH_CHECK_OK(v.status());
+    benchmark::DoNotOptimize(*v);
+  }
+}
+BENCHMARK(BM_OperatorDispatch);
+
+// Browsing (paper §4.2): operators applicable to the image class.
+void BM_BrowseOperatorsForType(benchmark::State& state) {
+  OperatorRegistry ops;
+  BENCH_CHECK_OK(RegisterBuiltinOperators(&ops));
+  for (auto _ : state) {
+    std::vector<std::string> names = ops.OperatorsForType(TypeId::kImage);
+    benchmark::DoNotOptimize(names.size());
+  }
+}
+BENCHMARK(BM_BrowseOperatorsForType);
+
+// Derivation layer: versioned process lookup as history accumulates.
+void BM_ProcessVersionLookup(benchmark::State& state) {
+  int versions = static_cast<int>(state.range(0));
+  ClassRegistry classes;
+  ClassDef out("out", ClassKind::kBase);
+  BENCH_CHECK_OK(out.AddAttribute({"data", TypeId::kInt, "int4", ""}));
+  BENCH_CHECK_OK(classes.Register(std::move(out)).status());
+  ProcessRegistry processes;
+  for (int v = 0; v < versions; ++v) {
+    ProcessDef def("p", "out");
+    BENCH_CHECK_OK(def.AddArg({"x", "out", false, 1}));
+    BENCH_CHECK_OK(def.AddParam("k", Value::Int(v)));
+    BENCH_CHECK_OK(def.AddMapping("data", Expr::Param("k")));
+    BENCH_CHECK_OK(processes.Register(std::move(def)).status());
+  }
+  int v = 1;
+  for (auto _ : state) {
+    auto def = processes.Version("p", 1 + (v++ % versions));
+    BENCH_CHECK_OK(def.status());
+    benchmark::DoNotOptimize(*def);
+  }
+}
+BENCHMARK(BM_ProcessVersionLookup)->Arg(2)->Arg(16)->Arg(128);
+
+}  // namespace
+}  // namespace gaea
+
+BENCHMARK_MAIN();

@@ -1,0 +1,145 @@
+// F4 — Figure 4 (the PCA compound operator): the dataflow-network form of
+// pca() versus the fused implementation, swept over image size and band
+// count, plus the SPCA variant (Eastman [9]) and the ablation of the
+// network abstraction's overhead (DESIGN.md §6).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "raster/image_ops.h"
+#include "raster/pca.h"
+#include "raster/scene.h"
+#include "types/compound_op.h"
+
+namespace gaea {
+namespace {
+
+std::vector<Image> Scene(int size, int nbands) {
+  SceneSpec spec;
+  spec.nrow = size;
+  spec.ncol = size;
+  spec.nbands = nbands;
+  return GenerateScene(spec).value();
+}
+
+std::vector<const Image*> Ptrs(const std::vector<Image>& bands) {
+  std::vector<const Image*> out;
+  for (const Image& b : bands) out.push_back(&b);
+  return out;
+}
+
+// Fused implementation (centers data, as the analysis library does).
+void BM_PcaFused(benchmark::State& state) {
+  int size = static_cast<int>(state.range(0));
+  int nbands = static_cast<int>(state.range(1));
+  std::vector<Image> bands = Scene(size, nbands);
+  std::vector<const Image*> ptrs = Ptrs(bands);
+  for (auto _ : state) {
+    auto result = Pca(ptrs);
+    BENCH_CHECK_OK(result.status());
+    benchmark::DoNotOptimize(result->eigenvalues[0]);
+  }
+  state.counters["pixels"] = static_cast<double>(size) * size;
+}
+BENCHMARK(BM_PcaFused)
+    ->Args({16, 3})
+    ->Args({32, 3})
+    ->Args({64, 3})
+    ->Args({128, 3})
+    ->Args({64, 2})
+    ->Args({64, 6})
+    ->Unit(benchmark::kMillisecond);
+
+// The exact Figure 4 operator network, executed through the registry.
+void BM_PcaNetwork(benchmark::State& state) {
+  int size = static_cast<int>(state.range(0));
+  int nbands = static_cast<int>(state.range(1));
+  OperatorRegistry ops;
+  BENCH_CHECK_OK(RegisterBuiltinOperators(&ops));
+  CompoundOperator net = std::move(BuildFigure4PcaNetwork()).value();
+  BENCH_CHECK_OK(net.Validate(ops));
+  std::vector<Image> bands = Scene(size, nbands);
+  ValueList band_values;
+  for (Image& b : bands) band_values.push_back(Value::OfImage(std::move(b)));
+  ValueList args = {Value::List(std::move(band_values)), Value::Int(size),
+                    Value::Int(size)};
+  for (auto _ : state) {
+    auto result = net.Invoke(ops, args);
+    BENCH_CHECK_OK(result.status());
+    benchmark::DoNotOptimize(&*result);
+  }
+  state.counters["pixels"] = static_cast<double>(size) * size;
+}
+BENCHMARK(BM_PcaNetwork)
+    ->Args({16, 3})
+    ->Args({32, 3})
+    ->Args({64, 3})
+    ->Args({128, 3})
+    ->Args({64, 2})
+    ->Args({64, 6})
+    ->Unit(benchmark::kMillisecond);
+
+// Standardized PCA: the alternative derivation of the same concept.
+void BM_Spca(benchmark::State& state) {
+  int size = static_cast<int>(state.range(0));
+  std::vector<Image> bands = Scene(size, 3);
+  std::vector<const Image*> ptrs = Ptrs(bands);
+  for (auto _ : state) {
+    auto result = Spca(ptrs);
+    BENCH_CHECK_OK(result.status());
+    benchmark::DoNotOptimize(result->eigenvalues[0]);
+  }
+}
+BENCHMARK(BM_Spca)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+// Individual Figure 4 stages, to see where the time goes.
+void BM_Stage_ConvertImageMatrix(benchmark::State& state) {
+  std::vector<Image> bands = Scene(64, 3);
+  std::vector<const Image*> ptrs = Ptrs(bands);
+  for (auto _ : state) {
+    auto m = ImagesToMatrix(ptrs);
+    BENCH_CHECK_OK(m.status());
+    benchmark::DoNotOptimize(m->rows());
+  }
+}
+BENCHMARK(BM_Stage_ConvertImageMatrix);
+
+void BM_Stage_Covariance(benchmark::State& state) {
+  std::vector<Image> bands = Scene(64, 3);
+  Matrix data = ImagesToMatrix(Ptrs(bands)).value();
+  for (auto _ : state) {
+    auto cov = data.Covariance();
+    BENCH_CHECK_OK(cov.status());
+    benchmark::DoNotOptimize((*cov)(0, 0));
+  }
+}
+BENCHMARK(BM_Stage_Covariance);
+
+void BM_Stage_Eigen(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<Image> bands = Scene(32, n);
+  Matrix cov = ImagesToMatrix(Ptrs(bands)).value().Covariance().value();
+  for (auto _ : state) {
+    auto eig = cov.SymmetricEigen();
+    BENCH_CHECK_OK(eig.status());
+    benchmark::DoNotOptimize(eig->values[0]);
+  }
+}
+BENCHMARK(BM_Stage_Eigen)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_Stage_LinearCombination(benchmark::State& state) {
+  std::vector<Image> bands = Scene(64, 3);
+  Matrix data = ImagesToMatrix(Ptrs(bands)).value();
+  Matrix eig = data.Covariance().value().SymmetricEigen().value().vectors;
+  for (auto _ : state) {
+    auto proj = LinearCombination(data, eig);
+    BENCH_CHECK_OK(proj.status());
+    benchmark::DoNotOptimize(proj->rows());
+  }
+}
+BENCHMARK(BM_Stage_LinearCombination);
+
+}  // namespace
+}  // namespace gaea
+
+BENCHMARK_MAIN();

@@ -1,0 +1,188 @@
+// F5 — Figure 5 (land-change detection as a compound process): the cost of
+// expanding the compound into primitive processes (an abstraction that
+// "cannot be directly applied"), and the end-to-end derivation over two
+// epochs, swept by scene size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "gaea/kernel.h"
+#include "raster/scene.h"
+
+namespace gaea {
+namespace {
+
+constexpr char kSchema[] = R"(
+CLASS landsat_tm_rectified (
+  ATTRIBUTES:
+    data = image;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+)
+CLASS landcover (
+  ATTRIBUTES:
+    numclass = int4;
+    data = image;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+  DERIVED BY: unsupervised-classification
+)
+CLASS landcover_changes (
+  ATTRIBUTES:
+    data = image;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+  DERIVED BY: detect-change
+)
+DEFINE PROCESS unsupervised-classification
+OUTPUT landcover
+ARGUMENT ( SETOF landsat_tm_rectified bands MIN 3 )
+PARAMETERS { numclass = 8; }
+TEMPLATE {
+  ASSERTIONS:
+    card(bands) >= 3;
+    common(bands.spatialextent);
+  MAPPINGS:
+    landcover.data = unsuperclassify(composite(bands.data), $numclass);
+    landcover.numclass = $numclass;
+    landcover.spatialextent = ANYOF bands.spatialextent;
+    landcover.timestamp = ANYOF bands.timestamp;
+}
+DEFINE PROCESS detect-change
+OUTPUT landcover_changes
+ARGUMENT ( landcover before, landcover after )
+TEMPLATE {
+  ASSERTIONS:
+    common(before.spatialextent, after.spatialextent);
+  MAPPINGS:
+    landcover_changes.data = changemap(before.data, after.data, 8);
+    landcover_changes.spatialextent = after.spatialextent;
+    landcover_changes.timestamp = after.timestamp;
+}
+)";
+
+struct Fixture {
+  std::unique_ptr<GaeaKernel> kernel;
+  std::map<int, std::pair<std::vector<Oid>, std::vector<Oid>>> scenes;
+  CompoundProcessDef compound = BuildFigure5LandChange(
+      "unsupervised-classification", "detect-change", "before_scene",
+      "after_scene");
+
+  Fixture() {
+    GaeaKernel::Options options;
+    options.dir = bench::FreshDir("fig5");
+    kernel = std::move(GaeaKernel::Open(options)).value();
+    kernel->SetClock(AbsTime(1));
+    BENCH_CHECK_OK(kernel->ExecuteDdl(kSchema));
+    const ClassDef* band_class =
+        kernel->catalog().classes().LookupByName("landsat_tm_rectified")
+            .value();
+    for (int size : {16, 32, 64}) {
+      scenes[size] = {InsertScene(band_class, size, 0.0, AbsTime(10)),
+                      InsertScene(band_class, size, 0.8, AbsTime(20))};
+    }
+  }
+
+  std::vector<Oid> InsertScene(const ClassDef* band_class, int size,
+                               double drift, AbsTime t) {
+    SceneSpec spec;
+    spec.nrow = size;
+    spec.ncol = size;
+    spec.nbands = 3;
+    spec.epoch_drift = drift;
+    auto bands = GenerateScene(spec).value();
+    std::vector<Oid> oids;
+    for (int i = 0; i < 3; ++i) {
+      DataObject obj(*band_class);
+      BENCH_CHECK_OK(
+          obj.Set(*band_class, "data", Value::OfImage(std::move(bands[i]))));
+      BENCH_CHECK_OK(obj.Set(*band_class, "spatialextent",
+                             Value::OfBox(Box(size, 0, size + 1, 1))));
+      BENCH_CHECK_OK(obj.Set(*band_class, "timestamp", Value::Time(t)));
+      oids.push_back(kernel->Insert(std::move(obj)).value());
+    }
+    return oids;
+  }
+};
+
+Fixture& SharedFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+// Expansion alone: wiring validation + topological ordering.
+void BM_CompoundExpansion(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  for (auto _ : state) {
+    auto order = f.compound.Expand(f.kernel->catalog().classes(),
+                                   f.kernel->processes());
+    BENCH_CHECK_OK(order.status());
+    benchmark::DoNotOptimize(order->size());
+  }
+}
+BENCHMARK(BM_CompoundExpansion);
+
+// End-to-end: expansion + three primitive derivations + three tasks.
+void BM_LandChangeEndToEnd(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  int size = static_cast<int>(state.range(0));
+  const auto& [before, after] = f.scenes[size];
+  for (auto _ : state) {
+    auto oid = f.kernel->DeriveCompound(
+        f.compound, {{"before_scene", before}, {"after_scene", after}});
+    BENCH_CHECK_OK(oid.status());
+    benchmark::DoNotOptimize(*oid);
+  }
+  state.counters["pixels"] = static_cast<double>(size) * size;
+}
+BENCHMARK(BM_LandChangeEndToEnd)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// Expansion depth scaling: chains of k refinement stages.
+void BM_ExpansionChainLength(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  int k = static_cast<int>(state.range(0));
+  // refine: landcover -> landcover (registered once per process name).
+  static bool registered = [] {
+    Fixture& fx = SharedFixture();
+    ProcessDef refine("refine", "landcover");
+    BENCH_CHECK_OK(refine.AddArg({"in", "landcover", false, 1}));
+    BENCH_CHECK_OK(refine.AddMapping("data", Expr::AttrRef("in", "data")));
+    BENCH_CHECK_OK(refine.AddMapping("numclass",
+                                     Expr::AttrRef("in", "numclass")));
+    BENCH_CHECK_OK(refine.AddMapping("spatialextent",
+                                     Expr::AttrRef("in", "spatialextent")));
+    BENCH_CHECK_OK(refine.AddMapping("timestamp",
+                                     Expr::AttrRef("in", "timestamp")));
+    BENCH_CHECK_OK(fx.kernel->DefineProcess(std::move(refine)).status());
+    return true;
+  }();
+  (void)registered;
+  CompoundProcessDef chain("chain", "s" + std::to_string(k - 1));
+  BENCH_CHECK_OK(chain.AddExternalInput("in", "landcover"));
+  for (int i = 0; i < k; ++i) {
+    CompoundStage stage;
+    stage.name = "s" + std::to_string(i);
+    stage.process_name = "refine";
+    stage.bindings["in"] =
+        i == 0 ? StageInput{StageInput::Source::kExternal, "in"}
+               : StageInput{StageInput::Source::kStage,
+                            "s" + std::to_string(i - 1)};
+    BENCH_CHECK_OK(chain.AddStage(std::move(stage)));
+  }
+  for (auto _ : state) {
+    auto order = chain.Expand(f.kernel->catalog().classes(),
+                              f.kernel->processes());
+    BENCH_CHECK_OK(order.status());
+    benchmark::DoNotOptimize(order->size());
+  }
+}
+BENCHMARK(BM_ExpansionChainLength)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace gaea
+
+BENCHMARK_MAIN();

@@ -1,0 +1,154 @@
+// Q2 — §2.1.6 Petri-net analysis: reachability closure and backward-
+// chaining plan construction, swept over derivation-net depth, branching
+// (alternative producers), and marking density. The expected shape: with
+// non-consuming monotone semantics, reachability is near-linear in net
+// size, and planning cost tracks the depth of the chosen chain.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "catalog/class_def.h"
+#include "core/petri.h"
+
+namespace gaea {
+namespace {
+
+struct NetFixture {
+  ClassRegistry classes;
+  ProcessRegistry processes;
+  std::vector<ClassId> ids;
+
+  ClassId AddClass(const std::string& name) {
+    ClassDef def(name, ClassKind::kBase);
+    BENCH_CHECK_OK(def.AddAttribute({"data", TypeId::kInt, "int4", ""}));
+    ClassId id = classes.Register(std::move(def)).value();
+    ids.push_back(id);
+    return id;
+  }
+
+  void AddProcess(const std::string& name, const std::string& input,
+                  const std::string& output, int threshold = 1) {
+    ProcessDef def(name, output);
+    BENCH_CHECK_OK(def.AddArg({"in", input, threshold > 1, threshold}));
+    BENCH_CHECK_OK(def.AddMapping("data", Expr::Literal(Value::Int(0))));
+    BENCH_CHECK_OK(processes.Register(std::move(def)).status());
+  }
+};
+
+// Linear chain c0 -> c1 -> ... -> cN.
+std::unique_ptr<NetFixture> Chain(int depth) {
+  auto f = std::make_unique<NetFixture>();
+  for (int i = 0; i <= depth; ++i) f->AddClass("c" + std::to_string(i));
+  for (int i = 0; i < depth; ++i) {
+    f->AddProcess("p" + std::to_string(i), "c" + std::to_string(i),
+                  "c" + std::to_string(i + 1));
+  }
+  return f;
+}
+
+// `width` alternative producers per level, `depth` levels.
+std::unique_ptr<NetFixture> Lattice(int depth, int width) {
+  auto f = std::make_unique<NetFixture>();
+  for (int i = 0; i <= depth; ++i) f->AddClass("c" + std::to_string(i));
+  for (int i = 0; i < depth; ++i) {
+    for (int w = 0; w < width; ++w) {
+      f->AddProcess("p" + std::to_string(i) + "_" + std::to_string(w),
+                    "c" + std::to_string(i), "c" + std::to_string(i + 1));
+    }
+  }
+  return f;
+}
+
+void BM_BuildNet(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  auto f = Chain(depth);
+  for (auto _ : state) {
+    auto net = DerivationNet::Build(f->classes, f->processes);
+    BENCH_CHECK_OK(net.status());
+    benchmark::DoNotOptimize(net->transitions().size());
+  }
+}
+BENCHMARK(BM_BuildNet)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ReachabilityChain(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  auto f = Chain(depth);
+  DerivationNet net = std::move(DerivationNet::Build(f->classes, f->processes)).value();
+  DerivationNet::Marking marking{{f->ids[0], 1}};
+  for (auto _ : state) {
+    std::set<ClassId> reachable = net.ReachableClasses(marking);
+    benchmark::DoNotOptimize(reachable.size());
+  }
+  state.counters["places"] = depth + 1;
+}
+BENCHMARK(BM_ReachabilityChain)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ReachabilityBranching(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  auto f = Lattice(16, width);
+  DerivationNet net = std::move(DerivationNet::Build(f->classes, f->processes)).value();
+  DerivationNet::Marking marking{{f->ids[0], 1}};
+  for (auto _ : state) {
+    std::set<ClassId> reachable = net.ReachableClasses(marking);
+    benchmark::DoNotOptimize(reachable.size());
+  }
+  state.counters["transitions"] = 16.0 * width;
+}
+BENCHMARK(BM_ReachabilityBranching)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_PlanChainDepth(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  auto f = Chain(depth);
+  DerivationNet net = std::move(DerivationNet::Build(f->classes, f->processes)).value();
+  DerivationNet::Marking marking{{f->ids[0], 1}};
+  ClassId target = f->ids[depth];
+  for (auto _ : state) {
+    auto plan = net.PlanFiringSequence(target, 1, marking);
+    BENCH_CHECK_OK(plan.status());
+    benchmark::DoNotOptimize(plan->size());
+  }
+  state.counters["firings"] = depth;
+}
+BENCHMARK(BM_PlanChainDepth)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+// Backtracking stress: every producer of the last class except one leads
+// to a dead end (its source class has no data and no producer).
+void BM_PlanWithDeadEnds(benchmark::State& state) {
+  int dead_ends = static_cast<int>(state.range(0));
+  NetFixture f;
+  ClassId src = f.AddClass("src");
+  ClassId target = f.AddClass("target");
+  (void)target;
+  for (int i = 0; i < dead_ends; ++i) {
+    f.AddClass("dead" + std::to_string(i));
+    f.AddProcess("via_dead" + std::to_string(i), "dead" + std::to_string(i),
+                 "target");
+  }
+  f.AddProcess("via_src", "src", "target");
+  DerivationNet net = std::move(DerivationNet::Build(f.classes, f.processes)).value();
+  DerivationNet::Marking marking{{src, 1}};
+  for (auto _ : state) {
+    auto plan = net.PlanFiringSequence(f.ids[1], 1, marking);
+    BENCH_CHECK_OK(plan.status());
+    benchmark::DoNotOptimize(plan->size());
+  }
+}
+BENCHMARK(BM_PlanWithDeadEnds)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_RequiredInitialMarking(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  auto f = Chain(depth);
+  DerivationNet net = std::move(DerivationNet::Build(f->classes, f->processes)).value();
+  ClassId target = f->ids[depth];
+  for (auto _ : state) {
+    auto required = net.RequiredInitialMarking(target);
+    BENCH_CHECK_OK(required.status());
+    benchmark::DoNotOptimize(required->size());
+  }
+}
+BENCHMARK(BM_RequiredInitialMarking)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace gaea
+
+BENCHMARK_MAIN();

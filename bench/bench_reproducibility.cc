@@ -1,0 +1,216 @@
+// Q4 — the §1 scenario + §4 reproducibility claim, measured: Gaea records
+// enough metadata to replay any derivation (reproduce() ~ original cost),
+// while the file-based GIS baseline (paper §4.1) executes the same math
+// slightly faster per step but *cannot* reproduce at all — the qualitative
+// gap the paper's design buys, quantified.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/file_gis.h"
+#include "bench_util.h"
+#include "gaea/kernel.h"
+#include "raster/image_ops.h"
+#include "raster/scene.h"
+
+namespace gaea {
+namespace {
+
+constexpr int kSize = 64;
+
+constexpr char kSchema[] = R"(
+CLASS band (
+  ATTRIBUTES:
+    data = image;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+)
+CLASS ndvi_map (
+  ATTRIBUTES:
+    data = image;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+  DERIVED BY: compute-ndvi
+)
+DEFINE PROCESS compute-ndvi
+OUTPUT ndvi_map
+ARGUMENT ( band nir, band red )
+TEMPLATE {
+  MAPPINGS:
+    ndvi_map.data = ndvi(nir.data, red.data);
+    ndvi_map.spatialextent = nir.spatialextent;
+    ndvi_map.timestamp = nir.timestamp;
+}
+)";
+
+struct GaeaFixture {
+  std::unique_ptr<GaeaKernel> kernel;
+  Oid nir = kInvalidOid, red = kInvalidOid;
+  TaskId ndvi_task = kInvalidTaskId;
+
+  GaeaFixture() {
+    GaeaKernel::Options options;
+    options.dir = bench::FreshDir("q4_gaea");
+    kernel = std::move(GaeaKernel::Open(options)).value();
+    kernel->SetClock(AbsTime(1));
+    BENCH_CHECK_OK(kernel->ExecuteDdl(kSchema));
+    const ClassDef* band_class =
+        kernel->catalog().classes().LookupByName("band").value();
+    SceneSpec spec;
+    spec.nrow = kSize;
+    spec.ncol = kSize;
+    spec.nbands = 2;
+    auto bands = GenerateScene(spec).value();
+    Oid oids[2];
+    for (int i = 0; i < 2; ++i) {
+      DataObject obj(*band_class);
+      BENCH_CHECK_OK(
+          obj.Set(*band_class, "data", Value::OfImage(std::move(bands[i]))));
+      BENCH_CHECK_OK(obj.Set(*band_class, "spatialextent",
+                             Value::OfBox(Box(0, 0, 1, 1))));
+      BENCH_CHECK_OK(obj.Set(*band_class, "timestamp",
+                             Value::Time(AbsTime(1))));
+      oids[i] = kernel->Insert(std::move(obj)).value();
+    }
+    red = oids[0];
+    nir = oids[1];
+    Oid out =
+        kernel->Derive("compute-ndvi", {{"nir", {nir}}, {"red", {red}}})
+            .value();
+    ndvi_task = kernel->tasks().Producer(out).value()->id;
+    Experiment exp;
+    exp.name = "ndvi-run";
+    exp.tasks = {ndvi_task};
+    BENCH_CHECK_OK(kernel->DefineExperiment(std::move(exp)).status());
+  }
+};
+
+GaeaFixture& Shared() {
+  static GaeaFixture* fixture = new GaeaFixture();
+  return *fixture;
+}
+
+// Original derivation in Gaea (metadata recorded).
+void BM_Gaea_Derive(benchmark::State& state) {
+  GaeaFixture& f = Shared();
+  for (auto _ : state) {
+    auto oid = f.kernel->Derive("compute-ndvi",
+                                {{"nir", {f.nir}}, {"red", {f.red}}});
+    BENCH_CHECK_OK(oid.status());
+  }
+}
+BENCHMARK(BM_Gaea_Derive)->Unit(benchmark::kMicrosecond);
+
+// Replaying the recorded task ("rapid and reliable confirmation").
+void BM_Gaea_ReplayTask(benchmark::State& state) {
+  GaeaFixture& f = Shared();
+  for (auto _ : state) {
+    auto report = f.kernel->Reproduce("ndvi-run");
+    BENCH_CHECK_OK(report.status());
+    if (!report->all_identical) std::abort();
+  }
+}
+BENCHMARK(BM_Gaea_ReplayTask)->Unit(benchmark::kMicrosecond);
+
+// The same workload in the file-based baseline: raw math + file IO + a
+// transcript line, but no machine-readable derivation record.
+void BM_FileGis_Run(benchmark::State& state) {
+  std::string dir = bench::FreshDir("q4_filegis");
+  auto gis = std::move(FileGis::Open(dir)).value();
+  SceneSpec spec;
+  spec.nrow = kSize;
+  spec.ncol = kSize;
+  spec.nbands = 2;
+  auto bands = GenerateScene(spec).value();
+  BENCH_CHECK_OK(gis->Import("red", bands[0]));
+  BENCH_CHECK_OK(gis->Import("nir", bands[1]));
+  int i = 0;
+  for (auto _ : state) {
+    std::string out = "ndvi_" + std::to_string(i++);
+    BENCH_CHECK_OK(gis->Run("overlay ndvi nir red", {"nir", "red"}, out,
+                            [](const std::vector<Image>& in) {
+                              return Ndvi(in[0], in[1]);
+                            }));
+  }
+}
+BENCHMARK(BM_FileGis_Run)->Unit(benchmark::kMicrosecond);
+
+// Reproduction in the baseline: always fails — measured to document that
+// the failure is cheap but total (NotSupported every time).
+void BM_FileGis_ReproduceFails(benchmark::State& state) {
+  std::string dir = bench::FreshDir("q4_filegis_repro");
+  auto gis = std::move(FileGis::Open(dir)).value();
+  SceneSpec spec;
+  spec.nrow = 8;
+  spec.ncol = 8;
+  spec.nbands = 2;
+  auto bands = GenerateScene(spec).value();
+  BENCH_CHECK_OK(gis->Import("red", bands[0]));
+  BENCH_CHECK_OK(gis->Import("nir", bands[1]));
+  BENCH_CHECK_OK(gis->Run("overlay ndvi nir red", {"nir", "red"}, "out",
+                          [](const std::vector<Image>& in) {
+                            return Ndvi(in[0], in[1]);
+                          }));
+  int64_t failures = 0;
+  for (auto _ : state) {
+    Status s = gis->Reproduce("out");
+    if (s.code() == StatusCode::kNotSupported) ++failures;
+  }
+  state.counters["reproduce_failures"] =
+      static_cast<double>(failures);  // == iterations: always fails
+}
+BENCHMARK(BM_FileGis_ReproduceFails);
+
+// Experiment reproduction cost vs pipeline length.
+void BM_Gaea_ReproducePipeline(benchmark::State& state) {
+  int steps = static_cast<int>(state.range(0));
+  GaeaKernel::Options options;
+  options.dir = bench::FreshDir("q4_pipeline");
+  auto kernel = std::move(GaeaKernel::Open(options)).value();
+  kernel->SetClock(AbsTime(1));
+  BENCH_CHECK_OK(kernel->ExecuteDdl(kSchema));
+  // Chain: each step re-derives NDVI from the base bands (independent
+  // tasks; lengths model a session's worth of derivations).
+  const ClassDef* band_class =
+      kernel->catalog().classes().LookupByName("band").value();
+  SceneSpec spec;
+  spec.nrow = 32;
+  spec.ncol = 32;
+  spec.nbands = 2;
+  auto bands = GenerateScene(spec).value();
+  Oid oids[2];
+  for (int i = 0; i < 2; ++i) {
+    DataObject obj(*band_class);
+    BENCH_CHECK_OK(
+        obj.Set(*band_class, "data", Value::OfImage(std::move(bands[i]))));
+    BENCH_CHECK_OK(
+        obj.Set(*band_class, "spatialextent", Value::OfBox(Box(0, 0, 1, 1))));
+    BENCH_CHECK_OK(obj.Set(*band_class, "timestamp", Value::Time(AbsTime(1))));
+    oids[i] = kernel->Insert(std::move(obj)).value();
+  }
+  Experiment exp;
+  exp.name = "pipeline";
+  for (int i = 0; i < steps; ++i) {
+    Oid out = kernel
+                  ->Derive("compute-ndvi",
+                           {{"nir", {oids[1]}}, {"red", {oids[0]}}})
+                  .value();
+    exp.tasks.push_back(kernel->tasks().Producer(out).value()->id);
+  }
+  BENCH_CHECK_OK(kernel->DefineExperiment(std::move(exp)).status());
+  for (auto _ : state) {
+    auto report = kernel->Reproduce("pipeline");
+    BENCH_CHECK_OK(report.status());
+    if (!report->all_identical) std::abort();
+  }
+  state.counters["tasks"] = steps;
+}
+BENCHMARK(BM_Gaea_ReproducePipeline)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gaea
+
+BENCHMARK_MAIN();

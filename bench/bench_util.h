@@ -1,0 +1,44 @@
+// Shared helpers for the Gaea benchmark harness (see DESIGN.md §3 for the
+// experiment index). Each bench binary regenerates one paper artifact
+// (Figure 1-5) or measures one qualitative claim (Q1-Q5).
+
+#ifndef GAEA_BENCH_BENCH_UTIL_H_
+#define GAEA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "util/status.h"
+
+namespace gaea::bench {
+
+#define BENCH_CHECK_OK(expr)                                             \
+  do {                                                                   \
+    auto _s = (expr);                                                    \
+    if (!_s.ok()) {                                                      \
+      std::fprintf(stderr, "BENCH FATAL %s:%d: %s\n", __FILE__, __LINE__, \
+                   ::gaea::bench::MsgOf(_s).c_str());                    \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+inline std::string MsgOf(const ::gaea::Status& s) { return s.ToString(); }
+template <typename T>
+std::string MsgOf(const ::gaea::StatusOr<T>& s) {
+  return s.status().ToString();
+}
+
+// A scratch directory for one bench fixture, wiped on creation.
+inline std::string FreshDir(const std::string& tag) {
+  std::string path = "/tmp/gaea_bench_" + tag;
+  std::error_code ec;
+  std::filesystem::remove_all(path, ec);
+  std::filesystem::create_directories(path, ec);
+  return path;
+}
+
+}  // namespace gaea::bench
+
+#endif  // GAEA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,369 @@
+// gaea_shell: an interactive (or scripted) command shell over a Gaea
+// database — the textual stand-in for the paper's visual environment.
+//
+//   ./gaea_shell <db_dir> [script_file]
+//
+// Commands (one per line; '#' starts a comment):
+//   ddl <<END ... END        multi-line DDL block
+//   ddl-file <path>          execute a DDL script from a file
+//   classes                  list classes
+//   concepts                 list the concept hierarchy
+//   processes                list processes (latest versions)
+//   history <process>        all versions of a process
+//   objects <class>          OIDs of a class
+//   show <oid>               print one object
+//   select <gql...>          run a GQL query (rest of line)
+//   lineage <oid>            derivation chain + base sources
+//   dot <oid>                Graphviz derivation diagram
+//   compare <oid> <oid>      compare two derivations
+//   net                      Graphviz of the class-derivation Petri net
+//   can-derive <class>       Petri-net feasibility with current data
+//   tasks                    list recorded tasks
+//   quit
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "gaea/kernel.h"
+#include "util/string_util.h"
+
+namespace gaea {
+namespace {
+
+void PrintStatus(const Status& status) {
+  std::printf("%s\n", status.ToString().c_str());
+}
+
+class Shell {
+ public:
+  explicit Shell(GaeaKernel* kernel) : kernel_(kernel) {}
+
+  // Returns false when the shell should exit.
+  bool Execute(const std::string& raw, std::istream& in) {
+    std::string_view line = StrTrim(raw);
+    if (line.empty() || line[0] == '#') return true;
+    std::istringstream words{std::string(line)};
+    std::string cmd;
+    words >> cmd;
+    cmd = StrToLower(cmd);
+
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "ddl") return DdlBlock(words, in);
+    if (cmd == "ddl-file") return DdlFile(words);
+    if (cmd == "classes") return Classes();
+    if (cmd == "concepts") return Concepts();
+    if (cmd == "processes") return Processes();
+    if (cmd == "history") return History(words);
+    if (cmd == "objects") return Objects(words);
+    if (cmd == "show") return Show(words);
+    if (cmd == "select") return Select(std::string(line));
+    if (cmd == "lineage") return Lineage(words);
+    if (cmd == "dot") return Dot(words);
+    if (cmd == "compare") return Compare(words);
+    if (cmd == "net") return Net();
+    if (cmd == "can-derive") return CanDerive(words);
+    if (cmd == "tasks") return Tasks();
+    if (cmd == "stats") return Stats();
+    if (cmd == "compare-concept") return CompareConcept(words);
+    std::printf("unknown command: %s (try: classes, concepts, processes, "
+                "select, lineage, tasks, quit)\n",
+                cmd.c_str());
+    return true;
+  }
+
+ private:
+  bool DdlBlock(std::istringstream& words, std::istream& in) {
+    std::string marker;
+    words >> marker;
+    if (marker.rfind("<<", 0) != 0) {
+      std::printf("usage: ddl <<END ... END\n");
+      return true;
+    }
+    std::string terminator = marker.substr(2);
+    std::string source, line;
+    while (std::getline(in, line) && StrTrim(line) != terminator) {
+      source += line;
+      source += '\n';
+    }
+    PrintStatus(kernel_->ExecuteDdl(source));
+    return true;
+  }
+
+  bool DdlFile(std::istringstream& words) {
+    std::string path;
+    words >> path;
+    std::ifstream in(path);
+    if (!in) {
+      std::printf("cannot open %s\n", path.c_str());
+      return true;
+    }
+    std::string source((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+    PrintStatus(kernel_->ExecuteDdl(source));
+    return true;
+  }
+
+  bool Classes() {
+    for (const ClassDef* def : kernel_->catalog().classes().List()) {
+      std::printf("%s\n", def->ToDdl().c_str());
+    }
+    return true;
+  }
+
+  bool Concepts() {
+    const ConceptRegistry& concepts = kernel_->catalog().concepts();
+    for (const ConceptDef* def : concepts.List()) {
+      std::printf("CONCEPT %s", def->name.c_str());
+      for (ConceptId parent : concepts.Parents(def->id)) {
+        std::printf(" ISA %s",
+                    concepts.LookupById(parent).value()->name.c_str());
+      }
+      if (!def->member_classes.empty()) {
+        std::printf("  members:");
+        for (ClassId cid : def->member_classes) {
+          auto cls = kernel_->catalog().classes().LookupById(cid);
+          std::printf(" %s", cls.ok() ? (*cls)->name().c_str() : "?");
+        }
+      }
+      std::printf("\n");
+    }
+    return true;
+  }
+
+  bool Processes() {
+    for (const ProcessDef* def : kernel_->processes().ListLatest()) {
+      std::printf("%s\n\n", def->ToDdl().c_str());
+    }
+    return true;
+  }
+
+  bool History(std::istringstream& words) {
+    std::string name;
+    words >> name;
+    auto history = kernel_->processes().History(name);
+    if (!history.ok()) {
+      PrintStatus(history.status());
+      return true;
+    }
+    for (const ProcessDef* def : *history) {
+      std::printf("version %d: %zu args, %zu assertions, %zu mappings\n",
+                  def->version(), def->args().size(), def->assertions().size(),
+                  def->mappings().size());
+    }
+    return true;
+  }
+
+  bool Objects(std::istringstream& words) {
+    std::string name;
+    words >> name;
+    auto cls = kernel_->catalog().classes().LookupByName(name);
+    if (!cls.ok()) {
+      PrintStatus(cls.status());
+      return true;
+    }
+    auto oids = kernel_->catalog().ObjectsOfClass((*cls)->id());
+    if (!oids.ok()) {
+      PrintStatus(oids.status());
+      return true;
+    }
+    for (Oid oid : *oids) {
+      std::printf("#%llu ", static_cast<unsigned long long>(oid));
+    }
+    std::printf("(%zu objects)\n", oids->size());
+    return true;
+  }
+
+  bool Show(std::istringstream& words) {
+    Oid oid = 0;
+    words >> oid;
+    auto obj = kernel_->Get(oid);
+    if (!obj.ok()) {
+      PrintStatus(obj.status());
+      return true;
+    }
+    auto cls = kernel_->catalog().classes().LookupById(obj->class_id());
+    if (!cls.ok()) {
+      PrintStatus(cls.status());
+      return true;
+    }
+    std::printf("%s\n", obj->ToString(**cls).c_str());
+    return true;
+  }
+
+  bool Select(const std::string& full_line) {
+    auto result = kernel_->QueryText(full_line);
+    if (!result.ok()) {
+      PrintStatus(result.status());
+      return true;
+    }
+    for (const ClassAnswer& answer : result->answers) {
+      if (answer.oids.empty()) {
+        std::printf("%s: no data\n", answer.class_name.c_str());
+        for (const std::string& attempt : answer.attempts) {
+          std::printf("    %s\n", attempt.c_str());
+        }
+        continue;
+      }
+      std::printf("%s via %s:", answer.class_name.c_str(),
+                  QueryStepName(answer.method));
+      for (Oid oid : answer.oids) {
+        std::printf(" #%llu", static_cast<unsigned long long>(oid));
+      }
+      std::printf("\n");
+    }
+    if (result->answers.empty()) std::printf("(no data)\n");
+    return true;
+  }
+
+  bool Lineage(std::istringstream& words) {
+    Oid oid = 0;
+    words >> oid;
+    LineageGraph lineage = kernel_->lineage();
+    auto chain = lineage.ProcessChain(oid);
+    if (!chain.ok()) {
+      PrintStatus(chain.status());
+      return true;
+    }
+    std::printf("chain:");
+    for (const std::string& step : *chain) std::printf(" %s", step.c_str());
+    std::printf("\nbase sources:");
+    for (Oid base : lineage.BaseSources(oid)) {
+      std::printf(" #%llu", static_cast<unsigned long long>(base));
+    }
+    std::printf("\n");
+    return true;
+  }
+
+  bool Dot(std::istringstream& words) {
+    Oid oid = 0;
+    words >> oid;
+    auto dot = kernel_->lineage().ToDot(oid);
+    if (!dot.ok()) {
+      PrintStatus(dot.status());
+      return true;
+    }
+    std::printf("%s", dot->c_str());
+    return true;
+  }
+
+  bool Compare(std::istringstream& words) {
+    Oid a = 0, b = 0;
+    words >> a >> b;
+    auto cmp = kernel_->lineage().Compare(a, b);
+    if (!cmp.ok()) {
+      PrintStatus(cmp.status());
+      return true;
+    }
+    std::printf("same procedure: %s\n%s\n",
+                cmp->same_procedure ? "yes" : "no", cmp->explanation.c_str());
+    return true;
+  }
+
+  bool Net() {
+    auto net = kernel_->BuildDerivationNet();
+    if (!net.ok()) {
+      PrintStatus(net.status());
+      return true;
+    }
+    std::printf("%s", net->ToDot(kernel_->catalog().classes()).c_str());
+    return true;
+  }
+
+  bool CanDerive(std::istringstream& words) {
+    std::string name;
+    words >> name;
+    auto can = kernel_->CanDerive(name);
+    if (!can.ok()) {
+      PrintStatus(can.status());
+      return true;
+    }
+    std::printf("%s\n", *can ? "yes" : "no");
+    return true;
+  }
+
+  bool Stats() {
+    GaeaKernel::Stats stats = kernel_->GetStats();
+    std::printf("classes %zu  concepts %zu  processes %zu (%zu versions)  "
+                "objects %zu  tasks %zu  experiments %zu\n",
+                stats.classes, stats.concepts, stats.processes,
+                stats.process_versions, stats.objects, stats.tasks,
+                stats.experiments);
+    return true;
+  }
+
+  bool CompareConcept(std::istringstream& words) {
+    std::string name;
+    words >> name;
+    auto comparisons = kernel_->CompareConceptInstances(name);
+    if (!comparisons.ok()) {
+      PrintStatus(comparisons.status());
+      return true;
+    }
+    for (const GaeaKernel::InstanceComparison& cmp : *comparisons) {
+      std::printf("#%llu (%s) vs #%llu (%s): %s — %s\n",
+                  static_cast<unsigned long long>(cmp.a), cmp.class_a.c_str(),
+                  static_cast<unsigned long long>(cmp.b), cmp.class_b.c_str(),
+                  cmp.same_procedure ? "same procedure" : "different",
+                  cmp.explanation.c_str());
+    }
+    if (comparisons->empty()) std::printf("(fewer than two instances)\n");
+    return true;
+  }
+
+  bool Tasks() {
+    for (const Task& task : kernel_->tasks().tasks()) {
+      std::printf("%s\n", task.ToString().c_str());
+    }
+    std::printf("(%zu tasks)\n", kernel_->tasks().size());
+    return true;
+  }
+
+  GaeaKernel* kernel_;
+};
+
+}  // namespace
+}  // namespace gaea
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <db_dir> [script_file]\n", argv[0]);
+    return 2;
+  }
+  gaea::GaeaKernel::Options options;
+  options.dir = argv[1];
+  options.user = "shell";
+  auto kernel = gaea::GaeaKernel::Open(options);
+  if (!kernel.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 kernel.status().ToString().c_str());
+    return 1;
+  }
+  (*kernel)->SetClock(gaea::AbsTime::FromDate(1993, 8, 24).value());
+  gaea::Shell shell(kernel->get());
+
+  std::ifstream script;
+  bool interactive = argc < 3;
+  if (!interactive) {
+    script.open(argv[2]);
+    if (!script) {
+      std::fprintf(stderr, "cannot open script %s\n", argv[2]);
+      return 1;
+    }
+  }
+  std::istream& in = interactive ? std::cin : script;
+  std::string line;
+  if (interactive) std::printf("gaea> ");
+  while (std::getline(in, line)) {
+    if (!shell.Execute(line, in)) break;
+    if (interactive) std::printf("gaea> ");
+  }
+  auto flush = (*kernel)->Flush();
+  if (!flush.ok()) {
+    std::fprintf(stderr, "flush failed: %s\n", flush.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "baseline/file_gis.h"
+
+#include <sys/stat.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "util/string_util.h"
+
+namespace gaea {
+
+StatusOr<std::unique_ptr<FileGis>> FileGis::Open(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("mkdir " + dir + ": " + ec.message());
+  }
+  return std::unique_ptr<FileGis>(new FileGis(dir));
+}
+
+std::string FileGis::PathFor(const std::string& name) const {
+  return dir_ + "/" + name + ".img";
+}
+
+Status FileGis::Import(const std::string& name, const Image& image) {
+  return image.Save(PathFor(name));
+}
+
+StatusOr<Image> FileGis::Load(const std::string& name) const {
+  return Image::Load(PathFor(name));
+}
+
+bool FileGis::Exists(const std::string& name) const {
+  struct stat st;
+  return ::stat(PathFor(name).c_str(), &st) == 0;
+}
+
+Status FileGis::Run(const std::string& command_line,
+                    const std::vector<std::string>& inputs,
+                    const std::string& output_name,
+                    const std::function<StatusOr<Image>(
+                        const std::vector<Image>&)>& fn) {
+  std::vector<Image> loaded;
+  loaded.reserve(inputs.size());
+  for (const std::string& name : inputs) {
+    GAEA_ASSIGN_OR_RETURN(Image img, Load(name));
+    loaded.push_back(std::move(img));
+  }
+  GAEA_ASSIGN_OR_RETURN(Image out, fn(loaded));
+  // Shortcoming 1: whatever was stored under this name before is gone.
+  GAEA_RETURN_IF_ERROR(out.Save(PathFor(output_name)));
+  std::ofstream transcript(dir_ + "/transcript.txt", std::ios::app);
+  if (!transcript) {
+    return Status::IOError("cannot append to transcript in " + dir_);
+  }
+  transcript << command_line << " -> " << output_name << "\n";
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> FileGis::Transcript() const {
+  std::ifstream in(dir_ + "/transcript.txt");
+  std::vector<std::string> lines;
+  if (!in) return lines;  // no commands run yet
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+Status FileGis::Reproduce(const std::string& output_name) const {
+  GAEA_ASSIGN_OR_RETURN(std::vector<std::string> lines, Transcript());
+  for (const std::string& line : lines) {
+    if (StrEndsWith(line, "-> " + output_name)) {
+      return Status::NotSupported(
+          "transcript records the command as free text and cannot "
+          "re-execute it: \"" + line + "\" (no process template, no "
+          "parameters, no input lineage — paper §4.1)");
+    }
+  }
+  return Status::NotFound("no transcript line produced '" + output_name +
+                          "' (file may have been overwritten by another "
+                          "user's command)");
+}
+
+}  // namespace gaea

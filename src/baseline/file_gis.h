@@ -1,0 +1,72 @@
+// FileGis: the file-based GIS strawman of paper §4.1 (IDRISI / GRASS).
+//
+// "A typical working scenario ... is to perform analysis with sequences of
+// commands that read data from input files and store results into output
+// files." The shortcomings the paper lists are modeled faithfully:
+//   1. a file name is the only identifier for stored data;
+//   2. data sharing is almost impossible — no machine-readable metadata
+//      describes how data were generated;
+//   3. scientists manage the analysis process themselves via awkward
+//      transcript files (we keep one);
+//   4. abstraction of the analysis process is impossible — reproduction
+//      from the free-text transcript fails by construction.
+//
+// The reproducibility bench (Q4) runs the same workload through GaeaKernel
+// and FileGis and contrasts metadata capability and overhead.
+
+#ifndef GAEA_BASELINE_FILE_GIS_H_
+#define GAEA_BASELINE_FILE_GIS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "raster/image.h"
+#include "util/status.h"
+
+namespace gaea {
+
+class FileGis {
+ public:
+  // Opens a working directory (created if missing) with a transcript file.
+  static StatusOr<std::unique_ptr<FileGis>> Open(const std::string& dir);
+
+  // Imports an image under a user-chosen file name (the only identifier).
+  Status Import(const std::string& name, const Image& image);
+
+  // Loads an image by file name.
+  StatusOr<Image> Load(const std::string& name) const;
+
+  bool Exists(const std::string& name) const;
+
+  // Runs an analysis command: loads the inputs, applies `fn`, stores the
+  // output under `output_name` (silently overwriting any existing file —
+  // shortcoming 1), and appends the free-text command line to the
+  // transcript.
+  Status Run(const std::string& command_line,
+             const std::vector<std::string>& inputs,
+             const std::string& output_name,
+             const std::function<StatusOr<Image>(
+                 const std::vector<Image>&)>& fn);
+
+  // The accumulated transcript lines.
+  StatusOr<std::vector<std::string>> Transcript() const;
+
+  // Attempts to reproduce `output_name` from the transcript. Finds the
+  // line that created it but cannot re-execute free text: returns
+  // kNotSupported with the line in the message — the paper's data-sharing
+  // failure, made concrete.
+  Status Reproduce(const std::string& output_name) const;
+
+ private:
+  explicit FileGis(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string PathFor(const std::string& name) const;
+
+  std::string dir_;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_BASELINE_FILE_GIS_H_

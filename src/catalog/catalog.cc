@@ -1,0 +1,283 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace gaea {
+
+namespace {
+constexpr uint8_t kRecClassDef = 1;
+constexpr uint8_t kRecConceptDef = 2;
+constexpr uint8_t kRecIsA = 3;
+constexpr uint8_t kRecMember = 4;
+}  // namespace
+
+StatusOr<std::unique_ptr<Catalog>> Catalog::Open(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("mkdir " + dir + ": " + ec.message());
+  }
+  std::unique_ptr<Catalog> cat(new Catalog(dir));
+  GAEA_ASSIGN_OR_RETURN(cat->journal_, Journal::Open(dir + "/catalog.journal"));
+  GAEA_ASSIGN_OR_RETURN(cat->store_, ObjectStore::Open(dir + "/objects"));
+  GAEA_ASSIGN_OR_RETURN(cat->by_class_, BTree::Open(dir + "/byclass.idx"));
+  GAEA_ASSIGN_OR_RETURN(cat->by_time_, BTree::Open(dir + "/bytime.idx"));
+  cat->replaying_ = true;
+  Status replay = cat->journal_->Replay([&cat](const std::string& record) {
+    return cat->ReplayRecord(record);
+  });
+  cat->replaying_ = false;
+  GAEA_RETURN_IF_ERROR(replay);
+  GAEA_RETURN_IF_ERROR(cat->RebuildSpatialIndex());
+  return cat;
+}
+
+Status Catalog::RebuildSpatialIndex() {
+  return store_->ForEach([this](Oid oid, const std::string& payload) -> Status {
+    BinaryReader r(payload);
+    GAEA_ASSIGN_OR_RETURN(DataObject obj, DataObject::Deserialize(&r));
+    auto def = classes_.LookupById(obj.class_id());
+    if (!def.ok() || !(*def)->has_spatial_extent()) return Status::OK();
+    auto extent_value = obj.Get(**def, (*def)->spatial_attr());
+    if (!extent_value.ok() || extent_value->is_null()) return Status::OK();
+    GAEA_ASSIGN_OR_RETURN(Box extent, extent_value->AsBox());
+    if (extent.empty()) return Status::OK();
+    GAEA_RETURN_IF_ERROR(spatial_index_[obj.class_id()].Insert(extent, oid));
+    return Status::OK();
+  });
+}
+
+Status Catalog::ReplayRecord(const std::string& record) {
+  BinaryReader r(record);
+  GAEA_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
+  switch (tag) {
+    case kRecClassDef: {
+      GAEA_ASSIGN_OR_RETURN(ClassDef def, ClassDef::Deserialize(&r));
+      return classes_.Register(std::move(def)).status();
+    }
+    case kRecConceptDef: {
+      GAEA_ASSIGN_OR_RETURN(ConceptDef def, ConceptDef::Deserialize(&r));
+      return concepts_.Register(std::move(def)).status();
+    }
+    case kRecIsA: {
+      GAEA_ASSIGN_OR_RETURN(ConceptId child, r.GetU32());
+      GAEA_ASSIGN_OR_RETURN(ConceptId parent, r.GetU32());
+      return concepts_.AddIsA(child, parent);
+    }
+    case kRecMember: {
+      GAEA_ASSIGN_OR_RETURN(ConceptId concept_id, r.GetU32());
+      GAEA_ASSIGN_OR_RETURN(ClassId class_id, r.GetU32());
+      return concepts_.AddMemberClass(concept_id, class_id);
+    }
+    default:
+      return Status::Corruption("unknown catalog record tag " +
+                                std::to_string(tag));
+  }
+}
+
+Status Catalog::AppendRecord(uint8_t tag, const std::string& payload) {
+  std::string record;
+  record.push_back(static_cast<char>(tag));
+  record.append(payload);
+  return journal_->Append(record);
+}
+
+StatusOr<ClassId> Catalog::DefineClass(ClassDef def) {
+  def.set_id(kInvalidClassId);  // id assignment belongs to the registry
+  GAEA_ASSIGN_OR_RETURN(ClassId id, classes_.Register(std::move(def)));
+  GAEA_ASSIGN_OR_RETURN(const ClassDef* stored, classes_.LookupById(id));
+  BinaryWriter w;
+  stored->Serialize(&w);
+  GAEA_RETURN_IF_ERROR(AppendRecord(kRecClassDef, w.buffer()));
+  return id;
+}
+
+StatusOr<ConceptId> Catalog::DefineConcept(const std::string& name,
+                                           const std::string& doc) {
+  ConceptDef def;
+  def.name = name;
+  def.doc = doc;
+  GAEA_ASSIGN_OR_RETURN(ConceptId id, concepts_.Register(std::move(def)));
+  GAEA_ASSIGN_OR_RETURN(const ConceptDef* stored, concepts_.LookupById(id));
+  BinaryWriter w;
+  stored->Serialize(&w);
+  GAEA_RETURN_IF_ERROR(AppendRecord(kRecConceptDef, w.buffer()));
+  return id;
+}
+
+Status Catalog::AddIsA(const std::string& child_concept,
+                       const std::string& parent_concept) {
+  GAEA_ASSIGN_OR_RETURN(const ConceptDef* child,
+                        concepts_.LookupByName(child_concept));
+  GAEA_ASSIGN_OR_RETURN(const ConceptDef* parent,
+                        concepts_.LookupByName(parent_concept));
+  GAEA_RETURN_IF_ERROR(concepts_.AddIsA(child->id, parent->id));
+  BinaryWriter w;
+  w.PutU32(child->id);
+  w.PutU32(parent->id);
+  return AppendRecord(kRecIsA, w.buffer());
+}
+
+Status Catalog::AddConceptMember(const std::string& concept_name,
+                                 const std::string& class_name) {
+  GAEA_ASSIGN_OR_RETURN(const ConceptDef* concept_def,
+                        concepts_.LookupByName(concept_name));
+  GAEA_ASSIGN_OR_RETURN(const ClassDef* cls,
+                        classes_.LookupByName(class_name));
+  GAEA_RETURN_IF_ERROR(concepts_.AddMemberClass(concept_def->id, cls->id()));
+  BinaryWriter w;
+  w.PutU32(concept_def->id);
+  w.PutU32(cls->id());
+  return AppendRecord(kRecMember, w.buffer());
+}
+
+StatusOr<Oid> Catalog::InsertObject(DataObject obj) {
+  GAEA_ASSIGN_OR_RETURN(const ClassDef* def,
+                        classes_.LookupById(obj.class_id()));
+  GAEA_RETURN_IF_ERROR(obj.TypeCheck(*def));
+
+  // Reserve the OID first so the serialized payload already carries it.
+  Oid oid = store_->next_oid();
+  obj.set_oid(oid);
+  BinaryWriter w;
+  obj.Serialize(&w);
+  GAEA_RETURN_IF_ERROR(store_->PutWithOid(oid, w.buffer()));
+  GAEA_RETURN_IF_ERROR(
+      by_class_->Insert(static_cast<int64_t>(obj.class_id()), oid));
+  if (def->has_temporal_extent()) {
+    auto ts = obj.Timestamp(*def);
+    if (ts.ok()) {
+      GAEA_RETURN_IF_ERROR(by_time_->Insert(ts->seconds(), oid));
+    }
+  }
+  if (def->has_spatial_extent()) {
+    auto extent = obj.SpatialExtent(*def);
+    if (extent.ok() && !extent->empty()) {
+      GAEA_RETURN_IF_ERROR(
+          spatial_index_[obj.class_id()].Insert(*extent, oid));
+    }
+  }
+  return oid;
+}
+
+StatusOr<DataObject> Catalog::GetObject(Oid oid) const {
+  GAEA_ASSIGN_OR_RETURN(std::string payload, store_->Get(oid));
+  BinaryReader r(payload);
+  return DataObject::Deserialize(&r);
+}
+
+bool Catalog::ContainsObject(Oid oid) const { return store_->Contains(oid); }
+
+Status Catalog::DeleteObject(Oid oid) {
+  GAEA_ASSIGN_OR_RETURN(DataObject obj, GetObject(oid));
+  GAEA_ASSIGN_OR_RETURN(const ClassDef* def,
+                        classes_.LookupById(obj.class_id()));
+  GAEA_RETURN_IF_ERROR(store_->Delete(oid));
+  GAEA_RETURN_IF_ERROR(
+      by_class_->Delete(static_cast<int64_t>(obj.class_id()), oid));
+  if (def->has_temporal_extent()) {
+    auto ts = obj.Timestamp(*def);
+    if (ts.ok()) {
+      // Index entry may be absent if the object was inserted without a
+      // timestamp; ignore NotFound.
+      Status s = by_time_->Delete(ts->seconds(), oid);
+      if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+    }
+  }
+  if (def->has_spatial_extent()) {
+    auto extent = obj.SpatialExtent(*def);
+    auto tree = spatial_index_.find(obj.class_id());
+    if (extent.ok() && !extent->empty() && tree != spatial_index_.end()) {
+      Status s = tree->second.Remove(*extent, oid);
+      if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Oid> Catalog::ObjectsInRegion(const Box& region) const {
+  std::vector<Oid> out;
+  for (const auto& [class_id, tree] : spatial_index_) {
+    std::vector<uint64_t> hits = tree.SearchValues(region);
+    out.insert(out.end(), hits.begin(), hits.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+// Both inputs sorted ascending.
+std::vector<Oid> Intersect(const std::vector<Oid>& a,
+                           const std::vector<Oid>& b) {
+  std::vector<Oid> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+}  // namespace
+
+StatusOr<std::vector<Oid>> Catalog::Candidates(
+    ClassId class_id, const std::optional<Box>& region,
+    const std::optional<TimeInterval>& time) const {
+  GAEA_ASSIGN_OR_RETURN(const ClassDef* def, classes_.LookupById(class_id));
+  std::vector<Oid> candidates;
+  if (region.has_value() && def->has_spatial_extent()) {
+    // Start from the per-class R-tree: already class-restricted, and the
+    // probe visits only spatially relevant subtrees.
+    auto tree = spatial_index_.find(class_id);
+    if (tree == spatial_index_.end()) return candidates;  // nothing indexed
+    std::vector<uint64_t> hits = tree->second.SearchValues(*region);
+    candidates.assign(hits.begin(), hits.end());
+  } else {
+    GAEA_ASSIGN_OR_RETURN(candidates, ObjectsOfClass(class_id));
+  }
+  if (time.has_value() && def->has_temporal_extent()) {
+    GAEA_ASSIGN_OR_RETURN(std::vector<Oid> in_time,
+                          ObjectsInTimeRange(time->begin(), time->end()));
+    std::sort(in_time.begin(), in_time.end());
+    candidates = Intersect(candidates, in_time);
+  }
+  return candidates;
+}
+
+StatusOr<std::vector<Oid>> Catalog::ObjectsOfClass(ClassId class_id) const {
+  GAEA_ASSIGN_OR_RETURN(std::vector<uint64_t> oids,
+                        by_class_->Lookup(static_cast<int64_t>(class_id)));
+  return std::vector<Oid>(oids.begin(), oids.end());
+}
+
+StatusOr<std::vector<Oid>> Catalog::ObjectsOfClassInRange(ClassId class_id,
+                                                          AbsTime t0,
+                                                          AbsTime t1) const {
+  GAEA_ASSIGN_OR_RETURN(std::vector<Oid> candidates, ObjectsOfClass(class_id));
+  GAEA_ASSIGN_OR_RETURN(const ClassDef* def, classes_.LookupById(class_id));
+  std::vector<Oid> out;
+  for (Oid oid : candidates) {
+    GAEA_ASSIGN_OR_RETURN(DataObject obj, GetObject(oid));
+    auto ts = obj.Timestamp(*def);
+    if (!ts.ok()) continue;
+    if (*ts >= t0 && *ts <= t1) out.push_back(oid);
+  }
+  return out;
+}
+
+StatusOr<std::vector<Oid>> Catalog::ObjectsInTimeRange(AbsTime t0,
+                                                       AbsTime t1) const {
+  std::vector<Oid> out;
+  GAEA_RETURN_IF_ERROR(by_time_->Scan(
+      t0.seconds(), t1.seconds(), [&out](int64_t, uint64_t oid) -> Status {
+        out.push_back(oid);
+        return Status::OK();
+      }));
+  return out;
+}
+
+Status Catalog::Flush() {
+  GAEA_RETURN_IF_ERROR(journal_->Sync());
+  GAEA_RETURN_IF_ERROR(store_->Flush());
+  GAEA_RETURN_IF_ERROR(by_class_->Flush());
+  return by_time_->Flush();
+}
+
+}  // namespace gaea

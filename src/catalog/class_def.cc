@@ -1,0 +1,208 @@
+#include "catalog/class_def.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace gaea {
+
+Status ClassDef::AddAttribute(AttributeDef attr) {
+  if (!IsIdentifier(attr.name)) {
+    return Status::InvalidArgument("bad attribute name: '" + attr.name + "'");
+  }
+  for (const AttributeDef& existing : attributes_) {
+    if (existing.name == attr.name) {
+      return Status::AlreadyExists("duplicate attribute: " + attr.name);
+    }
+  }
+  if (attr.ddl_type.empty()) attr.ddl_type = TypeIdName(attr.type);
+  attributes_.push_back(std::move(attr));
+  return Status::OK();
+}
+
+Status ClassDef::SetSpatialExtent(const std::string& attr_name) {
+  GAEA_ASSIGN_OR_RETURN(const AttributeDef* attr, FindAttribute(attr_name));
+  if (attr->type != TypeId::kBox) {
+    return Status::InvalidArgument("spatial extent attribute " + attr_name +
+                                   " must have type box, has " +
+                                   TypeIdName(attr->type));
+  }
+  spatial_attr_ = attr_name;
+  return Status::OK();
+}
+
+Status ClassDef::SetTemporalExtent(const std::string& attr_name) {
+  GAEA_ASSIGN_OR_RETURN(const AttributeDef* attr, FindAttribute(attr_name));
+  if (attr->type != TypeId::kTime) {
+    return Status::InvalidArgument("temporal extent attribute " + attr_name +
+                                   " must have type abstime, has " +
+                                   TypeIdName(attr->type));
+  }
+  temporal_attr_ = attr_name;
+  return Status::OK();
+}
+
+Status ClassDef::SetDerivedBy(const std::string& process_name) {
+  if (process_name.empty()) {
+    return Status::InvalidArgument("DERIVED BY needs a process name");
+  }
+  derived_by_ = process_name;
+  kind_ = ClassKind::kDerived;
+  return Status::OK();
+}
+
+StatusOr<size_t> ClassDef::AttributeIndex(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("class " + name_ + " has no attribute " + name);
+}
+
+StatusOr<const AttributeDef*> ClassDef::FindAttribute(
+    const std::string& name) const {
+  GAEA_ASSIGN_OR_RETURN(size_t idx, AttributeIndex(name));
+  return &attributes_[idx];
+}
+
+Status ClassDef::Validate() const {
+  if (!IsIdentifier(name_)) {
+    return Status::InvalidArgument("bad class name: '" + name_ + "'");
+  }
+  if (attributes_.empty()) {
+    return Status::InvalidArgument("class " + name_ + " has no attributes");
+  }
+  if (kind_ == ClassKind::kDerived && derived_by_.empty()) {
+    return Status::InvalidArgument("derived class " + name_ +
+                                   " must name its DERIVED BY process");
+  }
+  if (kind_ == ClassKind::kBase && !derived_by_.empty()) {
+    return Status::InvalidArgument("base class " + name_ +
+                                   " cannot have a DERIVED BY process");
+  }
+  return Status::OK();
+}
+
+std::string ClassDef::ToDdl() const {
+  std::ostringstream os;
+  os << "CLASS " << name_ << " (\n  ATTRIBUTES:\n";
+  for (const AttributeDef& attr : attributes_) {
+    if (attr.name == spatial_attr_ || attr.name == temporal_attr_) continue;
+    os << "    " << attr.name << " = " << attr.ddl_type << ";";
+    if (!attr.doc.empty()) os << "  // " << attr.doc;
+    os << "\n";
+  }
+  if (has_spatial_extent()) {
+    os << "  SPATIAL EXTENT:\n    " << spatial_attr_ << " = box;\n";
+  }
+  if (has_temporal_extent()) {
+    os << "  TEMPORAL EXTENT:\n    " << temporal_attr_ << " = abstime;\n";
+  }
+  if (!derived_by_.empty()) {
+    os << "  DERIVED BY: " << derived_by_ << "\n";
+  }
+  os << ")";
+  return os.str();
+}
+
+void ClassDef::Serialize(BinaryWriter* w) const {
+  w->PutString(name_);
+  w->PutU32(id_);
+  w->PutU8(static_cast<uint8_t>(kind_));
+  w->PutU32(static_cast<uint32_t>(attributes_.size()));
+  for (const AttributeDef& attr : attributes_) {
+    w->PutString(attr.name);
+    w->PutU8(static_cast<uint8_t>(attr.type));
+    w->PutString(attr.ddl_type);
+    w->PutString(attr.doc);
+  }
+  w->PutString(spatial_attr_);
+  w->PutString(temporal_attr_);
+  w->PutString(derived_by_);
+}
+
+StatusOr<ClassDef> ClassDef::Deserialize(BinaryReader* r) {
+  ClassDef def;
+  GAEA_ASSIGN_OR_RETURN(def.name_, r->GetString());
+  GAEA_ASSIGN_OR_RETURN(def.id_, r->GetU32());
+  GAEA_ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
+  if (kind > static_cast<uint8_t>(ClassKind::kDerived)) {
+    return Status::Corruption("bad class kind tag");
+  }
+  def.kind_ = static_cast<ClassKind>(kind);
+  GAEA_ASSIGN_OR_RETURN(uint32_t nattrs, r->GetU32());
+  for (uint32_t i = 0; i < nattrs; ++i) {
+    AttributeDef attr;
+    GAEA_ASSIGN_OR_RETURN(attr.name, r->GetString());
+    GAEA_ASSIGN_OR_RETURN(uint8_t type, r->GetU8());
+    if (type > static_cast<uint8_t>(TypeId::kList)) {
+      return Status::Corruption("bad attribute type tag");
+    }
+    attr.type = static_cast<TypeId>(type);
+    GAEA_ASSIGN_OR_RETURN(attr.ddl_type, r->GetString());
+    GAEA_ASSIGN_OR_RETURN(attr.doc, r->GetString());
+    def.attributes_.push_back(std::move(attr));
+  }
+  GAEA_ASSIGN_OR_RETURN(def.spatial_attr_, r->GetString());
+  GAEA_ASSIGN_OR_RETURN(def.temporal_attr_, r->GetString());
+  GAEA_ASSIGN_OR_RETURN(def.derived_by_, r->GetString());
+  return def;
+}
+
+StatusOr<ClassId> ClassRegistry::Register(ClassDef def) {
+  GAEA_RETURN_IF_ERROR(def.Validate());
+  if (by_name_.count(def.name()) > 0) {
+    return Status::AlreadyExists("class already defined: " + def.name());
+  }
+  ClassId id = def.id();
+  if (id == kInvalidClassId) {
+    id = next_id_;
+    def.set_id(id);
+  }
+  if (by_id_.count(id) > 0) {
+    return Status::AlreadyExists("class id already in use: " +
+                                 std::to_string(id));
+  }
+  next_id_ = std::max(next_id_, id + 1);
+  by_name_[def.name()] = id;
+  by_id_.emplace(id, std::move(def));
+  return id;
+}
+
+StatusOr<const ClassDef*> ClassRegistry::LookupByName(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("class not defined: " + name);
+  }
+  return &by_id_.at(it->second);
+}
+
+StatusOr<const ClassDef*> ClassRegistry::LookupById(ClassId id) const {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("class id not defined: " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+bool ClassRegistry::Contains(const std::string& name) const {
+  return by_name_.count(name) > 0;
+}
+
+std::vector<const ClassDef*> ClassRegistry::List() const {
+  std::vector<const ClassDef*> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, def] : by_id_) out.push_back(&def);
+  return out;
+}
+
+std::vector<ClassId> ClassRegistry::DerivedBy(
+    const std::string& process_name) const {
+  std::vector<ClassId> out;
+  for (const auto& [id, def] : by_id_) {
+    if (def.derived_by() == process_name) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace gaea

@@ -1,0 +1,128 @@
+// Non-primitive class definitions (paper §2.1.1-2.1.2).
+//
+// A non-primitive class is the unit of the derivation semantics layer: a
+// named record type whose attributes are primitive classes, plus the two
+// orthogonal extents (SPATIAL EXTENT / TEMPORAL EXTENT) and, for derived
+// classes, the DERIVED BY process that uniquely defines it. The paper's
+// example:
+//
+//   CLASS landcover (
+//     ATTRIBUTES: area = char16; ... data = image;
+//     SPATIAL EXTENT: spatialextent = box;
+//     TEMPORAL EXTENT: timestamp = abstime;
+//     DERIVED BY: unsupervised-classification )
+
+#ifndef GAEA_CATALOG_CLASS_DEF_H_
+#define GAEA_CATALOG_CLASS_DEF_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace gaea {
+
+using ClassId = uint32_t;
+constexpr ClassId kInvalidClassId = 0;
+
+// One attribute of a non-primitive class.
+struct AttributeDef {
+  std::string name;
+  TypeId type = TypeId::kNull;
+  // The DDL spelling ("char16", "float4", ...), kept for display fidelity.
+  std::string ddl_type;
+  std::string doc;
+};
+
+enum class ClassKind : uint8_t {
+  kBase = 0,     // well-known source data (Landsat TM, census, rainfall)
+  kDerived = 1,  // defined uniquely by its derivation process
+};
+
+// Definition of one non-primitive class.
+class ClassDef {
+ public:
+  ClassDef() = default;
+  ClassDef(std::string name, ClassKind kind)
+      : name_(std::move(name)), kind_(kind) {}
+
+  const std::string& name() const { return name_; }
+  ClassId id() const { return id_; }
+  void set_id(ClassId id) { id_ = id; }
+  ClassKind kind() const { return kind_; }
+
+  // Adds a regular attribute. Rejects duplicates and reserved names.
+  Status AddAttribute(AttributeDef attr);
+  // Declares the spatial-extent attribute (type box).
+  Status SetSpatialExtent(const std::string& attr_name);
+  // Declares the temporal-extent attribute (type abstime).
+  Status SetTemporalExtent(const std::string& attr_name);
+  // Names the process deriving this class (derived classes only).
+  Status SetDerivedBy(const std::string& process_name);
+
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  // Index of `name` in attributes(), or kNotFound.
+  StatusOr<size_t> AttributeIndex(const std::string& name) const;
+  StatusOr<const AttributeDef*> FindAttribute(const std::string& name) const;
+
+  const std::string& spatial_attr() const { return spatial_attr_; }
+  const std::string& temporal_attr() const { return temporal_attr_; }
+  bool has_spatial_extent() const { return !spatial_attr_.empty(); }
+  bool has_temporal_extent() const { return !temporal_attr_.empty(); }
+  const std::string& derived_by() const { return derived_by_; }
+
+  // Structural validation: derived classes must name a process; extent
+  // attributes must exist with box/abstime types.
+  Status Validate() const;
+
+  // DDL-like rendering (used by the catalog browser and tests).
+  std::string ToDdl() const;
+
+  void Serialize(BinaryWriter* w) const;
+  static StatusOr<ClassDef> Deserialize(BinaryReader* r);
+
+ private:
+  std::string name_;
+  ClassId id_ = kInvalidClassId;
+  ClassKind kind_ = ClassKind::kBase;
+  std::vector<AttributeDef> attributes_;
+  std::string spatial_attr_;
+  std::string temporal_attr_;
+  std::string derived_by_;
+};
+
+// In-memory registry of class definitions, id- and name-addressed.
+class ClassRegistry {
+ public:
+  ClassRegistry() = default;
+  ClassRegistry(const ClassRegistry&) = delete;
+  ClassRegistry& operator=(const ClassRegistry&) = delete;
+
+  // Validates and registers, assigning the next class id (or honoring a
+  // pre-set one on replay). Name collisions are rejected: a class is
+  // uniquely defined by its derivation, never redefined.
+  StatusOr<ClassId> Register(ClassDef def);
+
+  StatusOr<const ClassDef*> LookupByName(const std::string& name) const;
+  StatusOr<const ClassDef*> LookupById(ClassId id) const;
+  bool Contains(const std::string& name) const;
+
+  std::vector<const ClassDef*> List() const;
+  // Ids of classes derived by `process_name`.
+  std::vector<ClassId> DerivedBy(const std::string& process_name) const;
+
+  size_t size() const { return by_id_.size(); }
+
+ private:
+  std::map<ClassId, ClassDef> by_id_;
+  std::map<std::string, ClassId> by_name_;
+  ClassId next_id_ = 1;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_CATALOG_CLASS_DEF_H_

@@ -1,0 +1,196 @@
+#include "catalog/concept.h"
+
+#include <deque>
+
+#include "util/string_util.h"
+
+namespace gaea {
+
+void ConceptDef::Serialize(BinaryWriter* w) const {
+  w->PutU32(id);
+  w->PutString(name);
+  w->PutString(doc);
+  w->PutU32(static_cast<uint32_t>(member_classes.size()));
+  for (ClassId cid : member_classes) w->PutU32(cid);
+}
+
+StatusOr<ConceptDef> ConceptDef::Deserialize(BinaryReader* r) {
+  ConceptDef def;
+  GAEA_ASSIGN_OR_RETURN(def.id, r->GetU32());
+  GAEA_ASSIGN_OR_RETURN(def.name, r->GetString());
+  GAEA_ASSIGN_OR_RETURN(def.doc, r->GetString());
+  GAEA_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  for (uint32_t i = 0; i < n; ++i) {
+    GAEA_ASSIGN_OR_RETURN(ClassId cid, r->GetU32());
+    def.member_classes.insert(cid);
+  }
+  return def;
+}
+
+StatusOr<ConceptId> ConceptRegistry::Register(ConceptDef def) {
+  if (!IsIdentifier(def.name)) {
+    return Status::InvalidArgument("bad concept name: '" + def.name + "'");
+  }
+  if (by_name_.count(def.name) > 0) {
+    return Status::AlreadyExists("concept already defined: " + def.name);
+  }
+  ConceptId id = def.id;
+  if (id == kInvalidConceptId) {
+    id = next_id_;
+    def.id = id;
+  }
+  if (by_id_.count(id) > 0) {
+    return Status::AlreadyExists("concept id already in use: " +
+                                 std::to_string(id));
+  }
+  next_id_ = std::max(next_id_, id + 1);
+  by_name_[def.name] = id;
+  by_id_.emplace(id, std::move(def));
+  return id;
+}
+
+StatusOr<const ConceptDef*> ConceptRegistry::LookupByName(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("concept not defined: " + name);
+  }
+  return &by_id_.at(it->second);
+}
+
+StatusOr<const ConceptDef*> ConceptRegistry::LookupById(ConceptId id) const {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("concept id not defined: " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+bool ConceptRegistry::Contains(const std::string& name) const {
+  return by_name_.count(name) > 0;
+}
+
+bool ConceptRegistry::WouldCreateCycle(ConceptId child,
+                                       ConceptId parent) const {
+  // A cycle appears iff `child` is already an ancestor of `parent`.
+  if (child == parent) return true;
+  std::deque<ConceptId> frontier{parent};
+  std::set<ConceptId> seen;
+  while (!frontier.empty()) {
+    ConceptId cur = frontier.front();
+    frontier.pop_front();
+    auto it = parents_.find(cur);
+    if (it == parents_.end()) continue;
+    for (ConceptId up : it->second) {
+      if (up == child) return true;
+      if (seen.insert(up).second) frontier.push_back(up);
+    }
+  }
+  return false;
+}
+
+Status ConceptRegistry::AddIsA(ConceptId child, ConceptId parent) {
+  if (by_id_.count(child) == 0 || by_id_.count(parent) == 0) {
+    return Status::NotFound("ISA endpoints must be registered concepts");
+  }
+  if (WouldCreateCycle(child, parent)) {
+    return Status::InvalidArgument(
+        "ISA edge would create a cycle in the specialization hierarchy");
+  }
+  parents_[child].insert(parent);
+  children_[parent].insert(child);
+  return Status::OK();
+}
+
+Status ConceptRegistry::AddMemberClass(ConceptId concept_id,
+                                       ClassId class_id) {
+  auto it = by_id_.find(concept_id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("concept id not defined: " +
+                            std::to_string(concept_id));
+  }
+  it->second.member_classes.insert(class_id);
+  return Status::OK();
+}
+
+std::vector<ConceptId> ConceptRegistry::Parents(ConceptId id) const {
+  auto it = parents_.find(id);
+  if (it == parents_.end()) return {};
+  return std::vector<ConceptId>(it->second.begin(), it->second.end());
+}
+
+std::vector<ConceptId> ConceptRegistry::Children(ConceptId id) const {
+  auto it = children_.find(id);
+  if (it == children_.end()) return {};
+  return std::vector<ConceptId>(it->second.begin(), it->second.end());
+}
+
+namespace {
+StatusOr<std::set<ConceptId>> Closure(
+    ConceptId id, const std::map<ConceptId, std::set<ConceptId>>& edges,
+    const std::map<ConceptId, ConceptDef>& known) {
+  if (known.count(id) == 0) {
+    return Status::NotFound("concept id not defined: " + std::to_string(id));
+  }
+  std::set<ConceptId> out;
+  std::deque<ConceptId> frontier{id};
+  while (!frontier.empty()) {
+    ConceptId cur = frontier.front();
+    frontier.pop_front();
+    auto it = edges.find(cur);
+    if (it == edges.end()) continue;
+    for (ConceptId next : it->second) {
+      if (out.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+StatusOr<std::set<ConceptId>> ConceptRegistry::Ancestors(ConceptId id) const {
+  return Closure(id, parents_, by_id_);
+}
+
+StatusOr<std::set<ConceptId>> ConceptRegistry::Descendants(
+    ConceptId id) const {
+  return Closure(id, children_, by_id_);
+}
+
+StatusOr<std::set<ClassId>> ConceptRegistry::CoveredClasses(
+    ConceptId id) const {
+  GAEA_ASSIGN_OR_RETURN(const ConceptDef* def, LookupById(id));
+  std::set<ClassId> out = def->member_classes;
+  GAEA_ASSIGN_OR_RETURN(std::set<ConceptId> down, Descendants(id));
+  for (ConceptId cid : down) {
+    const ConceptDef& d = by_id_.at(cid);
+    out.insert(d.member_classes.begin(), d.member_classes.end());
+  }
+  return out;
+}
+
+std::vector<ConceptId> ConceptRegistry::ConceptsOfClass(
+    ClassId class_id) const {
+  std::vector<ConceptId> out;
+  for (const auto& [id, def] : by_id_) {
+    if (def.member_classes.count(class_id) > 0) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<const ConceptDef*> ConceptRegistry::List() const {
+  std::vector<const ConceptDef*> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, def] : by_id_) out.push_back(&def);
+  return out;
+}
+
+std::vector<std::pair<ConceptId, ConceptId>> ConceptRegistry::IsAEdges()
+    const {
+  std::vector<std::pair<ConceptId, ConceptId>> out;
+  for (const auto& [child, parents] : parents_) {
+    for (ConceptId parent : parents) out.emplace_back(child, parent);
+  }
+  return out;
+}
+
+}  // namespace gaea

@@ -1,0 +1,94 @@
+// Concepts: the high-level semantics layer (paper §2.1.1).
+//
+// "A concept is simply a set of classes" — an entity set with an imprecise
+// definition whose concrete derivations differ between users (DESERT,
+// NDVI, VEGETATION CHANGE). Concepts form an ISA specialization hierarchy
+// which "can be general directed acyclic graph structures"; the classes
+// covered by a concept are its own member classes plus those of all its
+// specializations (ISA descendants), which is how a query on DESERT reaches
+// the classes of HOT TRADE-WIND DESERT.
+
+#ifndef GAEA_CATALOG_CONCEPT_H_
+#define GAEA_CATALOG_CONCEPT_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/class_def.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace gaea {
+
+using ConceptId = uint32_t;
+constexpr ConceptId kInvalidConceptId = 0;
+
+struct ConceptDef {
+  ConceptId id = kInvalidConceptId;
+  std::string name;
+  std::string doc;  // the informal, imprecise definition text
+  std::set<ClassId> member_classes;
+
+  void Serialize(BinaryWriter* w) const;
+  static StatusOr<ConceptDef> Deserialize(BinaryReader* r);
+};
+
+// Registry of concepts plus the ISA DAG between them.
+class ConceptRegistry {
+ public:
+  ConceptRegistry() = default;
+  ConceptRegistry(const ConceptRegistry&) = delete;
+  ConceptRegistry& operator=(const ConceptRegistry&) = delete;
+
+  StatusOr<ConceptId> Register(ConceptDef def);
+
+  StatusOr<const ConceptDef*> LookupByName(const std::string& name) const;
+  StatusOr<const ConceptDef*> LookupById(ConceptId id) const;
+  bool Contains(const std::string& name) const;
+
+  // Adds `child` ISA `parent`. Rejects edges that would create a cycle
+  // (specialization hierarchies are DAGs).
+  Status AddIsA(ConceptId child, ConceptId parent);
+
+  // Maps a class into a concept ("the leaves of the concept structure are
+  // mapped to a set of non-primitive classes").
+  Status AddMemberClass(ConceptId concept_id, ClassId class_id);
+
+  // Direct ISA neighbours.
+  std::vector<ConceptId> Parents(ConceptId id) const;
+  std::vector<ConceptId> Children(ConceptId id) const;
+
+  // Transitive closure upward/downward (excluding `id` itself).
+  StatusOr<std::set<ConceptId>> Ancestors(ConceptId id) const;
+  StatusOr<std::set<ConceptId>> Descendants(ConceptId id) const;
+
+  // All classes reachable from the concept: its member classes plus those
+  // of every descendant. This is the expansion used to answer queries over
+  // a concept.
+  StatusOr<std::set<ClassId>> CoveredClasses(ConceptId id) const;
+
+  // Concepts containing `class_id` directly.
+  std::vector<ConceptId> ConceptsOfClass(ClassId class_id) const;
+
+  std::vector<const ConceptDef*> List() const;
+  // ISA edges as (child, parent) pairs, for persistence.
+  std::vector<std::pair<ConceptId, ConceptId>> IsAEdges() const;
+
+  size_t size() const { return by_id_.size(); }
+
+ private:
+  bool WouldCreateCycle(ConceptId child, ConceptId parent) const;
+
+  std::map<ConceptId, ConceptDef> by_id_;
+  std::map<std::string, ConceptId> by_name_;
+  std::map<ConceptId, std::set<ConceptId>> parents_;
+  std::map<ConceptId, std::set<ConceptId>> children_;
+  ConceptId next_id_ = 1;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_CATALOG_CONCEPT_H_

@@ -1,0 +1,117 @@
+#include "catalog/data_object.h"
+
+#include <sstream>
+
+namespace gaea {
+
+DataObject::DataObject(const ClassDef& def)
+    : class_id_(def.id()), values_(def.attributes().size()) {}
+
+StatusOr<Value> DataObject::Get(const ClassDef& def,
+                                const std::string& attr) const {
+  GAEA_ASSIGN_OR_RETURN(size_t idx, def.AttributeIndex(attr));
+  if (idx >= values_.size()) {
+    return Status::Internal("object value vector shorter than class schema");
+  }
+  return values_[idx];
+}
+
+Status DataObject::Set(const ClassDef& def, const std::string& attr,
+                       Value value) {
+  GAEA_ASSIGN_OR_RETURN(size_t idx, def.AttributeIndex(attr));
+  if (idx >= values_.size()) values_.resize(def.attributes().size());
+  const AttributeDef& adef = def.attributes()[idx];
+  if (!value.is_null() && value.type() != adef.type &&
+      !(adef.type == TypeId::kDouble && value.type() == TypeId::kInt)) {
+    return Status::InvalidArgument(
+        "attribute " + def.name() + "." + attr + " expects " +
+        TypeIdName(adef.type) + ", got " + TypeIdName(value.type()));
+  }
+  values_[idx] = std::move(value);
+  return Status::OK();
+}
+
+StatusOr<const Value*> DataObject::At(size_t index) const {
+  if (index >= values_.size()) {
+    return Status::OutOfRange("attribute index " + std::to_string(index) +
+                              " out of range");
+  }
+  return &values_[index];
+}
+
+StatusOr<Box> DataObject::SpatialExtent(const ClassDef& def) const {
+  if (!def.has_spatial_extent()) {
+    return Status::FailedPrecondition("class " + def.name() +
+                                      " has no spatial extent");
+  }
+  GAEA_ASSIGN_OR_RETURN(Value v, Get(def, def.spatial_attr()));
+  return v.AsBox();
+}
+
+StatusOr<AbsTime> DataObject::Timestamp(const ClassDef& def) const {
+  if (!def.has_temporal_extent()) {
+    return Status::FailedPrecondition("class " + def.name() +
+                                      " has no temporal extent");
+  }
+  GAEA_ASSIGN_OR_RETURN(Value v, Get(def, def.temporal_attr()));
+  return v.AsTime();
+}
+
+Status DataObject::TypeCheck(const ClassDef& def) const {
+  if (class_id_ != def.id()) {
+    return Status::InvalidArgument("object class id " +
+                                   std::to_string(class_id_) +
+                                   " does not match class " + def.name());
+  }
+  if (values_.size() != def.attributes().size()) {
+    return Status::InvalidArgument(
+        "object has " + std::to_string(values_.size()) + " values, class " +
+        def.name() + " declares " +
+        std::to_string(def.attributes().size()) + " attributes");
+  }
+  for (size_t i = 0; i < values_.size(); ++i) {
+    const Value& v = values_[i];
+    const AttributeDef& adef = def.attributes()[i];
+    if (v.is_null()) continue;
+    if (v.type() != adef.type &&
+        !(adef.type == TypeId::kDouble && v.type() == TypeId::kInt)) {
+      return Status::InvalidArgument(
+          "attribute " + def.name() + "." + adef.name + " expects " +
+          TypeIdName(adef.type) + ", got " + TypeIdName(v.type()));
+    }
+  }
+  return Status::OK();
+}
+
+std::string DataObject::ToString(const ClassDef& def) const {
+  std::ostringstream os;
+  os << def.name() << "#" << oid_ << "{";
+  for (size_t i = 0; i < values_.size() && i < def.attributes().size(); ++i) {
+    if (i > 0) os << ", ";
+    os << def.attributes()[i].name << "=" << values_[i].ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+void DataObject::Serialize(BinaryWriter* w) const {
+  w->PutU64(oid_);
+  w->PutU32(class_id_);
+  w->PutU32(static_cast<uint32_t>(values_.size()));
+  for (const Value& v : values_) v.Serialize(w);
+}
+
+StatusOr<DataObject> DataObject::Deserialize(BinaryReader* r) {
+  DataObject obj;
+  GAEA_ASSIGN_OR_RETURN(obj.oid_, r->GetU64());
+  GAEA_ASSIGN_OR_RETURN(obj.class_id_, r->GetU32());
+  GAEA_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  obj.values_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    GAEA_ASSIGN_OR_RETURN(Value v, Value::Deserialize(r));
+    obj.values_.push_back(std::move(v));
+  }
+  return obj;
+}
+
+}  // namespace gaea

@@ -1,0 +1,60 @@
+// Data objects: instances of non-primitive classes (paper §2.1.2).
+//
+// A DataObject pairs an OID with one value per attribute of its class. The
+// "automatically defined retrieval functions" of the paper (e.g.
+// area(landcover), timestamp(landcover)) are the named Get accessors here,
+// plus typed conveniences for the two extents.
+
+#ifndef GAEA_CATALOG_DATA_OBJECT_H_
+#define GAEA_CATALOG_DATA_OBJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/class_def.h"
+#include "storage/object_store.h"
+#include "types/value.h"
+#include "util/status.h"
+
+namespace gaea {
+
+class DataObject {
+ public:
+  DataObject() = default;
+
+  // Builds an object of `def` with all attributes null.
+  explicit DataObject(const ClassDef& def);
+
+  Oid oid() const { return oid_; }
+  void set_oid(Oid oid) { oid_ = oid; }
+  ClassId class_id() const { return class_id_; }
+
+  // Attribute access by name (the auto-defined retrieval functions).
+  StatusOr<Value> Get(const ClassDef& def, const std::string& attr) const;
+  Status Set(const ClassDef& def, const std::string& attr, Value value);
+
+  // Positional access (values are aligned with def.attributes()).
+  const std::vector<Value>& values() const { return values_; }
+  StatusOr<const Value*> At(size_t index) const;
+
+  // Extent conveniences; kFailedPrecondition when the class lacks the extent.
+  StatusOr<Box> SpatialExtent(const ClassDef& def) const;
+  StatusOr<AbsTime> Timestamp(const ClassDef& def) const;
+
+  // Checks each non-null value against the declared attribute type.
+  Status TypeCheck(const ClassDef& def) const;
+
+  std::string ToString(const ClassDef& def) const;
+
+  void Serialize(BinaryWriter* w) const;
+  static StatusOr<DataObject> Deserialize(BinaryReader* r);
+
+ private:
+  Oid oid_ = kInvalidOid;
+  ClassId class_id_ = kInvalidClassId;
+  std::vector<Value> values_;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_CATALOG_DATA_OBJECT_H_

@@ -1,0 +1,189 @@
+#include "core/compound_process.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace gaea {
+
+Status CompoundProcessDef::AddExternalInput(const std::string& binding,
+                                            const std::string& class_name) {
+  if (!IsIdentifier(binding)) {
+    return Status::InvalidArgument("bad input binding name: '" + binding + "'");
+  }
+  auto [it, inserted] = external_inputs_.emplace(binding, class_name);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("duplicate external input: " + binding);
+  }
+  return Status::OK();
+}
+
+Status CompoundProcessDef::AddStage(CompoundStage stage) {
+  if (!IsIdentifier(stage.name)) {
+    return Status::InvalidArgument("bad stage name: '" + stage.name + "'");
+  }
+  for (const CompoundStage& existing : stages_) {
+    if (existing.name == stage.name) {
+      return Status::AlreadyExists("duplicate stage: " + stage.name);
+    }
+  }
+  stages_.push_back(std::move(stage));
+  return Status::OK();
+}
+
+StatusOr<std::vector<const CompoundStage*>> CompoundProcessDef::Expand(
+    const ClassRegistry& classes, const ProcessRegistry& processes) const {
+  if (stages_.empty()) {
+    return Status::InvalidArgument("compound process " + name_ +
+                                   " has no stages");
+  }
+  std::map<std::string, const CompoundStage*> by_name;
+  for (const CompoundStage& stage : stages_) {
+    by_name[stage.name] = &stage;
+  }
+  if (by_name.count(output_stage_) == 0) {
+    return Status::NotFound("compound process " + name_ + ": output stage " +
+                            output_stage_ + " not defined");
+  }
+
+  // Validate each stage's process and bindings; collect stage->stage edges.
+  std::map<std::string, std::vector<std::string>> dependents;
+  std::map<std::string, int> in_degree;
+  for (const CompoundStage& stage : stages_) in_degree[stage.name] = 0;
+
+  for (const CompoundStage& stage : stages_) {
+    GAEA_ASSIGN_OR_RETURN(const ProcessDef* proc,
+                          processes.Latest(stage.process_name));
+    // Every process argument must be bound exactly once.
+    for (const ProcessArg& arg : proc->args()) {
+      auto it = stage.bindings.find(arg.name);
+      if (it == stage.bindings.end()) {
+        return Status::InvalidArgument(
+            "compound " + name_ + ": stage " + stage.name +
+            " leaves process argument " + arg.name + " unbound");
+      }
+      const StageInput& input = it->second;
+      std::string bound_class;
+      if (input.source == StageInput::Source::kExternal) {
+        auto ext = external_inputs_.find(input.name);
+        if (ext == external_inputs_.end()) {
+          return Status::NotFound("compound " + name_ + ": stage " +
+                                  stage.name + " references unknown input " +
+                                  input.name);
+        }
+        bound_class = ext->second;
+      } else {
+        auto producer = by_name.find(input.name);
+        if (producer == by_name.end()) {
+          return Status::NotFound("compound " + name_ + ": stage " +
+                                  stage.name + " references unknown stage " +
+                                  input.name);
+        }
+        GAEA_ASSIGN_OR_RETURN(const ProcessDef* producer_proc,
+                              processes.Latest(producer->second->process_name));
+        bound_class = producer_proc->output_class();
+        dependents[input.name].push_back(stage.name);
+        in_degree[stage.name]++;
+      }
+      if (bound_class != arg.class_name) {
+        return Status::InvalidArgument(
+            "compound " + name_ + ": stage " + stage.name + " argument " +
+            arg.name + " expects class " + arg.class_name + ", gets " +
+            bound_class);
+      }
+      GAEA_RETURN_IF_ERROR(classes.LookupByName(bound_class).status());
+    }
+    // No extraneous bindings.
+    for (const auto& [arg_name, input] : stage.bindings) {
+      if (!proc->FindArg(arg_name).ok()) {
+        return Status::InvalidArgument("compound " + name_ + ": stage " +
+                                       stage.name + " binds unknown argument " +
+                                       arg_name);
+      }
+    }
+  }
+
+  // Kahn topological sort (deterministic: lexicographic tie-break).
+  std::vector<std::string> ready;
+  for (const auto& [name, deg] : in_degree) {
+    if (deg == 0) ready.push_back(name);
+  }
+  std::sort(ready.begin(), ready.end(), std::greater<>());
+  std::vector<const CompoundStage*> order;
+  while (!ready.empty()) {
+    std::string name = ready.back();
+    ready.pop_back();
+    order.push_back(by_name.at(name));
+    for (const std::string& dep : dependents[name]) {
+      if (--in_degree[dep] == 0) {
+        ready.push_back(dep);
+        std::sort(ready.begin(), ready.end(), std::greater<>());
+      }
+    }
+  }
+  if (order.size() != stages_.size()) {
+    return Status::InvalidArgument("compound process " + name_ +
+                                   " contains a stage cycle");
+  }
+  return order;
+}
+
+std::string CompoundProcessDef::ToDdl() const {
+  std::ostringstream os;
+  os << "DEFINE COMPOUND PROCESS " << name_ << " {\n";
+  for (const auto& [binding, cls] : external_inputs_) {
+    os << "  INPUT " << binding << " : " << cls << ";\n";
+  }
+  for (const CompoundStage& stage : stages_) {
+    os << "  STAGE " << stage.name << " = " << stage.process_name << "(";
+    bool first = true;
+    for (const auto& [arg, input] : stage.bindings) {
+      if (!first) os << ", ";
+      first = false;
+      os << arg << " <- "
+         << (input.source == StageInput::Source::kExternal ? "" : "@")
+         << input.name;
+    }
+    os << ");\n";
+  }
+  os << "  OUTPUT " << output_stage_ << ";\n}";
+  return os.str();
+}
+
+CompoundProcessDef BuildFigure5LandChange(const std::string& classify_process,
+                                          const std::string& change_process,
+                                          const std::string& before_binding,
+                                          const std::string& after_binding) {
+  // Conventional argument names used throughout the Gaea examples: the
+  // classification process takes SETOF `bands`, the change process takes
+  // `before` and `after` label maps.
+  CompoundProcessDef def("land_change_detection", "detect");
+  (void)def.AddExternalInput(before_binding, "landsat_tm_rectified");
+  (void)def.AddExternalInput(after_binding, "landsat_tm_rectified");
+  CompoundStage before;
+  before.name = "classify_before";
+  before.process_name = classify_process;
+  before.bindings["bands"] =
+      StageInput{StageInput::Source::kExternal, before_binding};
+  (void)def.AddStage(std::move(before));
+  CompoundStage after;
+  after.name = "classify_after";
+  after.process_name = classify_process;
+  after.bindings["bands"] =
+      StageInput{StageInput::Source::kExternal, after_binding};
+  (void)def.AddStage(std::move(after));
+  CompoundStage detect;
+  detect.name = "detect";
+  detect.process_name = change_process;
+  detect.bindings["before"] =
+      StageInput{StageInput::Source::kStage, "classify_before"};
+  detect.bindings["after"] =
+      StageInput{StageInput::Source::kStage, "classify_after"};
+  (void)def.AddStage(std::move(detect));
+  return def;
+}
+
+}  // namespace gaea

@@ -1,0 +1,90 @@
+// Compound processes (paper §2.1.4, Figure 5).
+//
+// "A compound process is a network of intercommunicating processes. ...
+// A compound process is merely an abstraction which can be used to simplify
+// a derivation relationship between object classes. Thus a compound process
+// cannot be directly applied, but must be expanded into its primitive
+// processes before actual derivation takes place."
+//
+// A CompoundProcessDef wires named stages (each invoking a primitive
+// process) to the compound's input classes or to other stages' outputs.
+// Expand() validates the wiring against the registries and returns the
+// stages in dependency (execution) order — the expansion the planner feeds
+// into the deriver.
+
+#ifndef GAEA_CORE_COMPOUND_PROCESS_H_
+#define GAEA_CORE_COMPOUND_PROCESS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/class_def.h"
+#include "core/process_registry.h"
+#include "util/status.h"
+
+namespace gaea {
+
+// Where a stage argument's objects come from.
+struct StageInput {
+  enum class Source { kExternal, kStage };
+  Source source = Source::kExternal;
+  // kExternal: name of a compound-level input binding.
+  // kStage: name of the producing stage (its output objects flow in).
+  std::string name;
+};
+
+// One stage: an invocation of a primitive process.
+struct CompoundStage {
+  std::string name;          // stage label, e.g. "classify_before"
+  std::string process_name;  // primitive process to run
+  // Binding for each argument of the process, keyed by argument name.
+  std::map<std::string, StageInput> bindings;
+};
+
+class CompoundProcessDef {
+ public:
+  CompoundProcessDef() = default;
+  CompoundProcessDef(std::string name, std::string output_stage)
+      : name_(std::move(name)), output_stage_(std::move(output_stage)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& output_stage() const { return output_stage_; }
+  void set_output_stage(std::string stage) { output_stage_ = std::move(stage); }
+
+  // Declares an external input binding: objects of `class_name` supplied by
+  // the caller under `binding`.
+  Status AddExternalInput(const std::string& binding,
+                          const std::string& class_name);
+
+  Status AddStage(CompoundStage stage);
+
+  const std::vector<CompoundStage>& stages() const { return stages_; }
+  const std::map<std::string, std::string>& external_inputs() const {
+    return external_inputs_;
+  }
+
+  // Validates wiring and class compatibility, then returns the stages in
+  // execution order ("expanded into its primitive processes").
+  StatusOr<std::vector<const CompoundStage*>> Expand(
+      const ClassRegistry& classes, const ProcessRegistry& processes) const;
+
+  std::string ToDdl() const;
+
+ private:
+  std::string name_;
+  std::string output_stage_;
+  std::map<std::string, std::string> external_inputs_;  // binding -> class
+  std::vector<CompoundStage> stages_;
+};
+
+// Builds the Figure 5 land-change-detection compound process over the given
+// class/process names: two classification stages feeding a change-detection
+// stage.
+CompoundProcessDef BuildFigure5LandChange(
+    const std::string& classify_process, const std::string& change_process,
+    const std::string& before_binding, const std::string& after_binding);
+
+}  // namespace gaea
+
+#endif  // GAEA_CORE_COMPOUND_PROCESS_H_

@@ -1,0 +1,68 @@
+// Derivation executor: fires processes on concrete data objects.
+//
+// For each instantiation the Deriver (1) loads the bound input objects,
+// (2) evaluates the TEMPLATE ASSERTIONS — guard rules that "need to hold
+// before a process can be applied" — failing the task if any is violated,
+// (3) evaluates the MAPPINGS to produce the output object's attributes,
+// (4) stores the output object, and (5) records the Task in the task log.
+// Failed instantiations are recorded too: a derivation attempt is itself
+// experiment history.
+
+#ifndef GAEA_CORE_DERIVER_H_
+#define GAEA_CORE_DERIVER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/planner.h"
+#include "core/process_registry.h"
+#include "core/task.h"
+#include "types/op_registry.h"
+#include "util/status.h"
+
+namespace gaea {
+
+class Deriver {
+ public:
+  Deriver(Catalog* catalog, const ProcessRegistry* processes,
+          const OperatorRegistry* ops, TaskLog* log)
+      : catalog_(catalog), processes_(processes), ops_(ops), log_(log) {}
+
+  // Identity recorded on tasks.
+  void set_user(std::string user) { user_ = std::move(user); }
+  // Logical clock recorded on tasks (deterministic replays need an
+  // injectable clock; the kernel advances it per operation).
+  void set_clock(AbsTime now) { now_ = now; }
+
+  // Fires process `name` (latest version, or `version` > 0) on the given
+  // input OIDs. Returns the OID of the newly stored output object.
+  StatusOr<Oid> Derive(const std::string& name,
+                       const std::map<std::string, std::vector<Oid>>& inputs,
+                       int version = 0);
+
+  // Executes a plan; returns the OIDs produced by each step (the last one
+  // is the target object).
+  StatusOr<std::vector<Oid>> Execute(const DerivationPlan& plan);
+
+  // Re-runs the process/version and inputs of a completed task; returns the
+  // new output OID. Reproducibility check: with deterministic operators the
+  // new object's attributes equal the original's.
+  StatusOr<Oid> Replay(const Task& task);
+
+ private:
+  StatusOr<Oid> DeriveImpl(const ProcessDef& proc,
+                           const std::map<std::string, std::vector<Oid>>& inputs);
+
+  Catalog* catalog_;
+  const ProcessRegistry* processes_;
+  const OperatorRegistry* ops_;
+  TaskLog* log_;
+  std::string user_ = "gaea";
+  AbsTime now_;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_CORE_DERIVER_H_

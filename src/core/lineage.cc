@@ -1,0 +1,182 @@
+#include "core/lineage.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace gaea {
+
+int DerivationNode::Depth() const {
+  int best = 0;
+  for (const auto& input : inputs) {
+    best = std::max(best, 1 + input->Depth());
+  }
+  return task == nullptr ? 0 : best;
+}
+
+int DerivationNode::TaskCount() const {
+  int n = task != nullptr ? 1 : 0;
+  for (const auto& input : inputs) n += input->TaskCount();
+  return n;
+}
+
+std::set<Oid> LineageGraph::Ancestors(Oid oid) const {
+  std::set<Oid> out;
+  std::deque<Oid> frontier{oid};
+  while (!frontier.empty()) {
+    Oid cur = frontier.front();
+    frontier.pop_front();
+    auto producer = log_->Producer(cur);
+    if (!producer.ok()) continue;
+    for (Oid input : (*producer)->AllInputs()) {
+      if (out.insert(input).second) frontier.push_back(input);
+    }
+  }
+  return out;
+}
+
+std::set<Oid> LineageGraph::Descendants(Oid oid) const {
+  std::set<Oid> out;
+  std::deque<Oid> frontier{oid};
+  while (!frontier.empty()) {
+    Oid cur = frontier.front();
+    frontier.pop_front();
+    for (const Task* task : log_->Consumers(cur)) {
+      for (Oid output : task->outputs) {
+        if (out.insert(output).second) frontier.push_back(output);
+      }
+    }
+  }
+  return out;
+}
+
+bool LineageGraph::IsBase(Oid oid) const {
+  return !log_->Producer(oid).ok();
+}
+
+std::set<Oid> LineageGraph::BaseSources(Oid oid) const {
+  std::set<Oid> out;
+  if (IsBase(oid)) {
+    out.insert(oid);
+    return out;
+  }
+  for (Oid ancestor : Ancestors(oid)) {
+    if (IsBase(ancestor)) out.insert(ancestor);
+  }
+  return out;
+}
+
+Status LineageGraph::BuildTree(Oid oid, int depth_budget,
+                               std::unique_ptr<DerivationNode>* out) const {
+  if (depth_budget <= 0) {
+    return Status::Internal(
+        "derivation tree deeper than 10000 levels: cycle in task log?");
+  }
+  auto node = std::make_unique<DerivationNode>();
+  node->oid = oid;
+  auto producer = log_->Producer(oid);
+  if (producer.ok()) {
+    node->task = *producer;
+    for (Oid input : (*producer)->AllInputs()) {
+      std::unique_ptr<DerivationNode> child;
+      GAEA_RETURN_IF_ERROR(BuildTree(input, depth_budget - 1, &child));
+      node->inputs.push_back(std::move(child));
+    }
+  }
+  *out = std::move(node);
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<DerivationNode>> LineageGraph::Tree(Oid oid) const {
+  std::unique_ptr<DerivationNode> root;
+  GAEA_RETURN_IF_ERROR(BuildTree(oid, 10000, &root));
+  return root;
+}
+
+StatusOr<std::vector<std::string>> LineageGraph::ProcessChain(Oid oid) const {
+  std::vector<std::string> chain;
+  Oid cur = oid;
+  for (int guard = 0; guard < 10000; ++guard) {
+    auto producer = log_->Producer(cur);
+    if (!producer.ok()) return chain;
+    const Task* task = *producer;
+    chain.push_back(task->process_name + ":v" +
+                    std::to_string(task->process_version));
+    // Follow the deepest input path.
+    std::vector<Oid> ins = task->AllInputs();
+    if (ins.empty()) return chain;
+    Oid deepest = ins[0];
+    int best_depth = -1;
+    for (Oid input : ins) {
+      GAEA_ASSIGN_OR_RETURN(std::unique_ptr<DerivationNode> t, Tree(input));
+      int d = t->Depth();
+      if (d > best_depth) {
+        best_depth = d;
+        deepest = input;
+      }
+    }
+    cur = deepest;
+  }
+  return Status::Internal("process chain longer than 10000: cycle?");
+}
+
+StatusOr<DerivationComparison> LineageGraph::Compare(Oid a, Oid b) const {
+  DerivationComparison cmp;
+  GAEA_ASSIGN_OR_RETURN(cmp.chain_a, ProcessChain(a));
+  GAEA_ASSIGN_OR_RETURN(cmp.chain_b, ProcessChain(b));
+  if (cmp.chain_a == cmp.chain_b) {
+    cmp.same_procedure = true;
+    cmp.explanation = cmp.chain_a.empty()
+                          ? "both objects are base data"
+                          : "identical derivation chains (" +
+                                cmp.chain_a.front() + ", depth " +
+                                std::to_string(cmp.chain_a.size()) + ")";
+    return cmp;
+  }
+  cmp.same_procedure = false;
+  size_t n = std::min(cmp.chain_a.size(), cmp.chain_b.size());
+  size_t i = 0;
+  while (i < n && cmp.chain_a[i] == cmp.chain_b[i]) ++i;
+  std::ostringstream os;
+  if (i < cmp.chain_a.size() && i < cmp.chain_b.size()) {
+    os << "derivations diverge at step " << i + 1 << ": " << cmp.chain_a[i]
+       << " vs " << cmp.chain_b[i];
+  } else {
+    os << "derivation depths differ: " << cmp.chain_a.size() << " vs "
+       << cmp.chain_b.size() << " steps";
+  }
+  cmp.explanation = os.str();
+  return cmp;
+}
+
+StatusOr<std::string> LineageGraph::ToDot(Oid oid) const {
+  GAEA_ASSIGN_OR_RETURN(std::unique_ptr<DerivationNode> root, Tree(oid));
+  std::ostringstream os;
+  os << "digraph lineage {\n  rankdir=BT;\n";
+  std::set<Oid> object_nodes;
+  std::set<TaskId> task_nodes;
+  // Iterative walk to emit nodes/edges once each.
+  std::deque<const DerivationNode*> frontier{root.get()};
+  while (!frontier.empty()) {
+    const DerivationNode* node = frontier.front();
+    frontier.pop_front();
+    if (object_nodes.insert(node->oid).second) {
+      os << "  o" << node->oid << " [shape=ellipse,label=\"obj " << node->oid
+         << (node->task == nullptr ? " (base)" : "") << "\"];\n";
+    }
+    if (node->task != nullptr && task_nodes.insert(node->task->id).second) {
+      os << "  t" << node->task->id << " [shape=box,label=\""
+         << node->task->process_name << " v" << node->task->process_version
+         << "\"];\n";
+      os << "  t" << node->task->id << " -> o" << node->oid << ";\n";
+      for (const auto& input : node->inputs) {
+        os << "  o" << input->oid << " -> t" << node->task->id << ";\n";
+      }
+    }
+    for (const auto& input : node->inputs) frontier.push_back(input.get());
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace gaea

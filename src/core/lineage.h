@@ -1,0 +1,88 @@
+// Lineage (derivation-history) queries over the task log.
+//
+// The paper's derivation diagrams "can be used to 1) browse data following
+// their derivation relationships, 2) compare derivation procedures and
+// their resulting data classes, and 3) derive data not stored in the
+// database." This module implements (1) and (2) at the data-object level:
+// ancestor/descendant traversal, full derivation trees, procedure
+// comparison (the §1 scenario: NDVI change by subtraction vs division),
+// and Graphviz rendering of derivation histories.
+
+#ifndef GAEA_CORE_LINEAGE_H_
+#define GAEA_CORE_LINEAGE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/process_registry.h"
+#include "core/task.h"
+#include "util/status.h"
+
+namespace gaea {
+
+// One node of a derivation tree: the object plus (for derived objects) the
+// producing task and the subtrees of its inputs.
+struct DerivationNode {
+  Oid oid = kInvalidOid;
+  const Task* task = nullptr;  // null for base data
+  std::vector<std::unique_ptr<DerivationNode>> inputs;
+
+  // Depth of the derivation chain below this node (0 for base data).
+  int Depth() const;
+  // Total number of tasks in the tree.
+  int TaskCount() const;
+};
+
+// Result of comparing two objects' derivation procedures.
+struct DerivationComparison {
+  bool same_procedure = false;  // identical process-version chains
+  // Human-readable explanation of the first divergence (or sameness).
+  std::string explanation;
+  // Per-object linearized process chains "name:vN" (root first).
+  std::vector<std::string> chain_a;
+  std::vector<std::string> chain_b;
+};
+
+class LineageGraph {
+ public:
+  explicit LineageGraph(const TaskLog* log) : log_(log) {}
+
+  // All transitive input objects of `oid` (excluding itself).
+  std::set<Oid> Ancestors(Oid oid) const;
+
+  // All objects transitively derived from `oid` (excluding itself).
+  std::set<Oid> Descendants(Oid oid) const;
+
+  // True when `oid` has no producing task.
+  bool IsBase(Oid oid) const;
+
+  // The base objects the derivation of `oid` ultimately rests on.
+  std::set<Oid> BaseSources(Oid oid) const;
+
+  // Full derivation tree of `oid`.
+  StatusOr<std::unique_ptr<DerivationNode>> Tree(Oid oid) const;
+
+  // The chain of (process name, version) labels from `oid` back to base
+  // data, one entry per task along the deepest path, nearest first.
+  StatusOr<std::vector<std::string>> ProcessChain(Oid oid) const;
+
+  // Compares how two objects were derived: same chain of process versions
+  // or not, with an explanation. The resolution of the paper's two-
+  // scientists scenario.
+  StatusOr<DerivationComparison> Compare(Oid a, Oid b) const;
+
+  // Graphviz dot rendering of the derivation tree of `oid`.
+  StatusOr<std::string> ToDot(Oid oid) const;
+
+ private:
+  Status BuildTree(Oid oid, int depth_budget,
+                   std::unique_ptr<DerivationNode>* out) const;
+
+  const TaskLog* log_;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_CORE_LINEAGE_H_

@@ -1,0 +1,214 @@
+#include "core/petri.h"
+
+#include <sstream>
+
+namespace gaea {
+
+StatusOr<DerivationNet> DerivationNet::Build(
+    const ClassRegistry& classes, const ProcessRegistry& processes) {
+  DerivationNet net;
+  for (const ClassDef* def : classes.List()) {
+    net.places_.insert(def->id());
+  }
+  for (const ProcessDef* proc : processes.ListLatest()) {
+    Transition t;
+    t.process_name = proc->name();
+    t.process_version = proc->version();
+    GAEA_ASSIGN_OR_RETURN(const ClassDef* out_class,
+                          classes.LookupByName(proc->output_class()));
+    t.output = out_class->id();
+    // Accumulate thresholds per input class across arguments.
+    std::map<ClassId, int> thresholds;
+    for (const ProcessArg& arg : proc->args()) {
+      GAEA_ASSIGN_OR_RETURN(const ClassDef* arg_class,
+                            classes.LookupByName(arg.class_name));
+      thresholds[arg_class->id()] += arg.min_card;
+    }
+    for (const auto& [class_id, threshold] : thresholds) {
+      t.inputs.emplace_back(class_id, threshold);
+    }
+    net.producers_[t.output].push_back(net.transitions_.size());
+    net.transitions_.push_back(std::move(t));
+  }
+  for (ClassId place : net.places_) {
+    if (net.producers_.count(place) == 0) net.base_places_.insert(place);
+  }
+  return net;
+}
+
+std::vector<const DerivationNet::Transition*> DerivationNet::Producers(
+    ClassId class_id) const {
+  std::vector<const Transition*> out;
+  auto it = producers_.find(class_id);
+  if (it == producers_.end()) return out;
+  out.reserve(it->second.size());
+  for (size_t idx : it->second) out.push_back(&transitions_[idx]);
+  return out;
+}
+
+bool DerivationNet::Enabled(const Transition& t, const Marking& marking) {
+  for (const auto& [class_id, threshold] : t.inputs) {
+    auto it = marking.find(class_id);
+    int64_t tokens = it == marking.end() ? 0 : it->second;
+    if (tokens < threshold) return false;
+  }
+  return true;
+}
+
+void DerivationNet::Fire(const Transition& t, Marking* marking) {
+  (*marking)[t.output] += 1;
+}
+
+std::set<ClassId> DerivationNet::ReachableClasses(
+    const Marking& initial) const {
+  // Non-consuming firing makes markings monotone: once a transition is
+  // enabled it stays enabled, so a fixpoint suffices. A place is saturated
+  // once it holds the largest threshold any consumer demands of it (a
+  // repeatedly-firing producer can always raise it that far), so firing
+  // beyond that bound cannot enable anything new.
+  std::map<ClassId, int64_t> need;
+  for (const Transition& t : transitions_) {
+    for (const auto& [class_id, threshold] : t.inputs) {
+      int64_t& n = need[class_id];
+      n = std::max<int64_t>(n, threshold);
+    }
+  }
+  Marking marking = initial;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Transition& t : transitions_) {
+      auto it = marking.find(t.output);
+      int64_t tokens = it == marking.end() ? 0 : it->second;
+      auto need_it = need.find(t.output);
+      int64_t target = std::max<int64_t>(
+          1, need_it == need.end() ? 0 : need_it->second);
+      if (tokens < target && Enabled(t, marking)) {
+        Fire(t, &marking);
+        changed = true;
+      }
+    }
+  }
+  std::set<ClassId> out;
+  for (const auto& [class_id, tokens] : marking) {
+    if (tokens > 0) out.insert(class_id);
+  }
+  return out;
+}
+
+bool DerivationNet::CanDerive(ClassId target, const Marking& initial) const {
+  return ReachableClasses(initial).count(target) > 0;
+}
+
+StatusOr<std::vector<const DerivationNet::Transition*>>
+DerivationNet::PlanImpl(ClassId target, int needed, Marking* marking,
+                        std::set<ClassId>* stack) const {
+  int64_t have = 0;
+  if (auto it = marking->find(target); it != marking->end()) {
+    have = it->second;
+  }
+  if (have >= needed) return std::vector<const Transition*>{};
+  if (stack->count(target) > 0) {
+    return Status::Underivable("cyclic derivation of class " +
+                               std::to_string(target));
+  }
+  if (places_.count(target) == 0) {
+    return Status::NotFound("class " + std::to_string(target) +
+                            " is not a place in the derivation net");
+  }
+  int64_t missing = needed - have;
+  stack->insert(target);
+  auto producers_it = producers_.find(target);
+  Status last_error = Status::Underivable(
+      "class " + std::to_string(target) + " has no producing process and " +
+      std::to_string(have) + " of " + std::to_string(needed) +
+      " required objects");
+  if (producers_it != producers_.end()) {
+    for (size_t idx : producers_it->second) {
+      const Transition& t = transitions_[idx];
+      // Work on copies so a failed branch does not pollute the plan state.
+      Marking trial = *marking;
+      std::vector<const Transition*> steps;
+      bool ok = true;
+      for (const auto& [class_id, threshold] : t.inputs) {
+        auto sub = PlanImpl(class_id, threshold, &trial, stack);
+        if (!sub.ok()) {
+          ok = false;
+          last_error = sub.status();
+          break;
+        }
+        steps.insert(steps.end(), sub->begin(), sub->end());
+      }
+      if (!ok) continue;
+      // Inputs satisfied once; non-consumption lets the transition fire as
+      // many times as tokens are missing.
+      for (int64_t i = 0; i < missing; ++i) {
+        Fire(t, &trial);
+        steps.push_back(&t);
+      }
+      *marking = std::move(trial);
+      stack->erase(target);
+      return steps;
+    }
+  }
+  stack->erase(target);
+  return last_error;
+}
+
+StatusOr<std::vector<const DerivationNet::Transition*>>
+DerivationNet::PlanFiringSequence(ClassId target, int needed,
+                                  Marking marking) const {
+  if (needed < 1) {
+    return Status::InvalidArgument("needed token count must be >= 1");
+  }
+  std::set<ClassId> stack;
+  return PlanImpl(target, needed, &marking, &stack);
+}
+
+StatusOr<DerivationNet::Marking> DerivationNet::RequiredInitialMarking(
+    ClassId target) const {
+  // Plan against a marking where every base place has unbounded tokens,
+  // then count how many each planned firing actually draws.
+  Marking unlimited;
+  constexpr int64_t kPlenty = 1 << 20;
+  for (ClassId base : base_places_) unlimited[base] = kPlenty;
+  GAEA_ASSIGN_OR_RETURN(std::vector<const Transition*> plan,
+                        PlanFiringSequence(target, 1, unlimited));
+  Marking required;
+  for (const Transition* t : plan) {
+    for (const auto& [class_id, threshold] : t->inputs) {
+      if (base_places_.count(class_id) > 0) {
+        // The firing needs `threshold` base tokens available; requirements
+        // are max, not sum, because tokens are reusable (non-consuming).
+        int64_t& req = required[class_id];
+        req = std::max<int64_t>(req, threshold);
+      }
+    }
+  }
+  return required;
+}
+
+std::string DerivationNet::ToDot(const ClassRegistry& classes) const {
+  std::ostringstream os;
+  os << "digraph derivation_net {\n  rankdir=LR;\n";
+  for (ClassId place : places_) {
+    auto def = classes.LookupById(place);
+    std::string label = def.ok() ? (*def)->name() : std::to_string(place);
+    os << "  c" << place << " [shape=circle,label=\"" << label << "\"];\n";
+  }
+  for (size_t i = 0; i < transitions_.size(); ++i) {
+    const Transition& t = transitions_[i];
+    os << "  p" << i << " [shape=box,style=filled,label=\"" << t.process_name
+       << "\"];\n";
+    for (const auto& [class_id, threshold] : t.inputs) {
+      os << "  c" << class_id << " -> p" << i;
+      if (threshold > 1) os << " [label=\">=" << threshold << "\"]";
+      os << ";\n";
+    }
+    os << "  p" << i << " -> c" << t.output << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace gaea

@@ -1,0 +1,102 @@
+// Petri-net model of class derivation (paper §2.1.6).
+//
+// "Every non-primitive class ... corresponds to a place in a PN, and every
+// process corresponds to a transition. Tokens in every place represent the
+// data objects needed for the instantiation of a process." With the paper's
+// three modifications:
+//   1. tokens are NOT consumed when a transition fires (data objects are
+//      permanent and reusable);
+//   2. the input arc count is a minimum threshold — more tokens than the
+//      threshold may be used (PCA needs >= 2 images);
+//   3. transitions carry guard assertions over the tokens; the abstract net
+//      tracks token *counts* and leaves guard evaluation to the object-level
+//      planner, which binds concrete objects.
+//
+// Because firing never removes tokens, markings grow monotonically; class
+// reachability is therefore a fixpoint closure rather than a general
+// marking-space search, and the backward query "given a final marking, find
+// the initial marking which can lead to it" is answered by backward
+// chaining over producers.
+
+#ifndef GAEA_CORE_PETRI_H_
+#define GAEA_CORE_PETRI_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/class_def.h"
+#include "core/process_registry.h"
+#include "util/status.h"
+
+namespace gaea {
+
+class DerivationNet {
+ public:
+  // A transition: one (latest-version) process.
+  struct Transition {
+    std::string process_name;
+    int process_version = 1;
+    // Input places with firing thresholds (min_card per argument; the same
+    // class may appear in several arguments — thresholds accumulate).
+    std::vector<std::pair<ClassId, int>> inputs;
+    ClassId output = kInvalidClassId;
+  };
+
+  // Token counts per place. Absent place = zero tokens.
+  using Marking = std::map<ClassId, int64_t>;
+
+  // Builds the net from every class (place) and the latest version of every
+  // process (transition).
+  static StatusOr<DerivationNet> Build(const ClassRegistry& classes,
+                                       const ProcessRegistry& processes);
+
+  const std::vector<Transition>& transitions() const { return transitions_; }
+  const std::set<ClassId>& places() const { return places_; }
+
+  // Transitions whose output place is `class_id`.
+  std::vector<const Transition*> Producers(ClassId class_id) const;
+
+  // Threshold check: every input place holds at least its threshold.
+  static bool Enabled(const Transition& t, const Marking& marking);
+
+  // Fires `t` (non-consuming): adds one token to the output place.
+  static void Fire(const Transition& t, Marking* marking);
+
+  // Forward closure: all places that hold or can come to hold >= 1 token.
+  std::set<ClassId> ReachableClasses(const Marking& initial) const;
+
+  // Can at least one object of `target` be derived (or is one present)?
+  bool CanDerive(ClassId target, const Marking& initial) const;
+
+  // Backward chaining: an ordered firing sequence that raises `target` to
+  // `needed` tokens starting from `marking`. Producers are tried in
+  // registration order; transitions already "in progress" up the recursion
+  // are skipped, which terminates self-derivations such as interpolation
+  // (C -> C). Returns kUnderivable when no sequence exists.
+  StatusOr<std::vector<const Transition*>> PlanFiringSequence(
+      ClassId target, int needed, Marking marking) const;
+
+  // The paper's backward query: the initial base-class marking that leads
+  // to one token in `target`, assuming unlimited base data availability.
+  // Returns the per-base-class token requirement of the chosen derivation.
+  StatusOr<Marking> RequiredInitialMarking(ClassId target) const;
+
+  // Graphviz rendering of the net (places as circles, transitions as bars).
+  std::string ToDot(const ClassRegistry& classes) const;
+
+ private:
+  StatusOr<std::vector<const Transition*>> PlanImpl(
+      ClassId target, int needed, Marking* marking,
+      std::set<ClassId>* stack) const;
+
+  std::set<ClassId> places_;
+  std::set<ClassId> base_places_;  // classes with no producing transition
+  std::vector<Transition> transitions_;
+  std::map<ClassId, std::vector<size_t>> producers_;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_CORE_PETRI_H_

@@ -1,0 +1,99 @@
+// Object-level derivation planning: the paper's recursive mechanism
+// (§2.1.5/§2.1.6):
+//
+//   1. attempt to retrieve the data from the target class; if it exists,
+//      return;
+//   2. else back-propagate the requirements through the derivation net and
+//      apply this procedure to the input classes of the derivation process;
+//      if input data are available, fire the process; otherwise repeat;
+//   3. recursion ends at base classes — either the needed data are found
+//      (an initial marking) or the request is underivable.
+//
+// The planner works against the catalog's concrete objects, constrained by
+// a spatio-temporal window, and produces an ordered list of steps for the
+// Deriver. Outputs of earlier steps can feed later steps (before their OIDs
+// exist) via step references.
+
+#ifndef GAEA_CORE_PLANNER_H_
+#define GAEA_CORE_PLANNER_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/process_registry.h"
+#include "spatial/abstime.h"
+#include "spatial/box.h"
+#include "util/status.h"
+
+namespace gaea {
+
+// Spatio-temporal constraint on acceptable objects. Empty fields match all.
+struct Window {
+  std::optional<Box> region;          // object extent must overlap
+  std::optional<TimeInterval> time;   // object timestamp must lie within
+
+  bool Unconstrained() const { return !region.has_value() && !time.has_value(); }
+  std::string ToString() const;
+};
+
+// One input bound to a plan step: either an existing stored object or the
+// output of an earlier step in the same plan.
+struct BoundInput {
+  enum class Kind { kStored, kStep };
+  Kind kind = Kind::kStored;
+  Oid oid = kInvalidOid;   // kStored
+  size_t step_index = 0;   // kStep
+
+  static BoundInput Stored(Oid oid) {
+    return BoundInput{Kind::kStored, oid, 0};
+  }
+  static BoundInput FromStep(size_t index) {
+    return BoundInput{Kind::kStep, kInvalidOid, index};
+  }
+};
+
+// One process instantiation in a plan.
+struct PlanStep {
+  std::string process_name;
+  int process_version = 1;
+  std::map<std::string, std::vector<BoundInput>> bindings;
+};
+
+// An executable derivation plan; the last step produces the target object.
+struct DerivationPlan {
+  std::vector<PlanStep> steps;
+  std::string ToString() const;
+};
+
+class Planner {
+ public:
+  Planner(const Catalog* catalog, const ProcessRegistry* processes)
+      : catalog_(catalog), processes_(processes) {}
+
+  // Objects of `class_id` matching `window`, ascending OID.
+  StatusOr<std::vector<Oid>> MatchingObjects(ClassId class_id,
+                                             const Window& window) const;
+
+  // Plans the derivation of one object of `target` within `window`.
+  // kUnderivable when no chain of processes reaches available data.
+  StatusOr<DerivationPlan> Plan(ClassId target, const Window& window) const;
+
+ private:
+  // Recursive: ensures `count` inputs of `class_id` are available, either
+  // stored or produced by appended steps. Returns the bound inputs.
+  StatusOr<std::vector<BoundInput>> Satisfy(ClassId class_id, int count,
+                                            const Window& window,
+                                            std::vector<PlanStep>* steps,
+                                            std::set<ClassId>* stack) const;
+
+  const Catalog* catalog_;
+  const ProcessRegistry* processes_;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_CORE_PLANNER_H_

@@ -1,0 +1,253 @@
+#include "core/process.h"
+
+#include <set>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace gaea {
+
+Status ProcessDef::AddArg(ProcessArg arg) {
+  if (!IsIdentifier(arg.name)) {
+    return Status::InvalidArgument("bad argument name: '" + arg.name + "'");
+  }
+  for (const ProcessArg& existing : args_) {
+    if (existing.name == arg.name) {
+      return Status::AlreadyExists("duplicate argument: " + arg.name);
+    }
+  }
+  if (arg.min_card < 1) {
+    return Status::InvalidArgument("argument " + arg.name +
+                                   " needs min_card >= 1");
+  }
+  if (!arg.setof && arg.min_card != 1) {
+    return Status::InvalidArgument("scalar argument " + arg.name +
+                                   " must have min_card 1");
+  }
+  args_.push_back(std::move(arg));
+  return Status::OK();
+}
+
+Status ProcessDef::AddParam(const std::string& name, Value value) {
+  if (!IsIdentifier(name)) {
+    return Status::InvalidArgument("bad parameter name: '" + name + "'");
+  }
+  auto [it, inserted] = params_.emplace(name, std::move(value));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("duplicate parameter: " + name);
+  }
+  return Status::OK();
+}
+
+Status ProcessDef::AddAssertion(ExprPtr expr) {
+  if (expr == nullptr) {
+    return Status::InvalidArgument("null assertion expression");
+  }
+  assertions_.push_back(std::move(expr));
+  return Status::OK();
+}
+
+Status ProcessDef::AddMapping(const std::string& attr, ExprPtr expr) {
+  if (expr == nullptr) {
+    return Status::InvalidArgument("null mapping expression");
+  }
+  for (const ProcessMapping& m : mappings_) {
+    if (m.attr == attr) {
+      return Status::AlreadyExists("duplicate mapping for attribute " + attr);
+    }
+  }
+  mappings_.push_back(ProcessMapping{attr, std::move(expr)});
+  return Status::OK();
+}
+
+StatusOr<const ProcessArg*> ProcessDef::FindArg(const std::string& name) const {
+  for (const ProcessArg& arg : args_) {
+    if (arg.name == name) return &arg;
+  }
+  return Status::NotFound("process " + name_ + " has no argument " + name);
+}
+
+Status ProcessDef::Validate(const ClassRegistry& classes,
+                            const OperatorRegistry& ops) const {
+  if (!IsIdentifier(name_)) {
+    return Status::InvalidArgument("bad process name: '" + name_ + "'");
+  }
+  if (args_.empty()) {
+    return Status::InvalidArgument("process " + name_ + " has no arguments");
+  }
+  GAEA_ASSIGN_OR_RETURN(const ClassDef* out_class,
+                        classes.LookupByName(output_class_));
+
+  TypeContext ctx;
+  ctx.ops = &ops;
+  ctx.params = &params_;
+  for (const ProcessArg& arg : args_) {
+    GAEA_ASSIGN_OR_RETURN(const ClassDef* arg_class,
+                          classes.LookupByName(arg.class_name));
+    ctx.args[arg.name] = ArgSchema{arg_class, arg.setof};
+  }
+
+  for (const ExprPtr& assertion : assertions_) {
+    GAEA_ASSIGN_OR_RETURN(TypeId t, assertion->TypeCheck(ctx));
+    if (t != TypeId::kBool) {
+      return Status::InvalidArgument(
+          "assertion '" + assertion->ToString() + "' has type " +
+          TypeIdName(t) + ", must be bool");
+    }
+  }
+
+  std::set<std::string> mapped;
+  for (const ProcessMapping& m : mappings_) {
+    GAEA_ASSIGN_OR_RETURN(const AttributeDef* attr,
+                          out_class->FindAttribute(m.attr));
+    GAEA_ASSIGN_OR_RETURN(TypeId t, m.expr->TypeCheck(ctx));
+    if (t != attr->type &&
+        !(attr->type == TypeId::kDouble && t == TypeId::kInt)) {
+      return Status::InvalidArgument(
+          "mapping " + output_class_ + "." + m.attr + " = " +
+          m.expr->ToString() + " has type " + TypeIdName(t) + ", attribute is " +
+          TypeIdName(attr->type));
+    }
+    mapped.insert(m.attr);
+  }
+  for (const AttributeDef& attr : out_class->attributes()) {
+    if (mapped.count(attr.name) == 0) {
+      return Status::InvalidArgument("process " + name_ +
+                                     ": no mapping for output attribute " +
+                                     output_class_ + "." + attr.name);
+    }
+  }
+  return Status::OK();
+}
+
+bool ProcessDef::StructurallyEquals(const ProcessDef& other) const {
+  if (output_class_ != other.output_class_) return false;
+  if (args_.size() != other.args_.size() ||
+      params_.size() != other.params_.size() ||
+      assertions_.size() != other.assertions_.size() ||
+      mappings_.size() != other.mappings_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < args_.size(); ++i) {
+    const ProcessArg& a = args_[i];
+    const ProcessArg& b = other.args_[i];
+    if (a.name != b.name || a.class_name != b.class_name ||
+        a.setof != b.setof || a.min_card != b.min_card) {
+      return false;
+    }
+  }
+  for (const auto& [name, value] : params_) {
+    auto it = other.params_.find(name);
+    if (it == other.params_.end() || !(it->second == value)) return false;
+  }
+  for (size_t i = 0; i < assertions_.size(); ++i) {
+    if (!assertions_[i]->StructurallyEquals(*other.assertions_[i])) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < mappings_.size(); ++i) {
+    if (mappings_[i].attr != other.mappings_[i].attr ||
+        !mappings_[i].expr->StructurallyEquals(*other.mappings_[i].expr)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ProcessDef::ToDdl() const {
+  std::ostringstream os;
+  os << "DEFINE PROCESS " << name_ << "  // version " << version_ << "\n";
+  os << "OUTPUT " << output_class_ << "\n";
+  os << "ARGUMENT (";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) os << ", ";
+    const ProcessArg& arg = args_[i];
+    if (arg.setof) os << "SETOF ";
+    os << arg.class_name << " " << arg.name;
+    if (arg.min_card > 1) os << " MIN " << arg.min_card;
+  }
+  os << ")\n";
+  if (!params_.empty()) {
+    os << "PARAMETERS {\n";
+    for (const auto& [name, value] : params_) {
+      os << "  " << name << " = " << value.ToString() << ";\n";
+    }
+    os << "}\n";
+  }
+  os << "TEMPLATE {\n  ASSERTIONS:\n";
+  for (const ExprPtr& a : assertions_) {
+    os << "    " << a->ToString() << ";\n";
+  }
+  os << "  MAPPINGS:\n";
+  for (const ProcessMapping& m : mappings_) {
+    os << "    " << output_class_ << "." << m.attr << " = "
+       << m.expr->ToString() << ";\n";
+  }
+  os << "}";
+  return os.str();
+}
+
+void ProcessDef::Serialize(BinaryWriter* w) const {
+  w->PutString(name_);
+  w->PutI32(version_);
+  w->PutString(output_class_);
+  w->PutString(doc_);
+  w->PutU32(static_cast<uint32_t>(args_.size()));
+  for (const ProcessArg& arg : args_) {
+    w->PutString(arg.name);
+    w->PutString(arg.class_name);
+    w->PutBool(arg.setof);
+    w->PutI32(arg.min_card);
+  }
+  w->PutU32(static_cast<uint32_t>(params_.size()));
+  for (const auto& [name, value] : params_) {
+    w->PutString(name);
+    value.Serialize(w);
+  }
+  w->PutU32(static_cast<uint32_t>(assertions_.size()));
+  for (const ExprPtr& a : assertions_) a->Serialize(w);
+  w->PutU32(static_cast<uint32_t>(mappings_.size()));
+  for (const ProcessMapping& m : mappings_) {
+    w->PutString(m.attr);
+    m.expr->Serialize(w);
+  }
+}
+
+StatusOr<ProcessDef> ProcessDef::Deserialize(BinaryReader* r) {
+  ProcessDef def;
+  GAEA_ASSIGN_OR_RETURN(def.name_, r->GetString());
+  GAEA_ASSIGN_OR_RETURN(def.version_, r->GetI32());
+  GAEA_ASSIGN_OR_RETURN(def.output_class_, r->GetString());
+  GAEA_ASSIGN_OR_RETURN(def.doc_, r->GetString());
+  GAEA_ASSIGN_OR_RETURN(uint32_t nargs, r->GetU32());
+  for (uint32_t i = 0; i < nargs; ++i) {
+    ProcessArg arg;
+    GAEA_ASSIGN_OR_RETURN(arg.name, r->GetString());
+    GAEA_ASSIGN_OR_RETURN(arg.class_name, r->GetString());
+    GAEA_ASSIGN_OR_RETURN(arg.setof, r->GetBool());
+    GAEA_ASSIGN_OR_RETURN(arg.min_card, r->GetI32());
+    def.args_.push_back(std::move(arg));
+  }
+  GAEA_ASSIGN_OR_RETURN(uint32_t nparams, r->GetU32());
+  for (uint32_t i = 0; i < nparams; ++i) {
+    GAEA_ASSIGN_OR_RETURN(std::string name, r->GetString());
+    GAEA_ASSIGN_OR_RETURN(Value value, Value::Deserialize(r));
+    def.params_.emplace(std::move(name), std::move(value));
+  }
+  GAEA_ASSIGN_OR_RETURN(uint32_t nasserts, r->GetU32());
+  for (uint32_t i = 0; i < nasserts; ++i) {
+    GAEA_ASSIGN_OR_RETURN(ExprPtr e, Expr::Deserialize(r));
+    def.assertions_.push_back(std::move(e));
+  }
+  GAEA_ASSIGN_OR_RETURN(uint32_t nmaps, r->GetU32());
+  for (uint32_t i = 0; i < nmaps; ++i) {
+    ProcessMapping m;
+    GAEA_ASSIGN_OR_RETURN(m.attr, r->GetString());
+    GAEA_ASSIGN_OR_RETURN(m.expr, Expr::Deserialize(r));
+    def.mappings_.push_back(std::move(m));
+  }
+  return def;
+}
+
+}  // namespace gaea

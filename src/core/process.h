@@ -1,0 +1,107 @@
+// Process definitions (paper §2.1.2, Figure 3).
+//
+// "A process defines a mapping between a set of input object classes and an
+// output object class. ... object classes which do not represent base data
+// are solely defined by their derivation process."
+//
+// A ProcessDef carries:
+//   * name + version — editing a process always creates a new version; "in
+//     no case is the old process overwritten";
+//   * the output class and the ARGUMENT list (each argument binds a class,
+//     optionally SETOF with a minimum cardinality — the Petri-net firing
+//     threshold of §2.1.6);
+//   * named parameters — "the same derivation method with different
+//     parameters represents different processes";
+//   * the TEMPLATE: ASSERTIONS (guards) and MAPPINGS (attribute transfer
+//     functions), both as expression trees.
+
+#ifndef GAEA_CORE_PROCESS_H_
+#define GAEA_CORE_PROCESS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/class_def.h"
+#include "core/expr.h"
+#include "types/op_registry.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace gaea {
+
+// One ARGUMENT of a process.
+struct ProcessArg {
+  std::string name;        // binding name used in the template ("bands")
+  std::string class_name;  // input class
+  bool setof = false;
+  // Minimum number of objects needed (Petri-net transition threshold):
+  // "the number of inputs to a transition denotes the minimum number of
+  // tokens needed to enable the transition". Scalar args have min_card 1.
+  int min_card = 1;
+};
+
+// One MAPPING: output attribute := expression.
+struct ProcessMapping {
+  std::string attr;
+  ExprPtr expr;
+};
+
+class ProcessDef {
+ public:
+  ProcessDef() = default;
+  ProcessDef(std::string name, std::string output_class)
+      : name_(std::move(name)), output_class_(std::move(output_class)) {}
+
+  const std::string& name() const { return name_; }
+  int version() const { return version_; }
+  void set_version(int v) { version_ = v; }
+  const std::string& output_class() const { return output_class_; }
+  const std::string& doc() const { return doc_; }
+  void set_doc(std::string doc) { doc_ = std::move(doc); }
+
+  Status AddArg(ProcessArg arg);
+  Status AddParam(const std::string& name, Value value);
+  Status AddAssertion(ExprPtr expr);
+  Status AddMapping(const std::string& attr, ExprPtr expr);
+
+  const std::vector<ProcessArg>& args() const { return args_; }
+  const std::map<std::string, Value>& params() const { return params_; }
+  const std::vector<ExprPtr>& assertions() const { return assertions_; }
+  const std::vector<ProcessMapping>& mappings() const { return mappings_; }
+
+  StatusOr<const ProcessArg*> FindArg(const std::string& name) const;
+
+  // Full validation against the catalog: argument and output classes exist,
+  // every mapping targets a declared output attribute with a matching type,
+  // every assertion type-checks to bool, and every output attribute is
+  // covered by exactly one mapping.
+  Status Validate(const ClassRegistry& classes,
+                  const OperatorRegistry& ops) const;
+
+  // Two processes are the same derivation procedure iff their structure
+  // (args, params, assertions, mappings) is identical. Different parameters
+  // => different processes (paper §2.1.2), which this comparison captures
+  // since parameters are part of the structure.
+  bool StructurallyEquals(const ProcessDef& other) const;
+
+  // DDL-like rendering (Figure 3 shape).
+  std::string ToDdl() const;
+
+  void Serialize(BinaryWriter* w) const;
+  static StatusOr<ProcessDef> Deserialize(BinaryReader* r);
+
+ private:
+  std::string name_;
+  int version_ = 1;
+  std::string output_class_;
+  std::string doc_;
+  std::vector<ProcessArg> args_;
+  std::map<std::string, Value> params_;
+  std::vector<ExprPtr> assertions_;
+  std::vector<ProcessMapping> mappings_;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_CORE_PROCESS_H_

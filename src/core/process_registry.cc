@@ -1,0 +1,79 @@
+#include "core/process_registry.h"
+
+namespace gaea {
+
+StatusOr<int> ProcessRegistry::Register(ProcessDef def) {
+  std::vector<ProcessDef>& versions = processes_[def.name()];
+  int next_version = static_cast<int>(versions.size()) + 1;
+  if (!versions.empty() && versions.back().StructurallyEquals(def)) {
+    // Remove the empty slot if we just created the name.
+    return Status::AlreadyExists(
+        "process " + def.name() + " v" +
+        std::to_string(versions.back().version()) +
+        " already has this exact structure");
+  }
+  def.set_version(next_version);
+  versions.push_back(std::move(def));
+  return next_version;
+}
+
+StatusOr<const ProcessDef*> ProcessRegistry::Latest(
+    const std::string& name) const {
+  auto it = processes_.find(name);
+  if (it == processes_.end() || it->second.empty()) {
+    return Status::NotFound("process not defined: " + name);
+  }
+  return &it->second.back();
+}
+
+StatusOr<const ProcessDef*> ProcessRegistry::Version(const std::string& name,
+                                                     int version) const {
+  auto it = processes_.find(name);
+  if (it == processes_.end() || it->second.empty()) {
+    return Status::NotFound("process not defined: " + name);
+  }
+  if (version < 1 || version > static_cast<int>(it->second.size())) {
+    return Status::NotFound("process " + name + " has no version " +
+                            std::to_string(version));
+  }
+  return &it->second[version - 1];
+}
+
+bool ProcessRegistry::Contains(const std::string& name) const {
+  auto it = processes_.find(name);
+  return it != processes_.end() && !it->second.empty();
+}
+
+StatusOr<std::vector<const ProcessDef*>> ProcessRegistry::History(
+    const std::string& name) const {
+  auto it = processes_.find(name);
+  if (it == processes_.end() || it->second.empty()) {
+    return Status::NotFound("process not defined: " + name);
+  }
+  std::vector<const ProcessDef*> out;
+  out.reserve(it->second.size());
+  for (const ProcessDef& def : it->second) out.push_back(&def);
+  return out;
+}
+
+std::vector<const ProcessDef*> ProcessRegistry::ListLatest() const {
+  std::vector<const ProcessDef*> out;
+  out.reserve(processes_.size());
+  for (const auto& [name, versions] : processes_) {
+    if (!versions.empty()) out.push_back(&versions.back());
+  }
+  return out;
+}
+
+std::vector<const ProcessDef*> ProcessRegistry::Producing(
+    const std::string& class_name) const {
+  std::vector<const ProcessDef*> out;
+  for (const auto& [name, versions] : processes_) {
+    if (!versions.empty() && versions.back().output_class() == class_name) {
+      out.push_back(&versions.back());
+    }
+  }
+  return out;
+}
+
+}  // namespace gaea

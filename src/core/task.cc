@@ -1,0 +1,191 @@
+#include "core/task.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace gaea {
+
+std::vector<Oid> Task::AllInputs() const {
+  std::set<Oid> all;
+  for (const auto& [arg, oids] : inputs) {
+    all.insert(oids.begin(), oids.end());
+  }
+  return std::vector<Oid>(all.begin(), all.end());
+}
+
+std::string Task::ToString() const {
+  std::ostringstream os;
+  os << "task#" << id << " " << process_name << " v" << process_version
+     << " (";
+  bool first = true;
+  for (const auto& [arg, oids] : inputs) {
+    if (!first) os << ", ";
+    first = false;
+    os << arg << "=[";
+    for (size_t i = 0; i < oids.size(); ++i) {
+      if (i > 0) os << ",";
+      os << oids[i];
+    }
+    os << "]";
+  }
+  os << ") -> [";
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    if (i > 0) os << ",";
+    os << outputs[i];
+  }
+  os << "]";
+  if (status == TaskStatus::kFailed) os << " FAILED: " << error;
+  return os.str();
+}
+
+void Task::Serialize(BinaryWriter* w) const {
+  w->PutU64(id);
+  w->PutString(process_name);
+  w->PutI32(process_version);
+  w->PutU32(static_cast<uint32_t>(inputs.size()));
+  for (const auto& [arg, oids] : inputs) {
+    w->PutString(arg);
+    w->PutU32(static_cast<uint32_t>(oids.size()));
+    for (Oid oid : oids) w->PutU64(oid);
+  }
+  w->PutU32(static_cast<uint32_t>(outputs.size()));
+  for (Oid oid : outputs) w->PutU64(oid);
+  w->PutU8(static_cast<uint8_t>(status));
+  w->PutString(error);
+  w->PutString(user);
+  w->PutString(note);
+  started.Serialize(w);
+  w->PutI64(duration_us);
+}
+
+StatusOr<Task> Task::Deserialize(BinaryReader* r) {
+  Task task;
+  GAEA_ASSIGN_OR_RETURN(task.id, r->GetU64());
+  GAEA_ASSIGN_OR_RETURN(task.process_name, r->GetString());
+  GAEA_ASSIGN_OR_RETURN(task.process_version, r->GetI32());
+  GAEA_ASSIGN_OR_RETURN(uint32_t nargs, r->GetU32());
+  for (uint32_t i = 0; i < nargs; ++i) {
+    GAEA_ASSIGN_OR_RETURN(std::string arg, r->GetString());
+    GAEA_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+    std::vector<Oid> oids;
+    oids.reserve(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      GAEA_ASSIGN_OR_RETURN(Oid oid, r->GetU64());
+      oids.push_back(oid);
+    }
+    task.inputs.emplace(std::move(arg), std::move(oids));
+  }
+  GAEA_ASSIGN_OR_RETURN(uint32_t nout, r->GetU32());
+  task.outputs.reserve(nout);
+  for (uint32_t i = 0; i < nout; ++i) {
+    GAEA_ASSIGN_OR_RETURN(Oid oid, r->GetU64());
+    task.outputs.push_back(oid);
+  }
+  GAEA_ASSIGN_OR_RETURN(uint8_t status, r->GetU8());
+  if (status > static_cast<uint8_t>(TaskStatus::kFailed)) {
+    return Status::Corruption("bad task status tag");
+  }
+  task.status = static_cast<TaskStatus>(status);
+  GAEA_ASSIGN_OR_RETURN(task.error, r->GetString());
+  GAEA_ASSIGN_OR_RETURN(task.user, r->GetString());
+  GAEA_ASSIGN_OR_RETURN(task.note, r->GetString());
+  GAEA_ASSIGN_OR_RETURN(task.started, AbsTime::Deserialize(r));
+  GAEA_ASSIGN_OR_RETURN(task.duration_us, r->GetI64());
+  return task;
+}
+
+std::unique_ptr<TaskLog> TaskLog::InMemory() {
+  return std::unique_ptr<TaskLog>(new TaskLog());
+}
+
+StatusOr<std::unique_ptr<TaskLog>> TaskLog::Open(const std::string& path) {
+  auto log = InMemory();
+  GAEA_ASSIGN_OR_RETURN(std::unique_ptr<Journal> journal, Journal::Open(path));
+  GAEA_RETURN_IF_ERROR(
+      journal->Replay([&log](const std::string& record) -> Status {
+        BinaryReader r(record);
+        GAEA_ASSIGN_OR_RETURN(Task task, Task::Deserialize(&r));
+        // Re-inserting through Append would re-journal; index directly.
+        TaskId expected = static_cast<TaskId>(log->tasks_.size()) + 1;
+        if (task.id != expected) {
+          return Status::Corruption("task journal out of order: got id " +
+                                    std::to_string(task.id) + ", expected " +
+                                    std::to_string(expected));
+        }
+        size_t idx = log->tasks_.size();
+        for (Oid oid : task.outputs) log->producer_index_[oid] = idx;
+        for (Oid oid : task.AllInputs()) {
+          log->consumer_index_[oid].push_back(idx);
+        }
+        log->tasks_.push_back(std::move(task));
+        return Status::OK();
+      }));
+  log->journal_ = std::move(journal);
+  return log;
+}
+
+StatusOr<TaskId> TaskLog::Append(Task task) {
+  task.id = static_cast<TaskId>(tasks_.size()) + 1;
+  for (Oid oid : task.outputs) {
+    if (producer_index_.count(oid) > 0) {
+      return Status::AlreadyExists(
+          "object " + std::to_string(oid) +
+          " already has a producing task (derivations are immutable)");
+    }
+  }
+  if (journal_ != nullptr) {
+    BinaryWriter w;
+    task.Serialize(&w);
+    GAEA_RETURN_IF_ERROR(journal_->Append(w.buffer()));
+  }
+  size_t idx = tasks_.size();
+  for (Oid oid : task.outputs) producer_index_[oid] = idx;
+  for (Oid oid : task.AllInputs()) consumer_index_[oid].push_back(idx);
+  TaskId id = task.id;
+  tasks_.push_back(std::move(task));
+  return id;
+}
+
+StatusOr<const Task*> TaskLog::Get(TaskId id) const {
+  if (id == kInvalidTaskId || id > tasks_.size()) {
+    return Status::NotFound("no task with id " + std::to_string(id));
+  }
+  return &tasks_[id - 1];
+}
+
+StatusOr<const Task*> TaskLog::Producer(Oid oid) const {
+  auto it = producer_index_.find(oid);
+  if (it == producer_index_.end()) {
+    return Status::NotFound("object " + std::to_string(oid) +
+                            " has no producing task (base data)");
+  }
+  return &tasks_[it->second];
+}
+
+StatusOr<const Task*> TaskLog::FindCompleted(
+    const std::string& process_name, int process_version,
+    const std::map<std::string, std::vector<Oid>>& inputs) const {
+  // Newest first: the latest equivalent run is the one to reuse.
+  for (auto it = tasks_.rbegin(); it != tasks_.rend(); ++it) {
+    if (it->status == TaskStatus::kCompleted &&
+        it->process_version == process_version &&
+        it->process_name == process_name && it->inputs == inputs) {
+      return &*it;
+    }
+  }
+  return Status::NotFound("no completed task for " + process_name + " v" +
+                          std::to_string(process_version) +
+                          " with these inputs");
+}
+
+std::vector<const Task*> TaskLog::Consumers(Oid oid) const {
+  std::vector<const Task*> out;
+  auto it = consumer_index_.find(oid);
+  if (it == consumer_index_.end()) return out;
+  out.reserve(it->second.size());
+  for (size_t idx : it->second) out.push_back(&tasks_[idx]);
+  return out;
+}
+
+}  // namespace gaea

@@ -1,0 +1,99 @@
+// Tasks: object-level derivation records (paper §2.1.2, §2.1.5).
+//
+// "The instantiation of a process with input data objects is called a task.
+// Every task will generate a set of objects (most of the time just one) for
+// the output class." The task log is the durable record of *how every
+// derived object came to be*: process name + version, the exact input OIDs
+// per argument, the output OIDs, who ran it and when. It is the basis of
+// lineage queries and experiment reproduction.
+
+#ifndef GAEA_CORE_TASK_H_
+#define GAEA_CORE_TASK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spatial/abstime.h"
+#include "storage/journal.h"
+#include "storage/object_store.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace gaea {
+
+using TaskId = uint64_t;
+constexpr TaskId kInvalidTaskId = 0;
+
+enum class TaskStatus : uint8_t {
+  kCompleted = 0,
+  kFailed = 1,
+};
+
+struct Task {
+  TaskId id = kInvalidTaskId;
+  std::string process_name;
+  int process_version = 1;
+  // Input OIDs per process argument name.
+  std::map<std::string, std::vector<Oid>> inputs;
+  std::vector<Oid> outputs;
+  TaskStatus status = TaskStatus::kCompleted;
+  std::string error;       // failure reason when status == kFailed
+  std::string user;        // who ran the derivation
+  std::string note;        // free text (external-procedure description)
+  AbsTime started;         // logical clock supplied by the kernel
+  int64_t duration_us = 0; // wall time of the derivation
+
+  // All input OIDs flattened (deduplicated, sorted).
+  std::vector<Oid> AllInputs() const;
+
+  std::string ToString() const;
+
+  void Serialize(BinaryWriter* w) const;
+  static StatusOr<Task> Deserialize(BinaryReader* r);
+};
+
+// Append-only, optionally journal-backed task log with lineage indexes.
+class TaskLog {
+ public:
+  TaskLog() = default;
+  TaskLog(const TaskLog&) = delete;
+  TaskLog& operator=(const TaskLog&) = delete;
+
+  // In-memory log (benchmarking, scratch sessions).
+  static std::unique_ptr<TaskLog> InMemory();
+  // Durable log: replays `path` then appends to it.
+  static StatusOr<std::unique_ptr<TaskLog>> Open(const std::string& path);
+
+  // Records a task; assigns and returns its id.
+  StatusOr<TaskId> Append(Task task);
+
+  StatusOr<const Task*> Get(TaskId id) const;
+  const std::vector<Task>& tasks() const { return tasks_; }
+  size_t size() const { return tasks_.size(); }
+
+  // The task that produced `oid` (an object is produced by at most one
+  // task); kNotFound for base objects.
+  StatusOr<const Task*> Producer(Oid oid) const;
+
+  // All tasks that consumed `oid` as an input.
+  std::vector<const Task*> Consumers(Oid oid) const;
+
+  // The most recent *completed* task with exactly this process version and
+  // these input bindings, or kNotFound. Backs derivation reuse ("avoid
+  // unnecessary duplication of experiments", paper §1).
+  StatusOr<const Task*> FindCompleted(
+      const std::string& process_name, int process_version,
+      const std::map<std::string, std::vector<Oid>>& inputs) const;
+
+ private:
+  std::vector<Task> tasks_;
+  std::map<Oid, size_t> producer_index_;
+  std::map<Oid, std::vector<size_t>> consumer_index_;
+  std::unique_ptr<Journal> journal_;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_CORE_TASK_H_

@@ -1,0 +1,168 @@
+#include "ddl/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace gaea {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemi: return "';'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kDollar: return "'$'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+bool Token::IsKeyword(const char* keyword) const {
+  return kind == TokenKind::kIdentifier && StrToLower(text) == keyword;
+}
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1, column = 1;
+  size_t i = 0;
+  auto error = [&](const std::string& msg) {
+    return Status::InvalidArgument("DDL lex error at line " +
+                                   std::to_string(line) + ":" +
+                                   std::to_string(column) + ": " + msg);
+  };
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n && i < source.size(); ++k, ++i) {
+      if (source[i] == '\n') {
+        line++;
+        column = 1;
+      } else {
+        column++;
+      }
+    }
+  };
+  auto push = [&](TokenKind kind, std::string text) {
+    tokens.push_back(Token{kind, std::move(text), line, column});
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') advance(1);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < source.size()) {
+        char k = source[i];
+        if (std::isalnum(static_cast<unsigned char>(k)) || k == '_' ||
+            k == '-') {
+          advance(1);
+        } else {
+          break;
+        }
+      }
+      push(TokenKind::kIdentifier, source.substr(start, i - start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < source.size() &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t start = i;
+      advance(1);  // sign or first digit
+      bool seen_dot = false;
+      while (i < source.size()) {
+        char k = source[i];
+        if (std::isdigit(static_cast<unsigned char>(k))) {
+          advance(1);
+        } else if (k == '.' && !seen_dot && i + 1 < source.size() &&
+                   std::isdigit(static_cast<unsigned char>(source[i + 1]))) {
+          seen_dot = true;
+          advance(1);
+        } else {
+          break;
+        }
+      }
+      push(TokenKind::kNumber, source.substr(start, i - start));
+      continue;
+    }
+    if (c == '"') {
+      advance(1);
+      std::string text;
+      bool closed = false;
+      while (i < source.size()) {
+        if (source[i] == '"') {
+          closed = true;
+          advance(1);
+          break;
+        }
+        if (source[i] == '\n') break;
+        text.push_back(source[i]);
+        advance(1);
+      }
+      if (!closed) return error("unterminated string literal");
+      push(TokenKind::kString, std::move(text));
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokenKind::kLParen, "("); advance(1); continue;
+      case ')': push(TokenKind::kRParen, ")"); advance(1); continue;
+      case '{': push(TokenKind::kLBrace, "{"); advance(1); continue;
+      case '}': push(TokenKind::kRBrace, "}"); advance(1); continue;
+      case ',': push(TokenKind::kComma, ","); advance(1); continue;
+      case ';': push(TokenKind::kSemi, ";"); advance(1); continue;
+      case ':': push(TokenKind::kColon, ":"); advance(1); continue;
+      case '.': push(TokenKind::kDot, "."); advance(1); continue;
+      case '$': push(TokenKind::kDollar, "$"); advance(1); continue;
+      case '=': push(TokenKind::kEq, "="); advance(1); continue;
+      case '!':
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          push(TokenKind::kNe, "!=");
+          advance(2);
+          continue;
+        }
+        return error("unexpected '!'");
+      case '<':
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          push(TokenKind::kLe, "<=");
+          advance(2);
+        } else {
+          push(TokenKind::kLt, "<");
+          advance(1);
+        }
+        continue;
+      case '>':
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          push(TokenKind::kGe, ">=");
+          advance(2);
+        } else {
+          push(TokenKind::kGt, ">");
+          advance(1);
+        }
+        continue;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+  push(TokenKind::kEof, "");
+  return tokens;
+}
+
+}  // namespace gaea

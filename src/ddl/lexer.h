@@ -1,0 +1,59 @@
+// Tokenizer for the Gaea definition language — the textual syntax of the
+// paper's Figure 3 (CLASS ..., DEFINE PROCESS ... TEMPLATE { ASSERTIONS /
+// MAPPINGS }) plus concept definitions.
+//
+// Identifiers may contain '-' (the paper writes unsupervised-classification),
+// so the language has no infix minus; arithmetic uses named operators
+// (sub(a, b)). '//' starts a line comment.
+
+#ifndef GAEA_DDL_LEXER_H_
+#define GAEA_DDL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gaea {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,
+  kNumber,   // integer or decimal literal
+  kString,   // "double quoted"
+  kLParen,   // (
+  kRParen,   // )
+  kLBrace,   // {
+  kRBrace,   // }
+  kComma,    // ,
+  kSemi,     // ;
+  kColon,    // :
+  kDot,      // .
+  kDollar,   // $
+  kEq,       // =
+  kNe,       // !=
+  kLt,       // <
+  kLe,       // <=
+  kGt,       // >
+  kGe,       // >=
+  kEof,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;  // identifier/string contents, number spelling
+  int line = 1;
+  int column = 1;
+
+  bool Is(TokenKind k) const { return kind == k; }
+  // Case-insensitive keyword check for identifiers.
+  bool IsKeyword(const char* keyword) const;
+};
+
+// Tokenizes `source`; the final token is always kEof.
+StatusOr<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace gaea
+
+#endif  // GAEA_DDL_LEXER_H_

@@ -1,0 +1,381 @@
+#include "ddl/parser.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace gaea {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<std::vector<ParsedStatement>> Script() {
+    std::vector<ParsedStatement> out;
+    while (!Peek().Is(TokenKind::kEof)) {
+      GAEA_ASSIGN_OR_RETURN(ParsedStatement stmt, Statement());
+      out.push_back(std::move(stmt));
+    }
+    return out;
+  }
+
+  StatusOr<ParsedStatement> Statement() {
+    const Token& tok = Peek();
+    if (tok.IsKeyword("class")) return ClassStatement();
+    if (tok.IsKeyword("define")) {
+      const Token& next = Peek(1);
+      if (next.IsKeyword("process")) return ProcessStatement();
+      if (next.IsKeyword("concept")) return ConceptStatement();
+      return Error("expected PROCESS or CONCEPT after DEFINE");
+    }
+    return Error("expected CLASS or DEFINE, got '" + tok.text + "'");
+  }
+
+ private:
+  // ---- plumbing ----
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    if (idx >= tokens_.size()) idx = tokens_.size() - 1;  // EOF token
+    return tokens_[idx];
+  }
+  Token Take() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  Status Error(const std::string& msg) const {
+    const Token& tok = Peek();
+    return Status::InvalidArgument(
+        "DDL parse error at line " + std::to_string(tok.line) + ":" +
+        std::to_string(tok.column) + ": " + msg);
+  }
+
+  StatusOr<Token> Expect(TokenKind kind) {
+    if (!Peek().Is(kind)) {
+      return Error(std::string("expected ") + TokenKindName(kind) + ", got '" +
+                   Peek().text + "'");
+    }
+    return Take();
+  }
+
+  StatusOr<std::string> ExpectIdentifier() {
+    GAEA_ASSIGN_OR_RETURN(Token tok, Expect(TokenKind::kIdentifier));
+    return tok.text;
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    if (!Peek().IsKeyword(keyword)) {
+      return Error(std::string("expected keyword '") + keyword + "', got '" +
+                   Peek().text + "'");
+    }
+    Take();
+    return Status::OK();
+  }
+
+  bool ConsumeKeyword(const char* keyword) {
+    if (Peek().IsKeyword(keyword)) {
+      Take();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<Value> NumberValue(const std::string& spelling) {
+    if (spelling.find('.') != std::string::npos) {
+      return Value::Double(std::strtod(spelling.c_str(), nullptr));
+    }
+    return Value::Int(std::strtoll(spelling.c_str(), nullptr, 10));
+  }
+
+  // ---- CLASS ----
+
+  StatusOr<ParsedStatement> ClassStatement() {
+    GAEA_RETURN_IF_ERROR(ExpectKeyword("class"));
+    GAEA_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    GAEA_RETURN_IF_ERROR(Expect(TokenKind::kLParen).status());
+    ClassDef def(name, ClassKind::kBase);
+    while (!Peek().Is(TokenKind::kRParen)) {
+      if (ConsumeKeyword("attributes")) {
+        GAEA_RETURN_IF_ERROR(Expect(TokenKind::kColon).status());
+        GAEA_RETURN_IF_ERROR(AttributeList(&def, ""));
+      } else if (Peek().IsKeyword("spatial") || Peek().IsKeyword("temporal")) {
+        bool spatial = Peek().IsKeyword("spatial");
+        Take();
+        GAEA_RETURN_IF_ERROR(ExpectKeyword("extent"));
+        GAEA_RETURN_IF_ERROR(Expect(TokenKind::kColon).status());
+        GAEA_RETURN_IF_ERROR(AttributeList(&def, spatial ? "spatial" : "temporal"));
+      } else if (ConsumeKeyword("derived")) {
+        GAEA_RETURN_IF_ERROR(ExpectKeyword("by"));
+        GAEA_RETURN_IF_ERROR(Expect(TokenKind::kColon).status());
+        GAEA_ASSIGN_OR_RETURN(std::string proc, ExpectIdentifier());
+        GAEA_RETURN_IF_ERROR(def.SetDerivedBy(proc));
+      } else {
+        return Error("expected ATTRIBUTES, SPATIAL EXTENT, TEMPORAL EXTENT or "
+                     "DERIVED BY, got '" + Peek().text + "'");
+      }
+    }
+    GAEA_RETURN_IF_ERROR(Expect(TokenKind::kRParen).status());
+    return ParsedStatement(std::move(def));
+  }
+
+  // Parses `name = type;` lines until the next section keyword or ')'.
+  // `extent` is "", "spatial" or "temporal".
+  Status AttributeList(ClassDef* def, const std::string& extent) {
+    while (Peek().Is(TokenKind::kIdentifier) && Peek(1).Is(TokenKind::kEq)) {
+      GAEA_ASSIGN_OR_RETURN(std::string attr_name, ExpectIdentifier());
+      GAEA_RETURN_IF_ERROR(Expect(TokenKind::kEq).status());
+      GAEA_ASSIGN_OR_RETURN(std::string type_name, ExpectIdentifier());
+      GAEA_RETURN_IF_ERROR(Expect(TokenKind::kSemi).status());
+      GAEA_ASSIGN_OR_RETURN(TypeId type, TypeIdFromDdlName(type_name));
+      AttributeDef attr;
+      attr.name = attr_name;
+      attr.type = type;
+      attr.ddl_type = type_name;
+      GAEA_RETURN_IF_ERROR(def->AddAttribute(std::move(attr)));
+      if (extent == "spatial") {
+        GAEA_RETURN_IF_ERROR(def->SetSpatialExtent(attr_name));
+      } else if (extent == "temporal") {
+        GAEA_RETURN_IF_ERROR(def->SetTemporalExtent(attr_name));
+      }
+    }
+    return Status::OK();
+  }
+
+  // ---- DEFINE PROCESS ----
+
+  StatusOr<ParsedStatement> ProcessStatement() {
+    GAEA_RETURN_IF_ERROR(ExpectKeyword("define"));
+    GAEA_RETURN_IF_ERROR(ExpectKeyword("process"));
+    GAEA_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    GAEA_RETURN_IF_ERROR(ExpectKeyword("output"));
+    GAEA_ASSIGN_OR_RETURN(std::string output, ExpectIdentifier());
+    ProcessDef def(name, output);
+
+    GAEA_RETURN_IF_ERROR(ExpectKeyword("argument"));
+    GAEA_RETURN_IF_ERROR(Expect(TokenKind::kLParen).status());
+    while (!Peek().Is(TokenKind::kRParen)) {
+      ProcessArg arg;
+      if (ConsumeKeyword("setof")) arg.setof = true;
+      GAEA_ASSIGN_OR_RETURN(arg.class_name, ExpectIdentifier());
+      GAEA_ASSIGN_OR_RETURN(arg.name, ExpectIdentifier());
+      if (ConsumeKeyword("min")) {
+        GAEA_ASSIGN_OR_RETURN(Token num, Expect(TokenKind::kNumber));
+        arg.min_card = static_cast<int>(
+            std::strtol(num.text.c_str(), nullptr, 10));
+      }
+      GAEA_RETURN_IF_ERROR(def.AddArg(std::move(arg)));
+      if (!Peek().Is(TokenKind::kRParen)) {
+        GAEA_RETURN_IF_ERROR(Expect(TokenKind::kComma).status());
+      }
+    }
+    GAEA_RETURN_IF_ERROR(Expect(TokenKind::kRParen).status());
+
+    if (ConsumeKeyword("parameters")) {
+      GAEA_RETURN_IF_ERROR(Expect(TokenKind::kLBrace).status());
+      while (!Peek().Is(TokenKind::kRBrace)) {
+        GAEA_ASSIGN_OR_RETURN(std::string pname, ExpectIdentifier());
+        GAEA_RETURN_IF_ERROR(Expect(TokenKind::kEq).status());
+        GAEA_ASSIGN_OR_RETURN(Value pvalue, LiteralValue());
+        GAEA_RETURN_IF_ERROR(Expect(TokenKind::kSemi).status());
+        GAEA_RETURN_IF_ERROR(def.AddParam(pname, std::move(pvalue)));
+      }
+      GAEA_RETURN_IF_ERROR(Expect(TokenKind::kRBrace).status());
+    }
+
+    GAEA_RETURN_IF_ERROR(ExpectKeyword("template"));
+    GAEA_RETURN_IF_ERROR(Expect(TokenKind::kLBrace).status());
+    if (ConsumeKeyword("assertions")) {
+      GAEA_RETURN_IF_ERROR(Expect(TokenKind::kColon).status());
+      while (!Peek().IsKeyword("mappings") && !Peek().Is(TokenKind::kRBrace)) {
+        GAEA_ASSIGN_OR_RETURN(ExprPtr assertion, Assertion());
+        GAEA_RETURN_IF_ERROR(Expect(TokenKind::kSemi).status());
+        GAEA_RETURN_IF_ERROR(def.AddAssertion(std::move(assertion)));
+      }
+    }
+    if (ConsumeKeyword("mappings")) {
+      GAEA_RETURN_IF_ERROR(Expect(TokenKind::kColon).status());
+      while (!Peek().Is(TokenKind::kRBrace)) {
+        GAEA_ASSIGN_OR_RETURN(std::string cls, ExpectIdentifier());
+        if (cls != output) {
+          return Error("mapping target class '" + cls +
+                       "' does not match OUTPUT class '" + output + "'");
+        }
+        GAEA_RETURN_IF_ERROR(Expect(TokenKind::kDot).status());
+        GAEA_ASSIGN_OR_RETURN(std::string attr, ExpectIdentifier());
+        GAEA_RETURN_IF_ERROR(Expect(TokenKind::kEq).status());
+        GAEA_ASSIGN_OR_RETURN(ExprPtr expr, Expression());
+        GAEA_RETURN_IF_ERROR(Expect(TokenKind::kSemi).status());
+        GAEA_RETURN_IF_ERROR(def.AddMapping(attr, std::move(expr)));
+      }
+    }
+    GAEA_RETURN_IF_ERROR(Expect(TokenKind::kRBrace).status());
+    return ParsedStatement(std::move(def));
+  }
+
+  StatusOr<Value> LiteralValue() {
+    const Token& tok = Peek();
+    if (tok.Is(TokenKind::kNumber)) {
+      return NumberValue(Take().text);
+    }
+    if (tok.Is(TokenKind::kString)) {
+      return Value::String(Take().text);
+    }
+    if (tok.IsKeyword("true")) {
+      Take();
+      return Value::Bool(true);
+    }
+    if (tok.IsKeyword("false")) {
+      Take();
+      return Value::Bool(false);
+    }
+    return Error("expected literal value, got '" + tok.text + "'");
+  }
+
+  // assertion := expr (cmpop expr)?
+  StatusOr<ExprPtr> Assertion() {
+    GAEA_ASSIGN_OR_RETURN(ExprPtr lhs, Expression());
+    const char* op = nullptr;
+    switch (Peek().kind) {
+      case TokenKind::kEq: op = "eq"; break;
+      case TokenKind::kNe: op = "ne"; break;
+      case TokenKind::kLt: op = "lt"; break;
+      case TokenKind::kLe: op = "le"; break;
+      case TokenKind::kGt: op = "gt"; break;
+      case TokenKind::kGe: op = "ge"; break;
+      default:
+        return lhs;
+    }
+    Take();
+    GAEA_ASSIGN_OR_RETURN(ExprPtr rhs, Expression());
+    return Expr::OpCall(op, {std::move(lhs), std::move(rhs)});
+  }
+
+  // expr := ANYOF expr | literal | '$' ident | ident '(' args ')' |
+  //         ident '.' ident
+  StatusOr<ExprPtr> Expression() {
+    const Token& tok = Peek();
+    if (tok.IsKeyword("anyof")) {
+      Take();
+      GAEA_ASSIGN_OR_RETURN(ExprPtr child, Expression());
+      return Expr::AnyOf(std::move(child));
+    }
+    if (tok.Is(TokenKind::kNumber) || tok.Is(TokenKind::kString) ||
+        tok.IsKeyword("true") || tok.IsKeyword("false")) {
+      GAEA_ASSIGN_OR_RETURN(Value v, LiteralValue());
+      return Expr::Literal(std::move(v));
+    }
+    if (tok.Is(TokenKind::kDollar)) {
+      Take();
+      GAEA_ASSIGN_OR_RETURN(std::string pname, ExpectIdentifier());
+      return Expr::Param(std::move(pname));
+    }
+    if (tok.Is(TokenKind::kIdentifier)) {
+      GAEA_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+      if (Peek().Is(TokenKind::kLParen)) {
+        Take();
+        std::vector<ExprPtr> args;
+        while (!Peek().Is(TokenKind::kRParen)) {
+          GAEA_ASSIGN_OR_RETURN(ExprPtr arg, Expression());
+          args.push_back(std::move(arg));
+          if (!Peek().Is(TokenKind::kRParen)) {
+            GAEA_RETURN_IF_ERROR(Expect(TokenKind::kComma).status());
+          }
+        }
+        GAEA_RETURN_IF_ERROR(Expect(TokenKind::kRParen).status());
+        std::string lower = StrToLower(name);
+        if (lower == "card") {
+          if (args.size() != 1) return Error("card() takes one argument");
+          // card's operand must be a bare argument name, parsed as an
+          // attr-less reference; re-interpret.
+          return CardFromExpr(args[0]);
+        }
+        if (lower == "common") {
+          if (args.empty()) {
+            return Error("common() needs at least one argument");
+          }
+          return Expr::Common(std::move(args));
+        }
+        return Expr::OpCall(std::move(name), std::move(args));
+      }
+      if (Peek().Is(TokenKind::kDot)) {
+        Take();
+        GAEA_ASSIGN_OR_RETURN(std::string attr, ExpectIdentifier());
+        return Expr::AttrRef(std::move(name), std::move(attr));
+      }
+      // Bare identifier: only meaningful inside card(); represent as an
+      // attr ref with empty attribute and let CardFromExpr unwrap it.
+      return Expr::AttrRef(std::move(name), "");
+    }
+    return Error("expected expression, got '" + tok.text + "'");
+  }
+
+  StatusOr<ExprPtr> CardFromExpr(const ExprPtr& operand) {
+    // card(bands): the operand parses as AttrRef("bands", ""). Recover the
+    // argument name from its rendering.
+    std::string repr = operand->ToString();
+    if (operand->kind() != Expr::Kind::kAttrRef || repr.empty() ||
+        repr.back() != '.') {
+      return Status::InvalidArgument(
+          "card() operand must be a process argument name, got " + repr);
+    }
+    repr.pop_back();
+    return Expr::Card(std::move(repr));
+  }
+
+  // ---- DEFINE CONCEPT ----
+
+  StatusOr<ParsedStatement> ConceptStatement() {
+    GAEA_RETURN_IF_ERROR(ExpectKeyword("define"));
+    GAEA_RETURN_IF_ERROR(ExpectKeyword("concept"));
+    ConceptStmt stmt;
+    GAEA_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
+    if (ConsumeKeyword("doc")) {
+      GAEA_ASSIGN_OR_RETURN(Token doc, Expect(TokenKind::kString));
+      stmt.doc = doc.text;
+    }
+    if (ConsumeKeyword("isa")) {
+      GAEA_ASSIGN_OR_RETURN(std::string parent, ExpectIdentifier());
+      stmt.isa_parents.push_back(std::move(parent));
+      while (Peek().Is(TokenKind::kComma)) {
+        Take();
+        GAEA_ASSIGN_OR_RETURN(std::string more, ExpectIdentifier());
+        stmt.isa_parents.push_back(std::move(more));
+      }
+    }
+    if (ConsumeKeyword("members")) {
+      GAEA_RETURN_IF_ERROR(Expect(TokenKind::kLParen).status());
+      while (!Peek().Is(TokenKind::kRParen)) {
+        GAEA_ASSIGN_OR_RETURN(std::string member, ExpectIdentifier());
+        stmt.member_classes.push_back(std::move(member));
+        if (!Peek().Is(TokenKind::kRParen)) {
+          GAEA_RETURN_IF_ERROR(Expect(TokenKind::kComma).status());
+        }
+      }
+      GAEA_RETURN_IF_ERROR(Expect(TokenKind::kRParen).status());
+    }
+    return ParsedStatement(std::move(stmt));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::vector<ParsedStatement>> ParseScript(const std::string& source) {
+  GAEA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.Script();
+}
+
+StatusOr<ParsedStatement> ParseStatement(const std::string& source) {
+  GAEA_ASSIGN_OR_RETURN(std::vector<ParsedStatement> stmts,
+                        ParseScript(source));
+  if (stmts.size() != 1) {
+    return Status::InvalidArgument("expected exactly one DDL statement, got " +
+                                   std::to_string(stmts.size()));
+  }
+  return std::move(stmts[0]);
+}
+
+}  // namespace gaea

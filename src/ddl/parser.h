@@ -1,0 +1,67 @@
+// Recursive-descent parser for the Gaea definition language.
+//
+// Statements:
+//
+//   CLASS landcover (
+//     ATTRIBUTES:
+//       area = char16;          // comments allowed
+//       numclass = int4;
+//       data = image;
+//     SPATIAL EXTENT:  spatialextent = box;
+//     TEMPORAL EXTENT: timestamp = abstime;
+//     DERIVED BY: unsupervised-classification
+//   )
+//
+//   DEFINE PROCESS unsupervised-classification
+//   OUTPUT landcover
+//   ARGUMENT ( SETOF landsat_tm bands MIN 3 )
+//   PARAMETERS { numclass = 12; }
+//   TEMPLATE {
+//     ASSERTIONS:
+//       card(bands) >= 3;
+//       common(bands.spatialextent);
+//     MAPPINGS:
+//       landcover.data = unsuperclassify(composite(bands.data), $numclass);
+//       landcover.spatialextent = ANYOF bands.spatialextent;
+//   }
+//
+//   DEFINE CONCEPT desert DOC "imprecise: arid regions" ISA region
+//     MEMBERS (hot_desert_class, ice_desert_class)
+//
+// The parser builds catalog/core definition objects but does not register
+// them — the kernel applies parsed statements transactionally.
+
+#ifndef GAEA_DDL_PARSER_H_
+#define GAEA_DDL_PARSER_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "catalog/class_def.h"
+#include "core/process.h"
+#include "ddl/lexer.h"
+#include "util/status.h"
+
+namespace gaea {
+
+// A parsed DEFINE CONCEPT statement (registration is name-based and happens
+// at apply time, after referenced concepts/classes exist).
+struct ConceptStmt {
+  std::string name;
+  std::string doc;
+  std::vector<std::string> isa_parents;
+  std::vector<std::string> member_classes;
+};
+
+using ParsedStatement = std::variant<ClassDef, ProcessDef, ConceptStmt>;
+
+// Parses a script of zero or more statements.
+StatusOr<std::vector<ParsedStatement>> ParseScript(const std::string& source);
+
+// Parses exactly one statement.
+StatusOr<ParsedStatement> ParseStatement(const std::string& source);
+
+}  // namespace gaea
+
+#endif  // GAEA_DDL_PARSER_H_

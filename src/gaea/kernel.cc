@@ -1,0 +1,320 @@
+#include "gaea/kernel.h"
+
+#include "query/qparser.h"
+#include "util/string_util.h"
+
+namespace gaea {
+
+StatusOr<std::unique_ptr<GaeaKernel>> GaeaKernel::Open(
+    const Options& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("GaeaKernel needs a database directory");
+  }
+  std::unique_ptr<GaeaKernel> kernel(new GaeaKernel());
+  kernel->dir_ = options.dir;
+  kernel->user_ = options.user;
+  kernel->primitives_ = PrimitiveClassRegistry::WithBuiltins();
+  GAEA_RETURN_IF_ERROR(RegisterBuiltinOperators(&kernel->ops_));
+
+  // The catalog creates the directory and replays class/concept records.
+  GAEA_ASSIGN_OR_RETURN(kernel->catalog_, Catalog::Open(options.dir));
+
+  // Processes journal.
+  GAEA_ASSIGN_OR_RETURN(kernel->process_journal_,
+                        Journal::Open(options.dir + "/process.journal"));
+  GAEA_RETURN_IF_ERROR(kernel->process_journal_->Replay(
+      [&kernel](const std::string& record) -> Status {
+        BinaryReader r(record);
+        GAEA_ASSIGN_OR_RETURN(ProcessDef def, ProcessDef::Deserialize(&r));
+        return kernel->processes_.Register(std::move(def)).status();
+      }));
+
+  GAEA_ASSIGN_OR_RETURN(kernel->task_log_,
+                        TaskLog::Open(options.dir + "/tasks.journal"));
+  GAEA_ASSIGN_OR_RETURN(
+      kernel->experiments_,
+      ExperimentManager::Open(options.dir + "/experiments.journal"));
+
+  kernel->deriver_ = std::make_unique<Deriver>(
+      kernel->catalog_.get(), &kernel->processes_, &kernel->ops_,
+      kernel->task_log_.get());
+  kernel->deriver_->set_user(options.user);
+  kernel->interpolator_ = std::make_unique<Interpolator>(
+      kernel->catalog_.get(), kernel->task_log_.get());
+  kernel->interpolator_->set_user(options.user);
+  kernel->query_engine_ = std::make_unique<QueryEngine>(
+      kernel->catalog_.get(), &kernel->processes_, kernel->deriver_.get(),
+      kernel->interpolator_.get());
+  return kernel;
+}
+
+void GaeaKernel::SetClock(AbsTime now) {
+  now_ = now;
+  deriver_->set_clock(now);
+  interpolator_->set_clock(now);
+}
+
+Status GaeaKernel::ApplyStatement(ParsedStatement stmt) {
+  if (auto* class_def = std::get_if<ClassDef>(&stmt)) {
+    // A derived class must reference a known process — enforced here rather
+    // than in the catalog so base-first scripts still work when the process
+    // arrives in the same script before first use.
+    return catalog_->DefineClass(std::move(*class_def)).status();
+  }
+  if (auto* process_def = std::get_if<ProcessDef>(&stmt)) {
+    return DefineProcess(std::move(*process_def)).status();
+  }
+  if (auto* concept_stmt = std::get_if<ConceptStmt>(&stmt)) {
+    if (!catalog_->concepts().Contains(concept_stmt->name)) {
+      GAEA_RETURN_IF_ERROR(
+          catalog_->DefineConcept(concept_stmt->name, concept_stmt->doc)
+              .status());
+    }
+    for (const std::string& parent : concept_stmt->isa_parents) {
+      if (!catalog_->concepts().Contains(parent)) {
+        GAEA_RETURN_IF_ERROR(catalog_->DefineConcept(parent, "").status());
+      }
+      GAEA_RETURN_IF_ERROR(catalog_->AddIsA(concept_stmt->name, parent));
+    }
+    for (const std::string& member : concept_stmt->member_classes) {
+      GAEA_RETURN_IF_ERROR(
+          catalog_->AddConceptMember(concept_stmt->name, member));
+    }
+    return Status::OK();
+  }
+  return Status::Internal("unhandled DDL statement variant");
+}
+
+Status GaeaKernel::ExecuteDdl(const std::string& source) {
+  GAEA_ASSIGN_OR_RETURN(std::vector<ParsedStatement> stmts,
+                        ParseScript(source));
+  for (ParsedStatement& stmt : stmts) {
+    GAEA_RETURN_IF_ERROR(ApplyStatement(std::move(stmt)));
+  }
+  return Status::OK();
+}
+
+StatusOr<int> GaeaKernel::DefineProcess(ProcessDef def) {
+  GAEA_RETURN_IF_ERROR(def.Validate(catalog_->classes(), ops_));
+  std::string name = def.name();
+  GAEA_ASSIGN_OR_RETURN(int version, processes_.Register(std::move(def)));
+  // Journal the registered (version-stamped) definition.
+  GAEA_ASSIGN_OR_RETURN(const ProcessDef* stored,
+                        processes_.Version(name, version));
+  BinaryWriter w;
+  stored->Serialize(&w);
+  GAEA_RETURN_IF_ERROR(process_journal_->Append(w.buffer()));
+  return version;
+}
+
+StatusOr<Oid> GaeaKernel::Derive(
+    const std::string& process,
+    const std::map<std::string, std::vector<Oid>>& inputs, int version) {
+  return deriver_->Derive(process, inputs, version);
+}
+
+StatusOr<Oid> GaeaKernel::DeriveCompound(
+    const CompoundProcessDef& compound,
+    const std::map<std::string, std::vector<Oid>>& external_inputs) {
+  GAEA_ASSIGN_OR_RETURN(std::vector<const CompoundStage*> order,
+                        compound.Expand(catalog_->classes(), processes_));
+  std::map<std::string, Oid> stage_outputs;
+  Oid last = kInvalidOid;
+  for (const CompoundStage* stage : order) {
+    std::map<std::string, std::vector<Oid>> inputs;
+    for (const auto& [arg, input] : stage->bindings) {
+      if (input.source == StageInput::Source::kExternal) {
+        auto it = external_inputs.find(input.name);
+        if (it == external_inputs.end()) {
+          return Status::InvalidArgument("compound input " + input.name +
+                                         " not supplied");
+        }
+        inputs[arg] = it->second;
+      } else {
+        auto it = stage_outputs.find(input.name);
+        if (it == stage_outputs.end()) {
+          return Status::Internal("stage " + input.name +
+                                  " not yet executed in expansion order");
+        }
+        inputs[arg] = {it->second};
+      }
+    }
+    GAEA_ASSIGN_OR_RETURN(Oid oid, Derive(stage->process_name, inputs));
+    stage_outputs[stage->name] = oid;
+    last = oid;
+  }
+  auto it = stage_outputs.find(compound.output_stage());
+  return it != stage_outputs.end() ? it->second : last;
+}
+
+StatusOr<Oid> GaeaKernel::DeriveOrReuse(
+    const std::string& process,
+    const std::map<std::string, std::vector<Oid>>& inputs, int version) {
+  int resolved_version = version;
+  if (resolved_version == 0) {
+    GAEA_ASSIGN_OR_RETURN(const ProcessDef* latest, processes_.Latest(process));
+    resolved_version = latest->version();
+  }
+  // Newest-first over equivalent completed runs; the first whose output is
+  // still stored wins (earlier equivalents may have been evicted).
+  const std::vector<Task>& tasks = task_log_->tasks();
+  for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) {
+    if (it->status == TaskStatus::kCompleted &&
+        it->process_version == resolved_version &&
+        it->process_name == process && it->inputs == inputs &&
+        it->outputs.size() == 1 &&
+        catalog_->ContainsObject(it->outputs[0])) {
+      return it->outputs[0];
+    }
+  }
+  return Derive(process, inputs, resolved_version);
+}
+
+Status GaeaKernel::Evict(Oid oid) {
+  if (!catalog_->ContainsObject(oid)) {
+    return Status::NotFound("object " + std::to_string(oid) + " is not stored");
+  }
+  auto producer = task_log_->Producer(oid);
+  if (!producer.ok()) {
+    return Status::FailedPrecondition(
+        "object " + std::to_string(oid) +
+        " is base data and cannot be regenerated; eviction refused");
+  }
+  if (!task_log_->Consumers(oid).empty()) {
+    return Status::FailedPrecondition(
+        "object " + std::to_string(oid) +
+        " is an input of recorded derivations; evicting it would break "
+        "their replay");
+  }
+  return catalog_->DeleteObject(oid);
+}
+
+StatusOr<TaskId> GaeaKernel::RecordExternalTask(
+    const std::string& procedure_name,
+    const std::map<std::string, std::vector<Oid>>& inputs,
+    const std::vector<Oid>& outputs, const std::string& description) {
+  if (!IsIdentifier(procedure_name)) {
+    return Status::InvalidArgument("bad external procedure name: '" +
+                                   procedure_name + "'");
+  }
+  if (outputs.empty()) {
+    return Status::InvalidArgument("external task needs at least one output");
+  }
+  for (const auto& [arg, oids] : inputs) {
+    for (Oid oid : oids) {
+      if (!catalog_->ContainsObject(oid)) {
+        return Status::NotFound("external task input object " +
+                                std::to_string(oid) + " is not stored");
+      }
+    }
+  }
+  for (Oid oid : outputs) {
+    if (!catalog_->ContainsObject(oid)) {
+      return Status::NotFound("external task output object " +
+                              std::to_string(oid) + " is not stored");
+    }
+  }
+  Task task;
+  task.process_name = procedure_name;
+  task.process_version = kExternalTaskVersion;
+  task.inputs = inputs;
+  task.outputs = outputs;
+  task.user = user_;
+  task.note = description;
+  task.started = now_;
+  return task_log_->Append(std::move(task));
+}
+
+StatusOr<QueryResult> GaeaKernel::Query(const QueryRequest& request) {
+  return query_engine_->Execute(request);
+}
+
+StatusOr<QueryResult> GaeaKernel::QueryText(const std::string& gql) {
+  GAEA_ASSIGN_OR_RETURN(QueryRequest request, ParseQuery(gql));
+  return Query(request);
+}
+
+StatusOr<std::vector<GaeaKernel::InstanceComparison>>
+GaeaKernel::CompareConceptInstances(const std::string& concept_name,
+                                    const Window& window) {
+  GAEA_ASSIGN_OR_RETURN(const ConceptDef* concept_def,
+                        catalog_->concepts().LookupByName(concept_name));
+  GAEA_ASSIGN_OR_RETURN(std::set<ClassId> covered,
+                        catalog_->concepts().CoveredClasses(concept_def->id));
+  // Collect (oid, class name) per covered class within the window.
+  std::vector<std::pair<Oid, std::string>> instances;
+  for (ClassId class_id : covered) {
+    GAEA_ASSIGN_OR_RETURN(const ClassDef* def,
+                          catalog_->classes().LookupById(class_id));
+    GAEA_ASSIGN_OR_RETURN(
+        std::vector<Oid> oids,
+        catalog_->Candidates(class_id, window.region, window.time));
+    for (Oid oid : oids) instances.emplace_back(oid, def->name());
+  }
+  LineageGraph graph = lineage();
+  std::vector<InstanceComparison> out;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    for (size_t j = i + 1; j < instances.size(); ++j) {
+      GAEA_ASSIGN_OR_RETURN(
+          DerivationComparison cmp,
+          graph.Compare(instances[i].first, instances[j].first));
+      InstanceComparison entry;
+      entry.a = instances[i].first;
+      entry.b = instances[j].first;
+      entry.class_a = instances[i].second;
+      entry.class_b = instances[j].second;
+      entry.same_procedure = cmp.same_procedure;
+      entry.explanation = std::move(cmp.explanation);
+      out.push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
+GaeaKernel::Stats GaeaKernel::GetStats() const {
+  Stats stats;
+  stats.classes = catalog_->classes().size();
+  stats.concepts = catalog_->concepts().size();
+  stats.processes = processes_.ListLatest().size();
+  for (const ProcessDef* def : processes_.ListLatest()) {
+    auto history = processes_.History(def->name());
+    stats.process_versions += history.ok() ? history->size() : 0;
+  }
+  stats.objects = static_cast<size_t>(catalog_->ObjectCount());
+  stats.tasks = task_log_->size();
+  stats.experiments = experiments_->List().size();
+  return stats;
+}
+
+StatusOr<DerivationNet::Marking> GaeaKernel::CurrentMarking() const {
+  DerivationNet::Marking marking;
+  for (const ClassDef* def : catalog_->classes().List()) {
+    GAEA_ASSIGN_OR_RETURN(std::vector<Oid> oids,
+                          catalog_->ObjectsOfClass(def->id()));
+    if (!oids.empty()) {
+      marking[def->id()] = static_cast<int64_t>(oids.size());
+    }
+  }
+  return marking;
+}
+
+StatusOr<bool> GaeaKernel::CanDerive(const std::string& class_name) const {
+  GAEA_ASSIGN_OR_RETURN(const ClassDef* def,
+                        catalog_->classes().LookupByName(class_name));
+  GAEA_ASSIGN_OR_RETURN(DerivationNet net, BuildDerivationNet());
+  GAEA_ASSIGN_OR_RETURN(DerivationNet::Marking marking, CurrentMarking());
+  return net.CanDerive(def->id(), marking);
+}
+
+StatusOr<ReproductionReport> GaeaKernel::Reproduce(
+    const std::string& experiment) {
+  return experiments_->Reproduce(experiment, catalog_.get(), deriver_.get(),
+                                 interpolator_.get(), task_log_.get());
+}
+
+Status GaeaKernel::Flush() {
+  GAEA_RETURN_IF_ERROR(catalog_->Flush());
+  return process_journal_->Sync();
+}
+
+}  // namespace gaea

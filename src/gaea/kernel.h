@@ -1,0 +1,204 @@
+// GaeaKernel: the public face of the Gaea kernel (paper Figure 1).
+//
+// Wires the three metadata layers over one database directory:
+//   * system level   — primitive classes + operators (types/)
+//   * derivation     — processes, tasks, Petri net, planner, deriver (core/)
+//   * experiment     — concepts, experiments, reproduction (catalog/,
+//                      experiment/)
+// plus the storage substrate and the §2.1.5 query engine. All definitions
+// and tasks are journaled in the directory and replayed on reopen.
+
+#ifndef GAEA_GAEA_KERNEL_H_
+#define GAEA_GAEA_KERNEL_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "core/compound_process.h"
+#include "core/deriver.h"
+#include "core/lineage.h"
+#include "core/petri.h"
+#include "core/planner.h"
+#include "core/process_registry.h"
+#include "core/task.h"
+#include "ddl/parser.h"
+#include "experiment/experiment.h"
+#include "query/interpolate.h"
+#include "query/query.h"
+#include "types/compound_op.h"
+#include "types/op_registry.h"
+#include "types/primitive_class.h"
+#include "util/status.h"
+
+namespace gaea {
+
+class GaeaKernel {
+ public:
+  struct Options {
+    std::string dir;           // database directory
+    std::string user = "gaea"; // recorded on tasks
+  };
+
+  // Opens (creating if needed) a Gaea database, replaying all journals.
+  static StatusOr<std::unique_ptr<GaeaKernel>> Open(const Options& options);
+
+  GaeaKernel(const GaeaKernel&) = delete;
+  GaeaKernel& operator=(const GaeaKernel&) = delete;
+
+  // ---- layer access ----
+  Catalog& catalog() { return *catalog_; }
+  const Catalog& catalog() const { return *catalog_; }
+  const PrimitiveClassRegistry& primitive_classes() const {
+    return primitives_;
+  }
+  OperatorRegistry& operators() { return ops_; }
+  const OperatorRegistry& operators() const { return ops_; }
+  const ProcessRegistry& processes() const { return processes_; }
+  TaskLog& tasks() { return *task_log_; }
+  const TaskLog& tasks() const { return *task_log_; }
+  ExperimentManager& experiments() { return *experiments_; }
+
+  // ---- definitions ----
+
+  // Parses and applies a DDL script (classes, processes, concepts).
+  Status ExecuteDdl(const std::string& source);
+
+  // Registers a process built programmatically (journaled, versioned).
+  StatusOr<int> DefineProcess(ProcessDef def);
+
+  // ---- data & derivation ----
+
+  StatusOr<Oid> Insert(DataObject obj) {
+    return catalog_->InsertObject(std::move(obj));
+  }
+  StatusOr<DataObject> Get(Oid oid) const { return catalog_->GetObject(oid); }
+
+  // Fires a process on explicit inputs; records the task.
+  StatusOr<Oid> Derive(const std::string& process,
+                       const std::map<std::string, std::vector<Oid>>& inputs,
+                       int version = 0);
+
+  // Like Derive, but first checks the task log for a completed run of the
+  // same process version on the same inputs whose output is still stored —
+  // and returns that object instead of recomputing ("experiment management
+  // also helps avoid unnecessary duplication of experiments", paper §1).
+  // Since derivations are deterministic, the reused object equals what a
+  // fresh run would produce.
+  StatusOr<Oid> DeriveOrReuse(
+      const std::string& process,
+      const std::map<std::string, std::vector<Oid>>& inputs, int version = 0);
+
+  // Drops a *derived* object's stored bytes while keeping its task record:
+  // "typically, when data are not stored in the database, we may generate
+  // the needed data with the help of such derivation relationships"
+  // (§2.1.2) — eviction is the storage/recompute trade-off that sentence
+  // implies. A later query for the same window re-derives an attribute-
+  // identical object. Base objects (no producing task) are refused: they
+  // cannot be regenerated. Objects consumed by other stored objects'
+  // derivations are refused too, so recorded tasks always reference
+  // re-derivable inputs.
+  Status Evict(Oid oid);
+
+  // Expands a compound process on external inputs and runs its primitive
+  // stages in order; returns the output stage's object.
+  StatusOr<Oid> DeriveCompound(
+      const CompoundProcessDef& compound,
+      const std::map<std::string, std::vector<Oid>>& external_inputs);
+
+  // Records a *non-applicative* derivation (paper §5: "a process may
+  // consist of a mapping which is described by experimental procedures that
+  // do not follow a well known algorithm"): the outputs were produced
+  // outside Gaea (lab work, manual digitizing, a remote service), but their
+  // lineage — which stored objects went in, what came out, who did it — is
+  // still captured. Such tasks cannot be replayed (version -1); lineage and
+  // comparison work normally. Every input and output OID must be stored.
+  StatusOr<TaskId> RecordExternalTask(
+      const std::string& procedure_name,
+      const std::map<std::string, std::vector<Oid>>& inputs,
+      const std::vector<Oid>& outputs, const std::string& description);
+
+  // Marker version for external (non-replayable) tasks.
+  static constexpr int kExternalTaskVersion = -1;
+
+  // ---- query (paper §2.1.5) ----
+  StatusOr<QueryResult> Query(const QueryRequest& request);
+  // Parses a GQL SELECT statement (query/qparser.h) and executes it.
+  StatusOr<QueryResult> QueryText(const std::string& gql);
+
+  // ---- concept-instance comparison (paper §2.1.5 item 2) ----
+  // "Users may ... study the meaning and compare instances of concepts
+  // according to their derivation procedures." For every pair of stored
+  // instances of the concept's covered classes (within the window), reports
+  // whether they came from the same procedure and how their derivations
+  // diverge.
+  struct InstanceComparison {
+    Oid a = kInvalidOid;
+    Oid b = kInvalidOid;
+    std::string class_a;
+    std::string class_b;
+    bool same_procedure = false;
+    std::string explanation;
+  };
+  StatusOr<std::vector<InstanceComparison>> CompareConceptInstances(
+      const std::string& concept_name, const Window& window = {});
+
+  // ---- catalog statistics (shell `stats`, monitoring) ----
+  struct Stats {
+    size_t classes = 0;
+    size_t concepts = 0;
+    size_t processes = 0;        // latest versions
+    size_t process_versions = 0; // total across history
+    size_t objects = 0;
+    size_t tasks = 0;
+    size_t experiments = 0;
+  };
+  Stats GetStats() const;
+
+  // ---- lineage & Petri net ----
+  LineageGraph lineage() const { return LineageGraph(task_log_.get()); }
+  StatusOr<DerivationNet> BuildDerivationNet() const {
+    return DerivationNet::Build(catalog_->classes(), processes_);
+  }
+  // Current marking: stored object count per class.
+  StatusOr<DerivationNet::Marking> CurrentMarking() const;
+  // Can an object of `class_name` be produced from the stored data?
+  StatusOr<bool> CanDerive(const std::string& class_name) const;
+
+  // ---- experiments ----
+  StatusOr<ExperimentId> DefineExperiment(Experiment experiment) {
+    return experiments_->Define(std::move(experiment));
+  }
+  StatusOr<ReproductionReport> Reproduce(const std::string& experiment);
+
+  // ---- clock ----
+  // Logical clock recorded on tasks; deterministic sessions set it
+  // explicitly, interactive ones may tick it per operation.
+  void SetClock(AbsTime now);
+  AbsTime clock() const { return now_; }
+
+  Status Flush();
+
+ private:
+  GaeaKernel() = default;
+
+  Status ApplyStatement(ParsedStatement stmt);
+
+  std::string dir_;
+  std::string user_ = "gaea";
+  PrimitiveClassRegistry primitives_;
+  OperatorRegistry ops_;
+  std::unique_ptr<Catalog> catalog_;
+  ProcessRegistry processes_;
+  std::unique_ptr<Journal> process_journal_;
+  std::unique_ptr<TaskLog> task_log_;
+  std::unique_ptr<ExperimentManager> experiments_;
+  std::unique_ptr<Deriver> deriver_;
+  std::unique_ptr<Interpolator> interpolator_;
+  std::unique_ptr<QueryEngine> query_engine_;
+  AbsTime now_;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_GAEA_KERNEL_H_

@@ -1,0 +1,76 @@
+// Temporal interpolation: the generic derivation of §2.1.5 step 2.
+//
+// "Interpolation can be used in many situations where data are missing. It
+// is a generic derivation process which is applicable to many data types in
+// many domains." Given a class with a temporal extent and a requested
+// instant with no stored snapshot, the interpolator finds the nearest
+// bracketing objects (same/overlapping spatial extent), linearly blends
+// image attributes and numeric attributes by the time fraction, copies
+// invariant attributes from the earlier bracket, stamps the requested time,
+// stores the result, and records a synthetic task
+// (process "interpolate:<class>", version 0).
+//
+// Synthetic interpolation tasks are replayed by Interpolator::Replay, not
+// Deriver::Replay — they are not template-defined processes.
+
+#ifndef GAEA_QUERY_INTERPOLATE_H_
+#define GAEA_QUERY_INTERPOLATE_H_
+
+#include <optional>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "core/task.h"
+#include "spatial/abstime.h"
+#include "spatial/box.h"
+#include "util/status.h"
+
+namespace gaea {
+
+class Interpolator {
+ public:
+  Interpolator(Catalog* catalog, TaskLog* log)
+      : catalog_(catalog), log_(log) {}
+
+  void set_user(std::string user) { user_ = std::move(user); }
+  void set_clock(AbsTime now) { now_ = now; }
+
+  // The bracketing pair used for an interpolation request.
+  struct Brackets {
+    Oid before = kInvalidOid;
+    Oid after = kInvalidOid;
+    AbsTime t_before;
+    AbsTime t_after;
+  };
+
+  // Finds the nearest stored objects of `class_id` before and after `t`
+  // (optionally restricted to extents overlapping `region`). kNotFound when
+  // either side is missing — interpolation needs both brackets.
+  StatusOr<Brackets> FindBrackets(ClassId class_id, AbsTime t,
+                                  const std::optional<Box>& region) const;
+
+  // Interpolates an object of `class_id` at time `t`; returns the new OID.
+  StatusOr<Oid> Interpolate(ClassId class_id, AbsTime t,
+                            const std::optional<Box>& region = std::nullopt);
+
+  // Re-runs a synthetic interpolation task recorded by this class.
+  StatusOr<Oid> Replay(const Task& task);
+
+  // Name of the synthetic process recorded on interpolation tasks.
+  static std::string ProcessNameFor(const std::string& class_name) {
+    return "interpolate:" + class_name;
+  }
+
+ private:
+  StatusOr<Oid> BlendObjects(const ClassDef& def, Oid before, Oid after,
+                             AbsTime t);
+
+  Catalog* catalog_;
+  TaskLog* log_;
+  std::string user_ = "gaea";
+  AbsTime now_;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_QUERY_INTERPOLATE_H_

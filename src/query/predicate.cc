@@ -1,0 +1,96 @@
+#include "query/predicate.h"
+
+#include <sstream>
+
+namespace gaea {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+namespace {
+StatusOr<int> ThreeWay(const Value& a, const Value& b) {
+  // Numeric comparison covers int/double mixes.
+  if ((a.type() == TypeId::kInt || a.type() == TypeId::kDouble) &&
+      (b.type() == TypeId::kInt || b.type() == TypeId::kDouble)) {
+    GAEA_ASSIGN_OR_RETURN(double x, a.AsDouble());
+    GAEA_ASSIGN_OR_RETURN(double y, b.AsDouble());
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.type() == TypeId::kString && b.type() == TypeId::kString) {
+    GAEA_ASSIGN_OR_RETURN(std::string x, a.AsString());
+    GAEA_ASSIGN_OR_RETURN(std::string y, b.AsString());
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.type() == TypeId::kTime && b.type() == TypeId::kTime) {
+    GAEA_ASSIGN_OR_RETURN(AbsTime x, a.AsTime());
+    GAEA_ASSIGN_OR_RETURN(AbsTime y, b.AsTime());
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  return Status::InvalidArgument(
+      std::string("attributes of type ") + TypeIdName(a.type()) +
+      " do not support ordered comparison with " + TypeIdName(b.type()));
+}
+}  // namespace
+
+StatusOr<bool> AttrPredicate::Matches(const ClassDef& def,
+                                      const DataObject& obj) const {
+  GAEA_ASSIGN_OR_RETURN(Value actual, obj.Get(def, attr));
+  switch (op) {
+    case CompareOp::kEq:
+      return actual == value;
+    case CompareOp::kNe:
+      return !(actual == value);
+    default:
+      break;
+  }
+  GAEA_ASSIGN_OR_RETURN(int cmp, ThreeWay(actual, value));
+  switch (op) {
+    case CompareOp::kLt: return cmp < 0;
+    case CompareOp::kLe: return cmp <= 0;
+    case CompareOp::kGt: return cmp > 0;
+    case CompareOp::kGe: return cmp >= 0;
+    default:
+      return Status::Internal("unhandled compare op");
+  }
+}
+
+std::string AttrPredicate::ToString() const {
+  return attr + " " + CompareOpName(op) + " " + value.ToString();
+}
+
+StatusOr<bool> QueryFilter::Matches(const ClassDef& def,
+                                    const DataObject& obj) const {
+  if (window.region.has_value() && def.has_spatial_extent()) {
+    GAEA_ASSIGN_OR_RETURN(Box extent, obj.SpatialExtent(def));
+    if (!extent.Overlaps(*window.region)) return false;
+  }
+  if (window.time.has_value() && def.has_temporal_extent()) {
+    GAEA_ASSIGN_OR_RETURN(AbsTime ts, obj.Timestamp(def));
+    if (!window.time->Contains(ts)) return false;
+  }
+  for (const AttrPredicate& pred : predicates) {
+    GAEA_ASSIGN_OR_RETURN(bool match, pred.Matches(def, obj));
+    if (!match) return false;
+  }
+  return true;
+}
+
+std::string QueryFilter::ToString() const {
+  std::ostringstream os;
+  os << window.ToString();
+  for (const AttrPredicate& pred : predicates) {
+    os << " AND " << pred.ToString();
+  }
+  return os.str();
+}
+
+}  // namespace gaea

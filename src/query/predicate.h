@@ -1,0 +1,46 @@
+// Attribute predicates for object retrieval, composing with the
+// spatio-temporal Window of the planner: `numclass = 12`,
+// `area = "africa"`, `resolution <= 30.0`.
+
+#ifndef GAEA_QUERY_PREDICATE_H_
+#define GAEA_QUERY_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/class_def.h"
+#include "catalog/data_object.h"
+#include "core/planner.h"
+#include "util/status.h"
+
+namespace gaea {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+// One attribute comparison.
+struct AttrPredicate {
+  std::string attr;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+
+  // Evaluates against an object. Ordered comparisons require numeric,
+  // string or time attributes; eq/ne work on any type.
+  StatusOr<bool> Matches(const ClassDef& def, const DataObject& obj) const;
+
+  std::string ToString() const;
+};
+
+// Conjunction of a spatio-temporal window and attribute predicates.
+struct QueryFilter {
+  Window window;
+  std::vector<AttrPredicate> predicates;
+
+  StatusOr<bool> Matches(const ClassDef& def, const DataObject& obj) const;
+  std::string ToString() const;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_QUERY_PREDICATE_H_

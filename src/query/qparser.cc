@@ -1,0 +1,214 @@
+#include "query/qparser.h"
+
+#include <cstdlib>
+
+#include "ddl/lexer.h"
+#include "util/string_util.h"
+
+namespace gaea {
+
+namespace {
+
+// Reuses the DDL tokenizer; the query grammar needs no new token kinds.
+class QueryParser {
+ public:
+  explicit QueryParser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  StatusOr<QueryRequest> Parse() {
+    QueryRequest req;
+    GAEA_RETURN_IF_ERROR(ExpectKeyword("select"));
+    GAEA_RETURN_IF_ERROR(ExpectKeyword("from"));
+    GAEA_ASSIGN_OR_RETURN(req.target, ExpectIdentifier());
+    if (ConsumeKeyword("where")) {
+      GAEA_RETURN_IF_ERROR(Predicate(&req));
+      while (ConsumeKeyword("and")) {
+        GAEA_RETURN_IF_ERROR(Predicate(&req));
+      }
+    }
+    if (ConsumeKeyword("using")) {
+      req.strategy.clear();
+      GAEA_RETURN_IF_ERROR(Step(&req));
+      while (Peek().Is(TokenKind::kComma)) {
+        Take();
+        GAEA_RETURN_IF_ERROR(Step(&req));
+      }
+    }
+    if (!Peek().Is(TokenKind::kEof)) {
+      return Error("unexpected trailing input: '" + Peek().text + "'");
+    }
+    return req;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+    return tokens_[idx];
+  }
+  Token Take() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  Status Error(const std::string& msg) const {
+    const Token& tok = Peek();
+    return Status::InvalidArgument("query parse error at line " +
+                                   std::to_string(tok.line) + ":" +
+                                   std::to_string(tok.column) + ": " + msg);
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    if (!Peek().IsKeyword(keyword)) {
+      return Error(std::string("expected '") + keyword + "', got '" +
+                   Peek().text + "'");
+    }
+    Take();
+    return Status::OK();
+  }
+
+  bool ConsumeKeyword(const char* keyword) {
+    if (Peek().IsKeyword(keyword)) {
+      Take();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<std::string> ExpectIdentifier() {
+    if (!Peek().Is(TokenKind::kIdentifier)) {
+      return Error("expected identifier, got '" + Peek().text + "'");
+    }
+    return Take().text;
+  }
+
+  StatusOr<double> ExpectNumber() {
+    if (!Peek().Is(TokenKind::kNumber)) {
+      return Error("expected number, got '" + Peek().text + "'");
+    }
+    return std::strtod(Take().text.c_str(), nullptr);
+  }
+
+  // "YYYY-MM-DD" (string literal) or raw seconds (number).
+  StatusOr<AbsTime> Timestamp() {
+    if (Peek().Is(TokenKind::kNumber)) {
+      GAEA_ASSIGN_OR_RETURN(double seconds, ExpectNumber());
+      return AbsTime(static_cast<int64_t>(seconds));
+    }
+    if (Peek().Is(TokenKind::kString)) {
+      std::string text = Take().text;
+      std::vector<std::string> parts = StrSplit(text, '-');
+      if (parts.size() != 3) {
+        return Error("timestamp must be \"YYYY-MM-DD\", got \"" + text + "\"");
+      }
+      auto t = AbsTime::FromDate(std::atoi(parts[0].c_str()),
+                                 std::atoi(parts[1].c_str()),
+                                 std::atoi(parts[2].c_str()));
+      if (!t.ok()) return Error("bad timestamp \"" + text + "\"");
+      return *t;
+    }
+    return Error("expected timestamp, got '" + Peek().text + "'");
+  }
+
+  Status Predicate(QueryRequest* req) {
+    if (ConsumeKeyword("region")) {
+      GAEA_RETURN_IF_ERROR(ExpectKeyword("overlaps"));
+      GAEA_RETURN_IF_ERROR(ExpectKeyword("box"));
+      if (!Peek().Is(TokenKind::kLParen)) return Error("expected '('");
+      Take();
+      double coords[4];
+      for (int i = 0; i < 4; ++i) {
+        GAEA_ASSIGN_OR_RETURN(coords[i], ExpectNumber());
+        if (i < 3) {
+          if (!Peek().Is(TokenKind::kComma)) return Error("expected ','");
+          Take();
+        }
+      }
+      if (!Peek().Is(TokenKind::kRParen)) return Error("expected ')'");
+      Take();
+      req->filter.window.region = Box(coords[0], coords[1], coords[2],
+                                      coords[3]);
+      return Status::OK();
+    }
+    if (ConsumeKeyword("time")) {
+      if (ConsumeKeyword("at")) {
+        GAEA_ASSIGN_OR_RETURN(AbsTime t, Timestamp());
+        req->filter.window.time = TimeInterval(t, t);
+        return Status::OK();
+      }
+      GAEA_RETURN_IF_ERROR(ExpectKeyword("in"));
+      // '[' is not a DDL token; accept a parenthesized or bare pair.
+      bool bracketed = false;
+      if (Peek().Is(TokenKind::kLParen)) {
+        Take();
+        bracketed = true;
+      }
+      GAEA_ASSIGN_OR_RETURN(AbsTime begin, Timestamp());
+      if (!Peek().Is(TokenKind::kComma)) return Error("expected ','");
+      Take();
+      GAEA_ASSIGN_OR_RETURN(AbsTime end, Timestamp());
+      if (bracketed) {
+        if (!Peek().Is(TokenKind::kRParen)) return Error("expected ')'");
+        Take();
+      }
+      req->filter.window.time = TimeInterval(begin, end);
+      return Status::OK();
+    }
+    // attribute predicate: <attr> <op> <literal>
+    GAEA_ASSIGN_OR_RETURN(std::string attr, ExpectIdentifier());
+    AttrPredicate pred;
+    pred.attr = std::move(attr);
+    switch (Peek().kind) {
+      case TokenKind::kEq: pred.op = CompareOp::kEq; break;
+      case TokenKind::kNe: pred.op = CompareOp::kNe; break;
+      case TokenKind::kLt: pred.op = CompareOp::kLt; break;
+      case TokenKind::kLe: pred.op = CompareOp::kLe; break;
+      case TokenKind::kGt: pred.op = CompareOp::kGt; break;
+      case TokenKind::kGe: pred.op = CompareOp::kGe; break;
+      default:
+        return Error("expected comparison operator, got '" + Peek().text + "'");
+    }
+    Take();
+    const Token& lit = Peek();
+    if (lit.Is(TokenKind::kNumber)) {
+      std::string spelling = Take().text;
+      if (spelling.find('.') != std::string::npos) {
+        pred.value = Value::Double(std::strtod(spelling.c_str(), nullptr));
+      } else {
+        pred.value = Value::Int(std::strtoll(spelling.c_str(), nullptr, 10));
+      }
+    } else if (lit.Is(TokenKind::kString)) {
+      pred.value = Value::String(Take().text);
+    } else if (lit.IsKeyword("true") || lit.IsKeyword("false")) {
+      pred.value = Value::Bool(Take().text == "true");
+    } else {
+      return Error("expected literal, got '" + lit.text + "'");
+    }
+    req->filter.predicates.push_back(std::move(pred));
+    return Status::OK();
+  }
+
+  Status Step(QueryRequest* req) {
+    if (ConsumeKeyword("retrieve")) {
+      req->strategy.push_back(QueryStep::kRetrieve);
+    } else if (ConsumeKeyword("interpolate")) {
+      req->strategy.push_back(QueryStep::kInterpolate);
+    } else if (ConsumeKeyword("derive")) {
+      req->strategy.push_back(QueryStep::kDerive);
+    } else {
+      return Error("expected RETRIEVE, INTERPOLATE or DERIVE, got '" +
+                   Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<QueryRequest> ParseQuery(const std::string& source) {
+  GAEA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  QueryParser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace gaea

@@ -1,0 +1,38 @@
+// Textual query language for the §2.1.5 interface — the surface the Gaea
+// visual environment would generate. One statement form:
+//
+//   SELECT FROM <concept-or-class>
+//   [ WHERE <predicate> { AND <predicate> } ]
+//   [ USING <step> { , <step> } ]
+//
+// predicates:
+//   REGION OVERLAPS box(x0, y0, x1, y1)
+//   TIME IN (<timestamp>, <timestamp>)      timestamp: "YYYY-MM-DD" or int
+//   TIME AT <timestamp>
+//   <attr> <op> <literal>                   op: = != < <= > >=
+//
+// steps: RETRIEVE | INTERPOLATE | DERIVE (defaults to all three, in the
+// paper's order).
+//
+// Example:
+//   SELECT FROM vegetation_change
+//   WHERE REGION OVERLAPS box(-20, -35, 52, 38)
+//     AND TIME IN ("1988-01-01", "1989-12-31")
+//   USING RETRIEVE, DERIVE
+
+#ifndef GAEA_QUERY_QPARSER_H_
+#define GAEA_QUERY_QPARSER_H_
+
+#include <string>
+
+#include "query/query.h"
+#include "util/status.h"
+
+namespace gaea {
+
+// Parses one SELECT statement into a QueryRequest.
+StatusOr<QueryRequest> ParseQuery(const std::string& source);
+
+}  // namespace gaea
+
+#endif  // GAEA_QUERY_QPARSER_H_

@@ -1,0 +1,241 @@
+#include "raster/classify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "raster/image_ops.h"
+
+namespace gaea {
+
+namespace {
+
+// Deterministic xorshift64* PRNG: classification must replay identically.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x1234567) {}
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+  // Uniform in [0, n).
+  size_t Index(size_t n) { return static_cast<size_t>(Next() % n); }
+
+ private:
+  uint64_t state_;
+};
+
+double Dist2(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+StatusOr<Image> UnsupervisedClassify(const std::vector<const Image*>& bands,
+                                     int k, const KMeansOptions& opts) {
+  if (k <= 0) {
+    return Status::InvalidArgument("unsuperclassify: k must be positive");
+  }
+  GAEA_ASSIGN_OR_RETURN(std::vector<Image> stack, Composite(bands));
+  const Image& first = stack[0];
+  size_t npix = first.PixelCount();
+  if (npix < static_cast<size_t>(k)) {
+    return Status::InvalidArgument("unsuperclassify: fewer pixels than classes");
+  }
+  size_t nb = stack.size();
+
+  // Gather pixel feature vectors.
+  std::vector<std::vector<double>> px(npix, std::vector<double>(nb));
+  for (size_t j = 0; j < nb; ++j) {
+    const Image& img = stack[j];
+    size_t idx = 0;
+    for (int r = 0; r < img.nrow(); ++r) {
+      for (int c = 0; c < img.ncol(); ++c) {
+        px[idx++][j] = img.Get(r, c);
+      }
+    }
+  }
+
+  // Farthest-point (k-means++ without randomness beyond the first pick)
+  // seeding from a fixed PRNG: deterministic given inputs.
+  Rng rng(opts.seed);
+  std::vector<std::vector<double>> centers;
+  centers.reserve(k);
+  centers.push_back(px[rng.Index(npix)]);
+  std::vector<double> best_d2(npix, std::numeric_limits<double>::infinity());
+  while (static_cast<int>(centers.size()) < k) {
+    size_t far_idx = 0;
+    double far_d2 = -1;
+    for (size_t i = 0; i < npix; ++i) {
+      double d2 = Dist2(px[i], centers.back());
+      best_d2[i] = std::min(best_d2[i], d2);
+      if (best_d2[i] > far_d2) {
+        far_d2 = best_d2[i];
+        far_idx = i;
+      }
+    }
+    centers.push_back(px[far_idx]);
+  }
+
+  // Lloyd iterations.
+  std::vector<int> assign(npix, 0);
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    bool moved = false;
+    for (size_t i = 0; i < npix; ++i) {
+      int best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        double d = Dist2(px[i], centers[c]);
+        if (d < best_dist) {
+          best_dist = d;
+          best = c;
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = best;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+    std::vector<std::vector<double>> sums(k, std::vector<double>(nb, 0.0));
+    std::vector<int64_t> counts(k, 0);
+    for (size_t i = 0; i < npix; ++i) {
+      counts[assign[i]]++;
+      for (size_t j = 0; j < nb; ++j) sums[assign[i]][j] += px[i][j];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep old center for empty cluster
+      for (size_t j = 0; j < nb; ++j) {
+        centers[c][j] = sums[c][j] / counts[c];
+      }
+    }
+  }
+
+  GAEA_ASSIGN_OR_RETURN(
+      Image out, Image::Create(first.nrow(), first.ncol(), PixelType::kInt32));
+  size_t idx = 0;
+  for (int r = 0; r < first.nrow(); ++r) {
+    for (int c = 0; c < first.ncol(); ++c) {
+      out.Set(r, c, assign[idx++]);
+    }
+  }
+  return out;
+}
+
+StatusOr<Image> MaxLikelihoodClassify(const std::vector<const Image*>& bands,
+                                      const Image& training) {
+  GAEA_ASSIGN_OR_RETURN(std::vector<Image> stack, Composite(bands));
+  const Image& first = stack[0];
+  if (!training.SameShape(first)) {
+    return Status::InvalidArgument("maxlike: training image shape mismatch");
+  }
+  size_t nb = stack.size();
+
+  // Per-class mean and diagonal variance over labeled pixels.
+  struct ClassStats {
+    std::vector<double> sum, sum2;
+    int64_t n = 0;
+  };
+  std::map<int, ClassStats> stats;
+  for (int r = 0; r < first.nrow(); ++r) {
+    for (int c = 0; c < first.ncol(); ++c) {
+      int label = static_cast<int>(training.Get(r, c));
+      if (label < 0) continue;
+      ClassStats& cs = stats[label];
+      if (cs.sum.empty()) {
+        cs.sum.assign(nb, 0.0);
+        cs.sum2.assign(nb, 0.0);
+      }
+      for (size_t j = 0; j < nb; ++j) {
+        double v = stack[j].Get(r, c);
+        cs.sum[j] += v;
+        cs.sum2[j] += v * v;
+      }
+      cs.n++;
+    }
+  }
+  if (stats.empty()) {
+    return Status::FailedPrecondition("maxlike: training image has no labels");
+  }
+
+  struct Gaussian {
+    int label;
+    std::vector<double> mean, var;
+  };
+  std::vector<Gaussian> models;
+  for (const auto& [label, cs] : stats) {
+    Gaussian g;
+    g.label = label;
+    g.mean.resize(nb);
+    g.var.resize(nb);
+    for (size_t j = 0; j < nb; ++j) {
+      g.mean[j] = cs.sum[j] / cs.n;
+      double var = cs.sum2[j] / cs.n - g.mean[j] * g.mean[j];
+      g.var[j] = std::max(var, 1e-6);  // floor to keep log-likelihood finite
+    }
+    models.push_back(std::move(g));
+  }
+
+  GAEA_ASSIGN_OR_RETURN(
+      Image out, Image::Create(first.nrow(), first.ncol(), PixelType::kInt32));
+  std::vector<double> feat(nb);
+  for (int r = 0; r < first.nrow(); ++r) {
+    for (int c = 0; c < first.ncol(); ++c) {
+      for (size_t j = 0; j < nb; ++j) feat[j] = stack[j].Get(r, c);
+      double best_ll = -std::numeric_limits<double>::infinity();
+      int best_label = models[0].label;
+      for (const Gaussian& g : models) {
+        double ll = 0;
+        for (size_t j = 0; j < nb; ++j) {
+          double d = feat[j] - g.mean[j];
+          ll += -0.5 * (d * d / g.var[j] + std::log(g.var[j]));
+        }
+        if (ll > best_ll) {
+          best_ll = ll;
+          best_label = g.label;
+        }
+      }
+      out.Set(r, c, best_label);
+    }
+  }
+  return out;
+}
+
+StatusOr<Image> ChangeMap(const Image& before, const Image& after,
+                          int num_classes) {
+  if (num_classes <= 0) {
+    return Status::InvalidArgument("changemap: num_classes must be positive");
+  }
+  GAEA_ASSIGN_OR_RETURN(
+      Image out,
+      PointwiseBinary(before, after, [num_classes](double b, double a) {
+        int bi = static_cast<int>(b), ai = static_cast<int>(a);
+        return bi == ai ? -1.0 : static_cast<double>(bi * num_classes + ai);
+      }));
+  return out.ConvertTo(PixelType::kInt32);
+}
+
+StatusOr<double> ChangedFraction(const Image& change_map) {
+  if (change_map.empty()) {
+    return Status::InvalidArgument("changemap fraction of empty image");
+  }
+  int64_t changed = 0;
+  for (int r = 0; r < change_map.nrow(); ++r) {
+    for (int c = 0; c < change_map.ncol(); ++c) {
+      if (change_map.Get(r, c) >= 0) ++changed;
+    }
+  }
+  return static_cast<double>(changed) /
+         static_cast<double>(change_map.PixelCount());
+}
+
+}  // namespace gaea

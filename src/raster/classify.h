@@ -1,0 +1,51 @@
+// Classification operators (paper Figures 3 & 5).
+//
+// `unsuperclassify` is the unsupervised land-cover classification of process
+// P20: k-means over the multi-band pixel vectors, deterministic (k-means++
+// style farthest-point seeding from a fixed seed) so that re-running a task
+// reproduces the identical output — the property Gaea's experiment
+// reproducibility depends on.
+//
+// `maxlike` is the maximum-likelihood supervised classifier the paper lists
+// among the classification schemes scientists evaluate (§1); per-class
+// Gaussians with diagonal covariance estimated from a training label image.
+
+#ifndef GAEA_RASTER_CLASSIFY_H_
+#define GAEA_RASTER_CLASSIFY_H_
+
+#include <vector>
+
+#include "raster/image.h"
+#include "util/status.h"
+
+namespace gaea {
+
+struct KMeansOptions {
+  int max_iterations = 25;
+  uint64_t seed = 0x9aea;  // fixed: derivations must be reproducible
+};
+
+// Unsupervised classification of co-registered bands into `k` classes.
+// Returns an int32 label image with values in [0, k).
+StatusOr<Image> UnsupervisedClassify(const std::vector<const Image*>& bands,
+                                     int k, const KMeansOptions& opts = {});
+
+// Maximum-likelihood supervised classification. `training` is an int32
+// image where pixel >= 0 gives the true class of that pixel and -1 means
+// unlabeled. Returns an int32 label image over classes seen in training.
+StatusOr<Image> MaxLikelihoodClassify(const std::vector<const Image*>& bands,
+                                      const Image& training);
+
+// Land-cover change map between two label images of the same shape:
+// pixel = before_label * num_classes + after_label where labels differ,
+// and -1 where they agree (no change). This is the final step of the
+// Figure 5 land-change-detection compound process.
+StatusOr<Image> ChangeMap(const Image& before, const Image& after,
+                          int num_classes);
+
+// Fraction of pixels marked changed in a ChangeMap output.
+StatusOr<double> ChangedFraction(const Image& change_map);
+
+}  // namespace gaea
+
+#endif  // GAEA_RASTER_CLASSIFY_H_

@@ -1,0 +1,313 @@
+#include "raster/image.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace gaea {
+
+namespace {
+// Refuse rasters above ~1 GiB of float64 to catch corrupted headers.
+constexpr int64_t kMaxPixels = int64_t{1} << 27;
+
+double ClampTo(PixelType t, double v) {
+  switch (t) {
+    case PixelType::kUInt8:
+      return std::clamp(std::round(v), 0.0, 255.0);
+    case PixelType::kInt16:
+      return std::clamp(std::round(v), -32768.0, 32767.0);
+    case PixelType::kInt32:
+      return std::clamp(std::round(v), -2147483648.0, 2147483647.0);
+    case PixelType::kFloat32:
+      return static_cast<double>(static_cast<float>(v));
+    case PixelType::kFloat64:
+      return v;
+  }
+  return v;
+}
+}  // namespace
+
+size_t PixelSize(PixelType t) {
+  switch (t) {
+    case PixelType::kUInt8: return 1;
+    case PixelType::kInt16: return 2;
+    case PixelType::kInt32: return 4;
+    case PixelType::kFloat32: return 4;
+    case PixelType::kFloat64: return 8;
+  }
+  return 8;
+}
+
+const char* PixelTypeName(PixelType t) {
+  switch (t) {
+    case PixelType::kUInt8: return "char";
+    case PixelType::kInt16: return "int2";
+    case PixelType::kInt32: return "int4";
+    case PixelType::kFloat32: return "float4";
+    case PixelType::kFloat64: return "float8";
+  }
+  return "unknown";
+}
+
+StatusOr<PixelType> PixelTypeFromString(const std::string& s) {
+  std::string lower = StrToLower(StrTrim(s));
+  if (lower == "char" || lower == "uint8" || lower == "byte") {
+    return PixelType::kUInt8;
+  }
+  if (lower == "int2" || lower == "int16") return PixelType::kInt16;
+  if (lower == "int4" || lower == "int32") return PixelType::kInt32;
+  if (lower == "float4" || lower == "float32" || lower == "float") {
+    return PixelType::kFloat32;
+  }
+  if (lower == "float8" || lower == "float64" || lower == "double") {
+    return PixelType::kFloat64;
+  }
+  return Status::InvalidArgument("unknown pixel type: " + s);
+}
+
+Image::Image(int nrow, int ncol, PixelType type)
+    : nrow_(nrow),
+      ncol_(ncol),
+      type_(type),
+      data_(static_cast<size_t>(nrow) * ncol * PixelSize(type), 0) {}
+
+StatusOr<Image> Image::Create(int nrow, int ncol, PixelType type) {
+  if (nrow <= 0 || ncol <= 0) {
+    return Status::InvalidArgument("image dimensions must be positive, got " +
+                                   std::to_string(nrow) + "x" +
+                                   std::to_string(ncol));
+  }
+  if (static_cast<int64_t>(nrow) * ncol > kMaxPixels) {
+    return Status::InvalidArgument("image too large: " + std::to_string(nrow) +
+                                   "x" + std::to_string(ncol));
+  }
+  return Image(nrow, ncol, type);
+}
+
+StatusOr<Image> Image::FromValues(int nrow, int ncol,
+                                  const std::vector<double>& values,
+                                  PixelType type) {
+  GAEA_ASSIGN_OR_RETURN(Image img, Create(nrow, ncol, type));
+  if (values.size() != img.PixelCount()) {
+    return Status::InvalidArgument(
+        "pixel vector size " + std::to_string(values.size()) +
+        " does not match " + std::to_string(nrow) + "x" + std::to_string(ncol));
+  }
+  for (size_t i = 0; i < values.size(); ++i) img.SetRaw(i, values[i]);
+  return img;
+}
+
+double Image::GetRaw(size_t idx) const {
+  const uint8_t* p = data_.data() + idx * PixelSize(type_);
+  switch (type_) {
+    case PixelType::kUInt8:
+      return *p;
+    case PixelType::kInt16: {
+      int16_t v;
+      std::memcpy(&v, p, sizeof(v));
+      return v;
+    }
+    case PixelType::kInt32: {
+      int32_t v;
+      std::memcpy(&v, p, sizeof(v));
+      return v;
+    }
+    case PixelType::kFloat32: {
+      float v;
+      std::memcpy(&v, p, sizeof(v));
+      return v;
+    }
+    case PixelType::kFloat64: {
+      double v;
+      std::memcpy(&v, p, sizeof(v));
+      return v;
+    }
+  }
+  return 0;
+}
+
+void Image::SetRaw(size_t idx, double v) {
+  uint8_t* p = data_.data() + idx * PixelSize(type_);
+  v = ClampTo(type_, v);
+  switch (type_) {
+    case PixelType::kUInt8: {
+      *p = static_cast<uint8_t>(v);
+      return;
+    }
+    case PixelType::kInt16: {
+      int16_t t = static_cast<int16_t>(v);
+      std::memcpy(p, &t, sizeof(t));
+      return;
+    }
+    case PixelType::kInt32: {
+      int32_t t = static_cast<int32_t>(v);
+      std::memcpy(p, &t, sizeof(t));
+      return;
+    }
+    case PixelType::kFloat32: {
+      float t = static_cast<float>(v);
+      std::memcpy(p, &t, sizeof(t));
+      return;
+    }
+    case PixelType::kFloat64: {
+      std::memcpy(p, &v, sizeof(v));
+      return;
+    }
+  }
+}
+
+double Image::Get(int r, int c) const {
+  assert(r >= 0 && r < nrow_ && c >= 0 && c < ncol_);
+  return GetRaw(static_cast<size_t>(r) * ncol_ + c);
+}
+
+void Image::Set(int r, int c, double v) {
+  assert(r >= 0 && r < nrow_ && c >= 0 && c < ncol_);
+  SetRaw(static_cast<size_t>(r) * ncol_ + c, v);
+}
+
+StatusOr<double> Image::At(int r, int c) const {
+  if (r < 0 || r >= nrow_ || c < 0 || c >= ncol_) {
+    return Status::OutOfRange("pixel (" + std::to_string(r) + "," +
+                              std::to_string(c) + ") outside " +
+                              std::to_string(nrow_) + "x" +
+                              std::to_string(ncol_));
+  }
+  return Get(r, c);
+}
+
+Status Image::SetAt(int r, int c, double v) {
+  if (r < 0 || r >= nrow_ || c < 0 || c >= ncol_) {
+    return Status::OutOfRange("pixel (" + std::to_string(r) + "," +
+                              std::to_string(c) + ") outside " +
+                              std::to_string(nrow_) + "x" +
+                              std::to_string(ncol_));
+  }
+  Set(r, c, v);
+  return Status::OK();
+}
+
+Image::Stats Image::ComputeStats() const {
+  Stats s;
+  size_t n = PixelCount();
+  if (n == 0) return s;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  double sum = 0, sum2 = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double v = GetRaw(i);
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+    sum2 += v * v;
+  }
+  s.mean = sum / static_cast<double>(n);
+  double var = sum2 / static_cast<double>(n) - s.mean * s.mean;
+  s.stddev = var > 0 ? std::sqrt(var) : 0.0;
+  return s;
+}
+
+std::vector<int64_t> Image::Histogram(int bins, double lo, double hi) const {
+  std::vector<int64_t> h(std::max(bins, 1), 0);
+  if (bins <= 0 || hi <= lo) return h;
+  double scale = bins / (hi - lo);
+  size_t n = PixelCount();
+  for (size_t i = 0; i < n; ++i) {
+    double v = GetRaw(i);
+    if (v < lo || v > hi) continue;
+    int b = std::min(static_cast<int>((v - lo) * scale), bins - 1);
+    h[b]++;
+  }
+  return h;
+}
+
+bool Image::operator==(const Image& other) const {
+  return nrow_ == other.nrow_ && ncol_ == other.ncol_ &&
+         type_ == other.type_ && data_ == other.data_;
+}
+
+StatusOr<Image> Image::ConvertTo(PixelType type) const {
+  if (type == type_) return *this;
+  if (empty()) return Image();
+  GAEA_ASSIGN_OR_RETURN(Image out, Create(nrow_, ncol_, type));
+  size_t n = PixelCount();
+  for (size_t i = 0; i < n; ++i) out.SetRaw(i, GetRaw(i));
+  return out;
+}
+
+std::string Image::ToString() const {
+  std::ostringstream os;
+  os << "image(" << nrow_ << "x" << ncol_ << ", " << PixelTypeName(type_)
+     << ")";
+  return os.str();
+}
+
+void Image::Serialize(BinaryWriter* w) const {
+  w->PutI32(nrow_);
+  w->PutI32(ncol_);
+  w->PutU8(static_cast<uint8_t>(type_));
+  w->PutU64(data_.size());
+  w->PutRaw(data_.data(), data_.size());
+}
+
+StatusOr<Image> Image::Deserialize(BinaryReader* r) {
+  GAEA_ASSIGN_OR_RETURN(int32_t nrow, r->GetI32());
+  GAEA_ASSIGN_OR_RETURN(int32_t ncol, r->GetI32());
+  GAEA_ASSIGN_OR_RETURN(uint8_t type_raw, r->GetU8());
+  if (type_raw > static_cast<uint8_t>(PixelType::kFloat64)) {
+    return Status::Corruption("bad pixel type tag " + std::to_string(type_raw));
+  }
+  PixelType type = static_cast<PixelType>(type_raw);
+  GAEA_ASSIGN_OR_RETURN(uint64_t size, r->GetU64());
+  if (nrow == 0 || ncol == 0) {
+    if (size != 0) return Status::Corruption("empty image with pixel payload");
+    return Image();
+  }
+  if (nrow < 0 || ncol < 0 ||
+      static_cast<int64_t>(nrow) * ncol > kMaxPixels) {
+    return Status::Corruption("bad image dimensions in payload");
+  }
+  size_t expected =
+      static_cast<size_t>(nrow) * static_cast<size_t>(ncol) * PixelSize(type);
+  if (size != expected) {
+    return Status::Corruption("image payload size mismatch: header says " +
+                              std::to_string(expected) + ", got " +
+                              std::to_string(size));
+  }
+  GAEA_ASSIGN_OR_RETURN(std::string bytes, r->GetRaw(size));
+  Image img(nrow, ncol, type);
+  std::memcpy(img.data_.data(), bytes.data(), size);
+  return img;
+}
+
+Status Image::Save(const std::string& path) const {
+  BinaryWriter w;
+  w.PutString("GAEAIMG1");
+  Serialize(&w);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(w.buffer().data(), static_cast<std::streamsize>(w.size()));
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+StatusOr<Image> Image::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  BinaryReader r(bytes);
+  GAEA_ASSIGN_OR_RETURN(std::string magic, r.GetString());
+  if (magic != "GAEAIMG1") {
+    return Status::Corruption("not a Gaea image file: " + path);
+  }
+  return Deserialize(&r);
+}
+
+}  // namespace gaea

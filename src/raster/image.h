@@ -1,0 +1,122 @@
+// The `image` primitive class (paper §2.1.3): a 2-D raster with a pixel data
+// type. The paper's external representation is "(nrows, ncols, pixtype,
+// filepath)" with pixel data in a file; we keep pixels in memory and provide
+// the same file-backed round trip (Save/Load) so the storage substrate can
+// spill rasters exactly as the Postgres ADT did.
+//
+// Pixels are stored in their native width (uint8/int16/int32/float/double)
+// and accessed through double-valued Get/Set, which is what every analysis
+// operator (NDVI, PCA, classification) works in.
+
+#ifndef GAEA_RASTER_IMAGE_H_
+#define GAEA_RASTER_IMAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace gaea {
+
+enum class PixelType : uint8_t {
+  kUInt8 = 0,
+  kInt16 = 1,
+  kInt32 = 2,
+  kFloat32 = 3,
+  kFloat64 = 4,
+};
+
+// Bytes per pixel for `t`.
+size_t PixelSize(PixelType t);
+const char* PixelTypeName(PixelType t);
+// Parses "char", "int2", "int4", "float4", "float8" — the paper's names —
+// as well as the modern aliases above.
+StatusOr<PixelType> PixelTypeFromString(const std::string& s);
+
+// A dense row-major raster. Copyable (deep copy) and movable; analysis
+// operators treat images as values, matching the paper's value-identified
+// primitive classes ("changing the value of an object in a primitive class
+// will always lead to another object").
+class Image {
+ public:
+  // Empty 0x0 image.
+  Image() = default;
+
+  // Zero-filled raster. Fails on nonpositive dimensions or absurd sizes.
+  static StatusOr<Image> Create(int nrow, int ncol,
+                                PixelType type = PixelType::kFloat64);
+
+  // Builds from a row-major double vector (values clamped/cast per `type`).
+  static StatusOr<Image> FromValues(int nrow, int ncol,
+                                    const std::vector<double>& values,
+                                    PixelType type = PixelType::kFloat64);
+
+  int nrow() const { return nrow_; }
+  int ncol() const { return ncol_; }
+  PixelType pixel_type() const { return type_; }
+  size_t PixelCount() const {
+    return static_cast<size_t>(nrow_) * static_cast<size_t>(ncol_);
+  }
+  bool empty() const { return nrow_ == 0 || ncol_ == 0; }
+
+  // Unchecked accessors (assert in debug builds). Row/col are 0-based.
+  double Get(int r, int c) const;
+  void Set(int r, int c, double v);
+
+  // Checked accessors.
+  StatusOr<double> At(int r, int c) const;
+  Status SetAt(int r, int c, double v);
+
+  bool SameShape(const Image& other) const {
+    return nrow_ == other.nrow_ && ncol_ == other.ncol_;
+  }
+
+  // Summary statistics over all pixels (empty image -> all zeros).
+  struct Stats {
+    double min = 0, max = 0, mean = 0, stddev = 0;
+  };
+  Stats ComputeStats() const;
+
+  // Histogram with `bins` equal-width buckets over [lo, hi].
+  std::vector<int64_t> Histogram(int bins, double lo, double hi) const;
+
+  // Exact pixel-wise equality (and same shape/type).
+  bool operator==(const Image& other) const;
+  bool operator!=(const Image& other) const { return !(*this == other); }
+
+  // Converts pixel representation (values clamped per target type).
+  StatusOr<Image> ConvertTo(PixelType type) const;
+
+  std::string ToString() const;
+
+  // In-memory serialization (used by the object store for raster payloads).
+  void Serialize(BinaryWriter* w) const;
+  static StatusOr<Image> Deserialize(BinaryReader* r);
+
+  // File-backed round trip matching the paper's "(nrows, ncols, pixtype,
+  // filepath)" representation: a small header followed by raw pixels.
+  Status Save(const std::string& path) const;
+  static StatusOr<Image> Load(const std::string& path);
+
+ private:
+  Image(int nrow, int ncol, PixelType type);
+
+  double GetRaw(size_t idx) const;
+  void SetRaw(size_t idx, double v);
+
+  int nrow_ = 0;
+  int ncol_ = 0;
+  PixelType type_ = PixelType::kFloat64;
+  std::vector<uint8_t> data_;
+};
+
+// Images flow through the Value system by shared pointer; operators never
+// mutate their inputs, so sharing is safe.
+using ImagePtr = std::shared_ptr<const Image>;
+
+}  // namespace gaea
+
+#endif  // GAEA_RASTER_IMAGE_H_

@@ -1,0 +1,210 @@
+#include "raster/image_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gaea {
+
+StatusOr<Image> PointwiseBinary(
+    const Image& a, const Image& b,
+    const std::function<double(double, double)>& fn) {
+  if (!a.SameShape(b)) {
+    return Status::InvalidArgument("image shape mismatch: " + a.ToString() +
+                                   " vs " + b.ToString());
+  }
+  GAEA_ASSIGN_OR_RETURN(Image out,
+                        Image::Create(a.nrow(), a.ncol(), PixelType::kFloat64));
+  for (int r = 0; r < a.nrow(); ++r) {
+    for (int c = 0; c < a.ncol(); ++c) {
+      out.Set(r, c, fn(a.Get(r, c), b.Get(r, c)));
+    }
+  }
+  return out;
+}
+
+StatusOr<Image> PointwiseUnary(const Image& a,
+                               const std::function<double(double)>& fn) {
+  GAEA_ASSIGN_OR_RETURN(Image out,
+                        Image::Create(a.nrow(), a.ncol(), PixelType::kFloat64));
+  for (int r = 0; r < a.nrow(); ++r) {
+    for (int c = 0; c < a.ncol(); ++c) {
+      out.Set(r, c, fn(a.Get(r, c)));
+    }
+  }
+  return out;
+}
+
+StatusOr<Image> ImgAdd(const Image& a, const Image& b) {
+  return PointwiseBinary(a, b, [](double x, double y) { return x + y; });
+}
+
+StatusOr<Image> ImgSubtract(const Image& a, const Image& b) {
+  return PointwiseBinary(a, b, [](double x, double y) { return x - y; });
+}
+
+StatusOr<Image> ImgMultiply(const Image& a, const Image& b) {
+  return PointwiseBinary(a, b, [](double x, double y) { return x * y; });
+}
+
+StatusOr<Image> ImgDivide(const Image& a, const Image& b, double eps) {
+  return PointwiseBinary(a, b, [eps](double x, double y) {
+    return std::fabs(y) < eps ? 0.0 : x / y;
+  });
+}
+
+StatusOr<Image> ImgScale(const Image& a, double factor, double offset) {
+  return PointwiseUnary(a,
+                        [factor, offset](double x) { return x * factor + offset; });
+}
+
+StatusOr<Image> ImgAbs(const Image& a) {
+  return PointwiseUnary(a, [](double x) { return std::fabs(x); });
+}
+
+StatusOr<Image> Ndvi(const Image& nir, const Image& red) {
+  return PointwiseBinary(nir, red, [](double n, double r) {
+    double denom = n + r;
+    return std::fabs(denom) < 1e-12 ? 0.0 : (n - r) / denom;
+  });
+}
+
+StatusOr<std::vector<Image>> Composite(
+    const std::vector<const Image*>& bands) {
+  if (bands.empty()) {
+    return Status::InvalidArgument("composite needs at least one band");
+  }
+  for (const Image* b : bands) {
+    if (b == nullptr) return Status::InvalidArgument("composite: null band");
+    if (!b->SameShape(*bands[0])) {
+      return Status::InvalidArgument("composite: band shape mismatch " +
+                                     bands[0]->ToString() + " vs " +
+                                     b->ToString());
+    }
+  }
+  std::vector<Image> out;
+  out.reserve(bands.size());
+  for (const Image* b : bands) {
+    GAEA_ASSIGN_OR_RETURN(Image converted, b->ConvertTo(PixelType::kFloat64));
+    out.push_back(std::move(converted));
+  }
+  return out;
+}
+
+StatusOr<Matrix> ImagesToMatrix(const std::vector<const Image*>& bands) {
+  if (bands.empty()) {
+    return Status::InvalidArgument("convert-image-matrix needs >=1 image");
+  }
+  const Image& first = *bands[0];
+  for (const Image* b : bands) {
+    if (b == nullptr || !b->SameShape(first)) {
+      return Status::InvalidArgument("convert-image-matrix: shape mismatch");
+    }
+  }
+  int64_t npix = static_cast<int64_t>(first.nrow()) * first.ncol();
+  Matrix m(static_cast<int>(npix), static_cast<int>(bands.size()));
+  for (size_t j = 0; j < bands.size(); ++j) {
+    const Image& img = *bands[j];
+    int idx = 0;
+    for (int r = 0; r < img.nrow(); ++r) {
+      for (int c = 0; c < img.ncol(); ++c) {
+        m(idx++, static_cast<int>(j)) = img.Get(r, c);
+      }
+    }
+  }
+  return m;
+}
+
+StatusOr<std::vector<Image>> MatrixToImages(const Matrix& m, int nrow,
+                                            int ncol) {
+  if (nrow <= 0 || ncol <= 0 ||
+      static_cast<int64_t>(nrow) * ncol != m.rows()) {
+    return Status::InvalidArgument(
+        "convert-matrix-image: matrix rows " + std::to_string(m.rows()) +
+        " do not factor as " + std::to_string(nrow) + "x" +
+        std::to_string(ncol));
+  }
+  std::vector<Image> out;
+  out.reserve(m.cols());
+  for (int j = 0; j < m.cols(); ++j) {
+    GAEA_ASSIGN_OR_RETURN(Image img,
+                          Image::Create(nrow, ncol, PixelType::kFloat64));
+    int idx = 0;
+    for (int r = 0; r < nrow; ++r) {
+      for (int c = 0; c < ncol; ++c) {
+        img.Set(r, c, m(idx++, j));
+      }
+    }
+    out.push_back(std::move(img));
+  }
+  return out;
+}
+
+StatusOr<Matrix> LinearCombination(const Matrix& data, const Matrix& weights) {
+  return data.Multiply(weights);
+}
+
+StatusOr<Image> Resample(const Image& a, int new_rows, int new_cols,
+                         ResampleMethod method) {
+  if (a.empty()) return Status::InvalidArgument("resample of empty image");
+  GAEA_ASSIGN_OR_RETURN(Image out,
+                        Image::Create(new_rows, new_cols, PixelType::kFloat64));
+  double rs = static_cast<double>(a.nrow()) / new_rows;
+  double cs = static_cast<double>(a.ncol()) / new_cols;
+  for (int r = 0; r < new_rows; ++r) {
+    for (int c = 0; c < new_cols; ++c) {
+      // Center-of-pixel sampling in source coordinates.
+      double sr = (r + 0.5) * rs - 0.5;
+      double sc = (c + 0.5) * cs - 0.5;
+      if (method == ResampleMethod::kNearest) {
+        int ir = std::clamp(static_cast<int>(std::lround(sr)), 0, a.nrow() - 1);
+        int ic = std::clamp(static_cast<int>(std::lround(sc)), 0, a.ncol() - 1);
+        out.Set(r, c, a.Get(ir, ic));
+      } else {
+        int r0 = std::clamp(static_cast<int>(std::floor(sr)), 0, a.nrow() - 1);
+        int c0 = std::clamp(static_cast<int>(std::floor(sc)), 0, a.ncol() - 1);
+        int r1 = std::min(r0 + 1, a.nrow() - 1);
+        int c1 = std::min(c0 + 1, a.ncol() - 1);
+        double fr = std::clamp(sr - r0, 0.0, 1.0);
+        double fc = std::clamp(sc - c0, 0.0, 1.0);
+        double v = (1 - fr) * (1 - fc) * a.Get(r0, c0) +
+                   (1 - fr) * fc * a.Get(r0, c1) +
+                   fr * (1 - fc) * a.Get(r1, c0) + fr * fc * a.Get(r1, c1);
+        out.Set(r, c, v);
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<Image> BlendLinear(const Image& a, const Image& b, double w) {
+  if (w < 0.0 || w > 1.0) {
+    return Status::InvalidArgument("blend weight must be in [0,1], got " +
+                                   std::to_string(w));
+  }
+  return PointwiseBinary(
+      a, b, [w](double x, double y) { return (1.0 - w) * x + w * y; });
+}
+
+StatusOr<Image> Threshold(const Image& a, double threshold) {
+  GAEA_ASSIGN_OR_RETURN(
+      Image out, PointwiseUnary(a, [threshold](double x) {
+        return x >= threshold ? 1.0 : 0.0;
+      }));
+  return out.ConvertTo(PixelType::kUInt8);
+}
+
+StatusOr<double> AgreementRatio(const Image& a, const Image& b) {
+  if (!a.SameShape(b)) {
+    return Status::InvalidArgument("agreement: image shape mismatch");
+  }
+  if (a.empty()) return Status::InvalidArgument("agreement of empty images");
+  int64_t agree = 0;
+  for (int r = 0; r < a.nrow(); ++r) {
+    for (int c = 0; c < a.ncol(); ++c) {
+      if (a.Get(r, c) == b.Get(r, c)) ++agree;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.PixelCount());
+}
+
+}  // namespace gaea

@@ -1,0 +1,88 @@
+// Analysis operators on the `image` primitive class (paper §2.1.3 and
+// Figures 3-4): band arithmetic, NDVI, composites, image<->matrix
+// conversion, resampling and spatio-temporal interpolation.
+//
+// All operators are pure: inputs are const, outputs are fresh images. This
+// matches the paper's value-identified primitive classes and makes task
+// replay (reproducibility) exact.
+
+#ifndef GAEA_RASTER_IMAGE_OPS_H_
+#define GAEA_RASTER_IMAGE_OPS_H_
+
+#include <functional>
+#include <vector>
+
+#include "raster/image.h"
+#include "raster/matrix.h"
+#include "util/status.h"
+
+namespace gaea {
+
+// ---- pixel-wise arithmetic -------------------------------------------------
+
+// Applies `fn` pixel-wise to two same-shaped images; result is float8.
+StatusOr<Image> PointwiseBinary(const Image& a, const Image& b,
+                                const std::function<double(double, double)>& fn);
+// Applies `fn` pixel-wise to one image; result is float8.
+StatusOr<Image> PointwiseUnary(const Image& a,
+                               const std::function<double(double)>& fn);
+
+StatusOr<Image> ImgAdd(const Image& a, const Image& b);
+StatusOr<Image> ImgSubtract(const Image& a, const Image& b);
+StatusOr<Image> ImgMultiply(const Image& a, const Image& b);
+// Pixel-wise a/b; pixels where |b| < eps produce 0 (the GIS convention for
+// ratio images over nodata).
+StatusOr<Image> ImgDivide(const Image& a, const Image& b, double eps = 1e-12);
+StatusOr<Image> ImgScale(const Image& a, double factor, double offset = 0.0);
+StatusOr<Image> ImgAbs(const Image& a);
+
+// Normalized difference vegetation index: (nir - red) / (nir + red), with 0
+// where the denominator vanishes. The qualitative vegetation measure the
+// paper's introduction scenario derives from AVHRR imagery.
+StatusOr<Image> Ndvi(const Image& nir, const Image& red);
+
+// ---- multi-band helpers ----------------------------------------------------
+
+// Validates that all bands share one shape and converts them to float8.
+// This is the `composite(bands)` of Figure 3: the result is the stacked
+// multi-band raster handed to classification.
+StatusOr<std::vector<Image>> Composite(const std::vector<const Image*>& bands);
+
+// Figure 4 "convert-image-matrix": stacks bands into an (npixels x nbands)
+// observation matrix, one row per pixel.
+StatusOr<Matrix> ImagesToMatrix(const std::vector<const Image*>& bands);
+
+// Figure 4 "convert-matrix-image": splits an (npixels x k) matrix back into
+// k images of shape nrow x ncol.
+StatusOr<std::vector<Image>> MatrixToImages(const Matrix& m, int nrow,
+                                            int ncol);
+
+// Figure 4 "linear-combination": data (npixels x nbands) * weights
+// (nbands x k) -> components (npixels x k).
+StatusOr<Matrix> LinearCombination(const Matrix& data, const Matrix& weights);
+
+// ---- resampling & interpolation ---------------------------------------------
+
+enum class ResampleMethod { kNearest, kBilinear };
+
+// Resamples to new_rows x new_cols.
+StatusOr<Image> Resample(const Image& a, int new_rows, int new_cols,
+                         ResampleMethod method = ResampleMethod::kBilinear);
+
+// Linear interpolation in time between two co-registered snapshots: weight
+// w in [0,1] selects a point between `a` (w=0) and `b` (w=1). This is the
+// generic interpolation derivation of §2.1.5 step 2.
+StatusOr<Image> BlendLinear(const Image& a, const Image& b, double w);
+
+// ---- misc -------------------------------------------------------------------
+
+// 1 where pixel >= threshold else 0, as uint8.
+StatusOr<Image> Threshold(const Image& a, double threshold);
+
+// Fraction of pixels where both label images agree (for comparing two
+// derivations of the same concept).
+StatusOr<double> AgreementRatio(const Image& a, const Image& b);
+
+}  // namespace gaea
+
+#endif  // GAEA_RASTER_IMAGE_OPS_H_

@@ -1,0 +1,279 @@
+#include "raster/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace gaea {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(std::max(rows, 0)),
+      cols_(std::max(cols, 0)),
+      data_(static_cast<size_t>(rows_) * cols_, 0.0) {}
+
+StatusOr<Matrix> Matrix::FromRows(
+    const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  size_t cols = rows[0].size();
+  for (const auto& r : rows) {
+    if (r.size() != cols) {
+      return Status::InvalidArgument("ragged matrix rows");
+    }
+  }
+  Matrix m(static_cast<int>(rows.size()), static_cast<int>(cols));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      m(static_cast<int>(r), static_cast<int>(c)) = rows[r][c];
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+StatusOr<Matrix> Matrix::Multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    return Status::InvalidArgument(
+        "matrix shape mismatch for multiply: " + std::to_string(rows_) + "x" +
+        std::to_string(cols_) + " * " + std::to_string(other.rows_) + "x" +
+        std::to_string(other.cols_));
+  }
+  Matrix out(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int k = 0; k < cols_; ++k) {
+      double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (int j = 0; j < other.cols_; ++j) {
+        out(i, j) += a * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+StatusOr<Matrix> Matrix::Add(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return Status::InvalidArgument("matrix shape mismatch for add");
+  }
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+StatusOr<Matrix> Matrix::Subtract(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return Status::InvalidArgument("matrix shape mismatch for subtract");
+  }
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Scale(double factor) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= factor;
+  return out;
+}
+
+std::vector<double> Matrix::ColumnMeans() const {
+  std::vector<double> means(cols_, 0.0);
+  if (rows_ == 0) return means;
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) means[j] += (*this)(i, j);
+  }
+  for (double& m : means) m /= rows_;
+  return means;
+}
+
+std::vector<double> Matrix::ColumnStddevs() const {
+  std::vector<double> out(cols_, 0.0);
+  if (rows_ == 0) return out;
+  std::vector<double> means = ColumnMeans();
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) {
+      double d = (*this)(i, j) - means[j];
+      out[j] += d * d;
+    }
+  }
+  for (double& v : out) v = std::sqrt(v / rows_);
+  return out;
+}
+
+StatusOr<Matrix> Matrix::Covariance() const {
+  if (rows_ < 1 || cols_ < 1) {
+    return Status::InvalidArgument("covariance of empty matrix");
+  }
+  std::vector<double> means = ColumnMeans();
+  Matrix cov(cols_, cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int a = 0; a < cols_; ++a) {
+      double da = (*this)(i, a) - means[a];
+      for (int b = a; b < cols_; ++b) {
+        cov(a, b) += da * ((*this)(i, b) - means[b]);
+      }
+    }
+  }
+  for (int a = 0; a < cols_; ++a) {
+    for (int b = a; b < cols_; ++b) {
+      cov(a, b) /= rows_;
+      cov(b, a) = cov(a, b);
+    }
+  }
+  return cov;
+}
+
+StatusOr<Matrix> Matrix::Correlation() const {
+  GAEA_ASSIGN_OR_RETURN(Matrix cov, Covariance());
+  std::vector<double> sd(cols_);
+  for (int i = 0; i < cols_; ++i) sd[i] = std::sqrt(cov(i, i));
+  Matrix corr(cols_, cols_);
+  for (int a = 0; a < cols_; ++a) {
+    for (int b = 0; b < cols_; ++b) {
+      double denom = sd[a] * sd[b];
+      corr(a, b) = denom > 0 ? cov(a, b) / denom : (a == b ? 1.0 : 0.0);
+    }
+  }
+  return corr;
+}
+
+StatusOr<double> Matrix::Distance(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return Status::InvalidArgument("matrix shape mismatch for distance");
+  }
+  double sum = 0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    double d = data_[i] - other.data_[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = i + 1; j < cols_; ++j) {
+      if (std::fabs((*this)(i, j) - (*this)(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<Matrix::Eigen> Matrix::SymmetricEigen(int max_sweeps,
+                                               double tol) const {
+  if (rows_ != cols_ || rows_ == 0) {
+    return Status::InvalidArgument("eigen decomposition needs square matrix");
+  }
+  if (!IsSymmetric(1e-8)) {
+    return Status::InvalidArgument("eigen decomposition needs symmetric matrix");
+  }
+  int n = rows_;
+  Matrix a = *this;
+  Matrix v = Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off < tol) break;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        double apq = a(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        // Rotate rows/cols p and q of `a`.
+        for (int k = 0; k < n; ++k) {
+          double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate the rotation into the eigenvector matrix.
+        for (int k = 0; k < n; ++k) {
+          double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  Eigen out;
+  out.values.resize(n);
+  for (int i = 0; i < n; ++i) out.values[i] = a(i, i);
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    return out.values[x] > out.values[y];
+  });
+  std::vector<double> sorted_vals(n);
+  Matrix sorted_vecs(n, n);
+  for (int i = 0; i < n; ++i) {
+    sorted_vals[i] = out.values[order[i]];
+    for (int k = 0; k < n; ++k) sorted_vecs(k, i) = v(k, order[i]);
+  }
+  out.values = std::move(sorted_vals);
+  out.vectors = std::move(sorted_vecs);
+  return out;
+}
+
+bool Matrix::AlmostEquals(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream os;
+  os << "matrix(" << rows_ << "x" << cols_ << ")";
+  return os.str();
+}
+
+void Matrix::Serialize(BinaryWriter* w) const {
+  w->PutI32(rows_);
+  w->PutI32(cols_);
+  for (double v : data_) w->PutF64(v);
+}
+
+StatusOr<Matrix> Matrix::Deserialize(BinaryReader* r) {
+  GAEA_ASSIGN_OR_RETURN(int32_t rows, r->GetI32());
+  GAEA_ASSIGN_OR_RETURN(int32_t cols, r->GetI32());
+  if (rows < 0 || cols < 0 ||
+      static_cast<int64_t>(rows) * cols > (int64_t{1} << 26)) {
+    return Status::Corruption("bad matrix dimensions");
+  }
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      GAEA_ASSIGN_OR_RETURN(double v, r->GetF64());
+      m(i, j) = v;
+    }
+  }
+  return m;
+}
+
+}  // namespace gaea

@@ -1,0 +1,102 @@
+// The `matrix` and `vector` primitive classes used inside the PCA compound
+// operator (paper Figure 4: convert-image-matrix -> compute-covariance ->
+// get-eigen-vector -> linear-combination -> convert-matrix-image).
+//
+// Matrix is a small dense row-major double matrix with just the linear
+// algebra the derivation operators need: multiplication, transpose,
+// covariance of sample columns, and a cyclic Jacobi eigen solver for
+// symmetric matrices (covariance matrices are symmetric PSD).
+
+#ifndef GAEA_RASTER_MATRIX_H_
+#define GAEA_RASTER_MATRIX_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace gaea {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  // Zero-filled rows x cols.
+  Matrix(int rows, int cols);
+
+  static StatusOr<Matrix> FromRows(
+      const std::vector<std::vector<double>>& rows);
+  static Matrix Identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double operator()(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double& operator()(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  StatusOr<Matrix> Multiply(const Matrix& other) const;
+  Matrix Transpose() const;
+  StatusOr<Matrix> Add(const Matrix& other) const;
+  StatusOr<Matrix> Subtract(const Matrix& other) const;
+  Matrix Scale(double factor) const;
+
+  // Column means (length = cols()).
+  std::vector<double> ColumnMeans() const;
+  // Column standard deviations (population).
+  std::vector<double> ColumnStddevs() const;
+
+  // Sample covariance of the columns: treats each row as one observation of
+  // `cols()` variables. Result is cols() x cols(), normalized by N (the
+  // population convention the remote-sensing literature uses).
+  StatusOr<Matrix> Covariance() const;
+  // Pearson correlation of the columns (the "standardized" covariance that
+  // SPCA diagonalizes).
+  StatusOr<Matrix> Correlation() const;
+
+  // Frobenius norm of (this - other); requires same shape.
+  StatusOr<double> Distance(const Matrix& other) const;
+
+  bool IsSymmetric(double tol = 1e-9) const;
+
+  struct Eigen;
+  // Eigen decomposition of a symmetric matrix by cyclic Jacobi rotations.
+  // Eigenvalues sorted descending; eigenvectors returned as the *columns*
+  // of `vectors`, matching eigenvalue order, each unit length.
+  // `tol` bounds the sum of squared off-diagonal entries at convergence
+  // (Jacobi converges quadratically, so the tight default is cheap).
+  StatusOr<Eigen> SymmetricEigen(int max_sweeps = 64, double tol = 1e-22) const;
+
+  bool AlmostEquals(const Matrix& other, double tol = 1e-9) const;
+  bool operator==(const Matrix& other) const = default;
+
+  std::string ToString() const;
+
+  void Serialize(BinaryWriter* w) const;
+  static StatusOr<Matrix> Deserialize(BinaryReader* r);
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Result of Matrix::SymmetricEigen.
+struct Matrix::Eigen {
+  std::vector<double> values;
+  Matrix vectors;
+};
+
+using MatrixPtr = std::shared_ptr<const Matrix>;
+
+}  // namespace gaea
+
+#endif  // GAEA_RASTER_MATRIX_H_

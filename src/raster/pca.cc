@@ -1,0 +1,76 @@
+#include "raster/pca.h"
+
+#include <cmath>
+
+#include "raster/image_ops.h"
+
+namespace gaea {
+
+namespace {
+
+// Shared pipeline of Figure 4: convert-image-matrix, center (and optionally
+// standardize), compute-covariance/correlation, get-eigen-vector,
+// linear-combination, convert-matrix-image.
+StatusOr<PcaResult> PcaImpl(const std::vector<const Image*>& bands,
+                            int n_components, bool standardized) {
+  if (bands.size() < 2) {
+    return Status::InvalidArgument(
+        "PCA needs at least two input images (paper Petri-net threshold)");
+  }
+  GAEA_ASSIGN_OR_RETURN(Matrix data, ImagesToMatrix(bands));
+  int nbands = data.cols();
+  if (n_components == 0) n_components = nbands;
+  if (n_components < 0 || n_components > nbands) {
+    return Status::InvalidArgument("n_components out of range: " +
+                                   std::to_string(n_components));
+  }
+
+  // Center (z-score for SPCA) the observations.
+  std::vector<double> means = data.ColumnMeans();
+  std::vector<double> sds = data.ColumnStddevs();
+  Matrix centered = data;
+  for (int i = 0; i < centered.rows(); ++i) {
+    for (int j = 0; j < nbands; ++j) {
+      double v = centered(i, j) - means[j];
+      if (standardized) v = sds[j] > 0 ? v / sds[j] : 0.0;
+      centered(i, j) = v;
+    }
+  }
+
+  GAEA_ASSIGN_OR_RETURN(
+      Matrix second_moment,
+      standardized ? data.Correlation() : data.Covariance());
+  GAEA_ASSIGN_OR_RETURN(Matrix::Eigen eig, second_moment.SymmetricEigen());
+
+  // Keep the strongest n_components eigenvectors as loading columns.
+  Matrix loadings(nbands, n_components);
+  for (int j = 0; j < n_components; ++j) {
+    for (int i = 0; i < nbands; ++i) loadings(i, j) = eig.vectors(i, j);
+  }
+
+  GAEA_ASSIGN_OR_RETURN(Matrix scores, LinearCombination(centered, loadings));
+  GAEA_ASSIGN_OR_RETURN(
+      std::vector<Image> comps,
+      MatrixToImages(scores, bands[0]->nrow(), bands[0]->ncol()));
+
+  PcaResult out;
+  out.components = std::move(comps);
+  out.eigenvalues.assign(eig.values.begin(),
+                         eig.values.begin() + n_components);
+  out.loadings = std::move(loadings);
+  return out;
+}
+
+}  // namespace
+
+StatusOr<PcaResult> Pca(const std::vector<const Image*>& bands,
+                        int n_components) {
+  return PcaImpl(bands, n_components, /*standardized=*/false);
+}
+
+StatusOr<PcaResult> Spca(const std::vector<const Image*>& bands,
+                         int n_components) {
+  return PcaImpl(bands, n_components, /*standardized=*/true);
+}
+
+}  // namespace gaea

@@ -1,0 +1,41 @@
+// Principal component analysis over multi-band imagery (paper §2.1.3,
+// Figure 4) and its standardized variant SPCA (Eastman [9]), the two
+// derivation procedures the paper uses as the flagship example of "the same
+// conceptual outcome" (vegetation change) reached by different processes.
+//
+// PCA diagonalizes the band covariance matrix; SPCA diagonalizes the band
+// correlation matrix (i.e. PCA on z-scored bands). Both expose the exact
+// operator pipeline of Figure 4 so the compound-operator network and the
+// fused implementation can be cross-validated.
+
+#ifndef GAEA_RASTER_PCA_H_
+#define GAEA_RASTER_PCA_H_
+
+#include <vector>
+
+#include "raster/image.h"
+#include "raster/matrix.h"
+#include "util/status.h"
+
+namespace gaea {
+
+struct PcaResult {
+  // Component images, strongest first; size = n_components.
+  std::vector<Image> components;
+  // Eigenvalues (descending) of the (co)variance/correlation matrix.
+  std::vector<double> eigenvalues;
+  // Loadings: columns are eigenvectors, nbands x n_components.
+  Matrix loadings;
+};
+
+// Standard PCA. `n_components` <= number of bands (0 = all).
+StatusOr<PcaResult> Pca(const std::vector<const Image*>& bands,
+                        int n_components = 0);
+
+// Standardized PCA (correlation-matrix PCA on z-scored bands).
+StatusOr<PcaResult> Spca(const std::vector<const Image*>& bands,
+                         int n_components = 0);
+
+}  // namespace gaea
+
+#endif  // GAEA_RASTER_PCA_H_

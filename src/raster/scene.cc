@@ -1,0 +1,137 @@
+#include "raster/scene.h"
+
+#include <cmath>
+
+namespace gaea {
+
+namespace {
+
+// Deterministic hash-based gradient-free value noise. Hash a lattice point
+// with the seed, interpolate with a smoothstep; octaves add detail.
+uint64_t HashCoords(uint64_t seed, int64_t x, int64_t y) {
+  uint64_t h = seed;
+  h ^= static_cast<uint64_t>(x) * 0x9E3779B97F4A7C15ULL;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h ^= static_cast<uint64_t>(y) * 0xC2B2AE3D27D4EB4FULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  return h ^ (h >> 31);
+}
+
+// Uniform in [0,1) at a lattice point.
+double LatticeValue(uint64_t seed, int64_t x, int64_t y) {
+  return static_cast<double>(HashCoords(seed, x, y) >> 11) /
+         static_cast<double>(1ULL << 53);
+}
+
+double SmoothStep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+// Smooth value noise in [0,1) at continuous coordinates.
+double ValueNoise(uint64_t seed, double x, double y) {
+  int64_t x0 = static_cast<int64_t>(std::floor(x));
+  int64_t y0 = static_cast<int64_t>(std::floor(y));
+  double fx = SmoothStep(x - x0);
+  double fy = SmoothStep(y - y0);
+  double v00 = LatticeValue(seed, x0, y0);
+  double v10 = LatticeValue(seed, x0 + 1, y0);
+  double v01 = LatticeValue(seed, x0, y0 + 1);
+  double v11 = LatticeValue(seed, x0 + 1, y0 + 1);
+  double a = v00 + (v10 - v00) * fx;
+  double b = v01 + (v11 - v01) * fx;
+  return a + (b - a) * fy;
+}
+
+// Three-octave fractal noise in [0,1].
+double Fractal(uint64_t seed, double x, double y) {
+  double v = 0.5333 * ValueNoise(seed, x, y) +
+             0.2667 * ValueNoise(seed ^ 0xABCD, 2 * x, 2 * y) +
+             0.2000 * ValueNoise(seed ^ 0x1357, 4 * x, 4 * y);
+  return v;
+}
+
+// Per-pixel deterministic "sensor noise" in [-1,1].
+double PixelNoise(uint64_t seed, int band, int r, int c) {
+  uint64_t h = HashCoords(seed ^ (0xBEEF0000ULL + band), r, c);
+  return 2.0 * (static_cast<double>(h >> 11) /
+                static_cast<double>(1ULL << 53)) -
+         1.0;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Image>> GenerateScene(const SceneSpec& spec) {
+  if (spec.nbands <= 0) {
+    return Status::InvalidArgument("scene needs at least one band");
+  }
+  if (spec.feature_scale <= 0) {
+    return Status::InvalidArgument("feature_scale must be positive");
+  }
+  // Two latent fields: elevation (stable across epochs) and vegetation
+  // (drifts with epoch_drift).
+  uint64_t elev_seed = spec.seed;
+  uint64_t veg_seed = spec.seed ^ 0x77777777ULL;
+  double drift = spec.epoch_drift;
+
+  std::vector<Image> bands;
+  bands.reserve(spec.nbands);
+  for (int b = 0; b < spec.nbands; ++b) {
+    GAEA_ASSIGN_OR_RETURN(
+        Image img, Image::Create(spec.nrow, spec.ncol, PixelType::kFloat64));
+    bands.push_back(std::move(img));
+  }
+
+  for (int r = 0; r < spec.nrow; ++r) {
+    for (int c = 0; c < spec.ncol; ++c) {
+      double x = c / spec.feature_scale;
+      double y = r / spec.feature_scale;
+      double elev = Fractal(elev_seed, x, y);
+      // Epoch drift: blend vegetation field toward a shifted field.
+      double veg0 = Fractal(veg_seed, x, y);
+      double veg1 = Fractal(veg_seed ^ 0xFEDCBA98ULL, x + 11.7, y - 4.3);
+      double veg = (1.0 - drift) * veg0 + drift * veg1;
+
+      for (int b = 0; b < spec.nbands; ++b) {
+        double v;
+        if (b == 0) {
+          // Red: bright over bare terrain, dark over vegetation.
+          v = 0.25 + 0.55 * elev - 0.35 * veg;
+        } else if (b == 1) {
+          // Near infrared: bright over vegetation.
+          v = 0.20 + 0.15 * elev + 0.60 * veg;
+        } else {
+          // Higher bands: epoch-stable mixtures so PCA sees correlated
+          // structure beyond the vegetation signal.
+          double w = static_cast<double>(b) / spec.nbands;
+          v = 0.2 + (0.7 - 0.4 * w) * elev + (0.1 + 0.4 * w) * veg;
+        }
+        v += spec.noise * PixelNoise(spec.seed, b, r, c);
+        bands[b].Set(r, c, v);
+      }
+    }
+  }
+  return bands;
+}
+
+StatusOr<Image> GenerateGroundTruth(const SceneSpec& spec, int num_classes) {
+  if (num_classes <= 0) {
+    return Status::InvalidArgument("ground truth needs positive class count");
+  }
+  GAEA_ASSIGN_OR_RETURN(
+      Image out, Image::Create(spec.nrow, spec.ncol, PixelType::kInt32));
+  uint64_t elev_seed = spec.seed;
+  uint64_t veg_seed = spec.seed ^ 0x77777777ULL;
+  for (int r = 0; r < spec.nrow; ++r) {
+    for (int c = 0; c < spec.ncol; ++c) {
+      double x = c / spec.feature_scale;
+      double y = r / spec.feature_scale;
+      double elev = Fractal(elev_seed, x, y);
+      double veg = Fractal(veg_seed, x, y);
+      // Quantize the dominant latent direction into classes.
+      double t = 0.5 * elev + 0.5 * veg;
+      int label = std::min(static_cast<int>(t * num_classes), num_classes - 1);
+      out.Set(r, c, label);
+    }
+  }
+  return out;
+}
+
+}  // namespace gaea

@@ -1,0 +1,54 @@
+// Synthetic scene generator: the substitute for Landsat TM / AVHRR imagery
+// (see DESIGN.md §2). Generates multi-band rasters with the statistical
+// structure the paper's experiments rely on:
+//
+//  * spatially correlated fields (value-noise terrain) so classification
+//    finds coherent regions rather than salt-and-pepper noise;
+//  * strong inter-band correlation (bands are linear mixes of shared latent
+//    fields) so PCA concentrates variance in few components;
+//  * a seasonal/annual NDVI drift knob so vegetation-change detection between
+//    two epochs has signal;
+//  * class-structured land cover so unsupervised classification is
+//    well-posed.
+//
+// Everything is driven by an explicit seed: scenes (like derivations) must be
+// reproducible.
+
+#ifndef GAEA_RASTER_SCENE_H_
+#define GAEA_RASTER_SCENE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "raster/image.h"
+#include "util/status.h"
+
+namespace gaea {
+
+struct SceneSpec {
+  int nrow = 64;
+  int ncol = 64;
+  int nbands = 3;
+  uint64_t seed = 42;
+  // Spatial feature size in pixels (larger = smoother terrain).
+  double feature_scale = 16.0;
+  // Std-dev of per-band independent sensor noise.
+  double noise = 0.05;
+  // Temporal drift in [0,1]: 0 reproduces the same epoch, 1 is a fully
+  // different season (shifts the latent vegetation field).
+  double epoch_drift = 0.0;
+};
+
+// Generates `spec.nbands` co-registered float8 bands. Band 0 behaves like a
+// red/visible band (anti-correlated with vegetation), band 1 like near
+// infrared (correlated with vegetation), higher bands are mixtures.
+StatusOr<std::vector<Image>> GenerateScene(const SceneSpec& spec);
+
+// Generates a ground-truth land-cover label image (int32 labels in
+// [0, num_classes)) consistent with the latent fields of `spec`, usable as
+// training data for supervised classification.
+StatusOr<Image> GenerateGroundTruth(const SceneSpec& spec, int num_classes);
+
+}  // namespace gaea
+
+#endif  // GAEA_RASTER_SCENE_H_

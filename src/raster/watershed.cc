@@ -1,0 +1,149 @@
+#include "raster/watershed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+#include <vector>
+
+namespace gaea {
+
+namespace {
+constexpr int kUnlabeled = -1;
+
+struct Px {
+  int r, c;
+};
+}  // namespace
+
+StatusOr<WatershedResult> Watershed(const Image& elevation, int levels) {
+  if (elevation.empty()) {
+    return Status::InvalidArgument("watershed of empty image");
+  }
+  if (levels < 2) {
+    return Status::InvalidArgument("watershed needs >= 2 grey levels");
+  }
+  int nrow = elevation.nrow();
+  int ncol = elevation.ncol();
+  size_t npix = elevation.PixelCount();
+
+  Image::Stats stats = elevation.ComputeStats();
+  double lo = stats.min, hi = stats.max;
+  double scale = hi > lo ? (levels - 1) / (hi - lo) : 0.0;
+
+  // Quantized level per pixel and pixel list sorted by level.
+  std::vector<int> level(npix);
+  std::vector<int> order(npix);
+  for (int r = 0; r < nrow; ++r) {
+    for (int c = 0; c < ncol; ++c) {
+      size_t idx = static_cast<size_t>(r) * ncol + c;
+      level[idx] = static_cast<int>((elevation.Get(r, c) - lo) * scale);
+    }
+  }
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&level](int a, int b) { return level[a] < level[b]; });
+
+  std::vector<int> label(npix, kUnlabeled);
+  int next_basin = 1;
+
+  const int dr[] = {-1, 1, 0, 0};
+  const int dc[] = {0, 0, -1, 1};
+
+  size_t pos = 0;
+  while (pos < npix) {
+    // All pixels of the current grey level.
+    int current = level[order[pos]];
+    size_t begin = pos;
+    while (pos < npix && level[order[pos]] == current) ++pos;
+
+    // Phase 1: grow existing basins into this level by BFS from pixels
+    // adjacent to labeled neighbours; pixels reached from two different
+    // basins become ridges.
+    std::deque<int> frontier;
+    for (size_t i = begin; i < pos; ++i) {
+      int idx = order[i];
+      int r = idx / ncol, c = idx % ncol;
+      for (int k = 0; k < 4; ++k) {
+        int rr = r + dr[k], cc = c + dc[k];
+        if (rr < 0 || rr >= nrow || cc < 0 || cc >= ncol) continue;
+        int nidx = rr * ncol + cc;
+        if (label[nidx] > 0 || label[nidx] == kWatershedRidge) {
+          frontier.push_back(idx);
+          break;
+        }
+      }
+    }
+    while (!frontier.empty()) {
+      int idx = frontier.front();
+      frontier.pop_front();
+      if (label[idx] != kUnlabeled) continue;
+      int r = idx / ncol, c = idx % ncol;
+      int basin = kUnlabeled;
+      bool ridge = false;
+      for (int k = 0; k < 4; ++k) {
+        int rr = r + dr[k], cc = c + dc[k];
+        if (rr < 0 || rr >= nrow || cc < 0 || cc >= ncol) continue;
+        int neighbor = label[rr * ncol + cc];
+        if (neighbor > 0) {
+          if (basin == kUnlabeled) {
+            basin = neighbor;
+          } else if (basin != neighbor) {
+            ridge = true;
+          }
+        }
+      }
+      if (ridge) {
+        label[idx] = kWatershedRidge;
+      } else if (basin != kUnlabeled) {
+        label[idx] = basin;
+        // Newly labeled pixel may unlock same-level neighbours.
+        for (int k = 0; k < 4; ++k) {
+          int rr = r + dr[k], cc = c + dc[k];
+          if (rr < 0 || rr >= nrow || cc < 0 || cc >= ncol) continue;
+          int nidx = rr * ncol + cc;
+          if (label[nidx] == kUnlabeled && level[nidx] == current) {
+            frontier.push_back(nidx);
+          }
+        }
+      }
+    }
+
+    // Phase 2: remaining unlabeled pixels at this level are new regional
+    // minima; flood-fill each connected component as a fresh basin.
+    for (size_t i = begin; i < pos; ++i) {
+      int seed = order[i];
+      if (label[seed] != kUnlabeled) continue;
+      int basin = next_basin++;
+      std::deque<int> fill{seed};
+      label[seed] = basin;
+      while (!fill.empty()) {
+        int idx = fill.front();
+        fill.pop_front();
+        int r = idx / ncol, c = idx % ncol;
+        for (int k = 0; k < 4; ++k) {
+          int rr = r + dr[k], cc = c + dc[k];
+          if (rr < 0 || rr >= nrow || cc < 0 || cc >= ncol) continue;
+          int nidx = rr * ncol + cc;
+          if (label[nidx] == kUnlabeled && level[nidx] == current) {
+            label[nidx] = basin;
+            fill.push_back(nidx);
+          }
+        }
+      }
+    }
+  }
+
+  WatershedResult result;
+  GAEA_ASSIGN_OR_RETURN(result.labels,
+                        Image::Create(nrow, ncol, PixelType::kInt32));
+  for (int r = 0; r < nrow; ++r) {
+    for (int c = 0; c < ncol; ++c) {
+      result.labels.Set(r, c, label[static_cast<size_t>(r) * ncol + c]);
+    }
+  }
+  result.n_basins = next_basin - 1;
+  return result;
+}
+
+}  // namespace gaea

@@ -1,0 +1,34 @@
+// Watershed segmentation by immersion (Vincent & Soille 1991, the paper's
+// reference [39]): the paper names WATERSHED as "another well known
+// imprecise entity" — the canonical example of a concept whose member
+// classes are defined by the segmentation procedure applied.
+//
+// The implementation follows the flooding formulation: pixels are processed
+// in increasing grey level; a pixel joins the basin of an already-labeled
+// 4-neighbour, seeds a new basin when it is a regional minimum, and becomes
+// a watershed ridge when two distinct basins meet.
+
+#ifndef GAEA_RASTER_WATERSHED_H_
+#define GAEA_RASTER_WATERSHED_H_
+
+#include "raster/image.h"
+#include "util/status.h"
+
+namespace gaea {
+
+// Label value marking ridge pixels separating two basins.
+constexpr int kWatershedRidge = 0;
+
+struct WatershedResult {
+  // int32 image: kWatershedRidge on ridges, basin ids 1..n_basins elsewhere.
+  Image labels;
+  int n_basins = 0;
+};
+
+// Segments `elevation` into catchment basins. `levels` quantizes the grey
+// range for the immersion order (more levels = finer flooding).
+StatusOr<WatershedResult> Watershed(const Image& elevation, int levels = 256);
+
+}  // namespace gaea
+
+#endif  // GAEA_RASTER_WATERSHED_H_

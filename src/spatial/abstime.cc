@@ -1,0 +1,163 @@
+#include "spatial/abstime.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gaea {
+
+namespace {
+
+constexpr int64_t kSecondsPerDay = 86400;
+
+bool IsLeap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeap(year)) return 29;
+  return kDays[month - 1];
+}
+
+// Days from 1970-01-01 to year-month-day (proleptic Gregorian).
+// Based on Howard Hinnant's civil_from_days inverse.
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  int64_t era = (y >= 0 ? y : y - 399) / 400;
+  unsigned yoe = static_cast<unsigned>(y - era * 400);
+  unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+// Inverse: civil date from days since epoch.
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  unsigned doe = static_cast<unsigned>(z - era * 146097);
+  unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  unsigned mp = (5 * doy + 2) / 153;
+  unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  unsigned m = mp + (mp < 10 ? 3 : -9);
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+}  // namespace
+
+StatusOr<AbsTime> AbsTime::FromDate(int year, int month, int day, int hour,
+                                    int minute, int second) {
+  if (month < 1 || month > 12) {
+    return Status::InvalidArgument("month out of range: " +
+                                   std::to_string(month));
+  }
+  if (day < 1 || day > DaysInMonth(year, month)) {
+    return Status::InvalidArgument("day out of range: " + std::to_string(day));
+  }
+  if (hour < 0 || hour > 23 || minute < 0 || minute > 59 || second < 0 ||
+      second > 59) {
+    return Status::InvalidArgument("time of day out of range");
+  }
+  int64_t days = DaysFromCivil(year, static_cast<unsigned>(month),
+                               static_cast<unsigned>(day));
+  return AbsTime(days * kSecondsPerDay + hour * 3600 + minute * 60 + second);
+}
+
+std::string AbsTime::ToString() const {
+  int64_t days = seconds_ / kSecondsPerDay;
+  int64_t rem = seconds_ % kSecondsPerDay;
+  if (rem < 0) {
+    rem += kSecondsPerDay;
+    days -= 1;
+  }
+  int year, month, day;
+  CivilFromDays(days, &year, &month, &day);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02lld:%02lld:%02lld", year,
+                month, day, static_cast<long long>(rem / 3600),
+                static_cast<long long>((rem % 3600) / 60),
+                static_cast<long long>(rem % 60));
+  return buf;
+}
+
+StatusOr<AbsTime> AbsTime::Deserialize(BinaryReader* r) {
+  GAEA_ASSIGN_OR_RETURN(int64_t s, r->GetI64());
+  return AbsTime(s);
+}
+
+const char* AllenRelationName(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore: return "before";
+    case AllenRelation::kAfter: return "after";
+    case AllenRelation::kMeets: return "meets";
+    case AllenRelation::kMetBy: return "met-by";
+    case AllenRelation::kOverlaps: return "overlaps";
+    case AllenRelation::kOverlappedBy: return "overlapped-by";
+    case AllenRelation::kStarts: return "starts";
+    case AllenRelation::kStartedBy: return "started-by";
+    case AllenRelation::kDuring: return "during";
+    case AllenRelation::kContains: return "contains";
+    case AllenRelation::kFinishes: return "finishes";
+    case AllenRelation::kFinishedBy: return "finished-by";
+    case AllenRelation::kEquals: return "equals";
+  }
+  return "unknown";
+}
+
+TimeInterval::TimeInterval(AbsTime begin, AbsTime end)
+    : begin_(std::min(begin, end)), end_(std::max(begin, end)) {}
+
+bool TimeInterval::Contains(const TimeInterval& other) const {
+  return other.begin_ >= begin_ && other.end_ <= end_;
+}
+
+bool TimeInterval::Overlaps(const TimeInterval& other) const {
+  return begin_ <= other.end_ && other.begin_ <= end_;
+}
+
+AllenRelation TimeInterval::RelationTo(const TimeInterval& other) const {
+  if (begin_ == other.begin_ && end_ == other.end_) {
+    return AllenRelation::kEquals;
+  }
+  if (end_ < other.begin_) return AllenRelation::kBefore;
+  if (begin_ > other.end_) return AllenRelation::kAfter;
+  if (end_ == other.begin_) return AllenRelation::kMeets;
+  if (begin_ == other.end_) return AllenRelation::kMetBy;
+  if (begin_ == other.begin_) {
+    return end_ < other.end_ ? AllenRelation::kStarts
+                             : AllenRelation::kStartedBy;
+  }
+  if (end_ == other.end_) {
+    return begin_ > other.begin_ ? AllenRelation::kFinishes
+                                 : AllenRelation::kFinishedBy;
+  }
+  if (begin_ > other.begin_ && end_ < other.end_) {
+    return AllenRelation::kDuring;
+  }
+  if (begin_ < other.begin_ && end_ > other.end_) {
+    return AllenRelation::kContains;
+  }
+  return begin_ < other.begin_ ? AllenRelation::kOverlaps
+                               : AllenRelation::kOverlappedBy;
+}
+
+TimeInterval TimeInterval::Intersect(const TimeInterval& other) const {
+  if (!Overlaps(other)) return TimeInterval();
+  return TimeInterval(std::max(begin_, other.begin_),
+                      std::min(end_, other.end_));
+}
+
+TimeInterval TimeInterval::Union(const TimeInterval& other) const {
+  return TimeInterval(std::min(begin_, other.begin_),
+                      std::max(end_, other.end_));
+}
+
+std::string TimeInterval::ToString() const {
+  return "[" + begin_.ToString() + ", " + end_.ToString() + "]";
+}
+
+}  // namespace gaea

@@ -1,0 +1,103 @@
+// Temporal extent support: the `abstime` primitive class (paper §2.1.1,
+// landcover TEMPORAL EXTENT) and time intervals with Allen's interval
+// relations [Allen 83], which the paper cites as the temporal semantics Gaea
+// builds on.
+
+#ifndef GAEA_SPATIAL_ABSTIME_H_
+#define GAEA_SPATIAL_ABSTIME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace gaea {
+
+// Absolute time: seconds since the epoch. A thin strong typedef so temporal
+// attributes cannot be confused with plain integers in mappings.
+class AbsTime {
+ public:
+  AbsTime() = default;
+  explicit AbsTime(int64_t seconds) : seconds_(seconds) {}
+
+  // Builds from a calendar date (proleptic Gregorian, UTC). Validates ranges.
+  static StatusOr<AbsTime> FromDate(int year, int month, int day, int hour = 0,
+                                    int minute = 0, int second = 0);
+
+  int64_t seconds() const { return seconds_; }
+
+  AbsTime operator+(int64_t delta_seconds) const {
+    return AbsTime(seconds_ + delta_seconds);
+  }
+  int64_t operator-(const AbsTime& other) const {
+    return seconds_ - other.seconds_;
+  }
+
+  auto operator<=>(const AbsTime& other) const = default;
+
+  // "YYYY-MM-DDThh:mm:ss".
+  std::string ToString() const;
+
+  void Serialize(BinaryWriter* w) const { w->PutI64(seconds_); }
+  static StatusOr<AbsTime> Deserialize(BinaryReader* r);
+
+ private:
+  int64_t seconds_ = 0;
+};
+
+// Allen's thirteen interval relations.
+enum class AllenRelation {
+  kBefore,
+  kAfter,
+  kMeets,
+  kMetBy,
+  kOverlaps,
+  kOverlappedBy,
+  kStarts,
+  kStartedBy,
+  kDuring,
+  kContains,
+  kFinishes,
+  kFinishedBy,
+  kEquals,
+};
+
+const char* AllenRelationName(AllenRelation r);
+
+// Closed time interval [begin, end].
+class TimeInterval {
+ public:
+  TimeInterval() = default;
+  TimeInterval(AbsTime begin, AbsTime end);
+
+  static TimeInterval Instant(AbsTime t) { return TimeInterval(t, t); }
+
+  AbsTime begin() const { return begin_; }
+  AbsTime end() const { return end_; }
+  int64_t DurationSeconds() const { return end_ - begin_; }
+
+  bool Contains(AbsTime t) const { return t >= begin_ && t <= end_; }
+  bool Contains(const TimeInterval& other) const;
+  bool Overlaps(const TimeInterval& other) const;
+
+  // The Allen relation of *this* relative to `other`. For closed intervals
+  // that degenerate to instants, the classification still returns the
+  // closest matching relation (equal instants => kEquals).
+  AllenRelation RelationTo(const TimeInterval& other) const;
+
+  TimeInterval Intersect(const TimeInterval& other) const;
+  TimeInterval Union(const TimeInterval& other) const;
+
+  bool operator==(const TimeInterval& other) const = default;
+
+  std::string ToString() const;
+
+ private:
+  AbsTime begin_;
+  AbsTime end_;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_SPATIAL_ABSTIME_H_

@@ -1,0 +1,91 @@
+#include "spatial/box.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace gaea {
+
+Box::Box(double x0, double y0, double x1, double y1)
+    : empty_(false),
+      x_min_(std::min(x0, x1)),
+      y_min_(std::min(y0, y1)),
+      x_max_(std::max(x0, x1)),
+      y_max_(std::max(y0, y1)) {}
+
+bool Box::Contains(double x, double y) const {
+  if (empty_) return false;
+  return x >= x_min_ && x <= x_max_ && y >= y_min_ && y <= y_max_;
+}
+
+bool Box::Contains(const Box& other) const {
+  if (other.empty_) return true;
+  if (empty_) return false;
+  return other.x_min_ >= x_min_ && other.x_max_ <= x_max_ &&
+         other.y_min_ >= y_min_ && other.y_max_ <= y_max_;
+}
+
+bool Box::Overlaps(const Box& other) const {
+  if (empty_ || other.empty_) return false;
+  return x_min_ <= other.x_max_ && other.x_min_ <= x_max_ &&
+         y_min_ <= other.y_max_ && other.y_min_ <= y_max_;
+}
+
+Box Box::Intersect(const Box& other) const {
+  if (!Overlaps(other)) return Box::Empty();
+  return Box(std::max(x_min_, other.x_min_), std::max(y_min_, other.y_min_),
+             std::min(x_max_, other.x_max_), std::min(y_max_, other.y_max_));
+}
+
+Box Box::Union(const Box& other) const {
+  if (empty_) return other;
+  if (other.empty_) return *this;
+  return Box(std::min(x_min_, other.x_min_), std::min(y_min_, other.y_min_),
+             std::max(x_max_, other.x_max_), std::max(y_max_, other.y_max_));
+}
+
+double Box::Jaccard(const Box& other) const {
+  Box inter = Intersect(other);
+  if (inter.empty()) return 0.0;
+  double union_area = Area() + other.Area() - inter.Area();
+  if (union_area <= 0.0) {
+    // Degenerate (zero-area) boxes that coincide: treat as identical.
+    return 1.0;
+  }
+  return inter.Area() / union_area;
+}
+
+bool Box::operator==(const Box& other) const {
+  if (empty_ && other.empty_) return true;
+  if (empty_ != other.empty_) return false;
+  return x_min_ == other.x_min_ && y_min_ == other.y_min_ &&
+         x_max_ == other.x_max_ && y_max_ == other.y_max_;
+}
+
+std::string Box::ToString() const {
+  if (empty_) return "box(empty)";
+  std::ostringstream os;
+  os << "box(" << x_min_ << "," << y_min_ << "," << x_max_ << "," << y_max_
+     << ")";
+  return os.str();
+}
+
+void Box::Serialize(BinaryWriter* w) const {
+  w->PutBool(empty_);
+  w->PutF64(x_min_);
+  w->PutF64(y_min_);
+  w->PutF64(x_max_);
+  w->PutF64(y_max_);
+}
+
+StatusOr<Box> Box::Deserialize(BinaryReader* r) {
+  GAEA_ASSIGN_OR_RETURN(bool empty, r->GetBool());
+  GAEA_ASSIGN_OR_RETURN(double x0, r->GetF64());
+  GAEA_ASSIGN_OR_RETURN(double y0, r->GetF64());
+  GAEA_ASSIGN_OR_RETURN(double x1, r->GetF64());
+  GAEA_ASSIGN_OR_RETURN(double y1, r->GetF64());
+  if (empty) return Box::Empty();
+  return Box(x0, y0, x1, y1);
+}
+
+}  // namespace gaea

@@ -1,0 +1,70 @@
+// Axis-aligned bounding box: the `box` primitive class used for the
+// SPATIAL EXTENT attribute of every non-primitive Gaea class (paper §2.1.1,
+// landcover example). Coordinates are interpreted in the reference system of
+// the class (`ref_system` attribute): e.g. degrees for long/lat, meters for
+// UTM.
+
+#ifndef GAEA_SPATIAL_BOX_H_
+#define GAEA_SPATIAL_BOX_H_
+
+#include <optional>
+#include <string>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace gaea {
+
+// Closed rectangle [x_min, x_max] x [y_min, y_max].
+class Box {
+ public:
+  // Default: the empty box (contains nothing, overlaps nothing).
+  Box() = default;
+
+  // Builds a box; corners may be given in any order.
+  Box(double x0, double y0, double x1, double y1);
+
+  static Box Empty() { return Box(); }
+
+  bool empty() const { return empty_; }
+  double x_min() const { return x_min_; }
+  double y_min() const { return y_min_; }
+  double x_max() const { return x_max_; }
+  double y_max() const { return y_max_; }
+
+  double width() const { return empty_ ? 0.0 : x_max_ - x_min_; }
+  double height() const { return empty_ ? 0.0 : y_max_ - y_min_; }
+  double Area() const { return width() * height(); }
+
+  // Closed-interval point containment.
+  bool Contains(double x, double y) const;
+  // True when `other` lies entirely within this box. The empty box is
+  // contained by every box.
+  bool Contains(const Box& other) const;
+  // Closed-interval overlap (shared edges count). This is the paper's
+  // `common(bands.spatialextent)` guard when extents must overlap.
+  bool Overlaps(const Box& other) const;
+
+  // Intersection (empty when disjoint) and bounding union.
+  Box Intersect(const Box& other) const;
+  Box Union(const Box& other) const;
+
+  // Intersection-over-union in [0,1]; 0 for disjoint or empty operands.
+  double Jaccard(const Box& other) const;
+
+  bool operator==(const Box& other) const;
+  bool operator!=(const Box& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+  void Serialize(BinaryWriter* w) const;
+  static StatusOr<Box> Deserialize(BinaryReader* r);
+
+ private:
+  bool empty_ = true;
+  double x_min_ = 0, y_min_ = 0, x_max_ = 0, y_max_ = 0;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_SPATIAL_BOX_H_

@@ -1,0 +1,70 @@
+#include "spatial/ref_system.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace gaea {
+
+namespace {
+// Meters per degree of latitude on the WGS84-ish sphere.
+constexpr double kMetersPerDegree = 111320.0;
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+StatusOr<RefSystem> RefSystemFromString(const std::string& s) {
+  std::string lower = StrToLower(StrTrim(s));
+  if (lower == "long/lat" || lower == "longlat" || lower == "lat/long" ||
+      lower == "geographic") {
+    return RefSystem::kLongLat;
+  }
+  if (lower == "utm") return RefSystem::kUtm;
+  if (lower == "local" || lower == "localgrid" || lower == "grid") {
+    return RefSystem::kLocalGrid;
+  }
+  return Status::InvalidArgument("unknown reference system: " + s);
+}
+
+const char* RefSystemName(RefSystem rs) {
+  switch (rs) {
+    case RefSystem::kLongLat: return "long/lat";
+    case RefSystem::kUtm: return "utm";
+    case RefSystem::kLocalGrid: return "local";
+  }
+  return "unknown";
+}
+
+const char* RefSystemUnit(RefSystem rs) {
+  switch (rs) {
+    case RefSystem::kLongLat: return "degree";
+    case RefSystem::kUtm: return "meter";
+    case RefSystem::kLocalGrid: return "meter";
+  }
+  return "unknown";
+}
+
+StatusOr<Box> ConvertBox(const Box& box, RefSystem from, RefSystem to,
+                         double anchor_lat_deg) {
+  if (from == to) return box;
+  if (box.empty()) return Box::Empty();
+  double cos_lat = std::cos(anchor_lat_deg * kPi / 180.0);
+  if (cos_lat <= 1e-9) {
+    return Status::InvalidArgument("anchor latitude too close to the pole");
+  }
+  // Treat UTM and the local grid as interchangeable metric systems.
+  bool from_deg = from == RefSystem::kLongLat;
+  bool to_deg = to == RefSystem::kLongLat;
+  if (from_deg == to_deg) return box;  // meter <-> meter
+  if (from_deg) {
+    return Box(box.x_min() * kMetersPerDegree * cos_lat,
+               box.y_min() * kMetersPerDegree,
+               box.x_max() * kMetersPerDegree * cos_lat,
+               box.y_max() * kMetersPerDegree);
+  }
+  return Box(box.x_min() / (kMetersPerDegree * cos_lat),
+             box.y_min() / kMetersPerDegree,
+             box.x_max() / (kMetersPerDegree * cos_lat),
+             box.y_max() / kMetersPerDegree);
+}
+
+}  // namespace gaea

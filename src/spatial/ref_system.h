@@ -1,0 +1,38 @@
+// Spatial reference systems for Gaea classes (the `ref_system` / `ref_unit`
+// attributes of the paper's landcover example). We support the two systems
+// the paper names (long/lat and UTM) plus a generic local grid, with a
+// simple equirectangular conversion between geographic and projected
+// coordinates so that extents expressed in different systems can be compared.
+
+#ifndef GAEA_SPATIAL_REF_SYSTEM_H_
+#define GAEA_SPATIAL_REF_SYSTEM_H_
+
+#include <string>
+
+#include "spatial/box.h"
+#include "util/status.h"
+
+namespace gaea {
+
+enum class RefSystem {
+  kLongLat,   // degrees
+  kUtm,       // meters within a zone; we model a single abstract zone
+  kLocalGrid, // scene-local pixel/meter grid
+};
+
+// Parses "long/lat", "longlat", "utm", "local" (case-insensitive).
+StatusOr<RefSystem> RefSystemFromString(const std::string& s);
+const char* RefSystemName(RefSystem rs);
+
+// Canonical unit of each system ("degree", "meter").
+const char* RefSystemUnit(RefSystem rs);
+
+// Converts a box between reference systems using an equirectangular
+// approximation anchored at `anchor_lat_deg` (degrees). Sufficient for
+// extent-overlap guard checks; not a cartographic projection library.
+StatusOr<Box> ConvertBox(const Box& box, RefSystem from, RefSystem to,
+                         double anchor_lat_deg = 0.0);
+
+}  // namespace gaea
+
+#endif  // GAEA_SPATIAL_REF_SYSTEM_H_

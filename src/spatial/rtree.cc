@@ -1,0 +1,286 @@
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace gaea {
+
+// Leaf entries carry (box, value); internal entries carry (box, child).
+struct RTree::Entry {
+  Box box;
+  uint64_t value = 0;
+  std::unique_ptr<Node> child;
+};
+
+struct RTree::Node {
+  bool leaf = true;
+  Node* parent = nullptr;
+  std::vector<Entry> entries;
+};
+
+RTree::RTree(int max_entries)
+    : max_entries_(std::max(max_entries, 4)),
+      min_entries_(std::max(max_entries, 4) / 2),
+      root_(std::make_unique<Node>()) {}
+
+RTree::~RTree() = default;
+
+Box RTree::NodeMbr(const Node& node) {
+  Box mbr;
+  for (const Entry& entry : node.entries) mbr = mbr.Union(entry.box);
+  return mbr;
+}
+
+RTree::Node* RTree::ChooseLeaf(Node* node, const Box& box) const {
+  while (!node->leaf) {
+    // Guttman: child needing least area enlargement; ties by smaller area.
+    Entry* best = nullptr;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (Entry& entry : node->entries) {
+      double area = entry.box.Area();
+      double enlarged = entry.box.Union(box).Area() - area;
+      if (enlarged < best_enlargement ||
+          (enlarged == best_enlargement && area < best_area)) {
+        best_enlargement = enlarged;
+        best_area = area;
+        best = &entry;
+      }
+    }
+    node = best->child.get();
+  }
+  return node;
+}
+
+void RTree::SplitNode(Node* node) {
+  // Quadratic split: pick the pair wasting the most area as seeds.
+  std::vector<Entry> entries = std::move(node->entries);
+  node->entries.clear();
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      double waste = entries[i].box.Union(entries[j].box).Area() -
+                     entries[i].box.Area() - entries[j].box.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+
+  Box mbr_a = entries[seed_a].box;
+  Box mbr_b = entries[seed_b].box;
+  std::vector<Entry> group_a, group_b;
+  group_a.push_back(std::move(entries[seed_a]));
+  group_b.push_back(std::move(entries[seed_b]));
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i == seed_a || i == seed_b) continue;
+    Entry& entry = entries[i];
+    size_t remaining = entries.size() - i;
+    // Force assignment when a group must take all the rest to reach min.
+    if (group_a.size() + remaining <= static_cast<size_t>(min_entries_)) {
+      mbr_a = mbr_a.Union(entry.box);
+      group_a.push_back(std::move(entry));
+      continue;
+    }
+    if (group_b.size() + remaining <= static_cast<size_t>(min_entries_)) {
+      mbr_b = mbr_b.Union(entry.box);
+      group_b.push_back(std::move(entry));
+      continue;
+    }
+    double grow_a = mbr_a.Union(entry.box).Area() - mbr_a.Area();
+    double grow_b = mbr_b.Union(entry.box).Area() - mbr_b.Area();
+    if (grow_a < grow_b || (grow_a == grow_b && group_a.size() < group_b.size())) {
+      mbr_a = mbr_a.Union(entry.box);
+      group_a.push_back(std::move(entry));
+    } else {
+      mbr_b = mbr_b.Union(entry.box);
+      group_b.push_back(std::move(entry));
+    }
+  }
+
+  node->entries = std::move(group_a);
+  sibling->entries = std::move(group_b);
+  for (Entry& entry : node->entries) {
+    if (entry.child) entry.child->parent = node;
+  }
+  Node* sibling_raw = sibling.get();
+  for (Entry& entry : sibling_raw->entries) {
+    if (entry.child) entry.child->parent = sibling_raw;
+  }
+
+  if (node->parent == nullptr) {
+    // Grow a new root.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    auto old_root = std::move(root_);
+    old_root->parent = new_root.get();
+    sibling_raw->parent = new_root.get();
+    Entry left;
+    left.box = NodeMbr(*old_root);
+    left.child = std::move(old_root);
+    Entry right;
+    right.box = NodeMbr(*sibling_raw);
+    right.child = std::move(sibling);
+    new_root->entries.push_back(std::move(left));
+    new_root->entries.push_back(std::move(right));
+    root_ = std::move(new_root);
+    return;
+  }
+
+  Node* parent = node->parent;
+  // Refresh the existing child entry's MBR.
+  for (Entry& entry : parent->entries) {
+    if (entry.child.get() == node) {
+      entry.box = NodeMbr(*node);
+      break;
+    }
+  }
+  sibling_raw->parent = parent;
+  Entry added;
+  added.box = NodeMbr(*sibling_raw);
+  added.child = std::move(sibling);
+  parent->entries.push_back(std::move(added));
+  if (parent->entries.size() > static_cast<size_t>(max_entries_)) {
+    SplitNode(parent);
+  } else {
+    AdjustUpward(parent);
+  }
+}
+
+void RTree::AdjustUpward(Node* node) {
+  while (node->parent != nullptr) {
+    Node* parent = node->parent;
+    for (Entry& entry : parent->entries) {
+      if (entry.child.get() == node) {
+        entry.box = NodeMbr(*node);
+        break;
+      }
+    }
+    node = parent;
+  }
+}
+
+Status RTree::Insert(const Box& box, uint64_t value) {
+  if (box.empty()) {
+    return Status::InvalidArgument(
+        "cannot index an empty extent (it would never match region queries)");
+  }
+  Node* leaf = ChooseLeaf(root_.get(), box);
+  Entry entry;
+  entry.box = box;
+  entry.value = value;
+  leaf->entries.push_back(std::move(entry));
+  ++size_;
+  if (leaf->entries.size() > static_cast<size_t>(max_entries_)) {
+    SplitNode(leaf);
+  } else {
+    AdjustUpward(leaf);
+  }
+  return Status::OK();
+}
+
+Status RTree::Remove(const Box& box, uint64_t value) {
+  // Find the leaf containing the exact entry by guided search.
+  Node* found_leaf = nullptr;
+  size_t found_idx = 0;
+  std::vector<Node*> stack{root_.get()};
+  while (!stack.empty() && found_leaf == nullptr) {
+    Node* node = stack.back();
+    stack.pop_back();
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      Entry& entry = node->entries[i];
+      if (node->leaf) {
+        if (entry.value == value && entry.box == box) {
+          found_leaf = node;
+          found_idx = i;
+          break;
+        }
+      } else if (entry.box.Overlaps(box) || entry.box.Contains(box)) {
+        stack.push_back(entry.child.get());
+      }
+    }
+  }
+  if (found_leaf == nullptr) {
+    return Status::NotFound("rtree entry not found");
+  }
+  found_leaf->entries.erase(found_leaf->entries.begin() + found_idx);
+  --size_;
+  // Lazy deletion: underfull nodes are tolerated (append-mostly workload);
+  // ancestor MBRs are tightened.
+  AdjustUpward(found_leaf);
+  return Status::OK();
+}
+
+Status RTree::Search(
+    const Box& query,
+    const std::function<Status(const Box&, uint64_t)>& fn) const {
+  if (query.empty()) return Status::OK();
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const Entry& entry : node->entries) {
+      if (!entry.box.Overlaps(query)) continue;
+      if (node->leaf) {
+        GAEA_RETURN_IF_ERROR(fn(entry.box, entry.value));
+      } else {
+        stack.push_back(entry.child.get());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<uint64_t> RTree::SearchValues(const Box& query) const {
+  std::vector<uint64_t> out;
+  (void)Search(query, [&out](const Box&, uint64_t value) {
+    out.push_back(value);
+    return Status::OK();
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int RTree::height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->entries.front().child.get();
+    ++h;
+  }
+  return h;
+}
+
+Status RTree::CheckInvariants() const {
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const Entry& entry : node->entries) {
+      if (!node->leaf) {
+        if (entry.child == nullptr) {
+          return Status::Internal("internal entry without child");
+        }
+        if (entry.child->parent != node) {
+          return Status::Internal("child/parent link broken");
+        }
+        Box child_mbr = NodeMbr(*entry.child);
+        if (!entry.box.Contains(child_mbr)) {
+          return Status::Internal("entry MBR does not contain child MBR");
+        }
+        stack.push_back(entry.child.get());
+      } else if (entry.child != nullptr) {
+        return Status::Internal("leaf entry with child pointer");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gaea

@@ -1,0 +1,73 @@
+// In-memory R-tree over object spatial extents.
+//
+// Gaea is a spatio-temporal DBMS: queries routinely carry a REGION OVERLAPS
+// window, and the catalog must find candidate objects without deserializing
+// every raster in the class. This is a classic Guttman R-tree with
+// quadratic-split insertion and lazy deletion; entries map a Box to an
+// opaque 64-bit payload (an OID).
+//
+// The tree is rebuilt from the catalog's objects on open (extents live in
+// the stored tuples; the tree is a volatile acceleration structure, like
+// Postgres' in-memory relcache of the era).
+
+#ifndef GAEA_SPATIAL_RTREE_H_
+#define GAEA_SPATIAL_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "spatial/box.h"
+#include "util/status.h"
+
+namespace gaea {
+
+class RTree {
+ public:
+  // `max_entries` per node (min is half of it).
+  explicit RTree(int max_entries = 8);
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  // Inserts an entry. Empty boxes are rejected (they overlap nothing, so
+  // indexing them would silently hide the object from region queries).
+  Status Insert(const Box& box, uint64_t value);
+
+  // Removes the exact (box, value) entry. kNotFound if absent.
+  Status Remove(const Box& box, uint64_t value);
+
+  // Visits every entry whose box overlaps `query`.
+  Status Search(const Box& query,
+                const std::function<Status(const Box&, uint64_t)>& fn) const;
+
+  // All payloads overlapping `query`, ascending.
+  std::vector<uint64_t> SearchValues(const Box& query) const;
+
+  size_t size() const { return size_; }
+  int height() const;
+
+  // Internal consistency check (every child MBR within its parent's), for
+  // tests: returns kInternal on violation.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry;
+
+  Node* ChooseLeaf(Node* node, const Box& box) const;
+  void SplitNode(Node* node);
+  void AdjustUpward(Node* node);
+  static Box NodeMbr(const Node& node);
+
+  int max_entries_;
+  int min_entries_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_SPATIAL_RTREE_H_

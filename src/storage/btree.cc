@@ -1,0 +1,280 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gaea {
+
+namespace {
+
+constexpr uint8_t kMetaPage = 3;
+constexpr uint8_t kInternalPage = 4;
+constexpr uint8_t kLeafPage = 5;
+
+// Meta page layout: type u8, root u32 @4, count i64 @8.
+constexpr uint32_t kMetaRootOff = 4;
+constexpr uint32_t kMetaCountOff = 8;
+
+// Node page layout: type u8, nkeys u16 @2, next_leaf u32 @4 (leaf only),
+// entries from @8. Leaf entry: key i64 + value u64 (16 B). Internal entry:
+// key i64 + value u64 (16 B); child array of u32 follows the key array.
+constexpr uint32_t kNodeNKeysOff = 2;
+constexpr uint32_t kNodeNextOff = 4;
+constexpr uint32_t kNodeEntriesOff = 8;
+
+// Capacities chosen so a full node plus one extra entry still fits the page
+// during split handling.
+constexpr size_t kLeafMax = (kPageSize - kNodeEntriesOff) / 16 - 1;     // 254
+constexpr size_t kInternalMax = (kPageSize - kNodeEntriesOff) / 20 - 1; // 203
+
+}  // namespace
+
+StatusOr<std::unique_ptr<BTree>> BTree::Open(const std::string& path,
+                                             size_t pool_capacity) {
+  GAEA_ASSIGN_OR_RETURN(std::unique_ptr<BufferPool> pool,
+                        BufferPool::Open(path, pool_capacity));
+  std::unique_ptr<BTree> tree(new BTree(std::move(pool)));
+  if (tree->pool_->PageCount() == 0) {
+    GAEA_ASSIGN_OR_RETURN(uint32_t meta, tree->pool_->AllocatePage());
+    if (meta != 0) return Status::Internal("meta page must be page 0");
+    GAEA_RETURN_IF_ERROR(tree->StoreMeta());
+  } else {
+    GAEA_RETURN_IF_ERROR(tree->LoadMeta());
+  }
+  return tree;
+}
+
+Status BTree::LoadMeta() {
+  GAEA_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(0));
+  if (page->ReadAt<uint8_t>(0) != kMetaPage) {
+    return Status::Corruption("btree: page 0 is not a meta page");
+  }
+  root_ = page->ReadAt<uint32_t>(kMetaRootOff);
+  count_ = page->ReadAt<int64_t>(kMetaCountOff);
+  return Status::OK();
+}
+
+Status BTree::StoreMeta() {
+  GAEA_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(0));
+  page->WriteAt<uint8_t>(0, kMetaPage);
+  page->WriteAt<uint32_t>(kMetaRootOff, root_);
+  page->WriteAt<int64_t>(kMetaCountOff, count_);
+  return pool_->MarkDirty(0);
+}
+
+StatusOr<BTree::Node> BTree::ReadNode(uint32_t page_id) const {
+  GAEA_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
+  uint8_t type = page->ReadAt<uint8_t>(0);
+  if (type != kInternalPage && type != kLeafPage) {
+    return Status::Corruption("btree: page " + std::to_string(page_id) +
+                              " is not a node page");
+  }
+  Node node;
+  node.leaf = type == kLeafPage;
+  uint16_t nkeys = page->ReadAt<uint16_t>(kNodeNKeysOff);
+  node.next_leaf = page->ReadAt<uint32_t>(kNodeNextOff);
+  node.keys.reserve(nkeys);
+  uint32_t off = kNodeEntriesOff;
+  for (uint16_t i = 0; i < nkeys; ++i) {
+    Key key;
+    key.k = page->ReadAt<int64_t>(off);
+    key.v = page->ReadAt<uint64_t>(off + 8);
+    node.keys.push_back(key);
+    off += 16;
+  }
+  if (!node.leaf) {
+    node.children.reserve(nkeys + 1);
+    for (uint16_t i = 0; i <= nkeys; ++i) {
+      node.children.push_back(page->ReadAt<uint32_t>(off));
+      off += 4;
+    }
+  }
+  return node;
+}
+
+Status BTree::WriteNode(uint32_t page_id, const Node& node) {
+  GAEA_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
+  page->WriteAt<uint8_t>(0, node.leaf ? kLeafPage : kInternalPage);
+  page->WriteAt<uint16_t>(kNodeNKeysOff, static_cast<uint16_t>(node.keys.size()));
+  page->WriteAt<uint32_t>(kNodeNextOff, node.next_leaf);
+  uint32_t off = kNodeEntriesOff;
+  for (const Key& key : node.keys) {
+    page->WriteAt<int64_t>(off, key.k);
+    page->WriteAt<uint64_t>(off + 8, key.v);
+    off += 16;
+  }
+  if (!node.leaf) {
+    for (uint32_t child : node.children) {
+      page->WriteAt<uint32_t>(off, child);
+      off += 4;
+    }
+  }
+  return pool_->MarkDirty(page_id);
+}
+
+StatusOr<uint32_t> BTree::AllocateNode(const Node& node) {
+  GAEA_ASSIGN_OR_RETURN(uint32_t page_id, pool_->AllocatePage());
+  GAEA_RETURN_IF_ERROR(WriteNode(page_id, node));
+  return page_id;
+}
+
+StatusOr<uint32_t> BTree::FindLeaf(Key key,
+                                   std::vector<uint32_t>* path) const {
+  if (root_ == kInvalidPageId) {
+    return Status::NotFound("btree empty");
+  }
+  uint32_t page_id = root_;
+  while (true) {
+    GAEA_ASSIGN_OR_RETURN(Node node, ReadNode(page_id));
+    if (node.leaf) return page_id;
+    if (path != nullptr) path->push_back(page_id);
+    // children[i] holds keys < keys[i]; descend to the first separator
+    // greater than `key`.
+    size_t i = std::upper_bound(node.keys.begin(), node.keys.end(), key) -
+               node.keys.begin();
+    page_id = node.children[i];
+  }
+}
+
+Status BTree::SplitUpward(uint32_t page_id, std::vector<uint32_t> path) {
+  GAEA_ASSIGN_OR_RETURN(Node node, ReadNode(page_id));
+  size_t max = node.leaf ? kLeafMax : kInternalMax;
+  if (node.keys.size() <= max) return Status::OK();
+
+  Node right;
+  right.leaf = node.leaf;
+  Key separator;
+  if (node.leaf) {
+    size_t mid = node.keys.size() / 2;
+    right.keys.assign(node.keys.begin() + mid, node.keys.end());
+    node.keys.resize(mid);
+    separator = right.keys.front();
+    right.next_leaf = node.next_leaf;
+  } else {
+    size_t mid = node.keys.size() / 2;
+    separator = node.keys[mid];
+    right.keys.assign(node.keys.begin() + mid + 1, node.keys.end());
+    right.children.assign(node.children.begin() + mid + 1,
+                          node.children.end());
+    node.keys.resize(mid);
+    node.children.resize(mid + 1);
+  }
+  GAEA_ASSIGN_OR_RETURN(uint32_t right_id, AllocateNode(right));
+  if (node.leaf) {
+    node.next_leaf = right_id;
+  }
+  GAEA_RETURN_IF_ERROR(WriteNode(page_id, node));
+
+  if (path.empty()) {
+    // Splitting the root: create a new root above.
+    Node new_root;
+    new_root.leaf = false;
+    new_root.keys = {separator};
+    new_root.children = {page_id, right_id};
+    GAEA_ASSIGN_OR_RETURN(root_, AllocateNode(new_root));
+    return StoreMeta();
+  }
+
+  uint32_t parent_id = path.back();
+  path.pop_back();
+  GAEA_ASSIGN_OR_RETURN(Node parent, ReadNode(parent_id));
+  size_t pos = std::upper_bound(parent.keys.begin(), parent.keys.end(),
+                                separator) -
+               parent.keys.begin();
+  parent.keys.insert(parent.keys.begin() + pos, separator);
+  parent.children.insert(parent.children.begin() + pos + 1, right_id);
+  GAEA_RETURN_IF_ERROR(WriteNode(parent_id, parent));
+  return SplitUpward(parent_id, std::move(path));
+}
+
+Status BTree::Insert(int64_t key, uint64_t value) {
+  Key composite{key, value};
+  if (root_ == kInvalidPageId) {
+    Node leaf;
+    leaf.leaf = true;
+    leaf.keys = {composite};
+    GAEA_ASSIGN_OR_RETURN(root_, AllocateNode(leaf));
+    count_ = 1;
+    return StoreMeta();
+  }
+  std::vector<uint32_t> path;
+  GAEA_ASSIGN_OR_RETURN(uint32_t leaf_id, FindLeaf(composite, &path));
+  GAEA_ASSIGN_OR_RETURN(Node leaf, ReadNode(leaf_id));
+  auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), composite);
+  if (it != leaf.keys.end() && *it == composite) {
+    return Status::AlreadyExists("btree entry (" + std::to_string(key) + "," +
+                                 std::to_string(value) + ") exists");
+  }
+  leaf.keys.insert(it, composite);
+  GAEA_RETURN_IF_ERROR(WriteNode(leaf_id, leaf));
+  if (leaf.keys.size() > kLeafMax) {
+    GAEA_RETURN_IF_ERROR(SplitUpward(leaf_id, std::move(path)));
+  }
+  count_++;
+  return StoreMeta();
+}
+
+Status BTree::Delete(int64_t key, uint64_t value) {
+  Key composite{key, value};
+  if (root_ == kInvalidPageId) return Status::NotFound("btree empty");
+  GAEA_ASSIGN_OR_RETURN(uint32_t leaf_id, FindLeaf(composite, nullptr));
+  GAEA_ASSIGN_OR_RETURN(Node leaf, ReadNode(leaf_id));
+  auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), composite);
+  if (it == leaf.keys.end() || !(*it == composite)) {
+    return Status::NotFound("btree entry not found");
+  }
+  leaf.keys.erase(it);
+  GAEA_RETURN_IF_ERROR(WriteNode(leaf_id, leaf));
+  count_--;
+  return StoreMeta();
+}
+
+Status BTree::Scan(int64_t lo, int64_t hi,
+                   const std::function<Status(int64_t, uint64_t)>& fn) const {
+  if (root_ == kInvalidPageId || lo > hi) return Status::OK();
+  Key from{lo, 0};
+  GAEA_ASSIGN_OR_RETURN(uint32_t leaf_id, FindLeaf(from, nullptr));
+  while (leaf_id != kInvalidPageId) {
+    GAEA_ASSIGN_OR_RETURN(Node leaf, ReadNode(leaf_id));
+    for (const Key& key : leaf.keys) {
+      if (key.k < lo) continue;
+      if (key.k > hi) return Status::OK();
+      GAEA_RETURN_IF_ERROR(fn(key.k, key.v));
+    }
+    leaf_id = leaf.next_leaf;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<uint64_t>> BTree::Lookup(int64_t key) const {
+  std::vector<uint64_t> out;
+  GAEA_RETURN_IF_ERROR(Scan(key, key, [&out](int64_t, uint64_t v) -> Status {
+    out.push_back(v);
+    return Status::OK();
+  }));
+  return out;
+}
+
+StatusOr<uint64_t> BTree::LookupFirst(int64_t key) const {
+  GAEA_ASSIGN_OR_RETURN(std::vector<uint64_t> values, Lookup(key));
+  if (values.empty()) {
+    return Status::NotFound("no entry for key " + std::to_string(key));
+  }
+  return values.front();
+}
+
+StatusOr<int> BTree::Height() const {
+  if (root_ == kInvalidPageId) return 0;
+  int height = 1;
+  uint32_t page_id = root_;
+  while (true) {
+    GAEA_ASSIGN_OR_RETURN(Node node, ReadNode(page_id));
+    if (node.leaf) return height;
+    page_id = node.children[0];
+    height++;
+  }
+}
+
+Status BTree::Flush() { return pool_->Flush(); }
+
+}  // namespace gaea

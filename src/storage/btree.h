@@ -1,0 +1,97 @@
+// Disk-backed B+tree mapping (int64 key, uint64 value) composite entries.
+//
+// Used by the object store (OID -> RID) and by secondary indexes over data
+// objects (timestamp -> OID, class id -> OID). Duplicate `key`s are allowed;
+// the composite (key, value) pair is unique. Deletion is lazy (no merge/
+// rebalance): entries are removed from leaves but underfull nodes persist,
+// which keeps the structure simple and is sufficient for Gaea's append-
+// mostly workload (derivations never overwrite history).
+//
+// Node pages are materialized into an in-memory struct before use and
+// written back as a whole, so buffer-pool frame eviction can never
+// invalidate a node mid-operation.
+
+#ifndef GAEA_STORAGE_BTREE_H_
+#define GAEA_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "util/status.h"
+
+namespace gaea {
+
+class BTree {
+ public:
+  // Opens or creates the tree at `path`.
+  static StatusOr<std::unique_ptr<BTree>> Open(const std::string& path,
+                                               size_t pool_capacity = 256);
+
+  // Inserts (key, value). kAlreadyExists if the exact pair is present.
+  Status Insert(int64_t key, uint64_t value);
+
+  // Removes (key, value). kNotFound if absent.
+  Status Delete(int64_t key, uint64_t value);
+
+  // All values stored under `key`, ascending.
+  StatusOr<std::vector<uint64_t>> Lookup(int64_t key) const;
+
+  // First value under `key`; kNotFound when none.
+  StatusOr<uint64_t> LookupFirst(int64_t key) const;
+
+  // Visits entries with lo <= key <= hi in ascending (key, value) order.
+  Status Scan(int64_t lo, int64_t hi,
+              const std::function<Status(int64_t, uint64_t)>& fn) const;
+
+  // Total number of entries.
+  int64_t Count() const { return count_; }
+
+  // Height of the tree (0 when empty); exposed for tests/benches.
+  StatusOr<int> Height() const;
+
+  Status Flush();
+
+ private:
+  struct Key {
+    int64_t k;
+    uint64_t v;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  struct Node {
+    bool leaf = true;
+    // Leaf: entries are the stored pairs. Internal: keys[i] separates
+    // children[i] (< keys[i]) from children[i+1] (>= keys[i]);
+    // children.size() == keys.size() + 1.
+    std::vector<Key> keys;
+    std::vector<uint32_t> children;
+    uint32_t next_leaf = kInvalidPageId;
+  };
+
+  explicit BTree(std::unique_ptr<BufferPool> pool) : pool_(std::move(pool)) {}
+
+  Status LoadMeta();
+  Status StoreMeta();
+  StatusOr<Node> ReadNode(uint32_t page_id) const;
+  Status WriteNode(uint32_t page_id, const Node& node);
+  StatusOr<uint32_t> AllocateNode(const Node& node);
+
+  // Finds the leaf page that should contain `key`, recording the root-to-
+  // leaf path of page ids when `path` is non-null.
+  StatusOr<uint32_t> FindLeaf(Key key, std::vector<uint32_t>* path) const;
+
+  // Splits the overfull node at `page_id` (path gives its ancestors).
+  Status SplitUpward(uint32_t page_id, std::vector<uint32_t> path);
+
+  std::unique_ptr<BufferPool> pool_;
+  uint32_t root_ = kInvalidPageId;
+  int64_t count_ = 0;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_STORAGE_BTREE_H_

@@ -1,0 +1,132 @@
+#include "storage/buffer_pool.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gaea {
+
+StatusOr<std::unique_ptr<BufferPool>> BufferPool::Open(const std::string& path,
+                                                       size_t capacity) {
+  if (capacity == 0) {
+    return Status::InvalidArgument("buffer pool needs capacity >= 1");
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IOError("fstat " + path + ": " + std::strerror(err));
+  }
+  if (st.st_size % kPageSize != 0) {
+    ::close(fd);
+    return Status::Corruption(path + ": size not a multiple of page size");
+  }
+  uint32_t page_count = static_cast<uint32_t>(st.st_size / kPageSize);
+  return std::unique_ptr<BufferPool>(
+      new BufferPool(fd, page_count, capacity));
+}
+
+BufferPool::BufferPool(int fd, uint32_t page_count, size_t capacity)
+    : fd_(fd), page_count_(page_count), capacity_(capacity) {}
+
+BufferPool::~BufferPool() {
+  (void)Flush();
+  ::close(fd_);
+}
+
+Status BufferPool::WriteFrame(const Frame& frame) {
+  off_t offset = static_cast<off_t>(frame.page_id) * kPageSize;
+  ssize_t n = ::pwrite(fd_, frame.page.data(), kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite page " + std::to_string(frame.page_id) +
+                           ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictOne() {
+  // Evict the least-recently-used frame (back of the list).
+  Frame& victim = frames_.back();
+  if (victim.dirty) {
+    GAEA_RETURN_IF_ERROR(WriteFrame(victim));
+  }
+  index_.erase(victim.page_id);
+  frames_.pop_back();
+  return Status::OK();
+}
+
+StatusOr<uint32_t> BufferPool::AllocatePage() {
+  uint32_t page_id = page_count_;
+  if (frames_.size() >= capacity_) {
+    GAEA_RETURN_IF_ERROR(EvictOne());
+  }
+  frames_.emplace_front();
+  frames_.front().page_id = page_id;
+  frames_.front().dirty = true;  // new page must reach disk
+  index_[page_id] = frames_.begin();
+  page_count_++;
+  return page_id;
+}
+
+StatusOr<Page*> BufferPool::FetchPage(uint32_t page_id) {
+  if (page_id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(page_id) +
+                              " beyond file end (" +
+                              std::to_string(page_count_) + " pages)");
+  }
+  auto it = index_.find(page_id);
+  if (it != index_.end()) {
+    hits_++;
+    // Move to front (most recently used).
+    frames_.splice(frames_.begin(), frames_, it->second);
+    index_[page_id] = frames_.begin();
+    return &frames_.front().page;
+  }
+  misses_++;
+  if (frames_.size() >= capacity_) {
+    GAEA_RETURN_IF_ERROR(EvictOne());
+  }
+  frames_.emplace_front();
+  Frame& frame = frames_.front();
+  frame.page_id = page_id;
+  off_t offset = static_cast<off_t>(page_id) * kPageSize;
+  ssize_t n = ::pread(fd_, frame.page.data(), kPageSize, offset);
+  if (n < 0) {
+    frames_.pop_front();
+    return Status::IOError("pread page " + std::to_string(page_id) + ": " +
+                           std::strerror(errno));
+  }
+  // A short read happens only for pages allocated but never flushed by a
+  // crashed process; treat missing bytes as zeros (already memset).
+  index_[page_id] = frames_.begin();
+  return &frame.page;
+}
+
+Status BufferPool::MarkDirty(uint32_t page_id) {
+  auto it = index_.find(page_id);
+  if (it == index_.end()) {
+    return Status::Internal("MarkDirty on non-resident page " +
+                            std::to_string(page_id));
+  }
+  it->second->dirty = true;
+  return Status::OK();
+}
+
+Status BufferPool::Flush() {
+  for (Frame& frame : frames_) {
+    if (frame.dirty) {
+      GAEA_RETURN_IF_ERROR(WriteFrame(frame));
+      frame.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gaea

@@ -1,0 +1,78 @@
+// LRU buffer pool over one file. The heap file and B+tree allocate, fetch
+// and release pages through this class; dirty pages are written back on
+// eviction and on Flush().
+//
+// Single-threaded by design: the Gaea kernel (like the 1992 prototype) runs
+// one analysis session at a time, so the pool trades locking for simplicity.
+
+#ifndef GAEA_STORAGE_BUFFER_POOL_H_
+#define GAEA_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace gaea {
+
+class BufferPool {
+ public:
+  // Opens (creating if missing) the file at `path` with capacity frames.
+  static StatusOr<std::unique_ptr<BufferPool>> Open(const std::string& path,
+                                                    size_t capacity = 256);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Allocates a fresh zeroed page at the end of the file; returns its id.
+  // The page is fetched (pinned into the pool) as a side effect.
+  StatusOr<uint32_t> AllocatePage();
+
+  // Returns a pointer to the in-pool frame for `page_id`, reading it from
+  // disk if needed. The pointer stays valid until the next pool operation
+  // that may evict (callers copy what they need or finish their mutation
+  // before calling back into the pool). Call MarkDirty after mutating.
+  StatusOr<Page*> FetchPage(uint32_t page_id);
+
+  Status MarkDirty(uint32_t page_id);
+
+  // Writes all dirty frames back to the file.
+  Status Flush();
+
+  // Number of pages in the file.
+  uint32_t PageCount() const { return page_count_; }
+
+  // Cache statistics (exposed for the storage bench).
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  BufferPool(int fd, uint32_t page_count, size_t capacity);
+
+  struct Frame {
+    uint32_t page_id;
+    bool dirty = false;
+    Page page;
+  };
+
+  Status WriteFrame(const Frame& frame);
+  Status EvictOne();
+
+  int fd_;
+  uint32_t page_count_;
+  size_t capacity_;
+  // LRU list: front = most recently used.
+  std::list<Frame> frames_;
+  std::unordered_map<uint32_t, std::list<Frame>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,57 @@
+// Append-only journal with per-record CRC32.
+//
+// Gaea's catalog (class/process/concept definitions) and task log are
+// persisted as a journal of self-describing records: definitions are never
+// overwritten (the paper: "In no case is the old process overwritten"), so
+// an append-only log is the natural durable representation. Replay stops
+// cleanly at the first torn/corrupt record, tolerating a crash mid-append.
+
+#ifndef GAEA_STORAGE_JOURNAL_H_
+#define GAEA_STORAGE_JOURNAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace gaea {
+
+// CRC-32 (IEEE 802.3 polynomial) of `data`.
+uint32_t Crc32(const void* data, size_t size);
+
+class Journal {
+ public:
+  // Opens (creating if needed) the journal file for appending.
+  static StatusOr<std::unique_ptr<Journal>> Open(const std::string& path);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  // Appends one record (length + crc + payload) and flushes to the OS.
+  Status Append(const std::string& record);
+
+  // Replays every intact record in order. A torn tail (truncated length
+  // header or CRC mismatch on the final record) ends replay without error;
+  // corruption before the tail is reported.
+  Status Replay(const std::function<Status(const std::string&)>& fn) const;
+
+  // Number of records appended through this handle (not total in file).
+  int64_t appended() const { return appended_; }
+
+  // Forces data to disk (fsync).
+  Status Sync();
+
+ private:
+  Journal(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_;
+  std::string path_;
+  int64_t appended_ = 0;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_STORAGE_JOURNAL_H_

@@ -1,0 +1,84 @@
+#include "storage/object_store.h"
+
+#include <limits>
+
+namespace gaea {
+
+StatusOr<std::unique_ptr<ObjectStore>> ObjectStore::Open(
+    const std::string& prefix, size_t pool_capacity) {
+  GAEA_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> heap,
+                        HeapFile::Open(prefix + ".heap", pool_capacity));
+  GAEA_ASSIGN_OR_RETURN(std::unique_ptr<BTree> index,
+                        BTree::Open(prefix + ".idx", pool_capacity));
+  std::unique_ptr<ObjectStore> store(
+      new ObjectStore(std::move(heap), std::move(index)));
+  // Recover the next OID as (max stored OID) + 1.
+  Oid max_oid = 0;
+  GAEA_RETURN_IF_ERROR(store->index_->Scan(
+      std::numeric_limits<int64_t>::min(), std::numeric_limits<int64_t>::max(),
+      [&max_oid](int64_t key, uint64_t) -> Status {
+        max_oid = std::max(max_oid, static_cast<Oid>(key));
+        return Status::OK();
+      }));
+  store->next_oid_ = max_oid + 1;
+  return store;
+}
+
+StatusOr<Oid> ObjectStore::Put(const std::string& payload) {
+  Oid oid = next_oid_;
+  GAEA_RETURN_IF_ERROR(PutWithOid(oid, payload));
+  return oid;
+}
+
+Status ObjectStore::PutWithOid(Oid oid, const std::string& payload) {
+  if (oid == kInvalidOid) {
+    return Status::InvalidArgument("OID 0 is reserved");
+  }
+  if (Contains(oid)) {
+    return Status::AlreadyExists("object " + std::to_string(oid) +
+                                 " already stored");
+  }
+  GAEA_ASSIGN_OR_RETURN(Rid rid, heap_->Insert(payload));
+  GAEA_RETURN_IF_ERROR(
+      index_->Insert(static_cast<int64_t>(oid), rid.Encode()));
+  if (oid >= next_oid_) next_oid_ = oid + 1;
+  return Status::OK();
+}
+
+StatusOr<std::string> ObjectStore::Get(Oid oid) const {
+  auto rid_or = index_->LookupFirst(static_cast<int64_t>(oid));
+  if (!rid_or.ok()) {
+    return Status::NotFound("object " + std::to_string(oid) + " not stored");
+  }
+  return heap_->Read(Rid::Decode(*rid_or));
+}
+
+bool ObjectStore::Contains(Oid oid) const {
+  auto rid_or = index_->LookupFirst(static_cast<int64_t>(oid));
+  return rid_or.ok();
+}
+
+Status ObjectStore::Delete(Oid oid) {
+  GAEA_ASSIGN_OR_RETURN(uint64_t rid_enc,
+                        index_->LookupFirst(static_cast<int64_t>(oid)));
+  GAEA_RETURN_IF_ERROR(heap_->Delete(Rid::Decode(rid_enc)));
+  return index_->Delete(static_cast<int64_t>(oid), rid_enc);
+}
+
+Status ObjectStore::ForEach(
+    const std::function<Status(Oid, const std::string&)>& fn) const {
+  return index_->Scan(
+      std::numeric_limits<int64_t>::min(), std::numeric_limits<int64_t>::max(),
+      [this, &fn](int64_t key, uint64_t rid_enc) -> Status {
+        GAEA_ASSIGN_OR_RETURN(std::string payload,
+                              heap_->Read(Rid::Decode(rid_enc)));
+        return fn(static_cast<Oid>(key), payload);
+      });
+}
+
+Status ObjectStore::Flush() {
+  GAEA_RETURN_IF_ERROR(heap_->Flush());
+  return index_->Flush();
+}
+
+}  // namespace gaea

@@ -1,0 +1,62 @@
+// OID-addressed object store: the storage face the catalog and task log see.
+//
+// Every Gaea data object (an instance of a non-primitive class) is a
+// serialized tuple stored under a stable 64-bit OID. Built from a heap file
+// (payloads, overflow-chained for rasters) plus a B+tree (OID -> RID).
+// Secondary indexes (class -> OID, timestamp -> OID) are maintained by the
+// catalog layer on top.
+
+#ifndef GAEA_STORAGE_OBJECT_STORE_H_
+#define GAEA_STORAGE_OBJECT_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "storage/btree.h"
+#include "storage/heap_file.h"
+#include "util/status.h"
+
+namespace gaea {
+
+// Object identifier. OIDs are never reused.
+using Oid = uint64_t;
+constexpr Oid kInvalidOid = 0;
+
+class ObjectStore {
+ public:
+  // Opens (creating if needed) the store files `prefix`.heap / `prefix`.idx.
+  static StatusOr<std::unique_ptr<ObjectStore>> Open(
+      const std::string& prefix, size_t pool_capacity = 256);
+
+  // Stores `payload` under a freshly allocated OID.
+  StatusOr<Oid> Put(const std::string& payload);
+
+  // Stores `payload` under a caller-chosen OID (used on journal replay).
+  Status PutWithOid(Oid oid, const std::string& payload);
+
+  StatusOr<std::string> Get(Oid oid) const;
+  bool Contains(Oid oid) const;
+  Status Delete(Oid oid);
+
+  // Visits every live object in OID order.
+  Status ForEach(
+      const std::function<Status(Oid, const std::string&)>& fn) const;
+
+  int64_t Count() const { return index_->Count(); }
+  Oid next_oid() const { return next_oid_; }
+
+  Status Flush();
+
+ private:
+  ObjectStore(std::unique_ptr<HeapFile> heap, std::unique_ptr<BTree> index)
+      : heap_(std::move(heap)), index_(std::move(index)) {}
+
+  std::unique_ptr<HeapFile> heap_;
+  std::unique_ptr<BTree> index_;
+  Oid next_oid_ = 1;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_STORAGE_OBJECT_STORE_H_

@@ -1,0 +1,43 @@
+// Fixed-size page abstraction shared by the heap file and the B+tree.
+//
+// Gaea's first prototype sat on Postgres; this paged storage layer is our
+// self-contained substitute (DESIGN.md §2). Pages are 4 KiB, identified by
+// a 32-bit page id within one file.
+
+#ifndef GAEA_STORAGE_PAGE_H_
+#define GAEA_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace gaea {
+
+constexpr uint32_t kPageSize = 4096;
+constexpr uint32_t kInvalidPageId = 0xFFFFFFFFu;
+
+// Raw in-memory page frame. Readers/writers overlay typed headers on data().
+class Page {
+ public:
+  Page() { std::memset(data_, 0, kPageSize); }
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+
+  template <typename T>
+  T ReadAt(uint32_t offset) const {
+    T v;
+    std::memcpy(&v, data_ + offset, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void WriteAt(uint32_t offset, T v) {
+    std::memcpy(data_ + offset, &v, sizeof(T));
+  }
+
+ private:
+  uint8_t data_[kPageSize];
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_STORAGE_PAGE_H_

@@ -1,0 +1,245 @@
+#include "types/compound_op.h"
+
+#include <algorithm>
+#include <set>
+
+namespace gaea {
+
+Status CompoundOperator::AddInput(const std::string& port, TypeId type,
+                                  TypeId list_element) {
+  for (const InputPort& p : inputs_) {
+    if (p.name == port) {
+      return Status::AlreadyExists("duplicate input port: " + port);
+    }
+  }
+  if (nodes_.count(port) > 0) {
+    return Status::AlreadyExists("input port shadows node id: " + port);
+  }
+  inputs_.push_back(InputPort{port, type, list_element});
+  validated_ = false;
+  return Status::OK();
+}
+
+Status CompoundOperator::AddConstant(const std::string& id, Value value) {
+  if (nodes_.count(id) > 0) {
+    return Status::AlreadyExists("duplicate node id: " + id);
+  }
+  Node n;
+  n.id = id;
+  n.is_constant = true;
+  n.constant = std::move(value);
+  nodes_.emplace(id, std::move(n));
+  validated_ = false;
+  return Status::OK();
+}
+
+Status CompoundOperator::AddNode(const std::string& id,
+                                 const std::string& op_name,
+                                 std::vector<PortRef> inputs) {
+  if (nodes_.count(id) > 0) {
+    return Status::AlreadyExists("duplicate node id: " + id);
+  }
+  for (const InputPort& p : inputs_) {
+    if (p.name == id) {
+      return Status::AlreadyExists("node id shadows input port: " + id);
+    }
+  }
+  Node n;
+  n.id = id;
+  n.op_name = op_name;
+  n.inputs = std::move(inputs);
+  nodes_.emplace(id, std::move(n));
+  validated_ = false;
+  return Status::OK();
+}
+
+Status CompoundOperator::SetOutput(const std::string& node_id) {
+  if (nodes_.count(node_id) == 0) {
+    return Status::NotFound("output node not defined: " + node_id);
+  }
+  output_node_ = node_id;
+  validated_ = false;
+  return Status::OK();
+}
+
+StatusOr<const CompoundOperator::Node*> CompoundOperator::FindNode(
+    const std::string& id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return Status::NotFound("node not defined: " + id);
+  }
+  return &it->second;
+}
+
+Status CompoundOperator::Validate(const OperatorRegistry& reg) {
+  if (output_node_.empty()) {
+    return Status::FailedPrecondition("compound " + name_ +
+                                      ": no output node designated");
+  }
+  // Kahn topological sort over node-to-node edges.
+  std::map<std::string, int> in_degree;
+  std::map<std::string, std::vector<std::string>> dependents;
+  for (const auto& [id, node] : nodes_) {
+    in_degree.emplace(id, 0);
+  }
+  for (const auto& [id, node] : nodes_) {
+    for (const PortRef& ref : node.inputs) {
+      if (ref.kind == PortRef::Kind::kInput) {
+        bool found = false;
+        for (const InputPort& p : inputs_) {
+          if (p.name == ref.name) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return Status::NotFound("compound " + name_ + ": node " + id +
+                                  " references unknown input port " + ref.name);
+        }
+      } else {
+        if (nodes_.count(ref.name) == 0) {
+          return Status::NotFound("compound " + name_ + ": node " + id +
+                                  " references unknown node " + ref.name);
+        }
+        in_degree[id]++;
+        dependents[ref.name].push_back(id);
+      }
+    }
+  }
+  std::vector<std::string> ready;
+  for (const auto& [id, deg] : in_degree) {
+    if (deg == 0) ready.push_back(id);
+  }
+  std::sort(ready.begin(), ready.end());  // deterministic order
+  order_.clear();
+  while (!ready.empty()) {
+    std::string id = ready.back();
+    ready.pop_back();
+    order_.push_back(id);
+    for (const std::string& dep : dependents[id]) {
+      if (--in_degree[dep] == 0) ready.push_back(dep);
+    }
+  }
+  if (order_.size() != nodes_.size()) {
+    return Status::InvalidArgument("compound " + name_ +
+                                   ": cycle in operator network");
+  }
+
+  // Type check in topological order.
+  std::map<std::string, TypeId> node_types;
+  auto ref_type = [&](const PortRef& ref) -> TypeId {
+    if (ref.kind == PortRef::Kind::kInput) {
+      for (const InputPort& p : inputs_) {
+        if (p.name == ref.name) return p.type;
+      }
+      return TypeId::kNull;
+    }
+    return node_types[ref.name];
+  };
+  for (const std::string& id : order_) {
+    const Node& node = nodes_.at(id);
+    if (node.is_constant) {
+      node_types[id] = node.constant.type();
+      continue;
+    }
+    std::vector<TypeId> arg_types;
+    arg_types.reserve(node.inputs.size());
+    for (const PortRef& ref : node.inputs) arg_types.push_back(ref_type(ref));
+    auto result = reg.ResultType(node.op_name, arg_types);
+    if (!result.ok()) {
+      return Status::InvalidArgument("compound " + name_ + ": node " + id +
+                                     ": " + result.status().message());
+    }
+    node_types[id] = *result;
+  }
+  result_type_ = node_types[output_node_];
+  validated_ = true;
+  return Status::OK();
+}
+
+StatusOr<Value> CompoundOperator::Invoke(const OperatorRegistry& reg,
+                                         const ValueList& args) const {
+  if (!validated_) {
+    return Status::FailedPrecondition("compound " + name_ +
+                                      " invoked before Validate()");
+  }
+  if (args.size() != inputs_.size()) {
+    return Status::InvalidArgument(
+        "compound " + name_ + " expects " + std::to_string(inputs_.size()) +
+        " arguments, got " + std::to_string(args.size()));
+  }
+  std::map<std::string, const Value*> inputs_by_name;
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    inputs_by_name[inputs_[i].name] = &args[i];
+  }
+  std::map<std::string, Value> results;
+  for (const std::string& id : order_) {
+    const Node& node = nodes_.at(id);
+    if (node.is_constant) {
+      results[id] = node.constant;
+      continue;
+    }
+    ValueList call_args;
+    call_args.reserve(node.inputs.size());
+    for (const PortRef& ref : node.inputs) {
+      if (ref.kind == PortRef::Kind::kInput) {
+        call_args.push_back(*inputs_by_name.at(ref.name));
+      } else {
+        call_args.push_back(results.at(ref.name));
+      }
+    }
+    auto result = reg.Invoke(node.op_name, call_args);
+    if (!result.ok()) {
+      return Status(result.status().code(), "compound " + name_ + ": node " +
+                                                id + ": " +
+                                                result.status().message());
+    }
+    results[id] = std::move(result).value();
+  }
+  return results.at(output_node_);
+}
+
+Status CompoundOperator::RegisterInto(OperatorRegistry* reg) const {
+  if (!validated_) {
+    return Status::FailedPrecondition("compound " + name_ +
+                                      " must be validated before registration");
+  }
+  OperatorSignature sig;
+  for (const InputPort& p : inputs_) {
+    sig.params.push_back(p.type);
+    if (p.type == TypeId::kList) sig.list_element = p.list_element;
+  }
+  sig.result = result_type_;
+  sig.doc = "compound operator (" + std::to_string(nodes_.size()) + " nodes)";
+  // The closure owns a copy of the network; the captured registry pointer is
+  // the registry we register into, which outlives the operator by contract.
+  CompoundOperator copy = *this;
+  const OperatorRegistry* reg_ptr = reg;
+  sig.fn = [copy, reg_ptr](const ValueList& args) -> StatusOr<Value> {
+    return copy.Invoke(*reg_ptr, args);
+  };
+  return reg->Register(name_, std::move(sig));
+}
+
+StatusOr<CompoundOperator> BuildFigure4PcaNetwork() {
+  CompoundOperator op("pca_network");
+  GAEA_RETURN_IF_ERROR(op.AddInput("bands", TypeId::kList, TypeId::kImage));
+  GAEA_RETURN_IF_ERROR(op.AddInput("nrow", TypeId::kInt));
+  GAEA_RETURN_IF_ERROR(op.AddInput("ncol", TypeId::kInt));
+  GAEA_RETURN_IF_ERROR(op.AddNode("to_matrix", "convert_image_matrix",
+                                  {PortRef::Input("bands")}));
+  GAEA_RETURN_IF_ERROR(op.AddNode("covariance", "compute_covariance",
+                                  {PortRef::Node("to_matrix")}));
+  GAEA_RETURN_IF_ERROR(op.AddNode("eigen", "get_eigen_vector",
+                                  {PortRef::Node("covariance")}));
+  GAEA_RETURN_IF_ERROR(
+      op.AddNode("project", "linear_combination",
+                 {PortRef::Node("to_matrix"), PortRef::Node("eigen")}));
+  GAEA_RETURN_IF_ERROR(op.AddNode(
+      "to_images", "convert_matrix_image",
+      {PortRef::Node("project"), PortRef::Input("nrow"), PortRef::Input("ncol")}));
+  GAEA_RETURN_IF_ERROR(op.SetOutput("to_images"));
+  return op;
+}
+
+}  // namespace gaea

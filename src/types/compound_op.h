@@ -1,0 +1,113 @@
+// Compound operators (paper §2.1.3 & Figure 4): "operators can be combined
+// into a self-contained compound operator that can be applied as a primitive
+// mapping function between two primitive classes."
+//
+// A CompoundOperator is a dataflow network: named input ports, constant
+// nodes, and operator nodes wired to the outputs of other nodes. Validation
+// performs cycle detection and type checking against an OperatorRegistry;
+// execution evaluates nodes in topological order. A validated compound
+// operator can itself be registered in the OperatorRegistry, making the
+// composition transparent to callers — exactly the paper's pca() example.
+
+#ifndef GAEA_TYPES_COMPOUND_OP_H_
+#define GAEA_TYPES_COMPOUND_OP_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/op_registry.h"
+#include "types/value.h"
+#include "util/status.h"
+
+namespace gaea {
+
+// Reference to a value flowing through the network: either an input port
+// (by name) or the result of another node (by id).
+struct PortRef {
+  enum class Kind { kInput, kNode };
+  Kind kind;
+  std::string name;  // input-port name or node id
+
+  static PortRef Input(std::string name) {
+    return PortRef{Kind::kInput, std::move(name)};
+  }
+  static PortRef Node(std::string id) {
+    return PortRef{Kind::kNode, std::move(id)};
+  }
+};
+
+class CompoundOperator {
+ public:
+  explicit CompoundOperator(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Declares an input port; call order defines the positional signature.
+  Status AddInput(const std::string& port, TypeId type,
+                  TypeId list_element = TypeId::kNull);
+
+  // Adds a constant node (e.g. the literal 12 classes of Figure 3).
+  Status AddConstant(const std::string& id, Value value);
+
+  // Adds an operator node applying `op_name` to the referenced ports.
+  Status AddNode(const std::string& id, const std::string& op_name,
+                 std::vector<PortRef> inputs);
+
+  // Designates which node's result is the compound's output.
+  Status SetOutput(const std::string& node_id);
+
+  // Topological sort + type check; must be called before Invoke. Fills in
+  // the inferred result type. Idempotent.
+  Status Validate(const OperatorRegistry& reg);
+
+  // Executes the network on positional arguments.
+  StatusOr<Value> Invoke(const OperatorRegistry& reg,
+                         const ValueList& args) const;
+
+  // Registers this compound as an operator named name() in `reg`. The
+  // network is copied into the registered closure, so the CompoundOperator
+  // may be destroyed afterwards.
+  Status RegisterInto(OperatorRegistry* reg) const;
+
+  bool validated() const { return validated_; }
+  TypeId result_type() const { return result_type_; }
+  size_t node_count() const { return nodes_.size(); }
+  // Node ids in execution order (valid after Validate).
+  const std::vector<std::string>& execution_order() const { return order_; }
+
+ private:
+  struct InputPort {
+    std::string name;
+    TypeId type;
+    TypeId list_element;
+  };
+  struct Node {
+    std::string id;
+    bool is_constant = false;
+    Value constant;
+    std::string op_name;
+    std::vector<PortRef> inputs;
+  };
+
+  StatusOr<const Node*> FindNode(const std::string& id) const;
+
+  std::string name_;
+  std::vector<InputPort> inputs_;
+  std::map<std::string, Node> nodes_;
+  std::string output_node_;
+  std::vector<std::string> order_;
+  TypeId result_type_ = TypeId::kNull;
+  bool validated_ = false;
+};
+
+// Builds the exact Figure 4 PCA network: convert_image_matrix ->
+// compute_covariance -> get_eigen_vector -> linear_combination ->
+// convert_matrix_image. Inputs: (bands: list of image, nrow: int,
+// ncol: int); output: list of component images.
+StatusOr<CompoundOperator> BuildFigure4PcaNetwork();
+
+}  // namespace gaea
+
+#endif  // GAEA_TYPES_COMPOUND_OP_H_

@@ -1,0 +1,157 @@
+#include "types/op_registry.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace gaea {
+
+namespace {
+std::string SignatureString(const std::string& name,
+                            const std::vector<TypeId>& types) {
+  std::ostringstream os;
+  os << name << "(";
+  for (size_t i = 0; i < types.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << TypeIdName(types[i]);
+  }
+  os << ")";
+  return os.str();
+}
+
+// Whether an argument of `got` is acceptable for a parameter of `want`.
+bool ParamAccepts(TypeId want, TypeId got) {
+  if (want == got) return true;
+  // Integer arguments widen to double parameters.
+  if (want == TypeId::kDouble && got == TypeId::kInt) return true;
+  // kNull parameter type means "any".
+  if (want == TypeId::kNull) return true;
+  return false;
+}
+}  // namespace
+
+Status OperatorRegistry::Register(const std::string& name,
+                                  OperatorSignature sig) {
+  if (name.empty()) return Status::InvalidArgument("operator needs a name");
+  if (!sig.fn) {
+    return Status::InvalidArgument("operator " + name +
+                                   " registered without implementation");
+  }
+  OperatorDef& def = ops_[name];
+  def.name = name;
+  for (const OperatorSignature& existing : def.overloads) {
+    if (existing.params == sig.params && existing.variadic == sig.variadic) {
+      return Status::AlreadyExists("duplicate overload for " +
+                                   SignatureString(name, sig.params));
+    }
+  }
+  def.overloads.push_back(std::move(sig));
+  return Status::OK();
+}
+
+bool OperatorRegistry::Contains(const std::string& name) const {
+  return ops_.count(name) > 0;
+}
+
+StatusOr<const OperatorDef*> OperatorRegistry::Lookup(
+    const std::string& name) const {
+  auto it = ops_.find(name);
+  if (it == ops_.end()) {
+    return Status::NotFound("operator not registered: " + name);
+  }
+  return &it->second;
+}
+
+const OperatorSignature* OperatorRegistry::Match(
+    const OperatorDef& def, const std::vector<TypeId>& arg_types) const {
+  const OperatorSignature* exact = nullptr;
+  const OperatorSignature* widened = nullptr;
+  for (const OperatorSignature& sig : def.overloads) {
+    size_t fixed = sig.params.size();
+    if (sig.variadic) {
+      if (fixed == 0) continue;  // malformed
+      if (arg_types.size() < fixed - 1) continue;
+    } else if (arg_types.size() != fixed) {
+      continue;
+    }
+    bool match_exact = true;
+    bool match_widened = true;
+    for (size_t i = 0; i < arg_types.size(); ++i) {
+      TypeId want = (sig.variadic && i >= fixed - 1) ? sig.params[fixed - 1]
+                                                     : sig.params[i];
+      if (want != arg_types[i]) match_exact = false;
+      if (!ParamAccepts(want, arg_types[i])) {
+        match_widened = false;
+        break;
+      }
+    }
+    if (match_exact && match_widened && exact == nullptr) exact = &sig;
+    if (match_widened && widened == nullptr) widened = &sig;
+  }
+  return exact != nullptr ? exact : widened;
+}
+
+StatusOr<Value> OperatorRegistry::Invoke(const std::string& name,
+                                         const ValueList& args) const {
+  GAEA_ASSIGN_OR_RETURN(const OperatorDef* def, Lookup(name));
+  std::vector<TypeId> arg_types;
+  arg_types.reserve(args.size());
+  for (const Value& v : args) arg_types.push_back(v.type());
+  const OperatorSignature* sig = Match(*def, arg_types);
+  if (sig == nullptr) {
+    return Status::InvalidArgument("no overload of " +
+                                   SignatureString(name, arg_types));
+  }
+  return sig->fn(args);
+}
+
+StatusOr<TypeId> OperatorRegistry::ResultType(
+    const std::string& name, const std::vector<TypeId>& arg_types) const {
+  GAEA_ASSIGN_OR_RETURN(const OperatorDef* def, Lookup(name));
+  const OperatorSignature* sig = Match(*def, arg_types);
+  if (sig == nullptr) {
+    return Status::InvalidArgument("no overload of " +
+                                   SignatureString(name, arg_types));
+  }
+  return sig->result;
+}
+
+std::vector<std::string> OperatorRegistry::ListNames() const {
+  std::vector<std::string> out;
+  out.reserve(ops_.size());
+  for (const auto& [name, def] : ops_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> OperatorRegistry::OperatorsForType(TypeId t) const {
+  std::vector<std::string> out;
+  for (const auto& [name, def] : ops_) {
+    bool uses = false;
+    for (const OperatorSignature& sig : def.overloads) {
+      if (std::find(sig.params.begin(), sig.params.end(), t) !=
+              sig.params.end() ||
+          (sig.list_element == t &&
+           std::find(sig.params.begin(), sig.params.end(), TypeId::kList) !=
+               sig.params.end())) {
+        uses = true;
+        break;
+      }
+    }
+    if (uses) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<TypeId> OperatorRegistry::TypesForOperator(
+    const std::string& name) const {
+  std::set<TypeId> types;
+  auto it = ops_.find(name);
+  if (it != ops_.end()) {
+    for (const OperatorSignature& sig : it->second.overloads) {
+      for (TypeId t : sig.params) types.insert(t);
+    }
+  }
+  return std::vector<TypeId>(types.begin(), types.end());
+}
+
+}  // namespace gaea

@@ -1,0 +1,93 @@
+// Operator registry: "functions on primitive classes are called operators"
+// (paper §2.1.3). Operators are pure functions from a list of Values to a
+// Value; processes in the derivation layer are compiled down to applications
+// of these operators, and compound operators (compound_op.h) are dataflow
+// networks over them.
+//
+// The registry supports overloading by signature, variadic (SETOF) inputs,
+// and the browsing queries of §4.2: operators applicable to a primitive
+// class, and classes having a given operator.
+
+#ifndef GAEA_TYPES_OP_REGISTRY_H_
+#define GAEA_TYPES_OP_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+#include "util/status.h"
+
+namespace gaea {
+
+// Implementation of one operator overload.
+using OperatorFn = std::function<StatusOr<Value>(const ValueList&)>;
+
+// One overload of an operator.
+struct OperatorSignature {
+  // Fixed parameter types. A kList parameter accepts a Value list whose
+  // elements are `list_element` typed (kNull means "any").
+  std::vector<TypeId> params;
+  TypeId list_element = TypeId::kNull;
+  // When true, the last parameter type repeats zero or more times
+  // (variadic tail), e.g. composite(image...).
+  bool variadic = false;
+  TypeId result = TypeId::kNull;
+  OperatorFn fn;
+  std::string doc;
+};
+
+// A named operator: one or more overloads.
+struct OperatorDef {
+  std::string name;
+  std::vector<OperatorSignature> overloads;
+};
+
+class OperatorRegistry {
+ public:
+  OperatorRegistry() = default;
+  OperatorRegistry(const OperatorRegistry&) = delete;
+  OperatorRegistry& operator=(const OperatorRegistry&) = delete;
+  OperatorRegistry(OperatorRegistry&&) = default;
+  OperatorRegistry& operator=(OperatorRegistry&&) = default;
+
+  // Registers one overload under `name`. Rejects an exact duplicate
+  // signature for the same name.
+  Status Register(const std::string& name, OperatorSignature sig);
+
+  bool Contains(const std::string& name) const;
+  StatusOr<const OperatorDef*> Lookup(const std::string& name) const;
+
+  // Selects the overload matching the argument types and invokes it.
+  StatusOr<Value> Invoke(const std::string& name, const ValueList& args) const;
+
+  // Type-checks a call without executing it: returns the result type of the
+  // overload that would be selected for the given argument types.
+  StatusOr<TypeId> ResultType(const std::string& name,
+                              const std::vector<TypeId>& arg_types) const;
+
+  // Browsing (paper §4.2): all operator names, operators accepting a value
+  // of type `t` in any parameter slot, and parameter types used by an
+  // operator name.
+  std::vector<std::string> ListNames() const;
+  std::vector<std::string> OperatorsForType(TypeId t) const;
+  std::vector<TypeId> TypesForOperator(const std::string& name) const;
+
+  size_t size() const { return ops_.size(); }
+
+ private:
+  // Returns the matching overload or nullptr.
+  const OperatorSignature* Match(const OperatorDef& def,
+                                 const std::vector<TypeId>& arg_types) const;
+
+  std::map<std::string, OperatorDef> ops_;
+};
+
+// Registers all built-in Gaea operators (arithmetic, comparison, spatial,
+// temporal, image analysis) into `reg`. Defined in builtin_ops.cc.
+Status RegisterBuiltinOperators(OperatorRegistry* reg);
+
+}  // namespace gaea
+
+#endif  // GAEA_TYPES_OP_REGISTRY_H_

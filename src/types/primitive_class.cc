@@ -1,0 +1,68 @@
+#include "types/primitive_class.h"
+
+namespace gaea {
+
+PrimitiveClassRegistry PrimitiveClassRegistry::WithBuiltins() {
+  PrimitiveClassRegistry reg;
+  auto add = [&reg](const char* name, TypeId t, const char* repr,
+                    const char* doc) {
+    // Built-in names never collide; ignore the status.
+    (void)reg.Register(PrimitiveClass{name, t, repr, doc});
+  };
+  add("bool", TypeId::kBool, "(true|false)", "boolean truth value");
+  add("int4", TypeId::kInt, "(digits)", "signed integer");
+  add("float8", TypeId::kDouble, "(decimal)", "double precision float");
+  add("char16", TypeId::kString, "(chars)", "short string (names, units)");
+  add("box", TypeId::kBox, "(x_min, y_min, x_max, y_max)",
+      "axis-aligned spatial bounding box");
+  add("abstime", TypeId::kTime, "(seconds-since-epoch)",
+      "absolute timestamp");
+  add("image", TypeId::kImage, "(nrows, ncols, pixtype, filepath)",
+      "2-D raster with typed pixels");
+  add("matrix", TypeId::kMatrix, "(rows, cols, doubles)",
+      "dense double matrix (PCA intermediates)");
+  return reg;
+}
+
+Status PrimitiveClassRegistry::Register(PrimitiveClass pc) {
+  if (pc.name.empty()) {
+    return Status::InvalidArgument("primitive class needs a name");
+  }
+  auto [it, inserted] = classes_.emplace(pc.name, std::move(pc));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("primitive class already registered: " +
+                                 it->first);
+  }
+  return Status::OK();
+}
+
+StatusOr<const PrimitiveClass*> PrimitiveClassRegistry::Lookup(
+    const std::string& name) const {
+  auto it = classes_.find(name);
+  if (it == classes_.end()) {
+    return Status::NotFound("primitive class not registered: " + name);
+  }
+  return &it->second;
+}
+
+bool PrimitiveClassRegistry::Contains(const std::string& name) const {
+  return classes_.count(name) > 0;
+}
+
+std::vector<const PrimitiveClass*> PrimitiveClassRegistry::List() const {
+  std::vector<const PrimitiveClass*> out;
+  out.reserve(classes_.size());
+  for (const auto& [name, pc] : classes_) out.push_back(&pc);
+  return out;
+}
+
+std::vector<std::string> PrimitiveClassRegistry::NamesForType(TypeId t) const {
+  std::vector<std::string> out;
+  for (const auto& [name, pc] : classes_) {
+    if (pc.type == t) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace gaea

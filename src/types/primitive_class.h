@@ -1,0 +1,62 @@
+// Primitive-class registry: the ADT facility of the system-level semantics
+// layer (paper §2.1.3). Primitive classes (int, float, string, bool, box,
+// abstime, image, matrix) are registered here along with documentation; the
+// registry also supports the browsing queries the paper lists in §4.2:
+// "look up appropriate operators for specific primitive classes, or find the
+// primitive classes that have a specific operator" (implemented together
+// with OperatorRegistry).
+
+#ifndef GAEA_TYPES_PRIMITIVE_CLASS_H_
+#define GAEA_TYPES_PRIMITIVE_CLASS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+#include "util/status.h"
+
+namespace gaea {
+
+// Descriptor of one primitive class.
+struct PrimitiveClass {
+  std::string name;          // canonical name, e.g. "image"
+  TypeId type = TypeId::kNull;
+  std::string external_repr; // e.g. "(nrows, ncols, pixtype, filepath)"
+  std::string doc;
+};
+
+// Registry of primitive classes. Extensible: users may register their own
+// names as aliases of canonical type ids (the paper's "users are allowed to
+// define new primitive classes").
+class PrimitiveClassRegistry {
+ public:
+  PrimitiveClassRegistry() = default;
+  PrimitiveClassRegistry(const PrimitiveClassRegistry&) = delete;
+  PrimitiveClassRegistry& operator=(const PrimitiveClassRegistry&) = delete;
+  PrimitiveClassRegistry(PrimitiveClassRegistry&&) = default;
+  PrimitiveClassRegistry& operator=(PrimitiveClassRegistry&&) = default;
+
+  // Registers the built-in primitive classes (bool, int, float8, char16,
+  // box, abstime, image, matrix).
+  static PrimitiveClassRegistry WithBuiltins();
+
+  Status Register(PrimitiveClass pc);
+  StatusOr<const PrimitiveClass*> Lookup(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  // All registered classes, sorted by name (browsing support).
+  std::vector<const PrimitiveClass*> List() const;
+
+  // All class names sharing a canonical type id.
+  std::vector<std::string> NamesForType(TypeId t) const;
+
+  size_t size() const { return classes_.size(); }
+
+ private:
+  std::map<std::string, PrimitiveClass> classes_;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_TYPES_PRIMITIVE_CLASS_H_

@@ -1,0 +1,304 @@
+#include "types/value.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace gaea {
+
+const char* TypeIdName(TypeId t) {
+  switch (t) {
+    case TypeId::kNull: return "null";
+    case TypeId::kBool: return "bool";
+    case TypeId::kInt: return "int";
+    case TypeId::kDouble: return "double";
+    case TypeId::kString: return "string";
+    case TypeId::kBox: return "box";
+    case TypeId::kTime: return "abstime";
+    case TypeId::kImage: return "image";
+    case TypeId::kMatrix: return "matrix";
+    case TypeId::kList: return "list";
+  }
+  return "unknown";
+}
+
+StatusOr<TypeId> TypeIdFromDdlName(const std::string& name) {
+  std::string n = StrToLower(StrTrim(name));
+  if (n == "bool" || n == "boolean") return TypeId::kBool;
+  if (n == "int" || n == "int2" || n == "int4" || n == "int8" ||
+      n == "integer") {
+    return TypeId::kInt;
+  }
+  if (n == "float" || n == "float4" || n == "float8" || n == "double") {
+    return TypeId::kDouble;
+  }
+  if (n == "char16" || n == "string" || n == "text" || n == "char") {
+    return TypeId::kString;
+  }
+  if (n == "box") return TypeId::kBox;
+  if (n == "abstime" || n == "time") return TypeId::kTime;
+  if (n == "image") return TypeId::kImage;
+  if (n == "matrix") return TypeId::kMatrix;
+  if (n == "list" || n == "setof") return TypeId::kList;
+  return Status::InvalidArgument("unknown DDL type name: " + name);
+}
+
+Value Value::List(ValueList items) {
+  return Value(Data(std::make_shared<const ValueList>(std::move(items))));
+}
+
+TypeId Value::type() const {
+  return static_cast<TypeId>(data_.index());
+}
+
+namespace {
+Status TypeMismatch(TypeId want, TypeId got) {
+  return Status::InvalidArgument(std::string("value type mismatch: want ") +
+                                 TypeIdName(want) + ", got " +
+                                 TypeIdName(got));
+}
+}  // namespace
+
+StatusOr<bool> Value::AsBool() const {
+  if (auto* v = std::get_if<bool>(&data_)) return *v;
+  return TypeMismatch(TypeId::kBool, type());
+}
+
+StatusOr<int64_t> Value::AsInt() const {
+  if (auto* v = std::get_if<int64_t>(&data_)) return *v;
+  return TypeMismatch(TypeId::kInt, type());
+}
+
+StatusOr<double> Value::AsDouble() const {
+  if (auto* v = std::get_if<double>(&data_)) return *v;
+  if (auto* v = std::get_if<int64_t>(&data_)) {
+    return static_cast<double>(*v);
+  }
+  return TypeMismatch(TypeId::kDouble, type());
+}
+
+StatusOr<std::string> Value::AsString() const {
+  if (auto* v = std::get_if<std::string>(&data_)) return *v;
+  return TypeMismatch(TypeId::kString, type());
+}
+
+StatusOr<Box> Value::AsBox() const {
+  if (auto* v = std::get_if<Box>(&data_)) return *v;
+  return TypeMismatch(TypeId::kBox, type());
+}
+
+StatusOr<AbsTime> Value::AsTime() const {
+  if (auto* v = std::get_if<AbsTime>(&data_)) return *v;
+  return TypeMismatch(TypeId::kTime, type());
+}
+
+StatusOr<ImagePtr> Value::AsImage() const {
+  if (auto* v = std::get_if<ImagePtr>(&data_)) return *v;
+  return TypeMismatch(TypeId::kImage, type());
+}
+
+StatusOr<MatrixPtr> Value::AsMatrix() const {
+  if (auto* v = std::get_if<MatrixPtr>(&data_)) return *v;
+  return TypeMismatch(TypeId::kMatrix, type());
+}
+
+StatusOr<const ValueList*> Value::AsList() const {
+  if (auto* v = std::get_if<std::shared_ptr<const ValueList>>(&data_)) {
+    return v->get();
+  }
+  return TypeMismatch(TypeId::kList, type());
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type() != other.type()) return false;
+  switch (type()) {
+    case TypeId::kNull:
+      return true;
+    case TypeId::kBool:
+      return std::get<bool>(data_) == std::get<bool>(other.data_);
+    case TypeId::kInt:
+      return std::get<int64_t>(data_) == std::get<int64_t>(other.data_);
+    case TypeId::kDouble:
+      return std::get<double>(data_) == std::get<double>(other.data_);
+    case TypeId::kString:
+      return std::get<std::string>(data_) == std::get<std::string>(other.data_);
+    case TypeId::kBox:
+      return std::get<Box>(data_) == std::get<Box>(other.data_);
+    case TypeId::kTime:
+      return std::get<AbsTime>(data_) == std::get<AbsTime>(other.data_);
+    case TypeId::kImage: {
+      const auto& a = std::get<ImagePtr>(data_);
+      const auto& b = std::get<ImagePtr>(other.data_);
+      if (a == b) return true;
+      if (!a || !b) return false;
+      return *a == *b;
+    }
+    case TypeId::kMatrix: {
+      const auto& a = std::get<MatrixPtr>(data_);
+      const auto& b = std::get<MatrixPtr>(other.data_);
+      if (a == b) return true;
+      if (!a || !b) return false;
+      return *a == *b;
+    }
+    case TypeId::kList: {
+      const auto& a = std::get<std::shared_ptr<const ValueList>>(data_);
+      const auto& b = std::get<std::shared_ptr<const ValueList>>(other.data_);
+      if (a == b) return true;
+      if (!a || !b) return false;
+      return *a == *b;
+    }
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case TypeId::kNull:
+      return "null";
+    case TypeId::kBool:
+      return std::get<bool>(data_) ? "true" : "false";
+    case TypeId::kInt:
+      return std::to_string(std::get<int64_t>(data_));
+    case TypeId::kDouble: {
+      std::ostringstream os;
+      os << std::get<double>(data_);
+      return os.str();
+    }
+    case TypeId::kString:
+      return "\"" + std::get<std::string>(data_) + "\"";
+    case TypeId::kBox:
+      return std::get<Box>(data_).ToString();
+    case TypeId::kTime:
+      return std::get<AbsTime>(data_).ToString();
+    case TypeId::kImage: {
+      const auto& p = std::get<ImagePtr>(data_);
+      return p ? p->ToString() : "image(null)";
+    }
+    case TypeId::kMatrix: {
+      const auto& p = std::get<MatrixPtr>(data_);
+      return p ? p->ToString() : "matrix(null)";
+    }
+    case TypeId::kList: {
+      const auto& p = std::get<std::shared_ptr<const ValueList>>(data_);
+      std::string out = "[";
+      if (p) {
+        for (size_t i = 0; i < p->size(); ++i) {
+          if (i > 0) out += ", ";
+          out += (*p)[i].ToString();
+        }
+      }
+      out += "]";
+      return out;
+    }
+  }
+  return "?";
+}
+
+void Value::Serialize(BinaryWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(type()));
+  switch (type()) {
+    case TypeId::kNull:
+      return;
+    case TypeId::kBool:
+      w->PutBool(std::get<bool>(data_));
+      return;
+    case TypeId::kInt:
+      w->PutI64(std::get<int64_t>(data_));
+      return;
+    case TypeId::kDouble:
+      w->PutF64(std::get<double>(data_));
+      return;
+    case TypeId::kString:
+      w->PutString(std::get<std::string>(data_));
+      return;
+    case TypeId::kBox:
+      std::get<Box>(data_).Serialize(w);
+      return;
+    case TypeId::kTime:
+      std::get<AbsTime>(data_).Serialize(w);
+      return;
+    case TypeId::kImage: {
+      const auto& p = std::get<ImagePtr>(data_);
+      if (p) {
+        p->Serialize(w);
+      } else {
+        Image().Serialize(w);
+      }
+      return;
+    }
+    case TypeId::kMatrix: {
+      const auto& p = std::get<MatrixPtr>(data_);
+      if (p) {
+        p->Serialize(w);
+      } else {
+        Matrix().Serialize(w);
+      }
+      return;
+    }
+    case TypeId::kList: {
+      const auto& p = std::get<std::shared_ptr<const ValueList>>(data_);
+      uint32_t n = p ? static_cast<uint32_t>(p->size()) : 0;
+      w->PutU32(n);
+      if (p) {
+        for (const Value& v : *p) v.Serialize(w);
+      }
+      return;
+    }
+  }
+}
+
+StatusOr<Value> Value::Deserialize(BinaryReader* r) {
+  GAEA_ASSIGN_OR_RETURN(uint8_t tag, r->GetU8());
+  if (tag > static_cast<uint8_t>(TypeId::kList)) {
+    return Status::Corruption("bad value type tag " + std::to_string(tag));
+  }
+  switch (static_cast<TypeId>(tag)) {
+    case TypeId::kNull:
+      return Value::Null();
+    case TypeId::kBool: {
+      GAEA_ASSIGN_OR_RETURN(bool v, r->GetBool());
+      return Value::Bool(v);
+    }
+    case TypeId::kInt: {
+      GAEA_ASSIGN_OR_RETURN(int64_t v, r->GetI64());
+      return Value::Int(v);
+    }
+    case TypeId::kDouble: {
+      GAEA_ASSIGN_OR_RETURN(double v, r->GetF64());
+      return Value::Double(v);
+    }
+    case TypeId::kString: {
+      GAEA_ASSIGN_OR_RETURN(std::string v, r->GetString());
+      return Value::String(std::move(v));
+    }
+    case TypeId::kBox: {
+      GAEA_ASSIGN_OR_RETURN(Box v, Box::Deserialize(r));
+      return Value::OfBox(v);
+    }
+    case TypeId::kTime: {
+      GAEA_ASSIGN_OR_RETURN(AbsTime v, AbsTime::Deserialize(r));
+      return Value::Time(v);
+    }
+    case TypeId::kImage: {
+      GAEA_ASSIGN_OR_RETURN(Image v, Image::Deserialize(r));
+      return Value::OfImage(std::move(v));
+    }
+    case TypeId::kMatrix: {
+      GAEA_ASSIGN_OR_RETURN(Matrix v, Matrix::Deserialize(r));
+      return Value::OfMatrix(std::move(v));
+    }
+    case TypeId::kList: {
+      GAEA_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+      ValueList items;
+      items.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        GAEA_ASSIGN_OR_RETURN(Value v, Value::Deserialize(r));
+        items.push_back(std::move(v));
+      }
+      return Value::List(std::move(items));
+    }
+  }
+  return Status::Corruption("unreachable value tag");
+}
+
+}  // namespace gaea

@@ -1,0 +1,109 @@
+// The value system of Gaea's low-level semantics layer (paper §2.1.3).
+//
+// Objects of *primitive classes* are value-identified: "changing the value
+// of an object in a primitive class will always lead to another object".
+// Value is the runtime representation of one such object. Large payloads
+// (image, matrix) are held by shared_ptr-to-const so values stay cheap to
+// copy while remaining immutable.
+
+#ifndef GAEA_TYPES_VALUE_H_
+#define GAEA_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "raster/image.h"
+#include "raster/matrix.h"
+#include "spatial/abstime.h"
+#include "spatial/box.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace gaea {
+
+// Canonical primitive type ids. The paper's Postgres-era names (char16,
+// int4, float4, abstime, box, image) map onto these; see TypeIdFromDdlName.
+enum class TypeId : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,       // int2/int4/int8 attributes
+  kDouble = 3,    // float4/float8 attributes
+  kString = 4,    // char16 and text attributes
+  kBox = 5,       // spatial extent
+  kTime = 6,      // abstime temporal extent
+  kImage = 7,     // raster payloads
+  kMatrix = 8,    // linear-algebra intermediates (Figure 4)
+  kList = 9,      // SETOF arguments, multi-band inputs
+};
+
+const char* TypeIdName(TypeId t);
+
+// Maps DDL type names to canonical ids: bool, int2/int4/int8/int, float4/
+// float8/float, char16/string/text, box, abstime/time, image, matrix, list.
+StatusOr<TypeId> TypeIdFromDdlName(const std::string& name);
+
+class Value;
+using ValueList = std::vector<Value>;
+
+// A dynamically typed immutable value.
+class Value {
+ public:
+  // Null value.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Data(v)); }
+  static Value Int(int64_t v) { return Value(Data(v)); }
+  static Value Double(double v) { return Value(Data(v)); }
+  static Value String(std::string v) { return Value(Data(std::move(v))); }
+  static Value OfBox(const gaea::Box& b) { return Value(Data(b)); }
+  static Value Time(AbsTime t) { return Value(Data(t)); }
+  static Value OfImage(gaea::Image img) {
+    return Value(Data(std::make_shared<const gaea::Image>(std::move(img))));
+  }
+  static Value OfImage(ImagePtr img) { return Value(Data(std::move(img))); }
+  static Value OfMatrix(gaea::Matrix m) {
+    return Value(Data(std::make_shared<const gaea::Matrix>(std::move(m))));
+  }
+  static Value OfMatrix(MatrixPtr m) { return Value(Data(std::move(m))); }
+  static Value List(ValueList items);
+
+  TypeId type() const;
+  bool is_null() const { return type() == TypeId::kNull; }
+
+  // Checked accessors: return kInvalidArgument when the type does not match.
+  StatusOr<bool> AsBool() const;
+  StatusOr<int64_t> AsInt() const;
+  StatusOr<double> AsDouble() const;  // accepts kInt too (widening)
+  StatusOr<std::string> AsString() const;
+  StatusOr<gaea::Box> AsBox() const;
+  StatusOr<AbsTime> AsTime() const;
+  StatusOr<ImagePtr> AsImage() const;
+  StatusOr<MatrixPtr> AsMatrix() const;
+  StatusOr<const ValueList*> AsList() const;
+
+  // Deep structural equality. Image/matrix payloads compare by content.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  // Debug rendering, e.g. `42`, `"africa"`, `image(64x64, float8)`.
+  std::string ToString() const;
+
+  void Serialize(BinaryWriter* w) const;
+  static StatusOr<Value> Deserialize(BinaryReader* r);
+
+ private:
+  using Data = std::variant<std::monostate, bool, int64_t, double, std::string,
+                            gaea::Box, AbsTime, ImagePtr, MatrixPtr,
+                            std::shared_ptr<const ValueList>>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_TYPES_VALUE_H_

@@ -1,0 +1,100 @@
+#include "util/serialize.h"
+
+#include <cstring>
+
+namespace gaea {
+
+namespace {
+template <typename T>
+void AppendFixed(std::string* buf, T v) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  buf->append(bytes, sizeof(T));
+}
+}  // namespace
+
+void BinaryWriter::PutU8(uint8_t v) { AppendFixed(&buffer_, v); }
+void BinaryWriter::PutU16(uint16_t v) { AppendFixed(&buffer_, v); }
+void BinaryWriter::PutU32(uint32_t v) { AppendFixed(&buffer_, v); }
+void BinaryWriter::PutU64(uint64_t v) { AppendFixed(&buffer_, v); }
+void BinaryWriter::PutF32(float v) { AppendFixed(&buffer_, v); }
+void BinaryWriter::PutF64(double v) { AppendFixed(&buffer_, v); }
+
+void BinaryWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buffer_.append(s.data(), s.size());
+}
+
+void BinaryWriter::PutRaw(const void* data, size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+Status BinaryReader::Need(size_t n) const {
+  if (pos_ + n > data_.size()) {
+    return Status::Corruption("binary reader: truncated input (need " +
+                              std::to_string(n) + " bytes, have " +
+                              std::to_string(data_.size() - pos_) + ")");
+  }
+  return Status::OK();
+}
+
+namespace {
+template <typename T>
+StatusOr<T> ReadFixed(std::string_view data, size_t* pos) {
+  T v;
+  std::memcpy(&v, data.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return v;
+}
+}  // namespace
+
+StatusOr<uint8_t> BinaryReader::GetU8() {
+  GAEA_RETURN_IF_ERROR(Need(1));
+  return ReadFixed<uint8_t>(data_, &pos_);
+}
+StatusOr<uint16_t> BinaryReader::GetU16() {
+  GAEA_RETURN_IF_ERROR(Need(2));
+  return ReadFixed<uint16_t>(data_, &pos_);
+}
+StatusOr<uint32_t> BinaryReader::GetU32() {
+  GAEA_RETURN_IF_ERROR(Need(4));
+  return ReadFixed<uint32_t>(data_, &pos_);
+}
+StatusOr<uint64_t> BinaryReader::GetU64() {
+  GAEA_RETURN_IF_ERROR(Need(8));
+  return ReadFixed<uint64_t>(data_, &pos_);
+}
+StatusOr<int32_t> BinaryReader::GetI32() {
+  GAEA_ASSIGN_OR_RETURN(uint32_t v, GetU32());
+  return static_cast<int32_t>(v);
+}
+StatusOr<int64_t> BinaryReader::GetI64() {
+  GAEA_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return static_cast<int64_t>(v);
+}
+StatusOr<float> BinaryReader::GetF32() {
+  GAEA_RETURN_IF_ERROR(Need(4));
+  return ReadFixed<float>(data_, &pos_);
+}
+StatusOr<double> BinaryReader::GetF64() {
+  GAEA_RETURN_IF_ERROR(Need(8));
+  return ReadFixed<double>(data_, &pos_);
+}
+StatusOr<bool> BinaryReader::GetBool() {
+  GAEA_ASSIGN_OR_RETURN(uint8_t v, GetU8());
+  return v != 0;
+}
+
+StatusOr<std::string> BinaryReader::GetString() {
+  GAEA_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  return GetRaw(len);
+}
+
+StatusOr<std::string> BinaryReader::GetRaw(size_t size) {
+  GAEA_RETURN_IF_ERROR(Need(size));
+  std::string out(data_.substr(pos_, size));
+  pos_ += size;
+  return out;
+}
+
+}  // namespace gaea

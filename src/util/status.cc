@@ -1,0 +1,32 @@
+#include "util/status.h"
+
+namespace gaea {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kNotSupported: return "NotSupported";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kUnderivable: return "Underivable";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeName(code_);
+  if (!message_.empty()) {
+    result += ": ";
+    result += message_;
+  }
+  return result;
+}
+
+}  // namespace gaea

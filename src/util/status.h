@@ -1,0 +1,162 @@
+// Status and StatusOr: exception-free error handling for the Gaea library.
+//
+// Every fallible operation in Gaea returns a Status (or StatusOr<T> when it
+// also produces a value). This mirrors the convention of production database
+// codebases (RocksDB, Arrow): the Google style guide forbids exceptions, so
+// error propagation is explicit in every signature.
+
+#ifndef GAEA_UTIL_STATUS_H_
+#define GAEA_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gaea {
+
+// Canonical error space for the Gaea kernel.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   // caller passed something malformed
+  kNotFound = 2,          // catalog / object / file lookup miss
+  kAlreadyExists = 3,     // duplicate definition (class, process, concept)
+  kFailedPrecondition = 4,// assertion / guard rule violated
+  kOutOfRange = 5,        // index / extent out of bounds
+  kCorruption = 6,        // storage-level inconsistency
+  kIOError = 7,           // underlying file system failure
+  kNotSupported = 8,      // feature intentionally unimplemented
+  kInternal = 9,          // invariant violation inside the kernel
+  kUnderivable = 10,      // derivation net cannot produce the request
+};
+
+// Human-readable name of a status code ("NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A cheap value type describing success or a categorized error with message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Underivable(std::string msg) {
+    return Status(StatusCode::kUnderivable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// StatusOr<T>: either an error Status or a value of type T.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work,
+  // matching absl::StatusOr ergonomics.
+  StatusOr(const T& value) : status_(Status::OK()), value_(value) {}
+  StatusOr(T&& value) : status_(Status::OK()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate errors out of the current function.
+#define GAEA_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::gaea::Status _gaea_status = (expr);          \
+    if (!_gaea_status.ok()) return _gaea_status;   \
+  } while (0)
+
+// Evaluate a StatusOr expression, binding the value or returning the error.
+#define GAEA_ASSIGN_OR_RETURN(lhs, expr)           \
+  GAEA_ASSIGN_OR_RETURN_IMPL_(                     \
+      GAEA_STATUS_CONCAT_(_gaea_sor, __LINE__), lhs, expr)
+
+#define GAEA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define GAEA_STATUS_CONCAT_(a, b) GAEA_STATUS_CONCAT_IMPL_(a, b)
+#define GAEA_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace gaea
+
+#endif  // GAEA_UTIL_STATUS_H_

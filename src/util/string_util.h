@@ -1,0 +1,34 @@
+// Small string helpers shared across the kernel (DDL lexer, catalog names,
+// report formatting).
+
+#ifndef GAEA_UTIL_STRING_UTIL_H_
+#define GAEA_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gaea {
+
+// Splits on `sep`, never returns empty vector; empty fields preserved.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+// Joins with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view s);
+
+// ASCII lower-casing copy.
+std::string StrToLower(std::string_view s);
+
+bool StrStartsWith(std::string_view s, std::string_view prefix);
+bool StrEndsWith(std::string_view s, std::string_view suffix);
+
+// True for [A-Za-z_][A-Za-z0-9_-]* — valid Gaea catalog identifier.
+bool IsIdentifier(std::string_view s);
+
+}  // namespace gaea
+
+#endif  // GAEA_UTIL_STRING_UTIL_H_

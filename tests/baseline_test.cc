@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "baseline/file_gis.h"
+#include "raster/image_ops.h"
+#include "raster/scene.h"
+#include "test_util.h"
+
+namespace gaea {
+namespace {
+
+using ::gaea::testing::TempDir;
+
+Image Scene(uint64_t seed) {
+  SceneSpec spec;
+  spec.nrow = 8;
+  spec.ncol = 8;
+  spec.nbands = 1;
+  spec.seed = seed;
+  return std::move(GenerateScene(spec).value()[0]);
+}
+
+TEST(FileGisTest, ImportLoadRoundTrip) {
+  TempDir dir("filegis");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<FileGis> gis, FileGis::Open(dir.path()));
+  Image img = Scene(1);
+  ASSERT_OK(gis->Import("ndvi88", img));
+  EXPECT_TRUE(gis->Exists("ndvi88"));
+  EXPECT_FALSE(gis->Exists("ndvi89"));
+  ASSERT_OK_AND_ASSIGN(Image back, gis->Load("ndvi88"));
+  EXPECT_EQ(back, img);
+}
+
+TEST(FileGisTest, RunExecutesAndLogsTranscript) {
+  TempDir dir("filegis");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<FileGis> gis, FileGis::Open(dir.path()));
+  ASSERT_OK(gis->Import("a", Scene(1)));
+  ASSERT_OK(gis->Import("b", Scene(2)));
+  ASSERT_OK(gis->Run("overlay subtract a b", {"a", "b"}, "diff",
+                     [](const std::vector<Image>& in) {
+                       return ImgSubtract(in[0], in[1]);
+                     }));
+  EXPECT_TRUE(gis->Exists("diff"));
+  ASSERT_OK_AND_ASSIGN(std::vector<std::string> transcript, gis->Transcript());
+  ASSERT_EQ(transcript.size(), 1u);
+  EXPECT_EQ(transcript[0], "overlay subtract a b -> diff");
+}
+
+TEST(FileGisTest, ShortcomingSilentOverwrite) {
+  // Paper §4.1 shortcoming 1: "inadvertent file overwrite by other users".
+  TempDir dir("filegis");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<FileGis> gis, FileGis::Open(dir.path()));
+  ASSERT_OK(gis->Import("result", Scene(1)));
+  ASSERT_OK(gis->Import("other", Scene(2)));
+  // Another "user" runs a command writing to the same output name; the old
+  // data is silently destroyed.
+  ASSERT_OK(gis->Run("scalar result 2", {"other"}, "result",
+                     [](const std::vector<Image>& in) {
+                       return ImgScale(in[0], 2.0);
+                     }));
+  ASSERT_OK_AND_ASSIGN(Image now, gis->Load("result"));
+  EXPECT_NE(now, Scene(1));
+}
+
+TEST(FileGisTest, ShortcomingCannotReproduce) {
+  // Paper §4.1 shortcoming 2: the transcript is free text — reproduction
+  // and data sharing fail.
+  TempDir dir("filegis");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<FileGis> gis, FileGis::Open(dir.path()));
+  ASSERT_OK(gis->Import("a", Scene(1)));
+  ASSERT_OK(gis->Run("ratio a a", {"a"}, "out",
+                     [](const std::vector<Image>& in) {
+                       return ImgDivide(in[0], in[0], 1e-12);
+                     }));
+  Status s = gis->Reproduce("out");
+  EXPECT_EQ(s.code(), StatusCode::kNotSupported);
+  EXPECT_NE(s.message().find("ratio a a"), std::string::npos);
+  // A file never produced by a command cannot even be located.
+  EXPECT_EQ(gis->Reproduce("mystery").code(), StatusCode::kNotFound);
+}
+
+TEST(FileGisTest, RunFailsCleanlyOnMissingInput) {
+  TempDir dir("filegis");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<FileGis> gis, FileGis::Open(dir.path()));
+  Status s = gis->Run("overlay x y", {"x", "y"}, "out",
+                      [](const std::vector<Image>& in) {
+                        return ImgAdd(in[0], in[1]);
+                      });
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_FALSE(gis->Exists("out"));
+}
+
+}  // namespace
+}  // namespace gaea

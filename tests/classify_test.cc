@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "raster/classify.h"
+#include "raster/scene.h"
+#include "test_util.h"
+
+namespace gaea {
+namespace {
+
+// A 1-band image with two well separated value clusters.
+Image TwoClusterBand() {
+  std::vector<double> v;
+  for (int i = 0; i < 32; ++i) v.push_back(i < 16 ? 0.0 + i * 0.01 : 10.0 + i * 0.01);
+  return Image::FromValues(4, 8, v).value();
+}
+
+TEST(KMeansTest, ValidatesArguments) {
+  Image band = TwoClusterBand();
+  EXPECT_FALSE(UnsupervisedClassify({&band}, 0).ok());
+  EXPECT_FALSE(UnsupervisedClassify({&band}, -3).ok());
+  EXPECT_FALSE(UnsupervisedClassify({}, 2).ok());
+  // More classes than pixels.
+  ASSERT_OK_AND_ASSIGN(Image tiny, Image::FromValues(1, 2, {0, 1}));
+  EXPECT_FALSE(UnsupervisedClassify({&tiny}, 3).ok());
+}
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  Image band = TwoClusterBand();
+  ASSERT_OK_AND_ASSIGN(Image labels, UnsupervisedClassify({&band}, 2));
+  EXPECT_EQ(labels.pixel_type(), PixelType::kInt32);
+  // All low-value pixels share one label, all high-value the other.
+  std::set<int> low_labels, high_labels;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      int idx = r * 8 + c;
+      int label = static_cast<int>(labels.Get(r, c));
+      (idx < 16 ? low_labels : high_labels).insert(label);
+    }
+  }
+  EXPECT_EQ(low_labels.size(), 1u);
+  EXPECT_EQ(high_labels.size(), 1u);
+  EXPECT_NE(*low_labels.begin(), *high_labels.begin());
+}
+
+TEST(KMeansTest, LabelsWithinRange) {
+  SceneSpec spec;
+  spec.nrow = 16;
+  spec.ncol = 16;
+  std::vector<Image> bands = GenerateScene(spec).value();
+  std::vector<const Image*> ptrs = {&bands[0], &bands[1], &bands[2]};
+  ASSERT_OK_AND_ASSIGN(Image labels, UnsupervisedClassify(ptrs, 5));
+  std::set<int> seen;
+  for (int r = 0; r < 16; ++r) {
+    for (int c = 0; c < 16; ++c) {
+      int label = static_cast<int>(labels.Get(r, c));
+      EXPECT_GE(label, 0);
+      EXPECT_LT(label, 5);
+      seen.insert(label);
+    }
+  }
+  // A structured scene should populate more than one class.
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  SceneSpec spec;
+  spec.nrow = 12;
+  spec.ncol = 12;
+  std::vector<Image> bands = GenerateScene(spec).value();
+  std::vector<const Image*> ptrs = {&bands[0], &bands[1]};
+  ASSERT_OK_AND_ASSIGN(Image a, UnsupervisedClassify(ptrs, 4));
+  ASSERT_OK_AND_ASSIGN(Image b, UnsupervisedClassify(ptrs, 4));
+  EXPECT_EQ(a, b);  // reproducibility of derivations
+  KMeansOptions other;
+  other.seed = 777;
+  ASSERT_OK_AND_ASSIGN(Image c, UnsupervisedClassify(ptrs, 4, other));
+  // A different seed may relabel clusters; shapes still match.
+  EXPECT_TRUE(c.SameShape(a));
+}
+
+TEST(MaxLikeTest, RecoverReferenceLabelsFromSeparableData) {
+  Image band = TwoClusterBand();
+  // Label a few pixels of each cluster; -1 elsewhere.
+  ASSERT_OK_AND_ASSIGN(Image training,
+                       Image::Create(4, 8, PixelType::kInt32));
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 8; ++c) training.Set(r, c, -1);
+  }
+  training.Set(0, 0, 0);
+  training.Set(0, 1, 0);
+  training.Set(3, 6, 1);
+  training.Set(3, 7, 1);
+  ASSERT_OK_AND_ASSIGN(Image labels, MaxLikelihoodClassify({&band}, training));
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      int idx = r * 8 + c;
+      EXPECT_EQ(static_cast<int>(labels.Get(r, c)), idx < 16 ? 0 : 1)
+          << "pixel " << r << "," << c;
+    }
+  }
+}
+
+TEST(MaxLikeTest, RequiresLabelsAndMatchingShape) {
+  Image band = TwoClusterBand();
+  ASSERT_OK_AND_ASSIGN(Image empty_training,
+                       Image::Create(4, 8, PixelType::kInt32));
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 8; ++c) empty_training.Set(r, c, -1);
+  }
+  EXPECT_EQ(MaxLikelihoodClassify({&band}, empty_training).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_OK_AND_ASSIGN(Image wrong_shape,
+                       Image::Create(2, 2, PixelType::kInt32));
+  EXPECT_FALSE(MaxLikelihoodClassify({&band}, wrong_shape).ok());
+}
+
+TEST(MaxLikeTest, AgreesWithGroundTruthOnSyntheticScene) {
+  SceneSpec spec;
+  spec.nrow = 32;
+  spec.ncol = 32;
+  spec.noise = 0.02;
+  std::vector<Image> bands = GenerateScene(spec).value();
+  ASSERT_OK_AND_ASSIGN(Image truth, GenerateGroundTruth(spec, 3));
+  std::vector<const Image*> ptrs = {&bands[0], &bands[1], &bands[2]};
+  ASSERT_OK_AND_ASSIGN(Image labels, MaxLikelihoodClassify(ptrs, truth));
+  // Trained on full truth, prediction should agree far above chance (1/3).
+  int64_t agree = 0;
+  for (int r = 0; r < 32; ++r) {
+    for (int c = 0; c < 32; ++c) {
+      if (labels.Get(r, c) == truth.Get(r, c)) ++agree;
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / (32 * 32), 0.6);
+}
+
+TEST(ChangeMapTest, EncodesTransitions) {
+  ASSERT_OK_AND_ASSIGN(Image before, Image::FromValues(1, 3, {0, 1, 2}));
+  ASSERT_OK_AND_ASSIGN(Image after, Image::FromValues(1, 3, {0, 2, 1}));
+  ASSERT_OK_AND_ASSIGN(Image change, ChangeMap(before, after, 3));
+  EXPECT_EQ(change.Get(0, 0), -1.0);            // unchanged
+  EXPECT_EQ(change.Get(0, 1), 1.0 * 3 + 2.0);   // 1 -> 2
+  EXPECT_EQ(change.Get(0, 2), 2.0 * 3 + 1.0);   // 2 -> 1
+  ASSERT_OK_AND_ASSIGN(double frac, ChangedFraction(change));
+  EXPECT_NEAR(frac, 2.0 / 3.0, 1e-12);
+}
+
+TEST(ChangeMapTest, Validation) {
+  ASSERT_OK_AND_ASSIGN(Image a, Image::FromValues(1, 2, {0, 1}));
+  EXPECT_FALSE(ChangeMap(a, a, 0).ok());
+  ASSERT_OK_AND_ASSIGN(Image b, Image::FromValues(2, 1, {0, 1}));
+  EXPECT_FALSE(ChangeMap(a, b, 2).ok());
+}
+
+}  // namespace
+}  // namespace gaea

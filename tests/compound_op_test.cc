@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "raster/pca.h"
+#include "raster/scene.h"
+#include "test_util.h"
+#include "types/compound_op.h"
+
+namespace gaea {
+namespace {
+
+class CompoundOpTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_OK(RegisterBuiltinOperators(&reg_)); }
+  OperatorRegistry reg_;
+};
+
+TEST_F(CompoundOpTest, SimpleScalarNetwork) {
+  // out = add(mul(x, x), 1): x^2 + 1.
+  CompoundOperator op("square_plus_one");
+  ASSERT_OK(op.AddInput("x", TypeId::kDouble));
+  ASSERT_OK(op.AddConstant("one", Value::Double(1.0)));
+  ASSERT_OK(op.AddNode("sq", "mul", {PortRef::Input("x"), PortRef::Input("x")}));
+  ASSERT_OK(op.AddNode("out", "add", {PortRef::Node("sq"), PortRef::Node("one")}));
+  ASSERT_OK(op.SetOutput("out"));
+  ASSERT_OK(op.Validate(reg_));
+  EXPECT_EQ(op.result_type(), TypeId::kDouble);
+  ASSERT_OK_AND_ASSIGN(Value v, op.Invoke(reg_, {Value::Double(3.0)}));
+  EXPECT_EQ(v.AsDouble().value(), 10.0);
+}
+
+TEST_F(CompoundOpTest, ValidateRejectsCycle) {
+  CompoundOperator op("cyclic");
+  ASSERT_OK(op.AddInput("x", TypeId::kDouble));
+  ASSERT_OK(op.AddNode("a", "add", {PortRef::Input("x"), PortRef::Node("b")}));
+  ASSERT_OK(op.AddNode("b", "add", {PortRef::Node("a"), PortRef::Input("x")}));
+  ASSERT_OK(op.SetOutput("b"));
+  EXPECT_EQ(op.Validate(reg_).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CompoundOpTest, ValidateRejectsUnknownReferences) {
+  CompoundOperator op("dangling");
+  ASSERT_OK(op.AddInput("x", TypeId::kDouble));
+  ASSERT_OK(op.AddNode("a", "add",
+                       {PortRef::Input("x"), PortRef::Input("ghost")}));
+  ASSERT_OK(op.SetOutput("a"));
+  EXPECT_EQ(op.Validate(reg_).code(), StatusCode::kNotFound);
+
+  CompoundOperator op2("dangling_node");
+  ASSERT_OK(op2.AddInput("x", TypeId::kDouble));
+  ASSERT_OK(op2.AddNode("a", "add",
+                        {PortRef::Input("x"), PortRef::Node("ghost")}));
+  ASSERT_OK(op2.SetOutput("a"));
+  EXPECT_EQ(op2.Validate(reg_).code(), StatusCode::kNotFound);
+}
+
+TEST_F(CompoundOpTest, ValidateTypeChecks) {
+  CompoundOperator op("type_error");
+  ASSERT_OK(op.AddInput("s", TypeId::kString));
+  ASSERT_OK(op.AddNode("a", "add", {PortRef::Input("s"), PortRef::Input("s")}));
+  ASSERT_OK(op.SetOutput("a"));
+  EXPECT_EQ(op.Validate(reg_).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CompoundOpTest, InvokeBeforeValidateFails) {
+  CompoundOperator op("unvalidated");
+  ASSERT_OK(op.AddInput("x", TypeId::kDouble));
+  ASSERT_OK(op.AddNode("a", "add", {PortRef::Input("x"), PortRef::Input("x")}));
+  ASSERT_OK(op.SetOutput("a"));
+  EXPECT_EQ(op.Invoke(reg_, {Value::Double(1)}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CompoundOpTest, WrongArityRejected) {
+  CompoundOperator op("arity");
+  ASSERT_OK(op.AddInput("x", TypeId::kDouble));
+  ASSERT_OK(op.AddNode("a", "add", {PortRef::Input("x"), PortRef::Input("x")}));
+  ASSERT_OK(op.SetOutput("a"));
+  ASSERT_OK(op.Validate(reg_));
+  EXPECT_FALSE(op.Invoke(reg_, {}).ok());
+  EXPECT_FALSE(op.Invoke(reg_, {Value::Double(1), Value::Double(2)}).ok());
+}
+
+TEST_F(CompoundOpTest, DuplicateIdsRejected) {
+  CompoundOperator op("dups");
+  ASSERT_OK(op.AddInput("x", TypeId::kDouble));
+  EXPECT_EQ(op.AddInput("x", TypeId::kInt).code(), StatusCode::kAlreadyExists);
+  ASSERT_OK(op.AddConstant("c", Value::Int(1)));
+  EXPECT_EQ(op.AddConstant("c", Value::Int(2)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(op.AddNode("c", "add", {}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(op.AddNode("x", "add", {}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(CompoundOpTest, Figure4NetworkMatchesFusedPca) {
+  // The paper's pca() compound operator must agree with the direct
+  // implementation (up to component sign, which we normalize by comparing
+  // absolute pixel values... sign is deterministic in both paths since they
+  // share the same Jacobi code, so exact equality is expected).
+  ASSERT_OK_AND_ASSIGN(CompoundOperator net, BuildFigure4PcaNetwork());
+  ASSERT_OK(net.Validate(reg_));
+  EXPECT_EQ(net.result_type(), TypeId::kList);
+  EXPECT_EQ(net.node_count(), 5u);
+
+  SceneSpec spec;
+  spec.nrow = 8;
+  spec.ncol = 8;
+  ASSERT_OK_AND_ASSIGN(std::vector<Image> bands, GenerateScene(spec));
+  std::vector<const Image*> ptrs;
+  ValueList band_values;
+  for (Image& b : bands) {
+    ptrs.push_back(&b);
+    band_values.push_back(Value::OfImage(b));
+  }
+
+  ASSERT_OK_AND_ASSIGN(
+      Value net_out,
+      net.Invoke(reg_, {Value::List(band_values), Value::Int(8),
+                        Value::Int(8)}));
+  ASSERT_OK_AND_ASSIGN(const ValueList* comps, net_out.AsList());
+  ASSERT_EQ(comps->size(), 3u);
+
+  // NOTE: the network projects raw (uncentered) data, exactly as drawn in
+  // Figure 4; the fused Pca() centers first. The component *images* differ
+  // by a constant shift per component; their variances match.
+  ASSERT_OK_AND_ASSIGN(PcaResult fused, Pca(ptrs));
+  for (size_t i = 0; i < comps->size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(ImagePtr img, (*comps)[i].AsImage());
+    double var_net = img->ComputeStats().stddev;
+    double var_fused = fused.components[i].ComputeStats().stddev;
+    EXPECT_NEAR(var_net, var_fused, 1e-6 + 0.01 * var_fused)
+        << "component " << i;
+  }
+}
+
+TEST_F(CompoundOpTest, RegisterIntoMakesCompoundCallable) {
+  // "operators can be combined into a self-contained compound operator that
+  // can be applied as a primitive mapping function".
+  ASSERT_OK_AND_ASSIGN(CompoundOperator net, BuildFigure4PcaNetwork());
+  ASSERT_OK(net.Validate(reg_));
+  ASSERT_OK(net.RegisterInto(&reg_));
+  EXPECT_TRUE(reg_.Contains("pca_network"));
+
+  SceneSpec spec;
+  spec.nrow = 4;
+  spec.ncol = 4;
+  ASSERT_OK_AND_ASSIGN(std::vector<Image> bands, GenerateScene(spec));
+  ValueList band_values;
+  for (Image& b : bands) band_values.push_back(Value::OfImage(std::move(b)));
+  ASSERT_OK_AND_ASSIGN(
+      Value out, reg_.Invoke("pca_network", {Value::List(band_values),
+                                             Value::Int(4), Value::Int(4)}));
+  ASSERT_OK_AND_ASSIGN(const ValueList* comps, out.AsList());
+  EXPECT_EQ(comps->size(), 3u);
+}
+
+TEST_F(CompoundOpTest, ExecutionOrderIsTopological) {
+  ASSERT_OK_AND_ASSIGN(CompoundOperator net, BuildFigure4PcaNetwork());
+  ASSERT_OK(net.Validate(reg_));
+  const std::vector<std::string>& order = net.execution_order();
+  auto pos = [&order](const std::string& id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos("to_matrix"), pos("covariance"));
+  EXPECT_LT(pos("covariance"), pos("eigen"));
+  EXPECT_LT(pos("eigen"), pos("project"));
+  EXPECT_LT(pos("project"), pos("to_images"));
+}
+
+}  // namespace
+}  // namespace gaea

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "catalog/class_def.h"
+#include "core/compound_process.h"
+#include "test_util.h"
+#include "types/op_registry.h"
+
+namespace gaea {
+namespace {
+
+// Classes and primitive processes of the Figure 5 compound:
+// landsat_tm_rectified --classify--> landcover --detect--> landcover_changes.
+class CompoundProcessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(RegisterBuiltinOperators(&ops_));
+
+    ClassDef landsat("landsat_tm_rectified", ClassKind::kBase);
+    ASSERT_OK(landsat.AddAttribute({"data", TypeId::kImage, "image", ""}));
+    ASSERT_OK(classes_.Register(std::move(landsat)).status());
+
+    ClassDef landcover("landcover", ClassKind::kDerived);
+    ASSERT_OK(landcover.AddAttribute({"data", TypeId::kImage, "image", ""}));
+    ASSERT_OK(landcover.SetDerivedBy("classify"));
+    ASSERT_OK(classes_.Register(std::move(landcover)).status());
+
+    ClassDef changes("landcover_changes", ClassKind::kDerived);
+    ASSERT_OK(changes.AddAttribute({"data", TypeId::kImage, "image", ""}));
+    ASSERT_OK(changes.SetDerivedBy("detect-change"));
+    ASSERT_OK(classes_.Register(std::move(changes)).status());
+
+    ProcessDef classify("classify", "landcover");
+    ASSERT_OK(classify.AddArg({"bands", "landsat_tm_rectified", true, 2}));
+    ASSERT_OK(classify.AddMapping(
+        "data", Expr::OpCall("unsuperclassify",
+                             {Expr::OpCall("composite",
+                                           {Expr::AttrRef("bands", "data")}),
+                              Expr::Literal(Value::Int(4))})));
+    ASSERT_OK(classify.Validate(classes_, ops_));
+    ASSERT_OK(processes_.Register(std::move(classify)).status());
+
+    ProcessDef detect("detect-change", "landcover_changes");
+    ASSERT_OK(detect.AddArg({"before", "landcover", false, 1}));
+    ASSERT_OK(detect.AddArg({"after", "landcover", false, 1}));
+    ASSERT_OK(detect.AddMapping(
+        "data", Expr::OpCall("changemap",
+                             {Expr::AttrRef("before", "data"),
+                              Expr::AttrRef("after", "data"),
+                              Expr::Literal(Value::Int(4))})));
+    ASSERT_OK(detect.Validate(classes_, ops_));
+    ASSERT_OK(processes_.Register(std::move(detect)).status());
+  }
+
+  ClassRegistry classes_;
+  ProcessRegistry processes_;
+  OperatorRegistry ops_;
+};
+
+TEST_F(CompoundProcessTest, Figure5ExpandsInDependencyOrder) {
+  CompoundProcessDef def =
+      BuildFigure5LandChange("classify", "detect-change", "before_scene",
+                             "after_scene");
+  ASSERT_OK_AND_ASSIGN(std::vector<const CompoundStage*> order,
+                       def.Expand(classes_, processes_));
+  ASSERT_EQ(order.size(), 3u);
+  // Both classification stages precede detection.
+  EXPECT_EQ(order[2]->name, "detect");
+  EXPECT_EQ(order[2]->process_name, "detect-change");
+  std::set<std::string> first_two = {order[0]->name, order[1]->name};
+  EXPECT_EQ(first_two,
+            (std::set<std::string>{"classify_before", "classify_after"}));
+}
+
+TEST_F(CompoundProcessTest, CannotBeDirectlyApplied) {
+  // A compound is an abstraction: Expand is the only execution path, and it
+  // refuses ill-formed networks.
+  CompoundProcessDef empty("nothing", "out");
+  EXPECT_EQ(empty.Expand(classes_, processes_).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CompoundProcessTest, UnknownOutputStageRejected) {
+  CompoundProcessDef def("c", "no_such_stage");
+  ASSERT_OK(def.AddExternalInput("in", "landsat_tm_rectified"));
+  CompoundStage s;
+  s.name = "only";
+  s.process_name = "classify";
+  s.bindings["bands"] = StageInput{StageInput::Source::kExternal, "in"};
+  ASSERT_OK(def.AddStage(std::move(s)));
+  EXPECT_EQ(def.Expand(classes_, processes_).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CompoundProcessTest, UnboundArgumentRejected) {
+  CompoundProcessDef def("c", "only");
+  CompoundStage s;
+  s.name = "only";
+  s.process_name = "detect-change";
+  // binds `before` but not `after`
+  ASSERT_OK(def.AddExternalInput("in", "landcover"));
+  s.bindings["before"] = StageInput{StageInput::Source::kExternal, "in"};
+  ASSERT_OK(def.AddStage(std::move(s)));
+  Status status = def.Expand(classes_, processes_).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("unbound"), std::string::npos);
+}
+
+TEST_F(CompoundProcessTest, ClassMismatchRejected) {
+  CompoundProcessDef def("c", "only");
+  ASSERT_OK(def.AddExternalInput("wrong", "landcover"));  // not landsat
+  CompoundStage s;
+  s.name = "only";
+  s.process_name = "classify";
+  s.bindings["bands"] = StageInput{StageInput::Source::kExternal, "wrong"};
+  ASSERT_OK(def.AddStage(std::move(s)));
+  Status status = def.Expand(classes_, processes_).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("expects class"), std::string::npos);
+}
+
+TEST_F(CompoundProcessTest, StageCycleRejected) {
+  // A class-compatible refinement process (landcover -> landcover) wired
+  // into a two-stage cycle.
+  ProcessDef refine("refine", "landcover");
+  ASSERT_OK(refine.AddArg({"in", "landcover", false, 1}));
+  ASSERT_OK(refine.AddMapping("data", Expr::AttrRef("in", "data")));
+  ASSERT_OK(refine.Validate(classes_, ops_));
+  ASSERT_OK(processes_.Register(std::move(refine)).status());
+
+  CompoundProcessDef def("c", "a");
+  CompoundStage a;
+  a.name = "a";
+  a.process_name = "refine";
+  a.bindings["in"] = StageInput{StageInput::Source::kStage, "b"};
+  ASSERT_OK(def.AddStage(std::move(a)));
+  CompoundStage b;
+  b.name = "b";
+  b.process_name = "refine";
+  b.bindings["in"] = StageInput{StageInput::Source::kStage, "a"};
+  ASSERT_OK(def.AddStage(std::move(b)));
+  Status status = def.Expand(classes_, processes_).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("cycle"), std::string::npos);
+}
+
+TEST_F(CompoundProcessTest, UnknownReferencesRejected) {
+  CompoundProcessDef def("c", "s");
+  CompoundStage s;
+  s.name = "s";
+  s.process_name = "classify";
+  s.bindings["bands"] = StageInput{StageInput::Source::kExternal, "ghost"};
+  ASSERT_OK(def.AddStage(std::move(s)));
+  EXPECT_EQ(def.Expand(classes_, processes_).status().code(),
+            StatusCode::kNotFound);
+
+  CompoundProcessDef def2("c2", "s");
+  CompoundStage s2;
+  s2.name = "s";
+  s2.process_name = "no-such-process";
+  ASSERT_OK(def2.AddStage(std::move(s2)));
+  EXPECT_EQ(def2.Expand(classes_, processes_).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CompoundProcessTest, DuplicateNamesRejected) {
+  CompoundProcessDef def("c", "s");
+  ASSERT_OK(def.AddExternalInput("in", "landsat_tm_rectified"));
+  EXPECT_EQ(def.AddExternalInput("in", "landcover").code(),
+            StatusCode::kAlreadyExists);
+  CompoundStage s;
+  s.name = "s";
+  s.process_name = "classify";
+  ASSERT_OK(def.AddStage(s));
+  EXPECT_EQ(def.AddStage(s).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(CompoundProcessTest, DdlRendering) {
+  CompoundProcessDef def =
+      BuildFigure5LandChange("classify", "detect-change", "before_scene",
+                             "after_scene");
+  std::string ddl = def.ToDdl();
+  EXPECT_NE(ddl.find("DEFINE COMPOUND PROCESS land_change_detection"),
+            std::string::npos);
+  EXPECT_NE(ddl.find("STAGE detect = detect-change"), std::string::npos);
+  EXPECT_NE(ddl.find("OUTPUT detect"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gaea

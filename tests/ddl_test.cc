@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "ddl/lexer.h"
+#include "ddl/parser.h"
+#include "test_util.h"
+
+namespace gaea {
+namespace {
+
+TEST(LexerTest, TokenizesIdentifiersWithDashes) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens,
+                       Tokenize("unsupervised-classification land_cover"));
+  ASSERT_EQ(tokens.size(), 3u);  // two identifiers + EOF
+  EXPECT_EQ(tokens[0].text, "unsupervised-classification");
+  EXPECT_EQ(tokens[1].text, "land_cover");
+  EXPECT_TRUE(tokens[2].Is(TokenKind::kEof));
+}
+
+TEST(LexerTest, NumbersAndNegatives) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens, Tokenize("12 3.5 -7 -0.25"));
+  EXPECT_EQ(tokens[0].text, "12");
+  EXPECT_EQ(tokens[1].text, "3.5");
+  EXPECT_EQ(tokens[2].text, "-7");
+  EXPECT_EQ(tokens[3].text, "-0.25");
+}
+
+TEST(LexerTest, StringsAndComments) {
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Token> tokens,
+      Tokenize("\"hello world\" // a comment\nnext"));
+  EXPECT_TRUE(tokens[0].Is(TokenKind::kString));
+  EXPECT_EQ(tokens[0].text, "hello world");
+  EXPECT_EQ(tokens[1].text, "next");
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens, Tokenize("= != < <= > >="));
+  EXPECT_TRUE(tokens[0].Is(TokenKind::kEq));
+  EXPECT_TRUE(tokens[1].Is(TokenKind::kNe));
+  EXPECT_TRUE(tokens[2].Is(TokenKind::kLt));
+  EXPECT_TRUE(tokens[3].Is(TokenKind::kLe));
+  EXPECT_TRUE(tokens[4].Is(TokenKind::kGt));
+  EXPECT_TRUE(tokens[5].Is(TokenKind::kGe));
+}
+
+TEST(LexerTest, ErrorsCarryLocation) {
+  auto result = Tokenize("abc\n  @");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("!x").ok());
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens, Tokenize("ClAsS"));
+  EXPECT_TRUE(tokens[0].IsKeyword("class"));
+}
+
+// ---- parser: CLASS ----
+
+constexpr char kLandcoverDdl[] = R"(
+CLASS landcover (
+  ATTRIBUTES:
+    area = char16;        // area name
+    ref_system = char16;  // long/lat, UTM ...
+    numclass = int4;
+    resolution = float4;
+    data = image;
+  SPATIAL EXTENT:
+    spatialextent = box;
+  TEMPORAL EXTENT:
+    timestamp = abstime;
+  DERIVED BY: unsupervised-classification
+)
+)";
+
+TEST(ParserTest, ParsesPaperLandcoverClass) {
+  ASSERT_OK_AND_ASSIGN(ParsedStatement stmt, ParseStatement(kLandcoverDdl));
+  auto* def = std::get_if<ClassDef>(&stmt);
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->name(), "landcover");
+  EXPECT_EQ(def->kind(), ClassKind::kDerived);
+  EXPECT_EQ(def->derived_by(), "unsupervised-classification");
+  EXPECT_EQ(def->attributes().size(), 7u);
+  EXPECT_EQ(def->spatial_attr(), "spatialextent");
+  EXPECT_EQ(def->temporal_attr(), "timestamp");
+  ASSERT_OK_AND_ASSIGN(const AttributeDef* res,
+                       def->FindAttribute("resolution"));
+  EXPECT_EQ(res->type, TypeId::kDouble);
+  EXPECT_EQ(res->ddl_type, "float4");
+}
+
+TEST(ParserTest, BaseClassWithoutDerivedBy) {
+  ASSERT_OK_AND_ASSIGN(
+      ParsedStatement stmt,
+      ParseStatement("CLASS landsat ( ATTRIBUTES: data = image; )"));
+  auto* def = std::get_if<ClassDef>(&stmt);
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->kind(), ClassKind::kBase);
+}
+
+TEST(ParserTest, ClassErrors) {
+  EXPECT_FALSE(ParseStatement("CLASS ( )").ok());               // no name
+  EXPECT_FALSE(ParseStatement("CLASS c ( BOGUS: x = int4; )").ok());
+  EXPECT_FALSE(
+      ParseStatement("CLASS c ( ATTRIBUTES: x = madeuptype; )").ok());
+  // Spatial extent must be box-typed.
+  EXPECT_FALSE(
+      ParseStatement("CLASS c ( SPATIAL EXTENT: s = int4; )").ok());
+}
+
+// ---- parser: DEFINE PROCESS ----
+
+constexpr char kProcessDdl[] = R"(
+DEFINE PROCESS unsupervised-classification
+OUTPUT landcover
+ARGUMENT ( SETOF landsat_tm bands MIN 3 )
+PARAMETERS { numclass = 12; }
+TEMPLATE {
+  ASSERTIONS:
+    card(bands) >= 3;
+    common(bands.spatialextent);
+    common(bands.timestamp);
+  MAPPINGS:
+    landcover.data = unsuperclassify(composite(bands.data), $numclass);
+    landcover.numclass = $numclass;
+    landcover.spatialextent = ANYOF bands.spatialextent;
+    landcover.timestamp = ANYOF bands.timestamp;
+}
+)";
+
+TEST(ParserTest, ParsesFigure3Process) {
+  ASSERT_OK_AND_ASSIGN(ParsedStatement stmt, ParseStatement(kProcessDdl));
+  auto* def = std::get_if<ProcessDef>(&stmt);
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->name(), "unsupervised-classification");
+  EXPECT_EQ(def->output_class(), "landcover");
+  ASSERT_EQ(def->args().size(), 1u);
+  EXPECT_EQ(def->args()[0].name, "bands");
+  EXPECT_EQ(def->args()[0].class_name, "landsat_tm");
+  EXPECT_TRUE(def->args()[0].setof);
+  EXPECT_EQ(def->args()[0].min_card, 3);
+  EXPECT_EQ(def->params().at("numclass"), Value::Int(12));
+  EXPECT_EQ(def->assertions().size(), 3u);
+  EXPECT_EQ(def->mappings().size(), 4u);
+  // Expression rendering round-trips the source structure.
+  EXPECT_EQ(def->assertions()[0]->ToString(), "ge(card(bands), 3)");
+  EXPECT_EQ(def->mappings()[0].attr, "data");
+  EXPECT_EQ(def->mappings()[0].expr->ToString(),
+            "unsuperclassify(composite(bands.data), $numclass)");
+  EXPECT_EQ(def->mappings()[2].expr->ToString(), "ANYOF bands.spatialextent");
+}
+
+TEST(ParserTest, MappingTargetMustMatchOutput) {
+  std::string bad = R"(
+DEFINE PROCESS p OUTPUT out
+ARGUMENT ( in x )
+TEMPLATE { MAPPINGS: other.data = x.data; }
+)";
+  auto result = ParseStatement(bad);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("does not match OUTPUT"),
+            std::string::npos);
+}
+
+TEST(ParserTest, ProcessErrors) {
+  EXPECT_FALSE(ParseStatement("DEFINE PROCESS p OUTPUT o TEMPLATE { }").ok());
+  EXPECT_FALSE(
+      ParseStatement("DEFINE PROCESS p OUTPUT o ARGUMENT ( c x ) "
+                     "TEMPLATE { ASSERTIONS: card(x, y); }")
+          .ok());  // card arity
+  EXPECT_FALSE(
+      ParseStatement("DEFINE PROCESS p OUTPUT o ARGUMENT ( c x ) "
+                     "TEMPLATE { ASSERTIONS: common(); }")
+          .ok());  // common needs an operand
+}
+
+TEST(ParserTest, CommonAcceptsMultipleOperands) {
+  std::string src = R"(
+DEFINE PROCESS p OUTPUT o
+ARGUMENT ( c x, c y )
+TEMPLATE { ASSERTIONS: common(x.extent, y.extent); }
+)";
+  ASSERT_OK_AND_ASSIGN(ParsedStatement stmt, ParseStatement(src));
+  auto* def = std::get_if<ProcessDef>(&stmt);
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->assertions()[0]->ToString(), "common(x.extent, y.extent)");
+}
+
+TEST(ParserTest, AssertionComparisonForms) {
+  std::string src = R"(
+DEFINE PROCESS p OUTPUT o
+ARGUMENT ( c x )
+TEMPLATE {
+  ASSERTIONS:
+    card(x) = 3;
+    card(x) != 0;
+    card(x) < 10;
+    card(x) <= 10;
+    card(x) > 0;
+    card(x) >= 1;
+    common(x.extent);
+}
+)";
+  ASSERT_OK_AND_ASSIGN(ParsedStatement stmt, ParseStatement(src));
+  auto* def = std::get_if<ProcessDef>(&stmt);
+  ASSERT_NE(def, nullptr);
+  ASSERT_EQ(def->assertions().size(), 7u);
+  EXPECT_EQ(def->assertions()[0]->ToString(), "eq(card(x), 3)");
+  EXPECT_EQ(def->assertions()[1]->ToString(), "ne(card(x), 0)");
+  EXPECT_EQ(def->assertions()[6]->ToString(), "common(x.extent)");
+}
+
+// ---- parser: DEFINE CONCEPT ----
+
+TEST(ParserTest, ParsesConceptWithIsaAndMembers) {
+  std::string src = R"(
+DEFINE CONCEPT hot_trade_wind_desert
+  DOC "areas of high pressure with rainfall less than 250 mm/year"
+  ISA desert, dry_region
+  MEMBERS (c2, c3, c4, c5)
+)";
+  ASSERT_OK_AND_ASSIGN(ParsedStatement stmt, ParseStatement(src));
+  auto* def = std::get_if<ConceptStmt>(&stmt);
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->name, "hot_trade_wind_desert");
+  EXPECT_NE(def->doc.find("250 mm/year"), std::string::npos);
+  EXPECT_EQ(def->isa_parents,
+            (std::vector<std::string>{"desert", "dry_region"}));
+  EXPECT_EQ(def->member_classes,
+            (std::vector<std::string>{"c2", "c3", "c4", "c5"}));
+}
+
+TEST(ParserTest, MinimalConcept) {
+  ASSERT_OK_AND_ASSIGN(ParsedStatement stmt,
+                       ParseStatement("DEFINE CONCEPT ndvi"));
+  auto* def = std::get_if<ConceptStmt>(&stmt);
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->name, "ndvi");
+  EXPECT_TRUE(def->isa_parents.empty());
+}
+
+// ---- scripts ----
+
+TEST(ParserTest, MultiStatementScript) {
+  std::string script = std::string(kLandcoverDdl) + kProcessDdl +
+                       "DEFINE CONCEPT land_cover MEMBERS (landcover)";
+  ASSERT_OK_AND_ASSIGN(std::vector<ParsedStatement> stmts,
+                       ParseScript(script));
+  ASSERT_EQ(stmts.size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<ClassDef>(stmts[0]));
+  EXPECT_TRUE(std::holds_alternative<ProcessDef>(stmts[1]));
+  EXPECT_TRUE(std::holds_alternative<ConceptStmt>(stmts[2]));
+}
+
+TEST(ParserTest, EmptyScriptOk) {
+  ASSERT_OK_AND_ASSIGN(std::vector<ParsedStatement> stmts,
+                       ParseScript("// nothing here\n"));
+  EXPECT_TRUE(stmts.empty());
+}
+
+TEST(ParserTest, ParseStatementRejectsMultiple) {
+  EXPECT_FALSE(
+      ParseStatement("DEFINE CONCEPT a DEFINE CONCEPT b").ok());
+}
+
+TEST(ParserTest, GarbageRejectedWithLocation) {
+  auto result = ParseScript("FROBNICATE everything");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("expected CLASS or DEFINE"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gaea

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "gaea/kernel.h"
+#include "raster/scene.h"
+#include "test_util.h"
+
+namespace gaea {
+namespace {
+
+using ::gaea::testing::TempDir;
+
+constexpr char kSchema[] = R"(
+CLASS ndvi_map (
+  ATTRIBUTES:
+    data = image;
+  TEMPORAL EXTENT:
+    timestamp = abstime;
+)
+
+CLASS veg_change (
+  ATTRIBUTES:
+    data = image;
+  TEMPORAL EXTENT:
+    timestamp = abstime;
+  DERIVED BY: change-by-subtraction
+)
+
+DEFINE PROCESS change-by-subtraction
+OUTPUT veg_change
+ARGUMENT ( ndvi_map earlier, ndvi_map later )
+TEMPLATE {
+  MAPPINGS:
+    veg_change.data = img_sub(later.data, earlier.data);
+    veg_change.timestamp = later.timestamp;
+}
+)";
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("experiment");
+    GaeaKernel::Options options;
+    options.dir = dir_->path();
+    options.user = "scientist-a";
+    ASSERT_OK_AND_ASSIGN(kernel_, GaeaKernel::Open(options));
+    kernel_->SetClock(AbsTime(1000));
+    ASSERT_OK(kernel_->ExecuteDdl(kSchema));
+    ASSERT_OK_AND_ASSIGN(
+        ndvi_, kernel_->catalog().classes().LookupByName("ndvi_map"));
+  }
+
+  Oid InsertNdvi(AbsTime t, double fill) {
+    DataObject obj(*ndvi_);
+    EXPECT_TRUE(obj.Set(*ndvi_, "data",
+                        Value::OfImage(*Image::FromValues(
+                            4, 4, std::vector<double>(16, fill))))
+                    .ok());
+    EXPECT_TRUE(obj.Set(*ndvi_, "timestamp", Value::Time(t)).ok());
+    return kernel_->Insert(std::move(obj)).value();
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<GaeaKernel> kernel_;
+  const ClassDef* ndvi_ = nullptr;
+};
+
+TEST_F(ExperimentTest, DefineAndLookup) {
+  Experiment e;
+  e.name = "africa-veg-88-89";
+  e.doc = "vegetation change in Africa between 1988 and 1989";
+  e.user = "scientist-a";
+  e.concepts = {"vegetation_change"};
+  ASSERT_OK_AND_ASSIGN(ExperimentId id, kernel_->DefineExperiment(e));
+  EXPECT_EQ(id, 1u);
+  ASSERT_OK_AND_ASSIGN(const Experiment* back,
+                       kernel_->experiments().Get("africa-veg-88-89"));
+  EXPECT_EQ(back->doc, e.doc);
+  // Duplicate name rejected; bad name rejected.
+  EXPECT_EQ(kernel_->DefineExperiment(e).status().code(),
+            StatusCode::kAlreadyExists);
+  Experiment bad;
+  bad.name = "spaces are bad";
+  EXPECT_FALSE(kernel_->DefineExperiment(bad).ok());
+  EXPECT_EQ(kernel_->experiments().Get("ghost").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ExperimentTest, ReproduceRegeneratesIdenticalObjects) {
+  Oid earlier = InsertNdvi(AbsTime(100), 0.2);
+  Oid later = InsertNdvi(AbsTime(200), 0.7);
+  ASSERT_OK_AND_ASSIGN(
+      Oid change, kernel_->Derive("change-by-subtraction",
+                                  {{"earlier", {earlier}}, {"later", {later}}}));
+  ASSERT_OK_AND_ASSIGN(const Task* task, kernel_->tasks().Producer(change));
+
+  Experiment e;
+  e.name = "exp1";
+  e.tasks = {task->id};
+  ASSERT_OK(kernel_->DefineExperiment(e).status());
+
+  ASSERT_OK_AND_ASSIGN(ReproductionReport report, kernel_->Reproduce("exp1"));
+  EXPECT_TRUE(report.all_identical);
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_EQ(report.entries[0].original_output, change);
+  EXPECT_NE(report.entries[0].replayed_output, change);
+  EXPECT_TRUE(report.entries[0].identical);
+}
+
+TEST_F(ExperimentTest, ReproduceMultiTaskPipeline) {
+  Oid a = InsertNdvi(AbsTime(100), 0.1);
+  Oid b = InsertNdvi(AbsTime(200), 0.5);
+  Oid c = InsertNdvi(AbsTime(300), 0.9);
+  ASSERT_OK_AND_ASSIGN(Oid c1,
+                       kernel_->Derive("change-by-subtraction",
+                                       {{"earlier", {a}}, {"later", {b}}}));
+  ASSERT_OK_AND_ASSIGN(Oid c2,
+                       kernel_->Derive("change-by-subtraction",
+                                       {{"earlier", {b}}, {"later", {c}}}));
+  Experiment e;
+  e.name = "multi";
+  e.tasks = {kernel_->tasks().Producer(c1).value()->id,
+             kernel_->tasks().Producer(c2).value()->id};
+  ASSERT_OK(kernel_->DefineExperiment(e).status());
+  ASSERT_OK_AND_ASSIGN(ReproductionReport report, kernel_->Reproduce("multi"));
+  EXPECT_TRUE(report.all_identical);
+  EXPECT_EQ(report.entries.size(), 2u);
+}
+
+TEST_F(ExperimentTest, ReproduceInterpolationTask) {
+  InsertNdvi(AbsTime(0), 0.0);
+  InsertNdvi(AbsTime(1000), 1.0);
+  QueryRequest req;
+  req.target = "ndvi_map";
+  req.filter.window.time = TimeInterval(AbsTime(400), AbsTime(400));
+  req.strategy = {QueryStep::kInterpolate};
+  ASSERT_OK_AND_ASSIGN(QueryResult result, kernel_->Query(req));
+  ASSERT_EQ(result.answers.size(), 1u);
+  TaskId interp_task =
+      kernel_->tasks().Producer(result.answers[0].oids[0]).value()->id;
+  Experiment e;
+  e.name = "with-interp";
+  e.tasks = {interp_task};
+  ASSERT_OK(kernel_->DefineExperiment(e).status());
+  ASSERT_OK_AND_ASSIGN(ReproductionReport report,
+                       kernel_->Reproduce("with-interp"));
+  EXPECT_TRUE(report.all_identical);
+}
+
+TEST_F(ExperimentTest, ExperimentsPersistAcrossReopen) {
+  Oid earlier = InsertNdvi(AbsTime(100), 0.2);
+  Oid later = InsertNdvi(AbsTime(200), 0.7);
+  ASSERT_OK_AND_ASSIGN(
+      Oid change, kernel_->Derive("change-by-subtraction",
+                                  {{"earlier", {earlier}}, {"later", {later}}}));
+  Experiment e;
+  e.name = "durable";
+  e.tasks = {kernel_->tasks().Producer(change).value()->id};
+  ASSERT_OK(kernel_->DefineExperiment(e).status());
+  ASSERT_OK(kernel_->Flush());
+  kernel_.reset();
+
+  GaeaKernel::Options options;
+  options.dir = dir_->path();
+  ASSERT_OK_AND_ASSIGN(kernel_, GaeaKernel::Open(options));
+  kernel_->SetClock(AbsTime(2000));
+  // Everything needed for reproduction was journaled.
+  ASSERT_OK_AND_ASSIGN(ReproductionReport report, kernel_->Reproduce("durable"));
+  EXPECT_TRUE(report.all_identical);
+}
+
+TEST_F(ExperimentTest, ObjectsIdenticalHelper) {
+  Oid a = InsertNdvi(AbsTime(100), 0.5);
+  Oid b = InsertNdvi(AbsTime(100), 0.5);
+  Oid c = InsertNdvi(AbsTime(100), 0.6);
+  EXPECT_TRUE(ObjectsIdentical(kernel_->catalog(), a, b).value());
+  EXPECT_FALSE(ObjectsIdentical(kernel_->catalog(), a, c).value());
+  EXPECT_FALSE(ObjectsIdentical(kernel_->catalog(), a, 9999).ok());
+}
+
+TEST_F(ExperimentTest, SerializationRoundTrip) {
+  Experiment e;
+  e.id = 4;
+  e.name = "exp";
+  e.doc = "doc";
+  e.user = "u";
+  e.concepts = {"desert", "ndvi"};
+  e.tasks = {1, 2, 3};
+  BinaryWriter w;
+  e.Serialize(&w);
+  BinaryReader r(w.buffer());
+  ASSERT_OK_AND_ASSIGN(Experiment back, Experiment::Deserialize(&r));
+  EXPECT_EQ(back.id, 4u);
+  EXPECT_EQ(back.concepts, e.concepts);
+  EXPECT_EQ(back.tasks, e.tasks);
+}
+
+}  // namespace
+}  // namespace gaea

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "catalog/class_def.h"
+#include "catalog/data_object.h"
+#include "core/expr.h"
+#include "test_util.h"
+#include "types/op_registry.h"
+
+namespace gaea {
+namespace {
+
+// Fixture with a landsat-band class, three band objects, and builtin ops.
+class ExprTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(RegisterBuiltinOperators(&ops_));
+    band_class_ = ClassDef("landsat_tm", ClassKind::kBase);
+    ASSERT_OK(band_class_.AddAttribute({"data", TypeId::kImage, "image", ""}));
+    ASSERT_OK(band_class_.AddAttribute(
+        {"spatialextent", TypeId::kBox, "box", ""}));
+    ASSERT_OK(
+        band_class_.AddAttribute({"timestamp", TypeId::kTime, "abstime", ""}));
+    ASSERT_OK(band_class_.SetSpatialExtent("spatialextent"));
+    ASSERT_OK(band_class_.SetTemporalExtent("timestamp"));
+    band_class_.set_id(1);
+
+    for (int i = 0; i < 3; ++i) {
+      DataObject obj(band_class_);
+      ASSERT_OK(obj.Set(band_class_, "data",
+                        Value::OfImage(*Image::FromValues(
+                            2, 2, {1.0 + i, 2.0 + i, 3.0 + i, 4.0 + i}))));
+      ASSERT_OK(obj.Set(band_class_, "spatialextent",
+                        Value::OfBox(Box(0, 0, 10, 10))));
+      ASSERT_OK(obj.Set(band_class_, "timestamp",
+                        Value::Time(AbsTime(1000))));
+      obj.set_oid(i + 1);
+      bands_.push_back(std::move(obj));
+    }
+
+    params_["k"] = Value::Int(2);
+
+    type_ctx_.ops = &ops_;
+    type_ctx_.params = &params_;
+    type_ctx_.args["bands"] = ArgSchema{&band_class_, true};
+    type_ctx_.args["one"] = ArgSchema{&band_class_, false};
+
+    eval_ctx_.ops = &ops_;
+    eval_ctx_.params = &params_;
+    ArgBinding setof;
+    setof.class_def = &band_class_;
+    setof.setof = true;
+    for (DataObject& b : bands_) setof.objects.push_back(&b);
+    eval_ctx_.args["bands"] = setof;
+    ArgBinding scalar;
+    scalar.class_def = &band_class_;
+    scalar.setof = false;
+    scalar.objects.push_back(&bands_[0]);
+    eval_ctx_.args["one"] = scalar;
+  }
+
+  OperatorRegistry ops_;
+  ClassDef band_class_;
+  std::vector<DataObject> bands_;
+  std::map<std::string, Value> params_;
+  TypeContext type_ctx_;
+  EvalContext eval_ctx_;
+};
+
+TEST_F(ExprTest, LiteralAndParam) {
+  ExprPtr lit = Expr::Literal(Value::Int(5));
+  EXPECT_EQ(lit->TypeCheck(type_ctx_).value(), TypeId::kInt);
+  EXPECT_EQ(lit->Eval(eval_ctx_).value(), Value::Int(5));
+
+  ExprPtr param = Expr::Param("k");
+  EXPECT_EQ(param->TypeCheck(type_ctx_).value(), TypeId::kInt);
+  EXPECT_EQ(param->Eval(eval_ctx_).value(), Value::Int(2));
+
+  ExprPtr missing = Expr::Param("ghost");
+  EXPECT_EQ(missing->TypeCheck(type_ctx_).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(missing->Eval(eval_ctx_).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExprTest, ScalarAttrRef) {
+  ExprPtr ref = Expr::AttrRef("one", "timestamp");
+  EXPECT_EQ(ref->TypeCheck(type_ctx_).value(), TypeId::kTime);
+  EXPECT_EQ(ref->Eval(eval_ctx_).value(), Value::Time(AbsTime(1000)));
+  // Unknown attribute / argument.
+  EXPECT_FALSE(Expr::AttrRef("one", "ghost")->TypeCheck(type_ctx_).ok());
+  EXPECT_FALSE(Expr::AttrRef("nope", "data")->TypeCheck(type_ctx_).ok());
+}
+
+TEST_F(ExprTest, SetofAttrRefYieldsList) {
+  ExprPtr ref = Expr::AttrRef("bands", "data");
+  EXPECT_EQ(ref->TypeCheck(type_ctx_).value(), TypeId::kList);
+  ASSERT_OK_AND_ASSIGN(Value v, ref->Eval(eval_ctx_));
+  ASSERT_OK_AND_ASSIGN(const ValueList* items, v.AsList());
+  EXPECT_EQ(items->size(), 3u);
+  EXPECT_EQ((*items)[2].AsImage().value()->Get(0, 0), 3.0);
+}
+
+TEST_F(ExprTest, CardCountsBoundObjects) {
+  ExprPtr card = Expr::Card("bands");
+  EXPECT_EQ(card->TypeCheck(type_ctx_).value(), TypeId::kInt);
+  EXPECT_EQ(card->Eval(eval_ctx_).value(), Value::Int(3));
+  EXPECT_EQ(Expr::Card("one")->Eval(eval_ctx_).value(), Value::Int(1));
+}
+
+TEST_F(ExprTest, AnyOfPicksDeterministicRepresentative) {
+  ExprPtr anyof = Expr::AnyOf(Expr::AttrRef("bands", "timestamp"));
+  EXPECT_EQ(anyof->TypeCheck(type_ctx_).value(), TypeId::kTime);
+  EXPECT_EQ(anyof->Eval(eval_ctx_).value(), Value::Time(AbsTime(1000)));
+  // ANYOF over a scalar ref is a type error.
+  ExprPtr bad = Expr::AnyOf(Expr::AttrRef("one", "timestamp"));
+  EXPECT_FALSE(bad->TypeCheck(type_ctx_).ok());
+}
+
+TEST_F(ExprTest, CommonTrueWhenEqual) {
+  ExprPtr common = Expr::Common(Expr::AttrRef("bands", "timestamp"));
+  EXPECT_EQ(common->TypeCheck(type_ctx_).value(), TypeId::kBool);
+  EXPECT_EQ(common->Eval(eval_ctx_).value(), Value::Bool(true));
+}
+
+TEST_F(ExprTest, CommonFalseWhenScalarsDiffer) {
+  ASSERT_OK(bands_[1].Set(band_class_, "timestamp",
+                          Value::Time(AbsTime(2000))));
+  ExprPtr common = Expr::Common(Expr::AttrRef("bands", "timestamp"));
+  EXPECT_EQ(common->Eval(eval_ctx_).value(), Value::Bool(false));
+}
+
+TEST_F(ExprTest, CommonBoxesAcceptOverlap) {
+  // "the same or overlap" (paper Figure 3): overlapping but unequal boxes
+  // still satisfy common().
+  ASSERT_OK(bands_[1].Set(band_class_, "spatialextent",
+                          Value::OfBox(Box(5, 5, 15, 15))));
+  ExprPtr common = Expr::Common(Expr::AttrRef("bands", "spatialextent"));
+  EXPECT_EQ(common->Eval(eval_ctx_).value(), Value::Bool(true));
+  // Disjoint extent breaks it.
+  ASSERT_OK(bands_[2].Set(band_class_, "spatialextent",
+                          Value::OfBox(Box(100, 100, 110, 110))));
+  EXPECT_EQ(common->Eval(eval_ctx_).value(), Value::Bool(false));
+}
+
+TEST_F(ExprTest, OpCallFigure3Mapping) {
+  // unsuperclassify(composite(bands.data), $k)
+  ExprPtr expr = Expr::OpCall(
+      "unsuperclassify",
+      {Expr::OpCall("composite", {Expr::AttrRef("bands", "data")}),
+       Expr::Param("k")});
+  EXPECT_EQ(expr->TypeCheck(type_ctx_).value(), TypeId::kImage);
+  ASSERT_OK_AND_ASSIGN(Value v, expr->Eval(eval_ctx_));
+  ASSERT_OK_AND_ASSIGN(ImagePtr labels, v.AsImage());
+  EXPECT_EQ(labels->nrow(), 2);
+  Image::Stats s = labels->ComputeStats();
+  EXPECT_GE(s.min, 0.0);
+  EXPECT_LT(s.max, 2.0);
+}
+
+TEST_F(ExprTest, OpCallTypeErrorsSurfaceInTypeCheck) {
+  ExprPtr bad = Expr::OpCall(
+      "add", {Expr::AttrRef("one", "data"), Expr::Literal(Value::Int(1))});
+  EXPECT_EQ(bad->TypeCheck(type_ctx_).status().code(),
+            StatusCode::kInvalidArgument);
+  ExprPtr unknown = Expr::OpCall("no_such_op", {});
+  EXPECT_EQ(unknown->TypeCheck(type_ctx_).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ExprTest, AssertionStyleComparison) {
+  // card(bands) >= 3 as parsed by the DDL front end.
+  ExprPtr assertion = Expr::OpCall(
+      "ge", {Expr::Card("bands"), Expr::Literal(Value::Int(3))});
+  EXPECT_EQ(assertion->TypeCheck(type_ctx_).value(), TypeId::kBool);
+  EXPECT_EQ(assertion->Eval(eval_ctx_).value(), Value::Bool(true));
+}
+
+TEST_F(ExprTest, ToStringRendering) {
+  ExprPtr expr = Expr::OpCall(
+      "unsuperclassify",
+      {Expr::OpCall("composite", {Expr::AttrRef("bands", "data")}),
+       Expr::Param("k")});
+  EXPECT_EQ(expr->ToString(),
+            "unsuperclassify(composite(bands.data), $k)");
+  EXPECT_EQ(Expr::AnyOf(Expr::AttrRef("bands", "timestamp"))->ToString(),
+            "ANYOF bands.timestamp");
+  EXPECT_EQ(Expr::Common(Expr::AttrRef("bands", "spatialextent"))->ToString(),
+            "common(bands.spatialextent)");
+}
+
+TEST_F(ExprTest, StructuralEquality) {
+  ExprPtr a = Expr::OpCall("img_sub", {Expr::AttrRef("one", "data"),
+                                       Expr::AttrRef("one", "data")});
+  ExprPtr b = Expr::OpCall("img_sub", {Expr::AttrRef("one", "data"),
+                                       Expr::AttrRef("one", "data")});
+  ExprPtr c = Expr::OpCall("img_div", {Expr::AttrRef("one", "data"),
+                                       Expr::AttrRef("one", "data")});
+  EXPECT_TRUE(a->StructurallyEquals(*b));
+  EXPECT_FALSE(a->StructurallyEquals(*c));  // subtract vs divide (§1 scenario)
+  EXPECT_FALSE(Expr::Literal(Value::Int(250))
+                   ->StructurallyEquals(*Expr::Literal(Value::Int(200))));
+}
+
+TEST_F(ExprTest, SerializationRoundTrip) {
+  ExprPtr expr = Expr::OpCall(
+      "unsuperclassify",
+      {Expr::OpCall("composite", {Expr::AttrRef("bands", "data")}),
+       Expr::Param("k")});
+  BinaryWriter w;
+  expr->Serialize(&w);
+  BinaryReader r(w.buffer());
+  ASSERT_OK_AND_ASSIGN(ExprPtr back, Expr::Deserialize(&r));
+  EXPECT_TRUE(back->StructurallyEquals(*expr));
+  EXPECT_EQ(back->ToString(), expr->ToString());
+  // Still evaluates identically.
+  ASSERT_OK_AND_ASSIGN(Value v1, expr->Eval(eval_ctx_));
+  ASSERT_OK_AND_ASSIGN(Value v2, back->Eval(eval_ctx_));
+  EXPECT_EQ(v1, v2);
+}
+
+TEST_F(ExprTest, EvalErrorsOnBadBindings) {
+  // Scalar arg bound to several objects.
+  ArgBinding bad;
+  bad.class_def = &band_class_;
+  bad.setof = false;
+  bad.objects.push_back(&bands_[0]);
+  bad.objects.push_back(&bands_[1]);
+  EvalContext ctx = eval_ctx_;
+  ctx.args["one"] = bad;
+  EXPECT_FALSE(Expr::AttrRef("one", "data")->Eval(ctx).ok());
+  // ANYOF over an empty set.
+  ArgBinding empty;
+  empty.class_def = &band_class_;
+  empty.setof = true;
+  ctx.args["bands"] = empty;
+  EXPECT_EQ(Expr::AnyOf(Expr::AttrRef("bands", "data"))
+                ->Eval(ctx)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace gaea

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "raster/image_ops.h"
+#include "test_util.h"
+
+namespace gaea {
+namespace {
+
+Image Img(std::vector<double> v, int rows, int cols) {
+  return Image::FromValues(rows, cols, v).value();
+}
+
+TEST(ImageOpsTest, AddSubtractMultiply) {
+  Image a = Img({1, 2, 3, 4}, 2, 2);
+  Image b = Img({10, 20, 30, 40}, 2, 2);
+  ASSERT_OK_AND_ASSIGN(Image sum, ImgAdd(a, b));
+  EXPECT_EQ(sum.Get(1, 1), 44.0);
+  ASSERT_OK_AND_ASSIGN(Image diff, ImgSubtract(b, a));
+  EXPECT_EQ(diff.Get(0, 0), 9.0);
+  ASSERT_OK_AND_ASSIGN(Image prod, ImgMultiply(a, b));
+  EXPECT_EQ(prod.Get(0, 1), 40.0);
+}
+
+TEST(ImageOpsTest, ShapeMismatchRejected) {
+  Image a = Img({1, 2}, 1, 2);
+  Image b = Img({1, 2}, 2, 1);
+  EXPECT_EQ(ImgAdd(a, b).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ImageOpsTest, DivideGuardsZeroDenominator) {
+  Image a = Img({10, 10}, 1, 2);
+  Image b = Img({2, 0}, 1, 2);
+  ASSERT_OK_AND_ASSIGN(Image q, ImgDivide(a, b));
+  EXPECT_EQ(q.Get(0, 0), 5.0);
+  EXPECT_EQ(q.Get(0, 1), 0.0);  // GIS nodata convention
+}
+
+TEST(ImageOpsTest, ScaleAndAbs) {
+  Image a = Img({-1, 2}, 1, 2);
+  ASSERT_OK_AND_ASSIGN(Image scaled, ImgScale(a, 2.0, 1.0));
+  EXPECT_EQ(scaled.Get(0, 0), -1.0);
+  EXPECT_EQ(scaled.Get(0, 1), 5.0);
+  ASSERT_OK_AND_ASSIGN(Image abs, ImgAbs(a));
+  EXPECT_EQ(abs.Get(0, 0), 1.0);
+}
+
+TEST(ImageOpsTest, NdviRangeAndSign) {
+  // Vegetated pixel: nir >> red => NDVI near +1. Bare: red > nir => negative.
+  Image nir = Img({0.8, 0.2, 0.0}, 1, 3);
+  Image red = Img({0.1, 0.5, 0.0}, 1, 3);
+  ASSERT_OK_AND_ASSIGN(Image ndvi, Ndvi(nir, red));
+  EXPECT_NEAR(ndvi.Get(0, 0), (0.8 - 0.1) / 0.9, 1e-12);
+  EXPECT_LT(ndvi.Get(0, 1), 0.0);
+  EXPECT_EQ(ndvi.Get(0, 2), 0.0);  // 0/0 guarded
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_GE(ndvi.Get(0, c), -1.0);
+    EXPECT_LE(ndvi.Get(0, c), 1.0);
+  }
+}
+
+TEST(ImageOpsTest, CompositeValidatesAndConverts) {
+  ASSERT_OK_AND_ASSIGN(Image a8, Img({1, 2, 3, 4}, 2, 2)
+                                      .ConvertTo(PixelType::kUInt8));
+  Image b = Img({5, 6, 7, 8}, 2, 2);
+  ASSERT_OK_AND_ASSIGN(std::vector<Image> stack, Composite({&a8, &b}));
+  ASSERT_EQ(stack.size(), 2u);
+  EXPECT_EQ(stack[0].pixel_type(), PixelType::kFloat64);
+  EXPECT_EQ(stack[0].Get(1, 1), 4.0);
+  Image mismatched = Img({1, 2}, 1, 2);
+  EXPECT_FALSE(Composite({&a8, &mismatched}).ok());
+  EXPECT_FALSE(Composite({}).ok());
+}
+
+TEST(ImageOpsTest, ImagesToMatrixLayout) {
+  Image band0 = Img({1, 2, 3, 4}, 2, 2);
+  Image band1 = Img({10, 20, 30, 40}, 2, 2);
+  ASSERT_OK_AND_ASSIGN(Matrix m, ImagesToMatrix({&band0, &band1}));
+  EXPECT_EQ(m.rows(), 4);
+  EXPECT_EQ(m.cols(), 2);
+  // Row-major pixel order; column j = band j.
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(3, 0), 4.0);
+  EXPECT_EQ(m(2, 1), 30.0);
+}
+
+TEST(ImageOpsTest, MatrixToImagesInvertsImagesToMatrix) {
+  Image band0 = Img({1, 2, 3, 4, 5, 6}, 2, 3);
+  Image band1 = Img({6, 5, 4, 3, 2, 1}, 2, 3);
+  ASSERT_OK_AND_ASSIGN(Matrix m, ImagesToMatrix({&band0, &band1}));
+  ASSERT_OK_AND_ASSIGN(std::vector<Image> back, MatrixToImages(m, 2, 3));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], band0);
+  EXPECT_EQ(back[1], band1);
+}
+
+TEST(ImageOpsTest, MatrixToImagesRejectsBadShape) {
+  Matrix m(6, 1);
+  EXPECT_FALSE(MatrixToImages(m, 2, 2).ok());
+  EXPECT_FALSE(MatrixToImages(m, 0, 6).ok());
+}
+
+TEST(ImageOpsTest, LinearCombinationIsMatrixProduct) {
+  ASSERT_OK_AND_ASSIGN(Matrix data,
+                       Matrix::FromRows({{1, 0}, {0, 1}, {1, 1}}));
+  ASSERT_OK_AND_ASSIGN(Matrix weights, Matrix::FromRows({{2}, {3}}));
+  ASSERT_OK_AND_ASSIGN(Matrix out, LinearCombination(data, weights));
+  EXPECT_EQ(out.rows(), 3);
+  EXPECT_EQ(out.cols(), 1);
+  EXPECT_EQ(out(2, 0), 5.0);
+}
+
+TEST(ImageOpsTest, ResampleNearestIdentity) {
+  Image a = Img({1, 2, 3, 4}, 2, 2);
+  ASSERT_OK_AND_ASSIGN(Image same,
+                       Resample(a, 2, 2, ResampleMethod::kNearest));
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) EXPECT_EQ(same.Get(r, c), a.Get(r, c));
+  }
+}
+
+TEST(ImageOpsTest, ResampleBilinearUpsamplesSmoothly) {
+  Image a = Img({0, 10, 0, 10}, 2, 2);
+  ASSERT_OK_AND_ASSIGN(Image up, Resample(a, 2, 4, ResampleMethod::kBilinear));
+  // Values must stay within the input range and increase left to right.
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_GE(up.Get(0, c), 0.0);
+    EXPECT_LE(up.Get(0, c), 10.0);
+  }
+  EXPECT_LT(up.Get(0, 0), up.Get(0, 3));
+}
+
+TEST(ImageOpsTest, BlendLinearEndpointsAndMidpoint) {
+  Image a = Img({0, 0}, 1, 2);
+  Image b = Img({10, 20}, 1, 2);
+  ASSERT_OK_AND_ASSIGN(Image at0, BlendLinear(a, b, 0.0));
+  EXPECT_EQ(at0.Get(0, 0), 0.0);
+  ASSERT_OK_AND_ASSIGN(Image at1, BlendLinear(a, b, 1.0));
+  EXPECT_EQ(at1.Get(0, 1), 20.0);
+  ASSERT_OK_AND_ASSIGN(Image mid, BlendLinear(a, b, 0.5));
+  EXPECT_EQ(mid.Get(0, 0), 5.0);
+  EXPECT_FALSE(BlendLinear(a, b, 1.5).ok());
+  EXPECT_FALSE(BlendLinear(a, b, -0.1).ok());
+}
+
+TEST(ImageOpsTest, Threshold) {
+  Image a = Img({0.2, 0.5, 0.9}, 1, 3);
+  ASSERT_OK_AND_ASSIGN(Image t, Threshold(a, 0.5));
+  EXPECT_EQ(t.pixel_type(), PixelType::kUInt8);
+  EXPECT_EQ(t.Get(0, 0), 0.0);
+  EXPECT_EQ(t.Get(0, 1), 1.0);  // >= is inclusive
+  EXPECT_EQ(t.Get(0, 2), 1.0);
+}
+
+TEST(ImageOpsTest, AgreementRatio) {
+  Image a = Img({1, 2, 3, 4}, 2, 2);
+  Image b = Img({1, 2, 0, 4}, 2, 2);
+  ASSERT_OK_AND_ASSIGN(double agreement, AgreementRatio(a, b));
+  EXPECT_DOUBLE_EQ(agreement, 0.75);
+  ASSERT_OK_AND_ASSIGN(double self, AgreementRatio(a, a));
+  EXPECT_DOUBLE_EQ(self, 1.0);
+}
+
+}  // namespace
+}  // namespace gaea

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "raster/image.h"
+#include "test_util.h"
+
+namespace gaea {
+namespace {
+
+using ::gaea::testing::TempDir;
+
+TEST(PixelTypeTest, SizesAndNames) {
+  EXPECT_EQ(PixelSize(PixelType::kUInt8), 1u);
+  EXPECT_EQ(PixelSize(PixelType::kInt16), 2u);
+  EXPECT_EQ(PixelSize(PixelType::kInt32), 4u);
+  EXPECT_EQ(PixelSize(PixelType::kFloat32), 4u);
+  EXPECT_EQ(PixelSize(PixelType::kFloat64), 8u);
+  EXPECT_STREQ(PixelTypeName(PixelType::kUInt8), "char");
+  EXPECT_STREQ(PixelTypeName(PixelType::kFloat32), "float4");
+}
+
+TEST(PixelTypeTest, ParsesPaperNames) {
+  EXPECT_EQ(PixelTypeFromString("char").value(), PixelType::kUInt8);
+  EXPECT_EQ(PixelTypeFromString("int2").value(), PixelType::kInt16);
+  EXPECT_EQ(PixelTypeFromString("int4").value(), PixelType::kInt32);
+  EXPECT_EQ(PixelTypeFromString("float4").value(), PixelType::kFloat32);
+  EXPECT_EQ(PixelTypeFromString("float8").value(), PixelType::kFloat64);
+  EXPECT_EQ(PixelTypeFromString("FLOAT64").value(), PixelType::kFloat64);
+  EXPECT_FALSE(PixelTypeFromString("complex").ok());
+}
+
+TEST(ImageTest, CreateZeroFilled) {
+  ASSERT_OK_AND_ASSIGN(Image img, Image::Create(3, 4, PixelType::kInt32));
+  EXPECT_EQ(img.nrow(), 3);
+  EXPECT_EQ(img.ncol(), 4);
+  EXPECT_EQ(img.PixelCount(), 12u);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(img.Get(r, c), 0.0);
+  }
+}
+
+TEST(ImageTest, RejectsBadDimensions) {
+  EXPECT_FALSE(Image::Create(0, 4).ok());
+  EXPECT_FALSE(Image::Create(4, -1).ok());
+  EXPECT_FALSE(Image::Create(1 << 20, 1 << 20).ok());
+}
+
+TEST(ImageTest, FromValuesChecksSize) {
+  EXPECT_TRUE(Image::FromValues(2, 2, {1, 2, 3, 4}).ok());
+  EXPECT_FALSE(Image::FromValues(2, 2, {1, 2, 3}).ok());
+}
+
+TEST(ImageTest, GetSetRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(Image img, Image::Create(2, 2));
+  img.Set(0, 1, 3.75);
+  EXPECT_EQ(img.Get(0, 1), 3.75);
+  EXPECT_EQ(img.Get(0, 0), 0.0);
+}
+
+TEST(ImageTest, CheckedAccessorsReportOutOfRange) {
+  ASSERT_OK_AND_ASSIGN(Image img, Image::Create(2, 2));
+  EXPECT_TRUE(img.At(1, 1).ok());
+  EXPECT_EQ(img.At(2, 0).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(img.At(0, -1).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(img.SetAt(2, 0, 1.0).code(), StatusCode::kOutOfRange);
+}
+
+class PixelClampTest
+    : public ::testing::TestWithParam<std::tuple<PixelType, double, double>> {};
+
+TEST_P(PixelClampTest, NativeTypesClampAndRound) {
+  auto [type, in, expected] = GetParam();
+  ASSERT_OK_AND_ASSIGN(Image img, Image::Create(1, 1, type));
+  img.Set(0, 0, in);
+  EXPECT_EQ(img.Get(0, 0), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Clamping, PixelClampTest,
+    ::testing::Values(
+        std::make_tuple(PixelType::kUInt8, -5.0, 0.0),
+        std::make_tuple(PixelType::kUInt8, 260.0, 255.0),
+        std::make_tuple(PixelType::kUInt8, 7.6, 8.0),  // rounds
+        std::make_tuple(PixelType::kInt16, 40000.0, 32767.0),
+        std::make_tuple(PixelType::kInt16, -40000.0, -32768.0),
+        std::make_tuple(PixelType::kInt32, 1.49, 1.0),
+        std::make_tuple(PixelType::kFloat64, 3.14159, 3.14159)));
+
+TEST(ImageTest, Stats) {
+  ASSERT_OK_AND_ASSIGN(Image img, Image::FromValues(2, 2, {1, 2, 3, 4}));
+  Image::Stats s = img.ComputeStats();
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 4.0);
+  EXPECT_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(ImageTest, Histogram) {
+  ASSERT_OK_AND_ASSIGN(Image img,
+                       Image::FromValues(1, 6, {0.1, 0.2, 0.6, 0.7, 0.9, 5.0}));
+  std::vector<int64_t> h = img.Histogram(2, 0.0, 1.0);
+  // 5.0 outside range is dropped; [0,0.5) has 2, [0.5,1.0] has 3.
+  EXPECT_EQ(h[0], 2);
+  EXPECT_EQ(h[1], 3);
+}
+
+TEST(ImageTest, EqualityIsContentBased) {
+  ASSERT_OK_AND_ASSIGN(Image a, Image::FromValues(2, 2, {1, 2, 3, 4}));
+  ASSERT_OK_AND_ASSIGN(Image b, Image::FromValues(2, 2, {1, 2, 3, 4}));
+  ASSERT_OK_AND_ASSIGN(Image c, Image::FromValues(2, 2, {1, 2, 3, 5}));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Same values, different pixel type: distinct objects.
+  ASSERT_OK_AND_ASSIGN(Image d, a.ConvertTo(PixelType::kFloat32));
+  EXPECT_NE(a, d);
+}
+
+TEST(ImageTest, ConvertPreservesValuesWithinRange) {
+  ASSERT_OK_AND_ASSIGN(Image a, Image::FromValues(2, 2, {1, 2, 3, 4}));
+  ASSERT_OK_AND_ASSIGN(Image b, a.ConvertTo(PixelType::kUInt8));
+  EXPECT_EQ(b.pixel_type(), PixelType::kUInt8);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) EXPECT_EQ(a.Get(r, c), b.Get(r, c));
+  }
+}
+
+TEST(ImageTest, SerializeRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(
+      Image img, Image::FromValues(3, 2, {1, -2, 3, -4, 5, -6},
+                                   PixelType::kInt16));
+  BinaryWriter w;
+  img.Serialize(&w);
+  BinaryReader r(w.buffer());
+  ASSERT_OK_AND_ASSIGN(Image back, Image::Deserialize(&r));
+  EXPECT_EQ(back, img);
+}
+
+TEST(ImageTest, DeserializeRejectsSizeMismatch) {
+  ASSERT_OK_AND_ASSIGN(Image img, Image::FromValues(1, 2, {1, 2}));
+  BinaryWriter w;
+  img.Serialize(&w);
+  std::string bytes = w.Release();
+  // Corrupt the payload-size field (u64 at offset 9).
+  bytes[9] = 0x01;
+  BinaryReader r(bytes);
+  auto result = Image::Deserialize(&r);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ImageTest, FileSaveLoadRoundTrip) {
+  TempDir dir("image");
+  ASSERT_OK_AND_ASSIGN(Image img,
+                       Image::FromValues(4, 4, std::vector<double>(16, 2.5)));
+  std::string path = dir.file("scene.img");
+  ASSERT_OK(img.Save(path));
+  ASSERT_OK_AND_ASSIGN(Image back, Image::Load(path));
+  EXPECT_EQ(back, img);
+}
+
+TEST(ImageTest, LoadRejectsGarbageFile) {
+  TempDir dir("image");
+  std::string path = dir.file("junk.img");
+  {
+    std::ofstream out(path);
+    out << "this is not an image";
+  }
+  auto result = Image::Load(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ImageTest, LoadMissingFileIsIOError) {
+  auto result = Image::Load("/nonexistent/gaea/image.img");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace gaea

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "raster/matrix.h"
+#include "test_util.h"
+
+namespace gaea {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m(1, 2), 0.0);
+  m(1, 2) = 7.5;
+  EXPECT_EQ(m(1, 2), 7.5);
+}
+
+TEST(MatrixTest, FromRowsRejectsRagged) {
+  EXPECT_TRUE(Matrix::FromRows({{1, 2}, {3, 4}}).ok());
+  EXPECT_FALSE(Matrix::FromRows({{1, 2}, {3}}).ok());
+}
+
+TEST(MatrixTest, IdentityMultiplication) {
+  ASSERT_OK_AND_ASSIGN(Matrix m, Matrix::FromRows({{1, 2}, {3, 4}}));
+  ASSERT_OK_AND_ASSIGN(Matrix prod, m.Multiply(Matrix::Identity(2)));
+  EXPECT_TRUE(prod.AlmostEquals(m));
+  ASSERT_OK_AND_ASSIGN(Matrix prod2, Matrix::Identity(2).Multiply(m));
+  EXPECT_TRUE(prod2.AlmostEquals(m));
+}
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  ASSERT_OK_AND_ASSIGN(Matrix a, Matrix::FromRows({{1, 2}, {3, 4}}));
+  ASSERT_OK_AND_ASSIGN(Matrix b, Matrix::FromRows({{5, 6}, {7, 8}}));
+  ASSERT_OK_AND_ASSIGN(Matrix c, a.Multiply(b));
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyShapeMismatch) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_FALSE(a.Multiply(b).ok());
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  ASSERT_OK_AND_ASSIGN(Matrix m, Matrix::FromRows({{1, 2, 3}, {4, 5, 6}}));
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_TRUE(t.Transpose().AlmostEquals(m));
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  ASSERT_OK_AND_ASSIGN(Matrix a, Matrix::FromRows({{1, 2}}));
+  ASSERT_OK_AND_ASSIGN(Matrix b, Matrix::FromRows({{3, 4}}));
+  ASSERT_OK_AND_ASSIGN(Matrix sum, a.Add(b));
+  EXPECT_EQ(sum(0, 1), 6.0);
+  ASSERT_OK_AND_ASSIGN(Matrix diff, b.Subtract(a));
+  EXPECT_EQ(diff(0, 0), 2.0);
+  EXPECT_EQ(a.Scale(3.0)(0, 1), 6.0);
+  EXPECT_FALSE(a.Add(Matrix(2, 2)).ok());
+}
+
+TEST(MatrixTest, ColumnStatistics) {
+  ASSERT_OK_AND_ASSIGN(Matrix m, Matrix::FromRows({{1, 10}, {3, 30}}));
+  std::vector<double> means = m.ColumnMeans();
+  EXPECT_EQ(means[0], 2.0);
+  EXPECT_EQ(means[1], 20.0);
+  std::vector<double> sds = m.ColumnStddevs();
+  EXPECT_DOUBLE_EQ(sds[0], 1.0);
+  EXPECT_DOUBLE_EQ(sds[1], 10.0);
+}
+
+TEST(MatrixTest, CovarianceKnownValues) {
+  // Two perfectly correlated variables.
+  ASSERT_OK_AND_ASSIGN(Matrix m,
+                       Matrix::FromRows({{1, 2}, {2, 4}, {3, 6}}));
+  ASSERT_OK_AND_ASSIGN(Matrix cov, m.Covariance());
+  // Var(x) = 2/3, Cov(x,y) = 4/3, Var(y) = 8/3 (population normalization).
+  EXPECT_NEAR(cov(0, 0), 2.0 / 3, 1e-12);
+  EXPECT_NEAR(cov(0, 1), 4.0 / 3, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 8.0 / 3, 1e-12);
+  EXPECT_TRUE(cov.IsSymmetric());
+}
+
+TEST(MatrixTest, CorrelationOfPerfectlyCorrelated) {
+  ASSERT_OK_AND_ASSIGN(Matrix m,
+                       Matrix::FromRows({{1, 2}, {2, 4}, {3, 6}}));
+  ASSERT_OK_AND_ASSIGN(Matrix corr, m.Correlation());
+  EXPECT_NEAR(corr(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(corr(0, 1), 1.0, 1e-12);
+  // Anti-correlated pair.
+  ASSERT_OK_AND_ASSIGN(Matrix m2,
+                       Matrix::FromRows({{1, 6}, {2, 4}, {3, 2}}));
+  ASSERT_OK_AND_ASSIGN(Matrix corr2, m2.Correlation());
+  EXPECT_NEAR(corr2(0, 1), -1.0, 1e-12);
+}
+
+TEST(MatrixTest, DistanceFrobenius) {
+  ASSERT_OK_AND_ASSIGN(Matrix a, Matrix::FromRows({{0, 0}, {0, 0}}));
+  ASSERT_OK_AND_ASSIGN(Matrix b, Matrix::FromRows({{3, 0}, {0, 4}}));
+  ASSERT_OK_AND_ASSIGN(double d, a.Distance(b));
+  EXPECT_DOUBLE_EQ(d, 5.0);
+}
+
+TEST(EigenTest, DiagonalMatrix) {
+  ASSERT_OK_AND_ASSIGN(Matrix m,
+                       Matrix::FromRows({{3, 0}, {0, 7}}));
+  ASSERT_OK_AND_ASSIGN(Matrix::Eigen eig, m.SymmetricEigen());
+  EXPECT_NEAR(eig.values[0], 7.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-10);
+  // First column is the eigenvector of 7 => e_2 up to sign.
+  EXPECT_NEAR(std::fabs(eig.vectors(1, 0)), 1.0, 1e-10);
+  EXPECT_NEAR(std::fabs(eig.vectors(0, 1)), 1.0, 1e-10);
+}
+
+TEST(EigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  ASSERT_OK_AND_ASSIGN(Matrix m, Matrix::FromRows({{2, 1}, {1, 2}}));
+  ASSERT_OK_AND_ASSIGN(Matrix::Eigen eig, m.SymmetricEigen());
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+}
+
+TEST(EigenTest, RejectsNonSymmetricAndNonSquare) {
+  ASSERT_OK_AND_ASSIGN(Matrix asym, Matrix::FromRows({{1, 2}, {3, 4}}));
+  EXPECT_FALSE(asym.SymmetricEigen().ok());
+  Matrix rect(2, 3);
+  EXPECT_FALSE(rect.SymmetricEigen().ok());
+}
+
+// Property sweep: reconstruct A = V diag(w) V^T for random-ish symmetric
+// matrices of increasing size, and verify orthonormal eigenvectors.
+class EigenPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenPropertyTest, ReconstructionAndOrthogonality) {
+  int n = GetParam();
+  // Deterministic pseudo-random symmetric matrix.
+  Matrix a(n, n);
+  uint64_t state = 0x1234 + n;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<double>(state % 1000) / 500.0 - 1.0;
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      double v = next();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(Matrix::Eigen eig, a.SymmetricEigen());
+  // Eigenvalues sorted descending.
+  for (int i = 1; i < n; ++i) {
+    EXPECT_GE(eig.values[i - 1], eig.values[i] - 1e-9);
+  }
+  // V^T V = I.
+  ASSERT_OK_AND_ASSIGN(Matrix vtv,
+                       eig.vectors.Transpose().Multiply(eig.vectors));
+  EXPECT_TRUE(vtv.AlmostEquals(Matrix::Identity(n), 1e-8))
+      << "eigenvectors not orthonormal for n=" << n;
+  // A V = V diag(w).
+  ASSERT_OK_AND_ASSIGN(Matrix av, a.Multiply(eig.vectors));
+  Matrix vd = eig.vectors;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) vd(i, j) *= eig.values[j];
+  }
+  EXPECT_TRUE(av.AlmostEquals(vd, 1e-7)) << "A*V != V*diag(w) for n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16));
+
+TEST(MatrixTest, SerializeRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(Matrix m, Matrix::FromRows({{1.5, -2.5}, {0, 1e9}}));
+  BinaryWriter w;
+  m.Serialize(&w);
+  BinaryReader r(w.buffer());
+  ASSERT_OK_AND_ASSIGN(Matrix back, Matrix::Deserialize(&r));
+  EXPECT_EQ(back, m);
+}
+
+TEST(MatrixTest, DeserializeRejectsAbsurdDims) {
+  BinaryWriter w;
+  w.PutI32(1 << 20);
+  w.PutI32(1 << 20);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(Matrix::Deserialize(&r).status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace gaea

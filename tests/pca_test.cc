@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "raster/image_ops.h"
+#include "raster/pca.h"
+#include "raster/scene.h"
+#include "test_util.h"
+
+namespace gaea {
+namespace {
+
+std::vector<const Image*> Ptrs(const std::vector<Image>& bands) {
+  std::vector<const Image*> out;
+  for (const Image& b : bands) out.push_back(&b);
+  return out;
+}
+
+std::vector<Image> CorrelatedScene(int n = 16) {
+  SceneSpec spec;
+  spec.nrow = n;
+  spec.ncol = n;
+  spec.nbands = 4;
+  spec.seed = 99;
+  return GenerateScene(spec).value();
+}
+
+TEST(PcaTest, NeedsAtLeastTwoBands) {
+  std::vector<Image> bands = CorrelatedScene();
+  // The paper's Petri-net threshold: PCA needs >= 2 input images.
+  EXPECT_EQ(Pca({&bands[0]}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PcaTest, ComponentCountAndShape) {
+  std::vector<Image> bands = CorrelatedScene();
+  ASSERT_OK_AND_ASSIGN(PcaResult res, Pca(Ptrs(bands)));
+  EXPECT_EQ(res.components.size(), 4u);
+  EXPECT_EQ(res.eigenvalues.size(), 4u);
+  EXPECT_TRUE(res.components[0].SameShape(bands[0]));
+  ASSERT_OK_AND_ASSIGN(PcaResult two, Pca(Ptrs(bands), 2));
+  EXPECT_EQ(two.components.size(), 2u);
+  EXPECT_FALSE(Pca(Ptrs(bands), 5).ok());
+}
+
+TEST(PcaTest, EigenvaluesDescendingAndVarianceConcentrated) {
+  std::vector<Image> bands = CorrelatedScene();
+  ASSERT_OK_AND_ASSIGN(PcaResult res, Pca(Ptrs(bands)));
+  double total = 0;
+  for (size_t i = 0; i < res.eigenvalues.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(res.eigenvalues[i - 1], res.eigenvalues[i] - 1e-12);
+    }
+    EXPECT_GE(res.eigenvalues[i], -1e-9);  // covariance is PSD
+    total += res.eigenvalues[i];
+  }
+  // The scene's bands are linear mixes of two latent fields (plus noise):
+  // the first two components must carry most of the variance.
+  EXPECT_GT((res.eigenvalues[0] + res.eigenvalues[1]) / total, 0.8);
+}
+
+TEST(PcaTest, ComponentVarianceMatchesEigenvalue) {
+  std::vector<Image> bands = CorrelatedScene();
+  ASSERT_OK_AND_ASSIGN(PcaResult res, Pca(Ptrs(bands)));
+  for (size_t i = 0; i < res.components.size(); ++i) {
+    Image::Stats s = res.components[i].ComputeStats();
+    EXPECT_NEAR(s.stddev * s.stddev, res.eigenvalues[i],
+                0.02 * std::max(1.0, res.eigenvalues[i]))
+        << "component " << i;
+    // Scores are centered.
+    EXPECT_NEAR(s.mean, 0.0, 1e-9);
+  }
+}
+
+TEST(PcaTest, LoadingsOrthonormal) {
+  std::vector<Image> bands = CorrelatedScene();
+  ASSERT_OK_AND_ASSIGN(PcaResult res, Pca(Ptrs(bands)));
+  ASSERT_OK_AND_ASSIGN(Matrix gram,
+                       res.loadings.Transpose().Multiply(res.loadings));
+  EXPECT_TRUE(gram.AlmostEquals(Matrix::Identity(4), 1e-8));
+}
+
+TEST(PcaTest, ComponentsMutuallyUncorrelated) {
+  std::vector<Image> bands = CorrelatedScene();
+  ASSERT_OK_AND_ASSIGN(PcaResult res, Pca(Ptrs(bands)));
+  std::vector<const Image*> comp_ptrs;
+  for (const Image& c : res.components) comp_ptrs.push_back(&c);
+  ASSERT_OK_AND_ASSIGN(Matrix scores, ImagesToMatrix(comp_ptrs));
+  ASSERT_OK_AND_ASSIGN(Matrix cov, scores.Covariance());
+  for (int i = 0; i < cov.rows(); ++i) {
+    for (int j = 0; j < cov.cols(); ++j) {
+      if (i != j) {
+        EXPECT_NEAR(cov(i, j), 0.0, 1e-6) << "components " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(PcaTest, DeterministicAcrossRuns) {
+  std::vector<Image> bands = CorrelatedScene();
+  ASSERT_OK_AND_ASSIGN(PcaResult a, Pca(Ptrs(bands)));
+  ASSERT_OK_AND_ASSIGN(PcaResult b, Pca(Ptrs(bands)));
+  for (size_t i = 0; i < a.components.size(); ++i) {
+    EXPECT_EQ(a.components[i], b.components[i]);
+  }
+}
+
+TEST(SpcaTest, DiffersFromPcaOnUnequalVariances) {
+  // Scale one band so its variance dominates: PCA follows it, SPCA (being
+  // correlation-based) does not — the crux of Eastman's comparison.
+  std::vector<Image> bands = CorrelatedScene();
+  ASSERT_OK_AND_ASSIGN(Image scaled, ImgScale(bands[0], 100.0));
+  std::vector<const Image*> ptrs = {&scaled, &bands[1], &bands[2], &bands[3]};
+  ASSERT_OK_AND_ASSIGN(PcaResult pca, Pca(ptrs, 1));
+  ASSERT_OK_AND_ASSIGN(PcaResult spca, Spca(ptrs, 1));
+  // PCA's first loading is dominated by the scaled band.
+  EXPECT_GT(std::fabs(pca.loadings(0, 0)), 0.99);
+  // SPCA's is not.
+  EXPECT_LT(std::fabs(spca.loadings(0, 0)), 0.9);
+}
+
+TEST(SpcaTest, EigenvaluesSumToBandCount) {
+  // Correlation matrices have unit diagonal: trace = nbands.
+  std::vector<Image> bands = CorrelatedScene();
+  ASSERT_OK_AND_ASSIGN(PcaResult res, Spca(Ptrs(bands)));
+  double total = 0;
+  for (double v : res.eigenvalues) total += v;
+  EXPECT_NEAR(total, 4.0, 1e-9);
+}
+
+TEST(PcaTest, TwoBandAnalyticCase) {
+  // Two identical bands (up to sign): first component captures everything.
+  ASSERT_OK_AND_ASSIGN(
+      Image a, Image::FromValues(2, 2, {1, 2, 3, 4}));
+  ASSERT_OK_AND_ASSIGN(
+      Image b, Image::FromValues(2, 2, {2, 4, 6, 8}));
+  ASSERT_OK_AND_ASSIGN(PcaResult res, Pca({&a, &b}));
+  EXPECT_NEAR(res.eigenvalues[1], 0.0, 1e-9);
+  EXPECT_GT(res.eigenvalues[0], 0.0);
+}
+
+}  // namespace
+}  // namespace gaea

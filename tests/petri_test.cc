@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include "catalog/class_def.h"
+#include "core/petri.h"
+#include "test_util.h"
+
+namespace gaea {
+namespace {
+
+// Builds a chain of classes c0 -> c1 -> ... -> c{n-1}, where each c{i+1} is
+// produced from c{i} by process p{i} with the given threshold.
+struct NetFixture {
+  ClassRegistry classes;
+  ProcessRegistry processes;
+  std::map<std::string, ClassId> ids;
+
+  Status AddClass(const std::string& name) {
+    ClassDef def(name, ClassKind::kBase);
+    GAEA_RETURN_IF_ERROR(def.AddAttribute({"data", TypeId::kInt, "int4", ""}));
+    GAEA_ASSIGN_OR_RETURN(ClassId id, classes.Register(std::move(def)));
+    ids[name] = id;
+    return Status::OK();
+  }
+
+  // Process `name` deriving `output` from SETOF `input` with threshold.
+  Status AddProcess(const std::string& name, const std::string& input,
+                    const std::string& output, int threshold = 1) {
+    ProcessDef def(name, output);
+    GAEA_RETURN_IF_ERROR(
+        def.AddArg({"in", input, threshold > 1, threshold}));
+    GAEA_RETURN_IF_ERROR(
+        def.AddMapping("data", Expr::Literal(Value::Int(0))));
+    return processes.Register(std::move(def)).status();
+  }
+
+  StatusOr<DerivationNet> Build() {
+    return DerivationNet::Build(classes, processes);
+  }
+
+  ClassId Id(const std::string& name) const { return ids.at(name); }
+};
+
+TEST(PetriTest, BuildMapsClassesToPlacesAndProcessesToTransitions) {
+  NetFixture f;
+  ASSERT_OK(f.AddClass("landsat"));
+  ASSERT_OK(f.AddClass("landcover"));
+  ASSERT_OK(f.AddProcess("classify", "landsat", "landcover", 3));
+  ASSERT_OK_AND_ASSIGN(DerivationNet net, f.Build());
+  EXPECT_EQ(net.places().size(), 2u);
+  ASSERT_EQ(net.transitions().size(), 1u);
+  const DerivationNet::Transition& t = net.transitions()[0];
+  EXPECT_EQ(t.process_name, "classify");
+  ASSERT_EQ(t.inputs.size(), 1u);
+  EXPECT_EQ(t.inputs[0].second, 3);  // threshold from min_card
+  EXPECT_EQ(t.output, f.Id("landcover"));
+  EXPECT_EQ(net.Producers(f.Id("landcover")).size(), 1u);
+  EXPECT_TRUE(net.Producers(f.Id("landsat")).empty());
+}
+
+TEST(PetriTest, EnabledRespectsThreshold) {
+  NetFixture f;
+  ASSERT_OK(f.AddClass("landsat"));
+  ASSERT_OK(f.AddClass("landcover"));
+  ASSERT_OK(f.AddProcess("classify", "landsat", "landcover", 3));
+  ASSERT_OK_AND_ASSIGN(DerivationNet net, f.Build());
+  const auto& t = net.transitions()[0];
+  DerivationNet::Marking m;
+  EXPECT_FALSE(DerivationNet::Enabled(t, m));
+  m[f.Id("landsat")] = 2;
+  EXPECT_FALSE(DerivationNet::Enabled(t, m));
+  m[f.Id("landsat")] = 3;
+  EXPECT_TRUE(DerivationNet::Enabled(t, m));
+  m[f.Id("landsat")] = 10;  // more tokens than threshold is fine
+  EXPECT_TRUE(DerivationNet::Enabled(t, m));
+}
+
+TEST(PetriTest, FireIsNonConsuming) {
+  // Paper modification 1: tokens are not removed on firing.
+  NetFixture f;
+  ASSERT_OK(f.AddClass("a"));
+  ASSERT_OK(f.AddClass("b"));
+  ASSERT_OK(f.AddProcess("p", "a", "b", 2));
+  ASSERT_OK_AND_ASSIGN(DerivationNet net, f.Build());
+  DerivationNet::Marking m{{f.Id("a"), 2}};
+  DerivationNet::Fire(net.transitions()[0], &m);
+  EXPECT_EQ(m[f.Id("a")], 2);  // unchanged
+  EXPECT_EQ(m[f.Id("b")], 1);
+  // Still enabled: can fire again.
+  EXPECT_TRUE(DerivationNet::Enabled(net.transitions()[0], m));
+}
+
+TEST(PetriTest, ReachabilityClosure) {
+  NetFixture f;
+  for (const char* name : {"a", "b", "c", "d"}) ASSERT_OK(f.AddClass(name));
+  ASSERT_OK(f.AddProcess("p_ab", "a", "b"));
+  ASSERT_OK(f.AddProcess("p_bc", "b", "c"));
+  // d has no producer.
+  ASSERT_OK_AND_ASSIGN(DerivationNet net, f.Build());
+  DerivationNet::Marking m{{f.Id("a"), 1}};
+  std::set<ClassId> reachable = net.ReachableClasses(m);
+  EXPECT_EQ(reachable,
+            (std::set<ClassId>{f.Id("a"), f.Id("b"), f.Id("c")}));
+  EXPECT_TRUE(net.CanDerive(f.Id("c"), m));
+  EXPECT_FALSE(net.CanDerive(f.Id("d"), m));
+  // Empty marking reaches nothing.
+  EXPECT_TRUE(net.ReachableClasses({}).empty());
+}
+
+TEST(PetriTest, ReachabilityBlockedByThreshold) {
+  NetFixture f;
+  ASSERT_OK(f.AddClass("img"));
+  ASSERT_OK(f.AddClass("pca_out"));
+  ASSERT_OK(f.AddProcess("pca", "img", "pca_out", 2));
+  ASSERT_OK_AND_ASSIGN(DerivationNet net, f.Build());
+  // One image is not enough for PCA (threshold 2).
+  EXPECT_FALSE(net.CanDerive(f.Id("pca_out"), {{f.Id("img"), 1}}));
+  EXPECT_TRUE(net.CanDerive(f.Id("pca_out"), {{f.Id("img"), 2}}));
+}
+
+TEST(PetriTest, PlanFiringSequenceChain) {
+  NetFixture f;
+  for (const char* name : {"a", "b", "c"}) ASSERT_OK(f.AddClass(name));
+  ASSERT_OK(f.AddProcess("p_ab", "a", "b"));
+  ASSERT_OK(f.AddProcess("p_bc", "b", "c"));
+  ASSERT_OK_AND_ASSIGN(DerivationNet net, f.Build());
+  ASSERT_OK_AND_ASSIGN(
+      auto plan, net.PlanFiringSequence(f.Id("c"), 1, {{f.Id("a"), 1}}));
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0]->process_name, "p_ab");
+  EXPECT_EQ(plan[1]->process_name, "p_bc");
+  // Already-stored target needs no firings.
+  ASSERT_OK_AND_ASSIGN(
+      auto empty, net.PlanFiringSequence(f.Id("c"), 1, {{f.Id("c"), 1}}));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(PetriTest, PlanProducesMultipleTokens) {
+  NetFixture f;
+  ASSERT_OK(f.AddClass("a"));
+  ASSERT_OK(f.AddClass("b"));
+  ASSERT_OK(f.AddProcess("p", "a", "b"));
+  ASSERT_OK_AND_ASSIGN(DerivationNet net, f.Build());
+  // Need 3 b-objects from one a-object: fire p three times (inputs reused).
+  ASSERT_OK_AND_ASSIGN(
+      auto plan, net.PlanFiringSequence(f.Id("b"), 3, {{f.Id("a"), 1}}));
+  EXPECT_EQ(plan.size(), 3u);
+}
+
+TEST(PetriTest, PlanUnderivableWhenNoBaseData) {
+  NetFixture f;
+  for (const char* name : {"a", "b"}) ASSERT_OK(f.AddClass(name));
+  ASSERT_OK(f.AddProcess("p", "a", "b"));
+  ASSERT_OK_AND_ASSIGN(DerivationNet net, f.Build());
+  auto plan = net.PlanFiringSequence(f.Id("b"), 1, {});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kUnderivable);
+}
+
+TEST(PetriTest, SelfLoopInterpolationTerminates) {
+  // P5 in Figure 2: a process deriving a class from itself (interpolation).
+  NetFixture f;
+  ASSERT_OK(f.AddClass("c"));
+  ASSERT_OK(f.AddProcess("interpolate", "c", "c", 2));
+  ASSERT_OK_AND_ASSIGN(DerivationNet net, f.Build());
+  // With two stored objects the self-loop can make a third.
+  ASSERT_OK_AND_ASSIGN(
+      auto plan, net.PlanFiringSequence(f.Id("c"), 3, {{f.Id("c"), 2}}));
+  EXPECT_EQ(plan.size(), 1u);
+  // From nothing, the self-loop cannot bootstrap: must terminate, not hang.
+  auto stuck = net.PlanFiringSequence(f.Id("c"), 1, {});
+  ASSERT_FALSE(stuck.ok());
+  EXPECT_EQ(stuck.status().code(), StatusCode::kUnderivable);
+}
+
+TEST(PetriTest, TwoInputTransition) {
+  // detect-change needs both a before and an after landcover (accumulated
+  // thresholds on one class).
+  NetFixture f;
+  ASSERT_OK(f.AddClass("landcover"));
+  ASSERT_OK(f.AddClass("changes"));
+  ProcessDef detect("detect", "changes");
+  ASSERT_OK(detect.AddArg({"before", "landcover", false, 1}));
+  ASSERT_OK(detect.AddArg({"after", "landcover", false, 1}));
+  ASSERT_OK(detect.AddMapping("data", Expr::Literal(Value::Int(0))));
+  ASSERT_OK(f.processes.Register(std::move(detect)).status());
+  ASSERT_OK_AND_ASSIGN(DerivationNet net, f.Build());
+  const auto& t = net.transitions()[0];
+  ASSERT_EQ(t.inputs.size(), 1u);
+  EXPECT_EQ(t.inputs[0].second, 2);  // 1 + 1 accumulated
+  EXPECT_FALSE(net.CanDerive(f.Id("changes"), {{f.Id("landcover"), 1}}));
+  EXPECT_TRUE(net.CanDerive(f.Id("changes"), {{f.Id("landcover"), 2}}));
+}
+
+TEST(PetriTest, AlternativeProducersFallBack) {
+  // Two processes derive the same class from different sources; planning
+  // succeeds when either source has data.
+  NetFixture f;
+  for (const char* name : {"src1", "src2", "out"}) ASSERT_OK(f.AddClass(name));
+  ASSERT_OK(f.AddProcess("from1", "src1", "out"));
+  ASSERT_OK(f.AddProcess("from2", "src2", "out"));
+  ASSERT_OK_AND_ASSIGN(DerivationNet net, f.Build());
+  ASSERT_OK_AND_ASSIGN(
+      auto plan1, net.PlanFiringSequence(f.Id("out"), 1, {{f.Id("src1"), 1}}));
+  EXPECT_EQ(plan1[0]->process_name, "from1");
+  ASSERT_OK_AND_ASSIGN(
+      auto plan2, net.PlanFiringSequence(f.Id("out"), 1, {{f.Id("src2"), 1}}));
+  EXPECT_EQ(plan2[0]->process_name, "from2");
+}
+
+TEST(PetriTest, RequiredInitialMarkingBackwardQuery) {
+  // "given a final marking, try to find the initial marking which can lead
+  // to this marking".
+  NetFixture f;
+  for (const char* name : {"landsat", "landcover", "changes"}) {
+    ASSERT_OK(f.AddClass(name));
+  }
+  ASSERT_OK(f.AddProcess("classify", "landsat", "landcover", 3));
+  ASSERT_OK(f.AddProcess("detect", "landcover", "changes", 2));
+  ASSERT_OK_AND_ASSIGN(DerivationNet net, f.Build());
+  ASSERT_OK_AND_ASSIGN(DerivationNet::Marking required,
+                       net.RequiredInitialMarking(f.Id("changes")));
+  // Needs 3 landsat scenes (classify threshold); landcover is intermediate.
+  EXPECT_EQ(required.size(), 1u);
+  EXPECT_EQ(required[f.Id("landsat")], 3);
+  // A base class requires nothing beyond itself... trivially empty or one.
+  auto base_req = net.RequiredInitialMarking(f.Id("landsat"));
+  ASSERT_TRUE(base_req.ok());
+}
+
+class ChainDepthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainDepthTest, DeepChainsPlanLinearly) {
+  int depth = GetParam();
+  NetFixture f;
+  for (int i = 0; i <= depth; ++i) {
+    ASSERT_OK(f.AddClass("c" + std::to_string(i)));
+  }
+  for (int i = 0; i < depth; ++i) {
+    ASSERT_OK(f.AddProcess("p" + std::to_string(i), "c" + std::to_string(i),
+                           "c" + std::to_string(i + 1)));
+  }
+  ASSERT_OK_AND_ASSIGN(DerivationNet net, f.Build());
+  DerivationNet::Marking m{{f.Id("c0"), 1}};
+  ASSERT_OK_AND_ASSIGN(
+      auto plan,
+      net.PlanFiringSequence(f.Id("c" + std::to_string(depth)), 1, m));
+  EXPECT_EQ(plan.size(), static_cast<size_t>(depth));
+  // Plan is in dependency order.
+  for (int i = 0; i < depth; ++i) {
+    EXPECT_EQ(plan[i]->process_name, "p" + std::to_string(i));
+  }
+  EXPECT_TRUE(net.CanDerive(f.Id("c" + std::to_string(depth)), m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ChainDepthTest,
+                         ::testing::Values(1, 2, 5, 10, 50, 200));
+
+// Cross-validation on random DAG nets: a class is forward-reachable iff the
+// backward-chaining planner finds a firing sequence for it, and executing
+// the planned sequence really does mark the target.
+class PetriCrossValidationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PetriCrossValidationTest, ReachabilityMatchesPlannability) {
+  uint64_t state = GetParam() * 0xD1B54A32D192ED03ull + 11;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  NetFixture f;
+  constexpr int kClasses = 24;
+  for (int i = 0; i < kClasses; ++i) {
+    ASSERT_OK(f.AddClass("c" + std::to_string(i)));
+  }
+  // Random forward edges (from lower to higher index => acyclic), random
+  // thresholds 1..3. Roughly two producers per non-source class.
+  int process_counter = 0;
+  for (int to = 1; to < kClasses; ++to) {
+    int producers = 1 + static_cast<int>(next() % 2);
+    for (int p = 0; p < producers; ++p) {
+      int from = static_cast<int>(next() % to);
+      int threshold = 1 + static_cast<int>(next() % 3);
+      ASSERT_OK(f.AddProcess("p" + std::to_string(process_counter++),
+                             "c" + std::to_string(from),
+                             "c" + std::to_string(to), threshold));
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(DerivationNet net, f.Build());
+
+  // Random initial marking over the first few classes.
+  DerivationNet::Marking initial;
+  for (int i = 0; i < 4; ++i) {
+    int cls = static_cast<int>(next() % 6);
+    initial[f.Id("c" + std::to_string(cls))] += 1 + (next() % 3);
+  }
+
+  std::set<ClassId> reachable = net.ReachableClasses(initial);
+  for (int i = 0; i < kClasses; ++i) {
+    ClassId target = f.Id("c" + std::to_string(i));
+    auto plan = net.PlanFiringSequence(target, 1, initial);
+    EXPECT_EQ(plan.ok(), reachable.count(target) > 0)
+        << "class c" << i << ": reachability and planner disagree ("
+        << plan.status().ToString() << ")";
+    if (plan.ok()) {
+      // Execute the plan: the target must end up marked, and every firing
+      // must have been enabled when taken.
+      DerivationNet::Marking marking = initial;
+      for (const DerivationNet::Transition* t : *plan) {
+        EXPECT_TRUE(DerivationNet::Enabled(*t, marking))
+            << "plan fired a disabled transition for c" << i;
+        DerivationNet::Fire(*t, &marking);
+      }
+      EXPECT_GE(marking[target], 1) << "plan did not mark c" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PetriCrossValidationTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(PetriTest, DotRendering) {
+  NetFixture f;
+  ASSERT_OK(f.AddClass("landsat"));
+  ASSERT_OK(f.AddClass("landcover"));
+  ASSERT_OK(f.AddProcess("classify", "landsat", "landcover", 3));
+  ASSERT_OK_AND_ASSIGN(DerivationNet net, f.Build());
+  std::string dot = net.ToDot(f.classes);
+  EXPECT_NE(dot.find("digraph derivation_net"), std::string::npos);
+  EXPECT_NE(dot.find("landcover"), std::string::npos);
+  EXPECT_NE(dot.find(">=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gaea

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "catalog/class_def.h"
+#include "core/process.h"
+#include "core/process_registry.h"
+#include "test_util.h"
+#include "types/op_registry.h"
+
+namespace gaea {
+namespace {
+
+// Registry with the classes of the Figure 3 scenario.
+class ProcessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(RegisterBuiltinOperators(&ops_));
+
+    ClassDef landsat("landsat_tm", ClassKind::kBase);
+    ASSERT_OK(landsat.AddAttribute({"data", TypeId::kImage, "image", ""}));
+    ASSERT_OK(
+        landsat.AddAttribute({"spatialextent", TypeId::kBox, "box", ""}));
+    ASSERT_OK(
+        landsat.AddAttribute({"timestamp", TypeId::kTime, "abstime", ""}));
+    ASSERT_OK(landsat.SetSpatialExtent("spatialextent"));
+    ASSERT_OK(landsat.SetTemporalExtent("timestamp"));
+    ASSERT_OK(classes_.Register(std::move(landsat)).status());
+
+    ClassDef landcover("landcover", ClassKind::kDerived);
+    ASSERT_OK(landcover.AddAttribute({"numclass", TypeId::kInt, "int4", ""}));
+    ASSERT_OK(landcover.AddAttribute({"data", TypeId::kImage, "image", ""}));
+    ASSERT_OK(
+        landcover.AddAttribute({"spatialextent", TypeId::kBox, "box", ""}));
+    ASSERT_OK(
+        landcover.AddAttribute({"timestamp", TypeId::kTime, "abstime", ""}));
+    ASSERT_OK(landcover.SetSpatialExtent("spatialextent"));
+    ASSERT_OK(landcover.SetTemporalExtent("timestamp"));
+    ASSERT_OK(landcover.SetDerivedBy("unsupervised-classification"));
+    ASSERT_OK(classes_.Register(std::move(landcover)).status());
+  }
+
+  // The paper's P20 process, complete.
+  ProcessDef Figure3Process() {
+    ProcessDef def("unsupervised-classification", "landcover");
+    EXPECT_TRUE(
+        def.AddArg({"bands", "landsat_tm", /*setof=*/true, /*min_card=*/3})
+            .ok());
+    EXPECT_TRUE(def.AddParam("numclass", Value::Int(12)).ok());
+    EXPECT_TRUE(def.AddAssertion(Expr::OpCall(
+                       "ge", {Expr::Card("bands"),
+                              Expr::Literal(Value::Int(3))}))
+                    .ok());
+    EXPECT_TRUE(
+        def.AddAssertion(Expr::Common(Expr::AttrRef("bands", "spatialextent")))
+            .ok());
+    EXPECT_TRUE(
+        def.AddAssertion(Expr::Common(Expr::AttrRef("bands", "timestamp")))
+            .ok());
+    EXPECT_TRUE(def.AddMapping(
+                       "data", Expr::OpCall("unsuperclassify",
+                                            {Expr::OpCall("composite",
+                                                          {Expr::AttrRef(
+                                                              "bands", "data")}),
+                                             Expr::Param("numclass")}))
+                    .ok());
+    EXPECT_TRUE(def.AddMapping("numclass", Expr::Param("numclass")).ok());
+    EXPECT_TRUE(def.AddMapping("spatialextent",
+                               Expr::AnyOf(Expr::AttrRef("bands",
+                                                         "spatialextent")))
+                    .ok());
+    EXPECT_TRUE(def.AddMapping("timestamp",
+                               Expr::AnyOf(Expr::AttrRef("bands", "timestamp")))
+                    .ok());
+    return def;
+  }
+
+  ClassRegistry classes_;
+  OperatorRegistry ops_;
+};
+
+TEST_F(ProcessTest, Figure3Validates) {
+  ProcessDef def = Figure3Process();
+  EXPECT_OK(def.Validate(classes_, ops_));
+}
+
+TEST_F(ProcessTest, ArgumentValidation) {
+  ProcessDef def("p", "landcover");
+  EXPECT_FALSE(def.AddArg({"bad name", "landsat_tm", false, 1}).ok());
+  ASSERT_OK(def.AddArg({"bands", "landsat_tm", true, 3}));
+  EXPECT_EQ(def.AddArg({"bands", "landsat_tm", true, 3}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(def.AddArg({"x", "landsat_tm", true, 0}).ok());
+  EXPECT_FALSE(def.AddArg({"y", "landsat_tm", false, 2}).ok());
+  ASSERT_OK_AND_ASSIGN(const ProcessArg* arg, def.FindArg("bands"));
+  EXPECT_EQ(arg->min_card, 3);
+  EXPECT_FALSE(def.FindArg("ghost").ok());
+}
+
+TEST_F(ProcessTest, ValidateCatchesMissingMapping) {
+  ProcessDef def = Figure3Process();
+  // Build a copy missing the numclass mapping.
+  ProcessDef incomplete("p2", "landcover");
+  ASSERT_OK(incomplete.AddArg({"bands", "landsat_tm", true, 3}));
+  ASSERT_OK(incomplete.AddMapping(
+      "data", Expr::OpCall("unsuperclassify",
+                           {Expr::OpCall("composite",
+                                         {Expr::AttrRef("bands", "data")}),
+                            Expr::Literal(Value::Int(4))})));
+  Status s = incomplete.Validate(classes_, ops_);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("no mapping for output attribute"),
+            std::string::npos);
+}
+
+TEST_F(ProcessTest, ValidateCatchesTypeMismatch) {
+  ProcessDef def("p3", "landcover");
+  ASSERT_OK(def.AddArg({"bands", "landsat_tm", true, 2}));
+  // Mapping an image expression into the int attribute.
+  ASSERT_OK(def.AddMapping("numclass",
+                           Expr::AnyOf(Expr::AttrRef("bands", "data"))));
+  Status s = def.Validate(classes_, ops_);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProcessTest, ValidateCatchesNonBoolAssertion) {
+  ProcessDef def("p4", "landcover");
+  ASSERT_OK(def.AddArg({"bands", "landsat_tm", true, 2}));
+  ASSERT_OK(def.AddAssertion(Expr::Card("bands")));  // int, not bool
+  Status s = def.Validate(classes_, ops_);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("must be bool"), std::string::npos);
+}
+
+TEST_F(ProcessTest, ValidateCatchesUnknownClasses) {
+  ProcessDef def("p5", "no_such_class");
+  ASSERT_OK(def.AddArg({"x", "landsat_tm", false, 1}));
+  EXPECT_EQ(def.Validate(classes_, ops_).code(), StatusCode::kNotFound);
+
+  ProcessDef def2("p6", "landcover");
+  ASSERT_OK(def2.AddArg({"x", "no_such_class", false, 1}));
+  EXPECT_EQ(def2.Validate(classes_, ops_).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ProcessTest, StructuralEqualityDistinguishesParameters) {
+  // "the same derivation method with different parameters represents
+  // different processes" (paper §2.1.2).
+  ProcessDef a("desert-by-rainfall", "landcover");
+  ASSERT_OK(a.AddArg({"x", "landsat_tm", false, 1}));
+  ASSERT_OK(a.AddParam("rainfall_mm", Value::Int(250)));
+  ProcessDef b("desert-by-rainfall", "landcover");
+  ASSERT_OK(b.AddArg({"x", "landsat_tm", false, 1}));
+  ASSERT_OK(b.AddParam("rainfall_mm", Value::Int(200)));
+  EXPECT_FALSE(a.StructurallyEquals(b));
+  ProcessDef c("other-name", "landcover");
+  ASSERT_OK(c.AddArg({"x", "landsat_tm", false, 1}));
+  ASSERT_OK(c.AddParam("rainfall_mm", Value::Int(250)));
+  EXPECT_TRUE(a.StructurallyEquals(c));  // name is identity, not structure
+}
+
+TEST_F(ProcessTest, DdlRendering) {
+  ProcessDef def = Figure3Process();
+  std::string ddl = def.ToDdl();
+  EXPECT_NE(ddl.find("DEFINE PROCESS unsupervised-classification"),
+            std::string::npos);
+  EXPECT_NE(ddl.find("OUTPUT landcover"), std::string::npos);
+  EXPECT_NE(ddl.find("SETOF landsat_tm bands"), std::string::npos);
+  EXPECT_NE(ddl.find("common(bands.spatialextent)"), std::string::npos);
+  EXPECT_NE(ddl.find("landcover.data = unsuperclassify"), std::string::npos);
+}
+
+TEST_F(ProcessTest, SerializationRoundTrip) {
+  ProcessDef def = Figure3Process();
+  def.set_version(3);
+  BinaryWriter w;
+  def.Serialize(&w);
+  BinaryReader r(w.buffer());
+  ASSERT_OK_AND_ASSIGN(ProcessDef back, ProcessDef::Deserialize(&r));
+  EXPECT_EQ(back.name(), def.name());
+  EXPECT_EQ(back.version(), 3);
+  EXPECT_TRUE(back.StructurallyEquals(def));
+  EXPECT_OK(back.Validate(classes_, ops_));
+}
+
+// ---- registry ----
+
+TEST_F(ProcessTest, RegistryVersionsNeverOverwrite) {
+  ProcessRegistry reg;
+  ASSERT_OK_AND_ASSIGN(int v1, reg.Register(Figure3Process()));
+  EXPECT_EQ(v1, 1);
+  // Edit: different parameter -> new version.
+  ProcessDef edited = Figure3Process();
+  ProcessDef fresh("unsupervised-classification", "landcover");
+  ASSERT_OK(fresh.AddArg({"bands", "landsat_tm", true, 3}));
+  ASSERT_OK(fresh.AddParam("numclass", Value::Int(6)));
+  ASSERT_OK_AND_ASSIGN(int v2, reg.Register(std::move(fresh)));
+  EXPECT_EQ(v2, 2);
+  // Both versions remain addressable.
+  EXPECT_EQ(reg.Latest("unsupervised-classification").value()->version(), 2);
+  ASSERT_OK_AND_ASSIGN(
+      const ProcessDef* old,
+      reg.Version("unsupervised-classification", 1));
+  EXPECT_EQ(old->params().at("numclass"), Value::Int(12));
+  ASSERT_OK_AND_ASSIGN(auto history, reg.History("unsupervised-classification"));
+  EXPECT_EQ(history.size(), 2u);
+}
+
+TEST_F(ProcessTest, RegistryRejectsIdenticalStructure) {
+  ProcessRegistry reg;
+  ASSERT_OK(reg.Register(Figure3Process()).status());
+  EXPECT_EQ(reg.Register(Figure3Process()).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ProcessTest, RegistryLookupsAndProducing) {
+  ProcessRegistry reg;
+  ASSERT_OK(reg.Register(Figure3Process()).status());
+  EXPECT_TRUE(reg.Contains("unsupervised-classification"));
+  EXPECT_FALSE(reg.Contains("ghost"));
+  EXPECT_EQ(reg.Latest("ghost").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(reg.Version("unsupervised-classification", 9).status().code(),
+            StatusCode::kNotFound);
+  std::vector<const ProcessDef*> producing = reg.Producing("landcover");
+  ASSERT_EQ(producing.size(), 1u);
+  EXPECT_EQ(producing[0]->name(), "unsupervised-classification");
+  EXPECT_TRUE(reg.Producing("landsat_tm").empty());
+}
+
+}  // namespace
+}  // namespace gaea

@@ -1,0 +1,266 @@
+// Cross-module property tests: DDL round-trips (render -> parse -> same
+// structure), algebraic laws of the raster operators, randomized heap-file
+// fuzzing against a reference model, and box algebra sweeps.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <variant>
+
+#include "catalog/class_def.h"
+#include "core/process.h"
+#include "ddl/parser.h"
+#include "raster/image_ops.h"
+#include "raster/scene.h"
+#include "storage/heap_file.h"
+#include "test_util.h"
+
+namespace gaea {
+namespace {
+
+using ::gaea::testing::TempDir;
+
+// ---- DDL round-trip -------------------------------------------------------
+
+TEST(DdlRoundTripTest, ClassDefSurvivesRenderParse) {
+  ClassDef def("landcover", ClassKind::kBase);
+  ASSERT_OK(def.AddAttribute({"area", TypeId::kString, "char16", "area name"}));
+  ASSERT_OK(def.AddAttribute({"numclass", TypeId::kInt, "int4", ""}));
+  ASSERT_OK(def.AddAttribute({"resolution", TypeId::kDouble, "float4", ""}));
+  ASSERT_OK(def.AddAttribute({"data", TypeId::kImage, "image", ""}));
+  ASSERT_OK(def.AddAttribute({"spatialextent", TypeId::kBox, "box", ""}));
+  ASSERT_OK(def.AddAttribute({"timestamp", TypeId::kTime, "abstime", ""}));
+  ASSERT_OK(def.SetSpatialExtent("spatialextent"));
+  ASSERT_OK(def.SetTemporalExtent("timestamp"));
+  ASSERT_OK(def.SetDerivedBy("unsupervised-classification"));
+
+  ASSERT_OK_AND_ASSIGN(ParsedStatement stmt, ParseStatement(def.ToDdl()));
+  auto* parsed = std::get_if<ClassDef>(&stmt);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->name(), def.name());
+  EXPECT_EQ(parsed->kind(), def.kind());
+  EXPECT_EQ(parsed->derived_by(), def.derived_by());
+  EXPECT_EQ(parsed->spatial_attr(), def.spatial_attr());
+  EXPECT_EQ(parsed->temporal_attr(), def.temporal_attr());
+  ASSERT_EQ(parsed->attributes().size(), def.attributes().size());
+  for (size_t i = 0; i < def.attributes().size(); ++i) {
+    EXPECT_EQ(parsed->attributes()[i].name, def.attributes()[i].name);
+    EXPECT_EQ(parsed->attributes()[i].type, def.attributes()[i].type);
+  }
+}
+
+TEST(DdlRoundTripTest, ProcessDefSurvivesRenderParse) {
+  ProcessDef def("unsupervised-classification", "landcover");
+  ASSERT_OK(def.AddArg({"bands", "landsat_tm", true, 3}));
+  ASSERT_OK(def.AddArg({"mask", "cloud_mask", false, 1}));
+  ASSERT_OK(def.AddParam("numclass", Value::Int(12)));
+  ASSERT_OK(def.AddParam("cutoff", Value::Double(0.25)));
+  ASSERT_OK(def.AddParam("method", Value::String("kmeans")));
+  ASSERT_OK(def.AddAssertion(Expr::OpCall(
+      "ge", {Expr::Card("bands"), Expr::Literal(Value::Int(3))})));
+  ASSERT_OK(def.AddAssertion(
+      Expr::Common(Expr::AttrRef("bands", "spatialextent"))));
+  ASSERT_OK(def.AddMapping(
+      "data", Expr::OpCall("unsuperclassify",
+                           {Expr::OpCall("composite",
+                                         {Expr::AttrRef("bands", "data")}),
+                            Expr::Param("numclass")})));
+  ASSERT_OK(def.AddMapping("spatialextent",
+                           Expr::AnyOf(Expr::AttrRef("bands",
+                                                     "spatialextent"))));
+
+  ASSERT_OK_AND_ASSIGN(ParsedStatement stmt, ParseStatement(def.ToDdl()));
+  auto* parsed = std::get_if<ProcessDef>(&stmt);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->name(), def.name());
+  EXPECT_TRUE(parsed->StructurallyEquals(def))
+      << "rendered:\n" << def.ToDdl() << "\nreparsed:\n" << parsed->ToDdl();
+}
+
+TEST(DdlRoundTripTest, MinCardSurvives) {
+  ProcessDef def("p", "out");
+  ASSERT_OK(def.AddArg({"xs", "c", true, 7}));
+  ASSERT_OK(def.AddMapping("data", Expr::Literal(Value::Int(1))));
+  // ToDdl must render MIN 7 for the round trip to hold.
+  std::string ddl = def.ToDdl();
+  ASSERT_OK_AND_ASSIGN(ParsedStatement stmt, ParseStatement(ddl));
+  auto* parsed = std::get_if<ProcessDef>(&stmt);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->args()[0].min_card, 7) << ddl;
+}
+
+// ---- raster algebra --------------------------------------------------------
+
+class RasterAlgebraTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  std::vector<Image> Bands() {
+    SceneSpec spec;
+    spec.nrow = 12;
+    spec.ncol = 12;
+    spec.nbands = 3;
+    spec.seed = GetParam();
+    return GenerateScene(spec).value();
+  }
+  static bool AlmostEqual(const Image& a, const Image& b, double tol = 1e-12) {
+    if (!a.SameShape(b)) return false;
+    for (int r = 0; r < a.nrow(); ++r) {
+      for (int c = 0; c < a.ncol(); ++c) {
+        if (std::fabs(a.Get(r, c) - b.Get(r, c)) > tol) return false;
+      }
+    }
+    return true;
+  }
+};
+
+TEST_P(RasterAlgebraTest, SubtractionAntisymmetric) {
+  auto bands = Bands();
+  Image ab = ImgSubtract(bands[0], bands[1]).value();
+  Image ba = ImgSubtract(bands[1], bands[0]).value();
+  EXPECT_TRUE(AlmostEqual(ab, ImgScale(ba, -1.0).value()));
+}
+
+TEST_P(RasterAlgebraTest, AdditionCommutativeAssociative) {
+  auto bands = Bands();
+  Image ab = ImgAdd(bands[0], bands[1]).value();
+  Image ba = ImgAdd(bands[1], bands[0]).value();
+  EXPECT_TRUE(AlmostEqual(ab, ba));
+  Image abc1 = ImgAdd(ab, bands[2]).value();
+  Image abc2 = ImgAdd(bands[0], ImgAdd(bands[1], bands[2]).value()).value();
+  EXPECT_TRUE(AlmostEqual(abc1, abc2, 1e-9));
+}
+
+TEST_P(RasterAlgebraTest, NdviAntisymmetric) {
+  auto bands = Bands();
+  Image ndvi_ab = Ndvi(bands[0], bands[1]).value();
+  Image ndvi_ba = Ndvi(bands[1], bands[0]).value();
+  EXPECT_TRUE(AlmostEqual(ndvi_ab, ImgScale(ndvi_ba, -1.0).value(), 1e-9));
+}
+
+TEST_P(RasterAlgebraTest, BlendWeightSymmetry) {
+  auto bands = Bands();
+  Image w03 = BlendLinear(bands[0], bands[1], 0.3).value();
+  Image w07 = BlendLinear(bands[1], bands[0], 0.7).value();
+  EXPECT_TRUE(AlmostEqual(w03, w07, 1e-12));
+}
+
+TEST_P(RasterAlgebraTest, ResampleIdentityAtSameSize) {
+  auto bands = Bands();
+  Image same = Resample(bands[0], 12, 12, ResampleMethod::kBilinear).value();
+  EXPECT_TRUE(AlmostEqual(same, bands[0], 1e-9));
+}
+
+TEST_P(RasterAlgebraTest, AgreementReflexiveSymmetric) {
+  auto bands = Bands();
+  EXPECT_EQ(AgreementRatio(bands[0], bands[0]).value(), 1.0);
+  double ab = AgreementRatio(bands[0], bands[1]).value();
+  double ba = AgreementRatio(bands[1], bands[0]).value();
+  EXPECT_EQ(ab, ba);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RasterAlgebraTest,
+                         ::testing::Values(1, 2, 3, 42, 99));
+
+// ---- heap file fuzz ---------------------------------------------------------
+
+class HeapFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HeapFuzzTest, RandomOpsAgreeWithReferenceModel) {
+  uint64_t state = GetParam() * 6364136223846793005ull + 1442695040888963407ull;
+  auto next = [&state]() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1DULL;
+  };
+
+  TempDir dir("heapfuzz");
+  auto heap = std::move(HeapFile::Open(dir.file("h.db"), 16)).value();
+  std::map<uint64_t, std::string> reference;  // rid.Encode() -> payload
+
+  for (int op = 0; op < 600; ++op) {
+    uint64_t roll = next() % 100;
+    if (roll < 55 || reference.empty()) {
+      // Insert: size from tiny to multi-page.
+      size_t size = next() % (roll < 10 ? 20000 : 200);
+      std::string payload(size, '\0');
+      for (size_t i = 0; i < size; ++i) {
+        payload[i] = static_cast<char>((next() >> 13) % 256);
+      }
+      ASSERT_OK_AND_ASSIGN(Rid rid, heap->Insert(payload));
+      ASSERT_EQ(reference.count(rid.Encode()), 0u) << "RID reuse";
+      reference[rid.Encode()] = std::move(payload);
+    } else if (roll < 80) {
+      // Read a random live record.
+      size_t pick = next() % reference.size();
+      auto it = reference.begin();
+      std::advance(it, pick);
+      ASSERT_OK_AND_ASSIGN(std::string data, heap->Read(Rid::Decode(it->first)));
+      ASSERT_EQ(data, it->second);
+    } else {
+      // Delete a random live record.
+      size_t pick = next() % reference.size();
+      auto it = reference.begin();
+      std::advance(it, pick);
+      ASSERT_OK(heap->Delete(Rid::Decode(it->first)));
+      EXPECT_EQ(heap->Read(Rid::Decode(it->first)).status().code(),
+                StatusCode::kNotFound);
+      reference.erase(it);
+    }
+  }
+
+  // Final full-scan agreement.
+  std::map<uint64_t, std::string> scanned;
+  ASSERT_OK(heap->ForEach([&scanned](const Rid& rid, const std::string& rec) {
+    scanned[rid.Encode()] = rec;
+    return Status::OK();
+  }));
+  EXPECT_EQ(scanned, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapFuzzTest, ::testing::Values(1, 2, 3, 4));
+
+// ---- box algebra -----------------------------------------------------------
+
+TEST(BoxAlgebraTest, ExhaustiveSmallSweep) {
+  // All boxes with integer corners in [0,3]^2 (including degenerate).
+  std::vector<Box> boxes;
+  for (int x0 = 0; x0 <= 3; ++x0) {
+    for (int y0 = 0; y0 <= 3; ++y0) {
+      for (int x1 = x0; x1 <= 3; ++x1) {
+        for (int y1 = y0; y1 <= 3; ++y1) {
+          boxes.emplace_back(x0, y0, x1, y1);
+        }
+      }
+    }
+  }
+  boxes.push_back(Box::Empty());
+  for (const Box& a : boxes) {
+    EXPECT_TRUE(a.Contains(a) || a.empty());
+    EXPECT_EQ(a.Overlaps(a), !a.empty());
+    for (const Box& b : boxes) {
+      // Symmetry.
+      EXPECT_EQ(a.Overlaps(b), b.Overlaps(a));
+      EXPECT_EQ(a.Jaccard(b), b.Jaccard(a));
+      // Intersection contained in both; union contains both.
+      Box inter = a.Intersect(b);
+      if (!inter.empty()) {
+        EXPECT_TRUE(a.Contains(inter));
+        EXPECT_TRUE(b.Contains(inter));
+      }
+      Box uni = a.Union(b);
+      EXPECT_TRUE(uni.Contains(a));
+      EXPECT_TRUE(uni.Contains(b));
+      // Overlap iff non-empty intersection.
+      EXPECT_EQ(a.Overlaps(b), !inter.empty());
+      // Containment implies overlap (for non-empty operands).
+      if (!a.empty() && !b.empty() && a.Contains(b)) {
+        EXPECT_TRUE(a.Overlaps(b));
+        EXPECT_EQ(inter, b);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gaea

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "query/qparser.h"
+#include "test_util.h"
+
+namespace gaea {
+namespace {
+
+TEST(QueryParserTest, MinimalSelect) {
+  ASSERT_OK_AND_ASSIGN(QueryRequest req, ParseQuery("SELECT FROM landcover"));
+  EXPECT_EQ(req.target, "landcover");
+  EXPECT_TRUE(req.filter.window.Unconstrained());
+  EXPECT_TRUE(req.filter.predicates.empty());
+  // Default strategy is the paper's full sequence.
+  ASSERT_EQ(req.strategy.size(), 3u);
+  EXPECT_EQ(req.strategy[0], QueryStep::kRetrieve);
+  EXPECT_EQ(req.strategy[1], QueryStep::kInterpolate);
+  EXPECT_EQ(req.strategy[2], QueryStep::kDerive);
+}
+
+TEST(QueryParserTest, RegionPredicate) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryRequest req,
+      ParseQuery("SELECT FROM landcover "
+                 "WHERE REGION OVERLAPS box(-20, -35, 52, 38)"));
+  ASSERT_TRUE(req.filter.window.region.has_value());
+  EXPECT_EQ(*req.filter.window.region, Box(-20, -35, 52, 38));
+}
+
+TEST(QueryParserTest, TimeInPredicate) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryRequest req,
+      ParseQuery("SELECT FROM ndvi_map "
+                 "WHERE TIME IN (\"1988-01-01\", \"1989-12-31\")"));
+  ASSERT_TRUE(req.filter.window.time.has_value());
+  EXPECT_EQ(req.filter.window.time->begin(),
+            AbsTime::FromDate(1988, 1, 1).value());
+  EXPECT_EQ(req.filter.window.time->end(),
+            AbsTime::FromDate(1989, 12, 31).value());
+}
+
+TEST(QueryParserTest, TimeAtInstantAndRawSeconds) {
+  ASSERT_OK_AND_ASSIGN(QueryRequest req,
+                       ParseQuery("SELECT FROM x WHERE TIME AT 5000"));
+  EXPECT_EQ(req.filter.window.time->begin(), AbsTime(5000));
+  EXPECT_EQ(req.filter.window.time->end(), AbsTime(5000));
+  ASSERT_OK_AND_ASSIGN(QueryRequest req2,
+                       ParseQuery("SELECT FROM x WHERE TIME IN (100, 200)"));
+  EXPECT_EQ(req2.filter.window.time->DurationSeconds(), 100);
+}
+
+TEST(QueryParserTest, AttributePredicates) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryRequest req,
+      ParseQuery("SELECT FROM landcover WHERE numclass = 12 "
+                 "AND resolution <= 30.5 AND area != \"tundra\""));
+  ASSERT_EQ(req.filter.predicates.size(), 3u);
+  EXPECT_EQ(req.filter.predicates[0].attr, "numclass");
+  EXPECT_EQ(req.filter.predicates[0].op, CompareOp::kEq);
+  EXPECT_EQ(req.filter.predicates[0].value, Value::Int(12));
+  EXPECT_EQ(req.filter.predicates[1].op, CompareOp::kLe);
+  EXPECT_EQ(req.filter.predicates[1].value, Value::Double(30.5));
+  EXPECT_EQ(req.filter.predicates[2].op, CompareOp::kNe);
+  EXPECT_EQ(req.filter.predicates[2].value, Value::String("tundra"));
+}
+
+TEST(QueryParserTest, MixedPredicates) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryRequest req,
+      ParseQuery("SELECT FROM veg WHERE REGION OVERLAPS box(0,0,1,1) "
+                 "AND TIME AT 10 AND numclass > 3"));
+  EXPECT_TRUE(req.filter.window.region.has_value());
+  EXPECT_TRUE(req.filter.window.time.has_value());
+  EXPECT_EQ(req.filter.predicates.size(), 1u);
+}
+
+TEST(QueryParserTest, UsingClause) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryRequest req,
+      ParseQuery("SELECT FROM x USING DERIVE, RETRIEVE"));
+  ASSERT_EQ(req.strategy.size(), 2u);
+  EXPECT_EQ(req.strategy[0], QueryStep::kDerive);
+  EXPECT_EQ(req.strategy[1], QueryStep::kRetrieve);
+  ASSERT_OK_AND_ASSIGN(QueryRequest req2,
+                       ParseQuery("SELECT FROM x USING INTERPOLATE"));
+  EXPECT_EQ(req2.strategy, std::vector<QueryStep>{QueryStep::kInterpolate});
+}
+
+TEST(QueryParserTest, CaseInsensitiveKeywords) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryRequest req,
+      ParseQuery("select from x where time at 1 using retrieve"));
+  EXPECT_EQ(req.target, "x");
+  EXPECT_EQ(req.strategy.size(), 1u);
+}
+
+TEST(QueryParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT landcover").ok());  // missing FROM
+  EXPECT_FALSE(ParseQuery("SELECT FROM").ok());       // missing target
+  EXPECT_FALSE(ParseQuery("SELECT FROM x WHERE").ok());
+  EXPECT_FALSE(ParseQuery("SELECT FROM x WHERE REGION box(0,0,1,1)").ok());
+  EXPECT_FALSE(ParseQuery("SELECT FROM x WHERE TIME IN (1)").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT FROM x WHERE TIME AT \"not-a-date\"").ok());
+  EXPECT_FALSE(ParseQuery("SELECT FROM x USING teleport").ok());
+  EXPECT_FALSE(ParseQuery("SELECT FROM x trailing garbage").ok());
+  EXPECT_FALSE(ParseQuery("SELECT FROM x WHERE numclass ~ 3").ok());
+}
+
+TEST(QueryParserTest, ErrorsCarryLocation) {
+  auto result = ParseQuery("SELECT FROM x\nWHERE bogus ~ 1");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gaea

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "spatial/rtree.h"
+#include "test_util.h"
+
+namespace gaea {
+namespace {
+
+using ::gaea::testing::TempDir;
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.SearchValues(Box(0, 0, 100, 100)).empty());
+  ASSERT_OK(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, RejectsEmptyBox) {
+  RTree tree;
+  EXPECT_EQ(tree.Insert(Box::Empty(), 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RTreeTest, InsertAndSearch) {
+  RTree tree;
+  ASSERT_OK(tree.Insert(Box(0, 0, 10, 10), 1));
+  ASSERT_OK(tree.Insert(Box(20, 20, 30, 30), 2));
+  ASSERT_OK(tree.Insert(Box(5, 5, 25, 25), 3));
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.SearchValues(Box(0, 0, 10, 10)),
+            (std::vector<uint64_t>{1, 3}));
+  EXPECT_EQ(tree.SearchValues(Box(26, 26, 28, 28)),
+            std::vector<uint64_t>{2});
+  EXPECT_EQ(tree.SearchValues(Box(-10, -10, -5, -5)).size(), 0u);
+  // Shared edges overlap (closed boxes).
+  EXPECT_EQ(tree.SearchValues(Box(10, 10, 12, 12)),
+            (std::vector<uint64_t>{1, 3}));
+  ASSERT_OK(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, EmptyQueryMatchesNothing) {
+  RTree tree;
+  ASSERT_OK(tree.Insert(Box(0, 0, 10, 10), 1));
+  EXPECT_TRUE(tree.SearchValues(Box::Empty()).empty());
+}
+
+TEST(RTreeTest, Remove) {
+  RTree tree;
+  ASSERT_OK(tree.Insert(Box(0, 0, 10, 10), 1));
+  ASSERT_OK(tree.Insert(Box(0, 0, 10, 10), 2));  // same box, distinct values
+  ASSERT_OK(tree.Remove(Box(0, 0, 10, 10), 1));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.SearchValues(Box(0, 0, 10, 10)), std::vector<uint64_t>{2});
+  EXPECT_EQ(tree.Remove(Box(0, 0, 10, 10), 1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.Remove(Box(99, 99, 100, 100), 2).code(),
+            StatusCode::kNotFound);
+  ASSERT_OK(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, GrowsInHeightUnderLoad) {
+  RTree tree(8);
+  for (uint64_t i = 0; i < 500; ++i) {
+    double x = static_cast<double>(i % 25) * 4;
+    double y = static_cast<double>(i / 25) * 4;
+    ASSERT_OK(tree.Insert(Box(x, y, x + 3, y + 3), i));
+  }
+  EXPECT_EQ(tree.size(), 500u);
+  EXPECT_GE(tree.height(), 3);
+  ASSERT_OK(tree.CheckInvariants());
+}
+
+// Deterministic PRNG for property sweeps.
+struct Rng {
+  uint64_t state;
+  double Uniform(double lo, double hi) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return lo + (hi - lo) * static_cast<double>(state % 100000) / 100000.0;
+  }
+};
+
+class RTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreePropertyTest, AgreesWithBruteForce) {
+  int n = GetParam();
+  Rng rng{static_cast<uint64_t>(n) * 2654435761u + 17};
+  RTree tree(8);
+  std::vector<std::pair<Box, uint64_t>> reference;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Uniform(0, 1000);
+    double y = rng.Uniform(0, 1000);
+    Box box(x, y, x + rng.Uniform(1, 50), y + rng.Uniform(1, 50));
+    ASSERT_OK(tree.Insert(box, static_cast<uint64_t>(i)));
+    reference.emplace_back(box, static_cast<uint64_t>(i));
+  }
+  ASSERT_OK(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), static_cast<size_t>(n));
+
+  // 25 random queries checked against linear scan.
+  for (int q = 0; q < 25; ++q) {
+    double x = rng.Uniform(-50, 1000);
+    double y = rng.Uniform(-50, 1000);
+    Box query(x, y, x + rng.Uniform(1, 200), y + rng.Uniform(1, 200));
+    std::vector<uint64_t> expected;
+    for (const auto& [box, value] : reference) {
+      if (box.Overlaps(query)) expected.push_back(value);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(tree.SearchValues(query), expected) << "query " << q;
+  }
+
+  // Delete every third entry; re-verify.
+  for (int i = 0; i < n; i += 3) {
+    ASSERT_OK(tree.Remove(reference[i].first, reference[i].second));
+  }
+  ASSERT_OK(tree.CheckInvariants());
+  for (int q = 0; q < 10; ++q) {
+    double x = rng.Uniform(0, 1000);
+    Box query(x, x, x + 150, x + 150);
+    std::vector<uint64_t> expected;
+    for (int i = 0; i < n; ++i) {
+      if (i % 3 == 0) continue;
+      if (reference[i].first.Overlaps(query)) {
+        expected.push_back(reference[i].second);
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(tree.SearchValues(query), expected) << "post-delete query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RTreePropertyTest,
+                         ::testing::Values(1, 7, 8, 9, 50, 200, 1000));
+
+TEST(RTreeTest, SearchCallbackErrorPropagates) {
+  RTree tree;
+  ASSERT_OK(tree.Insert(Box(0, 0, 1, 1), 1));
+  Status s = tree.Search(Box(0, 0, 2, 2), [](const Box&, uint64_t) {
+    return Status::Internal("stop");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+// ---- catalog integration ----
+
+class SpatialCatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("spatialcat");
+    ASSERT_OK_AND_ASSIGN(catalog_, Catalog::Open(dir_->path()));
+    ClassDef def("scene", ClassKind::kBase);
+    ASSERT_OK(def.AddAttribute({"name", TypeId::kString, "char16", ""}));
+    ASSERT_OK(def.AddAttribute({"spatialextent", TypeId::kBox, "box", ""}));
+    ASSERT_OK(def.AddAttribute({"timestamp", TypeId::kTime, "abstime", ""}));
+    ASSERT_OK(def.SetSpatialExtent("spatialextent"));
+    ASSERT_OK(def.SetTemporalExtent("timestamp"));
+    ASSERT_OK_AND_ASSIGN(class_id_, catalog_->DefineClass(std::move(def)));
+  }
+
+  Oid InsertScene(const std::string& name, const Box& extent, AbsTime t) {
+    const ClassDef* def = catalog_->classes().LookupById(class_id_).value();
+    DataObject obj(*def);
+    EXPECT_TRUE(obj.Set(*def, "name", Value::String(name)).ok());
+    EXPECT_TRUE(obj.Set(*def, "spatialextent", Value::OfBox(extent)).ok());
+    EXPECT_TRUE(obj.Set(*def, "timestamp", Value::Time(t)).ok());
+    return catalog_->InsertObject(std::move(obj)).value();
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<Catalog> catalog_;
+  ClassId class_id_ = kInvalidClassId;
+};
+
+TEST_F(SpatialCatalogTest, ObjectsInRegion) {
+  Oid africa = InsertScene("africa", Box(-20, -35, 52, 38), AbsTime(1));
+  Oid europe = InsertScene("europe", Box(-10, 36, 40, 70), AbsTime(2));
+  InsertScene("pacific", Box(150, -30, 180, 30), AbsTime(3));
+  std::vector<Oid> hits = catalog_->ObjectsInRegion(Box(0, 30, 10, 40));
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<Oid>{africa, europe}));
+}
+
+TEST_F(SpatialCatalogTest, CandidatesIntersectAllConstraints) {
+  Oid match = InsertScene("match", Box(0, 0, 10, 10), AbsTime(100));
+  InsertScene("wrong-place", Box(100, 100, 110, 110), AbsTime(100));
+  InsertScene("wrong-time", Box(0, 0, 10, 10), AbsTime(999));
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Oid> candidates,
+      catalog_->Candidates(class_id_, Box(5, 5, 6, 6),
+                           TimeInterval(AbsTime(50), AbsTime(150))));
+  EXPECT_EQ(candidates, std::vector<Oid>{match});
+  // Region only.
+  ASSERT_OK_AND_ASSIGN(candidates,
+                       catalog_->Candidates(class_id_, Box(5, 5, 6, 6),
+                                            std::nullopt));
+  EXPECT_EQ(candidates.size(), 2u);
+  // Unconstrained = whole class.
+  ASSERT_OK_AND_ASSIGN(candidates, catalog_->Candidates(class_id_,
+                                                        std::nullopt,
+                                                        std::nullopt));
+  EXPECT_EQ(candidates.size(), 3u);
+}
+
+TEST_F(SpatialCatalogTest, NullExtentExcludedFromRegionQueries) {
+  const ClassDef* def = catalog_->classes().LookupById(class_id_).value();
+  DataObject obj(*def);
+  ASSERT_OK(obj.Set(*def, "name", Value::String("no-extent")));
+  ASSERT_OK(obj.Set(*def, "timestamp", Value::Time(AbsTime(1))));
+  ASSERT_OK_AND_ASSIGN(Oid oid, catalog_->InsertObject(std::move(obj)));
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Oid> candidates,
+      catalog_->Candidates(class_id_, Box(-1000, -1000, 1000, 1000),
+                           std::nullopt));
+  EXPECT_TRUE(candidates.empty());
+  // Without a region constraint the object is still found.
+  ASSERT_OK_AND_ASSIGN(candidates, catalog_->Candidates(class_id_,
+                                                        std::nullopt,
+                                                        std::nullopt));
+  EXPECT_EQ(candidates, std::vector<Oid>{oid});
+}
+
+TEST_F(SpatialCatalogTest, IndexMaintainedAcrossDeleteAndReopen) {
+  Oid keep = InsertScene("keep", Box(0, 0, 10, 10), AbsTime(1));
+  Oid remove = InsertScene("remove", Box(0, 0, 10, 10), AbsTime(2));
+  ASSERT_OK(catalog_->DeleteObject(remove));
+  EXPECT_EQ(catalog_->ObjectsInRegion(Box(1, 1, 2, 2)),
+            std::vector<Oid>{keep});
+  ASSERT_OK(catalog_->Flush());
+  catalog_.reset();
+  // Reopen rebuilds the volatile R-tree from stored tuples.
+  ASSERT_OK_AND_ASSIGN(catalog_, Catalog::Open(dir_->path()));
+  EXPECT_EQ(catalog_->ObjectsInRegion(Box(1, 1, 2, 2)),
+            std::vector<Oid>{keep});
+}
+
+}  // namespace
+}  // namespace gaea

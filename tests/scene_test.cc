@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "raster/image_ops.h"
+#include "raster/scene.h"
+#include "test_util.h"
+
+namespace gaea {
+namespace {
+
+TEST(SceneTest, ShapeAndDeterminism) {
+  SceneSpec spec;
+  spec.nrow = 20;
+  spec.ncol = 30;
+  spec.nbands = 3;
+  ASSERT_OK_AND_ASSIGN(std::vector<Image> a, GenerateScene(spec));
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0].nrow(), 20);
+  EXPECT_EQ(a[0].ncol(), 30);
+  ASSERT_OK_AND_ASSIGN(std::vector<Image> b, GenerateScene(spec));
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(SceneTest, DifferentSeedsDiffer) {
+  SceneSpec a_spec, b_spec;
+  b_spec.seed = a_spec.seed + 1;
+  ASSERT_OK_AND_ASSIGN(std::vector<Image> a, GenerateScene(a_spec));
+  ASSERT_OK_AND_ASSIGN(std::vector<Image> b, GenerateScene(b_spec));
+  EXPECT_NE(a[0], b[0]);
+}
+
+TEST(SceneTest, Validation) {
+  SceneSpec spec;
+  spec.nbands = 0;
+  EXPECT_FALSE(GenerateScene(spec).ok());
+  spec.nbands = 1;
+  spec.feature_scale = 0;
+  EXPECT_FALSE(GenerateScene(spec).ok());
+}
+
+TEST(SceneTest, BandsAreCorrelatedWithLatentStructure) {
+  // Red (band 0) and NIR (band 1) are driven oppositely by vegetation, so
+  // their correlation must be clearly below +1 — and in a low-noise scene,
+  // negative.
+  SceneSpec spec;
+  spec.nrow = 48;
+  spec.ncol = 48;
+  spec.noise = 0.01;
+  ASSERT_OK_AND_ASSIGN(std::vector<Image> bands, GenerateScene(spec));
+  ASSERT_OK_AND_ASSIGN(Matrix m, ImagesToMatrix({&bands[0], &bands[1]}));
+  ASSERT_OK_AND_ASSIGN(Matrix corr, m.Correlation());
+  EXPECT_LT(corr(0, 1), 0.3);
+}
+
+TEST(SceneTest, EpochDriftMovesNdvi) {
+  SceneSpec before;
+  before.nrow = 32;
+  before.ncol = 32;
+  before.noise = 0.0;
+  SceneSpec after = before;
+  after.epoch_drift = 1.0;
+  ASSERT_OK_AND_ASSIGN(std::vector<Image> b0, GenerateScene(before));
+  ASSERT_OK_AND_ASSIGN(std::vector<Image> b1, GenerateScene(after));
+  ASSERT_OK_AND_ASSIGN(Image ndvi0, Ndvi(b0[1], b0[0]));
+  ASSERT_OK_AND_ASSIGN(Image ndvi1, Ndvi(b1[1], b1[0]));
+  ASSERT_OK_AND_ASSIGN(Image diff, ImgSubtract(ndvi1, ndvi0));
+  ASSERT_OK_AND_ASSIGN(Image mag, ImgAbs(diff));
+  EXPECT_GT(mag.ComputeStats().mean, 0.01)
+      << "a full-season drift must visibly change NDVI";
+  // Zero drift reproduces the epoch exactly.
+  SceneSpec same = before;
+  ASSERT_OK_AND_ASSIGN(std::vector<Image> b2, GenerateScene(same));
+  EXPECT_EQ(b0[0], b2[0]);
+}
+
+TEST(SceneTest, GroundTruthLabelsInRange) {
+  SceneSpec spec;
+  spec.nrow = 16;
+  spec.ncol = 16;
+  ASSERT_OK_AND_ASSIGN(Image truth, GenerateGroundTruth(spec, 4));
+  for (int r = 0; r < 16; ++r) {
+    for (int c = 0; c < 16; ++c) {
+      EXPECT_GE(truth.Get(r, c), 0.0);
+      EXPECT_LT(truth.Get(r, c), 4.0);
+    }
+  }
+  EXPECT_FALSE(GenerateGroundTruth(spec, 0).ok());
+}
+
+TEST(SceneTest, SpatialCoherence) {
+  // Neighbouring pixels must be far more similar than random pairs
+  // (value-noise terrain, not white noise).
+  SceneSpec spec;
+  spec.nrow = 40;
+  spec.ncol = 40;
+  spec.noise = 0.0;
+  ASSERT_OK_AND_ASSIGN(std::vector<Image> bands, GenerateScene(spec));
+  const Image& img = bands[0];
+  double neighbor_diff = 0, far_diff = 0;
+  int n = 0;
+  for (int r = 0; r < 39; ++r) {
+    for (int c = 0; c < 39; ++c) {
+      neighbor_diff += std::fabs(img.Get(r, c) - img.Get(r, c + 1));
+      far_diff += std::fabs(img.Get(r, c) - img.Get(39 - r, 39 - c));
+      ++n;
+    }
+  }
+  EXPECT_LT(neighbor_diff / n, 0.5 * far_diff / n);
+}
+
+}  // namespace
+}  // namespace gaea

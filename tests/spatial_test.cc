@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "spatial/abstime.h"
+#include "spatial/box.h"
+#include "spatial/ref_system.h"
+#include "test_util.h"
+
+namespace gaea {
+namespace {
+
+TEST(BoxTest, DefaultIsEmpty) {
+  Box b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.Area(), 0.0);
+  EXPECT_FALSE(b.Contains(0, 0));
+}
+
+TEST(BoxTest, NormalizesCorners) {
+  Box b(10, 20, 0, 5);
+  EXPECT_EQ(b.x_min(), 0);
+  EXPECT_EQ(b.y_min(), 5);
+  EXPECT_EQ(b.x_max(), 10);
+  EXPECT_EQ(b.y_max(), 20);
+  EXPECT_EQ(b.Area(), 150.0);
+}
+
+TEST(BoxTest, PointContainmentIsClosed) {
+  Box b(0, 0, 10, 10);
+  EXPECT_TRUE(b.Contains(0, 0));
+  EXPECT_TRUE(b.Contains(10, 10));
+  EXPECT_TRUE(b.Contains(5, 5));
+  EXPECT_FALSE(b.Contains(-0.001, 5));
+  EXPECT_FALSE(b.Contains(5, 10.001));
+}
+
+TEST(BoxTest, BoxContainment) {
+  Box outer(0, 0, 10, 10);
+  Box inner(2, 2, 8, 8);
+  EXPECT_TRUE(outer.Contains(inner));
+  EXPECT_FALSE(inner.Contains(outer));
+  EXPECT_TRUE(outer.Contains(outer));
+  // Empty box is contained by everything and contains nothing non-empty.
+  EXPECT_TRUE(outer.Contains(Box::Empty()));
+  EXPECT_FALSE(Box::Empty().Contains(outer));
+}
+
+TEST(BoxTest, OverlapSharedEdgeCounts) {
+  Box a(0, 0, 5, 5);
+  Box b(5, 0, 10, 5);  // touches at x=5
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(b.Overlaps(a));
+  Box c(5.001, 0, 10, 5);
+  EXPECT_FALSE(a.Overlaps(c));
+  EXPECT_FALSE(a.Overlaps(Box::Empty()));
+}
+
+TEST(BoxTest, IntersectAndUnion) {
+  Box a(0, 0, 6, 6);
+  Box b(4, 4, 10, 10);
+  Box inter = a.Intersect(b);
+  EXPECT_EQ(inter, Box(4, 4, 6, 6));
+  Box uni = a.Union(b);
+  EXPECT_EQ(uni, Box(0, 0, 10, 10));
+  EXPECT_TRUE(a.Intersect(Box(7, 7, 9, 9)).empty());
+  EXPECT_EQ(a.Union(Box::Empty()), a);
+  EXPECT_EQ(Box::Empty().Union(a), a);
+}
+
+TEST(BoxTest, Jaccard) {
+  Box a(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(a.Jaccard(a), 1.0);
+  EXPECT_DOUBLE_EQ(a.Jaccard(Box(20, 20, 30, 30)), 0.0);
+  // Half-overlapping equal squares: inter 50, union 150.
+  Box b(5, 0, 15, 10);
+  EXPECT_NEAR(a.Jaccard(b), 50.0 / 150.0, 1e-12);
+}
+
+TEST(BoxTest, SerializationRoundTrip) {
+  BinaryWriter w;
+  Box(1.5, -2.5, 3.5, 4.5).Serialize(&w);
+  Box::Empty().Serialize(&w);
+  BinaryReader r(w.buffer());
+  ASSERT_OK_AND_ASSIGN(Box a, Box::Deserialize(&r));
+  ASSERT_OK_AND_ASSIGN(Box b, Box::Deserialize(&r));
+  EXPECT_EQ(a, Box(1.5, -2.5, 3.5, 4.5));
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(RefSystemTest, ParseNames) {
+  EXPECT_EQ(RefSystemFromString("long/lat").value(), RefSystem::kLongLat);
+  EXPECT_EQ(RefSystemFromString("UTM").value(), RefSystem::kUtm);
+  EXPECT_EQ(RefSystemFromString("  local ").value(), RefSystem::kLocalGrid);
+  EXPECT_FALSE(RefSystemFromString("mercator").ok());
+}
+
+TEST(RefSystemTest, UnitNames) {
+  EXPECT_STREQ(RefSystemUnit(RefSystem::kLongLat), "degree");
+  EXPECT_STREQ(RefSystemUnit(RefSystem::kUtm), "meter");
+}
+
+TEST(RefSystemTest, DegreeToMeterRoundTrip) {
+  Box deg(10, 40, 11, 41);  // 1 degree square near 40N
+  ASSERT_OK_AND_ASSIGN(
+      Box meters, ConvertBox(deg, RefSystem::kLongLat, RefSystem::kUtm, 40.0));
+  // One degree of latitude is ~111 km.
+  EXPECT_NEAR(meters.height(), 111320.0, 1.0);
+  EXPECT_LT(meters.width(), meters.height());  // longitude shrinks with cos
+  ASSERT_OK_AND_ASSIGN(
+      Box back, ConvertBox(meters, RefSystem::kUtm, RefSystem::kLongLat, 40.0));
+  EXPECT_NEAR(back.x_min(), deg.x_min(), 1e-9);
+  EXPECT_NEAR(back.y_max(), deg.y_max(), 1e-9);
+}
+
+TEST(RefSystemTest, SameSystemIsIdentity) {
+  Box b(0, 0, 5, 5);
+  ASSERT_OK_AND_ASSIGN(Box out,
+                       ConvertBox(b, RefSystem::kUtm, RefSystem::kLocalGrid));
+  EXPECT_EQ(out, b);
+}
+
+TEST(RefSystemTest, PoleRejected) {
+  EXPECT_FALSE(
+      ConvertBox(Box(0, 0, 1, 1), RefSystem::kLongLat, RefSystem::kUtm, 90.0)
+          .ok());
+}
+
+TEST(AbsTimeTest, FromDateKnownEpochs) {
+  ASSERT_OK_AND_ASSIGN(AbsTime epoch, AbsTime::FromDate(1970, 1, 1));
+  EXPECT_EQ(epoch.seconds(), 0);
+  ASSERT_OK_AND_ASSIGN(AbsTime y2k, AbsTime::FromDate(2000, 1, 1));
+  EXPECT_EQ(y2k.seconds(), 946684800);
+  ASSERT_OK_AND_ASSIGN(AbsTime before, AbsTime::FromDate(1969, 12, 31));
+  EXPECT_EQ(before.seconds(), -86400);
+}
+
+TEST(AbsTimeTest, ValidatesFields) {
+  EXPECT_FALSE(AbsTime::FromDate(1988, 13, 1).ok());
+  EXPECT_FALSE(AbsTime::FromDate(1988, 2, 30).ok());
+  EXPECT_FALSE(AbsTime::FromDate(1988, 1, 1, 24, 0, 0).ok());
+  // 1988 is a leap year; 1900 is not.
+  EXPECT_TRUE(AbsTime::FromDate(1988, 2, 29).ok());
+  EXPECT_FALSE(AbsTime::FromDate(1900, 2, 29).ok());
+  EXPECT_TRUE(AbsTime::FromDate(2000, 2, 29).ok());
+}
+
+TEST(AbsTimeTest, ToStringRoundTripsDate) {
+  ASSERT_OK_AND_ASSIGN(AbsTime t, AbsTime::FromDate(1988, 7, 15, 12, 34, 56));
+  EXPECT_EQ(t.ToString(), "1988-07-15T12:34:56");
+  ASSERT_OK_AND_ASSIGN(AbsTime neg, AbsTime::FromDate(1961, 4, 12, 6, 7, 0));
+  EXPECT_EQ(neg.ToString(), "1961-04-12T06:07:00");
+}
+
+TEST(AbsTimeTest, ArithmeticAndOrdering) {
+  AbsTime a(100), b(200);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(b - a, 100);
+  EXPECT_EQ((a + 50).seconds(), 150);
+}
+
+TEST(TimeIntervalTest, NormalizesEndpoints) {
+  TimeInterval i(AbsTime(200), AbsTime(100));
+  EXPECT_EQ(i.begin().seconds(), 100);
+  EXPECT_EQ(i.end().seconds(), 200);
+  EXPECT_EQ(i.DurationSeconds(), 100);
+}
+
+TEST(TimeIntervalTest, ContainsAndOverlap) {
+  TimeInterval i(AbsTime(100), AbsTime(200));
+  EXPECT_TRUE(i.Contains(AbsTime(100)));
+  EXPECT_TRUE(i.Contains(AbsTime(200)));
+  EXPECT_FALSE(i.Contains(AbsTime(201)));
+  EXPECT_TRUE(i.Overlaps(TimeInterval(AbsTime(200), AbsTime(300))));
+  EXPECT_FALSE(i.Overlaps(TimeInterval(AbsTime(201), AbsTime(300))));
+}
+
+struct AllenCase {
+  int64_t a0, a1, b0, b1;
+  AllenRelation expected;
+};
+
+class AllenRelationTest : public ::testing::TestWithParam<AllenCase> {};
+
+TEST_P(AllenRelationTest, Classifies) {
+  const AllenCase& c = GetParam();
+  TimeInterval a{AbsTime(c.a0), AbsTime(c.a1)};
+  TimeInterval b{AbsTime(c.b0), AbsTime(c.b1)};
+  EXPECT_EQ(a.RelationTo(b), c.expected)
+      << a.ToString() << " vs " << b.ToString() << " expected "
+      << AllenRelationName(c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllThirteen, AllenRelationTest,
+    ::testing::Values(
+        AllenCase{0, 10, 20, 30, AllenRelation::kBefore},
+        AllenCase{20, 30, 0, 10, AllenRelation::kAfter},
+        AllenCase{0, 10, 10, 20, AllenRelation::kMeets},
+        AllenCase{10, 20, 0, 10, AllenRelation::kMetBy},
+        AllenCase{0, 15, 10, 20, AllenRelation::kOverlaps},
+        AllenCase{10, 20, 0, 15, AllenRelation::kOverlappedBy},
+        AllenCase{0, 5, 0, 10, AllenRelation::kStarts},
+        AllenCase{0, 10, 0, 5, AllenRelation::kStartedBy},
+        AllenCase{5, 8, 0, 10, AllenRelation::kDuring},
+        AllenCase{0, 10, 5, 8, AllenRelation::kContains},
+        AllenCase{5, 10, 0, 10, AllenRelation::kFinishes},
+        AllenCase{0, 10, 5, 10, AllenRelation::kFinishedBy},
+        AllenCase{0, 10, 0, 10, AllenRelation::kEquals}));
+
+// Property: RelationTo is antisymmetric under the expected dual pairs.
+TEST(AllenRelationTest, DualityProperty) {
+  auto dual = [](AllenRelation r) {
+    switch (r) {
+      case AllenRelation::kBefore: return AllenRelation::kAfter;
+      case AllenRelation::kAfter: return AllenRelation::kBefore;
+      case AllenRelation::kMeets: return AllenRelation::kMetBy;
+      case AllenRelation::kMetBy: return AllenRelation::kMeets;
+      case AllenRelation::kOverlaps: return AllenRelation::kOverlappedBy;
+      case AllenRelation::kOverlappedBy: return AllenRelation::kOverlaps;
+      case AllenRelation::kStarts: return AllenRelation::kStartedBy;
+      case AllenRelation::kStartedBy: return AllenRelation::kStarts;
+      case AllenRelation::kDuring: return AllenRelation::kContains;
+      case AllenRelation::kContains: return AllenRelation::kDuring;
+      case AllenRelation::kFinishes: return AllenRelation::kFinishedBy;
+      case AllenRelation::kFinishedBy: return AllenRelation::kFinishes;
+      case AllenRelation::kEquals: return AllenRelation::kEquals;
+    }
+    return AllenRelation::kEquals;
+  };
+  // Exhaustive small sweep of interval endpoints.
+  for (int a0 = 0; a0 < 4; ++a0) {
+    for (int a1 = a0; a1 < 4; ++a1) {
+      for (int b0 = 0; b0 < 4; ++b0) {
+        for (int b1 = b0; b1 < 4; ++b1) {
+          TimeInterval a{AbsTime(a0), AbsTime(a1)};
+          TimeInterval b{AbsTime(b0), AbsTime(b1)};
+          EXPECT_EQ(a.RelationTo(b), dual(b.RelationTo(a)))
+              << a.ToString() << " vs " << b.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(TimeIntervalTest, IntersectUnion) {
+  TimeInterval a(AbsTime(0), AbsTime(10));
+  TimeInterval b(AbsTime(5), AbsTime(20));
+  EXPECT_EQ(a.Intersect(b), TimeInterval(AbsTime(5), AbsTime(10)));
+  EXPECT_EQ(a.Union(b), TimeInterval(AbsTime(0), AbsTime(20)));
+}
+
+}  // namespace
+}  // namespace gaea

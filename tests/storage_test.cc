@@ -1,0 +1,536 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "storage/journal.h"
+#include "storage/object_store.h"
+#include "test_util.h"
+
+namespace gaea {
+namespace {
+
+using ::gaea::testing::TempDir;
+
+// ---- buffer pool ----
+
+TEST(BufferPoolTest, AllocateFetchPersist) {
+  TempDir dir("pool");
+  std::string path = dir.file("data.db");
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<BufferPool> pool,
+                         BufferPool::Open(path, 4));
+    ASSERT_OK_AND_ASSIGN(uint32_t p0, pool->AllocatePage());
+    EXPECT_EQ(p0, 0u);
+    ASSERT_OK_AND_ASSIGN(Page * page, pool->FetchPage(p0));
+    page->WriteAt<uint64_t>(16, 0xCAFEBABEDEADBEEF);
+    ASSERT_OK(pool->MarkDirty(p0));
+    ASSERT_OK(pool->Flush());
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<BufferPool> pool,
+                         BufferPool::Open(path, 4));
+    EXPECT_EQ(pool->PageCount(), 1u);
+    ASSERT_OK_AND_ASSIGN(Page * page, pool->FetchPage(0));
+    EXPECT_EQ(page->ReadAt<uint64_t>(16), 0xCAFEBABEDEADBEEF);
+  }
+}
+
+TEST(BufferPoolTest, FetchBeyondEndFails) {
+  TempDir dir("pool");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<BufferPool> pool,
+                       BufferPool::Open(dir.file("d.db"), 4));
+  EXPECT_EQ(pool->FetchPage(0).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  TempDir dir("pool");
+  std::string path = dir.file("data.db");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<BufferPool> pool,
+                       BufferPool::Open(path, 2));  // tiny pool
+  // Write distinct markers to 8 pages through a 2-frame pool.
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_OK_AND_ASSIGN(uint32_t pid, pool->AllocatePage());
+    ASSERT_OK_AND_ASSIGN(Page * page, pool->FetchPage(pid));
+    page->WriteAt<uint32_t>(0, 1000 + i);
+    ASSERT_OK(pool->MarkDirty(pid));
+  }
+  // Read them all back (forcing evictions + reloads).
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_OK_AND_ASSIGN(Page * page, pool->FetchPage(i));
+    EXPECT_EQ(page->ReadAt<uint32_t>(0), 1000 + i) << "page " << i;
+  }
+  EXPECT_GT(pool->misses(), 0u);
+}
+
+TEST(BufferPoolTest, LruKeepsHotPageResident) {
+  TempDir dir("pool");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<BufferPool> pool,
+                       BufferPool::Open(dir.file("d.db"), 2));
+  for (int i = 0; i < 3; ++i) ASSERT_OK(pool->AllocatePage().status());
+  ASSERT_OK(pool->FetchPage(0).status());
+  uint64_t hits_before = pool->hits();
+  // Touch page 0 repeatedly with page 1 interleaved: 0 stays resident.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(pool->FetchPage(0).status());
+    ASSERT_OK(pool->FetchPage(1).status());
+  }
+  EXPECT_GE(pool->hits() - hits_before, 8u);
+}
+
+TEST(BufferPoolTest, RejectsCorruptFileSize) {
+  TempDir dir("pool");
+  std::string path = dir.file("bad.db");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "short";
+  }
+  EXPECT_EQ(BufferPool::Open(path).status().code(), StatusCode::kCorruption);
+}
+
+// ---- heap file ----
+
+TEST(HeapFileTest, InsertReadDelete) {
+  TempDir dir("heap");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<HeapFile> heap,
+                       HeapFile::Open(dir.file("h.db")));
+  ASSERT_OK_AND_ASSIGN(Rid a, heap->Insert("alpha"));
+  ASSERT_OK_AND_ASSIGN(Rid b, heap->Insert("beta"));
+  EXPECT_EQ(heap->Read(a).value(), "alpha");
+  EXPECT_EQ(heap->Read(b).value(), "beta");
+  ASSERT_OK(heap->Delete(a));
+  EXPECT_EQ(heap->Read(a).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(heap->Delete(a).code(), StatusCode::kNotFound);
+  EXPECT_EQ(heap->Read(b).value(), "beta");
+  EXPECT_EQ(heap->Count().value(), 1);
+}
+
+TEST(HeapFileTest, EmptyRecordAllowed) {
+  TempDir dir("heap");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<HeapFile> heap,
+                       HeapFile::Open(dir.file("h.db")));
+  ASSERT_OK_AND_ASSIGN(Rid rid, heap->Insert(""));
+  EXPECT_EQ(heap->Read(rid).value(), "");
+}
+
+TEST(HeapFileTest, ManySmallRecordsSpanPages) {
+  TempDir dir("heap");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<HeapFile> heap,
+                       HeapFile::Open(dir.file("h.db")));
+  std::vector<Rid> rids;
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_OK_AND_ASSIGN(Rid rid,
+                         heap->Insert("record-" + std::to_string(i)));
+    rids.push_back(rid);
+  }
+  // Multiple pages must have been used.
+  std::set<uint32_t> pages;
+  for (const Rid& rid : rids) pages.insert(rid.page_id);
+  EXPECT_GT(pages.size(), 1u);
+  for (int i = 0; i < 2000; i += 97) {
+    EXPECT_EQ(heap->Read(rids[i]).value(), "record-" + std::to_string(i));
+  }
+  EXPECT_EQ(heap->Count().value(), 2000);
+}
+
+TEST(HeapFileTest, LargeRecordOverflowChain) {
+  TempDir dir("heap");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<HeapFile> heap,
+                       HeapFile::Open(dir.file("h.db")));
+  // ~3 pages of payload (raster-sized).
+  std::string big(12000, 'x');
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<char>(i % 251);
+  ASSERT_OK_AND_ASSIGN(Rid rid, heap->Insert(big));
+  ASSERT_OK_AND_ASSIGN(std::string back, heap->Read(rid));
+  EXPECT_EQ(back, big);
+  // Interleave with small records and another big one.
+  ASSERT_OK_AND_ASSIGN(Rid small, heap->Insert("tiny"));
+  std::string big2(100000, 'y');
+  ASSERT_OK_AND_ASSIGN(Rid rid2, heap->Insert(big2));
+  EXPECT_EQ(heap->Read(small).value(), "tiny");
+  EXPECT_EQ(heap->Read(rid2).value(), big2);
+  EXPECT_EQ(heap->Read(rid).value(), big);
+  ASSERT_OK(heap->Delete(rid));
+  EXPECT_EQ(heap->Count().value(), 2);
+}
+
+TEST(HeapFileTest, ForEachVisitsLiveRecordsInOrder) {
+  TempDir dir("heap");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<HeapFile> heap,
+                       HeapFile::Open(dir.file("h.db")));
+  ASSERT_OK(heap->Insert("a").status());
+  ASSERT_OK_AND_ASSIGN(Rid b, heap->Insert("b"));
+  ASSERT_OK(heap->Insert(std::string(9000, 'z')).status());
+  ASSERT_OK(heap->Delete(b));
+  std::vector<std::string> seen;
+  ASSERT_OK(heap->ForEach([&seen](const Rid&, const std::string& rec) {
+    seen.push_back(rec.size() > 10 ? "big" : rec);
+    return Status::OK();
+  }));
+  EXPECT_EQ(seen, (std::vector<std::string>{"a", "big"}));
+}
+
+TEST(HeapFileTest, PersistsAcrossReopen) {
+  TempDir dir("heap");
+  std::string path = dir.file("h.db");
+  Rid rid;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<HeapFile> heap, HeapFile::Open(path));
+    ASSERT_OK_AND_ASSIGN(rid, heap->Insert("durable"));
+    ASSERT_OK(heap->Flush());
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<HeapFile> heap, HeapFile::Open(path));
+  EXPECT_EQ(heap->Read(rid).value(), "durable");
+}
+
+// ---- B+tree ----
+
+TEST(BTreeTest, InsertLookupDelete) {
+  TempDir dir("btree");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<BTree> tree,
+                       BTree::Open(dir.file("t.idx")));
+  ASSERT_OK(tree->Insert(10, 100));
+  ASSERT_OK(tree->Insert(20, 200));
+  ASSERT_OK(tree->Insert(10, 101));  // duplicate key, distinct value
+  EXPECT_EQ(tree->Lookup(10).value(), (std::vector<uint64_t>{100, 101}));
+  EXPECT_EQ(tree->LookupFirst(20).value(), 200u);
+  EXPECT_EQ(tree->LookupFirst(30).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree->Insert(10, 100).code(), StatusCode::kAlreadyExists);
+  ASSERT_OK(tree->Delete(10, 100));
+  EXPECT_EQ(tree->Lookup(10).value(), (std::vector<uint64_t>{101}));
+  EXPECT_EQ(tree->Delete(10, 100).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree->Count(), 2);
+}
+
+TEST(BTreeTest, ScanRange) {
+  TempDir dir("btree");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<BTree> tree,
+                       BTree::Open(dir.file("t.idx")));
+  for (int64_t k = 0; k < 100; ++k) {
+    ASSERT_OK(tree->Insert(k, static_cast<uint64_t>(k * 10)));
+  }
+  std::vector<int64_t> keys;
+  ASSERT_OK(tree->Scan(25, 30, [&keys](int64_t k, uint64_t v) {
+    EXPECT_EQ(v, static_cast<uint64_t>(k * 10));
+    keys.push_back(k);
+    return Status::OK();
+  }));
+  EXPECT_EQ(keys, (std::vector<int64_t>{25, 26, 27, 28, 29, 30}));
+  // Empty and inverted ranges.
+  keys.clear();
+  ASSERT_OK(tree->Scan(200, 300, [&keys](int64_t k, uint64_t) {
+    keys.push_back(k);
+    return Status::OK();
+  }));
+  EXPECT_TRUE(keys.empty());
+  ASSERT_OK(tree->Scan(30, 25, [&keys](int64_t k, uint64_t) {
+    keys.push_back(k);
+    return Status::OK();
+  }));
+  EXPECT_TRUE(keys.empty());
+}
+
+TEST(BTreeTest, NegativeKeys) {
+  TempDir dir("btree");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<BTree> tree,
+                       BTree::Open(dir.file("t.idx")));
+  ASSERT_OK(tree->Insert(-5, 1));
+  ASSERT_OK(tree->Insert(0, 2));
+  ASSERT_OK(tree->Insert(5, 3));
+  std::vector<int64_t> keys;
+  ASSERT_OK(tree->Scan(-10, 10, [&keys](int64_t k, uint64_t) {
+    keys.push_back(k);
+    return Status::OK();
+  }));
+  EXPECT_EQ(keys, (std::vector<int64_t>{-5, 0, 5}));
+}
+
+class BTreeVolumeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeVolumeTest, SplitsPreserveAllEntries) {
+  int n = GetParam();
+  TempDir dir("btree");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<BTree> tree,
+                       BTree::Open(dir.file("t.idx"), 64));
+  // Deterministic shuffled insert order.
+  std::vector<int64_t> keys(n);
+  for (int i = 0; i < n; ++i) keys[i] = (static_cast<int64_t>(i) * 7919) % n;
+  std::set<int64_t> unique(keys.begin(), keys.end());
+  for (int64_t k : unique) {
+    ASSERT_OK(tree->Insert(k, static_cast<uint64_t>(k + 1)));
+  }
+  EXPECT_EQ(tree->Count(), static_cast<int64_t>(unique.size()));
+  // Full scan sees every key in order.
+  int64_t prev = -1;
+  int64_t seen = 0;
+  ASSERT_OK(tree->Scan(INT64_MIN, INT64_MAX,
+                       [&](int64_t k, uint64_t v) -> Status {
+                         EXPECT_GT(k, prev);
+                         EXPECT_EQ(v, static_cast<uint64_t>(k + 1));
+                         prev = k;
+                         ++seen;
+                         return Status::OK();
+                       }));
+  EXPECT_EQ(seen, static_cast<int64_t>(unique.size()));
+  // Point lookups.
+  for (int64_t k = 0; k < n; k += std::max(1, n / 37)) {
+    EXPECT_EQ(tree->LookupFirst(k).value(), static_cast<uint64_t>(k + 1));
+  }
+  if (n >= 2000) {
+    EXPECT_GE(tree->Height().value(), 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Volumes, BTreeVolumeTest,
+                         ::testing::Values(10, 255, 256, 1000, 5000));
+
+class BTreeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeFuzzTest, RandomOpsAgreeWithMultimap) {
+  uint64_t state = GetParam() * 0x9E3779B97F4A7C15ull + 1;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  TempDir dir("btreefuzz");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<BTree> tree,
+                       BTree::Open(dir.file("t.idx"), 32));
+  std::multimap<int64_t, uint64_t> reference;
+
+  for (int op = 0; op < 3000; ++op) {
+    uint64_t roll = next() % 100;
+    int64_t key = static_cast<int64_t>(next() % 500) - 250;
+    if (roll < 60 || reference.empty()) {
+      uint64_t value = next() % 1000;
+      Status s = tree->Insert(key, value);
+      bool duplicate = false;
+      auto [lo, hi] = reference.equal_range(key);
+      for (auto it = lo; it != hi; ++it) {
+        if (it->second == value) duplicate = true;
+      }
+      if (duplicate) {
+        EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+      } else {
+        ASSERT_OK(s);
+        reference.emplace(key, value);
+      }
+    } else if (roll < 80) {
+      // Delete a random existing entry (or a missing one).
+      if (next() % 4 == 0) {
+        uint64_t missing_value = 5000 + next() % 100;
+        EXPECT_EQ(tree->Delete(key, missing_value).code(),
+                  StatusCode::kNotFound);
+      } else {
+        size_t pick = next() % reference.size();
+        auto it = reference.begin();
+        std::advance(it, pick);
+        ASSERT_OK(tree->Delete(it->first, it->second));
+        reference.erase(it);
+      }
+    } else {
+      // Range scan cross-check.
+      int64_t lo = static_cast<int64_t>(next() % 600) - 300;
+      int64_t hi = lo + static_cast<int64_t>(next() % 100);
+      std::vector<std::pair<int64_t, uint64_t>> expected;
+      for (auto it = reference.lower_bound(lo);
+           it != reference.end() && it->first <= hi; ++it) {
+        expected.emplace_back(it->first, it->second);
+      }
+      std::sort(expected.begin(), expected.end());
+      std::vector<std::pair<int64_t, uint64_t>> actual;
+      ASSERT_OK(tree->Scan(lo, hi, [&actual](int64_t k, uint64_t v) {
+        actual.emplace_back(k, v);
+        return Status::OK();
+      }));
+      ASSERT_EQ(actual, expected) << "scan [" << lo << "," << hi << "]";
+    }
+    ASSERT_EQ(tree->Count(), static_cast<int64_t>(reference.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeFuzzTest, ::testing::Values(1, 2, 3));
+
+TEST(BTreeTest, PersistsAcrossReopen) {
+  TempDir dir("btree");
+  std::string path = dir.file("t.idx");
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<BTree> tree, BTree::Open(path));
+    for (int64_t k = 0; k < 600; ++k) ASSERT_OK(tree->Insert(k, k));
+    ASSERT_OK(tree->Flush());
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<BTree> tree, BTree::Open(path));
+  EXPECT_EQ(tree->Count(), 600);
+  EXPECT_EQ(tree->LookupFirst(599).value(), 599u);
+}
+
+// ---- object store ----
+
+TEST(ObjectStoreTest, PutGetDelete) {
+  TempDir dir("store");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ObjectStore> store,
+                       ObjectStore::Open(dir.file("obj")));
+  ASSERT_OK_AND_ASSIGN(Oid a, store->Put("payload-a"));
+  ASSERT_OK_AND_ASSIGN(Oid b, store->Put("payload-b"));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store->Get(a).value(), "payload-a");
+  EXPECT_TRUE(store->Contains(b));
+  ASSERT_OK(store->Delete(a));
+  EXPECT_FALSE(store->Contains(a));
+  EXPECT_EQ(store->Get(a).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store->Count(), 1);
+}
+
+TEST(ObjectStoreTest, OidsNeverReused) {
+  TempDir dir("store");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ObjectStore> store,
+                       ObjectStore::Open(dir.file("obj")));
+  ASSERT_OK_AND_ASSIGN(Oid a, store->Put("x"));
+  ASSERT_OK(store->Delete(a));
+  ASSERT_OK_AND_ASSIGN(Oid b, store->Put("y"));
+  EXPECT_GT(b, a);
+}
+
+TEST(ObjectStoreTest, PutWithOidValidation) {
+  TempDir dir("store");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ObjectStore> store,
+                       ObjectStore::Open(dir.file("obj")));
+  EXPECT_EQ(store->PutWithOid(kInvalidOid, "x").code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_OK(store->PutWithOid(42, "x"));
+  EXPECT_EQ(store->PutWithOid(42, "y").code(), StatusCode::kAlreadyExists);
+  // Next auto OID skips past.
+  ASSERT_OK_AND_ASSIGN(Oid next, store->Put("z"));
+  EXPECT_EQ(next, 43u);
+}
+
+TEST(ObjectStoreTest, RecoversNextOidAfterReopen) {
+  TempDir dir("store");
+  std::string prefix = dir.file("obj");
+  Oid last;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<ObjectStore> store,
+                         ObjectStore::Open(prefix));
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_OK_AND_ASSIGN(last, store->Put("v" + std::to_string(i)));
+    }
+    ASSERT_OK(store->Flush());
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ObjectStore> store,
+                       ObjectStore::Open(prefix));
+  EXPECT_EQ(store->next_oid(), last + 1);
+  EXPECT_EQ(store->Get(last).value(), "v9");
+  ASSERT_OK_AND_ASSIGN(Oid fresh, store->Put("new"));
+  EXPECT_EQ(fresh, last + 1);
+}
+
+TEST(ObjectStoreTest, ForEachInOidOrder) {
+  TempDir dir("store");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ObjectStore> store,
+                       ObjectStore::Open(dir.file("obj")));
+  ASSERT_OK(store->PutWithOid(5, "five"));
+  ASSERT_OK(store->PutWithOid(2, "two"));
+  ASSERT_OK(store->PutWithOid(9, "nine"));
+  std::vector<Oid> order;
+  ASSERT_OK(store->ForEach([&order](Oid oid, const std::string&) {
+    order.push_back(oid);
+    return Status::OK();
+  }));
+  EXPECT_EQ(order, (std::vector<Oid>{2, 5, 9}));
+}
+
+TEST(ObjectStoreTest, LargePayloadRoundTrip) {
+  TempDir dir("store");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ObjectStore> store,
+                       ObjectStore::Open(dir.file("obj")));
+  std::string raster(1 << 20, '\0');  // 1 MiB
+  for (size_t i = 0; i < raster.size(); ++i) {
+    raster[i] = static_cast<char>(i * 2654435761u % 256);
+  }
+  ASSERT_OK_AND_ASSIGN(Oid oid, store->Put(raster));
+  EXPECT_EQ(store->Get(oid).value(), raster);
+}
+
+// ---- journal ----
+
+TEST(JournalTest, AppendAndReplay) {
+  TempDir dir("journal");
+  std::string path = dir.file("j.log");
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<Journal> j, Journal::Open(path));
+    ASSERT_OK(j->Append("one"));
+    ASSERT_OK(j->Append("two"));
+    ASSERT_OK(j->Append(""));
+    ASSERT_OK(j->Sync());
+    EXPECT_EQ(j->appended(), 3);
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Journal> j, Journal::Open(path));
+  std::vector<std::string> records;
+  ASSERT_OK(j->Replay([&records](const std::string& r) {
+    records.push_back(r);
+    return Status::OK();
+  }));
+  EXPECT_EQ(records, (std::vector<std::string>{"one", "two", ""}));
+}
+
+TEST(JournalTest, ToleratesTornTail) {
+  TempDir dir("journal");
+  std::string path = dir.file("j.log");
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<Journal> j, Journal::Open(path));
+    ASSERT_OK(j->Append("intact"));
+    ASSERT_OK(j->Append("will-be-torn"));
+  }
+  // Truncate the file mid-record (crash simulation).
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 5);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Journal> j, Journal::Open(path));
+  std::vector<std::string> records;
+  ASSERT_OK(j->Replay([&records](const std::string& r) {
+    records.push_back(r);
+    return Status::OK();
+  }));
+  EXPECT_EQ(records, (std::vector<std::string>{"intact"}));
+}
+
+TEST(JournalTest, DetectsMidFileCorruption) {
+  TempDir dir("journal");
+  std::string path = dir.file("j.log");
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<Journal> j, Journal::Open(path));
+    ASSERT_OK(j->Append("aaaaaaaaaa"));
+    ASSERT_OK(j->Append("bbbbbbbbbb"));
+  }
+  // Flip a payload byte of the FIRST record.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(10);
+    f.put('X');
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Journal> j, Journal::Open(path));
+  Status replay = j->Replay([](const std::string&) { return Status::OK(); });
+  EXPECT_EQ(replay.code(), StatusCode::kCorruption);
+}
+
+TEST(JournalTest, Crc32KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926 (standard check value).
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(JournalTest, ReplayCallbackErrorPropagates) {
+  TempDir dir("journal");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Journal> j,
+                       Journal::Open(dir.file("j.log")));
+  ASSERT_OK(j->Append("x"));
+  Status replay = j->Replay(
+      [](const std::string&) { return Status::Internal("boom"); });
+  EXPECT_EQ(replay.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace gaea

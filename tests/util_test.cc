@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/serialize.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace gaea {
+namespace {
+
+using ::gaea::testing::TempDir;
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Underivable("x").code(), StatusCode::kUnderivable);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(7), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(7), 7);
+}
+
+TEST(StatusOrTest, MoveOnlyValues) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(5);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+StatusOr<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+StatusOr<int> QuarterViaMacro(int x) {
+  GAEA_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  GAEA_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  auto ok = QuarterViaMacro(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  auto err = QuarterViaMacro(6);  // 6 -> 3, second halving fails
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, RoundTripsScalars) {
+  BinaryWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0xBEEF);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutI32(-42);
+  w.PutI64(-1234567890123LL);
+  w.PutF32(1.5f);
+  w.PutF64(-2.25);
+  w.PutBool(true);
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.GetU8().value(), 0xAB);
+  EXPECT_EQ(r.GetU16().value(), 0xBEEF);
+  EXPECT_EQ(r.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.GetI32().value(), -42);
+  EXPECT_EQ(r.GetI64().value(), -1234567890123LL);
+  EXPECT_EQ(r.GetF32().value(), 1.5f);
+  EXPECT_EQ(r.GetF64().value(), -2.25);
+  EXPECT_EQ(r.GetBool().value(), true);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, RoundTripsStrings) {
+  BinaryWriter w;
+  w.PutString("hello");
+  w.PutString("");
+  std::string binary("\x00\x01\x02", 3);
+  w.PutString(binary);
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.GetString().value(), "hello");
+  EXPECT_EQ(r.GetString().value(), "");
+  EXPECT_EQ(r.GetString().value(), binary);
+}
+
+TEST(SerializeTest, TruncatedInputReportsCorruption) {
+  BinaryWriter w;
+  w.PutU64(7);
+  std::string truncated = w.buffer().substr(0, 3);
+  BinaryReader r(truncated);
+  auto result = r.GetU64();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, TruncatedStringLengthReportsCorruption) {
+  BinaryWriter w;
+  w.PutString("abcdef");
+  std::string truncated = w.buffer().substr(0, 6);  // 4-byte len + 2 chars
+  BinaryReader r(truncated);
+  auto result = r.GetString();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, RemainingTracksPosition) {
+  BinaryWriter w;
+  w.PutU32(1);
+  w.PutU32(2);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.remaining(), 8u);
+  ASSERT_TRUE(r.GetU32().ok());
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_EQ(r.position(), 4u);
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(StrTrim("  hi  "), "hi");
+  EXPECT_EQ(StrTrim("\t\nx"), "x");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim(""), "");
+}
+
+TEST(StringUtilTest, ToLowerAndAffixes) {
+  EXPECT_EQ(StrToLower("AbC-12"), "abc-12");
+  EXPECT_TRUE(StrStartsWith("landcover", "land"));
+  EXPECT_FALSE(StrStartsWith("land", "landcover"));
+  EXPECT_TRUE(StrEndsWith("foo.img", ".img"));
+  EXPECT_FALSE(StrEndsWith("img", "foo.img"));
+}
+
+TEST(StringUtilTest, Identifier) {
+  EXPECT_TRUE(IsIdentifier("landcover"));
+  EXPECT_TRUE(IsIdentifier("unsupervised-classification"));
+  EXPECT_TRUE(IsIdentifier("_c20"));
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("9lives"));
+  EXPECT_FALSE(IsIdentifier("-leading"));
+  EXPECT_FALSE(IsIdentifier("has space"));
+}
+
+TEST(TempDirTest, CreatesAndCleansUp) {
+  std::string path;
+  {
+    TempDir dir("util");
+    path = dir.path();
+    EXPECT_TRUE(std::filesystem::exists(path));
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+}  // namespace
+}  // namespace gaea

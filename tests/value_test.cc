@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "types/value.h"
+
+namespace gaea {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), TypeId::kNull);
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(ValueTest, ScalarAccessors) {
+  EXPECT_EQ(Value::Bool(true).AsBool().value(), true);
+  EXPECT_EQ(Value::Int(-7).AsInt().value(), -7);
+  EXPECT_EQ(Value::Double(2.5).AsDouble().value(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString().value(), "hi");
+}
+
+TEST(ValueTest, IntWidensToDouble) {
+  EXPECT_EQ(Value::Int(3).AsDouble().value(), 3.0);
+  // But a double is NOT silently an int.
+  EXPECT_FALSE(Value::Double(3.0).AsInt().ok());
+}
+
+TEST(ValueTest, TypeMismatchErrors) {
+  auto result = Value::Int(1).AsString();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(Value::String("x").AsBool().ok());
+  EXPECT_FALSE(Value::Null().AsInt().ok());
+}
+
+TEST(ValueTest, BoxAndTime) {
+  Box b(0, 0, 2, 2);
+  EXPECT_EQ(Value::OfBox(b).AsBox().value(), b);
+  AbsTime t(123456);
+  EXPECT_EQ(Value::Time(t).AsTime().value(), t);
+}
+
+TEST(ValueTest, ImagePayload) {
+  auto img = Image::FromValues(2, 2, {1, 2, 3, 4});
+  ASSERT_TRUE(img.ok());
+  Value v = Value::OfImage(*img);
+  EXPECT_EQ(v.type(), TypeId::kImage);
+  ASSERT_OK_AND_ASSIGN(ImagePtr p, v.AsImage());
+  EXPECT_EQ(p->Get(1, 1), 4.0);
+  // Copying the value shares the payload.
+  Value copy = v;
+  ASSERT_OK_AND_ASSIGN(ImagePtr p2, copy.AsImage());
+  EXPECT_EQ(p.get(), p2.get());
+}
+
+TEST(ValueTest, MatrixPayload) {
+  Matrix m(2, 3);
+  m(1, 2) = 5.0;
+  Value v = Value::OfMatrix(m);
+  ASSERT_OK_AND_ASSIGN(MatrixPtr p, v.AsMatrix());
+  EXPECT_EQ((*p)(1, 2), 5.0);
+}
+
+TEST(ValueTest, ListPayload) {
+  Value v = Value::List({Value::Int(1), Value::String("two")});
+  EXPECT_EQ(v.type(), TypeId::kList);
+  ASSERT_OK_AND_ASSIGN(const ValueList* items, v.AsList());
+  ASSERT_EQ(items->size(), 2u);
+  EXPECT_EQ((*items)[0].AsInt().value(), 1);
+  EXPECT_EQ((*items)[1].AsString().value(), "two");
+}
+
+TEST(ValueTest, EqualityDeepCompares) {
+  EXPECT_EQ(Value::Int(5), Value::Int(5));
+  EXPECT_NE(Value::Int(5), Value::Int(6));
+  EXPECT_NE(Value::Int(5), Value::Double(5.0));  // different types
+  EXPECT_EQ(Value::Null(), Value::Null());
+
+  auto img_a = Image::FromValues(1, 2, {1, 2});
+  auto img_b = Image::FromValues(1, 2, {1, 2});
+  auto img_c = Image::FromValues(1, 2, {1, 3});
+  // Same content, different allocations: equal by content.
+  EXPECT_EQ(Value::OfImage(*img_a), Value::OfImage(*img_b));
+  EXPECT_NE(Value::OfImage(*img_a), Value::OfImage(*img_c));
+
+  EXPECT_EQ(Value::List({Value::Int(1)}), Value::List({Value::Int(1)}));
+  EXPECT_NE(Value::List({Value::Int(1)}), Value::List({Value::Int(2)}));
+  EXPECT_NE(Value::List({Value::Int(1)}),
+            Value::List({Value::Int(1), Value::Int(2)}));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::String("africa").ToString(), "\"africa\"");
+  EXPECT_EQ(Value::List({Value::Int(1), Value::Int(2)}).ToString(), "[1, 2]");
+}
+
+class ValueSerializationTest : public ::testing::TestWithParam<Value> {};
+
+TEST_P(ValueSerializationTest, RoundTrips) {
+  const Value& original = GetParam();
+  BinaryWriter w;
+  original.Serialize(&w);
+  BinaryReader r(w.buffer());
+  ASSERT_OK_AND_ASSIGN(Value restored, Value::Deserialize(&r));
+  EXPECT_EQ(restored, original);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+std::vector<Value> SerializationCases() {
+  std::vector<Value> cases = {
+      Value::Null(),
+      Value::Bool(true),
+      Value::Int(-123456789),
+      Value::Double(3.14159),
+      Value::String("landcover"),
+      Value::OfBox(Box(0, 0, 10, 20)),
+      Value::Time(AbsTime(567890)),
+      Value::List({}),
+      Value::List({Value::Int(1), Value::String("x"),
+                   Value::List({Value::Bool(false)})}),
+  };
+  auto img = Image::FromValues(2, 3, {1, 2, 3, 4, 5, 6}, PixelType::kInt16);
+  cases.push_back(Value::OfImage(*img));
+  Matrix m(2, 2);
+  m(0, 0) = 1;
+  m(1, 1) = -1;
+  cases.push_back(Value::OfMatrix(m));
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, ValueSerializationTest,
+                         ::testing::ValuesIn(SerializationCases()));
+
+TEST(ValueTest, DeserializeRejectsBadTag) {
+  std::string bogus = "\xFF";
+  BinaryReader r(bogus);
+  auto result = Value::Deserialize(&r);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(TypeIdTest, DdlNames) {
+  EXPECT_EQ(TypeIdFromDdlName("char16").value(), TypeId::kString);
+  EXPECT_EQ(TypeIdFromDdlName("float4").value(), TypeId::kDouble);
+  EXPECT_EQ(TypeIdFromDdlName("float8").value(), TypeId::kDouble);
+  EXPECT_EQ(TypeIdFromDdlName("int4").value(), TypeId::kInt);
+  EXPECT_EQ(TypeIdFromDdlName("abstime").value(), TypeId::kTime);
+  EXPECT_EQ(TypeIdFromDdlName("IMAGE").value(), TypeId::kImage);
+  EXPECT_EQ(TypeIdFromDdlName(" box ").value(), TypeId::kBox);
+  EXPECT_FALSE(TypeIdFromDdlName("blob").ok());
+}
+
+TEST(TypeIdTest, Names) {
+  EXPECT_STREQ(TypeIdName(TypeId::kImage), "image");
+  EXPECT_STREQ(TypeIdName(TypeId::kTime), "abstime");
+}
+
+}  // namespace
+}  // namespace gaea

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "raster/scene.h"
+#include "raster/watershed.h"
+#include "test_util.h"
+#include "types/op_registry.h"
+
+namespace gaea {
+namespace {
+
+TEST(WatershedTest, Validation) {
+  EXPECT_FALSE(Watershed(Image()).ok());
+  ASSERT_OK_AND_ASSIGN(Image flat, Image::Create(4, 4));
+  EXPECT_FALSE(Watershed(flat, 1).ok());
+}
+
+TEST(WatershedTest, FlatImageIsOneBasin) {
+  ASSERT_OK_AND_ASSIGN(Image flat,
+                       Image::FromValues(4, 4, std::vector<double>(16, 5.0)));
+  ASSERT_OK_AND_ASSIGN(WatershedResult result, Watershed(flat));
+  EXPECT_EQ(result.n_basins, 1);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(result.labels.Get(r, c), 1.0);
+  }
+}
+
+TEST(WatershedTest, TwoValleysSeparatedByRidge) {
+  // Elevation: two clear minima (columns 1 and 6) with a high wall between.
+  //   5 1 2 3 9 3 1 5  (each row identical)
+  std::vector<double> row = {5, 1, 2, 3, 9, 3, 1, 5};
+  std::vector<double> values;
+  for (int r = 0; r < 6; ++r) values.insert(values.end(), row.begin(), row.end());
+  ASSERT_OK_AND_ASSIGN(Image elevation, Image::FromValues(6, 8, values));
+  ASSERT_OK_AND_ASSIGN(WatershedResult result, Watershed(elevation));
+  EXPECT_EQ(result.n_basins, 2);
+  // The two minima columns carry different basin labels.
+  double left = result.labels.Get(3, 1);
+  double right = result.labels.Get(3, 6);
+  EXPECT_GT(left, 0.0);
+  EXPECT_GT(right, 0.0);
+  EXPECT_NE(left, right);
+  // Somewhere along the wall, basins meet: ridge pixels exist.
+  int ridge_count = 0;
+  for (int r = 0; r < 6; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      if (result.labels.Get(r, c) == kWatershedRidge) ++ridge_count;
+    }
+  }
+  EXPECT_GT(ridge_count, 0);
+}
+
+TEST(WatershedTest, EveryPixelLabeledOrRidge) {
+  SceneSpec spec;
+  spec.nrow = 32;
+  spec.ncol = 32;
+  spec.nbands = 1;
+  spec.noise = 0.0;
+  ASSERT_OK_AND_ASSIGN(std::vector<Image> bands, GenerateScene(spec));
+  ASSERT_OK_AND_ASSIGN(WatershedResult result, Watershed(bands[0]));
+  EXPECT_GE(result.n_basins, 1);
+  std::set<int> labels;
+  for (int r = 0; r < 32; ++r) {
+    for (int c = 0; c < 32; ++c) {
+      int label = static_cast<int>(result.labels.Get(r, c));
+      EXPECT_GE(label, kWatershedRidge);
+      EXPECT_LE(label, result.n_basins);
+      labels.insert(label);
+    }
+  }
+  // All basin ids actually appear.
+  for (int b = 1; b <= result.n_basins; ++b) {
+    EXPECT_TRUE(labels.count(b)) << "basin " << b << " has no pixels";
+  }
+}
+
+TEST(WatershedTest, BasinsAreConnected) {
+  SceneSpec spec;
+  spec.nrow = 24;
+  spec.ncol = 24;
+  spec.nbands = 1;
+  spec.noise = 0.0;
+  ASSERT_OK_AND_ASSIGN(std::vector<Image> bands, GenerateScene(spec));
+  ASSERT_OK_AND_ASSIGN(WatershedResult result, Watershed(bands[0]));
+  // Flood-fill each basin from one seed; every same-labeled pixel must be
+  // reachable without crossing other basins (ridges may be crossed... no —
+  // connectivity within the basin's own pixels only).
+  const Image& labels = result.labels;
+  std::map<int, int> sizes;
+  for (int r = 0; r < 24; ++r) {
+    for (int c = 0; c < 24; ++c) {
+      int l = static_cast<int>(labels.Get(r, c));
+      if (l > 0) sizes[l]++;
+    }
+  }
+  for (const auto& [basin, size] : sizes) {
+    // Find a seed and BFS.
+    int seed_r = -1, seed_c = -1;
+    for (int r = 0; r < 24 && seed_r < 0; ++r) {
+      for (int c = 0; c < 24; ++c) {
+        if (static_cast<int>(labels.Get(r, c)) == basin) {
+          seed_r = r;
+          seed_c = c;
+          break;
+        }
+      }
+    }
+    std::set<std::pair<int, int>> seen{{seed_r, seed_c}};
+    std::vector<std::pair<int, int>> frontier{{seed_r, seed_c}};
+    const int dr[] = {-1, 1, 0, 0}, dc[] = {0, 0, -1, 1};
+    while (!frontier.empty()) {
+      auto [r, c] = frontier.back();
+      frontier.pop_back();
+      for (int k = 0; k < 4; ++k) {
+        int rr = r + dr[k], cc = c + dc[k];
+        if (rr < 0 || rr >= 24 || cc < 0 || cc >= 24) continue;
+        if (static_cast<int>(labels.Get(rr, cc)) != basin) continue;
+        if (seen.insert({rr, cc}).second) frontier.push_back({rr, cc});
+      }
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), size)
+        << "basin " << basin << " is disconnected";
+  }
+}
+
+TEST(WatershedTest, Deterministic) {
+  SceneSpec spec;
+  spec.nrow = 16;
+  spec.ncol = 16;
+  spec.nbands = 1;
+  ASSERT_OK_AND_ASSIGN(std::vector<Image> bands, GenerateScene(spec));
+  ASSERT_OK_AND_ASSIGN(WatershedResult a, Watershed(bands[0]));
+  ASSERT_OK_AND_ASSIGN(WatershedResult b, Watershed(bands[0]));
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.n_basins, b.n_basins);
+}
+
+TEST(WatershedTest, MoreLevelsRefineSegmentation) {
+  SceneSpec spec;
+  spec.nrow = 32;
+  spec.ncol = 32;
+  spec.nbands = 1;
+  spec.noise = 0.0;
+  ASSERT_OK_AND_ASSIGN(std::vector<Image> bands, GenerateScene(spec));
+  ASSERT_OK_AND_ASSIGN(WatershedResult coarse, Watershed(bands[0], 4));
+  ASSERT_OK_AND_ASSIGN(WatershedResult fine, Watershed(bands[0], 256));
+  // Coarse quantization merges minima: never more basins than fine.
+  EXPECT_LE(coarse.n_basins, fine.n_basins);
+}
+
+TEST(WatershedTest, RegisteredAsOperator) {
+  OperatorRegistry ops;
+  ASSERT_OK(RegisterBuiltinOperators(&ops));
+  SceneSpec spec;
+  spec.nrow = 8;
+  spec.ncol = 8;
+  spec.nbands = 1;
+  ASSERT_OK_AND_ASSIGN(std::vector<Image> bands, GenerateScene(spec));
+  ASSERT_OK_AND_ASSIGN(Value labels,
+                       ops.Invoke("watershed", {Value::OfImage(bands[0])}));
+  ASSERT_OK_AND_ASSIGN(ImagePtr img, labels.AsImage());
+  EXPECT_EQ(img->pixel_type(), PixelType::kInt32);
+}
+
+}  // namespace
+}  // namespace gaea
