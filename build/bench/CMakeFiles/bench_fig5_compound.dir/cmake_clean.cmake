@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_compound.dir/bench_fig5_compound.cc.o"
+  "CMakeFiles/bench_fig5_compound.dir/bench_fig5_compound.cc.o.d"
+  "bench_fig5_compound"
+  "bench_fig5_compound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_compound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lineage.dir/bench_lineage.cc.o"
+  "CMakeFiles/bench_lineage.dir/bench_lineage.cc.o.d"
+  "bench_lineage"
+  "bench_lineage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lineage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

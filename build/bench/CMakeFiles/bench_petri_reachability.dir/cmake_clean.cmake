@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_petri_reachability.dir/bench_petri_reachability.cc.o"
+  "CMakeFiles/bench_petri_reachability.dir/bench_petri_reachability.cc.o.d"
+  "bench_petri_reachability"
+  "bench_petri_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_petri_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_strategies.dir/bench_query_strategies.cc.o"
+  "CMakeFiles/bench_query_strategies.dir/bench_query_strategies.cc.o.d"
+  "bench_query_strategies"
+  "bench_query_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

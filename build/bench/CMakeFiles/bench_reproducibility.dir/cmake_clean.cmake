@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reproducibility.dir/bench_reproducibility.cc.o"
+  "CMakeFiles/bench_reproducibility.dir/bench_reproducibility.cc.o.d"
+  "bench_reproducibility"
+  "bench_reproducibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reproducibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

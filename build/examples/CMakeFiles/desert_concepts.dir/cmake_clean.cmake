@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desert_concepts.dir/desert_concepts.cc.o"
+  "CMakeFiles/desert_concepts.dir/desert_concepts.cc.o.d"
+  "desert_concepts"
+  "desert_concepts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desert_concepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaea_shell.dir/gaea_shell.cc.o"
+  "CMakeFiles/gaea_shell.dir/gaea_shell.cc.o.d"
+  "gaea_shell"
+  "gaea_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaea_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

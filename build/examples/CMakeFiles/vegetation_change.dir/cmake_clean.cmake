@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vegetation_change.dir/vegetation_change.cc.o"
+  "CMakeFiles/vegetation_change.dir/vegetation_change.cc.o.d"
+  "vegetation_change"
+  "vegetation_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vegetation_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

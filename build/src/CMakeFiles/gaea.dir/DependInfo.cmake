@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/file_gis.cc" "src/CMakeFiles/gaea.dir/baseline/file_gis.cc.o" "gcc" "src/CMakeFiles/gaea.dir/baseline/file_gis.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/gaea.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/gaea.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/class_def.cc" "src/CMakeFiles/gaea.dir/catalog/class_def.cc.o" "gcc" "src/CMakeFiles/gaea.dir/catalog/class_def.cc.o.d"
+  "/root/repo/src/catalog/concept.cc" "src/CMakeFiles/gaea.dir/catalog/concept.cc.o" "gcc" "src/CMakeFiles/gaea.dir/catalog/concept.cc.o.d"
+  "/root/repo/src/catalog/data_object.cc" "src/CMakeFiles/gaea.dir/catalog/data_object.cc.o" "gcc" "src/CMakeFiles/gaea.dir/catalog/data_object.cc.o.d"
+  "/root/repo/src/core/compound_process.cc" "src/CMakeFiles/gaea.dir/core/compound_process.cc.o" "gcc" "src/CMakeFiles/gaea.dir/core/compound_process.cc.o.d"
+  "/root/repo/src/core/deriver.cc" "src/CMakeFiles/gaea.dir/core/deriver.cc.o" "gcc" "src/CMakeFiles/gaea.dir/core/deriver.cc.o.d"
+  "/root/repo/src/core/expr.cc" "src/CMakeFiles/gaea.dir/core/expr.cc.o" "gcc" "src/CMakeFiles/gaea.dir/core/expr.cc.o.d"
+  "/root/repo/src/core/lineage.cc" "src/CMakeFiles/gaea.dir/core/lineage.cc.o" "gcc" "src/CMakeFiles/gaea.dir/core/lineage.cc.o.d"
+  "/root/repo/src/core/petri.cc" "src/CMakeFiles/gaea.dir/core/petri.cc.o" "gcc" "src/CMakeFiles/gaea.dir/core/petri.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/CMakeFiles/gaea.dir/core/planner.cc.o" "gcc" "src/CMakeFiles/gaea.dir/core/planner.cc.o.d"
+  "/root/repo/src/core/process.cc" "src/CMakeFiles/gaea.dir/core/process.cc.o" "gcc" "src/CMakeFiles/gaea.dir/core/process.cc.o.d"
+  "/root/repo/src/core/process_registry.cc" "src/CMakeFiles/gaea.dir/core/process_registry.cc.o" "gcc" "src/CMakeFiles/gaea.dir/core/process_registry.cc.o.d"
+  "/root/repo/src/core/task.cc" "src/CMakeFiles/gaea.dir/core/task.cc.o" "gcc" "src/CMakeFiles/gaea.dir/core/task.cc.o.d"
+  "/root/repo/src/ddl/lexer.cc" "src/CMakeFiles/gaea.dir/ddl/lexer.cc.o" "gcc" "src/CMakeFiles/gaea.dir/ddl/lexer.cc.o.d"
+  "/root/repo/src/ddl/parser.cc" "src/CMakeFiles/gaea.dir/ddl/parser.cc.o" "gcc" "src/CMakeFiles/gaea.dir/ddl/parser.cc.o.d"
+  "/root/repo/src/experiment/experiment.cc" "src/CMakeFiles/gaea.dir/experiment/experiment.cc.o" "gcc" "src/CMakeFiles/gaea.dir/experiment/experiment.cc.o.d"
+  "/root/repo/src/gaea/kernel.cc" "src/CMakeFiles/gaea.dir/gaea/kernel.cc.o" "gcc" "src/CMakeFiles/gaea.dir/gaea/kernel.cc.o.d"
+  "/root/repo/src/query/interpolate.cc" "src/CMakeFiles/gaea.dir/query/interpolate.cc.o" "gcc" "src/CMakeFiles/gaea.dir/query/interpolate.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/gaea.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/gaea.dir/query/predicate.cc.o.d"
+  "/root/repo/src/query/qparser.cc" "src/CMakeFiles/gaea.dir/query/qparser.cc.o" "gcc" "src/CMakeFiles/gaea.dir/query/qparser.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/gaea.dir/query/query.cc.o" "gcc" "src/CMakeFiles/gaea.dir/query/query.cc.o.d"
+  "/root/repo/src/raster/classify.cc" "src/CMakeFiles/gaea.dir/raster/classify.cc.o" "gcc" "src/CMakeFiles/gaea.dir/raster/classify.cc.o.d"
+  "/root/repo/src/raster/image.cc" "src/CMakeFiles/gaea.dir/raster/image.cc.o" "gcc" "src/CMakeFiles/gaea.dir/raster/image.cc.o.d"
+  "/root/repo/src/raster/image_ops.cc" "src/CMakeFiles/gaea.dir/raster/image_ops.cc.o" "gcc" "src/CMakeFiles/gaea.dir/raster/image_ops.cc.o.d"
+  "/root/repo/src/raster/matrix.cc" "src/CMakeFiles/gaea.dir/raster/matrix.cc.o" "gcc" "src/CMakeFiles/gaea.dir/raster/matrix.cc.o.d"
+  "/root/repo/src/raster/pca.cc" "src/CMakeFiles/gaea.dir/raster/pca.cc.o" "gcc" "src/CMakeFiles/gaea.dir/raster/pca.cc.o.d"
+  "/root/repo/src/raster/scene.cc" "src/CMakeFiles/gaea.dir/raster/scene.cc.o" "gcc" "src/CMakeFiles/gaea.dir/raster/scene.cc.o.d"
+  "/root/repo/src/raster/watershed.cc" "src/CMakeFiles/gaea.dir/raster/watershed.cc.o" "gcc" "src/CMakeFiles/gaea.dir/raster/watershed.cc.o.d"
+  "/root/repo/src/spatial/abstime.cc" "src/CMakeFiles/gaea.dir/spatial/abstime.cc.o" "gcc" "src/CMakeFiles/gaea.dir/spatial/abstime.cc.o.d"
+  "/root/repo/src/spatial/box.cc" "src/CMakeFiles/gaea.dir/spatial/box.cc.o" "gcc" "src/CMakeFiles/gaea.dir/spatial/box.cc.o.d"
+  "/root/repo/src/spatial/ref_system.cc" "src/CMakeFiles/gaea.dir/spatial/ref_system.cc.o" "gcc" "src/CMakeFiles/gaea.dir/spatial/ref_system.cc.o.d"
+  "/root/repo/src/spatial/rtree.cc" "src/CMakeFiles/gaea.dir/spatial/rtree.cc.o" "gcc" "src/CMakeFiles/gaea.dir/spatial/rtree.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/gaea.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/gaea.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/gaea.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/gaea.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/gaea.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/gaea.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/journal.cc" "src/CMakeFiles/gaea.dir/storage/journal.cc.o" "gcc" "src/CMakeFiles/gaea.dir/storage/journal.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/CMakeFiles/gaea.dir/storage/object_store.cc.o" "gcc" "src/CMakeFiles/gaea.dir/storage/object_store.cc.o.d"
+  "/root/repo/src/types/builtin_ops.cc" "src/CMakeFiles/gaea.dir/types/builtin_ops.cc.o" "gcc" "src/CMakeFiles/gaea.dir/types/builtin_ops.cc.o.d"
+  "/root/repo/src/types/compound_op.cc" "src/CMakeFiles/gaea.dir/types/compound_op.cc.o" "gcc" "src/CMakeFiles/gaea.dir/types/compound_op.cc.o.d"
+  "/root/repo/src/types/op_registry.cc" "src/CMakeFiles/gaea.dir/types/op_registry.cc.o" "gcc" "src/CMakeFiles/gaea.dir/types/op_registry.cc.o.d"
+  "/root/repo/src/types/primitive_class.cc" "src/CMakeFiles/gaea.dir/types/primitive_class.cc.o" "gcc" "src/CMakeFiles/gaea.dir/types/primitive_class.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/gaea.dir/types/value.cc.o" "gcc" "src/CMakeFiles/gaea.dir/types/value.cc.o.d"
+  "/root/repo/src/util/serialize.cc" "src/CMakeFiles/gaea.dir/util/serialize.cc.o" "gcc" "src/CMakeFiles/gaea.dir/util/serialize.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/gaea.dir/util/status.cc.o" "gcc" "src/CMakeFiles/gaea.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/gaea.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/gaea.dir/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compound_op_test.dir/compound_op_test.cc.o"
+  "CMakeFiles/compound_op_test.dir/compound_op_test.cc.o.d"
+  "compound_op_test"
+  "compound_op_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compound_op_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compound_process_test.dir/compound_process_test.cc.o"
+  "CMakeFiles/compound_process_test.dir/compound_process_test.cc.o.d"
+  "compound_process_test"
+  "compound_process_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compound_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_task_test.dir/external_task_test.cc.o"
+  "CMakeFiles/external_task_test.dir/external_task_test.cc.o.d"
+  "external_task_test"
+  "external_task_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op_registry_test.dir/op_registry_test.cc.o"
+  "CMakeFiles/op_registry_test.dir/op_registry_test.cc.o.d"
+  "op_registry_test"
+  "op_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

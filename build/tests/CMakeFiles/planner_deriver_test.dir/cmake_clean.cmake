@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_deriver_test.dir/planner_deriver_test.cc.o"
+  "CMakeFiles/planner_deriver_test.dir/planner_deriver_test.cc.o.d"
+  "planner_deriver_test"
+  "planner_deriver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_deriver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qparser_test.dir/qparser_test.cc.o"
+  "CMakeFiles/qparser_test.dir/qparser_test.cc.o.d"
+  "qparser_test"
+  "qparser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qparser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

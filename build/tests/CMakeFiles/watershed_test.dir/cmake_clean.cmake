@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watershed_test.dir/watershed_test.cc.o"
+  "CMakeFiles/watershed_test.dir/watershed_test.cc.o.d"
+  "watershed_test"
+  "watershed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watershed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
