@@ -102,7 +102,14 @@ class Shell {
     }
     std::string source((std::istreambuf_iterator<char>(in)),
                        std::istreambuf_iterator<char>());
-    PrintStatus(kernel_->ExecuteDdl(source));
+    // Warn-on-load: the analyzer's findings are printed but never fail an
+    // otherwise valid script (see docs/ANALYSIS.md).
+    std::vector<Diagnostic> diags;
+    Status status = kernel_->ExecuteDdl(source, &diags);
+    for (const Diagnostic& d : diags) {
+      std::printf("%s\n", d.ToString().c_str());
+    }
+    PrintStatus(status);
     return true;
   }
 

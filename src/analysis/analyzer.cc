@@ -1,0 +1,440 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/assertion_lint.h"
+
+namespace gaea {
+
+namespace {
+
+// Collects the names of every process argument an expression references
+// (attr refs and card()).
+void CollectArgRefs(const Expr& expr, std::set<std::string>* refs) {
+  switch (expr.kind()) {
+    case Expr::Kind::kAttrRef:
+    case Expr::Kind::kCard:
+      refs->insert(expr.name());
+      break;
+    default:
+      break;
+  }
+  for (const ExprPtr& child : expr.children()) {
+    if (child != nullptr) CollectArgRefs(*child, refs);
+  }
+}
+
+}  // namespace
+
+ExprAnalysis AnalyzeExpr(const Expr& expr, const TypeContext& ctx,
+                         const std::string& location, bool in_assertion,
+                         std::vector<Diagnostic>* out) {
+  ExprAnalysis result;
+  switch (expr.kind()) {
+    case Expr::Kind::kLiteral:
+      result.type = expr.literal().type();
+      return result;
+
+    case Expr::Kind::kParam: {
+      if (ctx.params == nullptr || ctx.params->count(expr.name()) == 0) {
+        Emit(out, "GA008", location,
+             "reference to undeclared parameter $" + expr.name());
+        result.failed = true;
+        return result;
+      }
+      result.type = ctx.params->at(expr.name()).type();
+      return result;
+    }
+
+    case Expr::Kind::kAttrRef: {
+      auto it = ctx.args.find(expr.name());
+      if (it == ctx.args.end()) {
+        Emit(out, "GA009", location,
+             "reference to undeclared argument '" + expr.name() + "'");
+        result.failed = true;
+        return result;
+      }
+      const ArgSchema& schema = it->second;
+      if (schema.class_def == nullptr) {
+        // The argument's class failed to resolve; GA002 was already emitted.
+        result.failed = true;
+        return result;
+      }
+      auto attr = schema.class_def->FindAttribute(expr.attr());
+      if (!attr.ok()) {
+        Emit(out, in_assertion ? "GA303" : "GA010", location,
+             "class " + schema.class_def->name() + " has no attribute '" +
+                 expr.attr() + "' (referenced as " + expr.ToString() + ")");
+        result.failed = true;
+        return result;
+      }
+      if (schema.setof) {
+        result.type = TypeId::kList;
+        result.list_element = (*attr)->type;
+      } else {
+        result.type = (*attr)->type;
+      }
+      return result;
+    }
+
+    case Expr::Kind::kCard: {
+      if (ctx.args.count(expr.name()) == 0) {
+        Emit(out, "GA009", location,
+             "card() of undeclared argument '" + expr.name() + "'");
+        result.failed = true;
+        return result;
+      }
+      result.type = TypeId::kInt;
+      return result;
+    }
+
+    case Expr::Kind::kAnyOf: {
+      if (expr.children().empty() || expr.children()[0] == nullptr) {
+        Emit(out, "GA012", location, "ANYOF node has no operand");
+        result.failed = true;
+        return result;
+      }
+      ExprAnalysis child = AnalyzeExpr(*expr.children()[0], ctx, location,
+                                       in_assertion, out);
+      if (child.failed) {
+        result.failed = true;
+        return result;
+      }
+      if (child.type != TypeId::kList ||
+          child.list_element == TypeId::kNull) {
+        Emit(out, "GA012", location,
+             "ANYOF needs a SETOF/list operand, got " +
+                 std::string(TypeIdName(child.type)) + " in " +
+                 expr.ToString());
+        result.failed = true;
+        return result;
+      }
+      result.type = child.list_element;
+      return result;
+    }
+
+    case Expr::Kind::kCommon: {
+      if (expr.children().empty()) {
+        Emit(out, "GA012", location, "common() has no operands");
+        result.failed = true;
+        return result;
+      }
+      bool any_failed = false;
+      for (const ExprPtr& child : expr.children()) {
+        if (child == nullptr) continue;
+        ExprAnalysis c =
+            AnalyzeExpr(*child, ctx, location, in_assertion, out);
+        any_failed = any_failed || c.failed;
+      }
+      result.failed = any_failed;
+      result.type = TypeId::kBool;
+      return result;
+    }
+
+    case Expr::Kind::kOpCall: {
+      std::vector<TypeId> arg_types;
+      arg_types.reserve(expr.children().size());
+      bool any_failed = false;
+      for (const ExprPtr& child : expr.children()) {
+        if (child == nullptr) {
+          any_failed = true;
+          continue;
+        }
+        ExprAnalysis c =
+            AnalyzeExpr(*child, ctx, location, in_assertion, out);
+        any_failed = any_failed || c.failed;
+        arg_types.push_back(c.type);
+      }
+      if (any_failed) {
+        // Avoid a cascading GA005 when the real defect is in an operand.
+        result.failed = true;
+        return result;
+      }
+      if (ctx.ops == nullptr) {
+        result.failed = true;
+        return result;
+      }
+      auto res = ctx.ops->ResultType(expr.name(), arg_types);
+      if (!res.ok()) {
+        Emit(out, "GA005", location,
+             "bad operator call " + expr.ToString() + ": " +
+                 res.status().message());
+        result.failed = true;
+        return result;
+      }
+      result.type = *res;
+      // Mirrors Expr::TypeCheckFull: every built-in list-returning operator
+      // yields image elements (composite, pca, ...).
+      result.list_element =
+          result.type == TypeId::kList ? TypeId::kImage : TypeId::kNull;
+      return result;
+    }
+  }
+  result.failed = true;
+  return result;
+}
+
+void AnalyzeProcess(const ProcessDef& def, const ClassRegistry& classes,
+                    const OperatorRegistry& ops,
+                    std::vector<Diagnostic>* out) {
+  const std::string proc_loc = "process " + def.name();
+
+  const ClassDef* out_class = nullptr;
+  if (auto lookup = classes.LookupByName(def.output_class()); lookup.ok()) {
+    out_class = *lookup;
+  } else {
+    Emit(out, "GA001", proc_loc,
+         "OUTPUT class '" + def.output_class() + "' is not defined");
+  }
+
+  TypeContext ctx;
+  ctx.ops = &ops;
+  ctx.params = &def.params();
+  for (const ProcessArg& arg : def.args()) {
+    ArgSchema schema;
+    schema.setof = arg.setof;
+    if (auto lookup = classes.LookupByName(arg.class_name); lookup.ok()) {
+      schema.class_def = *lookup;
+    } else {
+      Emit(out, "GA002", proc_loc + " / argument " + arg.name,
+           "ARGUMENT class '" + arg.class_name + "' is not defined");
+    }
+    // Register the argument even when its class is unknown, so references
+    // to it report the missing class (once) rather than GA009 noise.
+    ctx.args[arg.name] = schema;
+  }
+
+  std::set<std::string> used_args;
+
+  size_t assertion_index = 0;
+  for (const ExprPtr& assertion : def.assertions()) {
+    ++assertion_index;
+    if (assertion == nullptr) continue;
+    CollectArgRefs(*assertion, &used_args);
+    const std::string loc =
+        proc_loc + " / assertion " + std::to_string(assertion_index);
+    ExprAnalysis a = AnalyzeExpr(*assertion, ctx, loc, /*in_assertion=*/true,
+                                 out);
+    if (!a.failed && a.type != TypeId::kBool) {
+      Emit(out, "GA007", loc,
+           "assertion '" + assertion->ToString() + "' has type " +
+               TypeIdName(a.type) + ", must be bool");
+    }
+  }
+
+  std::set<std::string> mapped;
+  for (const ProcessMapping& m : def.mappings()) {
+    if (m.expr == nullptr) continue;
+    CollectArgRefs(*m.expr, &used_args);
+    const std::string loc =
+        proc_loc + " / mapping " + def.output_class() + "." + m.attr;
+    const AttributeDef* target = nullptr;
+    if (out_class != nullptr) {
+      if (auto attr = out_class->FindAttribute(m.attr); attr.ok()) {
+        target = *attr;
+      } else {
+        Emit(out, "GA003", loc,
+             "output class " + def.output_class() + " has no attribute '" +
+                 m.attr + "'");
+      }
+    }
+    ExprAnalysis a =
+        AnalyzeExpr(*m.expr, ctx, loc, /*in_assertion=*/false, out);
+    if (!a.failed && target != nullptr && a.type != target->type &&
+        !(target->type == TypeId::kDouble && a.type == TypeId::kInt)) {
+      Emit(out, "GA004", loc,
+           "mapping expression " + m.expr->ToString() + " has type " +
+               TypeIdName(a.type) + ", attribute is " +
+               TypeIdName(target->type));
+    }
+    mapped.insert(m.attr);
+  }
+
+  if (out_class != nullptr) {
+    for (const AttributeDef& attr : out_class->attributes()) {
+      if (mapped.count(attr.name) == 0) {
+        Emit(out, "GA006", proc_loc,
+             "no mapping for output attribute " + def.output_class() + "." +
+                 attr.name);
+      }
+    }
+  }
+
+  for (const ProcessArg& arg : def.args()) {
+    if (used_args.count(arg.name) == 0) {
+      Emit(out, "GA011", proc_loc + " / argument " + arg.name,
+           "argument '" + arg.name +
+               "' is never referenced by an assertion or mapping");
+    }
+  }
+
+  LintAssertions(def, ctx, out);
+}
+
+void AnalyzeCatalogGraph(const ClassRegistry& classes,
+                         const ProcessRegistry& processes,
+                         std::vector<Diagnostic>* out) {
+  for (const ClassDef* def : classes.List()) {
+    const std::string loc = "class " + def->name();
+    if (def->kind() == ClassKind::kDerived) {
+      auto proc = processes.Latest(def->derived_by());
+      if (!proc.ok()) {
+        Emit(out, "GA101", loc,
+             "DERIVED BY process '" + def->derived_by() +
+                 "' is not defined");
+      } else if ((*proc)->output_class() != def->name()) {
+        Emit(out, "GA102", loc,
+             "DERIVED BY process '" + def->derived_by() +
+                 "' outputs class '" + (*proc)->output_class() +
+                 "', not '" + def->name() + "'");
+      }
+    }
+  }
+  for (const ProcessDef* proc : processes.ListLatest()) {
+    auto cls = classes.LookupByName(proc->output_class());
+    if (cls.ok() && (*cls)->kind() == ClassKind::kBase) {
+      Emit(out, "GA103", "process " + proc->name(),
+           "outputs class '" + proc->output_class() +
+               "', which is declared as base data (missing DERIVED BY?)");
+    }
+  }
+}
+
+void AnalyzeCompoundProcess(const CompoundProcessDef& def,
+                            const ClassRegistry& classes,
+                            const ProcessRegistry& processes,
+                            std::vector<Diagnostic>* out) {
+  const std::string comp_loc = "compound " + def.name();
+
+  for (const auto& [binding, class_name] : def.external_inputs()) {
+    if (!classes.Contains(class_name)) {
+      Emit(out, "GA002", comp_loc + " / input " + binding,
+           "external input class '" + class_name + "' is not defined");
+    }
+  }
+
+  std::map<std::string, const CompoundStage*> by_name;
+  for (const CompoundStage& stage : def.stages()) {
+    by_name[stage.name] = &stage;
+  }
+  if (def.stages().empty()) {
+    Emit(out, "GA104", comp_loc, "compound process has no stages");
+  } else if (by_name.count(def.output_stage()) == 0) {
+    Emit(out, "GA104", comp_loc,
+         "output stage '" + def.output_stage() + "' is not defined");
+  }
+
+  // Stage -> stage dependency edges, for the cycle check below.
+  std::map<std::string, std::set<std::string>> deps;
+
+  for (const CompoundStage& stage : def.stages()) {
+    const std::string loc = comp_loc + " / stage " + stage.name;
+    const ProcessDef* proc = nullptr;
+    if (auto lookup = processes.Latest(stage.process_name); lookup.ok()) {
+      proc = *lookup;
+    } else {
+      Emit(out, "GA106", loc,
+           "invokes unknown process '" + stage.process_name + "'");
+    }
+
+    for (const auto& [arg_name, input] : stage.bindings) {
+      std::string bound_class;
+      if (input.source == StageInput::Source::kExternal) {
+        auto ext = def.external_inputs().find(input.name);
+        if (ext == def.external_inputs().end()) {
+          Emit(out, "GA104", loc,
+               "argument " + arg_name + " references unknown external input '" +
+                   input.name + "'");
+          continue;
+        }
+        bound_class = ext->second;
+      } else {
+        auto producer = by_name.find(input.name);
+        if (producer == by_name.end()) {
+          Emit(out, "GA104", loc,
+               "argument " + arg_name + " references unknown stage '" +
+                   input.name + "'");
+          continue;
+        }
+        deps[stage.name].insert(input.name);
+        auto producer_proc = processes.Latest(producer->second->process_name);
+        if (!producer_proc.ok()) continue;  // GA106 on the producer stage
+        bound_class = (*producer_proc)->output_class();
+      }
+      if (proc == nullptr) continue;
+      auto arg = proc->FindArg(arg_name);
+      if (!arg.ok()) {
+        Emit(out, "GA104", loc,
+             "binds argument '" + arg_name + "', which process " +
+                 stage.process_name + " does not declare");
+        continue;
+      }
+      if (bound_class != (*arg)->class_name) {
+        Emit(out, "GA107", loc,
+             "argument " + arg_name + " expects class " +
+                 (*arg)->class_name + ", gets " + bound_class);
+      }
+    }
+
+    if (proc != nullptr) {
+      for (const ProcessArg& arg : proc->args()) {
+        if (stage.bindings.count(arg.name) == 0) {
+          Emit(out, "GA104", loc,
+               "leaves process argument '" + arg.name + "' unbound");
+        }
+      }
+    }
+  }
+
+  // Cycle detection over stage edges (DFS with colors).
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::set<std::string> reported;
+  std::function<void(const std::string&, std::vector<std::string>*)> visit =
+      [&](const std::string& node, std::vector<std::string>* path) {
+        color[node] = 1;
+        path->push_back(node);
+        for (const std::string& dep : deps[node]) {
+          if (color[dep] == 1) {
+            // Render the cycle from dep's position in the path.
+            auto it = std::find(path->begin(), path->end(), dep);
+            std::string cycle;
+            for (; it != path->end(); ++it) {
+              if (!cycle.empty()) cycle += " -> ";
+              cycle += *it;
+            }
+            cycle += " -> " + dep;
+            if (reported.insert(cycle).second) {
+              Emit(out, "GA105", comp_loc, "stage cycle: " + cycle);
+            }
+          } else if (color[dep] == 0) {
+            visit(dep, path);
+          }
+        }
+        path->pop_back();
+        color[node] = 2;
+      };
+  for (const CompoundStage& stage : def.stages()) {
+    if (color[stage.name] == 0) {
+      std::vector<std::string> path;
+      visit(stage.name, &path);
+    }
+  }
+}
+
+std::vector<Diagnostic> AnalyzeAll(const ClassRegistry& classes,
+                                   const ProcessRegistry& processes,
+                                   const OperatorRegistry& ops) {
+  std::vector<Diagnostic> out;
+  for (const ProcessDef* def : processes.ListLatest()) {
+    AnalyzeProcess(*def, classes, ops, &out);
+  }
+  AnalyzeCatalogGraph(classes, processes, &out);
+  AnalyzePetriNet(classes, processes, &out);
+  return out;
+}
+
+}  // namespace gaea

@@ -1,0 +1,90 @@
+// Static analysis over Gaea's metadata constructs (the tentpole of the
+// derivation-network lint subsystem).
+//
+// The paper's invariant — "object classes which do not represent base data
+// are solely defined by their derivation process" — is only as trustworthy
+// as the process network itself. These passes validate the network ahead of
+// time, instead of at Task instantiation:
+//
+//   * AnalyzeProcess        type/arity checking of TEMPLATE assertions and
+//                           mappings against the catalog and the operator
+//                           registry, plus assertion lint (GA0xx, GA3xx)
+//   * AnalyzeCatalogGraph   class <-> process cross-reference checks (GA1xx)
+//   * AnalyzeCompoundProcess  wiring, class compatibility and cycle checks
+//                           on compound-process stage networks (GA1xx)
+//   * AnalyzePetriNet       structural analysis of the derivation Petri net:
+//                           unreachable transitions, dead places, unbounded
+//                           token growth (GA2xx)
+//   * AnalyzeAll            every pass applicable to a registry snapshot
+//
+// All passes append to a diagnostic list and never fail: a broken network
+// yields findings, not an error status. Callers decide the policy —
+// GaeaKernel::DefineProcess rejects on error-severity findings, DDL loading
+// surfaces the rest as warnings (see docs/ANALYSIS.md).
+
+#ifndef GAEA_ANALYSIS_ANALYZER_H_
+#define GAEA_ANALYSIS_ANALYZER_H_
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "catalog/class_def.h"
+#include "core/compound_process.h"
+#include "core/expr.h"
+#include "core/process.h"
+#include "core/process_registry.h"
+#include "types/op_registry.h"
+
+namespace gaea {
+
+// Result of statically analyzing one expression tree.
+struct ExprAnalysis {
+  bool failed = false;              // a diagnostic was emitted below this node
+  TypeId type = TypeId::kNull;      // inferred result type (valid when !failed)
+  TypeId list_element = TypeId::kNull;  // element type when type == kList
+};
+
+// Walks an expression, verifying every argument/attribute/parameter/operator
+// reference against `ctx`. Unknown attribute references are reported as
+// GA303 inside assertions and GA010 inside mappings. Best-effort: keeps
+// descending after a finding where possible, so one pass collects many
+// diagnostics.
+ExprAnalysis AnalyzeExpr(const Expr& expr, const TypeContext& ctx,
+                         const std::string& location, bool in_assertion,
+                         std::vector<Diagnostic>* out);
+
+// Type/arity checks a process template against the catalog and operator
+// registry (GA001-GA012) and lints its assertions (GA301-GA304).
+void AnalyzeProcess(const ProcessDef& def, const ClassRegistry& classes,
+                    const OperatorRegistry& ops, std::vector<Diagnostic>* out);
+
+// Cross-reference checks between classes and processes: dangling DERIVED BY
+// (GA101), output-class mismatch (GA102), base class with a producer (GA103).
+void AnalyzeCatalogGraph(const ClassRegistry& classes,
+                         const ProcessRegistry& processes,
+                         std::vector<Diagnostic>* out);
+
+// Wiring, class-compatibility and cycle checks on a compound-process stage
+// network (GA104-GA107). Unlike CompoundProcessDef::Expand, reports every
+// defect instead of failing on the first.
+void AnalyzeCompoundProcess(const CompoundProcessDef& def,
+                            const ClassRegistry& classes,
+                            const ProcessRegistry& processes,
+                            std::vector<Diagnostic>* out);
+
+// Petri-net structural analysis of the derivation net built from the latest
+// version of every process (GA201-GA203). Processes referencing unknown
+// classes are excluded (they are reported by AnalyzeProcess instead).
+void AnalyzePetriNet(const ClassRegistry& classes,
+                     const ProcessRegistry& processes,
+                     std::vector<Diagnostic>* out);
+
+// Runs every registry-level pass: AnalyzeProcess on the latest version of
+// each process, AnalyzeCatalogGraph, and AnalyzePetriNet.
+std::vector<Diagnostic> AnalyzeAll(const ClassRegistry& classes,
+                                   const ProcessRegistry& processes,
+                                   const OperatorRegistry& ops);
+
+}  // namespace gaea
+
+#endif  // GAEA_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,183 @@
+#include "analysis/assertion_lint.h"
+
+#include <limits>
+#include <map>
+#include <string>
+
+namespace gaea {
+
+namespace {
+
+// Feasible integer interval for card(arg), [lo, hi] with hi possibly +inf.
+struct CardInterval {
+  int64_t lo = 1;
+  int64_t hi = std::numeric_limits<int64_t>::max();
+  std::vector<std::string> constraints;  // rendered, for the message
+
+  bool empty() const { return lo > hi; }
+};
+
+// If `expr` is `cmp(card(a), k)` or `cmp(k, card(a))` with k a foldable
+// integer, applies the constraint to the argument's interval.
+void ApplyCardConstraint(const Expr& expr,
+                         const std::map<std::string, Value>& params,
+                         const OperatorRegistry& ops,
+                         std::map<std::string, CardInterval>* intervals) {
+  if (expr.kind() != Expr::Kind::kOpCall || expr.children().size() != 2) {
+    return;
+  }
+  const std::string& op = expr.name();
+  if (op != "eq" && op != "ne" && op != "lt" && op != "le" && op != "gt" &&
+      op != "ge") {
+    return;
+  }
+  const ExprPtr& lhs = expr.children()[0];
+  const ExprPtr& rhs = expr.children()[1];
+  if (lhs == nullptr || rhs == nullptr) return;
+
+  const Expr* card = nullptr;
+  const Expr* constant = nullptr;
+  bool flipped = false;  // constraint reads `k <op> card(a)`
+  if (lhs->kind() == Expr::Kind::kCard) {
+    card = lhs.get();
+    constant = rhs.get();
+  } else if (rhs->kind() == Expr::Kind::kCard) {
+    card = rhs.get();
+    constant = lhs.get();
+    flipped = true;
+  } else {
+    return;
+  }
+  std::optional<Value> folded = FoldConstant(*constant, params, ops);
+  if (!folded.has_value()) return;
+  auto as_int = folded->AsInt();
+  if (!as_int.ok()) return;
+  int64_t k = *as_int;
+
+  // Normalize a flipped comparison: k < card(a) means card(a) > k.
+  std::string norm = op;
+  if (flipped) {
+    if (op == "lt") norm = "gt";
+    else if (op == "le") norm = "ge";
+    else if (op == "gt") norm = "lt";
+    else if (op == "ge") norm = "le";
+  }
+
+  auto it = intervals->find(card->name());
+  if (it == intervals->end()) return;  // undeclared arg: GA009 already fired
+  CardInterval& iv = it->second;
+  if (norm == "eq") {
+    iv.lo = std::max(iv.lo, k);
+    iv.hi = std::min(iv.hi, k);
+  } else if (norm == "ge") {
+    iv.lo = std::max(iv.lo, k);
+  } else if (norm == "gt") {
+    iv.lo = std::max(iv.lo, k + 1);
+  } else if (norm == "le") {
+    iv.hi = std::min(iv.hi, k);
+  } else if (norm == "lt") {
+    iv.hi = std::min(iv.hi, k - 1);
+  } else if (norm == "ne") {
+    // Only prunes when the interval is the single excluded point.
+    if (iv.lo == k && iv.hi == k) iv.hi = iv.lo - 1;
+  }
+  iv.constraints.push_back(expr.ToString());
+}
+
+}  // namespace
+
+std::optional<Value> FoldConstant(const Expr& expr,
+                                  const std::map<std::string, Value>& params,
+                                  const OperatorRegistry& ops) {
+  switch (expr.kind()) {
+    case Expr::Kind::kLiteral:
+      return expr.literal();
+    case Expr::Kind::kParam: {
+      auto it = params.find(expr.name());
+      if (it == params.end()) return std::nullopt;
+      return it->second;
+    }
+    case Expr::Kind::kOpCall: {
+      ValueList args;
+      args.reserve(expr.children().size());
+      for (const ExprPtr& child : expr.children()) {
+        if (child == nullptr) return std::nullopt;
+        std::optional<Value> folded = FoldConstant(*child, params, ops);
+        if (!folded.has_value()) return std::nullopt;
+        args.push_back(std::move(*folded));
+      }
+      // Built-in operators are pure, so invoking one on folded constants is
+      // exactly the runtime semantics; any failure just means "not foldable".
+      auto result = ops.Invoke(expr.name(), args);
+      if (!result.ok()) return std::nullopt;
+      return std::move(*result);
+    }
+    default:
+      // card / attr refs / ANYOF / common depend on bound objects.
+      return std::nullopt;
+  }
+}
+
+void LintAssertions(const ProcessDef& def, const TypeContext& ctx,
+                    std::vector<Diagnostic>* out) {
+  if (ctx.ops == nullptr) return;
+  const OperatorRegistry& ops = *ctx.ops;
+  const std::string proc_loc = "process " + def.name();
+
+  // Seed each argument's interval with its declared MIN (the Petri-net
+  // firing threshold): the planner never binds fewer objects than that.
+  std::map<std::string, CardInterval> intervals;
+  for (const ProcessArg& arg : def.args()) {
+    CardInterval iv;
+    iv.lo = arg.min_card;
+    if (!arg.setof) iv.hi = 1;  // scalar arguments bind exactly one object
+    iv.constraints.push_back("declared MIN " + std::to_string(arg.min_card));
+    intervals[arg.name] = std::move(iv);
+  }
+
+  size_t index = 0;
+  for (const ExprPtr& assertion : def.assertions()) {
+    ++index;
+    if (assertion == nullptr) continue;
+    const std::string loc =
+        proc_loc + " / assertion " + std::to_string(index);
+
+    std::optional<Value> folded =
+        FoldConstant(*assertion, def.params(), ops);
+    if (folded.has_value()) {
+      auto as_bool = folded->AsBool();
+      if (as_bool.ok()) {
+        if (*as_bool) {
+          Emit(out, "GA304", loc,
+               "assertion '" + assertion->ToString() +
+                   "' is trivially true and guards nothing");
+        } else {
+          Emit(out, "GA301", loc,
+               "assertion '" + assertion->ToString() +
+                   "' is trivially false; the process can never fire");
+        }
+      }
+      // Non-bool constants are reported as GA007 by the type pass.
+      continue;
+    }
+
+    ApplyCardConstraint(*assertion, def.params(), ops, &intervals);
+  }
+
+  for (const auto& [arg_name, iv] : intervals) {
+    // Only flag arguments an assertion actually constrained (beyond the
+    // declared-MIN seed), so unconstrained arguments stay silent.
+    if (iv.constraints.size() <= 1) continue;
+    if (!iv.empty()) continue;
+    std::string rendered;
+    for (const std::string& c : iv.constraints) {
+      if (!rendered.empty()) rendered += ", ";
+      rendered += c;
+    }
+    Emit(out, "GA302", proc_loc + " / argument " + arg_name,
+         "cardinality constraints on '" + arg_name +
+             "' are unsatisfiable: " + rendered);
+  }
+}
+
+}  // namespace gaea

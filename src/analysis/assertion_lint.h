@@ -1,0 +1,42 @@
+// Assertion lint (pass 4 of the static analyzer, codes GA301/GA302/GA304).
+//
+// TEMPLATE assertions are the guard rules of the derivation Petri net: a
+// process whose assertions can never hold is a transition that can never
+// fire, no matter what data arrives. Two techniques:
+//
+//   * constant folding — parameters are compile-time constants ("the same
+//     derivation method with different parameters represents different
+//     processes"), so any assertion over literals and $params alone folds to
+//     a boolean: false => GA301 (error), true => GA304 (vacuous, warning);
+//   * cardinality intervals — the conjunction of every `card(arg) <op> k`
+//     constraint, seeded with the argument's declared MIN, is intersected
+//     into one integer interval per argument; an empty interval (e.g.
+//     card(x) = 3 and card(x) = 4) is unsatisfiable => GA302 (error).
+
+#ifndef GAEA_ANALYSIS_ASSERTION_LINT_H_
+#define GAEA_ANALYSIS_ASSERTION_LINT_H_
+
+#include <optional>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "core/expr.h"
+#include "core/process.h"
+
+namespace gaea {
+
+// Folds an expression to a constant when it depends only on literals,
+// process parameters, and operators over those. Returns nullopt when the
+// expression references runtime data (arguments) or folding fails.
+std::optional<Value> FoldConstant(const Expr& expr,
+                                  const std::map<std::string, Value>& params,
+                                  const OperatorRegistry& ops);
+
+// Lints `def`'s assertions; `ctx` is the type context AnalyzeProcess built
+// (used for the operator registry and parameter values).
+void LintAssertions(const ProcessDef& def, const TypeContext& ctx,
+                    std::vector<Diagnostic>* out);
+
+}  // namespace gaea
+
+#endif  // GAEA_ANALYSIS_ASSERTION_LINT_H_

@@ -1,0 +1,148 @@
+#include "analysis/ddl_lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "analysis/analyzer.h"
+#include "ddl/parser.h"
+
+namespace gaea {
+
+namespace {
+
+// Concept ISA checks over the parsed statements (before registration, where
+// cycles are still representable): GA108 cycles, GA109 undefined parents,
+// GA110 unknown member classes.
+void LintConcepts(const std::vector<const ConceptStmt*>& stmts,
+                  const ClassRegistry& classes,
+                  std::vector<Diagnostic>* out) {
+  std::set<std::string> defined;
+  for (const ConceptStmt* stmt : stmts) defined.insert(stmt->name);
+
+  std::map<std::string, std::set<std::string>> parents;
+  for (const ConceptStmt* stmt : stmts) {
+    const std::string loc = "concept " + stmt->name;
+    for (const std::string& parent : stmt->isa_parents) {
+      parents[stmt->name].insert(parent);
+      if (defined.count(parent) == 0) {
+        Emit(out, "GA109", loc,
+             "ISA parent '" + parent +
+                 "' is not defined in this script (it will be implicitly "
+                 "created as an empty concept)");
+      }
+    }
+    for (const std::string& member : stmt->member_classes) {
+      if (!classes.Contains(member)) {
+        Emit(out, "GA110", loc,
+             "MEMBERS references unknown class '" + member + "'");
+      }
+    }
+  }
+
+  // Cycle detection over the ISA edges (DFS with colors).
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::set<std::string> reported;
+  std::function<void(const std::string&, std::vector<std::string>*)> visit =
+      [&](const std::string& node, std::vector<std::string>* path) {
+        color[node] = 1;
+        path->push_back(node);
+        for (const std::string& parent : parents[node]) {
+          if (color[parent] == 1) {
+            auto it = std::find(path->begin(), path->end(), parent);
+            std::string cycle;
+            for (; it != path->end(); ++it) {
+              if (!cycle.empty()) cycle += " ISA ";
+              cycle += *it;
+            }
+            cycle += " ISA " + parent;
+            if (reported.insert(cycle).second) {
+              Emit(out, "GA108", "concept " + parent,
+                   "ISA cycle: " + cycle);
+            }
+          } else if (color[parent] == 0) {
+            visit(parent, path);
+          }
+        }
+        path->pop_back();
+        color[node] = 2;
+      };
+  for (const auto& [name, unused] : parents) {
+    (void)unused;
+    if (color[name] == 0) {
+      std::vector<std::string> path;
+      visit(name, &path);
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<Diagnostic>> LintDdlScript(const std::string& source) {
+  GAEA_ASSIGN_OR_RETURN(std::vector<ParsedStatement> stmts,
+                        ParseScript(source));
+
+  std::vector<Diagnostic> diags;
+  OperatorRegistry ops;
+  GAEA_RETURN_IF_ERROR(RegisterBuiltinOperators(&ops));
+
+  // Assemble ephemeral registries. Classes first: processes and concepts
+  // may legally reference a class defined anywhere in the script.
+  ClassRegistry classes;
+  for (const ParsedStatement& stmt : stmts) {
+    const ClassDef* def = std::get_if<ClassDef>(&stmt);
+    if (def == nullptr) continue;
+    if (classes.Contains(def->name())) {
+      Emit(&diags, "GA111", "class " + def->name(),
+           "duplicate definition of class '" + def->name() + "'");
+      continue;
+    }
+    auto registered = classes.Register(*def);
+    if (!registered.ok()) {
+      Emit(&diags, "GA112", "class " + def->name(),
+           registered.status().message());
+    }
+  }
+
+  ProcessRegistry processes;
+  std::vector<const ConceptStmt*> concepts;
+  for (const ParsedStatement& stmt : stmts) {
+    if (const ProcessDef* def = std::get_if<ProcessDef>(&stmt)) {
+      AnalyzeProcess(*def, classes, ops, &diags);
+      auto registered = processes.Register(*def);
+      if (!registered.ok() &&
+          registered.status().code() == StatusCode::kAlreadyExists) {
+        Emit(&diags, "GA113", "process " + def->name(),
+             registered.status().message());
+      }
+    } else if (const ConceptStmt* concept_stmt =
+                   std::get_if<ConceptStmt>(&stmt)) {
+      concepts.push_back(concept_stmt);
+    }
+  }
+
+  LintConcepts(concepts, classes, &diags);
+  AnalyzeCatalogGraph(classes, processes, &diags);
+  AnalyzePetriNet(classes, processes, &diags);
+  return diags;
+}
+
+StatusOr<std::vector<Diagnostic>> LintDdlFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot read DDL file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  GAEA_ASSIGN_OR_RETURN(std::vector<Diagnostic> diags,
+                        LintDdlScript(buffer.str()));
+  for (Diagnostic& d : diags) {
+    d.location = d.location.empty() ? path : path + ": " + d.location;
+  }
+  return diags;
+}
+
+}  // namespace gaea

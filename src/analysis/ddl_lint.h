@@ -1,0 +1,35 @@
+// Standalone DDL lint: parse a Gaea definition script and run every static
+// analysis pass over it, without touching any database directory.
+//
+// This is the engine behind the `gaea-lint` CLI and the analysis test
+// fixtures. It assembles ephemeral class/process registries from the parsed
+// statements (builtin operators only), so a malformed network yields
+// diagnostics rather than a failed load. Script-level checks that only make
+// sense before registration — duplicate definitions, concept ISA cycles,
+// undefined ISA parents, unknown concept members — live here too (GA108-
+// GA111 and friends).
+//
+// A parse failure is returned as an error status (the script cannot be
+// analyzed at all); everything else is a diagnostic.
+
+#ifndef GAEA_ANALYSIS_DDL_LINT_H_
+#define GAEA_ANALYSIS_DDL_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "util/status.h"
+
+namespace gaea {
+
+// Lints a DDL script held in memory.
+StatusOr<std::vector<Diagnostic>> LintDdlScript(const std::string& source);
+
+// Reads and lints a DDL file; diagnostics' locations are prefixed with the
+// file name.
+StatusOr<std::vector<Diagnostic>> LintDdlFile(const std::string& path);
+
+}  // namespace gaea
+
+#endif  // GAEA_ANALYSIS_DDL_LINT_H_

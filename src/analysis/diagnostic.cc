@@ -1,0 +1,136 @@
+#include "analysis/diagnostic.h"
+
+#include <sstream>
+
+namespace gaea {
+
+const char* SeverityName(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream os;
+  os << SeverityName(severity) << " " << code;
+  if (!location.empty()) os << " [" << location << "]";
+  os << ": " << message;
+  return os.str();
+}
+
+const std::vector<DiagnosticCodeInfo>& AllDiagnosticCodes() {
+  static const std::vector<DiagnosticCodeInfo> kCodes = {
+      // ---- GA0xx: type/arity checking ----
+      {"GA001", Severity::kError, "type",
+       "process OUTPUT names a class that is not defined"},
+      {"GA002", Severity::kError, "type",
+       "process ARGUMENT names a class that is not defined"},
+      {"GA003", Severity::kError, "type",
+       "mapping targets an attribute absent from the output class"},
+      {"GA004", Severity::kError, "type",
+       "mapping expression type does not match the output attribute type"},
+      {"GA005", Severity::kError, "type",
+       "unknown operator or no overload matching the argument types"},
+      {"GA006", Severity::kError, "type",
+       "output attribute is not covered by any mapping"},
+      {"GA007", Severity::kError, "type",
+       "assertion expression does not type-check to bool"},
+      {"GA008", Severity::kError, "type",
+       "expression references an undeclared process parameter"},
+      {"GA009", Severity::kError, "type",
+       "expression references an undeclared process argument"},
+      {"GA010", Severity::kError, "type",
+       "expression references an attribute absent from the argument's class"},
+      {"GA011", Severity::kWarning, "type",
+       "declared process argument is never referenced by the template"},
+      {"GA012", Severity::kError, "type",
+       "malformed expression structure (ANYOF of a scalar, empty common())"},
+      // ---- GA1xx: graph checks ----
+      {"GA101", Severity::kError, "graph",
+       "derived class is DERIVED BY an unknown process"},
+      {"GA102", Severity::kError, "graph",
+       "class's DERIVED BY process outputs a different class"},
+      {"GA103", Severity::kWarning, "graph",
+       "base class is produced by a process but not marked DERIVED BY"},
+      {"GA104", Severity::kError, "graph",
+       "compound stage references an unknown stage or external binding"},
+      {"GA105", Severity::kError, "graph",
+       "compound-process stage network contains a cycle"},
+      {"GA106", Severity::kError, "graph",
+       "compound stage invokes an unknown process"},
+      {"GA107", Severity::kError, "graph",
+       "compound stage binding class does not match the argument class"},
+      {"GA108", Severity::kError, "graph",
+       "concept ISA hierarchy contains a cycle"},
+      {"GA109", Severity::kWarning, "graph",
+       "concept ISA parent is not defined (will be implicitly created)"},
+      {"GA110", Severity::kError, "graph",
+       "concept MEMBERS references an unknown class"},
+      {"GA111", Severity::kError, "graph",
+       "duplicate definition of the same name in one script"},
+      {"GA112", Severity::kError, "graph",
+       "class definition rejected by the catalog"},
+      {"GA113", Severity::kWarning, "graph",
+       "process re-defined with a structure identical to its latest version"},
+      // ---- GA2xx: Petri-net structural analysis ----
+      {"GA201", Severity::kWarning, "petri",
+       "transition can never fire, even with unlimited base data"},
+      {"GA202", Severity::kWarning, "petri",
+       "dead place: derived class can never receive a token"},
+      {"GA203", Severity::kWarning, "petri",
+       "derivation cycle: token counts can grow without bound"},
+      // ---- GA3xx: assertion lint ----
+      {"GA301", Severity::kError, "assertion",
+       "assertion is trivially false; the process can never fire"},
+      {"GA302", Severity::kError, "assertion",
+       "contradictory cardinality constraints on a process argument"},
+      {"GA303", Severity::kError, "assertion",
+       "assertion references an attribute absent from the input classes"},
+      {"GA304", Severity::kWarning, "assertion",
+       "assertion is trivially true and guards nothing"},
+  };
+  return kCodes;
+}
+
+const DiagnosticCodeInfo* FindDiagnosticCode(const std::string& code) {
+  for (const DiagnosticCodeInfo& info : AllDiagnosticCodes()) {
+    if (code == info.code) return &info;
+  }
+  return nullptr;
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diags) {
+  return CountErrors(diags) > 0;
+}
+
+size_t CountErrors(const std::vector<Diagnostic>& diags) {
+  size_t n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diags) {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags) os << d.ToString() << "\n";
+  return os.str();
+}
+
+bool HasCode(const std::vector<Diagnostic>& diags, const std::string& code) {
+  for (const Diagnostic& d : diags) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+void Emit(std::vector<Diagnostic>* out, const std::string& code,
+          std::string location, std::string message) {
+  Diagnostic d;
+  d.code = code;
+  const DiagnosticCodeInfo* info = FindDiagnosticCode(code);
+  d.severity = info != nullptr ? info->severity : Severity::kError;
+  d.location = std::move(location);
+  d.message = std::move(message);
+  out->push_back(std::move(d));
+}
+
+}  // namespace gaea

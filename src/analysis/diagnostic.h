@@ -1,0 +1,71 @@
+// Diagnostics emitted by the static analyzer (src/analysis/).
+//
+// Every finding carries a stable code ("GA001"...), a severity, a source
+// location (DDL file/line when known, otherwise the construct path, e.g.
+// "process unsupervised-classification / mapping landcover.data"), and a
+// human-readable message. Codes are grouped by pass family:
+//
+//   GA0xx  type/arity checking of process templates against the catalog
+//          and the operator registry
+//   GA1xx  graph checks: class/process cross-references, compound-process
+//          networks, concept ISA structure
+//   GA2xx  Petri-net structural analysis of the derivation net
+//   GA3xx  assertion lint (trivially false/true, contradictions)
+//
+// The full code table lives in AllDiagnosticCodes(); docs/ANALYSIS.md is the
+// user-facing rendering of it.
+
+#ifndef GAEA_ANALYSIS_DIAGNOSTIC_H_
+#define GAEA_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+namespace gaea {
+
+enum class Severity : uint8_t {
+  kWarning = 0,  // suspicious but loadable (warn-on-load)
+  kError = 1,    // definition rejected at registration time
+};
+
+const char* SeverityName(Severity s);
+
+struct Diagnostic {
+  std::string code;      // "GA001"
+  Severity severity = Severity::kError;
+  std::string location;  // construct path; "file:line: ..." when known
+  std::string message;
+
+  // "error GA001 [process compute-ndvi]: output class 'x' is not defined".
+  std::string ToString() const;
+};
+
+// One entry of the stable code table.
+struct DiagnosticCodeInfo {
+  const char* code;
+  Severity severity;
+  const char* family;   // "type", "graph", "petri", "assertion"
+  const char* summary;  // one-line description
+};
+
+// All codes the analyzer can emit, ascending.
+const std::vector<DiagnosticCodeInfo>& AllDiagnosticCodes();
+
+// Lookup in AllDiagnosticCodes(); nullptr when unknown.
+const DiagnosticCodeInfo* FindDiagnosticCode(const std::string& code);
+
+// Convenience helpers over a diagnostic list.
+bool HasErrors(const std::vector<Diagnostic>& diags);
+size_t CountErrors(const std::vector<Diagnostic>& diags);
+// All diagnostics rendered one per line.
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diags);
+// True if any diagnostic carries `code`.
+bool HasCode(const std::vector<Diagnostic>& diags, const std::string& code);
+
+// Appends a diagnostic with the severity registered for `code`.
+void Emit(std::vector<Diagnostic>* out, const std::string& code,
+          std::string location, std::string message);
+
+}  // namespace gaea
+
+#endif  // GAEA_ANALYSIS_DIAGNOSTIC_H_

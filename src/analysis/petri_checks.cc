@@ -1,0 +1,162 @@
+// Petri-net structural analysis (pass 3 of the static analyzer, GA2xx).
+//
+// The derivation net of paper §2.1.6 is non-consuming: firing never removes
+// tokens, so markings grow monotonically and "can this transition ever
+// fire?" is decidable by a saturation fixpoint under the optimistic
+// assumption of unlimited base data. On top of that:
+//
+//   * GA201 — a transition no firing sequence can ever enable (one of its
+//     input places can never reach the required threshold);
+//   * GA202 — a dead place: a class declared DERIVED whose place can never
+//     receive a token (no producer, or only unreachable producers);
+//   * GA203 — a derivation cycle (a class transitively derives itself):
+//     legal — interpolation is C -> C — but each trip around the cycle adds
+//     tokens forever, so the net is unbounded there and plans must rely on
+//     the planner's cycle guard.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "core/petri.h"
+
+namespace gaea {
+
+void AnalyzePetriNet(const ClassRegistry& classes,
+                     const ProcessRegistry& processes,
+                     std::vector<Diagnostic>* out) {
+  // Exclude processes whose classes do not resolve — those are GA001/GA002
+  // findings, and DerivationNet::Build would refuse the whole net.
+  ProcessRegistry usable;
+  for (const ProcessDef* def : processes.ListLatest()) {
+    bool resolvable = classes.Contains(def->output_class());
+    for (const ProcessArg& arg : def->args()) {
+      resolvable = resolvable && classes.Contains(arg.class_name);
+    }
+    if (resolvable) {
+      // Registration renumbers versions; analysis only needs structure.
+      (void)usable.Register(*def);
+    }
+  }
+  auto net_or = DerivationNet::Build(classes, usable);
+  if (!net_or.ok()) return;  // defensive; usable was filtered to resolve
+  const DerivationNet& net = *net_or;
+
+  auto class_name = [&classes](ClassId id) {
+    auto def = classes.LookupById(id);
+    return def.ok() ? (*def)->name() : std::to_string(id);
+  };
+
+  // Producers per place and the largest threshold any consumer demands.
+  std::map<ClassId, std::vector<const DerivationNet::Transition*>> producers;
+  std::map<ClassId, int64_t> need;
+  for (const DerivationNet::Transition& t : net.transitions()) {
+    producers[t.output].push_back(&t);
+    for (const auto& [class_id, threshold] : t.inputs) {
+      int64_t& n = need[class_id];
+      n = std::max<int64_t>(n, threshold);
+    }
+  }
+
+  // Optimistic marking: unlimited tokens on every place whose class is
+  // *declared* base data, zero elsewhere; saturate to fixpoint. Declared
+  // kind, not "has no producer", is the seed: a derived class without a
+  // producing transition must stay empty — that is the dead-place defect,
+  // not a token source.
+  constexpr int64_t kPlenty = int64_t{1} << 40;
+  DerivationNet::Marking marking;
+  for (ClassId place : net.places()) {
+    auto def = classes.LookupById(place);
+    if (def.ok() && (*def)->kind() == ClassKind::kBase) {
+      marking[place] = kPlenty;
+    }
+  }
+  std::vector<bool> fireable(net.transitions().size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < net.transitions().size(); ++i) {
+      if (fireable[i]) continue;
+      const DerivationNet::Transition& t = net.transitions()[i];
+      if (DerivationNet::Enabled(t, marking)) {
+        fireable[i] = true;
+        // Non-consuming: a fireable transition can fire repeatedly, so its
+        // output saturates at the largest threshold any consumer needs.
+        auto need_it = need.find(t.output);
+        int64_t target =
+            std::max<int64_t>(1, need_it == need.end() ? 0 : need_it->second);
+        int64_t& tokens = marking[t.output];
+        tokens = std::max(tokens, target);
+        changed = true;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < net.transitions().size(); ++i) {
+    if (fireable[i]) continue;
+    const DerivationNet::Transition& t = net.transitions()[i];
+    // Name the first starved input for the message.
+    std::string starved;
+    for (const auto& [class_id, threshold] : t.inputs) {
+      auto it = marking.find(class_id);
+      int64_t tokens = it == marking.end() ? 0 : it->second;
+      if (tokens < threshold) {
+        starved = "input class '" + class_name(class_id) +
+                  "' can never hold " + std::to_string(threshold) +
+                  " object(s)";
+        break;
+      }
+    }
+    Emit(out, "GA201", "process " + t.process_name,
+         "transition can never fire, even with unlimited base data: " +
+             starved);
+  }
+
+  for (ClassId place : net.places()) {
+    auto def = classes.LookupById(place);
+    if (!def.ok() || (*def)->kind() != ClassKind::kDerived) continue;
+    auto it = marking.find(place);
+    if (it == marking.end() || it->second == 0) {
+      Emit(out, "GA202", "class " + (*def)->name(),
+           "dead place: no reachable process ever produces an object of "
+           "this derived class");
+    }
+  }
+
+  // Derivation cycles: class-level edges input -> output per transition;
+  // a process is on a cycle when its output reaches one of its inputs.
+  std::map<ClassId, std::set<ClassId>> edges;
+  for (const DerivationNet::Transition& t : net.transitions()) {
+    for (const auto& [class_id, threshold] : t.inputs) {
+      edges[class_id].insert(t.output);
+    }
+  }
+  auto reaches = [&edges](ClassId from, ClassId to) {
+    std::set<ClassId> seen;
+    std::vector<ClassId> stack{from};
+    while (!stack.empty()) {
+      ClassId cur = stack.back();
+      stack.pop_back();
+      if (cur == to) return true;
+      if (!seen.insert(cur).second) continue;
+      auto it = edges.find(cur);
+      if (it == edges.end()) continue;
+      stack.insert(stack.end(), it->second.begin(), it->second.end());
+    }
+    return false;
+  };
+  for (const DerivationNet::Transition& t : net.transitions()) {
+    for (const auto& [class_id, threshold] : t.inputs) {
+      if (reaches(t.output, class_id)) {
+        Emit(out, "GA203", "process " + t.process_name,
+             "derivation cycle through class '" + class_name(class_id) +
+                 "': token counts can grow without bound (plans rely on "
+                 "the planner's cycle guard)");
+        break;  // one finding per transition
+      }
+    }
+  }
+}
+
+}  // namespace gaea

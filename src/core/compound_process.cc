@@ -114,7 +114,7 @@ StatusOr<std::vector<const CompoundStage*>> CompoundProcessDef::Expand(
   std::sort(ready.begin(), ready.end(), std::greater<>());
   std::vector<const CompoundStage*> order;
   while (!ready.empty()) {
-    std::string name = ready.back();
+    std::string name = std::move(ready.back());
     ready.pop_back();
     order.push_back(by_name.at(name));
     for (const std::string& dep : dependents[name]) {

@@ -97,6 +97,16 @@ class Expr {
 
   Kind kind() const { return kind_; }
 
+  // ---- tree inspection (used by the static analyzer, src/analysis/) ----
+  // Meaning depends on kind: param name for kParam, argument name for
+  // kAttrRef/kCard, operator name for kOpCall; empty otherwise.
+  const std::string& name() const { return name_; }
+  // Attribute name for kAttrRef; empty otherwise.
+  const std::string& attr() const { return attr_; }
+  // Constant for kLiteral; null otherwise.
+  const Value& literal() const { return literal_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
   // Infers the result type, verifying every referenced arg/attr/param/op.
   StatusOr<TypeId> TypeCheck(const TypeContext& ctx) const;
 

@@ -1,5 +1,6 @@
 #include "gaea/kernel.h"
 
+#include "analysis/analyzer.h"
 #include "query/qparser.h"
 #include "util/string_util.h"
 
@@ -86,16 +87,46 @@ Status GaeaKernel::ApplyStatement(ParsedStatement stmt) {
 }
 
 Status GaeaKernel::ExecuteDdl(const std::string& source) {
+  return ExecuteDdl(source, nullptr);
+}
+
+Status GaeaKernel::ExecuteDdl(const std::string& source,
+                              std::vector<Diagnostic>* diagnostics) {
   GAEA_ASSIGN_OR_RETURN(std::vector<ParsedStatement> stmts,
                         ParseScript(source));
   for (ParsedStatement& stmt : stmts) {
     GAEA_RETURN_IF_ERROR(ApplyStatement(std::move(stmt)));
+  }
+  if (diagnostics != nullptr) {
+    // Warn-on-load: surface everything the analyzer finds in the catalog as
+    // it now stands. Cross-statement findings (a DERIVED BY process still
+    // missing, an unreachable transition) are legal mid-bootstrap — a later
+    // script may complete the network — so they do not fail the load.
+    std::vector<Diagnostic> found =
+        AnalyzeAll(catalog_->classes(), processes_, ops_);
+    diagnostics->insert(diagnostics->end(), found.begin(), found.end());
   }
   return Status::OK();
 }
 
 StatusOr<int> GaeaKernel::DefineProcess(ProcessDef def) {
   GAEA_RETURN_IF_ERROR(def.Validate(catalog_->classes(), ops_));
+  // Reject-on-error: a process whose template can never hold (trivially
+  // false assertion, contradictory cardinalities, ...) would be a dead
+  // transition in every derivation net; refuse it at the door.
+  std::vector<Diagnostic> diags;
+  AnalyzeProcess(def, catalog_->classes(), ops_, &diags);
+  if (HasErrors(diags)) {
+    std::string rendered;
+    for (const Diagnostic& d : diags) {
+      if (d.severity != Severity::kError) continue;
+      if (!rendered.empty()) rendered += "; ";
+      rendered += d.ToString();
+    }
+    return Status::InvalidArgument("process " + def.name() +
+                                   " rejected by static analysis: " +
+                                   rendered);
+  }
   std::string name = def.name();
   GAEA_ASSIGN_OR_RETURN(int version, processes_.Register(std::move(def)));
   // Journal the registered (version-stamped) definition.

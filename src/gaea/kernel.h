@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "analysis/diagnostic.h"
 #include "catalog/catalog.h"
 #include "core/compound_process.h"
 #include "core/deriver.h"
@@ -64,7 +65,18 @@ class GaeaKernel {
   // Parses and applies a DDL script (classes, processes, concepts).
   Status ExecuteDdl(const std::string& source);
 
+  // Like above, but additionally runs the static analyzer (src/analysis/)
+  // over the loaded catalog and appends its findings to `diagnostics`
+  // (warn-on-load: findings never fail an otherwise valid load; process
+  // templates with error-severity findings were already rejected by
+  // DefineProcess). See docs/ANALYSIS.md for the policy.
+  Status ExecuteDdl(const std::string& source,
+                    std::vector<Diagnostic>* diagnostics);
+
   // Registers a process built programmatically (journaled, versioned).
+  // Reject-on-error: the definition is refused when the static analyzer
+  // reports any error-severity diagnostic (e.g. a trivially false
+  // assertion), in addition to ProcessDef::Validate.
   StatusOr<int> DefineProcess(ProcessDef def);
 
   // ---- data & derivation ----

@@ -1,0 +1,106 @@
+// gaea-lint: static analysis of Gaea derivation networks from the command
+// line. Runs every analyzer pass (type/arity, graph, Petri, assertion lint)
+// over one or more DDL files; see docs/ANALYSIS.md for the diagnostic codes.
+//
+//   gaea_lint [--werror] [--quiet] file.ddl...   lint files
+//   gaea_lint --list                             print the code table
+//   gaea_lint --explain GA301                    describe one code
+//
+// Exit status: 0 clean (warnings allowed unless --werror), 1 diagnostics at
+// error severity (or any with --werror), 2 usage / unreadable / unparsable.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/ddl_lint.h"
+#include "analysis/diagnostic.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: gaea_lint [--werror] [--quiet] file.ddl...\n"
+               "       gaea_lint --list\n"
+               "       gaea_lint --explain CODE\n");
+}
+
+void PrintCode(const gaea::DiagnosticCodeInfo& info) {
+  std::printf("%s  %-7s  %-9s  %s\n", info.code,
+              gaea::SeverityName(info.severity), info.family, info.summary);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool werror = false;
+  bool quiet = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--werror") == 0) {
+      werror = true;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(arg, "--list") == 0) {
+      for (const gaea::DiagnosticCodeInfo& info :
+           gaea::AllDiagnosticCodes()) {
+        PrintCode(info);
+      }
+      return 0;
+    } else if (std::strcmp(arg, "--explain") == 0) {
+      if (i + 1 >= argc) {
+        PrintUsage();
+        return 2;
+      }
+      const gaea::DiagnosticCodeInfo* info =
+          gaea::FindDiagnosticCode(argv[++i]);
+      if (info == nullptr) {
+        std::fprintf(stderr, "gaea_lint: unknown diagnostic code '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      PrintCode(*info);
+      return 0;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "gaea_lint: unknown option '%s'\n", arg);
+      PrintUsage();
+      return 2;
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+
+  if (files.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  size_t errors = 0;
+  size_t warnings = 0;
+  for (const std::string& file : files) {
+    auto diags = gaea::LintDdlFile(file);
+    if (!diags.ok()) {
+      std::fprintf(stderr, "gaea_lint: %s\n",
+                   diags.status().ToString().c_str());
+      return 2;
+    }
+    for (const gaea::Diagnostic& d : *diags) {
+      if (d.severity == gaea::Severity::kError) {
+        ++errors;
+      } else {
+        ++warnings;
+      }
+      if (!quiet) std::printf("%s\n", d.ToString().c_str());
+    }
+  }
+
+  if (!quiet) {
+    std::printf("gaea_lint: %zu file(s), %zu error(s), %zu warning(s)\n",
+                files.size(), errors, warnings);
+  }
+  if (errors > 0 || (werror && warnings > 0)) return 1;
+  return 0;
+}
