@@ -148,4 +148,4 @@ BENCHMARK(BM_LineageChain);
 }  // namespace
 }  // namespace gaea
 
-BENCHMARK_MAIN();
+GAEA_BENCHMARK_MAIN(bench_fig1_architecture);

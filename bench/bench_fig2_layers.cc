@@ -125,4 +125,4 @@ BENCHMARK(BM_ProcessVersionLookup)->Arg(2)->Arg(16)->Arg(128);
 }  // namespace
 }  // namespace gaea
 
-BENCHMARK_MAIN();
+GAEA_BENCHMARK_MAIN(bench_fig2_layers);

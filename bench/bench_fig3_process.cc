@@ -157,4 +157,4 @@ BENCHMARK(BM_ValidateProcess);
 }  // namespace
 }  // namespace gaea
 
-BENCHMARK_MAIN();
+GAEA_BENCHMARK_MAIN(bench_fig3_process);

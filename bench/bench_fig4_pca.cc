@@ -142,4 +142,4 @@ BENCHMARK(BM_Stage_LinearCombination);
 }  // namespace
 }  // namespace gaea
 
-BENCHMARK_MAIN();
+GAEA_BENCHMARK_MAIN(bench_fig4_pca);

@@ -185,4 +185,4 @@ BENCHMARK(BM_ExpansionChainLength)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
 }  // namespace
 }  // namespace gaea
 
-BENCHMARK_MAIN();
+GAEA_BENCHMARK_MAIN(bench_fig5_compound);

@@ -158,4 +158,4 @@ BENCHMARK(BM_JournalReplay)->Arg(100)->Arg(1000)->Arg(10000)
 }  // namespace
 }  // namespace gaea
 
-BENCHMARK_MAIN();
+GAEA_BENCHMARK_MAIN(bench_lineage);

@@ -1,0 +1,283 @@
+// Parallel derivation engine: speedup of DeriveBatch over 1/2/4/8 worker
+// threads and the derivation cache's hit rate on repeated derivations.
+//
+// The primary workload is latency-bound: its process maps through an
+// operator that sleeps a few milliseconds, modeling the paper's §5 external
+// procedures (remote instruments, lab equipment, network services) whose
+// cost is wait, not CPU. This keeps the speedup measurement meaningful on
+// single-core CI machines; a CPU-bound workload is reported alongside as a
+// reference (its speedup is bounded by the machine's core count).
+//
+// Unlike the google-benchmark binaries this is a plain main: each
+// measurement is one timed DeriveBatch call, and the output is a custom
+// BENCH_bench_parallel_derivation.json (schema in docs/PERF.md).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "gaea/kernel.h"
+
+namespace gaea {
+namespace {
+
+constexpr char kSchema[] = R"(
+CLASS sample (
+  ATTRIBUTES:
+    v = int4;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+)
+CLASS slow_out (
+  ATTRIBUTES:
+    v = int4;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+  DERIVED BY: slow-derive
+)
+CLASS busy_out (
+  ATTRIBUTES:
+    v = int4;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+  DERIVED BY: busy-derive
+)
+)";
+
+constexpr int kSleepMs = 4;        // latency-bound operator wait
+constexpr int kSpinIters = 400000; // CPU-bound operator work
+constexpr int kBatchSize = 16;     // requests per timed batch
+constexpr int kCacheBatch = 8;     // requests in the repeated batch
+constexpr int kCacheRepeats = 12;  // repeats of the identical batch
+
+void RegisterBenchOperators(GaeaKernel* kernel) {
+  OperatorSignature sleep_sig;
+  sleep_sig.params = {TypeId::kInt};
+  sleep_sig.result = TypeId::kInt;
+  sleep_sig.doc = "identity that waits, modeling an external procedure";
+  sleep_sig.fn = [](const ValueList& args) -> StatusOr<Value> {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kSleepMs));
+    return args[0];
+  };
+  BENCH_CHECK_OK(kernel->operators().Register("bench_sleep_ident",
+                                              std::move(sleep_sig)));
+
+  OperatorSignature spin_sig;
+  spin_sig.params = {TypeId::kInt};
+  spin_sig.result = TypeId::kInt;
+  spin_sig.doc = "identity that burns CPU";
+  spin_sig.fn = [](const ValueList& args) -> StatusOr<Value> {
+    int64_t v = args[0].AsInt().value();
+    volatile int64_t acc = v;
+    for (int i = 0; i < kSpinIters; ++i) acc = acc * 1103515245 + 12345;
+    return Value::Int(v + (acc & 0));
+  };
+  BENCH_CHECK_OK(kernel->operators().Register("bench_spin_ident",
+                                              std::move(spin_sig)));
+}
+
+void DefineBenchProcesses(GaeaKernel* kernel) {
+  auto define = [&](const char* name, const char* output, const char* op) {
+    ProcessDef def(name, output);
+    BENCH_CHECK_OK(def.AddArg({"in", "sample", false, 1}));
+    std::vector<ExprPtr> call_args;
+    call_args.push_back(Expr::AttrRef("in", "v"));
+    BENCH_CHECK_OK(def.AddMapping("v", Expr::OpCall(op, std::move(call_args))));
+    BENCH_CHECK_OK(
+        def.AddMapping("spatialextent", Expr::AttrRef("in", "spatialextent")));
+    BENCH_CHECK_OK(
+        def.AddMapping("timestamp", Expr::AttrRef("in", "timestamp")));
+    BENCH_CHECK_OK(kernel->DefineProcess(std::move(def)).status());
+  };
+  define("slow-derive", "slow_out", "bench_sleep_ident");
+  define("busy-derive", "busy_out", "bench_spin_ident");
+}
+
+std::vector<Oid> InsertSamples(GaeaKernel* kernel, int count) {
+  const ClassDef* cls =
+      kernel->catalog().classes().LookupByName("sample").value();
+  std::vector<Oid> oids;
+  oids.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    DataObject obj(*cls);
+    BENCH_CHECK_OK(obj.Set(*cls, "v", Value::Int(i)));
+    BENCH_CHECK_OK(obj.Set(*cls, "spatialextent", Value::OfBox(Box(0, 0, 1, 1))));
+    BENCH_CHECK_OK(obj.Set(*cls, "timestamp", Value::Time(AbsTime(i + 1))));
+    oids.push_back(kernel->Insert(std::move(obj)).value());
+  }
+  return oids;
+}
+
+std::vector<DeriveRequest> MakeBatch(const std::string& process,
+                                     const std::vector<Oid>& inputs) {
+  std::vector<DeriveRequest> requests;
+  requests.reserve(inputs.size());
+  for (Oid oid : inputs) {
+    DeriveRequest request;
+    request.process = process;
+    request.inputs["in"] = {oid};
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+// Runs one timed DeriveBatch of `process` over fresh inputs (distinct cache
+// keys: every request computes).
+double TimedBatchMs(GaeaKernel* kernel, const std::string& process,
+                    int threads) {
+  std::vector<Oid> inputs = InsertSamples(kernel, kBatchSize);
+  std::vector<DeriveRequest> batch = MakeBatch(process, inputs);
+  kernel->SetDeriveThreads(threads);
+  auto start = std::chrono::steady_clock::now();
+  auto outcomes = kernel->DeriveBatch(batch);
+  auto end = std::chrono::steady_clock::now();
+  BENCH_CHECK_OK(outcomes.status());
+  for (const DeriveOutcome& outcome : *outcomes) {
+    BENCH_CHECK_OK(outcome.status);
+  }
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+struct ScalingResult {
+  std::vector<int> threads;
+  std::vector<double> ms;
+  std::vector<double> speedup;
+};
+
+ScalingResult RunScaling(GaeaKernel* kernel, const std::string& process) {
+  ScalingResult result;
+  // Warm the code paths (first derivation pays catalog/journal setup).
+  (void)TimedBatchMs(kernel, process, 1);
+  for (int threads : {1, 2, 4, 8}) {
+    double ms = TimedBatchMs(kernel, process, threads);
+    result.threads.push_back(threads);
+    result.ms.push_back(ms);
+    result.speedup.push_back(result.ms.front() / ms);
+    std::printf("%-12s threads=%d  %8.2f ms  speedup %.2fx\n",
+                process.c_str(), threads, ms, result.speedup.back());
+  }
+  return result;
+}
+
+struct CacheResult {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  double hit_rate = 0;
+  double first_batch_ms = 0;
+  double avg_repeat_ms = 0;
+};
+
+CacheResult RunCacheWorkload(GaeaKernel* kernel) {
+  kernel->SetDeriveThreads(4);
+  std::vector<Oid> inputs = InsertSamples(kernel, kCacheBatch);
+  std::vector<DeriveRequest> batch = MakeBatch("slow-derive", inputs);
+  DerivationCache::Stats before = kernel->derivation_cache().stats();
+
+  CacheResult result;
+  auto run = [&] {
+    auto start = std::chrono::steady_clock::now();
+    auto outcomes = kernel->DeriveBatch(batch);
+    auto end = std::chrono::steady_clock::now();
+    BENCH_CHECK_OK(outcomes.status());
+    for (const DeriveOutcome& outcome : *outcomes) {
+      BENCH_CHECK_OK(outcome.status);
+    }
+    return std::chrono::duration<double, std::milli>(end - start).count();
+  };
+  result.first_batch_ms = run();
+  double repeat_ms = 0;
+  for (int i = 0; i < kCacheRepeats; ++i) repeat_ms += run();
+  result.avg_repeat_ms = repeat_ms / kCacheRepeats;
+
+  DerivationCache::Stats after = kernel->derivation_cache().stats();
+  result.hits = after.hits - before.hits;
+  result.misses = after.misses - before.misses;
+  result.hit_rate =
+      static_cast<double>(result.hits) / (result.hits + result.misses);
+  std::printf("cache: %llu hits / %llu misses (%.1f%%), first batch %.2f ms, "
+              "cached repeat %.2f ms\n",
+              static_cast<unsigned long long>(result.hits),
+              static_cast<unsigned long long>(result.misses),
+              100.0 * result.hit_rate, result.first_batch_ms,
+              result.avg_repeat_ms);
+  return result;
+}
+
+void AppendScalingJson(std::string* json, const char* name,
+                       const ScalingResult& r) {
+  *json += "  \"";
+  *json += name;
+  *json += "\": [";
+  for (size_t i = 0; i < r.threads.size(); ++i) {
+    if (i > 0) *json += ", ";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"threads\": %d, \"ms\": %.3f, \"speedup\": %.3f}",
+                  r.threads[i], r.ms[i], r.speedup[i]);
+    *json += buf;
+  }
+  *json += "]";
+}
+
+int Run() {
+  GaeaKernel::Options options;
+  options.dir = bench::FreshDir("parallel_derivation");
+  auto kernel = GaeaKernel::Open(options);
+  BENCH_CHECK_OK(kernel.status());
+  (*kernel)->SetClock(AbsTime(1));
+  RegisterBenchOperators(kernel->get());
+  BENCH_CHECK_OK((*kernel)->ExecuteDdl(kSchema));
+  DefineBenchProcesses(kernel->get());
+
+  ScalingResult latency = RunScaling(kernel->get(), "slow-derive");
+  ScalingResult cpu = RunScaling(kernel->get(), "busy-derive");
+  CacheResult cache = RunCacheWorkload(kernel->get());
+
+  double speedup4 = latency.speedup[2];  // threads == 4
+
+  std::string json = "{\n  \"bench\": \"bench_parallel_derivation\",\n";
+  AppendScalingJson(&json, "latency_bound", latency);
+  json += ",\n";
+  AppendScalingJson(&json, "cpu_bound", cpu);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                ",\n  \"speedup_at_4_threads\": %.3f,\n"
+                "  \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+                "\"hit_rate\": %.4f, \"first_batch_ms\": %.3f, "
+                "\"avg_repeat_ms\": %.3f}\n}\n",
+                speedup4, static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses), cache.hit_rate,
+                cache.first_batch_ms, cache.avg_repeat_ms);
+  json += buf;
+
+  const char* path = "BENCH_bench_parallel_derivation.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+
+  int rc = 0;
+  if (speedup4 < 2.5) {
+    std::fprintf(stderr, "FAIL: speedup at 4 threads %.2fx < 2.5x\n",
+                 speedup4);
+    rc = 1;
+  }
+  if (cache.hit_rate < 0.9) {
+    std::fprintf(stderr, "FAIL: cache hit rate %.1f%% < 90%%\n",
+                 100.0 * cache.hit_rate);
+    rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace gaea
+
+int main() { return gaea::Run(); }

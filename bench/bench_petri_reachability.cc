@@ -151,4 +151,4 @@ BENCHMARK(BM_RequiredInitialMarking)->Arg(8)->Arg(64)->Arg(256);
 }  // namespace
 }  // namespace gaea
 
-BENCHMARK_MAIN();
+GAEA_BENCHMARK_MAIN(bench_petri_reachability);

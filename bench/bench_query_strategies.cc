@@ -227,4 +227,4 @@ BENCHMARK(BM_RepeatedRequest_Recompute)
 }  // namespace
 }  // namespace gaea
 
-BENCHMARK_MAIN();
+GAEA_BENCHMARK_MAIN(bench_query_strategies);

@@ -213,4 +213,4 @@ BENCHMARK(BM_Gaea_ReproducePipeline)
 }  // namespace
 }  // namespace gaea
 
-BENCHMARK_MAIN();
+GAEA_BENCHMARK_MAIN(bench_reproducibility);

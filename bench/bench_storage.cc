@@ -205,4 +205,4 @@ BENCHMARK(BM_JournalAppendSync);
 }  // namespace
 }  // namespace gaea
 
-BENCHMARK_MAIN();
+GAEA_BENCHMARK_MAIN(bench_storage);

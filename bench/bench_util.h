@@ -5,10 +5,13 @@
 #ifndef GAEA_BENCH_BENCH_UTIL_H_
 #define GAEA_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -40,5 +43,35 @@ inline std::string FreshDir(const std::string& tag) {
 }
 
 }  // namespace gaea::bench
+
+// Emits main() for a bench binary. Unless the caller passes their own
+// --benchmark_out, results are also written as google-benchmark JSON to
+// BENCH_<name>.json in the working directory — the machine-readable record
+// CI and docs/PERF.md consume.
+#define GAEA_BENCHMARK_MAIN(name)                                            \
+  int main(int argc, char** argv) {                                          \
+    std::vector<char*> args(argv, argv + argc);                              \
+    std::string out_flag = "--benchmark_out=BENCH_" #name ".json";           \
+    std::string fmt_flag = "--benchmark_out_format=json";                    \
+    bool has_out = false;                                                    \
+    for (int i = 1; i < argc; ++i) {                                         \
+      if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {          \
+        has_out = true;                                                      \
+      }                                                                      \
+    }                                                                        \
+    if (!has_out) {                                                          \
+      args.push_back(out_flag.data());                                       \
+      args.push_back(fmt_flag.data());                                       \
+    }                                                                        \
+    int bench_argc = static_cast<int>(args.size());                          \
+    ::benchmark::Initialize(&bench_argc, args.data());                       \
+    if (::benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) { \
+      return 1;                                                              \
+    }                                                                        \
+    ::benchmark::RunSpecifiedBenchmarks();                                   \
+    ::benchmark::Shutdown();                                                 \
+    return 0;                                                                \
+  }                                                                          \
+  static_assert(true, "")
 
 #endif  // GAEA_BENCH_BENCH_UTIL_H_

@@ -19,6 +19,10 @@
 //   net                      Graphviz of the class-derivation Petri net
 //   can-derive <class>       Petri-net feasibility with current data
 //   tasks                    list recorded tasks
+//   derive-batch <process> arg=oid[,oid...] ... [; <process> ...]
+//                            run derivations on the scheduler (cached)
+//   set-threads <n>          worker threads for derive-batch / compounds
+//   stats                    catalog, derivation-cache and buffer-pool stats
 //   quit
 
 #include <cstdio>
@@ -67,6 +71,8 @@ class Shell {
     if (cmd == "can-derive") return CanDerive(words);
     if (cmd == "tasks") return Tasks();
     if (cmd == "stats") return Stats();
+    if (cmd == "derive-batch") return DeriveBatch(words);
+    if (cmd == "set-threads") return SetThreads(words);
     if (cmd == "compare-concept") return CompareConcept(words);
     std::printf("unknown command: %s (try: classes, concepts, processes, "
                 "select, lineage, tasks, quit)\n",
@@ -298,6 +304,88 @@ class Shell {
                 stats.classes, stats.concepts, stats.processes,
                 stats.process_versions, stats.objects, stats.tasks,
                 stats.experiments);
+    const DerivationCache::Stats& dc = stats.derivation_cache;
+    std::printf("derivation cache: %zu/%zu entries  hits %llu  misses %llu  "
+                "evictions %llu  invalidations %llu\n",
+                dc.entries, dc.capacity,
+                static_cast<unsigned long long>(dc.hits),
+                static_cast<unsigned long long>(dc.misses),
+                static_cast<unsigned long long>(dc.evictions),
+                static_cast<unsigned long long>(dc.invalidations));
+    PrintPool("heap pool", stats.heap_pool);
+    PrintPool("index pool", stats.index_pool);
+    return true;
+  }
+
+  void PrintPool(const char* name, const GaeaKernel::PoolStats& pool) {
+    std::printf("%s: hits %llu  misses %llu  evictions %llu  shards",
+                name, static_cast<unsigned long long>(pool.hits),
+                static_cast<unsigned long long>(pool.misses),
+                static_cast<unsigned long long>(pool.evictions));
+    for (const BufferPool::ShardStats& shard : pool.per_shard) {
+      std::printf(" [h%llu m%llu r%zu p%zu]",
+                  static_cast<unsigned long long>(shard.hits),
+                  static_cast<unsigned long long>(shard.misses),
+                  shard.resident, shard.pinned);
+    }
+    std::printf("\n");
+  }
+
+  bool SetThreads(std::istringstream& words) {
+    int threads = 0;
+    if (!(words >> threads) || threads < 1) {
+      std::printf("usage: set-threads <n>\n");
+      return true;
+    }
+    kernel_->SetDeriveThreads(threads);
+    std::printf("derive threads = %d\n", kernel_->derive_threads());
+    return true;
+  }
+
+  bool DeriveBatch(std::istringstream& words) {
+    std::vector<DeriveRequest> requests;
+    std::string token;
+    bool bad = false;
+    while (words >> token) {
+      if (token == ";") continue;  // next token names the next process
+      size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        DeriveRequest request;
+        request.process = token;
+        requests.push_back(std::move(request));
+        continue;
+      }
+      if (requests.empty()) {
+        bad = true;
+        break;
+      }
+      std::vector<Oid>& oids = requests.back().inputs[token.substr(0, eq)];
+      for (const std::string& part : StrSplit(token.substr(eq + 1), ',')) {
+        oids.push_back(std::strtoull(part.c_str(), nullptr, 10));
+      }
+    }
+    if (bad || requests.empty()) {
+      std::printf(
+          "usage: derive-batch <process> arg=oid[,oid...] ... [; <process> "
+          "...]\n");
+      return true;
+    }
+    auto outcomes = kernel_->DeriveBatch(requests);
+    if (!outcomes.ok()) {
+      PrintStatus(outcomes.status());
+      return true;
+    }
+    for (size_t i = 0; i < outcomes->size(); ++i) {
+      const DeriveOutcome& outcome = (*outcomes)[i];
+      if (outcome.status.ok()) {
+        std::printf("%s -> #%llu%s\n", requests[i].process.c_str(),
+                    static_cast<unsigned long long>(outcome.oid),
+                    outcome.cache_hit ? " (cached)" : "");
+      } else {
+        std::printf("%s -> %s\n", requests[i].process.c_str(),
+                    outcome.status.ToString().c_str());
+      }
+    }
     return true;
   }
 

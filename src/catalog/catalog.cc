@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <mutex>
+#include <shared_mutex>
 
 namespace gaea {
 
@@ -84,6 +86,7 @@ Status Catalog::AppendRecord(uint8_t tag, const std::string& payload) {
 }
 
 StatusOr<ClassId> Catalog::DefineClass(ClassDef def) {
+  std::unique_lock lock(mu_);
   def.set_id(kInvalidClassId);  // id assignment belongs to the registry
   GAEA_ASSIGN_OR_RETURN(ClassId id, classes_.Register(std::move(def)));
   GAEA_ASSIGN_OR_RETURN(const ClassDef* stored, classes_.LookupById(id));
@@ -95,6 +98,7 @@ StatusOr<ClassId> Catalog::DefineClass(ClassDef def) {
 
 StatusOr<ConceptId> Catalog::DefineConcept(const std::string& name,
                                            const std::string& doc) {
+  std::unique_lock lock(mu_);
   ConceptDef def;
   def.name = name;
   def.doc = doc;
@@ -108,6 +112,7 @@ StatusOr<ConceptId> Catalog::DefineConcept(const std::string& name,
 
 Status Catalog::AddIsA(const std::string& child_concept,
                        const std::string& parent_concept) {
+  std::unique_lock lock(mu_);
   GAEA_ASSIGN_OR_RETURN(const ConceptDef* child,
                         concepts_.LookupByName(child_concept));
   GAEA_ASSIGN_OR_RETURN(const ConceptDef* parent,
@@ -121,6 +126,7 @@ Status Catalog::AddIsA(const std::string& child_concept,
 
 Status Catalog::AddConceptMember(const std::string& concept_name,
                                  const std::string& class_name) {
+  std::unique_lock lock(mu_);
   GAEA_ASSIGN_OR_RETURN(const ConceptDef* concept_def,
                         concepts_.LookupByName(concept_name));
   GAEA_ASSIGN_OR_RETURN(const ClassDef* cls,
@@ -133,6 +139,7 @@ Status Catalog::AddConceptMember(const std::string& concept_name,
 }
 
 StatusOr<Oid> Catalog::InsertObject(DataObject obj) {
+  std::unique_lock lock(mu_);
   GAEA_ASSIGN_OR_RETURN(const ClassDef* def,
                         classes_.LookupById(obj.class_id()));
   GAEA_RETURN_IF_ERROR(obj.TypeCheck(*def));
@@ -162,6 +169,11 @@ StatusOr<Oid> Catalog::InsertObject(DataObject obj) {
 }
 
 StatusOr<DataObject> Catalog::GetObject(Oid oid) const {
+  std::shared_lock lock(mu_);
+  return GetObjectUnlocked(oid);
+}
+
+StatusOr<DataObject> Catalog::GetObjectUnlocked(Oid oid) const {
   GAEA_ASSIGN_OR_RETURN(std::string payload, store_->Get(oid));
   BinaryReader r(payload);
   return DataObject::Deserialize(&r);
@@ -170,7 +182,8 @@ StatusOr<DataObject> Catalog::GetObject(Oid oid) const {
 bool Catalog::ContainsObject(Oid oid) const { return store_->Contains(oid); }
 
 Status Catalog::DeleteObject(Oid oid) {
-  GAEA_ASSIGN_OR_RETURN(DataObject obj, GetObject(oid));
+  std::unique_lock lock(mu_);
+  GAEA_ASSIGN_OR_RETURN(DataObject obj, GetObjectUnlocked(oid));
   GAEA_ASSIGN_OR_RETURN(const ClassDef* def,
                         classes_.LookupById(obj.class_id()));
   GAEA_RETURN_IF_ERROR(store_->Delete(oid));
@@ -197,6 +210,7 @@ Status Catalog::DeleteObject(Oid oid) {
 }
 
 std::vector<Oid> Catalog::ObjectsInRegion(const Box& region) const {
+  std::shared_lock lock(mu_);
   std::vector<Oid> out;
   for (const auto& [class_id, tree] : spatial_index_) {
     std::vector<uint64_t> hits = tree.SearchValues(region);
@@ -220,6 +234,7 @@ std::vector<Oid> Intersect(const std::vector<Oid>& a,
 StatusOr<std::vector<Oid>> Catalog::Candidates(
     ClassId class_id, const std::optional<Box>& region,
     const std::optional<TimeInterval>& time) const {
+  std::shared_lock lock(mu_);
   GAEA_ASSIGN_OR_RETURN(const ClassDef* def, classes_.LookupById(class_id));
   std::vector<Oid> candidates;
   if (region.has_value() && def->has_spatial_extent()) {
@@ -230,11 +245,12 @@ StatusOr<std::vector<Oid>> Catalog::Candidates(
     std::vector<uint64_t> hits = tree->second.SearchValues(*region);
     candidates.assign(hits.begin(), hits.end());
   } else {
-    GAEA_ASSIGN_OR_RETURN(candidates, ObjectsOfClass(class_id));
+    GAEA_ASSIGN_OR_RETURN(candidates, ObjectsOfClassUnlocked(class_id));
   }
   if (time.has_value() && def->has_temporal_extent()) {
-    GAEA_ASSIGN_OR_RETURN(std::vector<Oid> in_time,
-                          ObjectsInTimeRange(time->begin(), time->end()));
+    GAEA_ASSIGN_OR_RETURN(
+        std::vector<Oid> in_time,
+        ObjectsInTimeRangeUnlocked(time->begin(), time->end()));
     std::sort(in_time.begin(), in_time.end());
     candidates = Intersect(candidates, in_time);
   }
@@ -242,6 +258,12 @@ StatusOr<std::vector<Oid>> Catalog::Candidates(
 }
 
 StatusOr<std::vector<Oid>> Catalog::ObjectsOfClass(ClassId class_id) const {
+  std::shared_lock lock(mu_);
+  return ObjectsOfClassUnlocked(class_id);
+}
+
+StatusOr<std::vector<Oid>> Catalog::ObjectsOfClassUnlocked(
+    ClassId class_id) const {
   GAEA_ASSIGN_OR_RETURN(std::vector<uint64_t> oids,
                         by_class_->Lookup(static_cast<int64_t>(class_id)));
   return std::vector<Oid>(oids.begin(), oids.end());
@@ -250,11 +272,13 @@ StatusOr<std::vector<Oid>> Catalog::ObjectsOfClass(ClassId class_id) const {
 StatusOr<std::vector<Oid>> Catalog::ObjectsOfClassInRange(ClassId class_id,
                                                           AbsTime t0,
                                                           AbsTime t1) const {
-  GAEA_ASSIGN_OR_RETURN(std::vector<Oid> candidates, ObjectsOfClass(class_id));
+  std::shared_lock lock(mu_);
+  GAEA_ASSIGN_OR_RETURN(std::vector<Oid> candidates,
+                        ObjectsOfClassUnlocked(class_id));
   GAEA_ASSIGN_OR_RETURN(const ClassDef* def, classes_.LookupById(class_id));
   std::vector<Oid> out;
   for (Oid oid : candidates) {
-    GAEA_ASSIGN_OR_RETURN(DataObject obj, GetObject(oid));
+    GAEA_ASSIGN_OR_RETURN(DataObject obj, GetObjectUnlocked(oid));
     auto ts = obj.Timestamp(*def);
     if (!ts.ok()) continue;
     if (*ts >= t0 && *ts <= t1) out.push_back(oid);
@@ -264,6 +288,12 @@ StatusOr<std::vector<Oid>> Catalog::ObjectsOfClassInRange(ClassId class_id,
 
 StatusOr<std::vector<Oid>> Catalog::ObjectsInTimeRange(AbsTime t0,
                                                        AbsTime t1) const {
+  std::shared_lock lock(mu_);
+  return ObjectsInTimeRangeUnlocked(t0, t1);
+}
+
+StatusOr<std::vector<Oid>> Catalog::ObjectsInTimeRangeUnlocked(
+    AbsTime t0, AbsTime t1) const {
   std::vector<Oid> out;
   GAEA_RETURN_IF_ERROR(by_time_->Scan(
       t0.seconds(), t1.seconds(), [&out](int64_t, uint64_t oid) -> Status {

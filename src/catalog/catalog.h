@@ -10,10 +10,10 @@
 #define GAEA_CATALOG_CATALOG_H_
 
 #include <memory>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
-
-#include <optional>
 
 #include "catalog/class_def.h"
 #include "catalog/concept.h"
@@ -84,6 +84,10 @@ class Catalog {
 
   Status Flush();
 
+  // Buffer-pool stats of the object store's heap pool (kernel stats).
+  ObjectStore* store() { return store_.get(); }
+  const ObjectStore* store() const { return store_.get(); }
+
  private:
   explicit Catalog(std::string dir) : dir_(std::move(dir)) {}
 
@@ -92,6 +96,17 @@ class Catalog {
   // Rebuilds the volatile spatial index from the stored objects.
   Status RebuildSpatialIndex();
 
+  // Lock-free internals, called with mu_ already held (shared or exclusive)
+  // by the public wrappers — a shared_mutex is not recursive.
+  StatusOr<DataObject> GetObjectUnlocked(Oid oid) const;
+  StatusOr<std::vector<Oid>> ObjectsOfClassUnlocked(ClassId class_id) const;
+  StatusOr<std::vector<Oid>> ObjectsInTimeRangeUnlocked(AbsTime t0,
+                                                        AbsTime t1) const;
+
+  // Readers (lookups, candidate scans) share; definition appends and object
+  // insert/delete (which mutate the R-trees and secondary indexes as one
+  // unit) are exclusive.
+  mutable std::shared_mutex mu_;
   std::string dir_;
   std::unique_ptr<Journal> journal_;
   std::unique_ptr<ObjectStore> store_;

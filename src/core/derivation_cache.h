@@ -1,0 +1,100 @@
+// Memoizing derivation cache (the "derived data as cached computation" view
+// of the paper, §2.1.4): "object classes which do not represent base data
+// are solely defined by their derivation process", so the output of a task
+// is fully determined by (process name, process version, parameter values,
+// input OIDs). Repeating such a task must reproduce the same objects — which
+// makes task outputs safe to memoize.
+//
+// Invalidation rules:
+//   * Process redefinition NEVER invalidates: editing a process creates a
+//     new version ("in no case is the old process overwritten"), and the
+//     version is part of the key, so entries for old versions stay valid.
+//   * Entries are dropped when their output object is evicted/deleted from
+//     the catalog (InvalidateOutput) and under capacity pressure (LRU).
+//
+// Key shape: name '#' version '#' crc32(serialized params) '#' then each
+// argument as name '=' comma-joined OIDs, arguments in lexicographic order
+// (ProcessDef stores params and the task stores inputs in std::map order,
+// so this is canonical). OIDs within one argument keep their binding order:
+// an ANYOF argument consumes the *first* element, so [5,9] and [9,5] are
+// semantically different bindings and must not alias.
+//
+// Thread-safe; all operations take one internal mutex.
+
+#ifndef GAEA_CORE_DERIVATION_CACHE_H_
+#define GAEA_CORE_DERIVATION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/process.h"
+#include "storage/object_store.h"
+
+namespace gaea {
+
+class DerivationCache {
+ public:
+  explicit DerivationCache(size_t capacity = 1024) : capacity_(capacity) {}
+
+  DerivationCache(const DerivationCache&) = delete;
+  DerivationCache& operator=(const DerivationCache&) = delete;
+
+  // Canonical memo key for instantiating `def` with `inputs`.
+  static std::string MakeKey(
+      const ProcessDef& def,
+      const std::map<std::string, std::vector<Oid>>& inputs);
+
+  // The memoized output OID, or nullopt (counts a hit/miss).
+  std::optional<Oid> Lookup(const std::string& key);
+
+  // Like Lookup but touches neither the stats nor the LRU order. Used by
+  // the scheduler's commit path to deduplicate in-flight requests without
+  // double-counting the compute-time lookup.
+  std::optional<Oid> Peek(const std::string& key) const;
+
+  // Memoizes key -> output. An existing entry is refreshed (the derivation
+  // is deterministic, so the value can only be identical).
+  void Insert(const std::string& key, Oid output);
+
+  // Drops every entry whose output is `oid` (object evicted or deleted).
+  void InvalidateOutput(Oid oid);
+
+  // Drops everything (counts toward invalidations).
+  void Clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;      // capacity (LRU) evictions
+    uint64_t invalidations = 0;  // entries dropped via InvalidateOutput/Clear
+    size_t entries = 0;
+    size_t capacity = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    Oid output = kInvalidOid;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  // LRU list (front = most recent) + key index into it.
+  std::list<Entry> entries_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_CORE_DERIVATION_CACHE_H_

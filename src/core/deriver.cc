@@ -19,25 +19,26 @@ StatusOr<Oid> Deriver::Derive(
 StatusOr<Oid> Deriver::DeriveImpl(
     const ProcessDef& proc,
     const std::map<std::string, std::vector<Oid>>& inputs) {
-  auto start = std::chrono::steady_clock::now();
+  return Commit(Prepare(proc, inputs));
+}
+
+Deriver::Prepared Deriver::Prepare(
+    const ProcessDef& proc,
+    const std::map<std::string, std::vector<Oid>>& inputs) const {
+  Prepared prepared;
+  prepared.start = std::chrono::steady_clock::now();
 
   // Prepare a task record up front so failures are logged too.
-  Task task;
+  Task& task = prepared.task;
   task.process_name = proc.name();
   task.process_version = proc.version();
   task.inputs = inputs;
   task.user = user_;
   task.started = now_;
 
-  auto fail = [&](Status status) -> Status {
-    task.status = TaskStatus::kFailed;
-    task.error = status.ToString();
-    task.duration_us = std::chrono::duration_cast<std::chrono::microseconds>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
-    // Best effort: the original error dominates a logging error.
-    (void)log_->Append(std::move(task));
-    return status;
+  auto fail = [&](Status status) -> Prepared&& {
+    prepared.status = std::move(status);
+    return std::move(prepared);
   };
 
   // Load and bind the input objects. Objects are kept alive in `loaded`.
@@ -117,13 +118,33 @@ StatusOr<Oid> Deriver::DeriveImpl(
     if (!set.ok()) return fail(set);
   }
 
-  auto oid = catalog_->InsertObject(std::move(output));
+  prepared.output = std::move(output);
+  return prepared;
+}
+
+StatusOr<Oid> Deriver::Commit(Prepared prepared) {
+  Task& task = prepared.task;
+  auto finish_us = [&prepared] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - prepared.start)
+        .count();
+  };
+  auto fail = [&](Status status) -> Status {
+    task.status = TaskStatus::kFailed;
+    task.error = status.ToString();
+    task.duration_us = finish_us();
+    // Best effort: the original error dominates a logging error.
+    (void)log_->Append(std::move(task));
+    return status;
+  };
+
+  if (!prepared.status.ok()) return fail(std::move(prepared.status));
+
+  auto oid = catalog_->InsertObject(*std::move(prepared.output));
   if (!oid.ok()) return fail(oid.status());
 
   task.outputs.push_back(*oid);
-  task.duration_us = std::chrono::duration_cast<std::chrono::microseconds>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
+  task.duration_us = finish_us();
   GAEA_RETURN_IF_ERROR(log_->Append(std::move(task)).status());
   return *oid;
 }

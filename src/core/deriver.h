@@ -11,7 +11,9 @@
 #ifndef GAEA_CORE_DERIVER_H_
 #define GAEA_CORE_DERIVER_H_
 
+#include <chrono>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -50,6 +52,29 @@ class Deriver {
   // new output OID. Reproducibility check: with deterministic operators the
   // new object's attributes equal the original's.
   StatusOr<Oid> Replay(const Task& task);
+
+  // ---- split execution (used by the parallel TaskScheduler) ----
+  //
+  // One instantiation is split into a compute half (Prepare: load inputs,
+  // check assertions, evaluate mappings — pure reads, safe on any thread)
+  // and a commit half (Commit: store the output object, append the task
+  // record). The scheduler runs Prepare concurrently but commits in plan
+  // order, so OID assignment and task-log order stay deterministic.
+  struct Prepared {
+    Task task;                         // record-in-progress (no outputs yet)
+    std::optional<DataObject> output;  // set iff status.ok()
+    Status status = Status::OK();      // prepare outcome
+    std::chrono::steady_clock::time_point start;
+  };
+
+  Prepared Prepare(const ProcessDef& proc,
+                   const std::map<std::string, std::vector<Oid>>& inputs) const;
+
+  // Completes `prepared`: on prepare success, inserts the output object and
+  // logs the completed task, returning the new OID; on failure (from
+  // Prepare or from the insert itself) logs the failed task and returns the
+  // error — exactly Derive's externally visible behavior.
+  StatusOr<Oid> Commit(Prepared prepared);
 
  private:
   StatusOr<Oid> DeriveImpl(const ProcessDef& proc,

@@ -126,6 +126,7 @@ StatusOr<std::unique_ptr<TaskLog>> TaskLog::Open(const std::string& path) {
 }
 
 StatusOr<TaskId> TaskLog::Append(Task task) {
+  std::lock_guard<std::mutex> lock(mu_);
   task.id = static_cast<TaskId>(tasks_.size()) + 1;
   for (Oid oid : task.outputs) {
     if (producer_index_.count(oid) > 0) {
@@ -148,6 +149,7 @@ StatusOr<TaskId> TaskLog::Append(Task task) {
 }
 
 StatusOr<const Task*> TaskLog::Get(TaskId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id == kInvalidTaskId || id > tasks_.size()) {
     return Status::NotFound("no task with id " + std::to_string(id));
   }
@@ -155,6 +157,7 @@ StatusOr<const Task*> TaskLog::Get(TaskId id) const {
 }
 
 StatusOr<const Task*> TaskLog::Producer(Oid oid) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = producer_index_.find(oid);
   if (it == producer_index_.end()) {
     return Status::NotFound("object " + std::to_string(oid) +
@@ -166,6 +169,7 @@ StatusOr<const Task*> TaskLog::Producer(Oid oid) const {
 StatusOr<const Task*> TaskLog::FindCompleted(
     const std::string& process_name, int process_version,
     const std::map<std::string, std::vector<Oid>>& inputs) const {
+  std::lock_guard<std::mutex> lock(mu_);
   // Newest first: the latest equivalent run is the one to reuse.
   for (auto it = tasks_.rbegin(); it != tasks_.rend(); ++it) {
     if (it->status == TaskStatus::kCompleted &&
@@ -180,6 +184,7 @@ StatusOr<const Task*> TaskLog::FindCompleted(
 }
 
 std::vector<const Task*> TaskLog::Consumers(Oid oid) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const Task*> out;
   auto it = consumer_index_.find(oid);
   if (it == consumer_index_.end()) return out;

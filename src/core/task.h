@@ -11,7 +11,9 @@
 #define GAEA_CORE_TASK_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,6 +57,8 @@ struct Task {
 };
 
 // Append-only, optionally journal-backed task log with lineage indexes.
+// Thread-safe: appends and index lookups are serialized by a mutex. Tasks
+// live in a deque, so `const Task*` results stay valid across appends.
 class TaskLog {
  public:
   TaskLog() = default;
@@ -70,8 +74,13 @@ class TaskLog {
   StatusOr<TaskId> Append(Task task);
 
   StatusOr<const Task*> Get(TaskId id) const;
-  const std::vector<Task>& tasks() const { return tasks_; }
-  size_t size() const { return tasks_.size(); }
+  // Not synchronized with concurrent appends — call only from single-
+  // threaded sections (shell, tests, lineage reports).
+  const std::deque<Task>& tasks() const { return tasks_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tasks_.size();
+  }
 
   // The task that produced `oid` (an object is produced by at most one
   // task); kNotFound for base objects.
@@ -88,7 +97,8 @@ class TaskLog {
       const std::map<std::string, std::vector<Oid>>& inputs) const;
 
  private:
-  std::vector<Task> tasks_;
+  mutable std::mutex mu_;
+  std::deque<Task> tasks_;
   std::map<Oid, size_t> producer_index_;
   std::map<Oid, std::vector<size_t>> consumer_index_;
   std::unique_ptr<Journal> journal_;

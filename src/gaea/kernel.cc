@@ -40,6 +40,7 @@ StatusOr<std::unique_ptr<GaeaKernel>> GaeaKernel::Open(
       kernel->catalog_.get(), &kernel->processes_, &kernel->ops_,
       kernel->task_log_.get());
   kernel->deriver_->set_user(options.user);
+  kernel->derivation_cache_ = std::make_unique<DerivationCache>();
   kernel->interpolator_ = std::make_unique<Interpolator>(
       kernel->catalog_.get(), kernel->task_log_.get());
   kernel->interpolator_->set_user(options.user);
@@ -144,61 +145,65 @@ StatusOr<Oid> GaeaKernel::Derive(
   return deriver_->Derive(process, inputs, version);
 }
 
+StatusOr<std::vector<DeriveOutcome>> GaeaKernel::DeriveBatch(
+    const std::vector<DeriveRequest>& requests) {
+  TaskScheduler::Options opts;
+  opts.threads = derive_threads_;
+  opts.use_cache = true;
+  TaskScheduler scheduler(deriver_.get(), catalog_.get(), &processes_,
+                          derivation_cache_.get(), opts);
+  return scheduler.RunBatch(requests);
+}
+
+void GaeaKernel::SetDeriveThreads(int threads) {
+  derive_threads_ = threads < 1 ? 1 : threads;
+}
+
 StatusOr<Oid> GaeaKernel::DeriveCompound(
     const CompoundProcessDef& compound,
     const std::map<std::string, std::vector<Oid>>& external_inputs) {
-  GAEA_ASSIGN_OR_RETURN(std::vector<const CompoundStage*> order,
-                        compound.Expand(catalog_->classes(), processes_));
-  std::map<std::string, Oid> stage_outputs;
-  Oid last = kInvalidOid;
-  for (const CompoundStage* stage : order) {
-    std::map<std::string, std::vector<Oid>> inputs;
-    for (const auto& [arg, input] : stage->bindings) {
-      if (input.source == StageInput::Source::kExternal) {
-        auto it = external_inputs.find(input.name);
-        if (it == external_inputs.end()) {
-          return Status::InvalidArgument("compound input " + input.name +
-                                         " not supplied");
-        }
-        inputs[arg] = it->second;
-      } else {
-        auto it = stage_outputs.find(input.name);
-        if (it == stage_outputs.end()) {
-          return Status::Internal("stage " + input.name +
-                                  " not yet executed in expansion order");
-        }
-        inputs[arg] = {it->second};
-      }
-    }
-    GAEA_ASSIGN_OR_RETURN(Oid oid, Derive(stage->process_name, inputs));
-    stage_outputs[stage->name] = oid;
-    last = oid;
-  }
-  auto it = stage_outputs.find(compound.output_stage());
-  return it != stage_outputs.end() ? it->second : last;
+  TaskScheduler::Options opts;
+  opts.threads = derive_threads_;
+  opts.use_cache = false;  // every compound run records its stage tasks
+  TaskScheduler scheduler(deriver_.get(), catalog_.get(), &processes_,
+                          nullptr, opts);
+  return scheduler.RunCompound(compound, external_inputs);
 }
 
 StatusOr<Oid> GaeaKernel::DeriveOrReuse(
     const std::string& process,
     const std::map<std::string, std::vector<Oid>>& inputs, int version) {
-  int resolved_version = version;
-  if (resolved_version == 0) {
-    GAEA_ASSIGN_OR_RETURN(const ProcessDef* latest, processes_.Latest(process));
-    resolved_version = latest->version();
+  const ProcessDef* proc;
+  if (version > 0) {
+    GAEA_ASSIGN_OR_RETURN(proc, processes_.Version(process, version));
+  } else {
+    GAEA_ASSIGN_OR_RETURN(proc, processes_.Latest(process));
   }
+  int resolved_version = proc->version();
+
+  // Fast path: the derivation cache memoizes exactly this question.
+  std::string key = DerivationCache::MakeKey(*proc, inputs);
+  if (std::optional<Oid> hit = derivation_cache_->Lookup(key)) {
+    if (catalog_->ContainsObject(*hit)) return *hit;
+    derivation_cache_->InvalidateOutput(*hit);
+  }
+
   // Newest-first over equivalent completed runs; the first whose output is
   // still stored wins (earlier equivalents may have been evicted).
-  const std::vector<Task>& tasks = task_log_->tasks();
+  const auto& tasks = task_log_->tasks();
   for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) {
     if (it->status == TaskStatus::kCompleted &&
         it->process_version == resolved_version &&
         it->process_name == process && it->inputs == inputs &&
         it->outputs.size() == 1 &&
         catalog_->ContainsObject(it->outputs[0])) {
+      derivation_cache_->Insert(key, it->outputs[0]);
       return it->outputs[0];
     }
   }
-  return Derive(process, inputs, resolved_version);
+  GAEA_ASSIGN_OR_RETURN(Oid oid, Derive(process, inputs, resolved_version));
+  derivation_cache_->Insert(key, oid);
+  return oid;
 }
 
 Status GaeaKernel::Evict(Oid oid) {
@@ -217,7 +222,10 @@ Status GaeaKernel::Evict(Oid oid) {
         " is an input of recorded derivations; evicting it would break "
         "their replay");
   }
-  return catalog_->DeleteObject(oid);
+  GAEA_RETURN_IF_ERROR(catalog_->DeleteObject(oid));
+  // The memoized derivation no longer points at a stored object.
+  derivation_cache_->InvalidateOutput(oid);
+  return Status::OK();
 }
 
 StatusOr<TaskId> GaeaKernel::RecordExternalTask(
@@ -314,6 +322,15 @@ GaeaKernel::Stats GaeaKernel::GetStats() const {
   stats.objects = static_cast<size_t>(catalog_->ObjectCount());
   stats.tasks = task_log_->size();
   stats.experiments = experiments_->List().size();
+  stats.derivation_cache = derivation_cache_->stats();
+  auto fill_pool = [](const BufferPool* pool, PoolStats* out) {
+    out->hits = pool->hits();
+    out->misses = pool->misses();
+    out->evictions = pool->evictions();
+    out->per_shard = pool->PerShardStats();
+  };
+  fill_pool(catalog_->store()->heap_pool(), &stats.heap_pool);
+  fill_pool(catalog_->store()->index_pool(), &stats.index_pool);
   return stats;
 }
 

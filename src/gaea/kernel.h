@@ -13,20 +13,24 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/diagnostic.h"
 #include "catalog/catalog.h"
 #include "core/compound_process.h"
+#include "core/derivation_cache.h"
 #include "core/deriver.h"
 #include "core/lineage.h"
 #include "core/petri.h"
 #include "core/planner.h"
 #include "core/process_registry.h"
+#include "core/scheduler.h"
 #include "core/task.h"
 #include "ddl/parser.h"
 #include "experiment/experiment.h"
 #include "query/interpolate.h"
 #include "query/query.h"
+#include "storage/buffer_pool.h"
 #include "types/compound_op.h"
 #include "types/op_registry.h"
 #include "types/primitive_class.h"
@@ -91,6 +95,22 @@ class GaeaKernel {
                        const std::map<std::string, std::vector<Oid>>& inputs,
                        int version = 0);
 
+  // Executes a batch of independent derivation requests on the scheduler's
+  // thread pool (SetDeriveThreads), consulting the derivation cache. One
+  // outcome per request, in request order; per-request failures are
+  // reported in the outcomes, not as a batch failure.
+  StatusOr<std::vector<DeriveOutcome>> DeriveBatch(
+      const std::vector<DeriveRequest>& requests);
+
+  // Worker threads for DeriveBatch/DeriveCompound (clamped to >= 1).
+  void SetDeriveThreads(int threads);
+  int derive_threads() const { return derive_threads_; }
+
+  DerivationCache& derivation_cache() { return *derivation_cache_; }
+  const DerivationCache& derivation_cache() const {
+    return *derivation_cache_;
+  }
+
   // Like Derive, but first checks the task log for a completed run of the
   // same process version on the same inputs whose output is still stored —
   // and returns that object instead of recomputing ("experiment management
@@ -113,7 +133,10 @@ class GaeaKernel {
   Status Evict(Oid oid);
 
   // Expands a compound process on external inputs and runs its primitive
-  // stages in order; returns the output stage's object.
+  // stages on the scheduler (independent stages execute concurrently when
+  // SetDeriveThreads > 1); returns the output stage's object. Compound runs
+  // bypass the derivation cache: every invocation records its stage tasks,
+  // matching the sequential Derive-per-stage semantics.
   StatusOr<Oid> DeriveCompound(
       const CompoundProcessDef& compound,
       const std::map<std::string, std::vector<Oid>>& external_inputs);
@@ -156,6 +179,12 @@ class GaeaKernel {
       const std::string& concept_name, const Window& window = {});
 
   // ---- catalog statistics (shell `stats`, monitoring) ----
+  struct PoolStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    std::vector<BufferPool::ShardStats> per_shard;
+  };
   struct Stats {
     size_t classes = 0;
     size_t concepts = 0;
@@ -164,6 +193,9 @@ class GaeaKernel {
     size_t objects = 0;
     size_t tasks = 0;
     size_t experiments = 0;
+    DerivationCache::Stats derivation_cache;
+    PoolStats heap_pool;   // object store: heap file frames
+    PoolStats index_pool;  // object store: OID index frames
   };
   Stats GetStats() const;
 
@@ -206,8 +238,10 @@ class GaeaKernel {
   std::unique_ptr<TaskLog> task_log_;
   std::unique_ptr<ExperimentManager> experiments_;
   std::unique_ptr<Deriver> deriver_;
+  std::unique_ptr<DerivationCache> derivation_cache_;
   std::unique_ptr<Interpolator> interpolator_;
   std::unique_ptr<QueryEngine> query_engine_;
+  int derive_threads_ = 1;
   AbsTime now_;
 };
 

@@ -35,8 +35,9 @@ StatusOr<std::unique_ptr<BTree>> BTree::Open(const std::string& path,
                         BufferPool::Open(path, pool_capacity));
   std::unique_ptr<BTree> tree(new BTree(std::move(pool)));
   if (tree->pool_->PageCount() == 0) {
-    GAEA_ASSIGN_OR_RETURN(uint32_t meta, tree->pool_->AllocatePage());
-    if (meta != 0) return Status::Internal("meta page must be page 0");
+    GAEA_ASSIGN_OR_RETURN(PageGuard meta, tree->pool_->AllocatePage());
+    if (meta.page_id() != 0) return Status::Internal("meta page must be page 0");
+    meta.Release();
     GAEA_RETURN_IF_ERROR(tree->StoreMeta());
   } else {
     GAEA_RETURN_IF_ERROR(tree->LoadMeta());
@@ -45,7 +46,8 @@ StatusOr<std::unique_ptr<BTree>> BTree::Open(const std::string& path,
 }
 
 Status BTree::LoadMeta() {
-  GAEA_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(0));
+  GAEA_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(0));
+  const Page* page = guard.page();
   if (page->ReadAt<uint8_t>(0) != kMetaPage) {
     return Status::Corruption("btree: page 0 is not a meta page");
   }
@@ -55,15 +57,18 @@ Status BTree::LoadMeta() {
 }
 
 Status BTree::StoreMeta() {
-  GAEA_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(0));
+  GAEA_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(0));
+  Page* page = guard.page();
   page->WriteAt<uint8_t>(0, kMetaPage);
   page->WriteAt<uint32_t>(kMetaRootOff, root_);
   page->WriteAt<int64_t>(kMetaCountOff, count_);
-  return pool_->MarkDirty(0);
+  guard.MarkDirty();
+  return Status::OK();
 }
 
 StatusOr<BTree::Node> BTree::ReadNode(uint32_t page_id) const {
-  GAEA_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
+  GAEA_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page_id));
+  const Page* page = guard.page();
   uint8_t type = page->ReadAt<uint8_t>(0);
   if (type != kInternalPage && type != kLeafPage) {
     return Status::Corruption("btree: page " + std::to_string(page_id) +
@@ -93,7 +98,8 @@ StatusOr<BTree::Node> BTree::ReadNode(uint32_t page_id) const {
 }
 
 Status BTree::WriteNode(uint32_t page_id, const Node& node) {
-  GAEA_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
+  GAEA_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page_id));
+  Page* page = guard.page();
   page->WriteAt<uint8_t>(0, node.leaf ? kLeafPage : kInternalPage);
   page->WriteAt<uint16_t>(kNodeNKeysOff, static_cast<uint16_t>(node.keys.size()));
   page->WriteAt<uint32_t>(kNodeNextOff, node.next_leaf);
@@ -109,11 +115,14 @@ Status BTree::WriteNode(uint32_t page_id, const Node& node) {
       off += 4;
     }
   }
-  return pool_->MarkDirty(page_id);
+  guard.MarkDirty();
+  return Status::OK();
 }
 
 StatusOr<uint32_t> BTree::AllocateNode(const Node& node) {
-  GAEA_ASSIGN_OR_RETURN(uint32_t page_id, pool_->AllocatePage());
+  GAEA_ASSIGN_OR_RETURN(PageGuard guard, pool_->AllocatePage());
+  uint32_t page_id = guard.page_id();
+  guard.Release();
   GAEA_RETURN_IF_ERROR(WriteNode(page_id, node));
   return page_id;
 }
@@ -188,6 +197,7 @@ Status BTree::SplitUpward(uint32_t page_id, std::vector<uint32_t> path) {
 }
 
 Status BTree::Insert(int64_t key, uint64_t value) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Key composite{key, value};
   if (root_ == kInvalidPageId) {
     Node leaf;
@@ -215,6 +225,7 @@ Status BTree::Insert(int64_t key, uint64_t value) {
 }
 
 Status BTree::Delete(int64_t key, uint64_t value) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Key composite{key, value};
   if (root_ == kInvalidPageId) return Status::NotFound("btree empty");
   GAEA_ASSIGN_OR_RETURN(uint32_t leaf_id, FindLeaf(composite, nullptr));
@@ -231,6 +242,7 @@ Status BTree::Delete(int64_t key, uint64_t value) {
 
 Status BTree::Scan(int64_t lo, int64_t hi,
                    const std::function<Status(int64_t, uint64_t)>& fn) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (root_ == kInvalidPageId || lo > hi) return Status::OK();
   Key from{lo, 0};
   GAEA_ASSIGN_OR_RETURN(uint32_t leaf_id, FindLeaf(from, nullptr));
@@ -264,6 +276,7 @@ StatusOr<uint64_t> BTree::LookupFirst(int64_t key) const {
 }
 
 StatusOr<int> BTree::Height() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (root_ == kInvalidPageId) return 0;
   int height = 1;
   uint32_t page_id = root_;

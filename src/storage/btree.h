@@ -14,9 +14,11 @@
 #ifndef GAEA_STORAGE_BTREE_H_
 #define GAEA_STORAGE_BTREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,12 +50,15 @@ class BTree {
               const std::function<Status(int64_t, uint64_t)>& fn) const;
 
   // Total number of entries.
-  int64_t Count() const { return count_; }
+  int64_t Count() const { return count_.load(std::memory_order_acquire); }
 
   // Height of the tree (0 when empty); exposed for tests/benches.
   StatusOr<int> Height() const;
 
   Status Flush();
+
+  BufferPool* pool() { return pool_.get(); }
+  const BufferPool* pool() const { return pool_.get(); }
 
  private:
   struct Key {
@@ -87,9 +92,13 @@ class BTree {
   // Splits the overfull node at `page_id` (path gives its ancestors).
   Status SplitUpward(uint32_t page_id, std::vector<uint32_t> path);
 
+  // One latch for the whole tree: splits touch several nodes plus the meta
+  // page, so structural changes must be atomic. Recursive because public
+  // helpers (Lookup -> Scan) nest.
+  mutable std::recursive_mutex mu_;
   std::unique_ptr<BufferPool> pool_;
   uint32_t root_ = kInvalidPageId;
-  int64_t count_ = 0;
+  std::atomic<int64_t> count_{0};
 };
 
 }  // namespace gaea

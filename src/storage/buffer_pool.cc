@@ -10,10 +10,15 @@
 namespace gaea {
 
 StatusOr<std::unique_ptr<BufferPool>> BufferPool::Open(const std::string& path,
-                                                       size_t capacity) {
+                                                       size_t capacity,
+                                                       size_t shards) {
   if (capacity == 0) {
     return Status::InvalidArgument("buffer pool needs capacity >= 1");
   }
+  if (shards == 0) {
+    return Status::InvalidArgument("buffer pool needs shards >= 1");
+  }
+  if (shards > capacity) shards = capacity;
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
     return Status::IOError("open " + path + ": " + std::strerror(errno));
@@ -30,11 +35,20 @@ StatusOr<std::unique_ptr<BufferPool>> BufferPool::Open(const std::string& path,
   }
   uint32_t page_count = static_cast<uint32_t>(st.st_size / kPageSize);
   return std::unique_ptr<BufferPool>(
-      new BufferPool(fd, page_count, capacity));
+      new BufferPool(fd, page_count, capacity, shards));
 }
 
-BufferPool::BufferPool(int fd, uint32_t page_count, size_t capacity)
-    : fd_(fd), page_count_(page_count), capacity_(capacity) {}
+BufferPool::BufferPool(int fd, uint32_t page_count, size_t capacity,
+                       size_t shards)
+    : fd_(fd), page_count_(page_count), shards_(shards) {
+  // Spread the frame budget over the shards; every shard gets at least one.
+  size_t per_shard = capacity / shards;
+  size_t remainder = capacity % shards;
+  for (size_t i = 0; i < shards; ++i) {
+    shards_[i].capacity = per_shard + (i < remainder ? 1 : 0);
+    if (shards_[i].capacity == 0) shards_[i].capacity = 1;
+  }
+}
 
 BufferPool::~BufferPool() {
   (void)Flush();
@@ -51,82 +65,126 @@ Status BufferPool::WriteFrame(const Frame& frame) {
   return Status::OK();
 }
 
-Status BufferPool::EvictOne() {
-  // Evict the least-recently-used frame (back of the list).
-  Frame& victim = frames_.back();
-  if (victim.dirty) {
-    GAEA_RETURN_IF_ERROR(WriteFrame(victim));
+Status BufferPool::MaybeEvict(Shard* shard) {
+  if (shard->frames.size() < shard->capacity) return Status::OK();
+  // Least-recently-used unpinned frame (scanning from the back). New pins
+  // take the shard latch, so a frame seen unpinned here cannot gain a pin
+  // before it is erased.
+  for (auto it = shard->frames.rbegin(); it != shard->frames.rend(); ++it) {
+    if (it->pins.load(std::memory_order_acquire) != 0) continue;
+    if (it->dirty.load(std::memory_order_acquire)) {
+      GAEA_RETURN_IF_ERROR(WriteFrame(*it));
+    }
+    shard->index.erase(it->page_id);
+    shard->frames.erase(std::next(it).base());
+    shard->evictions++;
+    return Status::OK();
   }
-  index_.erase(victim.page_id);
-  frames_.pop_back();
+  // Every frame pinned: overflow the budget rather than fail or deadlock.
   return Status::OK();
 }
 
-StatusOr<uint32_t> BufferPool::AllocatePage() {
-  uint32_t page_id = page_count_;
-  if (frames_.size() >= capacity_) {
-    GAEA_RETURN_IF_ERROR(EvictOne());
-  }
-  frames_.emplace_front();
-  frames_.front().page_id = page_id;
-  frames_.front().dirty = true;  // new page must reach disk
-  index_[page_id] = frames_.begin();
-  page_count_++;
-  return page_id;
+StatusOr<BufferPool::Frame*> BufferPool::InsertFrame(Shard* shard,
+                                                     uint32_t page_id) {
+  GAEA_RETURN_IF_ERROR(MaybeEvict(shard));
+  shard->frames.emplace_front();
+  Frame& frame = shard->frames.front();
+  frame.page_id = page_id;
+  frame.pins.store(1, std::memory_order_release);
+  shard->index[page_id] = shard->frames.begin();
+  return &frame;
 }
 
-StatusOr<Page*> BufferPool::FetchPage(uint32_t page_id) {
-  if (page_id >= page_count_) {
+StatusOr<PageGuard> BufferPool::AllocatePage() {
+  uint32_t page_id = page_count_.fetch_add(1, std::memory_order_acq_rel);
+  Shard& shard = ShardFor(page_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  GAEA_ASSIGN_OR_RETURN(Frame * frame, InsertFrame(&shard, page_id));
+  frame->dirty.store(true, std::memory_order_release);  // must reach disk
+  return PageGuard(frame);
+}
+
+StatusOr<PageGuard> BufferPool::FetchPage(uint32_t page_id) {
+  if (page_id >= page_count_.load(std::memory_order_acquire)) {
     return Status::OutOfRange("page " + std::to_string(page_id) +
                               " beyond file end (" +
-                              std::to_string(page_count_) + " pages)");
+                              std::to_string(PageCount()) + " pages)");
   }
-  auto it = index_.find(page_id);
-  if (it != index_.end()) {
-    hits_++;
-    // Move to front (most recently used).
-    frames_.splice(frames_.begin(), frames_, it->second);
-    index_[page_id] = frames_.begin();
-    return &frames_.front().page;
+  Shard& shard = ShardFor(page_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(page_id);
+  if (it != shard.index.end()) {
+    shard.hits++;
+    // Move to front (most recently used); list nodes stay in place, so
+    // outstanding guards are unaffected.
+    shard.frames.splice(shard.frames.begin(), shard.frames, it->second);
+    shard.index[page_id] = shard.frames.begin();
+    Frame& frame = shard.frames.front();
+    frame.pins.fetch_add(1, std::memory_order_acq_rel);
+    return PageGuard(&frame);
   }
-  misses_++;
-  if (frames_.size() >= capacity_) {
-    GAEA_RETURN_IF_ERROR(EvictOne());
-  }
-  frames_.emplace_front();
-  Frame& frame = frames_.front();
-  frame.page_id = page_id;
+  shard.misses++;
+  GAEA_ASSIGN_OR_RETURN(Frame * frame, InsertFrame(&shard, page_id));
   off_t offset = static_cast<off_t>(page_id) * kPageSize;
-  ssize_t n = ::pread(fd_, frame.page.data(), kPageSize, offset);
+  ssize_t n = ::pread(fd_, frame->page.data(), kPageSize, offset);
   if (n < 0) {
-    frames_.pop_front();
+    shard.index.erase(page_id);
+    shard.frames.pop_front();
     return Status::IOError("pread page " + std::to_string(page_id) + ": " +
                            std::strerror(errno));
   }
   // A short read happens only for pages allocated but never flushed by a
   // crashed process; treat missing bytes as zeros (already memset).
-  index_[page_id] = frames_.begin();
-  return &frame.page;
-}
-
-Status BufferPool::MarkDirty(uint32_t page_id) {
-  auto it = index_.find(page_id);
-  if (it == index_.end()) {
-    return Status::Internal("MarkDirty on non-resident page " +
-                            std::to_string(page_id));
-  }
-  it->second->dirty = true;
-  return Status::OK();
+  return PageGuard(frame);
 }
 
 Status BufferPool::Flush() {
-  for (Frame& frame : frames_) {
-    if (frame.dirty) {
-      GAEA_RETURN_IF_ERROR(WriteFrame(frame));
-      frame.dirty = false;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (Frame& frame : shard.frames) {
+      if (frame.dirty.load(std::memory_order_acquire)) {
+        GAEA_RETURN_IF_ERROR(WriteFrame(frame));
+        frame.dirty.store(false, std::memory_order_release);
+      }
     }
   }
   return Status::OK();
+}
+
+std::vector<BufferPool::ShardStats> BufferPool::PerShardStats() const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ShardStats stats;
+    stats.hits = shard.hits;
+    stats.misses = shard.misses;
+    stats.evictions = shard.evictions;
+    stats.resident = shard.frames.size();
+    for (const Frame& frame : shard.frames) {
+      if (frame.pins.load(std::memory_order_acquire) != 0) stats.pinned++;
+    }
+    out.push_back(stats);
+  }
+  return out;
+}
+
+uint64_t BufferPool::hits() const {
+  uint64_t total = 0;
+  for (const ShardStats& s : PerShardStats()) total += s.hits;
+  return total;
+}
+
+uint64_t BufferPool::misses() const {
+  uint64_t total = 0;
+  for (const ShardStats& s : PerShardStats()) total += s.misses;
+  return total;
+}
+
+uint64_t BufferPool::evictions() const {
+  uint64_t total = 0;
+  for (const ShardStats& s : PerShardStats()) total += s.evictions;
+  return total;
 }
 
 }  // namespace gaea

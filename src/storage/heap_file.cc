@@ -73,22 +73,23 @@ StatusOr<std::unique_ptr<HeapFile>> HeapFile::Open(const std::string& path,
   return std::unique_ptr<HeapFile>(new HeapFile(std::move(pool)));
 }
 
-StatusOr<uint32_t> HeapFile::PageWithSpace(uint32_t needed) {
+StatusOr<PageGuard> HeapFile::PageWithSpace(uint32_t needed) {
   if (last_data_page_ != kInvalidPageId) {
-    GAEA_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(last_data_page_));
-    if (page->ReadAt<uint8_t>(0) == kDataPage && FreeSpace(*page) >= needed) {
-      return last_data_page_;
+    GAEA_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(last_data_page_));
+    if (guard.page()->ReadAt<uint8_t>(0) == kDataPage &&
+        FreeSpace(*guard.page()) >= needed) {
+      return guard;
     }
   }
-  GAEA_ASSIGN_OR_RETURN(uint32_t page_id, pool_->AllocatePage());
-  GAEA_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
-  InitDataPage(page);
-  GAEA_RETURN_IF_ERROR(pool_->MarkDirty(page_id));
-  last_data_page_ = page_id;
-  return page_id;
+  GAEA_ASSIGN_OR_RETURN(PageGuard guard, pool_->AllocatePage());
+  InitDataPage(guard.page());
+  guard.MarkDirty();
+  last_data_page_ = guard.page_id();
+  return guard;
 }
 
 StatusOr<Rid> HeapFile::Insert(const std::string& record) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::string inline_payload;
   uint16_t flags = kFlagLive;
 
@@ -101,14 +102,13 @@ StatusOr<Rid> HeapFile::Insert(const std::string& record) {
     for (size_t i = nchunks; i-- > 0;) {
       size_t begin = i * kOvCapacity;
       size_t len = std::min<size_t>(kOvCapacity, record.size() - begin);
-      GAEA_ASSIGN_OR_RETURN(uint32_t page_id, pool_->AllocatePage());
-      GAEA_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
-      page->WriteAt<uint8_t>(0, kOverflowPage);
-      page->WriteAt<uint32_t>(kOvNextOff, next);
-      page->WriteAt<uint32_t>(kOvLenOff, static_cast<uint32_t>(len));
-      std::memcpy(page->data() + kOvDataOff, record.data() + begin, len);
-      GAEA_RETURN_IF_ERROR(pool_->MarkDirty(page_id));
-      next = page_id;
+      GAEA_ASSIGN_OR_RETURN(PageGuard ov, pool_->AllocatePage());
+      ov.page()->WriteAt<uint8_t>(0, kOverflowPage);
+      ov.page()->WriteAt<uint32_t>(kOvNextOff, next);
+      ov.page()->WriteAt<uint32_t>(kOvLenOff, static_cast<uint32_t>(len));
+      std::memcpy(ov.page()->data() + kOvDataOff, record.data() + begin, len);
+      ov.MarkDirty();
+      next = ov.page_id();
     }
     inline_payload.resize(kOverflowHeadBytes);
     uint32_t total = static_cast<uint32_t>(record.size());
@@ -119,8 +119,8 @@ StatusOr<Rid> HeapFile::Insert(const std::string& record) {
   }
 
   uint32_t needed = static_cast<uint32_t>(inline_payload.size()) + kSlotBytes;
-  GAEA_ASSIGN_OR_RETURN(uint32_t page_id, PageWithSpace(needed));
-  GAEA_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
+  GAEA_ASSIGN_OR_RETURN(PageGuard guard, PageWithSpace(needed));
+  Page* page = guard.page();
 
   uint16_t slots = page->ReadAt<uint16_t>(kSlotCountOff);
   uint16_t free_end = page->ReadAt<uint16_t>(kFreeEndOff);
@@ -133,12 +133,14 @@ StatusOr<Rid> HeapFile::Insert(const std::string& record) {
                      flags});
   page->WriteAt<uint16_t>(kSlotCountOff, static_cast<uint16_t>(slots + 1));
   page->WriteAt<uint16_t>(kFreeEndOff, cell_off);
-  GAEA_RETURN_IF_ERROR(pool_->MarkDirty(page_id));
-  return Rid{page_id, slots};
+  guard.MarkDirty();
+  return Rid{guard.page_id(), slots};
 }
 
 StatusOr<std::string> HeapFile::Read(const Rid& rid) const {
-  GAEA_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  GAEA_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page_id));
+  const Page* page = guard.page();
   if (page->ReadAt<uint8_t>(0) != kDataPage) {
     return Status::InvalidArgument("RID does not point at a data page");
   }
@@ -156,8 +158,8 @@ StatusOr<std::string> HeapFile::Read(const Rid& rid) const {
                            info.offset,
                        info.size);
   }
-  // Overflow chain: copy the head locally before chasing pages, since
-  // FetchPage may evict the head frame.
+  // Overflow chain: the head stays pinned through the guard while the chain
+  // is chased, so chain fetches can never invalidate it.
   if (info.size != kOverflowHeadBytes) {
     return Status::Corruption("malformed overflow head slot");
   }
@@ -168,14 +170,15 @@ StatusOr<std::string> HeapFile::Read(const Rid& rid) const {
   std::string out;
   out.reserve(total);
   while (next != kInvalidPageId) {
-    GAEA_ASSIGN_OR_RETURN(Page * ov, pool_->FetchPage(next));
-    if (ov->ReadAt<uint8_t>(0) != kOverflowPage) {
+    GAEA_ASSIGN_OR_RETURN(PageGuard ov, pool_->FetchPage(next));
+    if (ov.page()->ReadAt<uint8_t>(0) != kOverflowPage) {
       return Status::Corruption("overflow chain hits non-overflow page");
     }
-    uint32_t len = ov->ReadAt<uint32_t>(kOvLenOff);
+    uint32_t len = ov.page()->ReadAt<uint32_t>(kOvLenOff);
     if (len > kOvCapacity) return Status::Corruption("overflow chunk too big");
-    out.append(reinterpret_cast<const char*>(ov->data()) + kOvDataOff, len);
-    next = ov->ReadAt<uint32_t>(kOvNextOff);
+    out.append(reinterpret_cast<const char*>(ov.page()->data()) + kOvDataOff,
+               len);
+    next = ov.page()->ReadAt<uint32_t>(kOvNextOff);
     if (out.size() > total) return Status::Corruption("overflow chain overrun");
   }
   if (out.size() != total) {
@@ -187,7 +190,9 @@ StatusOr<std::string> HeapFile::Read(const Rid& rid) const {
 }
 
 Status HeapFile::Delete(const Rid& rid) {
-  GAEA_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  GAEA_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page_id));
+  Page* page = guard.page();
   if (page->ReadAt<uint8_t>(0) != kDataPage) {
     return Status::InvalidArgument("RID does not point at a data page");
   }
@@ -197,19 +202,24 @@ Status HeapFile::Delete(const Rid& rid) {
   if (info.flags == kFlagDeleted) return Status::NotFound("already deleted");
   info.flags = kFlagDeleted;
   WriteSlot(page, rid.slot, info);
-  return pool_->MarkDirty(rid.page_id);
+  guard.MarkDirty();
+  return Status::OK();
 }
 
 Status HeapFile::ForEach(
     const std::function<Status(const Rid&, const std::string&)>& fn) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   for (uint32_t page_id = 0; page_id < pool_->PageCount(); ++page_id) {
-    // Snapshot slot metadata first: fn and overflow reads may evict pages.
-    GAEA_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
-    if (page->ReadAt<uint8_t>(0) != kDataPage) continue;
-    uint16_t slots = page->ReadAt<uint16_t>(kSlotCountOff);
+    GAEA_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page_id));
+    if (guard.page()->ReadAt<uint8_t>(0) != kDataPage) continue;
+    uint16_t slots = guard.page()->ReadAt<uint16_t>(kSlotCountOff);
+    // Release before Read/fn re-enter the pool: holding one pinned page per
+    // nesting level would make deep scans overflow small pools.
+    guard.Release();
     for (uint16_t s = 0; s < slots; ++s) {
-      GAEA_ASSIGN_OR_RETURN(Page * p, pool_->FetchPage(page_id));
-      SlotInfo info = ReadSlot(*p, s);
+      GAEA_ASSIGN_OR_RETURN(PageGuard p, pool_->FetchPage(page_id));
+      SlotInfo info = ReadSlot(*p.page(), s);
+      p.Release();
       if (info.flags == kFlagDeleted) continue;
       Rid rid{page_id, s};
       GAEA_ASSIGN_OR_RETURN(std::string record, Read(rid));

@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "storage/buffer_pool.h"
@@ -65,13 +66,19 @@ class HeapFile {
   Status Flush() { return pool_->Flush(); }
 
   BufferPool* pool() { return pool_.get(); }
+  const BufferPool* pool() const { return pool_.get(); }
 
  private:
   explicit HeapFile(std::unique_ptr<BufferPool> pool)
       : pool_(std::move(pool)) {}
 
-  StatusOr<uint32_t> PageWithSpace(uint32_t needed);
+  // Returns a pinned data page with room for `needed` bytes (slot + cell).
+  StatusOr<PageGuard> PageWithSpace(uint32_t needed);
 
+  // One latch for the whole file: slot/free-space bookkeeping spans pages
+  // (last_data_page_ hint, overflow chains), so per-page latching would not
+  // give atomic inserts. Recursive because ForEach re-enters Read.
+  mutable std::recursive_mutex mu_;
   std::unique_ptr<BufferPool> pool_;
   // Hint: last data page that accepted an insert.
   uint32_t last_data_page_ = kInvalidPageId;

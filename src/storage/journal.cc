@@ -10,19 +10,27 @@
 
 namespace gaea {
 
-uint32_t Crc32(const void* data, size_t size) {
-  static uint32_t table[256];
-  static bool initialized = false;
-  if (!initialized) {
+namespace {
+
+struct CrcTable {
+  uint32_t entries[256];
+  CrcTable() {
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
       }
-      table[i] = c;
+      entries[i] = c;
     }
-    initialized = true;
   }
+};
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  // Magic-static: initialization is thread-safe, unlike the old lazy flag.
+  static const CrcTable crc_table;
+  const uint32_t* table = crc_table.entries;
   uint32_t crc = 0xFFFFFFFFu;
   const uint8_t* p = static_cast<const uint8_t*>(data);
   for (size_t i = 0; i < size; ++i) {
@@ -43,6 +51,7 @@ StatusOr<std::unique_ptr<Journal>> Journal::Open(const std::string& path) {
 Journal::~Journal() { ::close(fd_); }
 
 Status Journal::Append(const std::string& record) {
+  std::lock_guard<std::mutex> lock(mu_);
   uint32_t len = static_cast<uint32_t>(record.size());
   uint32_t crc = Crc32(record.data(), record.size());
   std::string frame;
@@ -88,6 +97,7 @@ Status Journal::Replay(
 }
 
 Status Journal::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (::fsync(fd_) != 0) {
     return Status::IOError("journal fsync: " + std::string(strerror(errno)));
   }

@@ -9,9 +9,11 @@
 #ifndef GAEA_STORAGE_JOURNAL_H_
 #define GAEA_STORAGE_JOURNAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "util/status.h"
@@ -39,7 +41,7 @@ class Journal {
   Status Replay(const std::function<Status(const std::string&)>& fn) const;
 
   // Number of records appended through this handle (not total in file).
-  int64_t appended() const { return appended_; }
+  int64_t appended() const { return appended_.load(std::memory_order_acquire); }
 
   // Forces data to disk (fsync).
   Status Sync();
@@ -47,9 +49,11 @@ class Journal {
  private:
   Journal(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
 
+  // Serializes appends so concurrent records never interleave in the file.
+  mutable std::mutex mu_;
   int fd_;
   std::string path_;
-  int64_t appended_ = 0;
+  std::atomic<int64_t> appended_{0};
 };
 
 }  // namespace gaea

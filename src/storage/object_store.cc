@@ -25,12 +25,18 @@ StatusOr<std::unique_ptr<ObjectStore>> ObjectStore::Open(
 }
 
 StatusOr<Oid> ObjectStore::Put(const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
   Oid oid = next_oid_;
-  GAEA_RETURN_IF_ERROR(PutWithOid(oid, payload));
+  GAEA_RETURN_IF_ERROR(PutWithOidLocked(oid, payload));
   return oid;
 }
 
 Status ObjectStore::PutWithOid(Oid oid, const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PutWithOidLocked(oid, payload);
+}
+
+Status ObjectStore::PutWithOidLocked(Oid oid, const std::string& payload) {
   if (oid == kInvalidOid) {
     return Status::InvalidArgument("OID 0 is reserved");
   }

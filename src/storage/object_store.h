@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "storage/btree.h"
@@ -44,14 +45,28 @@ class ObjectStore {
       const std::function<Status(Oid, const std::string&)>& fn) const;
 
   int64_t Count() const { return index_->Count(); }
-  Oid next_oid() const { return next_oid_; }
+  Oid next_oid() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_oid_;
+  }
 
   Status Flush();
+
+  // Buffer pools backing the store, for stats surfaces.
+  BufferPool* heap_pool() { return heap_->pool(); }
+  BufferPool* index_pool() { return index_->pool(); }
+  const BufferPool* heap_pool() const { return heap_->pool(); }
+  const BufferPool* index_pool() const { return index_->pool(); }
 
  private:
   ObjectStore(std::unique_ptr<HeapFile> heap, std::unique_ptr<BTree> index)
       : heap_(std::move(heap)), index_(std::move(index)) {}
 
+  Status PutWithOidLocked(Oid oid, const std::string& payload);
+
+  // Guards next_oid_ and makes Put (allocate OID + insert) atomic; the heap
+  // and index have their own latches for reads that bypass this mutex.
+  mutable std::mutex mu_;
   std::unique_ptr<HeapFile> heap_;
   std::unique_ptr<BTree> index_;
   Oid next_oid_ = 1;
