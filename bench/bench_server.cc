@@ -1,0 +1,253 @@
+// gaead under concurrent clients: request latency and throughput as the
+// number of simultaneous sessions grows.
+//
+// One in-process GaeaServer (the same serving core tools/gaead.cc wraps)
+// owns a kernel whose derivation operator sleeps a few milliseconds,
+// modeling the paper's §5 external procedures. For each client count in
+// {1, 2, 4, 8} the bench opens that many connections, drives a fixed number
+// of derivations per client (distinct inputs, so every request computes),
+// and reports per-request latency (avg/p95/max) and aggregate throughput.
+//
+// Like bench_parallel_derivation this is a plain main emitting a custom
+// BENCH_bench_server.json. The pass criterion is the acceptance bar of
+// docs/NET.md: at least 4 concurrent clients sustained — every request at
+// every scale answered OK.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "gaea/kernel.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace gaea {
+namespace {
+
+constexpr char kSchema[] = R"(
+CLASS sample (
+  ATTRIBUTES:
+    v = int4;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+)
+CLASS served_out (
+  ATTRIBUTES:
+    v = int4;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+  DERIVED BY: serve-ident
+)
+)";
+
+constexpr int kSleepMs = 2;            // operator wait per derivation
+constexpr int kRequestsPerClient = 24; // derivations per connection
+
+void SetUpKernel(GaeaKernel* kernel) {
+  OperatorSignature sleep_sig;
+  sleep_sig.params = {TypeId::kInt};
+  sleep_sig.result = TypeId::kInt;
+  sleep_sig.doc = "identity that waits, modeling an external procedure";
+  sleep_sig.fn = [](const ValueList& args) -> StatusOr<Value> {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kSleepMs));
+    return args[0];
+  };
+  BENCH_CHECK_OK(
+      kernel->operators().Register("bench_serve_ident", std::move(sleep_sig)));
+  BENCH_CHECK_OK(kernel->ExecuteDdl(kSchema));
+
+  ProcessDef def("serve-ident", "served_out");
+  BENCH_CHECK_OK(def.AddArg({"in", "sample", false, 1}));
+  std::vector<ExprPtr> call_args;
+  call_args.push_back(Expr::AttrRef("in", "v"));
+  BENCH_CHECK_OK(def.AddMapping(
+      "v", Expr::OpCall("bench_serve_ident", std::move(call_args))));
+  BENCH_CHECK_OK(
+      def.AddMapping("spatialextent", Expr::AttrRef("in", "spatialextent")));
+  BENCH_CHECK_OK(
+      def.AddMapping("timestamp", Expr::AttrRef("in", "timestamp")));
+  BENCH_CHECK_OK(kernel->DefineProcess(std::move(def)).status());
+}
+
+std::vector<Oid> InsertSamples(GaeaKernel* kernel, int count, int base) {
+  const ClassDef* cls =
+      kernel->catalog().classes().LookupByName("sample").value();
+  std::vector<Oid> oids;
+  oids.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    DataObject obj(*cls);
+    BENCH_CHECK_OK(obj.Set(*cls, "v", Value::Int(base + i)));
+    BENCH_CHECK_OK(
+        obj.Set(*cls, "spatialextent", Value::OfBox(Box(0, 0, 1, 1))));
+    BENCH_CHECK_OK(obj.Set(*cls, "timestamp", Value::Time(AbsTime(base + i + 1))));
+    oids.push_back(kernel->Insert(std::move(obj)).value());
+  }
+  return oids;
+}
+
+struct ScaleResult {
+  int clients = 0;
+  int requests = 0;
+  int errors = 0;
+  double wall_ms = 0;
+  double throughput_rps = 0;
+  double latency_avg_ms = 0;
+  double latency_p95_ms = 0;
+  double latency_max_ms = 0;
+};
+
+ScaleResult RunScale(GaeaKernel* kernel, int port, int clients, int base) {
+  std::vector<std::vector<Oid>> inputs(clients);
+  for (int c = 0; c < clients; ++c) {
+    inputs[c] = InsertSamples(kernel, kRequestsPerClient,
+                              base + c * kRequestsPerClient);
+  }
+
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<int> errors(clients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = net::GaeaClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        errors[c] = kRequestsPerClient;
+        return;
+      }
+      latencies[c].reserve(kRequestsPerClient);
+      for (Oid input : inputs[c]) {
+        auto t0 = std::chrono::steady_clock::now();
+        auto derived = (*client)->Derive("serve-ident", {{"in", {input}}});
+        auto t1 = std::chrono::steady_clock::now();
+        if (!derived.ok() || *derived == kInvalidOid) {
+          ++errors[c];
+          continue;
+        }
+        latencies[c].push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  auto end = std::chrono::steady_clock::now();
+
+  ScaleResult result;
+  result.clients = clients;
+  result.requests = clients * kRequestsPerClient;
+  result.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  std::vector<double> all;
+  for (int c = 0; c < clients; ++c) {
+    result.errors += errors[c];
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+  }
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    double sum = 0;
+    for (double ms : all) sum += ms;
+    result.latency_avg_ms = sum / all.size();
+    result.latency_p95_ms = all[(all.size() * 95) / 100 == all.size()
+                                    ? all.size() - 1
+                                    : (all.size() * 95) / 100];
+    result.latency_max_ms = all.back();
+  }
+  result.throughput_rps =
+      (result.requests - result.errors) / (result.wall_ms / 1000.0);
+  std::printf("clients=%d  %4d requests  %8.2f ms wall  %7.1f req/s  "
+              "latency avg %.2f / p95 %.2f / max %.2f ms  errors=%d\n",
+              result.clients, result.requests, result.wall_ms,
+              result.throughput_rps, result.latency_avg_ms,
+              result.latency_p95_ms, result.latency_max_ms, result.errors);
+  return result;
+}
+
+int Run() {
+  GaeaKernel::Options options;
+  options.dir = bench::FreshDir("server");
+  auto kernel = GaeaKernel::Open(options);
+  BENCH_CHECK_OK(kernel.status());
+  (*kernel)->SetClock(AbsTime(1));
+  (*kernel)->SetDeriveThreads(8);
+  SetUpKernel(kernel->get());
+
+  net::GaeaServer::Options server_options;
+  server_options.port = 0;
+  server_options.workers = 8;
+  server_options.max_inflight = 256;
+  net::GaeaServer server(kernel->get(), server_options);
+  BENCH_CHECK_OK(server.Start());
+
+  // Warm-up: first derivation pays catalog/journal setup.
+  (void)RunScale(kernel->get(), server.port(), 1, 1000000);
+
+  std::vector<ScaleResult> results;
+  int base = 0;
+  for (int clients : {1, 2, 4, 8}) {
+    results.push_back(RunScale(kernel->get(), server.port(), clients, base));
+    base += clients * kRequestsPerClient;
+  }
+
+  net::ServerStats stats = server.stats();
+  server.Shutdown();
+
+  int sustained = 0;
+  for (const ScaleResult& r : results) {
+    if (r.errors == 0) sustained = std::max(sustained, r.clients);
+  }
+
+  std::string json = "{\n  \"bench\": \"bench_server\",\n  \"scaling\": [";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScaleResult& r = results[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"clients\": %d, \"requests\": %d, \"errors\": %d, "
+                  "\"wall_ms\": %.3f, \"throughput_rps\": %.3f, "
+                  "\"latency_avg_ms\": %.3f, \"latency_p95_ms\": %.3f, "
+                  "\"latency_max_ms\": %.3f}",
+                  i == 0 ? "" : ", ", r.clients, r.requests, r.errors,
+                  r.wall_ms, r.throughput_rps, r.latency_avg_ms,
+                  r.latency_p95_ms, r.latency_max_ms);
+    json += buf;
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "],\n  \"max_clients_sustained\": %d,\n"
+                "  \"server\": {\"requests_ok\": %llu, \"requests_error\": "
+                "%llu, \"rejected_overload\": %llu, \"bytes_in\": %llu, "
+                "\"bytes_out\": %llu}\n}\n",
+                sustained,
+                static_cast<unsigned long long>(stats.requests_ok),
+                static_cast<unsigned long long>(stats.requests_error),
+                static_cast<unsigned long long>(stats.rejected_overload),
+                static_cast<unsigned long long>(stats.bytes_in),
+                static_cast<unsigned long long>(stats.bytes_out));
+  json += buf;
+
+  const char* path = "BENCH_bench_server.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+
+  if (sustained < 4) {
+    std::fprintf(stderr,
+                 "FAIL: only %d concurrent clients sustained without "
+                 "errors (want >= 4)\n",
+                 sustained);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gaea
+
+int main() { return gaea::Run(); }

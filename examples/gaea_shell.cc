@@ -2,6 +2,11 @@
 // database — the textual stand-in for the paper's visual environment.
 //
 //   ./gaea_shell <db_dir> [script_file]
+//   ./gaea_shell --connect <host:port> [script_file]
+//
+// The second form proxies commands through GaeaClient to a running gaead
+// (docs/NET.md); remote sessions speak the RPC subset: ddl, ddl-file,
+// derive, derive-batch, lineage, stats [--json], ping, quit.
 //
 // Commands (one per line; '#' starts a comment):
 //   ddl <<END ... END        multi-line DDL block
@@ -22,7 +27,8 @@
 //   derive-batch <process> arg=oid[,oid...] ... [; <process> ...]
 //                            run derivations on the scheduler (cached)
 //   set-threads <n>          worker threads for derive-batch / compounds
-//   stats                    catalog, derivation-cache and buffer-pool stats
+//   stats [--json]           catalog, derivation-cache and buffer-pool stats
+//                            (--json: machine-readable, for benches and CI)
 //   quit
 
 #include <cstdio>
@@ -32,6 +38,7 @@
 #include <sstream>
 
 #include "gaea/kernel.h"
+#include "net/client.h"
 #include "util/string_util.h"
 
 namespace gaea {
@@ -40,6 +47,9 @@ namespace {
 void PrintStatus(const Status& status) {
   std::printf("%s\n", status.ToString().c_str());
 }
+
+bool ParseDeriveRequests(std::istringstream& words,
+                         std::vector<DeriveRequest>* requests);
 
 class Shell {
  public:
@@ -70,7 +80,7 @@ class Shell {
     if (cmd == "net") return Net();
     if (cmd == "can-derive") return CanDerive(words);
     if (cmd == "tasks") return Tasks();
-    if (cmd == "stats") return Stats();
+    if (cmd == "stats") return Stats(words);
     if (cmd == "derive-batch") return DeriveBatch(words);
     if (cmd == "set-threads") return SetThreads(words);
     if (cmd == "compare-concept") return CompareConcept(words);
@@ -297,7 +307,16 @@ class Shell {
     return true;
   }
 
-  bool Stats() {
+  bool Stats(std::istringstream& words) {
+    std::string flag;
+    words >> flag;
+    if (flag == "--json") {
+      // One JSON object per line, shaped like the gaead stats RPC minus the
+      // "server" section — benches and CI assert on it without screen-
+      // scraping the human format below.
+      std::printf("{\"kernel\":%s}\n", kernel_->GetStats().ToJson().c_str());
+      return true;
+    }
     GaeaKernel::Stats stats = kernel_->GetStats();
     std::printf("classes %zu  concepts %zu  processes %zu (%zu versions)  "
                 "objects %zu  tasks %zu  experiments %zu\n",
@@ -344,27 +363,7 @@ class Shell {
 
   bool DeriveBatch(std::istringstream& words) {
     std::vector<DeriveRequest> requests;
-    std::string token;
-    bool bad = false;
-    while (words >> token) {
-      if (token == ";") continue;  // next token names the next process
-      size_t eq = token.find('=');
-      if (eq == std::string::npos) {
-        DeriveRequest request;
-        request.process = token;
-        requests.push_back(std::move(request));
-        continue;
-      }
-      if (requests.empty()) {
-        bad = true;
-        break;
-      }
-      std::vector<Oid>& oids = requests.back().inputs[token.substr(0, eq)];
-      for (const std::string& part : StrSplit(token.substr(eq + 1), ',')) {
-        oids.push_back(std::strtoull(part.c_str(), nullptr, 10));
-      }
-    }
-    if (bad || requests.empty()) {
+    if (!ParseDeriveRequests(words, &requests)) {
       std::printf(
           "usage: derive-batch <process> arg=oid[,oid...] ... [; <process> "
           "...]\n");
@@ -419,14 +418,237 @@ class Shell {
   GaeaKernel* kernel_;
 };
 
+// Parses "proc a=1,2 b=3 [; proc2 ...]" into DeriveRequests (shared by the
+// local and remote derive commands). Returns false on malformed input.
+bool ParseDeriveRequests(std::istringstream& words,
+                         std::vector<DeriveRequest>* requests) {
+  std::string token;
+  while (words >> token) {
+    if (token == ";") continue;  // next token names the next process
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      DeriveRequest request;
+      request.process = token;
+      requests->push_back(std::move(request));
+      continue;
+    }
+    if (requests->empty()) return false;
+    std::vector<Oid>& oids = requests->back().inputs[token.substr(0, eq)];
+    for (const std::string& part : StrSplit(token.substr(eq + 1), ',')) {
+      oids.push_back(std::strtoull(part.c_str(), nullptr, 10));
+    }
+  }
+  return !requests->empty();
+}
+
+// The remote mode: the same line-oriented surface, proxied through
+// GaeaClient to a gaead. Only the RPC subset is available; everything else
+// names the commands that are.
+class RemoteShell {
+ public:
+  explicit RemoteShell(net::GaeaClient* client) : client_(client) {}
+
+  bool Execute(const std::string& raw, std::istream& in) {
+    std::string_view line = StrTrim(raw);
+    if (line.empty() || line[0] == '#') return true;
+    std::istringstream words{std::string(line)};
+    std::string cmd;
+    words >> cmd;
+    cmd = StrToLower(cmd);
+
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "ping") {
+      PrintStatus(client_->Ping());
+      return true;
+    }
+    if (cmd == "ddl") return DdlBlock(words, in);
+    if (cmd == "ddl-file") return DdlFile(words);
+    if (cmd == "derive") return Derive(words);
+    if (cmd == "derive-batch") return DeriveBatch(words);
+    if (cmd == "lineage") return Lineage(words);
+    if (cmd == "stats") return Stats();
+    std::printf("unknown remote command: %s (remote commands: ddl, ddl-file, "
+                "derive, derive-batch, lineage, stats [--json], ping, quit)\n",
+                cmd.c_str());
+    return true;
+  }
+
+ private:
+  bool DdlBlock(std::istringstream& words, std::istream& in) {
+    std::string marker;
+    words >> marker;
+    if (marker.rfind("<<", 0) != 0) {
+      std::printf("usage: ddl <<END ... END\n");
+      return true;
+    }
+    std::string terminator = marker.substr(2);
+    std::string source, line;
+    while (std::getline(in, line) && StrTrim(line) != terminator) {
+      source += line;
+      source += '\n';
+    }
+    PrintStatus(client_->ExecuteDdl(source));
+    return true;
+  }
+
+  bool DdlFile(std::istringstream& words) {
+    std::string path;
+    words >> path;
+    std::ifstream in(path);
+    if (!in) {
+      std::printf("cannot open %s\n", path.c_str());
+      return true;
+    }
+    std::string source((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+    PrintStatus(client_->ExecuteDdl(source));
+    return true;
+  }
+
+  bool Derive(std::istringstream& words) {
+    std::vector<DeriveRequest> requests;
+    if (!ParseDeriveRequests(words, &requests) || requests.size() != 1) {
+      std::printf("usage: derive <process> arg=oid[,oid...] ...\n");
+      return true;
+    }
+    bool cache_hit = false;
+    auto oid = client_->Derive(requests[0].process, requests[0].inputs,
+                               requests[0].version, &cache_hit);
+    if (!oid.ok()) {
+      PrintStatus(oid.status());
+      return true;
+    }
+    std::printf("%s -> #%llu%s\n", requests[0].process.c_str(),
+                static_cast<unsigned long long>(*oid),
+                cache_hit ? " (cached)" : "");
+    return true;
+  }
+
+  bool DeriveBatch(std::istringstream& words) {
+    std::vector<DeriveRequest> requests;
+    if (!ParseDeriveRequests(words, &requests)) {
+      std::printf(
+          "usage: derive-batch <process> arg=oid[,oid...] ... [; <process> "
+          "...]\n");
+      return true;
+    }
+    auto outcomes = client_->DeriveBatch(requests);
+    if (!outcomes.ok()) {
+      PrintStatus(outcomes.status());
+      return true;
+    }
+    for (size_t i = 0; i < outcomes->size(); ++i) {
+      const DeriveOutcome& outcome = (*outcomes)[i];
+      if (outcome.status.ok()) {
+        std::printf("%s -> #%llu%s\n", requests[i].process.c_str(),
+                    static_cast<unsigned long long>(outcome.oid),
+                    outcome.cache_hit ? " (cached)" : "");
+      } else {
+        std::printf("%s -> %s\n", requests[i].process.c_str(),
+                    outcome.status.ToString().c_str());
+      }
+    }
+    return true;
+  }
+
+  bool Lineage(std::istringstream& words) {
+    Oid oid = 0;
+    words >> oid;
+    auto reply = client_->Lineage(oid);
+    if (!reply.ok()) {
+      PrintStatus(reply.status());
+      return true;
+    }
+    std::printf("chain:");
+    for (const std::string& step : reply->chain) {
+      std::printf(" %s", step.c_str());
+    }
+    std::printf("\nbase sources:");
+    for (Oid base : reply->base_sources) {
+      std::printf(" #%llu", static_cast<unsigned long long>(base));
+    }
+    std::printf("\n");
+    return true;
+  }
+
+  bool Stats() {
+    // The server composes {"server":...,"kernel":...}; printed verbatim for
+    // both `stats` and `stats --json` (the wire format is already JSON).
+    auto json = client_->StatsJson();
+    if (!json.ok()) {
+      PrintStatus(json.status());
+      return true;
+    }
+    std::printf("%s\n", json->c_str());
+    return true;
+  }
+
+  net::GaeaClient* client_;
+};
+
+// Shared REPL driver: reads lines from `in`, echoing a prompt when
+// interactive, until the shell asks to stop.
+template <typename AnyShell>
+void RunLoop(AnyShell& shell, std::istream& in, bool interactive) {
+  std::string line;
+  if (interactive) std::printf("gaea> ");
+  while (std::getline(in, line)) {
+    if (!shell.Execute(line, in)) break;
+    if (interactive) std::printf("gaea> ");
+  }
+}
+
 }  // namespace
 }  // namespace gaea
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <db_dir> [script_file]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <db_dir> [script_file]\n"
+                 "       %s --connect <host:port> [script_file]\n",
+                 argv[0], argv[0]);
     return 2;
   }
+
+  bool remote = std::string(argv[1]) == "--connect";
+  if (remote && argc < 3) {
+    std::fprintf(stderr, "usage: %s --connect <host:port> [script_file]\n",
+                 argv[0]);
+    return 2;
+  }
+  int script_index = remote ? 3 : 2;
+  std::ifstream script;
+  bool interactive = argc <= script_index;
+  if (!interactive) {
+    script.open(argv[script_index]);
+    if (!script) {
+      std::fprintf(stderr, "cannot open script %s\n", argv[script_index]);
+      return 1;
+    }
+  }
+  std::istream& in = interactive ? std::cin : script;
+
+  if (remote) {
+    std::string target = argv[2];
+    size_t colon = target.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--connect wants host:port, got %s\n",
+                   target.c_str());
+      return 2;
+    }
+    std::string host = target.substr(0, colon);
+    int port = std::atoi(target.c_str() + colon + 1);
+    auto client = gaea::net::GaeaClient::Connect(host, port);
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n",
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    gaea::RemoteShell shell(client->get());
+    gaea::RunLoop(shell, in, interactive);
+    return 0;
+  }
+
   gaea::GaeaKernel::Options options;
   options.dir = argv[1];
   options.user = "shell";
@@ -438,23 +660,7 @@ int main(int argc, char** argv) {
   }
   (*kernel)->SetClock(gaea::AbsTime::FromDate(1993, 8, 24).value());
   gaea::Shell shell(kernel->get());
-
-  std::ifstream script;
-  bool interactive = argc < 3;
-  if (!interactive) {
-    script.open(argv[2]);
-    if (!script) {
-      std::fprintf(stderr, "cannot open script %s\n", argv[2]);
-      return 1;
-    }
-  }
-  std::istream& in = interactive ? std::cin : script;
-  std::string line;
-  if (interactive) std::printf("gaea> ");
-  while (std::getline(in, line)) {
-    if (!shell.Execute(line, in)) break;
-    if (interactive) std::printf("gaea> ");
-  }
+  gaea::RunLoop(shell, in, interactive);
   auto flush = (*kernel)->Flush();
   if (!flush.ok()) {
     std::fprintf(stderr, "flush failed: %s\n", flush.ToString().c_str());

@@ -334,6 +334,57 @@ GaeaKernel::Stats GaeaKernel::GetStats() const {
   return stats;
 }
 
+std::string GaeaKernel::Stats::ToJson() const {
+  auto field = [](std::string* json, const char* key, uint64_t value,
+                  bool first = false) {
+    if (!first) *json += ',';
+    *json += '"';
+    *json += key;
+    *json += "\":";
+    *json += std::to_string(value);
+  };
+  auto pool_json = [&field](const PoolStats& pool) {
+    std::string json = "{";
+    field(&json, "hits", pool.hits, /*first=*/true);
+    field(&json, "misses", pool.misses);
+    field(&json, "evictions", pool.evictions);
+    json += ",\"shards\":[";
+    for (size_t i = 0; i < pool.per_shard.size(); ++i) {
+      const BufferPool::ShardStats& shard = pool.per_shard[i];
+      if (i > 0) json += ',';
+      std::string entry = "{";
+      field(&entry, "hits", shard.hits, /*first=*/true);
+      field(&entry, "misses", shard.misses);
+      field(&entry, "evictions", shard.evictions);
+      field(&entry, "resident", shard.resident);
+      field(&entry, "pinned", shard.pinned);
+      entry += '}';
+      json += entry;
+    }
+    json += "]}";
+    return json;
+  };
+  std::string json = "{";
+  field(&json, "classes", classes, /*first=*/true);
+  field(&json, "concepts", concepts);
+  field(&json, "processes", processes);
+  field(&json, "process_versions", process_versions);
+  field(&json, "objects", objects);
+  field(&json, "tasks", tasks);
+  field(&json, "experiments", experiments);
+  json += ",\"derivation_cache\":{";
+  field(&json, "entries", derivation_cache.entries, /*first=*/true);
+  field(&json, "capacity", derivation_cache.capacity);
+  field(&json, "hits", derivation_cache.hits);
+  field(&json, "misses", derivation_cache.misses);
+  field(&json, "evictions", derivation_cache.evictions);
+  field(&json, "invalidations", derivation_cache.invalidations);
+  json += "},\"heap_pool\":" + pool_json(heap_pool);
+  json += ",\"index_pool\":" + pool_json(index_pool);
+  json += '}';
+  return json;
+}
+
 StatusOr<DerivationNet::Marking> GaeaKernel::CurrentMarking() const {
   DerivationNet::Marking marking;
   for (const ClassDef* def : catalog_->classes().List()) {

@@ -196,6 +196,10 @@ class GaeaKernel {
     DerivationCache::Stats derivation_cache;
     PoolStats heap_pool;   // object store: heap file frames
     PoolStats index_pool;  // object store: OID index frames
+
+    // Machine-readable snapshot (shell `stats --json`, the gaead stats RPC;
+    // schema in docs/NET.md). Compact: no whitespace.
+    std::string ToJson() const;
   };
   Stats GetStats() const;
 

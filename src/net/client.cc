@@ -1,0 +1,162 @@
+#include "net/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gaea::net {
+
+StatusOr<std::unique_ptr<GaeaClient>> GaeaClient::Connect(
+    const std::string& host, int port) {
+  return Connect(host, port, Options());
+}
+
+StatusOr<std::unique_ptr<GaeaClient>> GaeaClient::Connect(
+    const std::string& host, int port, Options options) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                         &resolved);
+  if (rc != 0) {
+    return Status::IOError("resolve " + host + ": " + ::gai_strerror(rc));
+  }
+  int fd = -1;
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last_error = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(resolved);
+  if (fd < 0) {
+    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + last_error);
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::unique_ptr<GaeaClient> client(new GaeaClient(fd, options));
+  BinaryWriter hello;
+  EncodeHello(&hello);
+  auto ack = client->Call(MsgType::kHello, hello.buffer());
+  if (!ack.ok()) return ack.status();
+  return client;
+}
+
+GaeaClient::~GaeaClient() { ::close(fd_); }
+
+StatusOr<std::string> GaeaClient::Call(MsgType type, std::string_view body) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RequestHeader header;
+  header.type = type;
+  header.id = ++next_id_;
+  header.deadline_ms = options_.deadline_ms;
+  BinaryWriter payload;
+  EncodeRequestHeader(header, &payload);
+  payload.PutRaw(body.data(), body.size());
+  GAEA_RETURN_IF_ERROR(SendAll(fd_, EncodeFrame(payload.buffer())));
+
+  for (;;) {
+    std::string response;
+    GAEA_ASSIGN_OR_RETURN(bool have, frames_.Next(&response));
+    if (!have) {
+      bool closed = false;
+      GAEA_RETURN_IF_ERROR(RecvInto(fd_, &frames_, &closed));
+      if (closed) {
+        return Status::IOError("server closed the connection");
+      }
+      continue;
+    }
+    BinaryReader reader(response);
+    GAEA_ASSIGN_OR_RETURN(ResponseHeader rh, DecodeResponseHeader(&reader));
+    if (rh.id != header.id) continue;  // stale answer from a prior timeout
+    GAEA_RETURN_IF_ERROR(ResponseStatus(rh));
+    return response.substr(reader.position());
+  }
+}
+
+Status GaeaClient::Ping() { return Call(MsgType::kPing, {}).status(); }
+
+Status GaeaClient::ExecuteDdl(const std::string& source) {
+  BinaryWriter body;
+  body.PutString(source);
+  return Call(MsgType::kDdl, body.buffer()).status();
+}
+
+StatusOr<int> GaeaClient::DefineProcess(const ProcessDef& def) {
+  BinaryWriter body;
+  def.Serialize(&body);
+  GAEA_ASSIGN_OR_RETURN(std::string reply,
+                        Call(MsgType::kDefineProcess, body.buffer()));
+  BinaryReader reader(reply);
+  return reader.GetI32();
+}
+
+StatusOr<Oid> GaeaClient::Derive(
+    const std::string& process,
+    const std::map<std::string, std::vector<Oid>>& inputs, int version,
+    bool* cache_hit) {
+  DeriveRequest request;
+  request.process = process;
+  request.version = version;
+  request.inputs = inputs;
+  BinaryWriter body;
+  EncodeDeriveRequest(request, &body);
+  GAEA_ASSIGN_OR_RETURN(std::string reply,
+                        Call(MsgType::kDerive, body.buffer()));
+  BinaryReader reader(reply);
+  GAEA_ASSIGN_OR_RETURN(Oid oid, reader.GetU64());
+  GAEA_ASSIGN_OR_RETURN(bool hit, reader.GetBool());
+  if (cache_hit != nullptr) *cache_hit = hit;
+  return oid;
+}
+
+StatusOr<std::vector<DeriveOutcome>> GaeaClient::DeriveBatch(
+    const std::vector<DeriveRequest>& requests) {
+  BinaryWriter body;
+  body.PutU32(static_cast<uint32_t>(requests.size()));
+  for (const DeriveRequest& request : requests) {
+    EncodeDeriveRequest(request, &body);
+  }
+  GAEA_ASSIGN_OR_RETURN(std::string reply,
+                        Call(MsgType::kDeriveBatch, body.buffer()));
+  BinaryReader reader(reply);
+  GAEA_ASSIGN_OR_RETURN(uint32_t count, reader.GetU32());
+  std::vector<DeriveOutcome> outcomes;
+  outcomes.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    GAEA_ASSIGN_OR_RETURN(DeriveOutcome outcome, DecodeDeriveOutcome(&reader));
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+StatusOr<LineageReply> GaeaClient::Lineage(Oid oid) {
+  BinaryWriter body;
+  body.PutU64(oid);
+  GAEA_ASSIGN_OR_RETURN(std::string reply,
+                        Call(MsgType::kLineage, body.buffer()));
+  BinaryReader reader(reply);
+  return DecodeLineageReply(&reader);
+}
+
+StatusOr<std::string> GaeaClient::StatsJson() {
+  GAEA_ASSIGN_OR_RETURN(std::string reply, Call(MsgType::kStats, {}));
+  BinaryReader reader(reply);
+  return reader.GetString();
+}
+
+}  // namespace gaea::net

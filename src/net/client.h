@@ -1,0 +1,89 @@
+// GaeaClient: a blocking C++ client for gaead (docs/NET.md).
+//
+// One client is one TCP connection plus one outstanding request at a time;
+// the hello/version handshake happens inside Connect, so a constructed
+// client is ready to use. All calls are thread-safe (serialized on an
+// internal mutex); for concurrency open one client per thread — connections
+// are cheap and the server multiplexes sessions.
+
+#ifndef GAEA_NET_CLIENT_H_
+#define GAEA_NET_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/process.h"
+#include "core/scheduler.h"
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace gaea::net {
+
+class GaeaClient {
+ public:
+  struct Options {
+    // Applied to every request; 0 = no deadline. The deadline bounds the
+    // server-side queue wait, not the network round trip.
+    uint32_t deadline_ms = 0;
+  };
+
+  // Resolves `host` (name or dotted IPv4), connects, and performs the
+  // protocol handshake.
+  static StatusOr<std::unique_ptr<GaeaClient>> Connect(
+      const std::string& host, int port, Options options);
+  static StatusOr<std::unique_ptr<GaeaClient>> Connect(const std::string& host,
+                                                       int port);
+
+  ~GaeaClient();
+
+  GaeaClient(const GaeaClient&) = delete;
+  GaeaClient& operator=(const GaeaClient&) = delete;
+
+  // Round-trip liveness probe.
+  Status Ping();
+
+  // Remote GaeaKernel::ExecuteDdl.
+  Status ExecuteDdl(const std::string& source);
+
+  // Remote GaeaKernel::DefineProcess; returns the assigned version.
+  StatusOr<int> DefineProcess(const ProcessDef& def);
+
+  // Remote single derivation (server-side cache consulted). `cache_hit`,
+  // when non-null, reports whether the result was memoized.
+  StatusOr<Oid> Derive(const std::string& process,
+                       const std::map<std::string, std::vector<Oid>>& inputs,
+                       int version = 0, bool* cache_hit = nullptr);
+
+  // Remote GaeaKernel::DeriveBatch: one outcome per request, request order.
+  StatusOr<std::vector<DeriveOutcome>> DeriveBatch(
+      const std::vector<DeriveRequest>& requests);
+
+  // Remote lineage query: process chain + base sources of `oid`.
+  StatusOr<LineageReply> Lineage(Oid oid);
+
+  // Combined server+kernel counters as a JSON document.
+  StatusOr<std::string> StatsJson();
+
+  void set_deadline_ms(uint32_t ms) { options_.deadline_ms = ms; }
+
+ private:
+  GaeaClient(int fd, Options options) : fd_(fd), options_(options) {}
+
+  // Sends one request and blocks for its response; returns the response
+  // body (bytes after the ResponseHeader) on success.
+  StatusOr<std::string> Call(MsgType type, std::string_view body);
+
+  std::mutex mu_;
+  int fd_;
+  Options options_;
+  FrameBuffer frames_;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace gaea::net
+
+#endif  // GAEA_NET_CLIENT_H_

@@ -1,0 +1,494 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/process.h"
+
+namespace gaea::net {
+
+namespace {
+
+void AppendField(std::string* json, const char* key, uint64_t value,
+                 bool first = false) {
+  if (!first) *json += ',';
+  *json += '"';
+  *json += key;
+  *json += "\":";
+  *json += std::to_string(value);
+}
+
+}  // namespace
+
+std::string ServerStats::ToJson() const {
+  std::string json = "{";
+  AppendField(&json, "sessions_opened", sessions_opened, /*first=*/true);
+  AppendField(&json, "sessions_active", sessions_active);
+  AppendField(&json, "requests_total", requests_total);
+  AppendField(&json, "requests_ok", requests_ok);
+  AppendField(&json, "requests_error", requests_error);
+  AppendField(&json, "rejected_overload", rejected_overload);
+  AppendField(&json, "rejected_deadline", rejected_deadline);
+  AppendField(&json, "in_flight", in_flight);
+  AppendField(&json, "bytes_in", bytes_in);
+  AppendField(&json, "bytes_out", bytes_out);
+  AppendField(&json, "latency_micros_total", latency_micros_total);
+  AppendField(&json, "latency_micros_max", latency_micros_max);
+  uint64_t answered = requests_ok + requests_error;
+  AppendField(&json, "latency_micros_avg",
+              answered == 0 ? 0 : latency_micros_total / answered);
+  json += '}';
+  return json;
+}
+
+GaeaServer::GaeaServer(GaeaKernel* kernel, Options options)
+    : kernel_(kernel), options_(std::move(options)) {
+  if (options_.workers < 1) options_.workers = 1;
+  if (options_.max_inflight < 1) options_.max_inflight = 1;
+}
+
+GaeaServer::~GaeaServer() { Shutdown(); }
+
+Status GaeaServer::Start() {
+  if (state_.load() != State::kIdle) {
+    return Status::FailedPrecondition("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket: " + std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = Status::IOError("bind " + options_.host + ":" +
+                                    std::to_string(options_.port) + ": " +
+                                    std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    Status status =
+        Status::IOError("listen: " + std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  state_.store(State::kRunning);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(options_.workers);
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void GaeaServer::AcceptLoop() {
+  for (;;) {
+    if (draining_.load(std::memory_order_acquire)) return;
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    ReapDoneSessions();
+    if (ready == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<Session> session;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      uint64_t id = next_session_id_++;
+      session = std::make_shared<Session>(this, fd, id);
+      sessions_[id] = session;
+    }
+    session->Start();
+  }
+}
+
+void GaeaServer::OnSessionDone(uint64_t) {
+  // Reaping happens on the accept thread (and in Shutdown); the reader
+  // thread that calls this must not destroy its own Session.
+}
+
+void GaeaServer::ReapDoneSessions() {
+  std::vector<std::shared_ptr<Session>> dead;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (it->second->done()) {
+        dead.push_back(it->second);
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& session : dead) session->Join();
+  // Destructors run here, off the sessions_mu_ lock and off reader threads.
+}
+
+void GaeaServer::HandleFrame(std::shared_ptr<Session> session,
+                             std::string payload) {
+  BinaryReader reader(payload);
+  auto header_or = DecodeRequestHeader(&reader);
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  if (!header_or.ok()) {
+    Respond(*session, 0, MsgType::kPing, header_or.status(), {});
+    session->Close();
+    return;
+  }
+  RequestHeader header = *header_or;
+
+  if (header.type == MsgType::kHello) {
+    Status hello = DecodeAndCheckHello(&reader);
+    if (hello.ok()) {
+      session->set_handshaken();
+      BinaryWriter body;
+      body.PutU16(kProtocolVersion);
+      Respond(*session, header.id, header.type, hello, body.buffer());
+    } else {
+      Respond(*session, header.id, header.type, hello, {});
+      session->Close();
+    }
+    return;
+  }
+  if (!session->handshaken()) {
+    Respond(*session, header.id, header.type,
+            Status::FailedPrecondition("hello handshake required"), {});
+    session->Close();
+    return;
+  }
+  session->counters().requests.fetch_add(1, std::memory_order_relaxed);
+
+  switch (header.type) {
+    case MsgType::kPing:
+      Respond(*session, header.id, header.type, Status::OK(), {});
+      return;
+    case MsgType::kStats: {
+      std::string json = StatsJson();
+      BinaryWriter body;
+      body.PutString(json);
+      Respond(*session, header.id, header.type, Status::OK(), body.buffer());
+      return;
+    }
+    default:
+      break;
+  }
+
+  // Kernel-bound request: bounded admission, then the worker pool.
+  Job job;
+  job.session = std::move(session);
+  job.header = header;
+  job.body = payload.substr(reader.position());
+  job.admitted = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (draining_.load(std::memory_order_acquire)) {
+      Respond(*job.session, header.id, header.type,
+              Status::Unavailable("server is shutting down"), {});
+      return;
+    }
+    if (in_flight_.load(std::memory_order_relaxed) >=
+        static_cast<uint64_t>(options_.max_inflight)) {
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      Respond(*job.session, header.id, header.type,
+              Status::Unavailable(
+                  "server overloaded: " +
+                  std::to_string(options_.max_inflight) +
+                  " requests already in flight; retry later"),
+              {});
+      return;
+    }
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+}
+
+void GaeaServer::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_workers_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_workers_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    ExecuteJob(std::move(job));
+  }
+}
+
+void GaeaServer::ExecuteJob(Job job) {
+  const RequestHeader& header = job.header;
+  if (header.deadline_ms > 0) {
+    auto waited = std::chrono::steady_clock::now() - job.admitted;
+    if (waited > std::chrono::milliseconds(header.deadline_ms)) {
+      rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
+      Status expired = Status::Unavailable(
+          "deadline of " + std::to_string(header.deadline_ms) +
+          " ms expired before execution");
+      Respond(*job.session, header.id, header.type, expired, {});
+      FinishJob(job, expired);
+      return;
+    }
+  }
+
+  BinaryReader reader(job.body);
+  Status result = Status::OK();
+  BinaryWriter body;
+  switch (header.type) {
+    case MsgType::kDdl: {
+      auto source = reader.GetString();
+      if (!source.ok()) {
+        result = source.status();
+        break;
+      }
+      std::unique_lock<std::shared_mutex> lock(kernel_mu_);
+      result = kernel_->ExecuteDdl(*source);
+      break;
+    }
+    case MsgType::kDefineProcess: {
+      auto def = ProcessDef::Deserialize(&reader);
+      if (!def.ok()) {
+        result = def.status();
+        break;
+      }
+      std::unique_lock<std::shared_mutex> lock(kernel_mu_);
+      auto version = kernel_->DefineProcess(*std::move(def));
+      if (version.ok()) {
+        body.PutI32(*version);
+      } else {
+        result = version.status();
+      }
+      break;
+    }
+    case MsgType::kDerive: {
+      auto request = DecodeDeriveRequest(&reader);
+      if (!request.ok()) {
+        result = request.status();
+        break;
+      }
+      std::shared_lock<std::shared_mutex> lock(kernel_mu_);
+      auto outcomes = kernel_->DeriveBatch({*request});
+      if (!outcomes.ok()) {
+        result = outcomes.status();
+      } else if (!(*outcomes)[0].status.ok()) {
+        result = (*outcomes)[0].status;
+      } else {
+        body.PutU64((*outcomes)[0].oid);
+        body.PutBool((*outcomes)[0].cache_hit);
+      }
+      break;
+    }
+    case MsgType::kDeriveBatch: {
+      std::vector<DeriveRequest> requests;
+      auto count = reader.GetU32();
+      if (!count.ok()) {
+        result = count.status();
+        break;
+      }
+      requests.reserve(*count);
+      for (uint32_t i = 0; i < *count && result.ok(); ++i) {
+        auto request = DecodeDeriveRequest(&reader);
+        if (!request.ok()) {
+          result = request.status();
+        } else {
+          requests.push_back(*std::move(request));
+        }
+      }
+      if (!result.ok()) break;
+      std::shared_lock<std::shared_mutex> lock(kernel_mu_);
+      auto outcomes = kernel_->DeriveBatch(requests);
+      if (!outcomes.ok()) {
+        result = outcomes.status();
+        break;
+      }
+      body.PutU32(static_cast<uint32_t>(outcomes->size()));
+      for (const DeriveOutcome& outcome : *outcomes) {
+        EncodeDeriveOutcome(outcome, &body);
+      }
+      break;
+    }
+    case MsgType::kLineage: {
+      auto oid = reader.GetU64();
+      if (!oid.ok()) {
+        result = oid.status();
+        break;
+      }
+      std::shared_lock<std::shared_mutex> lock(kernel_mu_);
+      LineageGraph graph = kernel_->lineage();
+      auto chain = graph.ProcessChain(*oid);
+      if (!chain.ok()) {
+        result = chain.status();
+        break;
+      }
+      LineageReply reply;
+      reply.chain = *std::move(chain);
+      for (Oid base : graph.BaseSources(*oid)) {
+        reply.base_sources.push_back(base);
+      }
+      EncodeLineageReply(reply, &body);
+      break;
+    }
+    default:
+      result = Status::Internal(std::string("request type ") +
+                                MsgTypeName(header.type) +
+                                " on the worker path");
+      break;
+  }
+  Respond(*job.session, header.id, header.type, result, body.buffer());
+  FinishJob(job, result);
+}
+
+void GaeaServer::FinishJob(const Job& job, const Status&) {
+  auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - job.admitted)
+                    .count();
+  uint64_t latency = static_cast<uint64_t>(micros);
+  latency_micros_total_.fetch_add(latency, std::memory_order_relaxed);
+  uint64_t prev = latency_micros_max_.load(std::memory_order_relaxed);
+  while (latency > prev && !latency_micros_max_.compare_exchange_weak(
+                               prev, latency, std::memory_order_relaxed)) {
+  }
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+  }
+  drained_cv_.notify_all();
+}
+
+void GaeaServer::Respond(Session& session, uint64_t id, MsgType request_type,
+                         const Status& status, std::string_view body) {
+  ResponseHeader header;
+  header.id = id;
+  header.request_type = request_type;
+  header.code = status.code();
+  header.message = status.message();
+  BinaryWriter payload;
+  EncodeResponseHeader(header, &payload);
+  if (status.ok()) payload.PutRaw(body.data(), body.size());
+  if (status.ok()) {
+    requests_ok_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    requests_error_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // A failed send means the peer vanished; its reader will notice and the
+  // session gets reaped, so the error is intentionally not propagated.
+  (void)session.Send(payload.buffer());
+}
+
+ServerStats GaeaServer::stats() const {
+  ServerStats stats;
+  stats.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& [id, session] : sessions_) {
+      if (!session->done()) ++stats.sessions_active;
+    }
+  }
+  stats.requests_total = requests_total_.load(std::memory_order_relaxed);
+  stats.requests_ok = requests_ok_.load(std::memory_order_relaxed);
+  stats.requests_error = requests_error_.load(std::memory_order_relaxed);
+  stats.rejected_overload =
+      rejected_overload_.load(std::memory_order_relaxed);
+  stats.rejected_deadline =
+      rejected_deadline_.load(std::memory_order_relaxed);
+  stats.in_flight = in_flight_.load(std::memory_order_relaxed);
+  stats.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  stats.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  stats.latency_micros_total =
+      latency_micros_total_.load(std::memory_order_relaxed);
+  stats.latency_micros_max =
+      latency_micros_max_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::string GaeaServer::StatsJson() const {
+  std::string kernel_json;
+  {
+    std::shared_lock<std::shared_mutex> lock(kernel_mu_);
+    kernel_json = kernel_->GetStats().ToJson();
+  }
+  return "{\"server\":" + stats().ToJson() + ",\"kernel\":" + kernel_json +
+         "}";
+}
+
+void GaeaServer::Shutdown() {
+  if (state_.load() == State::kIdle) return;
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) {
+    // Someone else is shutting down; wait for them to finish.
+    while (state_.load() != State::kStopped) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Drain: every admitted request gets executed and answered.
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    drained_cv_.wait(lock, [this] {
+      return queue_.empty() && in_flight_.load(std::memory_order_relaxed) == 0;
+    });
+    stop_workers_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+
+  // Definitions and tasks are on disk before any connection is torn down.
+  {
+    std::unique_lock<std::shared_mutex> lock(kernel_mu_);
+    (void)kernel_->Flush();
+  }
+
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& [id, session] : sessions_) sessions.push_back(session);
+    sessions_.clear();
+  }
+  for (auto& session : sessions) session->Close();
+  for (auto& session : sessions) session->Join();
+  sessions.clear();
+
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  state_.store(State::kStopped);
+}
+
+}  // namespace gaea::net

@@ -1,0 +1,166 @@
+// gaead's serving core: one GaeaKernel shared by many TCP sessions.
+//
+// Threading model (docs/NET.md):
+//   * an accept thread polls the listening socket and spawns one reader
+//     thread per connection (net/session.h);
+//   * readers decode frames and answer hello/ping/stats inline; kernel
+//     work (ddl, define-process, derive, derive-batch, lineage) is admitted
+//     onto a bounded worker pool feeding Kernel::DeriveBatch and friends;
+//   * admission is limited by max_inflight — when the pool is saturated the
+//     request is answered kUnavailable immediately instead of queueing
+//     without bound, and a request whose deadline_ms elapsed while queued is
+//     answered kUnavailable without touching the kernel;
+//   * definitions (ddl / define-process) take an exclusive kernel lock,
+//     derivations and reads take it shared, so catalog mutation never races
+//     the ProcessRegistry reads inside a derivation.
+//
+// Shutdown() — wired to SIGTERM in tools/gaead.cc — stops accepting, lets
+// queued work drain, flushes the kernel's journals, and only then tears the
+// sessions down, so every admitted request is answered.
+
+#ifndef GAEA_NET_SERVER_H_
+#define GAEA_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gaea/kernel.h"
+#include "net/session.h"
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace gaea::net {
+
+// Aggregate server counters, surfaced by the stats RPC (as the "server"
+// object of the JSON document) and by tests.
+struct ServerStats {
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_active = 0;
+  uint64_t requests_total = 0;     // admitted or answered, all types
+  uint64_t requests_ok = 0;
+  uint64_t requests_error = 0;     // non-OK answers other than the two below
+  uint64_t rejected_overload = 0;  // kUnavailable: max_inflight reached
+  uint64_t rejected_deadline = 0;  // kUnavailable: deadline_ms elapsed queued
+  uint64_t in_flight = 0;          // queued + executing worker requests
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t latency_micros_total = 0;  // worker requests, admission→response
+  uint64_t latency_micros_max = 0;
+
+  std::string ToJson() const;
+};
+
+class GaeaServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;          // 0 = ephemeral; see port() after Start
+    int workers = 4;       // kernel worker threads (clamped to >= 1)
+    int max_inflight = 64; // queued+executing bound before kUnavailable
+  };
+
+  GaeaServer(GaeaKernel* kernel, Options options);
+  ~GaeaServer();
+
+  GaeaServer(const GaeaServer&) = delete;
+  GaeaServer& operator=(const GaeaServer&) = delete;
+
+  // Binds, listens and spawns the accept + worker threads.
+  Status Start();
+
+  // Bound port (useful with Options::port == 0).
+  int port() const { return port_; }
+
+  // Drains in-flight work, flushes the kernel, closes all sessions and
+  // joins every thread. Idempotent; also run by the destructor.
+  void Shutdown();
+
+  ServerStats stats() const;
+
+  // {"server": {...}, "kernel": {...}} — the stats RPC's payload.
+  std::string StatsJson() const;
+
+ private:
+  friend class Session;
+
+  struct Job {
+    std::shared_ptr<Session> session;
+    RequestHeader header;
+    std::string body;  // payload after the request header
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  // Reader-thread entry point: parse the header, answer light requests
+  // inline, admit heavy ones onto the worker queue.
+  void HandleFrame(std::shared_ptr<Session> session, std::string payload);
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void ExecuteJob(Job job);
+  void FinishJob(const Job& job, const Status& result);
+
+  void Respond(Session& session, uint64_t id, MsgType request_type,
+               const Status& status, std::string_view body);
+
+  void OnSessionDone(uint64_t id);
+  void ReapDoneSessions();  // joins and drops finished sessions
+
+  void AddBytesIn(uint64_t n) {
+    bytes_in_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddBytesOut(uint64_t n) {
+    bytes_out_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  GaeaKernel* kernel_;
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  enum class State { kIdle, kRunning, kStopped };
+  std::atomic<State> state_{State::kIdle};
+  std::atomic<bool> draining_{false};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  // Serializes catalog/process mutation against derivations (shared for
+  // derive/lineage/stats, exclusive for ddl/define-process).
+  mutable std::shared_mutex kernel_mu_;
+
+  mutable std::mutex sessions_mu_;
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;    // workers wait for jobs / stop
+  std::condition_variable drained_cv_;  // Shutdown waits for in_flight == 0
+  std::deque<Job> queue_;
+  bool stop_workers_ = false;
+
+  std::atomic<uint64_t> in_flight_{0};
+  std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> requests_total_{0};
+  std::atomic<uint64_t> requests_ok_{0};
+  std::atomic<uint64_t> requests_error_{0};
+  std::atomic<uint64_t> rejected_overload_{0};
+  std::atomic<uint64_t> rejected_deadline_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> latency_micros_total_{0};
+  std::atomic<uint64_t> latency_micros_max_{0};
+};
+
+}  // namespace gaea::net
+
+#endif  // GAEA_NET_SERVER_H_

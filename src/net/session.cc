@@ -1,0 +1,71 @@
+#include "net/session.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/server.h"
+
+namespace gaea::net {
+
+Session::Session(GaeaServer* server, int fd, uint64_t id)
+    : server_(server), fd_(fd), id_(id) {}
+
+Session::~Session() {
+  if (reader_.joinable()) {
+    Close();
+    reader_.join();
+  }
+  ::close(fd_);
+}
+
+void Session::Start() {
+  auto self = shared_from_this();
+  reader_ = std::thread([self] { self->ReaderLoop(); });
+}
+
+void Session::Close() { ::shutdown(fd_, SHUT_RDWR); }
+
+void Session::Join() {
+  if (reader_.joinable()) reader_.join();
+}
+
+Status Session::Send(std::string_view payload) {
+  std::string frame = EncodeFrame(payload);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  Status status = SendAll(fd_, frame);
+  if (status.ok()) {
+    counters_.bytes_out.fetch_add(frame.size(), std::memory_order_relaxed);
+    server_->AddBytesOut(frame.size());
+  }
+  return status;
+}
+
+void Session::ReaderLoop() {
+  FrameBuffer frames;
+  for (;;) {
+    // Drain every complete frame before the next recv so a pipelining
+    // client is never stalled behind the socket.
+    for (;;) {
+      std::string payload;
+      auto have = frames.Next(&payload);
+      if (!have.ok()) {
+        // Corrupt stream: nothing on it can be trusted any more.
+        goto out;
+      }
+      if (!*have) break;
+      server_->HandleFrame(shared_from_this(), std::move(payload));
+    }
+    size_t before = frames.buffered();
+    bool closed = false;
+    Status status = RecvInto(fd_, &frames, &closed);
+    if (!status.ok() || closed) break;
+    size_t got = frames.buffered() - before;
+    counters_.bytes_in.fetch_add(got, std::memory_order_relaxed);
+    server_->AddBytesIn(got);
+  }
+out:
+  done_.store(true, std::memory_order_release);
+  server_->OnSessionDone(id_);
+}
+
+}  // namespace gaea::net

@@ -1,0 +1,252 @@
+#include "net/wire.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/journal.h"  // Crc32
+
+namespace gaea::net {
+
+std::string EncodeFrame(std::string_view payload) {
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint32_t crc = Crc32(payload.data(), payload.size());
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  frame.append(reinterpret_cast<const char*>(&len), 4);
+  frame.append(reinterpret_cast<const char*>(&crc), 4);
+  frame.append(payload);
+  return frame;
+}
+
+StatusOr<bool> FrameBuffer::Next(std::string* payload) {
+  if (buf_.size() - pos_ < 8) {
+    // Drop the consumed prefix once it dominates the buffer.
+    if (pos_ > 0 && pos_ == buf_.size()) {
+      buf_.clear();
+      pos_ = 0;
+    }
+    return false;
+  }
+  uint32_t len, crc;
+  std::memcpy(&len, buf_.data() + pos_, 4);
+  std::memcpy(&crc, buf_.data() + pos_ + 4, 4);
+  if (len > kMaxFramePayload) {
+    return Status::Corruption("frame payload of " + std::to_string(len) +
+                              " bytes exceeds limit of " +
+                              std::to_string(kMaxFramePayload));
+  }
+  if (buf_.size() - pos_ < 8 + static_cast<size_t>(len)) return false;
+  std::string_view body(buf_.data() + pos_ + 8, len);
+  if (Crc32(body.data(), body.size()) != crc) {
+    return Status::Corruption("frame CRC mismatch");
+  }
+  payload->assign(body);
+  pos_ += 8 + len;
+  if (pos_ >= (64u << 10) || pos_ == buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return true;
+}
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "Hello";
+    case MsgType::kPing: return "Ping";
+    case MsgType::kDdl: return "Ddl";
+    case MsgType::kDefineProcess: return "DefineProcess";
+    case MsgType::kDerive: return "Derive";
+    case MsgType::kDeriveBatch: return "DeriveBatch";
+    case MsgType::kLineage: return "Lineage";
+    case MsgType::kStats: return "Stats";
+    case MsgType::kResponse: return "Response";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+bool IsKnownRequestType(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(MsgType::kHello) &&
+         raw <= static_cast<uint8_t>(MsgType::kStats);
+}
+
+}  // namespace
+
+void EncodeRequestHeader(const RequestHeader& header, BinaryWriter* w) {
+  w->PutU8(static_cast<uint8_t>(header.type));
+  w->PutU64(header.id);
+  w->PutU32(header.deadline_ms);
+}
+
+StatusOr<RequestHeader> DecodeRequestHeader(BinaryReader* r) {
+  GAEA_ASSIGN_OR_RETURN(uint8_t raw, r->GetU8());
+  if (!IsKnownRequestType(raw)) {
+    return Status::InvalidArgument("unknown request type " +
+                                   std::to_string(raw));
+  }
+  RequestHeader header;
+  header.type = static_cast<MsgType>(raw);
+  GAEA_ASSIGN_OR_RETURN(header.id, r->GetU64());
+  GAEA_ASSIGN_OR_RETURN(header.deadline_ms, r->GetU32());
+  return header;
+}
+
+void EncodeResponseHeader(const ResponseHeader& header, BinaryWriter* w) {
+  w->PutU8(static_cast<uint8_t>(MsgType::kResponse));
+  w->PutU64(header.id);
+  w->PutU8(static_cast<uint8_t>(header.request_type));
+  w->PutU8(static_cast<uint8_t>(header.code));
+  w->PutString(header.message);
+}
+
+StatusOr<ResponseHeader> DecodeResponseHeader(BinaryReader* r) {
+  GAEA_ASSIGN_OR_RETURN(uint8_t tag, r->GetU8());
+  if (tag != static_cast<uint8_t>(MsgType::kResponse)) {
+    return Status::InvalidArgument("expected a response frame, got type " +
+                                   std::to_string(tag));
+  }
+  ResponseHeader header;
+  GAEA_ASSIGN_OR_RETURN(header.id, r->GetU64());
+  GAEA_ASSIGN_OR_RETURN(uint8_t req, r->GetU8());
+  header.request_type = static_cast<MsgType>(req);
+  GAEA_ASSIGN_OR_RETURN(uint8_t code, r->GetU8());
+  if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    // An unknown (future) code still transports: degrade to kInternal so
+    // the caller sees the failure and the message text.
+    code = static_cast<uint8_t>(StatusCode::kInternal);
+  }
+  header.code = static_cast<StatusCode>(code);
+  GAEA_ASSIGN_OR_RETURN(header.message, r->GetString());
+  return header;
+}
+
+Status ResponseStatus(const ResponseHeader& header) {
+  if (header.code == StatusCode::kOk) return Status::OK();
+  return Status(header.code, header.message);
+}
+
+void EncodeHello(BinaryWriter* w) {
+  w->PutU32(kMagic);
+  w->PutU16(kProtocolVersion);
+}
+
+Status DecodeAndCheckHello(BinaryReader* r) {
+  GAEA_ASSIGN_OR_RETURN(uint32_t magic, r->GetU32());
+  if (magic != kMagic) {
+    return Status::FailedPrecondition("bad protocol magic");
+  }
+  GAEA_ASSIGN_OR_RETURN(uint16_t version, r->GetU16());
+  if (version != kProtocolVersion) {
+    return Status::FailedPrecondition(
+        "protocol version " + std::to_string(version) +
+        " unsupported; server speaks " + std::to_string(kProtocolVersion));
+  }
+  return Status::OK();
+}
+
+void EncodeDeriveRequest(const DeriveRequest& request, BinaryWriter* w) {
+  w->PutString(request.process);
+  w->PutI32(request.version);
+  w->PutU32(static_cast<uint32_t>(request.inputs.size()));
+  for (const auto& [arg, oids] : request.inputs) {
+    w->PutString(arg);
+    w->PutU32(static_cast<uint32_t>(oids.size()));
+    for (Oid oid : oids) w->PutU64(oid);
+  }
+}
+
+StatusOr<DeriveRequest> DecodeDeriveRequest(BinaryReader* r) {
+  DeriveRequest request;
+  GAEA_ASSIGN_OR_RETURN(request.process, r->GetString());
+  GAEA_ASSIGN_OR_RETURN(request.version, r->GetI32());
+  GAEA_ASSIGN_OR_RETURN(uint32_t args, r->GetU32());
+  for (uint32_t i = 0; i < args; ++i) {
+    GAEA_ASSIGN_OR_RETURN(std::string arg, r->GetString());
+    GAEA_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+    std::vector<Oid>& oids = request.inputs[arg];
+    oids.reserve(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      GAEA_ASSIGN_OR_RETURN(Oid oid, r->GetU64());
+      oids.push_back(oid);
+    }
+  }
+  return request;
+}
+
+void EncodeDeriveOutcome(const DeriveOutcome& outcome, BinaryWriter* w) {
+  w->PutU8(static_cast<uint8_t>(outcome.status.code()));
+  w->PutString(outcome.status.message());
+  w->PutU64(outcome.oid);
+  w->PutBool(outcome.cache_hit);
+}
+
+StatusOr<DeriveOutcome> DecodeDeriveOutcome(BinaryReader* r) {
+  DeriveOutcome outcome;
+  GAEA_ASSIGN_OR_RETURN(uint8_t code, r->GetU8());
+  GAEA_ASSIGN_OR_RETURN(std::string message, r->GetString());
+  outcome.status = Status(static_cast<StatusCode>(code), std::move(message));
+  GAEA_ASSIGN_OR_RETURN(outcome.oid, r->GetU64());
+  GAEA_ASSIGN_OR_RETURN(outcome.cache_hit, r->GetBool());
+  return outcome;
+}
+
+void EncodeLineageReply(const LineageReply& reply, BinaryWriter* w) {
+  w->PutU32(static_cast<uint32_t>(reply.chain.size()));
+  for (const std::string& step : reply.chain) w->PutString(step);
+  w->PutU32(static_cast<uint32_t>(reply.base_sources.size()));
+  for (Oid oid : reply.base_sources) w->PutU64(oid);
+}
+
+StatusOr<LineageReply> DecodeLineageReply(BinaryReader* r) {
+  LineageReply reply;
+  GAEA_ASSIGN_OR_RETURN(uint32_t steps, r->GetU32());
+  reply.chain.reserve(steps);
+  for (uint32_t i = 0; i < steps; ++i) {
+    GAEA_ASSIGN_OR_RETURN(std::string step, r->GetString());
+    reply.chain.push_back(std::move(step));
+  }
+  GAEA_ASSIGN_OR_RETURN(uint32_t bases, r->GetU32());
+  reply.base_sources.reserve(bases);
+  for (uint32_t i = 0; i < bases; ++i) {
+    GAEA_ASSIGN_OR_RETURN(Oid oid, r->GetU64());
+    reply.base_sources.push_back(oid);
+  }
+  return reply;
+}
+
+Status SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("send: " + std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RecvInto(int fd, FrameBuffer* fb, bool* closed) {
+  *closed = false;
+  char chunk[16 * 1024];
+  for (;;) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("recv: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      *closed = true;
+      return Status::OK();
+    }
+    fb->Append(chunk, static_cast<size_t>(n));
+    return Status::OK();
+  }
+}
+
+}  // namespace gaea::net

@@ -1,0 +1,147 @@
+// Wire protocol for gaead, the Gaea network server (docs/NET.md).
+//
+// Framing reuses the journal's discipline: every message travels as
+// [u32 payload_len][u32 crc32(payload)][payload], little-endian, so a
+// corrupted or truncated stream is detected before any payload byte is
+// parsed. Payloads are BinaryWriter/BinaryReader encodings (util/serialize.h)
+// beginning with a RequestHeader or ResponseHeader; bodies follow per
+// message type. Version negotiation happens once per connection via
+// kHello/kHelloAck before any other traffic.
+
+#ifndef GAEA_NET_WIRE_H_
+#define GAEA_NET_WIRE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "storage/object_store.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace gaea::net {
+
+// Connection greeting constants. A server that cannot speak the client's
+// major version refuses the Hello with kFailedPrecondition; unknown trailing
+// bytes in any message body are ignored, which is how minor revisions add
+// fields (see docs/NET.md "Versioning").
+constexpr uint32_t kMagic = 0x47414541;  // "GAEA"
+constexpr uint16_t kProtocolVersion = 1;
+
+// Upper bound on one frame's payload; anything larger is a protocol error
+// (kCorruption) and the connection is dropped rather than buffered.
+constexpr uint32_t kMaxFramePayload = 16u << 20;  // 16 MiB
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+// [u32 len][u32 crc][payload]
+std::string EncodeFrame(std::string_view payload);
+
+// Incremental frame decoder: feed raw socket bytes with Append, pop complete
+// payloads with Next. Survives arbitrary fragmentation (byte-at-a-time
+// delivery) and reports kCorruption on CRC mismatch or an oversized length,
+// after which the stream is unusable and the connection must close.
+class FrameBuffer {
+ public:
+  void Append(const char* data, size_t n) { buf_.append(data, n); }
+
+  // True + *payload when a complete frame was removed from the buffer;
+  // false when more bytes are needed; error on a corrupt stream.
+  StatusOr<bool> Next(std::string* payload);
+
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;  // parse cursor; the prefix is compacted lazily
+};
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+enum class MsgType : uint8_t {
+  kHello = 1,          // body: u32 magic, u16 version
+  kPing = 2,           // body: empty
+  kDdl = 3,            // body: string source
+  kDefineProcess = 4,  // body: ProcessDef::Serialize
+  kDerive = 5,         // body: DeriveRequest
+  kDeriveBatch = 6,    // body: u32 n, n * DeriveRequest
+  kLineage = 7,        // body: u64 oid
+  kStats = 8,          // body: empty
+  kResponse = 9,       // ResponseHeader + per-request-type body
+};
+
+const char* MsgTypeName(MsgType type);
+
+// Every request payload starts with this. `deadline_ms` (0 = none) bounds
+// the time between the server admitting the request and a worker starting
+// it; an expired request is answered kUnavailable without touching the
+// kernel.
+struct RequestHeader {
+  MsgType type = MsgType::kPing;
+  uint64_t id = 0;
+  uint32_t deadline_ms = 0;
+};
+
+void EncodeRequestHeader(const RequestHeader& header, BinaryWriter* w);
+StatusOr<RequestHeader> DecodeRequestHeader(BinaryReader* r);
+
+// Every response payload starts with MsgType::kResponse, then this. A
+// non-OK code carries no body. `request_type` echoes what is being answered
+// so a client can sanity-check pipelined traffic.
+struct ResponseHeader {
+  uint64_t id = 0;
+  MsgType request_type = MsgType::kPing;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+};
+
+void EncodeResponseHeader(const ResponseHeader& header, BinaryWriter* w);
+// Consumes the leading kResponse tag as well.
+StatusOr<ResponseHeader> DecodeResponseHeader(BinaryReader* r);
+
+// Status carried by a ResponseHeader (OK() when code is kOk).
+Status ResponseStatus(const ResponseHeader& header);
+
+// ---- bodies ----
+
+void EncodeHello(BinaryWriter* w);  // magic + version
+// Validates magic and version; kFailedPrecondition on mismatch.
+Status DecodeAndCheckHello(BinaryReader* r);
+
+void EncodeDeriveRequest(const DeriveRequest& request, BinaryWriter* w);
+StatusOr<DeriveRequest> DecodeDeriveRequest(BinaryReader* r);
+
+// DeriveOutcome rides in derive / derive-batch responses.
+void EncodeDeriveOutcome(const DeriveOutcome& outcome, BinaryWriter* w);
+StatusOr<DeriveOutcome> DecodeDeriveOutcome(BinaryReader* r);
+
+// Lineage response body.
+struct LineageReply {
+  std::vector<std::string> chain;   // "process:vN" steps, output-first
+  std::vector<Oid> base_sources;    // underived ancestors
+};
+
+void EncodeLineageReply(const LineageReply& reply, BinaryWriter* w);
+StatusOr<LineageReply> DecodeLineageReply(BinaryReader* r);
+
+// ---------------------------------------------------------------------------
+// Socket helpers shared by client and server session
+// ---------------------------------------------------------------------------
+
+// Writes all of `data` (send with MSG_NOSIGNAL; EINTR retried).
+Status SendAll(int fd, std::string_view data);
+
+// One recv into `fb`. *closed is set when the peer performed an orderly
+// shutdown; an error Status covers everything else.
+Status RecvInto(int fd, FrameBuffer* fb, bool* closed);
+
+}  // namespace gaea::net
+
+#endif  // GAEA_NET_WIRE_H_

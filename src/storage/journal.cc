@@ -5,8 +5,6 @@
 
 #include <cerrno>
 #include <cstring>
-#include <fstream>
-#include <vector>
 
 namespace gaea {
 
@@ -69,31 +67,96 @@ Status Journal::Append(const std::string& record) {
 
 Status Journal::Replay(
     const std::function<Status(const std::string&)>& fn) const {
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) return Status::OK();  // nothing persisted yet
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  size_t pos = 0;
-  while (pos + 8 <= bytes.size()) {
-    uint32_t len, crc;
-    std::memcpy(&len, bytes.data() + pos, 4);
-    std::memcpy(&crc, bytes.data() + pos + 4, 4);
-    if (pos + 8 + len > bytes.size()) {
-      // Torn tail from a crash mid-append: ignore.
-      return Status::OK();
-    }
-    std::string record = bytes.substr(pos + 8, len);
-    if (Crc32(record.data(), record.size()) != crc) {
-      bool is_tail = pos + 8 + len == bytes.size();
-      if (is_tail) return Status::OK();
-      return Status::Corruption("journal " + path_ +
-                                ": CRC mismatch at offset " +
-                                std::to_string(pos));
-    }
-    GAEA_RETURN_IF_ERROR(fn(record));
-    pos += 8 + len;
+  int rfd = ::open(path_.c_str(), O_RDONLY);
+  if (rfd < 0) {
+    if (errno == ENOENT) return Status::OK();  // nothing persisted yet
+    return Status::IOError("open journal " + path_ + " for replay: " +
+                           std::strerror(errno));
   }
-  return Status::OK();
+
+  // Fixed-size chunked reads: a long-lived server's task/process journals
+  // can grow large, and replay must not spike memory by slurping the whole
+  // file. The rolling buffer holds at most one record plus one chunk.
+  constexpr size_t kChunk = 64 * 1024;
+  std::string buf;
+  size_t pos = 0;           // parse cursor within buf
+  uint64_t consumed = 0;    // file offset of buf[0]
+  bool eof = false;
+
+  // Ensures buf holds at least `need` unparsed bytes or EOF was reached.
+  auto fill = [&](size_t need) -> Status {
+    while (!eof && buf.size() - pos < need) {
+      if (pos >= kChunk) {
+        consumed += pos;
+        buf.erase(0, pos);
+        pos = 0;
+      }
+      char chunk[kChunk];
+      ssize_t n = ::read(rfd, chunk, sizeof(chunk));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("journal read: " +
+                               std::string(std::strerror(errno)));
+      }
+      if (n == 0) {
+        eof = true;
+        break;
+      }
+      buf.append(chunk, static_cast<size_t>(n));
+    }
+    return Status::OK();
+  };
+
+  uint64_t good_end = 0;  // file offset just past the last intact record
+  bool torn = false;      // partial/corrupt tail to truncate away
+  Status result = Status::OK();
+  for (;;) {
+    result = fill(8);
+    if (!result.ok()) break;
+    size_t avail = buf.size() - pos;
+    if (avail < 8) {
+      torn = avail > 0;  // truncated length/crc header
+      break;
+    }
+    uint32_t len, crc;
+    std::memcpy(&len, buf.data() + pos, 4);
+    std::memcpy(&crc, buf.data() + pos + 4, 4);
+    result = fill(8 + static_cast<size_t>(len));
+    if (!result.ok()) break;
+    if (buf.size() - pos < 8 + static_cast<size_t>(len)) {
+      torn = true;  // truncated payload
+      break;
+    }
+    std::string record = buf.substr(pos + 8, len);
+    if (Crc32(record.data(), record.size()) != crc) {
+      // Peek one byte further: a mismatch on the very last record is a torn
+      // append; anything followed by more data is real corruption.
+      result = fill(8 + static_cast<size_t>(len) + 1);
+      if (!result.ok()) break;
+      if (buf.size() - pos == 8 + static_cast<size_t>(len) && eof) {
+        torn = true;
+        break;
+      }
+      result = Status::Corruption("journal " + path_ +
+                                  ": CRC mismatch at offset " +
+                                  std::to_string(consumed + pos));
+      break;
+    }
+    result = fn(record);
+    if (!result.ok()) break;
+    pos += 8 + static_cast<size_t>(len);
+    good_end = consumed + pos;
+  }
+  ::close(rfd);
+  if (result.ok() && torn) {
+    // Crash mid-append: drop the partial tail so the next Append continues
+    // a clean log instead of burying new records behind garbage.
+    if (::truncate(path_.c_str(), static_cast<off_t>(good_end)) != 0) {
+      return Status::IOError("journal truncate after torn tail: " +
+                             std::string(std::strerror(errno)));
+    }
+  }
+  return result;
 }
 
 Status Journal::Sync() {

@@ -35,9 +35,12 @@ class Journal {
   // Appends one record (length + crc + payload) and flushes to the OS.
   Status Append(const std::string& record);
 
-  // Replays every intact record in order. A torn tail (truncated length
-  // header or CRC mismatch on the final record) ends replay without error;
-  // corruption before the tail is reported.
+  // Replays every intact record in order, reading the file in fixed-size
+  // chunks (startup memory stays flat no matter how large the log grew). A
+  // torn tail (truncated frame or CRC mismatch on the final record) ends
+  // replay without error and is truncated away, so subsequent appends
+  // continue a clean log; corruption before the tail is reported and leaves
+  // the file untouched.
   Status Replay(const std::function<Status(const std::string&)>& fn) const;
 
   // Number of records appended through this handle (not total in file).

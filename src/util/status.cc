@@ -15,6 +15,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kNotSupported: return "NotSupported";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kUnderivable: return "Underivable";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

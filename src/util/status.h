@@ -28,6 +28,7 @@ enum class StatusCode {
   kNotSupported = 8,      // feature intentionally unimplemented
   kInternal = 9,          // invariant violation inside the kernel
   kUnderivable = 10,      // derivation net cannot produce the request
+  kUnavailable = 11,      // transient overload / shutdown; retry later
 };
 
 // Human-readable name of a status code ("NotFound", ...).
@@ -75,6 +76,9 @@ class Status {
   }
   static Status Underivable(std::string msg) {
     return Status(StatusCode::kUnderivable, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

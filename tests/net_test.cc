@@ -1,0 +1,488 @@
+// gaead wire protocol and client/server behavior: framing, loopback RPC,
+// concurrent sessions, deadlines, backpressure and graceful shutdown.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "gaea/kernel.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "test_util.h"
+
+namespace gaea::net {
+namespace {
+
+using ::gaea::testing::TempDir;
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+TEST(FrameTest, RoundTrip) {
+  std::string frame = EncodeFrame("hello, gaead");
+  FrameBuffer fb;
+  fb.Append(frame.data(), frame.size());
+  std::string payload;
+  ASSERT_OK_AND_ASSIGN(bool have, fb.Next(&payload));
+  EXPECT_TRUE(have);
+  EXPECT_EQ(payload, "hello, gaead");
+  ASSERT_OK_AND_ASSIGN(have, fb.Next(&payload));
+  EXPECT_FALSE(have);
+  EXPECT_EQ(fb.buffered(), 0u);
+}
+
+TEST(FrameTest, SurvivesByteAtATimeDelivery) {
+  std::string wire = EncodeFrame("first") + EncodeFrame("") +
+                     EncodeFrame(std::string(3000, 'x'));
+  FrameBuffer fb;
+  std::vector<std::string> payloads;
+  for (char c : wire) {
+    fb.Append(&c, 1);
+    for (;;) {
+      std::string payload;
+      ASSERT_OK_AND_ASSIGN(bool have, fb.Next(&payload));
+      if (!have) break;
+      payloads.push_back(std::move(payload));
+    }
+  }
+  ASSERT_EQ(payloads.size(), 3u);
+  EXPECT_EQ(payloads[0], "first");
+  EXPECT_EQ(payloads[1], "");
+  EXPECT_EQ(payloads[2], std::string(3000, 'x'));
+}
+
+TEST(FrameTest, CorruptPayloadIsRejected) {
+  std::string frame = EncodeFrame("pristine bytes");
+  frame.back() ^= 0x40;  // flip a payload bit
+  FrameBuffer fb;
+  fb.Append(frame.data(), frame.size());
+  std::string payload;
+  auto result = fb.Next(&payload);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FrameTest, OversizedLengthIsRejected) {
+  uint32_t len = kMaxFramePayload + 1;
+  uint32_t crc = 0;
+  std::string frame;
+  frame.append(reinterpret_cast<const char*>(&len), 4);
+  frame.append(reinterpret_cast<const char*>(&crc), 4);
+  FrameBuffer fb;
+  fb.Append(frame.data(), frame.size());
+  std::string payload;
+  auto result = fb.Next(&payload);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FrameTest, DeriveRequestCodecRoundTrip) {
+  DeriveRequest request;
+  request.process = "classify-scene";
+  request.version = 3;
+  request.inputs["image"] = {7, 8, 9};
+  request.inputs["mask"] = {41};
+  BinaryWriter w;
+  EncodeDeriveRequest(request, &w);
+  BinaryReader r(w.buffer());
+  ASSERT_OK_AND_ASSIGN(DeriveRequest decoded, DecodeDeriveRequest(&r));
+  EXPECT_EQ(decoded.process, "classify-scene");
+  EXPECT_EQ(decoded.version, 3);
+  EXPECT_EQ(decoded.inputs, request.inputs);
+}
+
+TEST(FrameTest, LineageReplyCodecRoundTrip) {
+  LineageReply reply;
+  reply.chain = {"classify@2", "ndvi@1"};
+  reply.base_sources = {11, 12};
+  BinaryWriter w;
+  EncodeLineageReply(reply, &w);
+  BinaryReader r(w.buffer());
+  ASSERT_OK_AND_ASSIGN(LineageReply decoded, DecodeLineageReply(&r));
+  EXPECT_EQ(decoded.chain, reply.chain);
+  EXPECT_EQ(decoded.base_sources, reply.base_sources);
+}
+
+// ---------------------------------------------------------------------------
+// Client/server loopback
+// ---------------------------------------------------------------------------
+
+constexpr char kSchema[] = R"(
+CLASS sample (
+  ATTRIBUTES:
+    v = int4;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+)
+CLASS ident_out (
+  ATTRIBUTES:
+    v = int4;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+  DERIVED BY: remote-ident
+)
+CLASS slow_out (
+  ATTRIBUTES:
+    v = int4;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+  DERIVED BY: slow-ident
+)
+)";
+
+// Milliseconds the slow operator blocks; long enough that a queued request
+// behind it reliably outlives a short deadline even on a loaded CI machine.
+constexpr int kSlowMs = 300;
+
+ProcessDef MakeIdentityProcess(const char* name, const char* output,
+                               const char* op) {
+  ProcessDef def(name, output);
+  EXPECT_TRUE(def.AddArg({"in", "sample", false, 1}).ok());
+  if (op == nullptr) {
+    EXPECT_TRUE(def.AddMapping("v", Expr::AttrRef("in", "v")).ok());
+  } else {
+    std::vector<ExprPtr> args;
+    args.push_back(Expr::AttrRef("in", "v"));
+    EXPECT_TRUE(def.AddMapping("v", Expr::OpCall(op, std::move(args))).ok());
+  }
+  EXPECT_TRUE(
+      def.AddMapping("spatialextent", Expr::AttrRef("in", "spatialextent"))
+          .ok());
+  EXPECT_TRUE(
+      def.AddMapping("timestamp", Expr::AttrRef("in", "timestamp")).ok());
+  return def;
+}
+
+class NetTest : public ::testing::Test {
+ protected:
+  // Opens a kernel (schema loaded, slow operator registered) and starts a
+  // server on an ephemeral port.
+  void StartServer(GaeaServer::Options options) {
+    dir_ = std::make_unique<TempDir>("net");
+    GaeaKernel::Options kernel_options;
+    kernel_options.dir = dir_->path();
+    kernel_options.user = "net_test";
+    ASSERT_OK_AND_ASSIGN(kernel_, GaeaKernel::Open(kernel_options));
+    kernel_->SetClock(AbsTime(1));
+    kernel_->SetDeriveThreads(2);
+
+    OperatorSignature slow;
+    slow.params = {TypeId::kInt};
+    slow.result = TypeId::kInt;
+    slow.doc = "identity that waits, modeling an external procedure";
+    slow.fn = [](const ValueList& args) -> StatusOr<Value> {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kSlowMs));
+      return args[0];
+    };
+    ASSERT_OK(kernel_->operators().Register("net_test_slow", std::move(slow)));
+
+    ASSERT_OK(kernel_->ExecuteDdl(kSchema));
+    ASSERT_OK(kernel_->DefineProcess(
+        MakeIdentityProcess("slow-ident", "slow_out", "net_test_slow")));
+
+    server_ = std::make_unique<GaeaServer>(kernel_.get(), options);
+    ASSERT_OK(server_->Start());
+  }
+
+  Oid InsertSample(int v) {
+    const ClassDef* cls =
+        kernel_->catalog().classes().LookupByName("sample").value();
+    DataObject obj(*cls);
+    EXPECT_TRUE(obj.Set(*cls, "v", Value::Int(v)).ok());
+    EXPECT_TRUE(
+        obj.Set(*cls, "spatialextent", Value::OfBox(Box(0, 0, 1, 1))).ok());
+    EXPECT_TRUE(obj.Set(*cls, "timestamp", Value::Time(AbsTime(v + 1))).ok());
+    return kernel_->Insert(std::move(obj)).value();
+  }
+
+  std::unique_ptr<GaeaClient> Connect() {
+    auto client = GaeaClient::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  // Waits until the server has admitted at least `n` worker requests.
+  void WaitForInFlight(uint64_t n) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(10);
+    while (server_->stats().in_flight < n) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "in_flight never reached " << n;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<GaeaKernel> kernel_;
+  std::unique_ptr<GaeaServer> server_;
+};
+
+TEST_F(NetTest, LoopbackRoundTrip) {
+  StartServer(GaeaServer::Options());
+  auto client = Connect();
+  ASSERT_OK(client->Ping());
+
+  // Definitions travel over the wire: a new class and the process deriving
+  // it both arrive via RPC, then a derivation uses them.
+  ASSERT_OK(client->ExecuteDdl(R"(
+CLASS remote_out (
+  ATTRIBUTES:
+    v = int4;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+  DERIVED BY: remote-ident
+)
+)"));
+  ASSERT_OK_AND_ASSIGN(
+      int version, client->DefineProcess(MakeIdentityProcess(
+                       "remote-ident", "remote_out", nullptr)));
+  EXPECT_EQ(version, 1);
+
+  Oid input = InsertSample(7);
+  bool cache_hit = true;
+  ASSERT_OK_AND_ASSIGN(Oid derived,
+                       client->Derive("remote-ident", {{"in", {input}}},
+                                      /*version=*/0, &cache_hit));
+  EXPECT_NE(derived, kInvalidOid);
+  EXPECT_FALSE(cache_hit);
+
+  // The identical request is served from the derivation cache.
+  ASSERT_OK_AND_ASSIGN(Oid again,
+                       client->Derive("remote-ident", {{"in", {input}}},
+                                      /*version=*/0, &cache_hit));
+  EXPECT_EQ(again, derived);
+  EXPECT_TRUE(cache_hit);
+
+  ASSERT_OK_AND_ASSIGN(LineageReply lineage, client->Lineage(derived));
+  ASSERT_EQ(lineage.chain.size(), 1u);
+  EXPECT_EQ(lineage.chain[0], "remote-ident:v1");
+  ASSERT_EQ(lineage.base_sources.size(), 1u);
+  EXPECT_EQ(lineage.base_sources[0], input);
+
+  ASSERT_OK_AND_ASSIGN(std::string stats, client->StatsJson());
+  EXPECT_NE(stats.find("\"server\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"kernel\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"requests_total\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"derivation_cache\":"), std::string::npos);
+}
+
+TEST_F(NetTest, DeriveBatchOverTheWire) {
+  StartServer(GaeaServer::Options());
+  auto client = Connect();
+  ASSERT_OK(kernel_->DefineProcess(
+      MakeIdentityProcess("remote-ident", "ident_out", nullptr)));
+
+  std::vector<DeriveRequest> requests;
+  std::vector<Oid> inputs;
+  for (int i = 0; i < 5; ++i) {
+    DeriveRequest request;
+    request.process = "remote-ident";
+    request.inputs["in"] = {InsertSample(100 + i)};
+    inputs.push_back(request.inputs["in"][0]);
+    requests.push_back(std::move(request));
+  }
+  // One bad request does not poison the batch: per-request status.
+  DeriveRequest bad;
+  bad.process = "no-such-process";
+  bad.inputs["in"] = {inputs[0]};
+  requests.push_back(std::move(bad));
+
+  ASSERT_OK_AND_ASSIGN(std::vector<DeriveOutcome> outcomes,
+                       client->DeriveBatch(requests));
+  ASSERT_EQ(outcomes.size(), 6u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(outcomes[i].status);
+    EXPECT_NE(outcomes[i].oid, kInvalidOid);
+  }
+  EXPECT_FALSE(outcomes[5].status.ok());
+}
+
+TEST_F(NetTest, ErrorsCarryStatusCodeAcrossTheWire) {
+  StartServer(GaeaServer::Options());
+  auto client = Connect();
+  Status bad_ddl = client->ExecuteDdl("CLASS oops oops oops");
+  EXPECT_FALSE(bad_ddl.ok());
+  auto missing = client->Derive("no-such-process", {});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(NetTest, ConcurrentSessions) {
+  StartServer(GaeaServer::Options());
+  ASSERT_OK(kernel_->DefineProcess(
+      MakeIdentityProcess("remote-ident", "ident_out", nullptr)));
+  constexpr int kSessions = 6;
+  std::vector<Oid> inputs;
+  for (int i = 0; i < kSessions; ++i) inputs.push_back(InsertSample(200 + i));
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([this, &failures, &inputs, i] {
+      auto client = GaeaClient::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int round = 0; round < 3; ++round) {
+        if (!(*client)->Ping().ok()) failures.fetch_add(1);
+        auto derived =
+            (*client)->Derive("remote-ident", {{"in", {inputs[i]}}});
+        if (!derived.ok() || *derived == kInvalidOid) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  ServerStats stats = server_->stats();
+  EXPECT_GE(stats.sessions_opened, static_cast<uint64_t>(kSessions));
+  EXPECT_GE(stats.requests_ok, static_cast<uint64_t>(kSessions * 6));
+}
+
+TEST_F(NetTest, DeadlineExpiryReturnsUnavailable) {
+  GaeaServer::Options options;
+  options.workers = 1;  // one worker: the slow job blocks the queue
+  StartServer(options);
+
+  Oid slow_input = InsertSample(1);
+  std::thread blocker([this, slow_input] {
+    auto client = GaeaClient::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(client.ok());
+    EXPECT_TRUE(
+        (*client)->Derive("slow-ident", {{"in", {slow_input}}}).ok());
+  });
+  WaitForInFlight(1);
+
+  // Admitted behind a kSlowMs job with a far shorter deadline: by the time
+  // the worker frees up the deadline has passed, so the kernel is never
+  // touched and the client sees kUnavailable.
+  GaeaClient::Options client_options;
+  client_options.deadline_ms = 20;
+  auto client =
+      GaeaClient::Connect("127.0.0.1", server_->port(), client_options);
+  ASSERT_TRUE(client.ok());
+  auto expired = (*client)->Derive("slow-ident", {{"in", {InsertSample(2)}}});
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kUnavailable);
+  blocker.join();
+  EXPECT_GE(server_->stats().rejected_deadline, 1u);
+}
+
+TEST_F(NetTest, BackpressureReturnsUnavailable) {
+  GaeaServer::Options options;
+  options.workers = 1;
+  options.max_inflight = 1;  // the slow job saturates admission
+  StartServer(options);
+
+  Oid slow_input = InsertSample(1);
+  std::thread blocker([this, slow_input] {
+    auto client = GaeaClient::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(client.ok());
+    EXPECT_TRUE(
+        (*client)->Derive("slow-ident", {{"in", {slow_input}}}).ok());
+  });
+  WaitForInFlight(1);
+
+  auto client = Connect();
+  auto rejected = (*client).Derive("slow-ident", {{"in", {InsertSample(2)}}});
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  blocker.join();
+  EXPECT_GE(server_->stats().rejected_overload, 1u);
+
+  // Light requests bypass the worker pool, so a saturated server still
+  // answers pings and stats.
+  ASSERT_OK(client->Ping());
+}
+
+TEST_F(NetTest, GracefulShutdownDrainsInFlightWork) {
+  StartServer(GaeaServer::Options());
+  Oid slow_input = InsertSample(1);
+  std::atomic<bool> derive_ok{false};
+  std::thread in_flight([this, slow_input, &derive_ok] {
+    auto client = GaeaClient::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(client.ok());
+    auto derived = (*client)->Derive("slow-ident", {{"in", {slow_input}}});
+    derive_ok.store(derived.ok() && *derived != kInvalidOid);
+  });
+  WaitForInFlight(1);
+
+  int port = server_->port();
+  server_->Shutdown();
+  in_flight.join();
+  // The admitted derivation was answered, not dropped.
+  EXPECT_TRUE(derive_ok.load());
+  // And the listener is gone.
+  auto late = GaeaClient::Connect("127.0.0.1", port);
+  EXPECT_FALSE(late.ok());
+}
+
+TEST_F(NetTest, BadHelloAndHandshakeBypassAreRejected) {
+  StartServer(GaeaServer::Options());
+
+  auto raw_connect = [this]() -> int {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(server_->port()));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    return fd;
+  };
+  auto await_response = [](int fd) -> ResponseHeader {
+    FrameBuffer fb;
+    std::string payload;
+    for (;;) {
+      auto have = fb.Next(&payload);
+      EXPECT_TRUE(have.ok());
+      if (have.ok() && *have) break;
+      bool closed = false;
+      Status recv = RecvInto(fd, &fb, &closed);
+      EXPECT_TRUE(recv.ok()) << recv.ToString();
+      EXPECT_FALSE(closed) << "connection closed before a response";
+      if (!recv.ok() || closed) return ResponseHeader{};
+    }
+    BinaryReader reader(payload);
+    auto header = DecodeResponseHeader(&reader);
+    EXPECT_TRUE(header.ok());
+    return header.ok() ? *header : ResponseHeader{};
+  };
+
+  // Wrong magic in the hello: kFailedPrecondition, then the server hangs up.
+  int fd = raw_connect();
+  RequestHeader hello;
+  hello.type = MsgType::kHello;
+  hello.id = 1;
+  BinaryWriter w;
+  EncodeRequestHeader(hello, &w);
+  w.PutU32(0xDEADBEEF);
+  w.PutU16(kProtocolVersion);
+  ASSERT_OK(SendAll(fd, EncodeFrame(w.buffer())));
+  EXPECT_EQ(await_response(fd).code, StatusCode::kFailedPrecondition);
+  ::close(fd);
+
+  // Skipping the handshake entirely is just as unacceptable.
+  fd = raw_connect();
+  RequestHeader ping;
+  ping.type = MsgType::kPing;
+  ping.id = 1;
+  BinaryWriter w2;
+  EncodeRequestHeader(ping, &w2);
+  ASSERT_OK(SendAll(fd, EncodeFrame(w2.buffer())));
+  EXPECT_EQ(await_response(fd).code, StatusCode::kFailedPrecondition);
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace gaea::net

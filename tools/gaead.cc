@@ -1,0 +1,118 @@
+// gaead: the Gaea network daemon. Owns one GaeaKernel over a database
+// directory and serves it to remote GaeaClient / `gaea_shell --connect`
+// sessions over the length-prefixed binary protocol in docs/NET.md.
+//
+//   gaead --dir <db_dir> [--port N] [--host A.B.C.D] [--workers N]
+//         [--max-inflight N] [--derive-threads N]
+//
+// SIGTERM / SIGINT shut down gracefully: the listener closes, admitted
+// requests drain, journals are flushed, then the process exits 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "gaea/kernel.h"
+#include "net/server.h"
+
+namespace {
+
+struct Flags {
+  std::string dir;
+  std::string host = "127.0.0.1";
+  int port = 4747;
+  int workers = 4;
+  int max_inflight = 128;
+  int derive_threads = 4;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --dir <db_dir> [--port N] [--host A.B.C.D] "
+               "[--workers N] [--max-inflight N] [--derive-threads N]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseInt(const char* text, int* out) {
+  char* end = nullptr;
+  long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value;
+    if (arg == "--dir" && (value = next())) {
+      flags.dir = value;
+    } else if (arg == "--host" && (value = next())) {
+      flags.host = value;
+    } else if (arg == "--port" && (value = next()) &&
+               ParseInt(value, &flags.port)) {
+    } else if (arg == "--workers" && (value = next()) &&
+               ParseInt(value, &flags.workers)) {
+    } else if (arg == "--max-inflight" && (value = next()) &&
+               ParseInt(value, &flags.max_inflight)) {
+    } else if (arg == "--derive-threads" && (value = next()) &&
+               ParseInt(value, &flags.derive_threads)) {
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (flags.dir.empty()) return Usage(argv[0]);
+
+  // Block the shutdown signals before any thread exists so every server
+  // thread inherits the mask and delivery funnels into sigwait below.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  gaea::GaeaKernel::Options kernel_options;
+  kernel_options.dir = flags.dir;
+  kernel_options.user = "gaead";
+  auto kernel = gaea::GaeaKernel::Open(kernel_options);
+  if (!kernel.ok()) {
+    std::fprintf(stderr, "gaead: open %s failed: %s\n", flags.dir.c_str(),
+                 kernel.status().ToString().c_str());
+    return 1;
+  }
+  (*kernel)->SetClock(gaea::AbsTime::FromDate(1993, 8, 24).value());
+  (*kernel)->SetDeriveThreads(flags.derive_threads);
+
+  gaea::net::GaeaServer::Options server_options;
+  server_options.host = flags.host;
+  server_options.port = flags.port;
+  server_options.workers = flags.workers;
+  server_options.max_inflight = flags.max_inflight;
+  gaea::net::GaeaServer server(kernel->get(), server_options);
+  gaea::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "gaead: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("gaead listening on %s:%d (db %s, %d workers, %d in-flight)\n",
+              flags.host.c_str(), server.port(), flags.dir.c_str(),
+              server_options.workers, server_options.max_inflight);
+  std::fflush(stdout);
+
+  int signo = 0;
+  sigwait(&mask, &signo);
+  std::printf("gaead: signal %s, draining\n", strsignal(signo));
+  std::fflush(stdout);
+  server.Shutdown();
+  std::printf("gaead: stopped\n");
+  return 0;
+}
