@@ -135,6 +135,9 @@ StatusOr<std::vector<DeriveOutcome>> GaeaClient::DeriveBatch(
                         Call(MsgType::kDeriveBatch, body.buffer()));
   BinaryReader reader(reply);
   GAEA_ASSIGN_OR_RETURN(uint32_t count, reader.GetU32());
+  // A DeriveOutcome encodes to at least 14 bytes (code, message length
+  // prefix, oid, cache bit), bounding how many fit in the reply.
+  GAEA_RETURN_IF_ERROR(CheckCount(reader, count, 14));
   std::vector<DeriveOutcome> outcomes;
   outcomes.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {

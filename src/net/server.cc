@@ -208,26 +208,29 @@ void GaeaServer::HandleFrame(std::shared_ptr<Session> session,
   job.header = header;
   job.body = payload.substr(reader.position());
   job.admitted = std::chrono::steady_clock::now();
+  // Admission is decided under queue_mu_, but the rejection response is
+  // sent after the lock is dropped: Respond() is a blocking socket send,
+  // and a peer that stops reading must only be able to stall its own
+  // reader thread, never the lock that workers and Shutdown depend on.
+  Status rejected = Status::OK();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (draining_.load(std::memory_order_acquire)) {
-      Respond(*job.session, header.id, header.type,
-              Status::Unavailable("server is shutting down"), {});
-      return;
-    }
-    if (in_flight_.load(std::memory_order_relaxed) >=
-        static_cast<uint64_t>(options_.max_inflight)) {
+      rejected = Status::Unavailable("server is shutting down");
+    } else if (in_flight_.load(std::memory_order_relaxed) >=
+               static_cast<uint64_t>(options_.max_inflight)) {
       rejected_overload_.fetch_add(1, std::memory_order_relaxed);
-      Respond(*job.session, header.id, header.type,
-              Status::Unavailable(
-                  "server overloaded: " +
-                  std::to_string(options_.max_inflight) +
-                  " requests already in flight; retry later"),
-              {});
-      return;
+      rejected = Status::Unavailable(
+          "server overloaded: " + std::to_string(options_.max_inflight) +
+          " requests already in flight; retry later");
+    } else {
+      in_flight_.fetch_add(1, std::memory_order_relaxed);
+      queue_.push_back(std::move(job));
     }
-    in_flight_.fetch_add(1, std::memory_order_relaxed);
-    queue_.push_back(std::move(job));
+  }
+  if (!rejected.ok()) {
+    Respond(*job.session, header.id, header.type, rejected, {});
+    return;
   }
   queue_cv_.notify_one();
 }
@@ -318,6 +321,10 @@ void GaeaServer::ExecuteJob(Job job) {
         result = count.status();
         break;
       }
+      // A DeriveRequest encodes to at least 12 bytes (process length prefix,
+      // version, input count), bounding how many fit in the payload.
+      result = CheckCount(reader, *count, 12);
+      if (!result.ok()) break;
       requests.reserve(*count);
       for (uint32_t i = 0; i < *count && result.ok(); ++i) {
         auto request = DecodeDeriveRequest(&reader);
@@ -371,15 +378,20 @@ void GaeaServer::ExecuteJob(Job job) {
   FinishJob(job, result);
 }
 
-void GaeaServer::FinishJob(const Job& job, const Status&) {
-  auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
-                    std::chrono::steady_clock::now() - job.admitted)
-                    .count();
-  uint64_t latency = static_cast<uint64_t>(micros);
-  latency_micros_total_.fetch_add(latency, std::memory_order_relaxed);
-  uint64_t prev = latency_micros_max_.load(std::memory_order_relaxed);
-  while (latency > prev && !latency_micros_max_.compare_exchange_weak(
-                               prev, latency, std::memory_order_relaxed)) {
+void GaeaServer::FinishJob(const Job& job, const Status& result) {
+  // Rejections (kUnavailable, e.g. deadline expiry) are excluded from the
+  // latency counters: they measure queue wait, not request service time,
+  // and the avg divides by requests_ok + requests_error which excludes them.
+  if (result.code() != StatusCode::kUnavailable) {
+    auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - job.admitted)
+                      .count();
+    uint64_t latency = static_cast<uint64_t>(micros);
+    latency_micros_total_.fetch_add(latency, std::memory_order_relaxed);
+    uint64_t prev = latency_micros_max_.load(std::memory_order_relaxed);
+    while (latency > prev && !latency_micros_max_.compare_exchange_weak(
+                                 prev, latency, std::memory_order_relaxed)) {
+    }
   }
   in_flight_.fetch_sub(1, std::memory_order_relaxed);
   {
@@ -400,7 +412,9 @@ void GaeaServer::Respond(Session& session, uint64_t id, MsgType request_type,
   if (status.ok()) payload.PutRaw(body.data(), body.size());
   if (status.ok()) {
     requests_ok_.fetch_add(1, std::memory_order_relaxed);
-  } else {
+  } else if (status.code() != StatusCode::kUnavailable) {
+    // kUnavailable answers are overload/deadline/drain rejections, already
+    // tallied in rejected_*; counting them here too would double-book them.
     requests_error_.fetch_add(1, std::memory_order_relaxed);
   }
   // A failed send means the peer vanished; its reader will notice and the

@@ -54,7 +54,8 @@ struct ServerStats {
   uint64_t in_flight = 0;          // queued + executing worker requests
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
-  uint64_t latency_micros_total = 0;  // worker requests, admission→response
+  uint64_t latency_micros_total = 0;  // answered worker requests (rejections
+                                      // excluded), admission→response
   uint64_t latency_micros_max = 0;
 
   std::string ToJson() const;

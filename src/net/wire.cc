@@ -94,6 +94,17 @@ StatusOr<RequestHeader> DecodeRequestHeader(BinaryReader* r) {
   return header;
 }
 
+Status CheckCount(const BinaryReader& r, uint32_t count,
+                  size_t min_element_size) {
+  if (count > r.remaining() / min_element_size) {
+    return Status::Corruption(
+        "element count " + std::to_string(count) +
+        " cannot fit in the remaining " + std::to_string(r.remaining()) +
+        " payload bytes");
+  }
+  return Status::OK();
+}
+
 void EncodeResponseHeader(const ResponseHeader& header, BinaryWriter* w) {
   w->PutU8(static_cast<uint8_t>(MsgType::kResponse));
   w->PutU64(header.id);
@@ -166,6 +177,7 @@ StatusOr<DeriveRequest> DecodeDeriveRequest(BinaryReader* r) {
   for (uint32_t i = 0; i < args; ++i) {
     GAEA_ASSIGN_OR_RETURN(std::string arg, r->GetString());
     GAEA_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+    GAEA_RETURN_IF_ERROR(CheckCount(*r, n, sizeof(uint64_t)));
     std::vector<Oid>& oids = request.inputs[arg];
     oids.reserve(n);
     for (uint32_t j = 0; j < n; ++j) {
@@ -203,12 +215,14 @@ void EncodeLineageReply(const LineageReply& reply, BinaryWriter* w) {
 StatusOr<LineageReply> DecodeLineageReply(BinaryReader* r) {
   LineageReply reply;
   GAEA_ASSIGN_OR_RETURN(uint32_t steps, r->GetU32());
+  GAEA_RETURN_IF_ERROR(CheckCount(*r, steps, sizeof(uint32_t)));
   reply.chain.reserve(steps);
   for (uint32_t i = 0; i < steps; ++i) {
     GAEA_ASSIGN_OR_RETURN(std::string step, r->GetString());
     reply.chain.push_back(std::move(step));
   }
   GAEA_ASSIGN_OR_RETURN(uint32_t bases, r->GetU32());
+  GAEA_RETURN_IF_ERROR(CheckCount(*r, bases, sizeof(uint64_t)));
   reply.base_sources.reserve(bases);
   for (uint32_t i = 0; i < bases; ++i) {
     GAEA_ASSIGN_OR_RETURN(Oid oid, r->GetU64());

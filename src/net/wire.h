@@ -92,6 +92,13 @@ struct RequestHeader {
 void EncodeRequestHeader(const RequestHeader& header, BinaryWriter* w);
 StatusOr<RequestHeader> DecodeRequestHeader(BinaryReader* r);
 
+// Guards collection decoding against a hostile length prefix: a count whose
+// elements (at least `min_element_size` encoded bytes each) could not fit in
+// the reader's remaining payload is kCorruption, checked before any
+// count-sized allocation happens.
+Status CheckCount(const BinaryReader& r, uint32_t count,
+                  size_t min_element_size);
+
 // Every response payload starts with MsgType::kResponse, then this. A
 // non-OK code carries no body. `request_type` echoes what is being answered
 // so a client can sanity-check pipelined traffic.

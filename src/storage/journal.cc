@@ -67,6 +67,10 @@ Status Journal::Append(const std::string& record) {
 
 Status Journal::Replay(
     const std::function<Status(const std::string&)>& fn) const {
+  // Held for the whole replay: a torn tail is truncated by path below, and
+  // doing that concurrently with an in-progress Append would mistake the
+  // half-written record for the tail and truncate live data.
+  std::lock_guard<std::mutex> lock(mu_);
   int rfd = ::open(path_.c_str(), O_RDONLY);
   if (rfd < 0) {
     if (errno == ENOENT) return Status::OK();  // nothing persisted yet

@@ -40,7 +40,8 @@ class Journal {
   // torn tail (truncated frame or CRC mismatch on the final record) ends
   // replay without error and is truncated away, so subsequent appends
   // continue a clean log; corruption before the tail is reported and leaves
-  // the file untouched.
+  // the file untouched. Holds the append lock for the duration, so `fn`
+  // must not Append to this journal.
   Status Replay(const std::function<Status(const std::string&)>& fn) const;
 
   // Number of records appended through this handle (not total in file).

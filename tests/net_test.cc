@@ -99,6 +99,28 @@ TEST(FrameTest, DeriveRequestCodecRoundTrip) {
   EXPECT_EQ(decoded.inputs, request.inputs);
 }
 
+TEST(FrameTest, HostileElementCountIsRejectedBeforeAllocating) {
+  // A count field claiming ~4 billion oids in a 12-byte payload must fail
+  // as corruption instead of attempting a multi-GiB reserve().
+  BinaryWriter w;
+  w.PutString("p");       // process
+  w.PutI32(1);            // version
+  w.PutU32(1);            // one input arg
+  w.PutString("image");   // arg name
+  w.PutU32(0xFFFFFFFFu);  // hostile oid count, no oids follow
+  BinaryReader r(w.buffer());
+  auto request = DecodeDeriveRequest(&r);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), StatusCode::kCorruption);
+
+  BinaryWriter lw;
+  lw.PutU32(0xFFFFFFFFu);  // hostile chain-step count
+  BinaryReader lr(lw.buffer());
+  auto reply = DecodeLineageReply(&lr);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kCorruption);
+}
+
 TEST(FrameTest, LineageReplyCodecRoundTrip) {
   LineageReply reply;
   reply.chain = {"classify@2", "ndvi@1"};
@@ -374,7 +396,10 @@ TEST_F(NetTest, DeadlineExpiryReturnsUnavailable) {
   ASSERT_FALSE(expired.ok());
   EXPECT_EQ(expired.status().code(), StatusCode::kUnavailable);
   blocker.join();
-  EXPECT_GE(server_->stats().rejected_deadline, 1u);
+  ServerStats stats = server_->stats();
+  EXPECT_GE(stats.rejected_deadline, 1u);
+  // Rejections live only in rejected_*, not also in requests_error.
+  EXPECT_EQ(stats.requests_error, 0u);
 }
 
 TEST_F(NetTest, BackpressureReturnsUnavailable) {
@@ -397,7 +422,10 @@ TEST_F(NetTest, BackpressureReturnsUnavailable) {
   ASSERT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
   blocker.join();
-  EXPECT_GE(server_->stats().rejected_overload, 1u);
+  ServerStats stats = server_->stats();
+  EXPECT_GE(stats.rejected_overload, 1u);
+  // Rejections live only in rejected_*, not also in requests_error.
+  EXPECT_EQ(stats.requests_error, 0u);
 
   // Light requests bypass the worker pool, so a saturated server still
   // answers pings and stats.
