@@ -100,7 +100,8 @@ struct ScaleResult {
   double latency_max_ms = 0;
 };
 
-ScaleResult RunScale(GaeaKernel* kernel, int port, int clients, int base) {
+ScaleResult RunScale(GaeaKernel* kernel, int port, int clients, int base,
+                     const net::GaeaClient::Options& client_options) {
   std::vector<std::vector<Oid>> inputs(clients);
   for (int c = 0; c < clients; ++c) {
     inputs[c] = InsertSamples(kernel, kRequestsPerClient,
@@ -114,7 +115,8 @@ ScaleResult RunScale(GaeaKernel* kernel, int port, int clients, int base) {
   auto start = std::chrono::steady_clock::now();
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      auto client = net::GaeaClient::Connect("127.0.0.1", port);
+      auto client = net::GaeaClient::Connect("127.0.0.1", port,
+                                             client_options);
       if (!client.ok()) {
         errors[c] = kRequestsPerClient;
         return;
@@ -181,18 +183,43 @@ int Run() {
   net::GaeaServer server(kernel->get(), server_options);
   BENCH_CHECK_OK(server.Start());
 
+  // Self-healing clients: retries with backoff are on for every phase. In
+  // the scaling phases (generous admission) they never fire; the
+  // backpressure phase below depends on them.
+  net::GaeaClient::Options client_options;
+  client_options.retry.max_attempts = 50;
+  client_options.retry.initial_backoff_ms = 5;
+  client_options.retry.max_backoff_ms = 100;
+
   // Warm-up: first derivation pays catalog/journal setup.
-  (void)RunScale(kernel->get(), server.port(), 1, 1000000);
+  (void)RunScale(kernel->get(), server.port(), 1, 1000000, client_options);
 
   std::vector<ScaleResult> results;
   int base = 0;
   for (int clients : {1, 2, 4, 8}) {
-    results.push_back(RunScale(kernel->get(), server.port(), clients, base));
+    results.push_back(
+        RunScale(kernel->get(), server.port(), clients, base, client_options));
     base += clients * kRequestsPerClient;
   }
 
   net::ServerStats stats = server.stats();
   server.Shutdown();
+
+  // Backpressure phase: a deliberately starved server (2 workers, admission
+  // capped at 2 in-flight) under 8 clients. Without retries this is a storm
+  // of kUnavailable rejections (the PR 3 backpressure test); with backoff
+  // the rejections are absorbed and every request eventually lands.
+  net::GaeaServer::Options starved_options;
+  starved_options.port = 0;
+  starved_options.workers = 2;
+  starved_options.max_inflight = 2;
+  net::GaeaServer starved(kernel->get(), starved_options);
+  BENCH_CHECK_OK(starved.Start());
+  std::printf("backpressure (workers=2, max_inflight=2, retries on):\n");
+  ScaleResult squeezed =
+      RunScale(kernel->get(), starved.port(), 8, base, client_options);
+  net::ServerStats starved_stats = starved.stats();
+  starved.Shutdown();
 
   int sustained = 0;
   for (const ScaleResult& r : results) {
@@ -213,13 +240,19 @@ int Run() {
                   r.latency_p95_ms, r.latency_max_ms);
     json += buf;
   }
-  char buf[256];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "],\n  \"max_clients_sustained\": %d,\n"
+                "  \"backpressure\": {\"clients\": %d, \"requests\": %d, "
+                "\"errors\": %d, \"throughput_rps\": %.3f, "
+                "\"rejected_overload\": %llu},\n"
                 "  \"server\": {\"requests_ok\": %llu, \"requests_error\": "
                 "%llu, \"rejected_overload\": %llu, \"bytes_in\": %llu, "
                 "\"bytes_out\": %llu}\n}\n",
-                sustained,
+                sustained, squeezed.clients, squeezed.requests,
+                squeezed.errors, squeezed.throughput_rps,
+                static_cast<unsigned long long>(
+                    starved_stats.rejected_overload),
                 static_cast<unsigned long long>(stats.requests_ok),
                 static_cast<unsigned long long>(stats.requests_error),
                 static_cast<unsigned long long>(stats.rejected_overload),
@@ -242,6 +275,13 @@ int Run() {
                  "FAIL: only %d concurrent clients sustained without "
                  "errors (want >= 4)\n",
                  sustained);
+    return 1;
+  }
+  if (squeezed.errors != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d client-visible errors under backpressure "
+                 "(retries should absorb every rejection)\n",
+                 squeezed.errors);
     return 1;
   }
   return 0;

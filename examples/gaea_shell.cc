@@ -602,9 +602,30 @@ void RunLoop(AnyShell& shell, std::istream& in, bool interactive) {
 }  // namespace gaea
 
 int main(int argc, char** argv) {
+  // Extract --durability <mode> (local mode only) before the positional
+  // arguments are interpreted.
+  gaea::DurabilityMode durability = gaea::DurabilityMode::kOs;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--durability" && i + 1 < argc) {
+      auto mode = gaea::ParseDurabilityMode(argv[++i]);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+        return 2;
+      }
+      durability = *mode;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <db_dir> [script_file]\n"
+                 "usage: %s [--durability none|os|fsync] <db_dir> "
+                 "[script_file]\n"
                  "       %s --connect <host:port> [script_file]\n",
                  argv[0], argv[0]);
     return 2;
@@ -652,6 +673,7 @@ int main(int argc, char** argv) {
   gaea::GaeaKernel::Options options;
   options.dir = argv[1];
   options.user = "shell";
+  options.durability = durability;
   auto kernel = gaea::GaeaKernel::Open(options);
   if (!kernel.ok()) {
     std::fprintf(stderr, "open failed: %s\n",

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <limits>
 #include <mutex>
 #include <shared_mutex>
+#include <utility>
+#include <vector>
 
 namespace gaea {
 
@@ -14,33 +17,68 @@ constexpr uint8_t kRecIsA = 3;
 constexpr uint8_t kRecMember = 4;
 }  // namespace
 
-StatusOr<std::unique_ptr<Catalog>> Catalog::Open(const std::string& dir) {
+StatusOr<std::unique_ptr<Catalog>> Catalog::Open(const std::string& dir,
+                                                 Env* env) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
     return Status::IOError("mkdir " + dir + ": " + ec.message());
   }
   std::unique_ptr<Catalog> cat(new Catalog(dir));
-  GAEA_ASSIGN_OR_RETURN(cat->journal_, Journal::Open(dir + "/catalog.journal"));
-  GAEA_ASSIGN_OR_RETURN(cat->store_, ObjectStore::Open(dir + "/objects"));
-  GAEA_ASSIGN_OR_RETURN(cat->by_class_, BTree::Open(dir + "/byclass.idx"));
-  GAEA_ASSIGN_OR_RETURN(cat->by_time_, BTree::Open(dir + "/bytime.idx"));
+  GAEA_ASSIGN_OR_RETURN(cat->journal_,
+                        Journal::Open(dir + "/catalog.journal", env));
+  GAEA_ASSIGN_OR_RETURN(cat->store_,
+                        ObjectStore::Open(dir + "/objects", 256, env));
+  GAEA_ASSIGN_OR_RETURN(cat->by_class_,
+                        BTree::Open(dir + "/byclass.idx", 256, env));
+  GAEA_ASSIGN_OR_RETURN(cat->by_time_,
+                        BTree::Open(dir + "/bytime.idx", 256, env));
   cat->replaying_ = true;
   Status replay = cat->journal_->Replay([&cat](const std::string& record) {
     return cat->ReplayRecord(record);
   });
   cat->replaying_ = false;
   GAEA_RETURN_IF_ERROR(replay);
-  GAEA_RETURN_IF_ERROR(cat->RebuildSpatialIndex());
+  GAEA_RETURN_IF_ERROR(cat->RebuildDerivedIndexes());
   return cat;
 }
 
-Status Catalog::RebuildSpatialIndex() {
+Status Catalog::RebuildDerivedIndexes() {
+  // Scrub secondary-index entries whose object is gone — a crash can flush
+  // an index page while the object it points at never reached the store
+  // (BTree::Open already reset either tree if it was torn wholesale).
+  for (BTree* tree : {by_class_.get(), by_time_.get()}) {
+    std::vector<std::pair<int64_t, uint64_t>> dangling;
+    GAEA_RETURN_IF_ERROR(
+        tree->Scan(std::numeric_limits<int64_t>::min(),
+                   std::numeric_limits<int64_t>::max(),
+                   [&](int64_t key, uint64_t value) -> Status {
+                     if (!store_->Contains(static_cast<Oid>(value))) {
+                       dangling.emplace_back(key, value);
+                     }
+                     return Status::OK();
+                   }));
+    for (const auto& [key, value] : dangling) {
+      GAEA_RETURN_IF_ERROR(tree->Delete(key, value));
+    }
+  }
+  // One pass over the store rebuilds the volatile spatial index and re-adds
+  // any secondary entries a crash dropped.
   return store_->ForEach([this](Oid oid, const std::string& payload) -> Status {
     BinaryReader r(payload);
     GAEA_ASSIGN_OR_RETURN(DataObject obj, DataObject::Deserialize(&r));
     auto def = classes_.LookupById(obj.class_id());
-    if (!def.ok() || !(*def)->has_spatial_extent()) return Status::OK();
+    if (!def.ok()) return Status::OK();
+    Status s = by_class_->Insert(static_cast<int64_t>(obj.class_id()), oid);
+    if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+    if ((*def)->has_temporal_extent()) {
+      auto ts = obj.Timestamp(**def);
+      if (ts.ok()) {
+        s = by_time_->Insert(ts->seconds(), oid);
+        if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+      }
+    }
+    if (!(*def)->has_spatial_extent()) return Status::OK();
     auto extent_value = obj.Get(**def, (*def)->spatial_attr());
     if (!extent_value.ok() || extent_value->is_null()) return Status::OK();
     GAEA_ASSIGN_OR_RETURN(Box extent, extent_value->AsBox());

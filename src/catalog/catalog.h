@@ -29,8 +29,9 @@ namespace gaea {
 class Catalog {
  public:
   // Opens (creating if needed) the catalog in directory `dir` and replays
-  // the definition journal.
-  static StatusOr<std::unique_ptr<Catalog>> Open(const std::string& dir);
+  // the definition journal. All file I/O goes through `env`.
+  static StatusOr<std::unique_ptr<Catalog>> Open(const std::string& dir,
+                                                 Env* env = Env::Default());
 
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
@@ -84,6 +85,9 @@ class Catalog {
 
   Status Flush();
 
+  // Journal Sync policy for the definition journal (see DurabilityMode).
+  void SetDurability(DurabilityMode mode) { journal_->set_durability(mode); }
+
   // Buffer-pool stats of the object store's heap pool (kernel stats).
   ObjectStore* store() { return store_.get(); }
   const ObjectStore* store() const { return store_.get(); }
@@ -93,8 +97,12 @@ class Catalog {
 
   Status ReplayRecord(const std::string& record);
   Status AppendRecord(uint8_t tag, const std::string& payload);
-  // Rebuilds the volatile spatial index from the stored objects.
-  Status RebuildSpatialIndex();
+  // Rebuilds derived index state from the stored objects: the volatile
+  // spatial index in full, and the durable secondary B+trees (class -> OID,
+  // timestamp -> OID) by reconciliation — entries for objects that are gone
+  // are scrubbed, entries a crash dropped are re-added. The object store is
+  // the source of truth; the indexes never are.
+  Status RebuildDerivedIndexes();
 
   // Lock-free internals, called with mu_ already held (shared or exclusive)
   // by the public wrappers — a shared_mutex is not recursive.

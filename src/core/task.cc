@@ -99,9 +99,11 @@ std::unique_ptr<TaskLog> TaskLog::InMemory() {
   return std::unique_ptr<TaskLog>(new TaskLog());
 }
 
-StatusOr<std::unique_ptr<TaskLog>> TaskLog::Open(const std::string& path) {
+StatusOr<std::unique_ptr<TaskLog>> TaskLog::Open(const std::string& path,
+                                                 Env* env) {
   auto log = InMemory();
-  GAEA_ASSIGN_OR_RETURN(std::unique_ptr<Journal> journal, Journal::Open(path));
+  GAEA_ASSIGN_OR_RETURN(std::unique_ptr<Journal> journal,
+                        Journal::Open(path, env));
   GAEA_RETURN_IF_ERROR(
       journal->Replay([&log](const std::string& record) -> Status {
         BinaryReader r(record);

@@ -67,8 +67,14 @@ class TaskLog {
 
   // In-memory log (benchmarking, scratch sessions).
   static std::unique_ptr<TaskLog> InMemory();
-  // Durable log: replays `path` then appends to it.
-  static StatusOr<std::unique_ptr<TaskLog>> Open(const std::string& path);
+  // Durable log: replays `path` then appends to it; I/O goes through `env`.
+  static StatusOr<std::unique_ptr<TaskLog>> Open(const std::string& path,
+                                                 Env* env = Env::Default());
+
+  // Journal Sync policy (no-op for an in-memory log).
+  void SetDurability(DurabilityMode mode) {
+    if (journal_ != nullptr) journal_->set_durability(mode);
+  }
 
   // Records a task; assigns and returns its id.
   StatusOr<TaskId> Append(Task task);

@@ -39,9 +39,10 @@ std::unique_ptr<ExperimentManager> ExperimentManager::InMemory() {
 }
 
 StatusOr<std::unique_ptr<ExperimentManager>> ExperimentManager::Open(
-    const std::string& path) {
+    const std::string& path, Env* env) {
   auto mgr = InMemory();
-  GAEA_ASSIGN_OR_RETURN(std::unique_ptr<Journal> journal, Journal::Open(path));
+  GAEA_ASSIGN_OR_RETURN(std::unique_ptr<Journal> journal,
+                        Journal::Open(path, env));
   GAEA_RETURN_IF_ERROR(
       journal->Replay([&mgr](const std::string& record) -> Status {
         BinaryReader r(record);

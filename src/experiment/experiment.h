@@ -56,9 +56,15 @@ struct ReproductionReport {
 class ExperimentManager {
  public:
   static std::unique_ptr<ExperimentManager> InMemory();
-  // Durable: replays `path` then appends new definitions to it.
+  // Durable: replays `path` then appends new definitions to it; file I/O
+  // goes through `env`.
   static StatusOr<std::unique_ptr<ExperimentManager>> Open(
-      const std::string& path);
+      const std::string& path, Env* env = Env::Default());
+
+  // Journal Sync policy (no-op for an in-memory manager).
+  void SetDurability(DurabilityMode mode) {
+    if (journal_ != nullptr) journal_->set_durability(mode);
+  }
 
   // Records an experiment; assigns and returns its id.
   StatusOr<ExperimentId> Define(Experiment experiment);

@@ -1,5 +1,8 @@
 #include "gaea/kernel.h"
 
+#include <cstdlib>
+#include <set>
+
 #include "analysis/analyzer.h"
 #include "query/qparser.h"
 #include "util/string_util.h"
@@ -11,18 +14,22 @@ StatusOr<std::unique_ptr<GaeaKernel>> GaeaKernel::Open(
   if (options.dir.empty()) {
     return Status::InvalidArgument("GaeaKernel needs a database directory");
   }
+  Env* env = options.env != nullptr ? options.env : Env::Default();
   std::unique_ptr<GaeaKernel> kernel(new GaeaKernel());
   kernel->dir_ = options.dir;
   kernel->user_ = options.user;
+  kernel->durability_ = options.durability;
   kernel->primitives_ = PrimitiveClassRegistry::WithBuiltins();
   GAEA_RETURN_IF_ERROR(RegisterBuiltinOperators(&kernel->ops_));
 
   // The catalog creates the directory and replays class/concept records.
-  GAEA_ASSIGN_OR_RETURN(kernel->catalog_, Catalog::Open(options.dir));
+  GAEA_ASSIGN_OR_RETURN(kernel->catalog_, Catalog::Open(options.dir, env));
+  kernel->catalog_->SetDurability(options.durability);
 
   // Processes journal.
   GAEA_ASSIGN_OR_RETURN(kernel->process_journal_,
-                        Journal::Open(options.dir + "/process.journal"));
+                        Journal::Open(options.dir + "/process.journal", env));
+  kernel->process_journal_->set_durability(options.durability);
   GAEA_RETURN_IF_ERROR(kernel->process_journal_->Replay(
       [&kernel](const std::string& record) -> Status {
         BinaryReader r(record);
@@ -31,10 +38,12 @@ StatusOr<std::unique_ptr<GaeaKernel>> GaeaKernel::Open(
       }));
 
   GAEA_ASSIGN_OR_RETURN(kernel->task_log_,
-                        TaskLog::Open(options.dir + "/tasks.journal"));
+                        TaskLog::Open(options.dir + "/tasks.journal", env));
+  kernel->task_log_->SetDurability(options.durability);
   GAEA_ASSIGN_OR_RETURN(
       kernel->experiments_,
-      ExperimentManager::Open(options.dir + "/experiments.journal"));
+      ExperimentManager::Open(options.dir + "/experiments.journal", env));
+  kernel->experiments_->SetDurability(options.durability);
 
   kernel->deriver_ = std::make_unique<Deriver>(
       kernel->catalog_.get(), &kernel->processes_, &kernel->ops_,
@@ -47,7 +56,67 @@ StatusOr<std::unique_ptr<GaeaKernel>> GaeaKernel::Open(
   kernel->query_engine_ = std::make_unique<QueryEngine>(
       kernel->catalog_.get(), &kernel->processes_, kernel->deriver_.get(),
       kernel->interpolator_.get());
+  GAEA_RETURN_IF_ERROR(kernel->Recover(env));
   return kernel;
+}
+
+Status GaeaKernel::Recover(Env* env) {
+  RecoveryReport report;
+  std::vector<std::pair<TaskId, std::string>> orphans;
+  for (const Task& task : task_log_->tasks()) {
+    if (task.status != TaskStatus::kCompleted) continue;
+    report.tasks_checked++;
+    for (Oid oid : task.outputs) {
+      if (oid > report.max_task_output) report.max_task_output = oid;
+      if (catalog_->ContainsObject(oid)) continue;
+      // A missing output is legitimate if the task can be replayed: Evict
+      // deliberately drops stored bytes of re-derivable objects. External
+      // tasks (version -1) and tasks whose process definition vanished with
+      // the crash have no way back — quarantine those.
+      bool rederivable =
+          task.process_version >= 1 &&
+          processes_.Version(task.process_name, task.process_version).ok();
+      if (rederivable) {
+        report.rederivable_missing++;
+      } else {
+        orphans.emplace_back(task.id,
+                             "output " + std::to_string(oid) +
+                                 " lost and process " + task.process_name +
+                                 " v" + std::to_string(task.process_version) +
+                                 " not replayable");
+        break;  // one quarantine record per task
+      }
+    }
+  }
+  // OIDs recorded by committed tasks must never be reallocated, even when
+  // the objects themselves (and the index pages that recovered next_oid)
+  // were lost in the crash.
+  if (report.max_task_output != kInvalidOid) {
+    catalog_->store()->EnsureNextOidAtLeast(report.max_task_output + 1);
+  }
+  if (!orphans.empty()) {
+    // Quarantine is itself a journal so reports survive reopen; records are
+    // "id<TAB>reason" text, deduplicated against prior runs by replay.
+    GAEA_ASSIGN_OR_RETURN(std::unique_ptr<Journal> quarantine,
+                          Journal::Open(dir_ + "/quarantine.journal", env));
+    quarantine->set_durability(durability_);
+    std::set<TaskId> known;
+    GAEA_RETURN_IF_ERROR(
+        quarantine->Replay([&known](const std::string& record) -> Status {
+          known.insert(static_cast<TaskId>(
+              std::strtoull(record.c_str(), nullptr, 10)));
+          return Status::OK();
+        }));
+    for (const auto& [id, reason] : orphans) {
+      report.quarantined.push_back(id);
+      if (known.count(id) > 0) continue;
+      GAEA_RETURN_IF_ERROR(
+          quarantine->Append(std::to_string(id) + "\t" + reason));
+    }
+    GAEA_RETURN_IF_ERROR(quarantine->Sync());
+  }
+  recovery_report_ = std::move(report);
+  return Status::OK();
 }
 
 void GaeaKernel::SetClock(AbsTime now) {
@@ -322,6 +391,8 @@ GaeaKernel::Stats GaeaKernel::GetStats() const {
   stats.objects = static_cast<size_t>(catalog_->ObjectCount());
   stats.tasks = task_log_->size();
   stats.experiments = experiments_->List().size();
+  stats.quarantined_tasks = recovery_report_.quarantined.size();
+  stats.durability = DurabilityModeName(durability_);
   stats.derivation_cache = derivation_cache_->stats();
   auto fill_pool = [](const BufferPool* pool, PoolStats* out) {
     out->hits = pool->hits();
@@ -372,6 +443,8 @@ std::string GaeaKernel::Stats::ToJson() const {
   field(&json, "objects", objects);
   field(&json, "tasks", tasks);
   field(&json, "experiments", experiments);
+  field(&json, "quarantined_tasks", quarantined_tasks);
+  json += ",\"durability\":\"" + durability + "\"";
   json += ",\"derivation_cache\":{";
   field(&json, "entries", derivation_cache.entries, /*first=*/true);
   field(&json, "capacity", derivation_cache.capacity);

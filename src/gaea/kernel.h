@@ -43,9 +43,16 @@ class GaeaKernel {
   struct Options {
     std::string dir;           // database directory
     std::string user = "gaea"; // recorded on tasks
+    // File system to run on; nullptr means Env::Default(). Tests pass a
+    // FaultInjectingEnv here to crash the kernel at chosen write ops.
+    Env* env = nullptr;
+    // Journal Sync policy applied to every journal (catalog, process, task,
+    // experiment); see DurabilityMode in storage/journal.h.
+    DurabilityMode durability = DurabilityMode::kOs;
   };
 
-  // Opens (creating if needed) a Gaea database, replaying all journals.
+  // Opens (creating if needed) a Gaea database, replaying all journals and
+  // running crash recovery (see Recover below).
   static StatusOr<std::unique_ptr<GaeaKernel>> Open(const Options& options);
 
   GaeaKernel(const GaeaKernel&) = delete;
@@ -193,6 +200,8 @@ class GaeaKernel {
     size_t objects = 0;
     size_t tasks = 0;
     size_t experiments = 0;
+    size_t quarantined_tasks = 0;    // flagged by startup recovery
+    std::string durability = "os";   // journal Sync policy in effect
     DerivationCache::Stats derivation_cache;
     PoolStats heap_pool;   // object store: heap file frames
     PoolStats index_pool;  // object store: OID index frames
@@ -202,6 +211,27 @@ class GaeaKernel {
     std::string ToJson() const;
   };
   Stats GetStats() const;
+
+  // ---- crash recovery ----
+  // Startup invariant check, run by Open after every journal has replayed:
+  // each committed task must either still have all its output objects
+  // stored, or be re-derivable (its process version is registered — missing
+  // outputs are then legitimate evictions, re-derivable on demand). Tasks
+  // that satisfy neither are *quarantined*: recorded in
+  // `dir`/quarantine.journal (deduplicated across reopens) and counted in
+  // stats, but never fatal — the database stays usable and the damage is
+  // reported instead of silently ignored. Recovery also raises the object
+  // store's OID allocator past every task output, so a crash that lost
+  // index pages can never lead to an OID being handed out twice.
+  struct RecoveryReport {
+    size_t tasks_checked = 0;
+    size_t rederivable_missing = 0;  // missing outputs covered by lineage
+    std::vector<TaskId> quarantined; // tasks with unrecoverable outputs
+    Oid max_task_output = kInvalidOid;
+  };
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
+
+  DurabilityMode durability() const { return durability_; }
 
   // ---- lineage & Petri net ----
   LineageGraph lineage() const { return LineageGraph(task_log_.get()); }
@@ -231,6 +261,9 @@ class GaeaKernel {
   GaeaKernel() = default;
 
   Status ApplyStatement(ParsedStatement stmt);
+  // The startup invariant check described at RecoveryReport; `env` is the
+  // file system the quarantine journal is written through.
+  Status Recover(Env* env);
 
   std::string dir_;
   std::string user_ = "gaea";
@@ -247,6 +280,8 @@ class GaeaKernel {
   std::unique_ptr<QueryEngine> query_engine_;
   int derive_threads_ = 1;
   AbsTime now_;
+  DurabilityMode durability_ = DurabilityMode::kOs;
+  RecoveryReport recovery_report_;
 };
 
 }  // namespace gaea

@@ -7,9 +7,31 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace gaea::net {
+
+namespace {
+
+// Transport-level failures (send/recv error, connection closed, failed
+// reconnect) surface as kIOError; the server signals backpressure and
+// drain with kUnavailable. Both mean "the request may not have executed —
+// try again"; everything else is a real answer.
+bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kIOError;
+}
+
+}  // namespace
+
+GaeaClient::GaeaClient(std::string host, int port, Options options)
+    : host_(std::move(host)), port_(port), options_(options) {
+  std::random_device rd;
+  rng_.seed((static_cast<uint64_t>(rd()) << 32) ^ rd());
+  while (options_.idem_nonce == 0) options_.idem_nonce = rng_();
+}
 
 StatusOr<std::unique_ptr<GaeaClient>> GaeaClient::Connect(
     const std::string& host, int port) {
@@ -18,14 +40,31 @@ StatusOr<std::unique_ptr<GaeaClient>> GaeaClient::Connect(
 
 StatusOr<std::unique_ptr<GaeaClient>> GaeaClient::Connect(
     const std::string& host, int port, Options options) {
+  std::unique_ptr<GaeaClient> client(new GaeaClient(host, port, options));
+  std::lock_guard<std::mutex> lock(client->mu_);
+  GAEA_RETURN_IF_ERROR(client->ConnectLocked());
+  return client;
+}
+
+GaeaClient::~GaeaClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status GaeaClient::ConnectLocked() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  frames_ = FrameBuffer();  // drop bytes of the dead connection
+
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
   addrinfo* resolved = nullptr;
-  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+  int rc = ::getaddrinfo(host_.c_str(), std::to_string(port_).c_str(), &hints,
                          &resolved);
   if (rc != 0) {
-    return Status::IOError("resolve " + host + ": " + ::gai_strerror(rc));
+    return Status::IOError("resolve " + host_ + ": " + ::gai_strerror(rc));
   }
   int fd = -1;
   std::string last_error = "no addresses";
@@ -42,28 +81,34 @@ StatusOr<std::unique_ptr<GaeaClient>> GaeaClient::Connect(
   }
   ::freeaddrinfo(resolved);
   if (fd < 0) {
-    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+    return Status::IOError("connect " + host_ + ":" + std::to_string(port_) +
                            ": " + last_error);
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
 
-  std::unique_ptr<GaeaClient> client(new GaeaClient(fd, options));
   BinaryWriter hello;
   EncodeHello(&hello);
-  auto ack = client->Call(MsgType::kHello, hello.buffer());
-  if (!ack.ok()) return ack.status();
-  return client;
+  Status shaken = CallOnceLocked(MsgType::kHello, ++next_id_, hello.buffer())
+                      .status();
+  if (!shaken.ok()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return shaken;
 }
 
-GaeaClient::~GaeaClient() { ::close(fd_); }
-
-StatusOr<std::string> GaeaClient::Call(MsgType type, std::string_view body) {
-  std::lock_guard<std::mutex> lock(mu_);
+StatusOr<std::string> GaeaClient::CallOnceLocked(MsgType type, uint64_t id,
+                                                 std::string_view body) {
   RequestHeader header;
   header.type = type;
-  header.id = ++next_id_;
+  header.id = id;
   header.deadline_ms = options_.deadline_ms;
+  if (type != MsgType::kHello && type != MsgType::kPing &&
+      type != MsgType::kStats) {
+    header.idem = options_.idem_nonce;
+  }
   BinaryWriter payload;
   EncodeRequestHeader(header, &payload);
   payload.PutRaw(body.data(), body.size());
@@ -85,6 +130,52 @@ StatusOr<std::string> GaeaClient::Call(MsgType type, std::string_view body) {
     if (rh.id != header.id) continue;  // stale answer from a prior timeout
     GAEA_RETURN_IF_ERROR(ResponseStatus(rh));
     return response.substr(reader.position());
+  }
+}
+
+StatusOr<std::string> GaeaClient::Call(MsgType type, std::string_view body) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // One id for all attempts: paired with the idempotency nonce it names
+  // *this piece of work*, letting the server recognize a retry of a request
+  // it already ran.
+  uint64_t id = ++next_id_;
+  const RetryPolicy& retry = options_.retry;
+  auto start = std::chrono::steady_clock::now();
+  double backoff_ms = static_cast<double>(retry.initial_backoff_ms);
+  Status last = Status::OK();
+  for (int attempt = 1;; ++attempt) {
+    if (fd_ < 0) {
+      last = ConnectLocked();
+    } else {
+      last = Status::OK();
+    }
+    if (last.ok()) {
+      auto reply = CallOnceLocked(type, id, body);
+      if (reply.ok()) return reply;
+      last = reply.status();
+      if (last.code() == StatusCode::kIOError) {
+        // The transport is suspect; force a fresh connection next attempt.
+        ::close(fd_);
+        fd_ = -1;
+      }
+    }
+    if (!IsRetryable(last) || attempt >= retry.max_attempts) return last;
+    // Full jitter: sleep a uniform slice of the exponential backoff, so a
+    // herd of clients that failed together does not retry together.
+    int64_t cap = static_cast<int64_t>(backoff_ms);
+    if (cap < 1) cap = 1;
+    int64_t sleep_ms = static_cast<int64_t>(rng_() % static_cast<uint64_t>(cap)) + 1;
+    if (retry.deadline_ms > 0) {
+      auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+      if (elapsed + sleep_ms > retry.deadline_ms) return last;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff_ms *= retry.multiplier;
+    if (backoff_ms > retry.max_backoff_ms) {
+      backoff_ms = static_cast<double>(retry.max_backoff_ms);
+    }
   }
 }
 

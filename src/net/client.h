@@ -1,10 +1,19 @@
-// GaeaClient: a blocking C++ client for gaead (docs/NET.md).
+// GaeaClient: a blocking, self-healing C++ client for gaead (docs/NET.md).
 //
 // One client is one TCP connection plus one outstanding request at a time;
 // the hello/version handshake happens inside Connect, so a constructed
 // client is ready to use. All calls are thread-safe (serialized on an
 // internal mutex); for concurrency open one client per thread — connections
 // are cheap and the server multiplexes sessions.
+//
+// Self-healing (docs/ROBUSTNESS.md): with Options::retry.max_attempts > 1,
+// a call that fails with kUnavailable (overload, deadline expiry, server
+// draining) or a transport error (broken/closed connection) is retried with
+// exponential backoff plus jitter, reconnecting first when the transport
+// died. Every request carries the client's idempotency nonce and keeps the
+// same request id across retries, so the server can detect a retry of work
+// it already executed and replay the recorded response instead of running
+// the request twice.
 
 #ifndef GAEA_NET_CLIENT_H_
 #define GAEA_NET_CLIENT_H_
@@ -13,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -23,12 +33,29 @@
 
 namespace gaea::net {
 
+// How a client call behaves when the server is unavailable or the
+// connection breaks. The default (max_attempts = 1) never retries.
+struct RetryPolicy {
+  int max_attempts = 1;        // total tries, including the first
+  int initial_backoff_ms = 10; // sleep before the second try
+  int max_backoff_ms = 1000;   // backoff growth cap
+  double multiplier = 2.0;     // backoff growth per retry
+  // Overall wall-clock budget across all attempts; once spent, the last
+  // error is returned instead of sleeping again. 0 = unbounded.
+  int deadline_ms = 0;
+};
+
 class GaeaClient {
  public:
   struct Options {
     // Applied to every request; 0 = no deadline. The deadline bounds the
     // server-side queue wait, not the network round trip.
     uint32_t deadline_ms = 0;
+    RetryPolicy retry;
+    // Idempotency nonce stamped on every kernel-bound request; 0 means
+    // "pick one at random" (the normal case). Tests pin it to prove the
+    // exactly-once behavior of retried derives.
+    uint64_t idem_nonce = 0;
   };
 
   // Resolves `host` (name or dotted IPv4), connects, and performs the
@@ -69,19 +96,32 @@ class GaeaClient {
   StatusOr<std::string> StatsJson();
 
   void set_deadline_ms(uint32_t ms) { options_.deadline_ms = ms; }
+  void set_retry(const RetryPolicy& retry) { options_.retry = retry; }
+  uint64_t idem_nonce() const { return options_.idem_nonce; }
 
  private:
-  GaeaClient(int fd, Options options) : fd_(fd), options_(options) {}
+  GaeaClient(std::string host, int port, Options options);
 
-  // Sends one request and blocks for its response; returns the response
-  // body (bytes after the ResponseHeader) on success.
+  // Dials and performs the hello handshake; fd_ is valid on success.
+  // Caller holds mu_.
+  Status ConnectLocked();
+
+  // Sends one request under `id` and blocks for its response; returns the
+  // response body (bytes after the ResponseHeader). Caller holds mu_.
+  StatusOr<std::string> CallOnceLocked(MsgType type, uint64_t id,
+                                       std::string_view body);
+
+  // Retry loop around ConnectLocked + CallOnceLocked per options_.retry.
   StatusOr<std::string> Call(MsgType type, std::string_view body);
 
   std::mutex mu_;
-  int fd_;
+  std::string host_;
+  int port_;
+  int fd_ = -1;
   Options options_;
   FrameBuffer frames_;
   uint64_t next_id_ = 0;
+  std::mt19937_64 rng_;  // backoff jitter
 };
 
 }  // namespace gaea::net

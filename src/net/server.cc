@@ -36,6 +36,7 @@ std::string ServerStats::ToJson() const {
   AppendField(&json, "requests_error", requests_error);
   AppendField(&json, "rejected_overload", rejected_overload);
   AppendField(&json, "rejected_deadline", rejected_deadline);
+  AppendField(&json, "dedup_hits", dedup_hits);
   AppendField(&json, "in_flight", in_flight);
   AppendField(&json, "bytes_in", bytes_in);
   AppendField(&json, "bytes_out", bytes_out);
@@ -52,6 +53,7 @@ GaeaServer::GaeaServer(GaeaKernel* kernel, Options options)
     : kernel_(kernel), options_(std::move(options)) {
   if (options_.workers < 1) options_.workers = 1;
   if (options_.max_inflight < 1) options_.max_inflight = 1;
+  if (options_.dedup_capacity < 1) options_.dedup_capacity = 1;
 }
 
 GaeaServer::~GaeaServer() { Shutdown(); }
@@ -202,7 +204,9 @@ void GaeaServer::HandleFrame(std::shared_ptr<Session> session,
       break;
   }
 
-  // Kernel-bound request: bounded admission, then the worker pool.
+  // Kernel-bound request: idempotency check, bounded admission, then the
+  // worker pool.
+  if (header.idem != 0 && DedupBegin(*session, header)) return;
   Job job;
   job.session = std::move(session);
   job.header = header;
@@ -229,10 +233,72 @@ void GaeaServer::HandleFrame(std::shared_ptr<Session> session,
     }
   }
   if (!rejected.ok()) {
+    // The request never ran; a retry must be allowed to execute.
+    if (header.idem != 0) DedupAbort(header);
     Respond(*job.session, header.id, header.type, rejected, {});
     return;
   }
   queue_cv_.notify_one();
+}
+
+bool GaeaServer::DedupBegin(Session& session, const RequestHeader& header) {
+  DedupKey key{header.idem, header.id};
+  std::string cached;
+  bool pending = false;
+  {
+    std::lock_guard<std::mutex> lock(dedup_mu_);
+    auto it = dedup_.find(key);
+    if (it == dedup_.end()) {
+      dedup_[key];  // install the pending marker (DedupEntry{pending=true})
+      return false;
+    }
+    if (it->second.pending) {
+      pending = true;
+    } else {
+      cached = it->second.response;
+      // Refresh recency so a retried-then-reused entry survives eviction.
+      dedup_lru_.splice(dedup_lru_.end(), dedup_lru_, it->second.lru);
+    }
+  }
+  if (pending) {
+    // The original is still executing; answering anything else could make
+    // the retry observe a different outcome than the first send.
+    Respond(session, header.id, header.type,
+            Status::Unavailable("request " + std::to_string(header.id) +
+                                " is still executing; retry later"),
+            {});
+    return true;
+  }
+  dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+  (void)session.Send(cached);
+  return true;
+}
+
+void GaeaServer::DedupFinish(const RequestHeader& header, const Status& result,
+                             std::string encoded) {
+  DedupKey key{header.idem, header.id};
+  std::lock_guard<std::mutex> lock(dedup_mu_);
+  auto it = dedup_.find(key);
+  if (it == dedup_.end()) return;
+  if (result.code() == StatusCode::kUnavailable) {
+    // Rejections (deadline expiry) mean the request never executed; drop
+    // the marker so the retry can run for real.
+    dedup_.erase(it);
+    return;
+  }
+  it->second.pending = false;
+  it->second.response = std::move(encoded);
+  it->second.lru = dedup_lru_.insert(dedup_lru_.end(), key);
+  while (dedup_lru_.size() > options_.dedup_capacity) {
+    dedup_.erase(dedup_lru_.front());
+    dedup_lru_.pop_front();
+  }
+}
+
+void GaeaServer::DedupAbort(const RequestHeader& header) {
+  std::lock_guard<std::mutex> lock(dedup_mu_);
+  auto it = dedup_.find(DedupKey{header.idem, header.id});
+  if (it != dedup_.end() && it->second.pending) dedup_.erase(it);
 }
 
 void GaeaServer::WorkerLoop() {
@@ -261,6 +327,7 @@ void GaeaServer::ExecuteJob(Job job) {
       Status expired = Status::Unavailable(
           "deadline of " + std::to_string(header.deadline_ms) +
           " ms expired before execution");
+      if (header.idem != 0) DedupAbort(header);
       Respond(*job.session, header.id, header.type, expired, {});
       FinishJob(job, expired);
       return;
@@ -374,7 +441,10 @@ void GaeaServer::ExecuteJob(Job job) {
                                 " on the worker path");
       break;
   }
-  Respond(*job.session, header.id, header.type, result, body.buffer());
+  std::string encoded;
+  Respond(*job.session, header.id, header.type, result, body.buffer(),
+          &encoded);
+  if (header.idem != 0) DedupFinish(header, result, std::move(encoded));
   FinishJob(job, result);
 }
 
@@ -401,7 +471,8 @@ void GaeaServer::FinishJob(const Job& job, const Status& result) {
 }
 
 void GaeaServer::Respond(Session& session, uint64_t id, MsgType request_type,
-                         const Status& status, std::string_view body) {
+                         const Status& status, std::string_view body,
+                         std::string* encoded) {
   ResponseHeader header;
   header.id = id;
   header.request_type = request_type;
@@ -410,6 +481,7 @@ void GaeaServer::Respond(Session& session, uint64_t id, MsgType request_type,
   BinaryWriter payload;
   EncodeResponseHeader(header, &payload);
   if (status.ok()) payload.PutRaw(body.data(), body.size());
+  if (encoded != nullptr) *encoded = payload.buffer();
   if (status.ok()) {
     requests_ok_.fetch_add(1, std::memory_order_relaxed);
   } else if (status.code() != StatusCode::kUnavailable) {
@@ -438,6 +510,7 @@ ServerStats GaeaServer::stats() const {
       rejected_overload_.load(std::memory_order_relaxed);
   stats.rejected_deadline =
       rejected_deadline_.load(std::memory_order_relaxed);
+  stats.dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
   stats.in_flight = in_flight_.load(std::memory_order_relaxed);
   stats.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   stats.bytes_out = bytes_out_.load(std::memory_order_relaxed);

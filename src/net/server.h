@@ -26,7 +26,9 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <list>
 #include <map>
+#include <utility>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -51,6 +53,8 @@ struct ServerStats {
   uint64_t requests_error = 0;     // non-OK answers other than the two below
   uint64_t rejected_overload = 0;  // kUnavailable: max_inflight reached
   uint64_t rejected_deadline = 0;  // kUnavailable: deadline_ms elapsed queued
+  uint64_t dedup_hits = 0;         // retried requests answered from the
+                                   // idempotency cache (never re-executed)
   uint64_t in_flight = 0;          // queued + executing worker requests
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
@@ -68,6 +72,9 @@ class GaeaServer {
     int port = 0;          // 0 = ephemeral; see port() after Start
     int workers = 4;       // kernel worker threads (clamped to >= 1)
     int max_inflight = 64; // queued+executing bound before kUnavailable
+    // Responses remembered per (idem nonce, request id) so a client retry
+    // after a lost response never re-executes the request (clamped >= 1).
+    size_t dedup_capacity = 1024;
   };
 
   GaeaServer(GaeaKernel* kernel, Options options);
@@ -111,7 +118,24 @@ class GaeaServer {
   void FinishJob(const Job& job, const Status& result);
 
   void Respond(Session& session, uint64_t id, MsgType request_type,
-               const Status& status, std::string_view body);
+               const Status& status, std::string_view body,
+               std::string* encoded = nullptr);
+
+  // ---- idempotency cache ----
+  // A request with header.idem != 0 is looked up in a bounded LRU keyed by
+  // (idem, id) *before* admission. A recorded response is replayed verbatim
+  // (the request is not re-executed); a pending marker means the original
+  // is still in flight, answered kUnavailable so the client backs off and
+  // retries. kUnavailable results are never recorded — the request never
+  // executed, so a retry must be allowed to run.
+  using DedupKey = std::pair<uint64_t, uint64_t>;  // (idem, request id)
+  // Returns true when the frame was fully answered here (cache hit or
+  // pending collision); false means a pending marker was installed and the
+  // caller must admit the job (and later DedupFinish or DedupAbort it).
+  bool DedupBegin(Session& session, const RequestHeader& header);
+  void DedupFinish(const RequestHeader& header, const Status& result,
+                   std::string encoded);
+  void DedupAbort(const RequestHeader& header);
 
   void OnSessionDone(uint64_t id);
   void ReapDoneSessions();  // joins and drops finished sessions
@@ -143,6 +167,15 @@ class GaeaServer {
   std::map<uint64_t, std::shared_ptr<Session>> sessions_;
   uint64_t next_session_id_ = 1;
 
+  struct DedupEntry {
+    bool pending = true;
+    std::string response;  // encoded response payload when !pending
+    std::list<DedupKey>::iterator lru;  // valid when !pending
+  };
+  std::mutex dedup_mu_;
+  std::map<DedupKey, DedupEntry> dedup_;
+  std::list<DedupKey> dedup_lru_;  // completed entries, oldest first
+
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;    // workers wait for jobs / stop
   std::condition_variable drained_cv_;  // Shutdown waits for in_flight == 0
@@ -156,6 +189,7 @@ class GaeaServer {
   std::atomic<uint64_t> requests_error_{0};
   std::atomic<uint64_t> rejected_overload_{0};
   std::atomic<uint64_t> rejected_deadline_{0};
+  std::atomic<uint64_t> dedup_hits_{0};
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
   std::atomic<uint64_t> latency_micros_total_{0};

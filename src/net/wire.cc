@@ -79,6 +79,7 @@ void EncodeRequestHeader(const RequestHeader& header, BinaryWriter* w) {
   w->PutU8(static_cast<uint8_t>(header.type));
   w->PutU64(header.id);
   w->PutU32(header.deadline_ms);
+  w->PutU64(header.idem);
 }
 
 StatusOr<RequestHeader> DecodeRequestHeader(BinaryReader* r) {
@@ -91,6 +92,7 @@ StatusOr<RequestHeader> DecodeRequestHeader(BinaryReader* r) {
   header.type = static_cast<MsgType>(raw);
   GAEA_ASSIGN_OR_RETURN(header.id, r->GetU64());
   GAEA_ASSIGN_OR_RETURN(header.deadline_ms, r->GetU32());
+  GAEA_ASSIGN_OR_RETURN(header.idem, r->GetU64());
   return header;
 }
 

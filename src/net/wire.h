@@ -29,7 +29,10 @@ namespace gaea::net {
 // bytes in any message body are ignored, which is how minor revisions add
 // fields (see docs/NET.md "Versioning").
 constexpr uint32_t kMagic = 0x47414541;  // "GAEA"
-constexpr uint16_t kProtocolVersion = 1;
+// v2 added RequestHeader.idem (client idempotency nonce). Both sides of the
+// protocol live in this tree, so the version is bumped rather than relying
+// on trailing-byte tolerance for a field the server must act on.
+constexpr uint16_t kProtocolVersion = 2;
 
 // Upper bound on one frame's payload; anything larger is a protocol error
 // (kCorruption) and the connection is dropped rather than buffered.
@@ -82,11 +85,15 @@ const char* MsgTypeName(MsgType type);
 // Every request payload starts with this. `deadline_ms` (0 = none) bounds
 // the time between the server admitting the request and a worker starting
 // it; an expired request is answered kUnavailable without touching the
-// kernel.
+// kernel. `idem` (0 = none) is a client-chosen random nonce: the server
+// remembers (idem, id) -> response for executed mutations, so a client that
+// retried after a lost response gets the recorded answer instead of a
+// second execution (docs/ROBUSTNESS.md).
 struct RequestHeader {
   MsgType type = MsgType::kPing;
   uint64_t id = 0;
   uint32_t deadline_ms = 0;
+  uint64_t idem = 0;
 };
 
 void EncodeRequestHeader(const RequestHeader& header, BinaryWriter* w);

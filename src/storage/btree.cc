@@ -30,9 +30,9 @@ constexpr size_t kInternalMax = (kPageSize - kNodeEntriesOff) / 20 - 1; // 203
 }  // namespace
 
 StatusOr<std::unique_ptr<BTree>> BTree::Open(const std::string& path,
-                                             size_t pool_capacity) {
+                                             size_t pool_capacity, Env* env) {
   GAEA_ASSIGN_OR_RETURN(std::unique_ptr<BufferPool> pool,
-                        BufferPool::Open(path, pool_capacity));
+                        BufferPool::Open(path, pool_capacity, 4, env));
   std::unique_ptr<BTree> tree(new BTree(std::move(pool)));
   if (tree->pool_->PageCount() == 0) {
     GAEA_ASSIGN_OR_RETURN(PageGuard meta, tree->pool_->AllocatePage());
@@ -40,9 +40,72 @@ StatusOr<std::unique_ptr<BTree>> BTree::Open(const std::string& path,
     meta.Release();
     GAEA_RETURN_IF_ERROR(tree->StoreMeta());
   } else {
-    GAEA_RETURN_IF_ERROR(tree->LoadMeta());
+    Status loaded = tree->LoadMeta();
+    Status valid = loaded.ok() ? tree->ValidateTree() : loaded;
+    if (!valid.ok()) {
+      // A real I/O problem is not a tear; surface it.
+      if (valid.code() == StatusCode::kIOError) return valid;
+      // The tree is torn — a crash flushed some of its pages but not
+      // others. Reset to empty rather than fail: the owner rebuilds from
+      // its source of truth (see repaired_on_open). Orphaned node pages
+      // stay in the file as dead space, matching lazy deletion.
+      tree->root_ = kInvalidPageId;
+      tree->count_ = 0;
+      GAEA_RETURN_IF_ERROR(tree->StoreMeta());
+      tree->repaired_ = true;
+    }
   }
   return tree;
+}
+
+Status BTree::ValidateTree() const {
+  if (root_ == kInvalidPageId) {
+    if (count_ != 0) {
+      return Status::Corruption("btree: empty tree with count " +
+                                std::to_string(count_.load()));
+    }
+    return Status::OK();
+  }
+  int64_t entries = 0;
+  std::vector<uint32_t> leaves;
+  GAEA_RETURN_IF_ERROR(ValidateNode(root_, 0, &entries, &leaves));
+  if (entries != count_) {
+    return Status::Corruption(
+        "btree: meta count " + std::to_string(count_.load()) + " but walk found " +
+        std::to_string(entries) + " entries");
+  }
+  // The leaf chain Scan follows must link exactly the leaves the tree
+  // reaches, left to right.
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    GAEA_ASSIGN_OR_RETURN(Node leaf, ReadNode(leaves[i]));
+    uint32_t want = i + 1 < leaves.size() ? leaves[i + 1] : kInvalidPageId;
+    if (leaf.next_leaf != want) {
+      return Status::Corruption("btree: broken leaf chain at page " +
+                                std::to_string(leaves[i]));
+    }
+  }
+  return Status::OK();
+}
+
+Status BTree::ValidateNode(uint32_t page_id, int depth, int64_t* entries,
+                           std::vector<uint32_t>* leaves) const {
+  if (depth > 64) {
+    return Status::Corruption("btree: deeper than 64 levels (cycle?)");
+  }
+  GAEA_ASSIGN_OR_RETURN(Node node, ReadNode(page_id));
+  if (!std::is_sorted(node.keys.begin(), node.keys.end())) {
+    return Status::Corruption("btree: unsorted keys in page " +
+                              std::to_string(page_id));
+  }
+  if (node.leaf) {
+    *entries += static_cast<int64_t>(node.keys.size());
+    leaves->push_back(page_id);
+    return Status::OK();
+  }
+  for (uint32_t child : node.children) {
+    GAEA_RETURN_IF_ERROR(ValidateNode(child, depth + 1, entries, leaves));
+  }
+  return Status::OK();
 }
 
 Status BTree::LoadMeta() {

@@ -29,9 +29,10 @@ namespace gaea {
 
 class BTree {
  public:
-  // Opens or creates the tree at `path`.
+  // Opens or creates the tree at `path`; all I/O goes through `env`.
   static StatusOr<std::unique_ptr<BTree>> Open(const std::string& path,
-                                               size_t pool_capacity = 256);
+                                               size_t pool_capacity = 256,
+                                               Env* env = Env::Default());
 
   // Inserts (key, value). kAlreadyExists if the exact pair is present.
   Status Insert(int64_t key, uint64_t value);
@@ -56,6 +57,13 @@ class BTree {
   StatusOr<int> Height() const;
 
   Status Flush();
+
+  // True when Open found the on-disk tree torn (a crash flushed the meta
+  // page but not the node pages it references, or vice versa) and reset it
+  // to empty. The owner must rebuild from its source of truth — the object
+  // store rebuilds the OID index from heap records, the catalog rebuilds
+  // secondary indexes from the store.
+  bool repaired_on_open() const { return repaired_; }
 
   BufferPool* pool() { return pool_.get(); }
   const BufferPool* pool() const { return pool_.get(); }
@@ -92,6 +100,14 @@ class BTree {
   // Splits the overfull node at `page_id` (path gives its ancestors).
   Status SplitUpward(uint32_t page_id, std::vector<uint32_t> path);
 
+  // Structural check run at Open: walks the whole tree, verifying page
+  // types, key order, the leaf chain, and that the walked entry count
+  // matches the meta page's count. A failure means the on-disk tree is torn
+  // (stale or missing pages after a crash).
+  Status ValidateTree() const;
+  Status ValidateNode(uint32_t page_id, int depth, int64_t* entries,
+                      std::vector<uint32_t>* leaves) const;
+
   // One latch for the whole tree: splits touch several nodes plus the meta
   // page, so structural changes must be atomic. Recursive because public
   // helpers (Lookup -> Scan) nest.
@@ -99,6 +115,7 @@ class BTree {
   std::unique_ptr<BufferPool> pool_;
   uint32_t root_ = kInvalidPageId;
   std::atomic<int64_t> count_{0};
+  bool repaired_ = false;
 };
 
 }  // namespace gaea

@@ -1,17 +1,13 @@
 #include "storage/buffer_pool.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 
 namespace gaea {
 
 StatusOr<std::unique_ptr<BufferPool>> BufferPool::Open(const std::string& path,
                                                        size_t capacity,
-                                                       size_t shards) {
+                                                       size_t shards,
+                                                       Env* env) {
   if (capacity == 0) {
     return Status::InvalidArgument("buffer pool needs capacity >= 1");
   }
@@ -19,28 +15,33 @@ StatusOr<std::unique_ptr<BufferPool>> BufferPool::Open(const std::string& path,
     return Status::InvalidArgument("buffer pool needs shards >= 1");
   }
   if (shards > capacity) shards = capacity;
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd < 0) {
-    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  bool existed = env->FileExists(path);
+  GAEA_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                        env->NewRandomAccessFile(path));
+  if (!existed) {
+    GAEA_RETURN_IF_ERROR(env->SyncParentDir(path));
   }
-  struct stat st;
-  if (::fstat(fd, &st) != 0) {
-    int err = errno;
-    ::close(fd);
-    return Status::IOError("fstat " + path + ": " + std::strerror(err));
+  uint64_t size = 0;
+  if (existed) {
+    GAEA_ASSIGN_OR_RETURN(size, env->FileSize(path));
   }
-  if (st.st_size % kPageSize != 0) {
-    ::close(fd);
-    return Status::Corruption(path + ": size not a multiple of page size");
+  if (size % kPageSize != 0) {
+    // A crash mid-pwrite while extending the file leaves a trailing partial
+    // page. That page was never acknowledged (the write errored or the
+    // process died), so dropping it loses nothing committed; anything that
+    // referenced it is caught by the kernel's recovery invariants.
+    uint64_t good = size - (size % kPageSize);
+    GAEA_RETURN_IF_ERROR(env->Truncate(path, good));
+    size = good;
   }
-  uint32_t page_count = static_cast<uint32_t>(st.st_size / kPageSize);
+  uint32_t page_count = static_cast<uint32_t>(size / kPageSize);
   return std::unique_ptr<BufferPool>(
-      new BufferPool(fd, page_count, capacity, shards));
+      new BufferPool(std::move(file), page_count, capacity, shards));
 }
 
-BufferPool::BufferPool(int fd, uint32_t page_count, size_t capacity,
-                       size_t shards)
-    : fd_(fd), page_count_(page_count), shards_(shards) {
+BufferPool::BufferPool(std::unique_ptr<RandomAccessFile> file,
+                       uint32_t page_count, size_t capacity, size_t shards)
+    : file_(std::move(file)), page_count_(page_count), shards_(shards) {
   // Spread the frame budget over the shards; every shard gets at least one.
   size_t per_shard = capacity / shards;
   size_t remainder = capacity % shards;
@@ -50,19 +51,13 @@ BufferPool::BufferPool(int fd, uint32_t page_count, size_t capacity,
   }
 }
 
-BufferPool::~BufferPool() {
-  (void)Flush();
-  ::close(fd_);
-}
+BufferPool::~BufferPool() { (void)Flush(); }
 
 Status BufferPool::WriteFrame(const Frame& frame) {
-  off_t offset = static_cast<off_t>(frame.page_id) * kPageSize;
-  ssize_t n = ::pwrite(fd_, frame.page.data(), kPageSize, offset);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("pwrite page " + std::to_string(frame.page_id) +
-                           ": " + std::strerror(errno));
-  }
-  return Status::OK();
+  uint64_t offset = static_cast<uint64_t>(frame.page_id) * kPageSize;
+  return file_->Write(
+      offset, std::string_view(reinterpret_cast<const char*>(frame.page.data()),
+                               kPageSize));
 }
 
 Status BufferPool::MaybeEvict(Shard* shard) {
@@ -125,16 +120,20 @@ StatusOr<PageGuard> BufferPool::FetchPage(uint32_t page_id) {
   }
   shard.misses++;
   GAEA_ASSIGN_OR_RETURN(Frame * frame, InsertFrame(&shard, page_id));
-  off_t offset = static_cast<off_t>(page_id) * kPageSize;
-  ssize_t n = ::pread(fd_, frame->page.data(), kPageSize, offset);
-  if (n < 0) {
+  uint64_t offset = static_cast<uint64_t>(page_id) * kPageSize;
+  auto read = file_->Read(offset, kPageSize,
+                          reinterpret_cast<char*>(frame->page.data()));
+  if (!read.ok()) {
     shard.index.erase(page_id);
     shard.frames.pop_front();
-    return Status::IOError("pread page " + std::to_string(page_id) + ": " +
-                           std::strerror(errno));
+    return Status::IOError("read page " + std::to_string(page_id) + ": " +
+                           read.status().message());
   }
   // A short read happens only for pages allocated but never flushed by a
-  // crashed process; treat missing bytes as zeros (already memset).
+  // crashed process; treat the missing bytes as zeros.
+  if (*read < kPageSize) {
+    std::memset(frame->page.data() + *read, 0, kPageSize - *read);
+  }
   return PageGuard(frame);
 }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "storage/page.h"
+#include "util/env.h"
 #include "util/status.h"
 
 namespace gaea {
@@ -33,10 +34,14 @@ namespace gaea {
 class BufferPool {
  public:
   // Opens (creating if missing) the file at `path` with `capacity` frames
-  // spread over `shards` latched shards.
+  // spread over `shards` latched shards. All I/O goes through `env`. A
+  // trailing partial page (a write torn by a crash) is truncated away on
+  // open, mirroring the journal's torn-tail rule; creating the file fsyncs
+  // the parent directory.
   static StatusOr<std::unique_ptr<BufferPool>> Open(const std::string& path,
                                                     size_t capacity = 256,
-                                                    size_t shards = 4);
+                                                    size_t shards = 4,
+                                                    Env* env = Env::Default());
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -132,7 +137,8 @@ class BufferPool {
   uint64_t evictions() const;
 
  private:
-  BufferPool(int fd, uint32_t page_count, size_t capacity, size_t shards);
+  BufferPool(std::unique_ptr<RandomAccessFile> file, uint32_t page_count,
+             size_t capacity, size_t shards);
 
   Shard& ShardFor(uint32_t page_id) {
     return shards_[page_id % shards_.size()];
@@ -145,7 +151,7 @@ class BufferPool {
   // (latch held). The caller fills the page bytes while holding the pin.
   StatusOr<Frame*> InsertFrame(Shard* shard, uint32_t page_id);
 
-  int fd_;
+  std::unique_ptr<RandomAccessFile> file_;
   std::atomic<uint32_t> page_count_;
   std::vector<Shard> shards_;
 };

@@ -67,9 +67,10 @@ uint32_t FreeSpace(const Page& page) {
 }  // namespace
 
 StatusOr<std::unique_ptr<HeapFile>> HeapFile::Open(const std::string& path,
-                                                   size_t pool_capacity) {
+                                                   size_t pool_capacity,
+                                                   Env* env) {
   GAEA_ASSIGN_OR_RETURN(std::unique_ptr<BufferPool> pool,
-                        BufferPool::Open(path, pool_capacity));
+                        BufferPool::Open(path, pool_capacity, 4, env));
   return std::unique_ptr<HeapFile>(new HeapFile(std::move(pool)));
 }
 
@@ -224,6 +225,33 @@ Status HeapFile::ForEach(
       Rid rid{page_id, s};
       GAEA_ASSIGN_OR_RETURN(std::string record, Read(rid));
       GAEA_RETURN_IF_ERROR(fn(rid, record));
+    }
+  }
+  return Status::OK();
+}
+
+Status HeapFile::ForEachReadable(
+    const std::function<Status(const Rid&, const std::string&)>& fn) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  for (uint32_t page_id = 0; page_id < pool_->PageCount(); ++page_id) {
+    GAEA_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page_id));
+    if (guard.page()->ReadAt<uint8_t>(0) != kDataPage) continue;
+    uint16_t slots = guard.page()->ReadAt<uint16_t>(kSlotCountOff);
+    guard.Release();
+    for (uint16_t s = 0; s < slots; ++s) {
+      GAEA_ASSIGN_OR_RETURN(PageGuard p, pool_->FetchPage(page_id));
+      SlotInfo info = ReadSlot(*p.page(), s);
+      p.Release();
+      if (info.flags == kFlagDeleted) continue;
+      Rid rid{page_id, s};
+      StatusOr<std::string> record = Read(rid);
+      if (!record.ok()) {
+        if (record.status().code() == StatusCode::kIOError) {
+          return record.status();
+        }
+        continue;  // torn by the crash; nothing to salvage
+      }
+      GAEA_RETURN_IF_ERROR(fn(rid, *record));
     }
   }
   return Status::OK();

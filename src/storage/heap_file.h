@@ -40,9 +40,10 @@ struct Rid {
 
 class HeapFile {
  public:
-  // Opens or creates the heap at `path`.
+  // Opens or creates the heap at `path`; all I/O goes through `env`.
   static StatusOr<std::unique_ptr<HeapFile>> Open(const std::string& path,
-                                                  size_t pool_capacity = 256);
+                                                  size_t pool_capacity = 256,
+                                                  Env* env = Env::Default());
 
   // Appends a record; returns its RID.
   StatusOr<Rid> Insert(const std::string& record);
@@ -58,6 +59,13 @@ class HeapFile {
   // Visits every live record in file order. Stop early by returning a
   // non-OK status (propagated to the caller).
   Status ForEach(
+      const std::function<Status(const Rid&, const std::string&)>& fn) const;
+
+  // Like ForEach, but records that cannot be read — a torn overflow chain
+  // after a crash — are skipped instead of failing the scan. Recovery uses
+  // this to salvage every record that survived intact; real I/O errors
+  // still propagate.
+  Status ForEachReadable(
       const std::function<Status(const Rid&, const std::string&)>& fn) const;
 
   // Number of live records.

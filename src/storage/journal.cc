@@ -1,9 +1,5 @@
 #include "storage/journal.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 
 namespace gaea {
@@ -37,19 +33,48 @@ uint32_t Crc32(const void* data, size_t size) {
   return crc ^ 0xFFFFFFFFu;
 }
 
-StatusOr<std::unique_ptr<Journal>> Journal::Open(const std::string& path) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-  if (fd < 0) {
-    return Status::IOError("open journal " + path + ": " +
-                           std::strerror(errno));
+const char* DurabilityModeName(DurabilityMode mode) {
+  switch (mode) {
+    case DurabilityMode::kNone: return "none";
+    case DurabilityMode::kOs: return "os";
+    case DurabilityMode::kFsync: return "fsync";
   }
-  return std::unique_ptr<Journal>(new Journal(fd, path));
+  return "unknown";
 }
 
-Journal::~Journal() { ::close(fd_); }
+StatusOr<DurabilityMode> ParseDurabilityMode(std::string_view text) {
+  if (text == "none") return DurabilityMode::kNone;
+  if (text == "os") return DurabilityMode::kOs;
+  if (text == "fsync") return DurabilityMode::kFsync;
+  return Status::InvalidArgument("unknown durability mode '" +
+                                 std::string(text) +
+                                 "' (want none, os or fsync)");
+}
+
+StatusOr<std::unique_ptr<Journal>> Journal::Open(const std::string& path,
+                                                 Env* env) {
+  bool existed = env->FileExists(path);
+  GAEA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                        env->NewWritableFile(path));
+  if (!existed) {
+    // The file's directory entry must survive a crash too, or recovery
+    // reopens an empty directory and silently starts a fresh history.
+    GAEA_RETURN_IF_ERROR(env->SyncParentDir(path));
+  }
+  uint64_t size = 0;
+  if (existed) {
+    GAEA_ASSIGN_OR_RETURN(size, env->FileSize(path));
+  }
+  return std::unique_ptr<Journal>(
+      new Journal(std::move(file), path, env, size));
+}
 
 Status Journal::Append(const std::string& record) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "journal " + path_ + " has an unhealed torn tail; appends refused");
+  }
   uint32_t len = static_cast<uint32_t>(record.size());
   uint32_t crc = Crc32(record.data(), record.size());
   std::string frame;
@@ -57,9 +82,22 @@ Status Journal::Append(const std::string& record) {
   frame.append(reinterpret_cast<const char*>(&len), 4);
   frame.append(reinterpret_cast<const char*>(&crc), 4);
   frame.append(record);
-  ssize_t n = ::write(fd_, frame.data(), frame.size());
-  if (n != static_cast<ssize_t>(frame.size())) {
-    return Status::IOError("journal append: " + std::string(strerror(errno)));
+  Status written = file_->Append(frame);
+  if (!written.ok()) {
+    // A prefix of the frame may be on disk. Heal in place: truncate back to
+    // the last good record boundary so the log stays appendable. Replay
+    // would do the same, but a live server should not have to reopen.
+    Status healed = env_->Truncate(path_, size_);
+    if (!healed.ok()) broken_ = true;
+    return Status::IOError("journal append at offset " +
+                           std::to_string(size_) + ": " + written.message() +
+                           (healed.ok() ? " (torn tail truncated)"
+                                        : "; tail truncation also failed: " +
+                                              healed.message()));
+  }
+  size_ += frame.size();
+  if (durability() == DurabilityMode::kFsync) {
+    GAEA_RETURN_IF_ERROR(file_->Sync());
   }
   appended_++;
   return Status::OK();
@@ -71,12 +109,14 @@ Status Journal::Replay(
   // doing that concurrently with an in-progress Append would mistake the
   // half-written record for the tail and truncate live data.
   std::lock_guard<std::mutex> lock(mu_);
-  int rfd = ::open(path_.c_str(), O_RDONLY);
-  if (rfd < 0) {
-    if (errno == ENOENT) return Status::OK();  // nothing persisted yet
-    return Status::IOError("open journal " + path_ + " for replay: " +
-                           std::strerror(errno));
+  auto file_or = env_->NewSequentialFile(path_);
+  if (!file_or.ok()) {
+    if (file_or.status().code() == StatusCode::kNotFound) {
+      return Status::OK();  // nothing persisted yet
+    }
+    return file_or.status();
   }
+  std::unique_ptr<SequentialFile> rf = *std::move(file_or);
 
   // Fixed-size chunked reads: a long-lived server's task/process journals
   // can grow large, and replay must not spike memory by slurping the whole
@@ -96,17 +136,12 @@ Status Journal::Replay(
         pos = 0;
       }
       char chunk[kChunk];
-      ssize_t n = ::read(rfd, chunk, sizeof(chunk));
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return Status::IOError("journal read: " +
-                               std::string(std::strerror(errno)));
-      }
+      GAEA_ASSIGN_OR_RETURN(size_t n, rf->Read(sizeof(chunk), chunk));
       if (n == 0) {
         eof = true;
         break;
       }
-      buf.append(chunk, static_cast<size_t>(n));
+      buf.append(chunk, n);
     }
     return Status::OK();
   };
@@ -151,24 +186,26 @@ Status Journal::Replay(
     pos += 8 + static_cast<size_t>(len);
     good_end = consumed + pos;
   }
-  ::close(rfd);
   if (result.ok() && torn) {
     // Crash mid-append: drop the partial tail so the next Append continues
     // a clean log instead of burying new records behind garbage.
-    if (::truncate(path_.c_str(), static_cast<off_t>(good_end)) != 0) {
+    Status truncated = env_->Truncate(path_, good_end);
+    if (!truncated.ok()) {
       return Status::IOError("journal truncate after torn tail: " +
-                             std::string(std::strerror(errno)));
+                             truncated.message());
     }
+  }
+  if (result.ok()) {
+    size_ = good_end;
+    broken_ = false;
   }
   return result;
 }
 
 Status Journal::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (::fsync(fd_) != 0) {
-    return Status::IOError("journal fsync: " + std::string(strerror(errno)));
-  }
-  return Status::OK();
+  if (durability() == DurabilityMode::kNone) return Status::OK();
+  return file_->Sync();
 }
 
 }  // namespace gaea

@@ -5,6 +5,10 @@
 // overwritten (the paper: "In no case is the old process overwritten"), so
 // an append-only log is the natural durable representation. Replay stops
 // cleanly at the first torn/corrupt record, tolerating a crash mid-append.
+//
+// All file I/O goes through an Env (util/env.h), so the journal can be
+// exercised under injected faults; see docs/ROBUSTNESS.md for the crash
+// matrix this layer is tested against.
 
 #ifndef GAEA_STORAGE_JOURNAL_H_
 #define GAEA_STORAGE_JOURNAL_H_
@@ -15,7 +19,9 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 
+#include "util/env.h"
 #include "util/status.h"
 
 namespace gaea {
@@ -23,16 +29,33 @@ namespace gaea {
 // CRC-32 (IEEE 802.3 polynomial) of `data`.
 uint32_t Crc32(const void* data, size_t size);
 
+// When appended records become durable (journal Sync policy):
+//   kNone  — never fsynced; a crash may lose anything since open.
+//   kOs    — fsynced at Sync() points (kernel Flush, server shutdown); a
+//            crash may lose records appended since the last Sync. Default.
+//   kFsync — fsynced on every Append; a crash loses at most a torn tail.
+enum class DurabilityMode : uint8_t { kNone = 0, kOs = 1, kFsync = 2 };
+
+const char* DurabilityModeName(DurabilityMode mode);
+StatusOr<DurabilityMode> ParseDurabilityMode(std::string_view text);
+
 class Journal {
  public:
-  // Opens (creating if needed) the journal file for appending.
-  static StatusOr<std::unique_ptr<Journal>> Open(const std::string& path);
-  ~Journal();
+  // Opens (creating if needed) the journal file for appending. Creating the
+  // file also fsyncs its parent directory, so a crash immediately after
+  // first open cannot lose the directory entry itself.
+  static StatusOr<std::unique_ptr<Journal>> Open(const std::string& path,
+                                                 Env* env = Env::Default());
+  ~Journal() = default;
 
   Journal(const Journal&) = delete;
   Journal& operator=(const Journal&) = delete;
 
-  // Appends one record (length + crc + payload) and flushes to the OS.
+  // Appends one record (length + crc + payload), looping over short writes.
+  // A failed append that left a partial frame on disk is healed in place by
+  // truncating back to the last good record boundary; if even that fails,
+  // the journal refuses further appends (kFailedPrecondition) rather than
+  // bury a torn frame under new records.
   Status Append(const std::string& record);
 
   // Replays every intact record in order, reading the file in fixed-size
@@ -47,17 +70,31 @@ class Journal {
   // Number of records appended through this handle (not total in file).
   int64_t appended() const { return appended_.load(std::memory_order_acquire); }
 
-  // Forces data to disk (fsync).
+  // Forces data to disk per the durability mode (no-op under kNone).
   Status Sync();
 
+  void set_durability(DurabilityMode mode) {
+    durability_.store(mode, std::memory_order_release);
+  }
+  DurabilityMode durability() const {
+    return durability_.load(std::memory_order_acquire);
+  }
+
  private:
-  Journal(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  Journal(std::unique_ptr<WritableFile> file, std::string path, Env* env,
+          uint64_t size)
+      : env_(env), file_(std::move(file)), path_(std::move(path)),
+        size_(size) {}
 
   // Serializes appends so concurrent records never interleave in the file.
   mutable std::mutex mu_;
-  int fd_;
+  Env* env_;
+  std::unique_ptr<WritableFile> file_;
   std::string path_;
+  mutable uint64_t size_ = 0;   // bytes of intact records (guarded by mu_)
+  mutable bool broken_ = false; // torn tail on disk that could not be healed
   std::atomic<int64_t> appended_{0};
+  std::atomic<DurabilityMode> durability_{DurabilityMode::kOs};
 };
 
 }  // namespace gaea

@@ -1,17 +1,91 @@
 #include "storage/object_store.h"
 
+#include <cstring>
 #include <limits>
+#include <utility>
+#include <vector>
 
 namespace gaea {
 
+namespace {
+
+// Heap records are self-describing: [u64 oid][payload]. The header makes
+// the OID index *derived* data — after a crash tears the index, it is
+// rebuilt from the heap, the single source of truth.
+constexpr size_t kOidHeaderBytes = 8;
+
+std::string WrapPayload(Oid oid, const std::string& payload) {
+  std::string record(kOidHeaderBytes, '\0');
+  std::memcpy(record.data(), &oid, kOidHeaderBytes);
+  record.append(payload);
+  return record;
+}
+
+bool UnwrapOid(const std::string& record, Oid* oid) {
+  if (record.size() < kOidHeaderBytes) return false;
+  std::memcpy(oid, record.data(), kOidHeaderBytes);
+  return true;
+}
+
+}  // namespace
+
 StatusOr<std::unique_ptr<ObjectStore>> ObjectStore::Open(
-    const std::string& prefix, size_t pool_capacity) {
+    const std::string& prefix, size_t pool_capacity, Env* env) {
   GAEA_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> heap,
-                        HeapFile::Open(prefix + ".heap", pool_capacity));
+                        HeapFile::Open(prefix + ".heap", pool_capacity, env));
   GAEA_ASSIGN_OR_RETURN(std::unique_ptr<BTree> index,
-                        BTree::Open(prefix + ".idx", pool_capacity));
+                        BTree::Open(prefix + ".idx", pool_capacity, env));
   std::unique_ptr<ObjectStore> store(
       new ObjectStore(std::move(heap), std::move(index)));
+
+  // Crash reconciliation: the heap and index are separate files, so a crash
+  // can flush one and not the other. The heap is the source of truth —
+  // entries whose record is gone (truncated page, wrong OID header) are
+  // scrubbed, and intact records the index lost (a torn index was reset by
+  // BTree::Open, or an index page never reached disk) are reinserted.
+  // kIOError is a real I/O problem, not a tear, and still fails the open.
+  if (!store->index_->repaired_on_open()) {
+    std::vector<std::pair<int64_t, uint64_t>> dangling;
+    GAEA_RETURN_IF_ERROR(store->index_->Scan(
+        std::numeric_limits<int64_t>::min(),
+        std::numeric_limits<int64_t>::max(),
+        [&](int64_t key, uint64_t rid_enc) -> Status {
+          StatusOr<std::string> record =
+              store->heap_->Read(Rid::Decode(rid_enc));
+          if (!record.ok()) {
+            if (record.status().code() == StatusCode::kIOError) {
+              return record.status();
+            }
+            dangling.emplace_back(key, rid_enc);
+            return Status::OK();
+          }
+          Oid header = kInvalidOid;
+          if (!UnwrapOid(*record, &header) ||
+              header != static_cast<Oid>(key)) {
+            dangling.emplace_back(key, rid_enc);
+          }
+          return Status::OK();
+        }));
+    for (const auto& [key, rid_enc] : dangling) {
+      GAEA_RETURN_IF_ERROR(store->index_->Delete(key, rid_enc));
+    }
+    store->scrubbed_entries_ = dangling.size();
+  }
+  GAEA_RETURN_IF_ERROR(store->heap_->ForEachReadable(
+      [&store](const Rid& rid, const std::string& record) -> Status {
+        Oid oid = kInvalidOid;
+        if (!UnwrapOid(record, &oid) || oid == kInvalidOid) {
+          return Status::OK();  // not a record this store wrote
+        }
+        if (store->index_->LookupFirst(static_cast<int64_t>(oid)).ok()) {
+          return Status::OK();
+        }
+        GAEA_RETURN_IF_ERROR(
+            store->index_->Insert(static_cast<int64_t>(oid), rid.Encode()));
+        store->restored_entries_++;
+        return Status::OK();
+      }));
+
   // Recover the next OID as (max stored OID) + 1.
   Oid max_oid = 0;
   GAEA_RETURN_IF_ERROR(store->index_->Scan(
@@ -44,7 +118,7 @@ Status ObjectStore::PutWithOidLocked(Oid oid, const std::string& payload) {
     return Status::AlreadyExists("object " + std::to_string(oid) +
                                  " already stored");
   }
-  GAEA_ASSIGN_OR_RETURN(Rid rid, heap_->Insert(payload));
+  GAEA_ASSIGN_OR_RETURN(Rid rid, heap_->Insert(WrapPayload(oid, payload)));
   GAEA_RETURN_IF_ERROR(
       index_->Insert(static_cast<int64_t>(oid), rid.Encode()));
   if (oid >= next_oid_) next_oid_ = oid + 1;
@@ -56,7 +130,13 @@ StatusOr<std::string> ObjectStore::Get(Oid oid) const {
   if (!rid_or.ok()) {
     return Status::NotFound("object " + std::to_string(oid) + " not stored");
   }
-  return heap_->Read(Rid::Decode(*rid_or));
+  GAEA_ASSIGN_OR_RETURN(std::string record, heap_->Read(Rid::Decode(*rid_or)));
+  Oid header = kInvalidOid;
+  if (!UnwrapOid(record, &header) || header != oid) {
+    return Status::Corruption("object " + std::to_string(oid) +
+                              ": heap record does not carry its OID");
+  }
+  return record.substr(kOidHeaderBytes);
 }
 
 bool ObjectStore::Contains(Oid oid) const {
@@ -76,9 +156,13 @@ Status ObjectStore::ForEach(
   return index_->Scan(
       std::numeric_limits<int64_t>::min(), std::numeric_limits<int64_t>::max(),
       [this, &fn](int64_t key, uint64_t rid_enc) -> Status {
-        GAEA_ASSIGN_OR_RETURN(std::string payload,
+        GAEA_ASSIGN_OR_RETURN(std::string record,
                               heap_->Read(Rid::Decode(rid_enc)));
-        return fn(static_cast<Oid>(key), payload);
+        if (record.size() < kOidHeaderBytes) {
+          return Status::Corruption("object " + std::to_string(key) +
+                                    ": heap record shorter than OID header");
+        }
+        return fn(static_cast<Oid>(key), record.substr(kOidHeaderBytes));
       });
 }
 

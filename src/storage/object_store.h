@@ -26,9 +26,11 @@ constexpr Oid kInvalidOid = 0;
 
 class ObjectStore {
  public:
-  // Opens (creating if needed) the store files `prefix`.heap / `prefix`.idx.
+  // Opens (creating if needed) the store files `prefix`.heap / `prefix`.idx;
+  // all I/O goes through `env`.
   static StatusOr<std::unique_ptr<ObjectStore>> Open(
-      const std::string& prefix, size_t pool_capacity = 256);
+      const std::string& prefix, size_t pool_capacity = 256,
+      Env* env = Env::Default());
 
   // Stores `payload` under a freshly allocated OID.
   StatusOr<Oid> Put(const std::string& payload);
@@ -50,7 +52,23 @@ class ObjectStore {
     return next_oid_;
   }
 
+  // Raises the OID allocator floor. Recovery uses this after a crash that
+  // lost index pages: OIDs recorded in the task log must never be handed out
+  // again, even if the objects themselves vanished.
+  void EnsureNextOidAtLeast(Oid floor) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (floor > next_oid_) next_oid_ = floor;
+  }
+
   Status Flush();
+
+  // Crash-reconciliation counters from Open. Scrubbed: index entries whose
+  // heap record was gone (the index page reached disk, the heap page did
+  // not); the entries were deleted. Restored: intact heap records the index
+  // had lost (the reverse tear, or a torn index that BTree::Open reset);
+  // reinserted from the records' OID headers.
+  size_t scrubbed_entries() const { return scrubbed_entries_; }
+  size_t restored_entries() const { return restored_entries_; }
 
   // Buffer pools backing the store, for stats surfaces.
   BufferPool* heap_pool() { return heap_->pool(); }
@@ -70,6 +88,8 @@ class ObjectStore {
   std::unique_ptr<HeapFile> heap_;
   std::unique_ptr<BTree> index_;
   Oid next_oid_ = 1;
+  size_t scrubbed_entries_ = 0;
+  size_t restored_entries_ = 0;
 };
 
 }  // namespace gaea

@@ -1,0 +1,400 @@
+#include "util/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gaea {
+
+namespace {
+
+std::string Errno(const char* op, const std::string& path) {
+  return std::string(op) + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WritableFile base: the short-write loop every caller shares
+// ---------------------------------------------------------------------------
+
+Status WritableFile::Append(std::string_view data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    StatusOr<size_t> n = AppendSome(data.substr(written));
+    if (!n.ok()) {
+      return Status::IOError("append failed after " + std::to_string(written) +
+                             " of " + std::to_string(data.size()) +
+                             " bytes: " + n.status().message());
+    }
+    written += *n;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// PosixEnv
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override { ::close(fd_); }
+
+  StatusOr<size_t> AppendSome(std::string_view data) override {
+    for (;;) {
+      ssize_t n = ::write(fd_, data.data(), data.size());
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(Errno("write", path_));
+      }
+      return static_cast<size_t>(n);
+    }
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::IOError(Errno("fsync", path_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  StatusOr<size_t> Read(uint64_t offset, size_t n,
+                        char* scratch) const override {
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::pread(fd_, scratch + got, n - got,
+                          static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(Errno("pread", path_));
+      }
+      if (r == 0) break;  // end of file
+      got += static_cast<size_t>(r);
+    }
+    return got;
+  }
+
+  Status Write(uint64_t offset, std::string_view data) override {
+    size_t written = 0;
+    while (written < data.size()) {
+      ssize_t n = ::pwrite(fd_, data.data() + written, data.size() - written,
+                           static_cast<off_t>(offset + written));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("pwrite " + path_ + " failed after " +
+                               std::to_string(written) + " of " +
+                               std::to_string(data.size()) +
+                               " bytes: " + std::strerror(errno));
+      }
+      written += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::IOError(Errno("fsync", path_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixSequentialFile : public SequentialFile {
+ public:
+  PosixSequentialFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixSequentialFile() override { ::close(fd_); }
+
+  StatusOr<size_t> Read(size_t n, char* scratch) override {
+    for (;;) {
+      ssize_t r = ::read(fd_, scratch, n);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(Errno("read", path_));
+      }
+      return static_cast<size_t>(r);
+    }
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return Status::IOError(Errno("open", path));
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+  }
+
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) return Status::IOError(Errno("open", path));
+    return std::unique_ptr<RandomAccessFile>(
+        new PosixRandomAccessFile(fd, path));
+  }
+
+  StatusOr<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound(Errno("open", path));
+      return Status::IOError(Errno("open", path));
+    }
+    return std::unique_ptr<SequentialFile>(new PosixSequentialFile(fd, path));
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  StatusOr<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return Status::IOError(Errno("stat", path));
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status Truncate(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Status::IOError(Errno("truncate", path));
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return Status::IOError(Errno("open dir", dir));
+    Status result = Status::OK();
+    if (::fsync(fd) != 0) {
+      // Some file systems refuse fsync on directories (EINVAL); that is a
+      // property of the mount, not a durability failure we can act on.
+      if (errno != EINVAL) result = Status::IOError(Errno("fsync dir", dir));
+    }
+    ::close(fd);
+    return result;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv posix_env;
+  return &posix_env;
+}
+
+Status Env::SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  return SyncDir(dir);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingEnv
+// ---------------------------------------------------------------------------
+
+Status FaultInjectingEnv::CheckAlive() const {
+  if (crashed()) {
+    return Status::IOError("injected crash: the process is dead; no write "
+                           "may reach the disk");
+  }
+  return Status::OK();
+}
+
+StatusOr<size_t> FaultInjectingEnv::AdmitWrite(size_t size) {
+  GAEA_RETURN_IF_ERROR(CheckAlive());
+  FaultPlan plan;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan = plan_;
+  }
+  uint64_t op = write_ops_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (plan.crash_after_writes != 0 && op >= plan.crash_after_writes) {
+    TriggerCrash();
+    if (plan.torn_tail && size > 1) {
+      // The dying write persists a prefix: the torn frame/page recovery
+      // must truncate away. The caller still sees the crash as an error.
+      return size / 2;
+    }
+    return Status::IOError("injected crash at write op " +
+                           std::to_string(op));
+  }
+  if (plan.byte_budget != 0) {
+    uint64_t used = bytes_written_.load(std::memory_order_acquire);
+    if (used + size > plan.byte_budget) {
+      return Status::IOError("No space left on device (injected) after " +
+                             std::to_string(used) + " bytes");
+    }
+  }
+  size_t allowed = size;
+  if (plan.short_write_every != 0 && op % plan.short_write_every == 0 &&
+      size > 1) {
+    allowed = size / 2;
+  }
+  bytes_written_.fetch_add(allowed, std::memory_order_acq_rel);
+  return allowed;
+}
+
+Status FaultInjectingEnv::AdmitPageWrite(size_t size) {
+  GAEA_RETURN_IF_ERROR(CheckAlive());
+  FaultPlan plan;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan = plan_;
+  }
+  uint64_t op = write_ops_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (plan.crash_after_writes != 0 && op >= plan.crash_after_writes) {
+    TriggerCrash();
+    return Status::IOError("injected crash at write op " + std::to_string(op));
+  }
+  if (plan.byte_budget != 0) {
+    uint64_t used = bytes_written_.load(std::memory_order_acquire);
+    if (used + size > plan.byte_budget) {
+      return Status::IOError("No space left on device (injected) after " +
+                             std::to_string(used) + " bytes");
+    }
+  }
+  bytes_written_.fetch_add(size, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::CheckSync() {
+  GAEA_RETURN_IF_ERROR(CheckAlive());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plan_.fail_sync) {
+    return Status::IOError("injected fsync failure");
+  }
+  return Status::OK();
+}
+
+class FaultInjectingWritableFile : public WritableFile {
+ public:
+  FaultInjectingWritableFile(FaultInjectingEnv* env,
+                             std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  StatusOr<size_t> AppendSome(std::string_view data) override {
+    auto admitted = env_->AdmitWrite(data.size());
+    bool crash_prefix = !admitted.ok() ? false
+                                       : env_->crashed();  // torn-tail grant
+    if (!admitted.ok()) return admitted.status();
+    StatusOr<size_t> n = base_->AppendSome(data.substr(0, *admitted));
+    if (!n.ok()) return n;
+    if (crash_prefix) {
+      // The prefix hit the file, then the process died.
+      return Status::IOError("injected crash mid-write (torn tail of " +
+                             std::to_string(*n) + " bytes persisted)");
+    }
+    return n;
+  }
+
+  Status Sync() override {
+    GAEA_RETURN_IF_ERROR(env_->CheckSync());
+    return base_->Sync();
+  }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+class FaultInjectingRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultInjectingRandomAccessFile(FaultInjectingEnv* env,
+                                 std::unique_ptr<RandomAccessFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  StatusOr<size_t> Read(uint64_t offset, size_t n,
+                        char* scratch) const override {
+    return base_->Read(offset, n, scratch);
+  }
+
+  Status Write(uint64_t offset, std::string_view data) override {
+    // Page writes are all-or-nothing in the fault model: pages carry no
+    // checksum, so the storage layer could not detect an intra-page tear —
+    // torn tails are an append (journal) phenomenon, where frame checksums
+    // catch them. The crashing page write simply never reaches the disk.
+    GAEA_RETURN_IF_ERROR(env_->AdmitPageWrite(data.size()));
+    return base_->Write(offset, data);
+  }
+
+  Status Sync() override {
+    GAEA_RETURN_IF_ERROR(env_->CheckSync());
+    return base_->Sync();
+  }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<RandomAccessFile> base_;
+};
+
+StatusOr<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path) {
+  GAEA_RETURN_IF_ERROR(CheckAlive());
+  GAEA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                        base_->NewWritableFile(path));
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectingWritableFile(this, std::move(base)));
+}
+
+StatusOr<std::unique_ptr<RandomAccessFile>>
+FaultInjectingEnv::NewRandomAccessFile(const std::string& path) {
+  GAEA_RETURN_IF_ERROR(CheckAlive());
+  GAEA_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> base,
+                        base_->NewRandomAccessFile(path));
+  return std::unique_ptr<RandomAccessFile>(
+      new FaultInjectingRandomAccessFile(this, std::move(base)));
+}
+
+StatusOr<std::unique_ptr<SequentialFile>> FaultInjectingEnv::NewSequentialFile(
+    const std::string& path) {
+  return base_->NewSequentialFile(path);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+StatusOr<uint64_t> FaultInjectingEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+Status FaultInjectingEnv::Truncate(const std::string& path, uint64_t size) {
+  GAEA_RETURN_IF_ERROR(AdmitPageWrite(0));
+  return base_->Truncate(path, size);
+}
+
+Status FaultInjectingEnv::SyncDir(const std::string& dir) {
+  GAEA_RETURN_IF_ERROR(CheckSync());
+  return base_->SyncDir(dir);
+}
+
+}  // namespace gaea

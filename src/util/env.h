@@ -1,0 +1,198 @@
+// Pluggable file-system abstraction (Env) for the storage layer.
+//
+// Every durable byte Gaea writes — journal frames, heap/B+tree pages —
+// flows through an Env, so the whole stack can be exercised under injected
+// I/O failure. PosixEnv is the real thing; FaultInjectingEnv wraps any Env
+// and injects short writes, ENOSPC, failed fsyncs, torn tails, and
+// deterministic crash points by write-op count, which is what the crash
+// harness (tools/gaea_crashtest.cc) sweeps. See docs/ROBUSTNESS.md.
+
+#ifndef GAEA_UTIL_ENV_H_
+#define GAEA_UTIL_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace gaea {
+
+// Append-only file handle (journals).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  // Writes a *prefix* of `data` (at least one byte on success) and returns
+  // the byte count. Real file systems return short writes near ENOSPC and
+  // on signal interruption; callers must loop — or use Append below.
+  virtual StatusOr<size_t> AppendSome(std::string_view data) = 0;
+
+  // Appends all of `data`, looping over short AppendSome returns. On
+  // failure the error names the byte offset reached within `data`, so the
+  // caller knows how much of the record is now a torn tail.
+  Status Append(std::string_view data);
+
+  // Forces written data to stable storage (fsync).
+  virtual Status Sync() = 0;
+};
+
+// Positioned read/write handle (buffer-pool page files).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  // Reads up to `n` bytes at `offset` into `scratch`; returns the count
+  // (short only at end of file, 0 at EOF).
+  virtual StatusOr<size_t> Read(uint64_t offset, size_t n,
+                                char* scratch) const = 0;
+
+  // Writes all of `data` at `offset`; a partial write is an error (the
+  // message names the byte offset reached).
+  virtual Status Write(uint64_t offset, std::string_view data) = 0;
+
+  // Forces written data to stable storage (fsync).
+  virtual Status Sync() = 0;
+};
+
+// Forward-only read handle (journal replay).
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  // Reads up to `n` bytes into `scratch`; 0 means end of file.
+  virtual StatusOr<size_t> Read(size_t n, char* scratch) = 0;
+};
+
+// The file-system interface the storage layer is written against.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // The process-wide PosixEnv singleton.
+  static Env* Default();
+
+  // Opens `path` for appending, creating it if missing.
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  // Opens `path` for positioned read/write, creating it if missing.
+  virtual StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+
+  // Opens an existing `path` for sequential reading; kNotFound if missing.
+  virtual StatusOr<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  // Fsyncs the directory itself, making directory entries (freshly created
+  // files) durable — a file created and fsynced is still lost by a crash if
+  // its directory entry never reached disk.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  // SyncDir on the directory containing `path`.
+  Status SyncParentDir(const std::string& path);
+};
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+// An Env decorator that forwards to `base` while injecting faults according
+// to a FaultPlan. Every write-shaped operation (AppendSome, positioned
+// Write, Truncate) counts as one "write op"; the plan's crash point and
+// short-write cadence are expressed in that unit, so a workload replayed
+// with the same seed crashes at exactly the same place.
+//
+// After the crash point fires (or TriggerCrash), *every* mutating operation
+// and every Sync fails with kIOError("injected crash ...") until Reset() —
+// modeling a process that died: nothing written after the crash instant may
+// reach the disk, including destructor-time flushes.
+class FaultInjectingEnv : public Env {
+ public:
+  struct FaultPlan {
+    // Crash on the Nth write op (1-based); 0 disables. When torn_tail is
+    // set, a crashing *append* persists only a prefix, leaving a torn
+    // journal frame for replay to truncate. Positioned page writes are
+    // all-or-nothing (pages carry no checksum, so an intra-page tear would
+    // be undetectable): the crashing page write never reaches the disk.
+    uint64_t crash_after_writes = 0;
+    bool torn_tail = true;
+
+    // Every Nth append op returns a short write (at least 1 byte);
+    // 0 disables. Exercises callers' short-write loops.
+    uint64_t short_write_every = 0;
+
+    // Total byte budget across all writes; once exhausted, writes fail
+    // with kIOError("No space left on device (injected)"). 0 disables.
+    uint64_t byte_budget = 0;
+
+    // Every Sync fails with kIOError("injected fsync failure").
+    bool fail_sync = false;
+  };
+
+  explicit FaultInjectingEnv(Env* base) : base_(base) {}
+
+  void set_plan(const FaultPlan& plan) {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan_ = plan;
+  }
+
+  // Fails all subsequent mutating operations, as the crash point would.
+  void TriggerCrash() { crashed_.store(true, std::memory_order_release); }
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+  // Write ops observed so far (the crash-point unit).
+  uint64_t write_ops() const {
+    return write_ops_.load(std::memory_order_acquire);
+  }
+
+  // Clears the crashed flag and counters; the plan is kept.
+  void Reset() {
+    crashed_.store(false, std::memory_order_release);
+    write_ops_.store(0, std::memory_order_release);
+    bytes_written_.store(0, std::memory_order_release);
+  }
+
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  StatusOr<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  StatusOr<uint64_t> FileSize(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status SyncDir(const std::string& dir) override;
+
+ private:
+  friend class FaultInjectingWritableFile;
+  friend class FaultInjectingRandomAccessFile;
+
+  // Admission control for one append of `size` bytes. Returns the number of
+  // bytes the fault plan allows through (possibly < size for a short write
+  // or torn tail), or an error when the op must fail outright.
+  StatusOr<size_t> AdmitWrite(size_t size);
+  // Admission control for one all-or-nothing page write (or truncate):
+  // either every byte goes through or the op fails.
+  Status AdmitPageWrite(size_t size);
+  Status CheckAlive() const;
+  Status CheckSync();
+
+  Env* base_;
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  std::atomic<bool> crashed_{false};
+  std::atomic<uint64_t> write_ops_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_UTIL_ENV_H_

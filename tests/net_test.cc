@@ -432,6 +432,81 @@ TEST_F(NetTest, BackpressureReturnsUnavailable) {
   ASSERT_OK(client->Ping());
 }
 
+TEST_F(NetTest, RetriedDeriveWithSameIdempotencyKeyExecutesOnce) {
+  StartServer(GaeaServer::Options());
+  ASSERT_OK(kernel_->DefineProcess(
+      MakeIdentityProcess("remote-ident", "ident_out", nullptr)));
+  Oid input = InsertSample(7);
+  size_t tasks_before = kernel_->GetStats().tasks;
+
+  // Two fresh connections with the same pinned nonce issue the same derive:
+  // this is the shape of a retry whose first response was lost — the client
+  // reconnected and sent the identical (nonce, request id) pair.
+  GaeaClient::Options options;
+  options.idem_nonce = 0xFEEDFACE;
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<GaeaClient> first,
+      GaeaClient::Connect("127.0.0.1", server_->port(), options));
+  bool cache_hit = true;
+  ASSERT_OK_AND_ASSIGN(Oid derived,
+                       first->Derive("remote-ident", {{"in", {input}}},
+                                     /*version=*/0, &cache_hit));
+  EXPECT_FALSE(cache_hit);
+
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<GaeaClient> retry,
+      GaeaClient::Connect("127.0.0.1", server_->port(), options));
+  cache_hit = true;
+  ASSERT_OK_AND_ASSIGN(Oid replayed,
+                       retry->Derive("remote-ident", {{"in", {input}}},
+                                     /*version=*/0, &cache_hit));
+
+  // Same OID, and cache_hit is still false: the response was replayed from
+  // the idempotency cache, not re-derived (a re-execution would have hit the
+  // derivation cache and reported cache_hit = true).
+  EXPECT_EQ(replayed, derived);
+  EXPECT_FALSE(cache_hit);
+  EXPECT_EQ(kernel_->GetStats().tasks, tasks_before + 1);
+  EXPECT_EQ(server_->stats().dedup_hits, 1u);
+}
+
+TEST_F(NetTest, RetryPolicyAbsorbsBackpressure) {
+  GaeaServer::Options options;
+  options.workers = 1;
+  options.max_inflight = 1;  // the slow job saturates admission
+  StartServer(options);
+
+  Oid slow_input = InsertSample(1);
+  std::thread blocker([this, slow_input] {
+    auto client = GaeaClient::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(client.ok());
+    EXPECT_TRUE(
+        (*client)->Derive("slow-ident", {{"in", {slow_input}}}).ok());
+  });
+  WaitForInFlight(1);
+
+  // Same saturation as BackpressureReturnsUnavailable, but this client is
+  // allowed to retry: the kUnavailable rejections are absorbed by backoff
+  // and the call succeeds once the slow job drains.
+  GaeaClient::Options client_options;
+  client_options.retry.max_attempts = 50;
+  client_options.retry.initial_backoff_ms = 20;
+  client_options.retry.max_backoff_ms = 100;
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<GaeaClient> client,
+      GaeaClient::Connect("127.0.0.1", server_->port(), client_options));
+  ASSERT_OK_AND_ASSIGN(Oid derived,
+                       client->Derive("slow-ident", {{"in", {InsertSample(2)}}}));
+  EXPECT_NE(derived, kInvalidOid);
+  blocker.join();
+
+  ServerStats stats = server_->stats();
+  // The retries really did meet a saturated server...
+  EXPECT_GE(stats.rejected_overload, 1u);
+  // ...and none of that surfaced as an executed-request failure.
+  EXPECT_EQ(stats.requests_error, 0u);
+}
+
 TEST_F(NetTest, GracefulShutdownDrainsInFlightWork) {
   StartServer(GaeaServer::Options());
   Oid slow_input = InsertSample(1);

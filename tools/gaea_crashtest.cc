@@ -1,0 +1,210 @@
+// gaea_crashtest: randomized crash-recovery harness (docs/ROBUSTNESS.md).
+//
+// For each seed, the randomized insert/derive/flush workload
+// (src/testing/crash_workload.h) is first run to completion on a
+// FaultInjectingEnv with no faults, counting its write ops W. The harness
+// then sweeps crash points k across [1, W] — each in a fresh database
+// directory — arming the env to crash (usually with a torn tail, sometimes
+// under a short-write regime) at the k-th write op, running the workload
+// into the crash, then clearing the fault, reopening, and checking the
+// recovery invariants. Any violation prints the seed and writes it to the
+// failing-seed file so CI can upload it and a developer can replay it:
+//
+//   gaea_crashtest [--seeds N | --seed S] [--rounds N] [--max-points N]
+//                  [--dir BASE] [--fail-file PATH]
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "testing/crash_workload.h"
+#include "util/env.h"
+
+namespace {
+
+struct Flags {
+  uint64_t seeds = 20;       // sweep seeds 1..N
+  uint64_t seed = 0;         // nonzero: run only this seed
+  int rounds = 6;            // workload insert+derive rounds
+  uint64_t max_points = 64;  // crash points per seed (evenly sampled)
+  std::string dir;           // base scratch directory (default: mkdtemp)
+  std::string fail_file = "crashtest_failed_seed.txt";
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seeds N | --seed S] [--rounds N] "
+               "[--max-points N] [--dir BASE] [--fail-file PATH]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseU64(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+// The database directory is flat (journals, heap, index files), so a
+// non-recursive sweep is enough to reclaim each crash cycle's scratch.
+void RemoveTree(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return;
+  while (dirent* entry = ::readdir(handle)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    ::unlink((dir + "/" + name).c_str());
+  }
+  ::closedir(handle);
+  ::rmdir(dir.c_str());
+}
+
+void ReportFailure(const Flags& flags, uint64_t seed, uint64_t point,
+                   const std::string& dir, const gaea::Status& status) {
+  std::fprintf(stderr,
+               "FAILED seed=%llu crash_point=%llu dir=%s\n  %s\n"
+               "replay: gaea_crashtest --seed %llu --rounds %d\n",
+               static_cast<unsigned long long>(seed),
+               static_cast<unsigned long long>(point), dir.c_str(),
+               status.ToString().c_str(),
+               static_cast<unsigned long long>(seed), flags.rounds);
+  std::FILE* f = std::fopen(flags.fail_file.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(f, "seed=%llu crash_point=%llu rounds=%d\n%s\n",
+                 static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(point), flags.rounds,
+                 status.ToString().c_str());
+    std::fclose(f);
+  }
+}
+
+// Runs every crash cycle for one seed; returns false on the first
+// invariant violation (scratch of the failing cycle is kept for autopsy).
+bool RunSeed(const Flags& flags, uint64_t seed, uint64_t* cycles) {
+  gaea::FaultInjectingEnv env(gaea::Env::Default());
+  gaea::crashtest::WorkloadOptions workload;
+  workload.seed = seed;
+  workload.rounds = flags.rounds;
+
+  const std::string base =
+      flags.dir + "/s" + std::to_string(seed);
+
+  // Fault-free dry run: the workload itself must be clean, and its write-op
+  // count bounds the crash sweep.
+  std::string dry_dir = base + "_dry";
+  ::mkdir(dry_dir.c_str(), 0755);
+  gaea::Status dry = gaea::crashtest::RunWorkload(dry_dir, &env, workload);
+  if (!dry.ok()) {
+    ReportFailure(flags, seed, 0, dry_dir, dry);
+    return false;
+  }
+  const uint64_t total_writes = env.write_ops();
+  RemoveTree(dry_dir);
+
+  // Evenly sampled crash points across [1, total_writes].
+  std::vector<uint64_t> points;
+  if (total_writes <= flags.max_points) {
+    for (uint64_t k = 1; k <= total_writes; ++k) points.push_back(k);
+  } else {
+    for (uint64_t i = 0; i < flags.max_points; ++i) {
+      points.push_back(1 + i * (total_writes - 1) / (flags.max_points - 1));
+    }
+  }
+
+  for (uint64_t point : points) {
+    std::string dir = base + "_p" + std::to_string(point);
+    ::mkdir(dir.c_str(), 0755);
+
+    gaea::FaultInjectingEnv::FaultPlan plan;
+    plan.crash_after_writes = point;
+    plan.torn_tail = (seed + point) % 3 != 0;
+    plan.short_write_every = (point % 4 == 0) ? 3 : 0;
+    env.Reset();
+    env.set_plan(plan);
+
+    gaea::Status crashed = gaea::crashtest::RunWorkload(dir, &env, workload);
+    if (!env.crashed()) {
+      // Short writes only add ops, so point <= total_writes must fire.
+      ReportFailure(flags, seed, point, dir,
+                    gaea::Status::Internal(
+                        "crash point never fired (workload status: " +
+                        crashed.ToString() + ")"));
+      return false;
+    }
+
+    env.Reset();
+    env.set_plan(gaea::FaultInjectingEnv::FaultPlan());
+    gaea::Status verified = gaea::crashtest::VerifyRecovered(dir, &env);
+    if (!verified.ok()) {
+      ReportFailure(flags, seed, point, dir, verified);
+      return false;
+    }
+    RemoveTree(dir);
+    ++*cycles;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value;
+    uint64_t rounds = 0;
+    if (arg == "--seeds" && (value = next()) && ParseU64(value, &flags.seeds)) {
+    } else if (arg == "--seed" && (value = next()) &&
+               ParseU64(value, &flags.seed)) {
+    } else if (arg == "--rounds" && (value = next()) &&
+               ParseU64(value, &rounds)) {
+      flags.rounds = static_cast<int>(rounds);
+    } else if (arg == "--max-points" && (value = next()) &&
+               ParseU64(value, &flags.max_points)) {
+      if (flags.max_points < 2) flags.max_points = 2;
+    } else if (arg == "--dir" && (value = next())) {
+      flags.dir = value;
+    } else if (arg == "--fail-file" && (value = next())) {
+      flags.fail_file = value;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  char scratch[] = "/tmp/gaea_crashtest.XXXXXX";
+  if (flags.dir.empty()) {
+    if (::mkdtemp(scratch) == nullptr) {
+      std::perror("gaea_crashtest: mkdtemp");
+      return 1;
+    }
+    flags.dir = scratch;
+  }
+
+  uint64_t first = flags.seed != 0 ? flags.seed : 1;
+  uint64_t last = flags.seed != 0 ? flags.seed : flags.seeds;
+  uint64_t cycles = 0;
+  for (uint64_t seed = first; seed <= last; ++seed) {
+    if (!RunSeed(flags, seed, &cycles)) return 1;
+    std::printf("seed %llu ok (%llu crash cycles so far)\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(cycles));
+    std::fflush(stdout);
+  }
+  std::printf("gaea_crashtest: %llu seed(s), %llu crash/recover cycles, "
+              "all invariants held\n",
+              static_cast<unsigned long long>(last - first + 1),
+              static_cast<unsigned long long>(cycles));
+  if (flags.dir == scratch) ::rmdir(flags.dir.c_str());
+  return 0;
+}

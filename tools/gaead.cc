@@ -4,6 +4,7 @@
 //
 //   gaead --dir <db_dir> [--port N] [--host A.B.C.D] [--workers N]
 //         [--max-inflight N] [--derive-threads N]
+//         [--durability none|os|fsync]
 //
 // SIGTERM / SIGINT shut down gracefully: the listener closes, admitted
 // requests drain, journals are flushed, then the process exits 0.
@@ -26,12 +27,14 @@ struct Flags {
   int workers = 4;
   int max_inflight = 128;
   int derive_threads = 4;
+  gaea::DurabilityMode durability = gaea::DurabilityMode::kOs;
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --dir <db_dir> [--port N] [--host A.B.C.D] "
-               "[--workers N] [--max-inflight N] [--derive-threads N]\n",
+               "[--workers N] [--max-inflight N] [--derive-threads N] "
+               "[--durability none|os|fsync]\n",
                argv0);
   return 2;
 }
@@ -66,6 +69,13 @@ int main(int argc, char** argv) {
                ParseInt(value, &flags.max_inflight)) {
     } else if (arg == "--derive-threads" && (value = next()) &&
                ParseInt(value, &flags.derive_threads)) {
+    } else if (arg == "--durability" && (value = next())) {
+      auto mode = gaea::ParseDurabilityMode(value);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "gaead: %s\n", mode.status().ToString().c_str());
+        return 2;
+      }
+      flags.durability = *mode;
     } else {
       return Usage(argv[0]);
     }
@@ -83,6 +93,7 @@ int main(int argc, char** argv) {
   gaea::GaeaKernel::Options kernel_options;
   kernel_options.dir = flags.dir;
   kernel_options.user = "gaead";
+  kernel_options.durability = flags.durability;
   auto kernel = gaea::GaeaKernel::Open(kernel_options);
   if (!kernel.ok()) {
     std::fprintf(stderr, "gaead: open %s failed: %s\n", flags.dir.c_str(),
@@ -103,9 +114,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "gaead: %s\n", started.ToString().c_str());
     return 1;
   }
-  std::printf("gaead listening on %s:%d (db %s, %d workers, %d in-flight)\n",
-              flags.host.c_str(), server.port(), flags.dir.c_str(),
-              server_options.workers, server_options.max_inflight);
+  std::printf(
+      "gaead listening on %s:%d (db %s, %d workers, %d in-flight, "
+      "durability %s)\n",
+      flags.host.c_str(), server.port(), flags.dir.c_str(),
+      server_options.workers, server_options.max_inflight,
+      gaea::DurabilityModeName(flags.durability));
   std::fflush(stdout);
 
   int signo = 0;
