@@ -260,15 +260,15 @@ int Run() {
                 static_cast<unsigned long long>(stats.bytes_out));
   json += buf;
 
-  const char* path = "BENCH_bench_server.json";
-  std::FILE* out = std::fopen(path, "w");
+  std::string path = bench::ResultsPath("BENCH_bench_server.json");
+  std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path);
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
   std::fputs(json.c_str(), out);
   std::fclose(out);
-  std::printf("wrote %s\n", path);
+  std::printf("wrote %s\n", path.c_str());
 
   if (sustained < 4) {
     std::fprintf(stderr,
@@ -290,4 +290,14 @@ int Run() {
 }  // namespace
 }  // namespace gaea
 
-int main() { return gaea::Run(); }
+int main(int argc, char** argv) {
+  std::string trace_file;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) trace_file = arg.substr(8);
+  }
+  if (!trace_file.empty()) gaea::obs::Tracer::Global().Enable(true);
+  int rc = gaea::Run();
+  gaea::bench::MaybeDumpTrace(trace_file);
+  return rc;
+}

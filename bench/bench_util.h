@@ -10,9 +10,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace gaea::bench {
@@ -42,27 +44,60 @@ inline std::string FreshDir(const std::string& tag) {
   return path;
 }
 
+// Where result JSON lands: $GAEA_BENCH_RESULTS_DIR (created on demand, the
+// way CI and scripts/check_bench_regression.py run the benches) or the
+// working directory when unset.
+inline std::string ResultsPath(const std::string& file) {
+  const char* dir = std::getenv("GAEA_BENCH_RESULTS_DIR");
+  if (dir == nullptr || *dir == '\0') return file;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return std::string(dir) + "/" + file;
+}
+
+inline void MaybeDumpTrace(const std::string& file) {
+  if (file.empty()) return;
+  std::ofstream out(file);
+  if (!out) {
+    std::fprintf(stderr, "cannot open trace file %s\n", file.c_str());
+    return;
+  }
+  out << ::gaea::obs::Tracer::Global().DumpChromeJson();
+  std::fprintf(stderr, "wrote trace to %s\n", file.c_str());
+}
+
 }  // namespace gaea::bench
 
 // Emits main() for a bench binary. Unless the caller passes their own
 // --benchmark_out, results are also written as google-benchmark JSON to
-// BENCH_<name>.json in the working directory — the machine-readable record
-// CI and docs/PERF.md consume.
+// BENCH_<name>.json ($GAEA_BENCH_RESULTS_DIR or the working directory) —
+// the machine-readable record CI and docs/PERF.md consume. --trace=<file>
+// turns span collection on for the run and dumps Chrome trace JSON on exit
+// (docs/OBSERVABILITY.md).
 #define GAEA_BENCHMARK_MAIN(name)                                            \
   int main(int argc, char** argv) {                                          \
-    std::vector<char*> args(argv, argv + argc);                              \
-    std::string out_flag = "--benchmark_out=BENCH_" #name ".json";           \
+    std::vector<char*> args;                                                 \
+    std::string trace_file;                                                  \
+    for (int i = 0; i < argc; ++i) {                                         \
+      std::string arg = argv[i];                                             \
+      if (arg.rfind("--trace=", 0) == 0) {                                   \
+        trace_file = arg.substr(8);                                          \
+      } else {                                                               \
+        args.push_back(argv[i]);                                             \
+      }                                                                      \
+    }                                                                        \
+    std::string out_flag = "--benchmark_out=" +                              \
+                           ::gaea::bench::ResultsPath("BENCH_" #name ".json"); \
     std::string fmt_flag = "--benchmark_out_format=json";                    \
     bool has_out = false;                                                    \
-    for (int i = 1; i < argc; ++i) {                                         \
-      if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {          \
-        has_out = true;                                                      \
-      }                                                                      \
+    for (char* a : args) {                                                   \
+      if (std::string(a).rfind("--benchmark_out=", 0) == 0) has_out = true;  \
     }                                                                        \
     if (!has_out) {                                                          \
       args.push_back(out_flag.data());                                       \
       args.push_back(fmt_flag.data());                                       \
     }                                                                        \
+    if (!trace_file.empty()) ::gaea::obs::Tracer::Global().Enable(true);     \
     int bench_argc = static_cast<int>(args.size());                          \
     ::benchmark::Initialize(&bench_argc, args.data());                       \
     if (::benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) { \
@@ -70,6 +105,7 @@ inline std::string FreshDir(const std::string& tag) {
     }                                                                        \
     ::benchmark::RunSpecifiedBenchmarks();                                   \
     ::benchmark::Shutdown();                                                 \
+    ::gaea::bench::MaybeDumpTrace(trace_file);                               \
     return 0;                                                                \
   }                                                                          \
   static_assert(true, "")

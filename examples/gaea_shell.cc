@@ -29,7 +29,14 @@
 //   set-threads <n>          worker threads for derive-batch / compounds
 //   stats [--json]           catalog, derivation-cache and buffer-pool stats
 //                            (--json: machine-readable, for benches and CI)
+//   metrics                  Prometheus text exposition of every instrument
+//   profile                  per-process / per-operator cumulative timings
+//   trace on|off             enable / disable span collection
+//   trace <file>             dump collected spans as Chrome trace JSON
 //   quit
+//
+// Remote sessions additionally understand `metrics` (the kMetrics RPC);
+// trace and profile read the *local* process and are local-mode only.
 
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +46,7 @@
 
 #include "gaea/kernel.h"
 #include "net/client.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace gaea {
@@ -81,6 +89,9 @@ class Shell {
     if (cmd == "can-derive") return CanDerive(words);
     if (cmd == "tasks") return Tasks();
     if (cmd == "stats") return Stats(words);
+    if (cmd == "metrics") return Metrics();
+    if (cmd == "profile") return Profile();
+    if (cmd == "trace") return Trace(words);
     if (cmd == "derive-batch") return DeriveBatch(words);
     if (cmd == "set-threads") return SetThreads(words);
     if (cmd == "compare-concept") return CompareConcept(words);
@@ -336,6 +347,45 @@ class Shell {
     return true;
   }
 
+  bool Metrics() {
+    std::printf("%s", kernel_->metrics().Render().c_str());
+    return true;
+  }
+
+  bool Profile() {
+    std::printf("%s", kernel_->profiler().Table().c_str());
+    return true;
+  }
+
+  bool Trace(std::istringstream& words) {
+    std::string arg;
+    words >> arg;
+    if (arg.empty()) {
+      std::printf("usage: trace on|off | trace <file>\n");
+      return true;
+    }
+    obs::Tracer& tracer = obs::Tracer::Global();
+    if (arg == "on") {
+      tracer.Enable(true);
+      std::printf("tracing on\n");
+      return true;
+    }
+    if (arg == "off") {
+      tracer.Enable(false);
+      std::printf("tracing off\n");
+      return true;
+    }
+    std::ofstream out(arg);
+    if (!out) {
+      std::printf("cannot open %s\n", arg.c_str());
+      return true;
+    }
+    out << tracer.DumpChromeJson();
+    std::printf("wrote %zu spans to %s (open in chrome://tracing)\n",
+                tracer.spans().size(), arg.c_str());
+    return true;
+  }
+
   void PrintPool(const char* name, const GaeaKernel::PoolStats& pool) {
     std::printf("%s: hits %llu  misses %llu  evictions %llu  shards",
                 name, static_cast<unsigned long long>(pool.hits),
@@ -467,8 +517,10 @@ class RemoteShell {
     if (cmd == "derive-batch") return DeriveBatch(words);
     if (cmd == "lineage") return Lineage(words);
     if (cmd == "stats") return Stats();
+    if (cmd == "metrics") return Metrics();
     std::printf("unknown remote command: %s (remote commands: ddl, ddl-file, "
-                "derive, derive-batch, lineage, stats [--json], ping, quit)\n",
+                "derive, derive-batch, lineage, stats [--json], metrics, "
+                "ping, quit)\n",
                 cmd.c_str());
     return true;
   }
@@ -580,6 +632,16 @@ class RemoteShell {
       return true;
     }
     std::printf("%s\n", json->c_str());
+    return true;
+  }
+
+  bool Metrics() {
+    auto text = client_->Metrics();
+    if (!text.ok()) {
+      PrintStatus(text.status());
+      return true;
+    }
+    std::printf("%s", text->c_str());
     return true;
   }
 

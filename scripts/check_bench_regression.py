@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json results against a committed baseline.
+
+Usage:
+    scripts/check_bench_regression.py <baseline_dir> <current_dir> \
+        [--threshold 0.25] [--only BENCH_a.json,BENCH_b.json]
+
+Every BENCH_*.json present in both directories is compared metric by
+metric; the check fails (exit 1) when any throughput-shaped metric drops
+by more than the threshold (default 25%). Latency-shaped metrics are
+inverted into throughput so "lower is better" and "higher is better"
+series share one rule. Stdlib only — CI runs this bare.
+
+Understood schemas:
+  * google-benchmark JSON (``benchmarks`` array): items_per_second when
+    present, else 1/real_time per benchmark name.
+  * bench_parallel_derivation: 1/ms per (section, threads) scaling point.
+  * bench_server: throughput_rps per client count plus the backpressure
+    run.
+Unknown schemas are skipped with a note rather than failing, so adding a
+new bench never breaks CI before a baseline exists.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def extract_metrics(doc):
+    """Returns {metric_name: throughput_value} (higher is better)."""
+    metrics = {}
+    if "benchmarks" in doc:  # google-benchmark JSON
+        for b in doc.get("benchmarks", []):
+            if b.get("run_type") == "aggregate":
+                continue
+            name = b.get("name")
+            if not name:
+                continue
+            if "items_per_second" in b:
+                metrics[name] = float(b["items_per_second"])
+            elif b.get("real_time", 0) > 0:
+                metrics[name] = 1.0 / float(b["real_time"])
+        return metrics
+
+    # For the scaling benches, gate on the peak point of each curve: the
+    # best sustained throughput is the stable headline number, while the
+    # individual low-thread/low-client points jitter with machine load.
+    bench = doc.get("bench")
+    if bench == "bench_parallel_derivation":
+        for section in ("latency_bound", "cpu_bound"):
+            rates = [1000.0 / float(p["ms"]) for p in doc.get(section, [])
+                     if float(p.get("ms", 0)) > 0]
+            if rates:
+                metrics["%s/peak_batches_per_s" % section] = max(rates)
+        return metrics
+
+    if bench == "bench_server":
+        rates = [float(p.get("throughput_rps", 0))
+                 for p in doc.get("scaling", [])]
+        if rates:
+            metrics["scaling/peak_rps"] = max(rates)
+        bp = doc.get("backpressure")
+        if bp and "throughput_rps" in bp:
+            metrics["backpressure_rps"] = float(bp["throughput_rps"])
+        return metrics
+
+    return None  # unknown schema
+
+
+def compare_file(name, base_doc, cur_doc, threshold):
+    """Returns (regressions, checked) lists for one result file."""
+    base = extract_metrics(base_doc)
+    cur = extract_metrics(cur_doc)
+    if base is None or cur is None:
+        print("  %s: unknown schema, skipped" % name)
+        return [], []
+    regressions, checked = [], []
+    for metric, base_value in sorted(base.items()):
+        if base_value <= 0:
+            continue
+        cur_value = cur.get(metric)
+        if cur_value is None:
+            print("  %s: %s missing from current run" % (name, metric))
+            continue
+        ratio = cur_value / base_value
+        checked.append(metric)
+        line = "  %s: %s %.3f -> %.3f (%+.1f%%)" % (
+            name, metric, base_value, cur_value, 100.0 * (ratio - 1.0))
+        if ratio < 1.0 - threshold:
+            regressions.append(line)
+            print(line + "  REGRESSION")
+        else:
+            print(line)
+    return regressions, checked
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline_dir")
+    parser.add_argument("current_dir")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="fractional throughput drop that fails (0.25)")
+    parser.add_argument("--only", default="",
+                        help="comma-separated BENCH_*.json allowlist")
+    args = parser.parse_args()
+
+    only = {f for f in args.only.split(",") if f}
+    base_files = {f for f in os.listdir(args.baseline_dir)
+                  if f.startswith("BENCH_") and f.endswith(".json")}
+    if only:
+        base_files &= only
+    if not base_files:
+        print("no baseline BENCH_*.json files in %s" % args.baseline_dir)
+        return 1
+
+    all_regressions, total_checked = [], 0
+    for name in sorted(base_files):
+        cur_path = os.path.join(args.current_dir, name)
+        if not os.path.exists(cur_path):
+            print("%s: no current result (did the bench run?)" % name)
+            all_regressions.append("%s: missing current result" % name)
+            continue
+        with open(os.path.join(args.baseline_dir, name)) as f:
+            base_doc = json.load(f)
+        with open(cur_path) as f:
+            cur_doc = json.load(f)
+        regressions, checked = compare_file(name, base_doc, cur_doc,
+                                            args.threshold)
+        all_regressions.extend(regressions)
+        total_checked += len(checked)
+
+    print("checked %d metrics, %d regression(s) beyond %.0f%%"
+          % (total_checked, len(all_regressions), 100.0 * args.threshold))
+    return 1 if all_regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

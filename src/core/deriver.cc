@@ -1,6 +1,6 @@
 #include "core/deriver.h"
 
-#include <chrono>
+#include "obs/trace.h"
 
 namespace gaea {
 
@@ -25,8 +25,9 @@ StatusOr<Oid> Deriver::DeriveImpl(
 Deriver::Prepared Deriver::Prepare(
     const ProcessDef& proc,
     const std::map<std::string, std::vector<Oid>>& inputs) const {
+  obs::SpanGuard span("prepare:" + proc.name(), "derive");
   Prepared prepared;
-  prepared.start = std::chrono::steady_clock::now();
+  prepared.start_us = env_->NowMicros();
 
   // Prepare a task record up front so failures are logged too.
   Task& task = prepared.task;
@@ -46,6 +47,8 @@ Deriver::Prepared Deriver::Prepare(
   EvalContext ctx;
   ctx.ops = ops_;
   ctx.params = &proc.params();
+  ctx.profiler = profiler_;
+  ctx.env = env_;
   for (const ProcessArg& arg : proc.args()) {
     auto it = inputs.find(arg.name);
     if (it == inputs.end()) {
@@ -123,16 +126,17 @@ Deriver::Prepared Deriver::Prepare(
 }
 
 StatusOr<Oid> Deriver::Commit(Prepared prepared) {
+  obs::SpanGuard span("commit:" + prepared.task.process_name, "derive");
   Task& task = prepared.task;
-  auto finish_us = [&prepared] {
-    return std::chrono::duration_cast<std::chrono::microseconds>(
-               std::chrono::steady_clock::now() - prepared.start)
-        .count();
+  auto finish_us = [&prepared, this] {
+    uint64_t now = env_->NowMicros();
+    return now > prepared.start_us ? now - prepared.start_us : 0;
   };
   auto fail = [&](Status status) -> Status {
     task.status = TaskStatus::kFailed;
     task.error = status.ToString();
-    task.duration_us = finish_us();
+    task.duration_us = static_cast<int64_t>(finish_us());
+    if (derives_failed_ != nullptr) derives_failed_->Inc();
     // Best effort: the original error dominates a logging error.
     (void)log_->Append(std::move(task));
     return status;
@@ -144,7 +148,15 @@ StatusOr<Oid> Deriver::Commit(Prepared prepared) {
   if (!oid.ok()) return fail(oid.status());
 
   task.outputs.push_back(*oid);
-  task.duration_us = finish_us();
+  task.duration_us = static_cast<int64_t>(finish_us());
+  if (profiler_ != nullptr) {
+    profiler_->Record("process/" + task.process_name,
+                      static_cast<uint64_t>(task.duration_us));
+  }
+  if (derives_completed_ != nullptr) derives_completed_->Inc();
+  if (derive_latency_us_ != nullptr) {
+    derive_latency_us_->Observe(task.duration_us);
+  }
   GAEA_RETURN_IF_ERROR(log_->Append(std::move(task)).status());
   return *oid;
 }

@@ -11,7 +11,6 @@
 #ifndef GAEA_CORE_DERIVER_H_
 #define GAEA_CORE_DERIVER_H_
 
-#include <chrono>
 #include <map>
 #include <optional>
 #include <string>
@@ -21,7 +20,10 @@
 #include "core/planner.h"
 #include "core/process_registry.h"
 #include "core/task.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "types/op_registry.h"
+#include "util/env.h"
 #include "util/status.h"
 
 namespace gaea {
@@ -37,6 +39,18 @@ class Deriver {
   // Logical clock recorded on tasks (deterministic replays need an
   // injectable clock; the kernel advances it per operation).
   void set_clock(AbsTime now) { now_ = now; }
+  // Wall-clock source for task durations; defaults to Env::Default().
+  void set_env(Env* env) { env_ = env; }
+  // Observability sinks (optional). The profiler receives one sample per
+  // executed process and per evaluated operator; the instruments count
+  // completed/failed derivations and their latency distribution.
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+  void set_metrics(obs::Counter* completed, obs::Counter* failed,
+                   obs::Histogram* latency_us) {
+    derives_completed_ = completed;
+    derives_failed_ = failed;
+    derive_latency_us_ = latency_us;
+  }
 
   // Fires process `name` (latest version, or `version` > 0) on the given
   // input OIDs. Returns the OID of the newly stored output object.
@@ -64,7 +78,7 @@ class Deriver {
     Task task;                         // record-in-progress (no outputs yet)
     std::optional<DataObject> output;  // set iff status.ok()
     Status status = Status::OK();      // prepare outcome
-    std::chrono::steady_clock::time_point start;
+    uint64_t start_us = 0;             // Env::NowMicros at Prepare entry
   };
 
   Prepared Prepare(const ProcessDef& proc,
@@ -86,6 +100,11 @@ class Deriver {
   TaskLog* log_;
   std::string user_ = "gaea";
   AbsTime now_;
+  Env* env_ = Env::Default();
+  obs::Profiler* profiler_ = nullptr;
+  obs::Counter* derives_completed_ = nullptr;
+  obs::Counter* derives_failed_ = nullptr;
+  obs::Histogram* derive_latency_us_ = nullptr;
 };
 
 }  // namespace gaea

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/trace.h"
+
 namespace gaea {
 
 ExprPtr Expr::Literal(Value v) {
@@ -253,6 +255,17 @@ StatusOr<Value> Expr::Eval(const EvalContext& ctx) const {
       for (const ExprPtr& child : children_) {
         GAEA_ASSIGN_OR_RETURN(Value v, child->Eval(ctx));
         args.push_back(std::move(v));
+      }
+      // Time the operator invocation itself; nested calls were already
+      // timed above, so samples never overlap.
+      obs::SpanGuard span("op:" + name_, "operator");
+      if (ctx.profiler != nullptr) {
+        Env* env = ctx.env != nullptr ? ctx.env : Env::Default();
+        uint64_t start = env->NowMicros();
+        StatusOr<Value> result = ctx.ops->Invoke(name_, args);
+        uint64_t end = env->NowMicros();
+        ctx.profiler->Record("op/" + name_, end > start ? end - start : 0);
+        return result;
       }
       return ctx.ops->Invoke(name_, args);
     }

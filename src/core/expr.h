@@ -33,8 +33,10 @@
 
 #include "catalog/class_def.h"
 #include "catalog/data_object.h"
+#include "obs/profile.h"
 #include "types/op_registry.h"
 #include "types/value.h"
+#include "util/env.h"
 #include "util/serialize.h"
 #include "util/status.h"
 
@@ -61,6 +63,11 @@ struct EvalContext {
   std::map<std::string, ArgBinding> args;
   const std::map<std::string, Value>* params = nullptr;
   const OperatorRegistry* ops = nullptr;
+  // Observability (optional): when set, every operator invocation is timed
+  // into the profiler (key "op/<name>") using `env`'s clock, and traced as
+  // an "op:<name>" span when the global tracer is enabled.
+  obs::Profiler* profiler = nullptr;
+  Env* env = nullptr;
 };
 
 // Type-checking environment.

@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace gaea {
 
 // One entry of the commit reorder buffer.
@@ -192,7 +194,12 @@ StatusOr<std::vector<DeriveOutcome>> TaskScheduler::Execute(
     }
   };
 
+  // Pool threads have no trace context of their own; they inherit the
+  // caller's so task spans parent under the request (or compound) span.
+  const obs::TraceContext trace_ctx = obs::Tracer::CurrentContext();
+
   auto worker = [&] {
+    obs::ScopedContext trace_scope(trace_ctx);
     std::unique_lock<std::mutex> lock(mu);
     while (next_commit < n) {
       if (ready.empty()) {
@@ -204,7 +211,11 @@ StatusOr<std::vector<DeriveOutcome>> TaskScheduler::Execute(
       std::map<std::string, std::vector<Oid>> inputs =
           resolve_inputs(plan.steps[i]);
       lock.unlock();
-      StepItem item = ComputeStep(plan.steps[i], std::move(inputs));
+      StepItem item;
+      {
+        obs::SpanGuard span("task:" + plan.steps[i].process_name, "scheduler");
+        item = ComputeStep(plan.steps[i], std::move(inputs));
+      }
       lock.lock();
       pending.emplace(i, std::move(item));
       drain();

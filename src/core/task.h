@@ -76,6 +76,12 @@ class TaskLog {
     if (journal_ != nullptr) journal_->set_durability(mode);
   }
 
+  // Records appended to the backing journal through this handle (0 for an
+  // in-memory log); a metrics surface, see docs/OBSERVABILITY.md.
+  int64_t journal_appended() const {
+    return journal_ == nullptr ? 0 : journal_->appended();
+  }
+
   // Records a task; assigns and returns its id.
   StatusOr<TaskId> Append(Task task);
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "analysis/analyzer.h"
+#include "obs/trace.h"
 #include "query/qparser.h"
 #include "util/string_util.h"
 
@@ -18,6 +19,7 @@ StatusOr<std::unique_ptr<GaeaKernel>> GaeaKernel::Open(
   std::unique_ptr<GaeaKernel> kernel(new GaeaKernel());
   kernel->dir_ = options.dir;
   kernel->user_ = options.user;
+  kernel->env_ = env;
   kernel->durability_ = options.durability;
   kernel->primitives_ = PrimitiveClassRegistry::WithBuiltins();
   GAEA_RETURN_IF_ERROR(RegisterBuiltinOperators(&kernel->ops_));
@@ -57,7 +59,71 @@ StatusOr<std::unique_ptr<GaeaKernel>> GaeaKernel::Open(
       kernel->catalog_.get(), &kernel->processes_, kernel->deriver_.get(),
       kernel->interpolator_.get());
   GAEA_RETURN_IF_ERROR(kernel->Recover(env));
+  kernel->WireObservability();
   return kernel;
+}
+
+void GaeaKernel::WireObservability() {
+  deriver_->set_env(env_);
+  deriver_->set_profiler(&profiler_);
+  deriver_->set_metrics(metrics_.GetCounter("gaea_derives_completed_total"),
+                        metrics_.GetCounter("gaea_derives_failed_total"),
+                        metrics_.GetHistogram("gaea_derive_latency_micros"));
+
+  // Scrape-time mirror of subsystem state into gauges. The callback runs
+  // inside MetricsRegistry::Render with no registry lock held; everything
+  // it reads is itself thread-safe.
+  metrics_.AddCollector([this] {
+    metrics_.GetGauge("gaea_catalog_classes")
+        ->Set(static_cast<int64_t>(catalog_->classes().size()));
+    metrics_.GetGauge("gaea_catalog_concepts")
+        ->Set(static_cast<int64_t>(catalog_->concepts().size()));
+    metrics_.GetGauge("gaea_catalog_processes")
+        ->Set(static_cast<int64_t>(processes_.ListLatest().size()));
+    metrics_.GetGauge("gaea_catalog_objects")->Set(catalog_->ObjectCount());
+    metrics_.GetGauge("gaea_tasks_logged")
+        ->Set(static_cast<int64_t>(task_log_->size()));
+    metrics_.GetGauge("gaea_quarantined_tasks")
+        ->Set(static_cast<int64_t>(recovery_report_.quarantined.size()));
+
+    DerivationCache::Stats cache = derivation_cache_->stats();
+    metrics_.GetGauge("gaea_derivation_cache_hits")
+        ->Set(static_cast<int64_t>(cache.hits));
+    metrics_.GetGauge("gaea_derivation_cache_misses")
+        ->Set(static_cast<int64_t>(cache.misses));
+    metrics_.GetGauge("gaea_derivation_cache_evictions")
+        ->Set(static_cast<int64_t>(cache.evictions));
+    metrics_.GetGauge("gaea_derivation_cache_invalidations")
+        ->Set(static_cast<int64_t>(cache.invalidations));
+    metrics_.GetGauge("gaea_derivation_cache_entries")
+        ->Set(static_cast<int64_t>(cache.entries));
+    metrics_.GetGauge("gaea_derivation_cache_capacity")
+        ->Set(static_cast<int64_t>(cache.capacity));
+
+    auto pool_gauges = [this](const BufferPool* pool, const char* label) {
+      std::string suffix = std::string("{pool=\"") + label + "\"}";
+      metrics_.GetGauge("gaea_pool_page_hits" + suffix)
+          ->Set(static_cast<int64_t>(pool->hits()));
+      metrics_.GetGauge("gaea_pool_page_misses" + suffix)
+          ->Set(static_cast<int64_t>(pool->misses()));
+      metrics_.GetGauge("gaea_pool_page_evictions" + suffix)
+          ->Set(static_cast<int64_t>(pool->evictions()));
+    };
+    pool_gauges(catalog_->store()->heap_pool(), "heap");
+    pool_gauges(catalog_->store()->index_pool(), "index");
+
+    metrics_.GetGauge("gaea_journal_appends{journal=\"process\"}")
+        ->Set(process_journal_->appended());
+    metrics_.GetGauge("gaea_journal_appends{journal=\"tasks\"}")
+        ->Set(task_log_->journal_appended());
+
+    metrics_.GetGauge("gaea_store_next_oid")
+        ->Set(static_cast<int64_t>(catalog_->store()->next_oid()));
+    metrics_.GetGauge("gaea_store_scrubbed_entries")
+        ->Set(static_cast<int64_t>(catalog_->store()->scrubbed_entries()));
+    metrics_.GetGauge("gaea_store_restored_entries")
+        ->Set(static_cast<int64_t>(catalog_->store()->restored_entries()));
+  });
 }
 
 Status GaeaKernel::Recover(Env* env) {
@@ -216,6 +282,8 @@ StatusOr<Oid> GaeaKernel::Derive(
 
 StatusOr<std::vector<DeriveOutcome>> GaeaKernel::DeriveBatch(
     const std::vector<DeriveRequest>& requests) {
+  obs::SpanGuard span("derive-batch", "kernel");
+  metrics_.GetCounter("gaea_derive_batches_total")->Inc();
   TaskScheduler::Options opts;
   opts.threads = derive_threads_;
   opts.use_cache = true;
@@ -231,6 +299,8 @@ void GaeaKernel::SetDeriveThreads(int threads) {
 StatusOr<Oid> GaeaKernel::DeriveCompound(
     const CompoundProcessDef& compound,
     const std::map<std::string, std::vector<Oid>>& external_inputs) {
+  obs::SpanGuard span("compound:" + compound.name(), "kernel");
+  metrics_.GetCounter("gaea_compound_runs_total")->Inc();
   TaskScheduler::Options opts;
   opts.threads = derive_threads_;
   opts.use_cache = false;  // every compound run records its stage tasks

@@ -28,6 +28,8 @@
 #include "core/task.h"
 #include "ddl/parser.h"
 #include "experiment/experiment.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "query/interpolate.h"
 #include "query/query.h"
 #include "storage/buffer_pool.h"
@@ -70,6 +72,19 @@ class GaeaKernel {
   TaskLog& tasks() { return *task_log_; }
   const TaskLog& tasks() const { return *task_log_; }
   ExperimentManager& experiments() { return *experiments_; }
+  // The Env this kernel was opened on (clock + file system).
+  Env* env() { return env_; }
+
+  // ---- observability ----
+  // Instrument registry for this kernel: derivation counters/latency live
+  // here, and scrape-time collectors mirror catalog/cache/pool/journal/
+  // store state into gauges. gaead serves metrics().Render() over the wire
+  // (Prometheus text format); see docs/OBSERVABILITY.md.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  // Cumulative per-process ("process/<name>") and per-operator
+  // ("op/<name>") timing tables (shell `profile`).
+  obs::Profiler& profiler() { return profiler_; }
+  const obs::Profiler& profiler() const { return profiler_; }
 
   // ---- definitions ----
 
@@ -264,6 +279,9 @@ class GaeaKernel {
   // The startup invariant check described at RecoveryReport; `env` is the
   // file system the quarantine journal is written through.
   Status Recover(Env* env);
+  // Registers the scrape-time collectors that mirror subsystem stats into
+  // registry gauges, and hands the deriver its instruments.
+  void WireObservability();
 
   std::string dir_;
   std::string user_ = "gaea";
@@ -282,6 +300,9 @@ class GaeaKernel {
   AbsTime now_;
   DurabilityMode durability_ = DurabilityMode::kOs;
   RecoveryReport recovery_report_;
+  Env* env_ = nullptr;
+  obs::MetricsRegistry metrics_;
+  obs::Profiler profiler_;
 };
 
 }  // namespace gaea

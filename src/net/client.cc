@@ -11,6 +11,8 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace gaea::net {
 
 namespace {
@@ -101,12 +103,18 @@ Status GaeaClient::ConnectLocked() {
 
 StatusOr<std::string> GaeaClient::CallOnceLocked(MsgType type, uint64_t id,
                                                  std::string_view body) {
+  // When tracing is on this span covers the send and the wait for the
+  // reply, and mints a trace id if the caller has none; the id rides the
+  // request header so the server's spans land in the same trace. A retry
+  // makes a fresh rpc span but keeps the trace.
+  obs::SpanGuard rpc_span(std::string("rpc:") + MsgTypeName(type), "client");
   RequestHeader header;
   header.type = type;
   header.id = id;
   header.deadline_ms = options_.deadline_ms;
+  header.trace_id = obs::Tracer::CurrentContext().trace_id;
   if (type != MsgType::kHello && type != MsgType::kPing &&
-      type != MsgType::kStats) {
+      type != MsgType::kStats && type != MsgType::kMetrics) {
     header.idem = options_.idem_nonce;
   }
   BinaryWriter payload;
@@ -249,6 +257,12 @@ StatusOr<LineageReply> GaeaClient::Lineage(Oid oid) {
 
 StatusOr<std::string> GaeaClient::StatsJson() {
   GAEA_ASSIGN_OR_RETURN(std::string reply, Call(MsgType::kStats, {}));
+  BinaryReader reader(reply);
+  return reader.GetString();
+}
+
+StatusOr<std::string> GaeaClient::Metrics() {
+  GAEA_ASSIGN_OR_RETURN(std::string reply, Call(MsgType::kMetrics, {}));
   BinaryReader reader(reply);
   return reader.GetString();
 }

@@ -95,6 +95,10 @@ class GaeaClient {
   // Combined server+kernel counters as a JSON document.
   StatusOr<std::string> StatsJson();
 
+  // Prometheus text exposition of every instrument in the server's metrics
+  // registry (kernel gaea_* and serving gaead_* metrics).
+  StatusOr<std::string> Metrics();
+
   void set_deadline_ms(uint32_t ms) { options_.deadline_ms = ms; }
   void set_retry(const RetryPolicy& retry) { options_.retry = retry; }
   uint64_t idem_nonce() const { return options_.idem_nonce; }

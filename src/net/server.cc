@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "core/process.h"
+#include "obs/trace.h"
 
 namespace gaea::net {
 
@@ -50,10 +51,26 @@ std::string ServerStats::ToJson() const {
 }
 
 GaeaServer::GaeaServer(GaeaKernel* kernel, Options options)
-    : kernel_(kernel), options_(std::move(options)) {
+    : kernel_(kernel),
+      env_(kernel->env() != nullptr ? kernel->env() : Env::Default()),
+      options_(std::move(options)) {
   if (options_.workers < 1) options_.workers = 1;
   if (options_.max_inflight < 1) options_.max_inflight = 1;
   if (options_.dedup_capacity < 1) options_.dedup_capacity = 1;
+  obs::MetricsRegistry& reg = kernel_->metrics();
+  in_flight_ = reg.GetGauge("gaead_in_flight");
+  sessions_opened_ = reg.GetCounter("gaead_sessions_opened_total");
+  requests_total_ = reg.GetCounter("gaead_requests_total");
+  requests_ok_ = reg.GetCounter("gaead_requests_ok_total");
+  requests_error_ = reg.GetCounter("gaead_requests_error_total");
+  rejected_overload_ = reg.GetCounter("gaead_rejected_overload_total");
+  rejected_deadline_ = reg.GetCounter("gaead_rejected_deadline_total");
+  dedup_hits_ = reg.GetCounter("gaead_dedup_hits_total");
+  bytes_in_ = reg.GetCounter("gaead_bytes_in_total");
+  bytes_out_ = reg.GetCounter("gaead_bytes_out_total");
+  latency_micros_total_ = reg.GetCounter("gaead_request_latency_micros_total");
+  request_latency_us_ = reg.GetHistogram("gaead_request_latency_micros");
+  latency_micros_max_gauge_ = reg.GetGauge("gaead_request_latency_max_micros");
 }
 
 GaeaServer::~GaeaServer() { Shutdown(); }
@@ -122,7 +139,7 @@ void GaeaServer::AcceptLoop() {
     if (fd < 0) continue;
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+    sessions_opened_->Inc();
     std::shared_ptr<Session> session;
     {
       std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -160,13 +177,19 @@ void GaeaServer::HandleFrame(std::shared_ptr<Session> session,
                              std::string payload) {
   BinaryReader reader(payload);
   auto header_or = DecodeRequestHeader(&reader);
-  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  requests_total_->Inc();
   if (!header_or.ok()) {
-    Respond(*session, 0, MsgType::kPing, header_or.status(), {});
+    Respond(*session, 0, MsgType::kPing, 0, header_or.status(), {});
     session->Close();
     return;
   }
   RequestHeader header = *header_or;
+  // An untraced request gets a server-minted trace id when tracing is on,
+  // so its spans still form one tree; the id is echoed in the response
+  // either way.
+  if (header.trace_id == 0 && obs::Tracer::Global().enabled()) {
+    header.trace_id = obs::Tracer::Global().NewTraceId();
+  }
 
   if (header.type == MsgType::kHello) {
     Status hello = DecodeAndCheckHello(&reader);
@@ -174,15 +197,16 @@ void GaeaServer::HandleFrame(std::shared_ptr<Session> session,
       session->set_handshaken();
       BinaryWriter body;
       body.PutU16(kProtocolVersion);
-      Respond(*session, header.id, header.type, hello, body.buffer());
+      Respond(*session, header.id, header.type, header.trace_id, hello,
+              body.buffer());
     } else {
-      Respond(*session, header.id, header.type, hello, {});
+      Respond(*session, header.id, header.type, header.trace_id, hello, {});
       session->Close();
     }
     return;
   }
   if (!session->handshaken()) {
-    Respond(*session, header.id, header.type,
+    Respond(*session, header.id, header.type, header.trace_id,
             Status::FailedPrecondition("hello handshake required"), {});
     session->Close();
     return;
@@ -191,13 +215,30 @@ void GaeaServer::HandleFrame(std::shared_ptr<Session> session,
 
   switch (header.type) {
     case MsgType::kPing:
-      Respond(*session, header.id, header.type, Status::OK(), {});
+      Respond(*session, header.id, header.type, header.trace_id, Status::OK(),
+              {});
       return;
     case MsgType::kStats: {
       std::string json = StatsJson();
       BinaryWriter body;
       body.PutString(json);
-      Respond(*session, header.id, header.type, Status::OK(), body.buffer());
+      Respond(*session, header.id, header.type, header.trace_id, Status::OK(),
+              body.buffer());
+      return;
+    }
+    case MsgType::kMetrics: {
+      // Prometheus text exposition of every instrument in the kernel's
+      // registry (gaea_* kernel metrics and gaead_* serving metrics). The
+      // shared lock keeps the scrape-time collectors from racing a DDL.
+      std::string text;
+      {
+        std::shared_lock<std::shared_mutex> lock(kernel_mu_);
+        text = kernel_->metrics().Render();
+      }
+      BinaryWriter body;
+      body.PutString(text);
+      Respond(*session, header.id, header.type, header.trace_id, Status::OK(),
+              body.buffer());
       return;
     }
     default:
@@ -211,7 +252,7 @@ void GaeaServer::HandleFrame(std::shared_ptr<Session> session,
   job.session = std::move(session);
   job.header = header;
   job.body = payload.substr(reader.position());
-  job.admitted = std::chrono::steady_clock::now();
+  job.admitted_us = env_->NowMicros();
   // Admission is decided under queue_mu_, but the rejection response is
   // sent after the lock is dropped: Respond() is a blocking socket send,
   // and a peer that stops reading must only be able to stall its own
@@ -221,21 +262,22 @@ void GaeaServer::HandleFrame(std::shared_ptr<Session> session,
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (draining_.load(std::memory_order_acquire)) {
       rejected = Status::Unavailable("server is shutting down");
-    } else if (in_flight_.load(std::memory_order_relaxed) >=
-               static_cast<uint64_t>(options_.max_inflight)) {
-      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    } else if (in_flight_->value() >=
+               static_cast<int64_t>(options_.max_inflight)) {
+      rejected_overload_->Inc();
       rejected = Status::Unavailable(
           "server overloaded: " + std::to_string(options_.max_inflight) +
           " requests already in flight; retry later");
     } else {
-      in_flight_.fetch_add(1, std::memory_order_relaxed);
+      in_flight_->Add(1);
       queue_.push_back(std::move(job));
     }
   }
   if (!rejected.ok()) {
     // The request never ran; a retry must be allowed to execute.
     if (header.idem != 0) DedupAbort(header);
-    Respond(*job.session, header.id, header.type, rejected, {});
+    Respond(*job.session, header.id, header.type, header.trace_id, rejected,
+            {});
     return;
   }
   queue_cv_.notify_one();
@@ -263,13 +305,16 @@ bool GaeaServer::DedupBegin(Session& session, const RequestHeader& header) {
   if (pending) {
     // The original is still executing; answering anything else could make
     // the retry observe a different outcome than the first send.
-    Respond(session, header.id, header.type,
+    Respond(session, header.id, header.type, header.trace_id,
             Status::Unavailable("request " + std::to_string(header.id) +
                                 " is still executing; retry later"),
             {});
     return true;
   }
-  dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+  dedup_hits_->Inc();
+  // The cached bytes carry the original execution's trace id, so the retry
+  // is stitched to the spans that actually ran — the replay itself records
+  // no spans and re-counts no execution metrics.
   (void)session.Send(cached);
   return true;
 }
@@ -321,18 +366,27 @@ void GaeaServer::WorkerLoop() {
 void GaeaServer::ExecuteJob(Job job) {
   const RequestHeader& header = job.header;
   if (header.deadline_ms > 0) {
-    auto waited = std::chrono::steady_clock::now() - job.admitted;
-    if (waited > std::chrono::milliseconds(header.deadline_ms)) {
-      rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t now_us = env_->NowMicros();
+    uint64_t waited_us = now_us > job.admitted_us ? now_us - job.admitted_us : 0;
+    if (waited_us > static_cast<uint64_t>(header.deadline_ms) * 1000) {
+      rejected_deadline_->Inc();
       Status expired = Status::Unavailable(
           "deadline of " + std::to_string(header.deadline_ms) +
           " ms expired before execution");
       if (header.idem != 0) DedupAbort(header);
-      Respond(*job.session, header.id, header.type, expired, {});
+      Respond(*job.session, header.id, header.type, header.trace_id, expired,
+              {});
       FinishJob(job, expired);
       return;
     }
   }
+
+  // The request's trace becomes this worker thread's ambient context, so
+  // every span below (kernel derive-batch, scheduler tasks, operators)
+  // parents into it.
+  obs::ScopedContext trace_scope(obs::TraceContext{header.trace_id, 0});
+  obs::SpanGuard request_span(
+      std::string("request:") + MsgTypeName(header.type), "server");
 
   BinaryReader reader(job.body);
   Status result = Status::OK();
@@ -442,8 +496,8 @@ void GaeaServer::ExecuteJob(Job job) {
       break;
   }
   std::string encoded;
-  Respond(*job.session, header.id, header.type, result, body.buffer(),
-          &encoded);
+  Respond(*job.session, header.id, header.type, header.trace_id, result,
+          body.buffer(), &encoded);
   if (header.idem != 0) DedupFinish(header, result, std::move(encoded));
   FinishJob(job, result);
 }
@@ -453,17 +507,18 @@ void GaeaServer::FinishJob(const Job& job, const Status& result) {
   // latency counters: they measure queue wait, not request service time,
   // and the avg divides by requests_ok + requests_error which excludes them.
   if (result.code() != StatusCode::kUnavailable) {
-    auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
-                      std::chrono::steady_clock::now() - job.admitted)
-                      .count();
-    uint64_t latency = static_cast<uint64_t>(micros);
-    latency_micros_total_.fetch_add(latency, std::memory_order_relaxed);
+    uint64_t now_us = env_->NowMicros();
+    uint64_t latency = now_us > job.admitted_us ? now_us - job.admitted_us : 0;
+    latency_micros_total_->Inc(latency);
+    request_latency_us_->Observe(latency);
     uint64_t prev = latency_micros_max_.load(std::memory_order_relaxed);
     while (latency > prev && !latency_micros_max_.compare_exchange_weak(
                                  prev, latency, std::memory_order_relaxed)) {
     }
+    latency_micros_max_gauge_->Set(
+        static_cast<int64_t>(latency_micros_max_.load(std::memory_order_relaxed)));
   }
-  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  in_flight_->Sub(1);
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
   }
@@ -471,23 +526,24 @@ void GaeaServer::FinishJob(const Job& job, const Status& result) {
 }
 
 void GaeaServer::Respond(Session& session, uint64_t id, MsgType request_type,
-                         const Status& status, std::string_view body,
-                         std::string* encoded) {
+                         uint64_t trace_id, const Status& status,
+                         std::string_view body, std::string* encoded) {
   ResponseHeader header;
   header.id = id;
   header.request_type = request_type;
   header.code = status.code();
   header.message = status.message();
+  header.trace_id = trace_id;
   BinaryWriter payload;
   EncodeResponseHeader(header, &payload);
   if (status.ok()) payload.PutRaw(body.data(), body.size());
   if (encoded != nullptr) *encoded = payload.buffer();
   if (status.ok()) {
-    requests_ok_.fetch_add(1, std::memory_order_relaxed);
+    requests_ok_->Inc();
   } else if (status.code() != StatusCode::kUnavailable) {
     // kUnavailable answers are overload/deadline/drain rejections, already
     // tallied in rejected_*; counting them here too would double-book them.
-    requests_error_.fetch_add(1, std::memory_order_relaxed);
+    requests_error_->Inc();
   }
   // A failed send means the peer vanished; its reader will notice and the
   // session gets reaped, so the error is intentionally not propagated.
@@ -496,26 +552,23 @@ void GaeaServer::Respond(Session& session, uint64_t id, MsgType request_type,
 
 ServerStats GaeaServer::stats() const {
   ServerStats stats;
-  stats.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  stats.sessions_opened = sessions_opened_->value();
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     for (const auto& [id, session] : sessions_) {
       if (!session->done()) ++stats.sessions_active;
     }
   }
-  stats.requests_total = requests_total_.load(std::memory_order_relaxed);
-  stats.requests_ok = requests_ok_.load(std::memory_order_relaxed);
-  stats.requests_error = requests_error_.load(std::memory_order_relaxed);
-  stats.rejected_overload =
-      rejected_overload_.load(std::memory_order_relaxed);
-  stats.rejected_deadline =
-      rejected_deadline_.load(std::memory_order_relaxed);
-  stats.dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
-  stats.in_flight = in_flight_.load(std::memory_order_relaxed);
-  stats.bytes_in = bytes_in_.load(std::memory_order_relaxed);
-  stats.bytes_out = bytes_out_.load(std::memory_order_relaxed);
-  stats.latency_micros_total =
-      latency_micros_total_.load(std::memory_order_relaxed);
+  stats.requests_total = requests_total_->value();
+  stats.requests_ok = requests_ok_->value();
+  stats.requests_error = requests_error_->value();
+  stats.rejected_overload = rejected_overload_->value();
+  stats.rejected_deadline = rejected_deadline_->value();
+  stats.dedup_hits = dedup_hits_->value();
+  stats.in_flight = static_cast<uint64_t>(in_flight_->value());
+  stats.bytes_in = bytes_in_->value();
+  stats.bytes_out = bytes_out_->value();
+  stats.latency_micros_total = latency_micros_total_->value();
   stats.latency_micros_max =
       latency_micros_max_.load(std::memory_order_relaxed);
   return stats;
@@ -547,7 +600,7 @@ void GaeaServer::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(queue_mu_);
     drained_cv_.wait(lock, [this] {
-      return queue_.empty() && in_flight_.load(std::memory_order_relaxed) == 0;
+      return queue_.empty() && in_flight_->value() == 0;
     });
     stop_workers_ = true;
   }

@@ -39,12 +39,15 @@
 #include "gaea/kernel.h"
 #include "net/session.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace gaea::net {
 
 // Aggregate server counters, surfaced by the stats RPC (as the "server"
-// object of the JSON document) and by tests.
+// object of the JSON document) and by tests. The counters themselves live
+// in the kernel's MetricsRegistry (gaead_* instruments); this struct is a
+// point-in-time snapshot of them.
 struct ServerStats {
   uint64_t sessions_opened = 0;
   uint64_t sessions_active = 0;
@@ -104,8 +107,8 @@ class GaeaServer {
   struct Job {
     std::shared_ptr<Session> session;
     RequestHeader header;
-    std::string body;  // payload after the request header
-    std::chrono::steady_clock::time_point admitted;
+    std::string body;         // payload after the request header
+    uint64_t admitted_us = 0; // Env::NowMicros at admission
   };
 
   // Reader-thread entry point: parse the header, answer light requests
@@ -117,8 +120,9 @@ class GaeaServer {
   void ExecuteJob(Job job);
   void FinishJob(const Job& job, const Status& result);
 
+  // `trace_id` is echoed in the response header (0 = request untraced).
   void Respond(Session& session, uint64_t id, MsgType request_type,
-               const Status& status, std::string_view body,
+               uint64_t trace_id, const Status& status, std::string_view body,
                std::string* encoded = nullptr);
 
   // ---- idempotency cache ----
@@ -140,14 +144,11 @@ class GaeaServer {
   void OnSessionDone(uint64_t id);
   void ReapDoneSessions();  // joins and drops finished sessions
 
-  void AddBytesIn(uint64_t n) {
-    bytes_in_.fetch_add(n, std::memory_order_relaxed);
-  }
-  void AddBytesOut(uint64_t n) {
-    bytes_out_.fetch_add(n, std::memory_order_relaxed);
-  }
+  void AddBytesIn(uint64_t n) { bytes_in_->Inc(n); }
+  void AddBytesOut(uint64_t n) { bytes_out_->Inc(n); }
 
   GaeaKernel* kernel_;
+  Env* env_;  // the kernel's Env: clock for deadlines and latency
   Options options_;
   int listen_fd_ = -1;
   int port_ = 0;
@@ -182,17 +183,25 @@ class GaeaServer {
   std::deque<Job> queue_;
   bool stop_workers_ = false;
 
-  std::atomic<uint64_t> in_flight_{0};
-  std::atomic<uint64_t> sessions_opened_{0};
-  std::atomic<uint64_t> requests_total_{0};
-  std::atomic<uint64_t> requests_ok_{0};
-  std::atomic<uint64_t> requests_error_{0};
-  std::atomic<uint64_t> rejected_overload_{0};
-  std::atomic<uint64_t> rejected_deadline_{0};
-  std::atomic<uint64_t> dedup_hits_{0};
-  std::atomic<uint64_t> bytes_in_{0};
-  std::atomic<uint64_t> bytes_out_{0};
-  std::atomic<uint64_t> latency_micros_total_{0};
+  // Serving instruments, owned by the kernel's MetricsRegistry (stable
+  // pointers for the server's lifetime; the kernel must outlive the
+  // server). The stats RPC and the Prometheus metrics RPC are two views of
+  // these same instruments.
+  obs::Gauge* in_flight_;
+  obs::Counter* sessions_opened_;
+  obs::Counter* requests_total_;
+  obs::Counter* requests_ok_;
+  obs::Counter* requests_error_;
+  obs::Counter* rejected_overload_;
+  obs::Counter* rejected_deadline_;
+  obs::Counter* dedup_hits_;
+  obs::Counter* bytes_in_;
+  obs::Counter* bytes_out_;
+  obs::Counter* latency_micros_total_;
+  obs::Histogram* request_latency_us_;
+  // Running max needs compare-exchange, which Gauge does not expose; the
+  // atomic is authoritative and the gauge mirrors it on each new maximum.
+  obs::Gauge* latency_micros_max_gauge_;
   std::atomic<uint64_t> latency_micros_max_{0};
 };
 

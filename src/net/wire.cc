@@ -62,6 +62,7 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kLineage: return "Lineage";
     case MsgType::kStats: return "Stats";
     case MsgType::kResponse: return "Response";
+    case MsgType::kMetrics: return "Metrics";
   }
   return "Unknown";
 }
@@ -70,7 +71,8 @@ namespace {
 
 bool IsKnownRequestType(uint8_t raw) {
   return raw >= static_cast<uint8_t>(MsgType::kHello) &&
-         raw <= static_cast<uint8_t>(MsgType::kStats);
+         raw <= static_cast<uint8_t>(MsgType::kMetrics) &&
+         raw != static_cast<uint8_t>(MsgType::kResponse);
 }
 
 }  // namespace
@@ -80,6 +82,7 @@ void EncodeRequestHeader(const RequestHeader& header, BinaryWriter* w) {
   w->PutU64(header.id);
   w->PutU32(header.deadline_ms);
   w->PutU64(header.idem);
+  w->PutU64(header.trace_id);
 }
 
 StatusOr<RequestHeader> DecodeRequestHeader(BinaryReader* r) {
@@ -93,6 +96,7 @@ StatusOr<RequestHeader> DecodeRequestHeader(BinaryReader* r) {
   GAEA_ASSIGN_OR_RETURN(header.id, r->GetU64());
   GAEA_ASSIGN_OR_RETURN(header.deadline_ms, r->GetU32());
   GAEA_ASSIGN_OR_RETURN(header.idem, r->GetU64());
+  GAEA_ASSIGN_OR_RETURN(header.trace_id, r->GetU64());
   return header;
 }
 
@@ -113,6 +117,7 @@ void EncodeResponseHeader(const ResponseHeader& header, BinaryWriter* w) {
   w->PutU8(static_cast<uint8_t>(header.request_type));
   w->PutU8(static_cast<uint8_t>(header.code));
   w->PutString(header.message);
+  w->PutU64(header.trace_id);
 }
 
 StatusOr<ResponseHeader> DecodeResponseHeader(BinaryReader* r) {
@@ -133,6 +138,7 @@ StatusOr<ResponseHeader> DecodeResponseHeader(BinaryReader* r) {
   }
   header.code = static_cast<StatusCode>(code);
   GAEA_ASSIGN_OR_RETURN(header.message, r->GetString());
+  GAEA_ASSIGN_OR_RETURN(header.trace_id, r->GetU64());
   return header;
 }
 

@@ -29,9 +29,11 @@ namespace gaea::net {
 // bytes in any message body are ignored, which is how minor revisions add
 // fields (see docs/NET.md "Versioning").
 constexpr uint32_t kMagic = 0x47414541;  // "GAEA"
-// v2 added RequestHeader.idem (client idempotency nonce). Both sides of the
-// protocol live in this tree, so the version is bumped rather than relying
-// on trailing-byte tolerance for a field the server must act on.
+// v2 added RequestHeader.idem (client idempotency nonce) and the trace_id
+// field on both headers (request trace propagation, echoed in replies).
+// Both sides of the protocol live in this tree, so the version is bumped
+// rather than relying on trailing-byte tolerance for fields the server
+// must act on.
 constexpr uint16_t kProtocolVersion = 2;
 
 // Upper bound on one frame's payload; anything larger is a protocol error
@@ -78,6 +80,7 @@ enum class MsgType : uint8_t {
   kLineage = 7,        // body: u64 oid
   kStats = 8,          // body: empty
   kResponse = 9,       // ResponseHeader + per-request-type body
+  kMetrics = 10,       // body: empty; reply: Prometheus text exposition
 };
 
 const char* MsgTypeName(MsgType type);
@@ -88,12 +91,17 @@ const char* MsgTypeName(MsgType type);
 // kernel. `idem` (0 = none) is a client-chosen random nonce: the server
 // remembers (idem, id) -> response for executed mutations, so a client that
 // retried after a lost response gets the recorded answer instead of a
-// second execution (docs/ROBUSTNESS.md).
+// second execution (docs/ROBUSTNESS.md). `trace_id` (0 = none) names the
+// distributed trace this request belongs to: the server parents all spans
+// for the request under it and echoes it in the response, so one trace can
+// follow a derivation from client call to per-operator execution
+// (docs/OBSERVABILITY.md).
 struct RequestHeader {
   MsgType type = MsgType::kPing;
   uint64_t id = 0;
   uint32_t deadline_ms = 0;
   uint64_t idem = 0;
+  uint64_t trace_id = 0;
 };
 
 void EncodeRequestHeader(const RequestHeader& header, BinaryWriter* w);
@@ -108,12 +116,16 @@ Status CheckCount(const BinaryReader& r, uint32_t count,
 
 // Every response payload starts with MsgType::kResponse, then this. A
 // non-OK code carries no body. `request_type` echoes what is being answered
-// so a client can sanity-check pipelined traffic.
+// so a client can sanity-check pipelined traffic. `trace_id` echoes the
+// request's trace (the server-minted id when the request carried none), so
+// the client can stitch its send/receive spans to the server's; a dedup
+// replay echoes the *original* execution's trace id.
 struct ResponseHeader {
   uint64_t id = 0;
   MsgType request_type = MsgType::kPing;
   StatusCode code = StatusCode::kOk;
   std::string message;
+  uint64_t trace_id = 0;
 };
 
 void EncodeResponseHeader(const ResponseHeader& header, BinaryWriter* w);

@@ -1,0 +1,70 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace gaea {
+namespace obs {
+
+void Profiler::Record(const std::string& key, uint64_t duration_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[key];
+  if (entry.count == 0 || duration_us < entry.min_us) {
+    entry.min_us = duration_us;
+  }
+  if (duration_us > entry.max_us) entry.max_us = duration_us;
+  entry.count += 1;
+  entry.total_us += duration_us;
+}
+
+std::map<std::string, Profiler::Entry> Profiler::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+std::string Profiler::Table(const std::string& prefix) const {
+  std::vector<std::pair<std::string, Entry>> rows;
+  for (const auto& [key, entry] : snapshot()) {
+    if (key.compare(0, prefix.size(), prefix) == 0) {
+      rows.emplace_back(key, entry);
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.total_us != b.second.total_us) {
+      return a.second.total_us > b.second.total_us;
+    }
+    return a.first < b.first;
+  });
+
+  size_t name_width = 4;  // "name"
+  for (const auto& [key, entry] : rows) {
+    name_width = std::max(name_width, key.size());
+  }
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-*s %10s %12s %10s %10s %10s\n",
+                static_cast<int>(name_width), "name", "count", "total_us",
+                "avg_us", "min_us", "max_us");
+  std::string out = line;
+  for (const auto& [key, entry] : rows) {
+    uint64_t avg = entry.count == 0 ? 0 : entry.total_us / entry.count;
+    std::snprintf(line, sizeof(line),
+                  "%-*s %10llu %12llu %10llu %10llu %10llu\n",
+                  static_cast<int>(name_width), key.c_str(),
+                  static_cast<unsigned long long>(entry.count),
+                  static_cast<unsigned long long>(entry.total_us),
+                  static_cast<unsigned long long>(avg),
+                  static_cast<unsigned long long>(entry.min_us),
+                  static_cast<unsigned long long>(entry.max_us));
+    out += line;
+  }
+  return out;
+}
+
+void Profiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace obs
+}  // namespace gaea

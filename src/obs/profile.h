@@ -1,0 +1,48 @@
+// Cumulative timing tables: where did derivation time go?
+//
+// The profiler accumulates (count, total, min, max) per key. The kernel
+// owns one and feeds it from two seams: the deriver records one sample per
+// executed process ("process/<name>"), and operator evaluation records one
+// per op invocation ("op/<name>"). A Task row in the lineage log says
+// *what* ran; joining on process name against this table says *how long*
+// that kind of step takes. Queryable from the shell: `profile`.
+
+#ifndef GAEA_OBS_PROFILE_H_
+#define GAEA_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace gaea {
+namespace obs {
+
+class Profiler {
+ public:
+  struct Entry {
+    uint64_t count = 0;
+    uint64_t total_us = 0;
+    uint64_t min_us = 0;
+    uint64_t max_us = 0;
+  };
+
+  void Record(const std::string& key, uint64_t duration_us);
+
+  std::map<std::string, Entry> snapshot() const;
+
+  // Human-readable table (sorted by total time, descending), optionally
+  // restricted to keys with the given prefix ("process/", "op/").
+  std::string Table(const std::string& prefix = "") const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace obs
+}  // namespace gaea
+
+#endif  // GAEA_OBS_PROFILE_H_

@@ -1,0 +1,143 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/env.h"
+
+namespace gaea {
+namespace obs {
+
+namespace {
+
+thread_local TraceContext t_context;
+
+// Dense per-thread ordinal, assigned on first use. Chrome's viewer groups
+// events by tid; dense ordinals also keep golden traces stable across runs
+// (native thread ids are not reproducible).
+uint64_t ThreadOrdinal() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+void AppendJsonEscaped(const std::string& in, std::string* out) {
+  for (char c : in) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer() = default;
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::SetClock(std::function<uint64_t()> clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = std::move(clock);
+}
+
+uint64_t Tracer::Now() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (clock_) return clock_();
+  }
+  return Env::Default()->NowMicros();
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  next_span_id_.store(1, std::memory_order_relaxed);
+  next_trace_id_.store(1, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+TraceContext Tracer::CurrentContext() { return t_context; }
+
+void Tracer::SetCurrentContext(TraceContext ctx) { t_context = ctx; }
+
+void Tracer::Record(Span span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string Tracer::DumpChromeJson() const {
+  std::vector<Span> spans = this->spans();
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    if (a.start_us != b.start_us) return a.start_us < b.start_us;
+    return a.span_id < b.span_id;
+  });
+  std::string out = "{\"traceEvents\":[\n";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    out += "{\"ph\":\"X\",\"name\":\"";
+    AppendJsonEscaped(s.name, &out);
+    out += "\",\"cat\":\"";
+    AppendJsonEscaped(s.category, &out);
+    out += "\",\"pid\":1,\"tid\":" + std::to_string(s.tid);
+    out += ",\"ts\":" + std::to_string(s.start_us);
+    out += ",\"dur\":" + std::to_string(s.duration_us);
+    out += ",\"args\":{\"trace\":" + std::to_string(s.trace_id);
+    out += ",\"span\":" + std::to_string(s.span_id);
+    out += ",\"parent\":" + std::to_string(s.parent_id) + "}}";
+    if (i + 1 != spans.size()) out += ",";
+    out += "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+SpanGuard::SpanGuard(std::string name, std::string category) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  saved_ = t_context;
+  span_.trace_id =
+      saved_.trace_id != 0 ? saved_.trace_id : tracer.NewTraceId();
+  span_.parent_id = saved_.parent_id;
+  span_.span_id = tracer.NextSpanId();
+  span_.name = std::move(name);
+  span_.category = std::move(category);
+  span_.tid = ThreadOrdinal();
+  span_.start_us = tracer.Now();
+  t_context = TraceContext{span_.trace_id, span_.span_id};
+}
+
+SpanGuard::~SpanGuard() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::Global();
+  uint64_t end = tracer.Now();
+  span_.duration_us = end > span_.start_us ? end - span_.start_us : 0;
+  t_context = saved_;
+  tracer.Record(std::move(span_));
+}
+
+}  // namespace obs
+}  // namespace gaea

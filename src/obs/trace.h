@@ -1,0 +1,147 @@
+// Hierarchical span tracer with Chrome trace_event JSON output.
+//
+// A trace is a tree of spans: request -> task -> operator. The tree shape
+// comes from a thread-local TraceContext (trace id + current parent span);
+// SpanGuard is the RAII unit — it reads the context on entry, installs
+// itself as the parent for everything nested inside, and records the
+// completed span on exit. Crossing a thread boundary (server worker pool,
+// scheduler workers) means capturing CurrentContext() on the spawning side
+// and installing it with ScopedContext on the worker side; crossing the
+// network means carrying the trace id in the request header (docs/NET.md).
+//
+// The tracer is process-global and disabled by default; when disabled a
+// SpanGuard is one relaxed atomic load. Dump as Chrome trace JSON via
+// `gaea_shell trace <file>`, gaead --trace, or a bench --trace flag, and
+// open in chrome://tracing or https://ui.perfetto.dev.
+
+#ifndef GAEA_OBS_TRACE_H_
+#define GAEA_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gaea {
+namespace obs {
+
+// One completed span. Ids are process-local and dense (handed out by an
+// atomic counter), which keeps golden traces stable.
+struct Span {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 = root of its trace
+  std::string name;
+  std::string category;
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+  uint64_t tid = 0;  // process-local thread ordinal, dense from 1
+};
+
+// The ambient trace position of the current thread.
+struct TraceContext {
+  uint64_t trace_id = 0;   // 0 = not inside any trace
+  uint64_t parent_id = 0;  // span to parent new spans under
+};
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  // Tracing is off by default; when off, span creation is a no-op.
+  void Enable(bool on) { enabled_.store(on, std::memory_order_release); }
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  // Clock used for span timestamps; defaults to Env::Default()->NowMicros.
+  // Tests inject a FakeClockEnv-backed function for determinism.
+  void SetClock(std::function<uint64_t()> clock);
+
+  // Drops all recorded spans and resets span/trace id allocation, so a test
+  // records the same ids every run. Does not change enabled state or clock.
+  void Reset();
+
+  uint64_t NewTraceId() {
+    return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Thread-local context plumbing.
+  static TraceContext CurrentContext();
+  static void SetCurrentContext(TraceContext ctx);
+
+  void Record(Span span);
+  std::vector<Span> spans() const;
+  // Spans dropped because the in-memory buffer hit its cap.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // Chrome trace_event JSON ("X" complete events; parent/trace ids carried
+  // in args). Spans are ordered by (start, span id), so output for a
+  // fake-clock single-threaded run is byte-stable.
+  std::string DumpChromeJson() const;
+
+ private:
+  friend class SpanGuard;
+
+  Tracer();
+
+  uint64_t Now() const;
+  uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Bounded span buffer: a long-running traced server should degrade to
+  // dropping spans, not eat the heap.
+  static constexpr size_t kMaxSpans = 1 << 20;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_span_id_{1};
+  std::atomic<uint64_t> next_trace_id_{1};
+  std::atomic<uint64_t> dropped_{0};
+
+  mutable std::mutex mu_;
+  std::function<uint64_t()> clock_;  // guarded by mu_
+  std::vector<Span> spans_;          // guarded by mu_
+};
+
+// RAII span: opens on construction (becoming the thread's current parent),
+// records on destruction. When the thread has no trace context yet, the
+// span starts a fresh trace (so a local shell/bench run traces without any
+// network header to seed it).
+class SpanGuard {
+ public:
+  SpanGuard(std::string name, std::string category);
+  ~SpanGuard();
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  bool active() const { return active_; }
+  uint64_t span_id() const { return span_.span_id; }
+
+ private:
+  bool active_ = false;
+  Span span_;
+  TraceContext saved_;
+};
+
+// Installs `ctx` as the thread's trace context for the current scope; used
+// when work hops threads (worker pools) or arrives off the wire.
+class ScopedContext {
+ public:
+  explicit ScopedContext(TraceContext ctx) : saved_(Tracer::CurrentContext()) {
+    Tracer::SetCurrentContext(ctx);
+  }
+  ~ScopedContext() { Tracer::SetCurrentContext(saved_); }
+
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+}  // namespace obs
+}  // namespace gaea
+
+#endif  // GAEA_OBS_TRACE_H_

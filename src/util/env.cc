@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace gaea {
@@ -208,6 +209,13 @@ class PosixEnv : public Env {
 Env* Env::Default() {
   static PosixEnv posix_env;
   return &posix_env;
+}
+
+uint64_t Env::NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 Status Env::SyncParentDir(const std::string& path) {

@@ -98,6 +98,12 @@ class Env {
 
   // SyncDir on the directory containing `path`.
   Status SyncParentDir(const std::string& path);
+
+  // Monotonic clock in microseconds. Not wall time: the epoch is arbitrary,
+  // only differences are meaningful. Every timing decision in the stack
+  // (task durations, request deadlines, latency accounting) reads this, so
+  // a test can make time deterministic by injecting a FakeClockEnv.
+  virtual uint64_t NowMicros();
 };
 
 // ---------------------------------------------------------------------------
@@ -170,6 +176,7 @@ class FaultInjectingEnv : public Env {
   StatusOr<uint64_t> FileSize(const std::string& path) override;
   Status Truncate(const std::string& path, uint64_t size) override;
   Status SyncDir(const std::string& dir) override;
+  uint64_t NowMicros() override { return base_->NowMicros(); }
 
  private:
   friend class FaultInjectingWritableFile;
@@ -191,6 +198,65 @@ class FaultInjectingEnv : public Env {
   std::atomic<bool> crashed_{false};
   std::atomic<uint64_t> write_ops_{0};
   std::atomic<uint64_t> bytes_written_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Fake clock
+// ---------------------------------------------------------------------------
+
+// An Env decorator with a controllable clock: file I/O forwards to `base`,
+// NowMicros reads a counter the test owns. Two modes compose:
+//   - Advance(us): move time explicitly (deadline tests, latency tests).
+//   - set_auto_step(us): every NowMicros() call also advances the clock by
+//     a fixed step, so a single-threaded run yields strictly increasing,
+//     fully reproducible timestamps (the golden-trace tests rely on this).
+class FakeClockEnv : public Env {
+ public:
+  explicit FakeClockEnv(Env* base = Env::Default(), uint64_t start_us = 0,
+                        uint64_t auto_step_us = 0)
+      : base_(base), now_us_(start_us), auto_step_us_(auto_step_us) {}
+
+  void Advance(uint64_t us) {
+    now_us_.fetch_add(us, std::memory_order_acq_rel);
+  }
+  void set_auto_step(uint64_t us) {
+    auto_step_us_.store(us, std::memory_order_release);
+  }
+
+  uint64_t NowMicros() override {
+    uint64_t step = auto_step_us_.load(std::memory_order_acquire);
+    return now_us_.fetch_add(step, std::memory_order_acq_rel);
+  }
+
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    return base_->NewWritableFile(path);
+  }
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    return base_->NewRandomAccessFile(path);
+  }
+  StatusOr<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override {
+    return base_->NewSequentialFile(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  StatusOr<uint64_t> FileSize(const std::string& path) override {
+    return base_->FileSize(path);
+  }
+  Status Truncate(const std::string& path, uint64_t size) override {
+    return base_->Truncate(path, size);
+  }
+  Status SyncDir(const std::string& dir) override {
+    return base_->SyncDir(dir);
+  }
+
+ private:
+  Env* base_;
+  std::atomic<uint64_t> now_us_;
+  std::atomic<uint64_t> auto_step_us_;
 };
 
 }  // namespace gaea

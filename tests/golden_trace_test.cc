@@ -1,0 +1,212 @@
+// Golden-trace test: the Figure 4 PCA pipeline, run as a compound process
+// through the kernel with one scheduler thread and a fake 10us-step clock
+// injected into the tracer, must produce byte-identical Chrome trace JSON
+// (durations normalized) to the checked-in fixture. The golden pins the
+// span taxonomy — compound -> task -> prepare -> op..., commit — plus
+// parent links, id allocation, and (start, span_id) sort order.
+//
+// Regenerate after an intentional instrumentation change with:
+//   GAEA_UPDATE_GOLDEN=1 ./golden_trace_test
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/compound_process.h"
+#include "gaea/kernel.h"
+#include "obs/trace.h"
+#include "raster/scene.h"
+#include "test_util.h"
+#include "util/env.h"
+
+namespace gaea {
+namespace {
+
+using ::gaea::testing::TempDir;
+
+// Figure 4's PCA dataflow network written as one process template: stack
+// the bands into an observation matrix, diagonalize its covariance, project
+// onto the loadings, and unstack the leading component back into an image.
+constexpr char kPcaSchema[] = R"(
+CLASS scene_band (
+  ATTRIBUTES:
+    band = int4;
+    data = image;
+  SPATIAL EXTENT:
+    spatialextent = box;
+  TEMPORAL EXTENT:
+    timestamp = abstime;
+)
+
+CLASS pca_map (
+  ATTRIBUTES:
+    data = image;
+  SPATIAL EXTENT:
+    spatialextent = box;
+  TEMPORAL EXTENT:
+    timestamp = abstime;
+  DERIVED BY: principal-component
+)
+
+DEFINE PROCESS principal-component
+OUTPUT pca_map
+ARGUMENT ( SETOF scene_band bands MIN 2 )
+TEMPLATE {
+  ASSERTIONS:
+    card(bands) >= 2;
+    common(bands.spatialextent);
+  MAPPINGS:
+    pca_map.data = ANYOF convert_matrix_image(
+        linear_combination(
+            convert_image_matrix(bands.data),
+            get_eigen_vector(compute_covariance(
+                convert_image_matrix(bands.data)))),
+        8, 8);
+    pca_map.spatialextent = ANYOF bands.spatialextent;
+    pca_map.timestamp = ANYOF bands.timestamp;
+}
+)";
+
+// Zeroes every "dur" value: with the fake clock durations are deterministic
+// too, but the golden is about names, parenting, and ordering — normalizing
+// durations keeps it focused and matches how CI diffs are read.
+std::string NormalizeDurations(const std::string& json) {
+  std::string out;
+  size_t pos = 0;
+  const std::string key = "\"dur\":";
+  while (true) {
+    size_t hit = json.find(key, pos);
+    if (hit == std::string::npos) {
+      out += json.substr(pos);
+      return out;
+    }
+    hit += key.size();
+    out += json.substr(pos, hit - pos);
+    out += "0";
+    pos = hit;
+    while (pos < json.size() && std::isdigit(static_cast<unsigned char>(json[pos]))) {
+      ++pos;
+    }
+  }
+}
+
+std::string GoldenPath() {
+  return std::string(GAEA_FIXTURE_DIR) + "/golden_trace_pca.json";
+}
+
+const obs::Span* FindSpan(const std::vector<obs::Span>& spans,
+                          const std::string& name) {
+  for (const obs::Span& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(GoldenTraceTest, Figure4PcaCompoundMatchesGolden) {
+  TempDir dir("golden_trace");
+  GaeaKernel::Options options;
+  options.dir = dir.path();
+  options.user = "tracer";
+  auto opened = GaeaKernel::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<GaeaKernel> kernel = *std::move(opened);
+  kernel->SetClock(AbsTime(123456));
+  ASSERT_OK(kernel->ExecuteDdl(kPcaSchema));
+  // One scheduler thread: the whole compound runs inline on this thread,
+  // so span open order (and thus id allocation) is fully deterministic.
+  kernel->SetDeriveThreads(1);
+
+  // Three co-registered 8x8 bands.
+  const ClassDef* band_class =
+      kernel->catalog().classes().LookupByName("scene_band").value();
+  SceneSpec spec;
+  spec.nrow = 8;
+  spec.ncol = 8;
+  spec.nbands = 3;
+  auto bands = GenerateScene(spec).value();
+  Box region(0, 0, 10, 10);
+  std::vector<Oid> scene;
+  for (int b = 0; b < 3; ++b) {
+    DataObject obj(*band_class);
+    ASSERT_OK(obj.Set(*band_class, "band", Value::Int(b)));
+    ASSERT_OK(obj.Set(*band_class, "data",
+                      Value::OfImage(std::move(bands[b]))));
+    ASSERT_OK(obj.Set(*band_class, "spatialextent", Value::OfBox(region)));
+    ASSERT_OK(obj.Set(*band_class, "timestamp", Value::Time(AbsTime(100))));
+    ASSERT_OK_AND_ASSIGN(Oid oid, kernel->Insert(std::move(obj)));
+    scene.push_back(oid);
+  }
+
+  // The compound wrapper: one stage applying the Figure 4 process.
+  CompoundProcessDef compound("pca_figure4", "pca");
+  ASSERT_OK(compound.AddExternalInput("scene", "scene_band"));
+  CompoundStage stage;
+  stage.name = "pca";
+  stage.process_name = "principal-component";
+  stage.bindings["bands"] = StageInput{StageInput::Source::kExternal, "scene"};
+  ASSERT_OK(compound.AddStage(std::move(stage)));
+
+  // Deterministic trace clock: 1000us start, 10us per reading. Only the
+  // tracer consumes it, so every span open/close is exactly one tick.
+  FakeClockEnv clock(Env::Default(), /*start_us=*/1000, /*auto_step_us=*/10);
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Reset();
+  tracer.SetClock([&clock] { return clock.NowMicros(); });
+  tracer.Enable(true);
+  ASSERT_OK(kernel->DeriveCompound(compound, {{"scene", scene}}).status());
+  tracer.Enable(false);
+  tracer.SetClock({});
+
+  // Structural expectations first, so a mismatch reads as a real diagnosis
+  // and not just a golden diff.
+  std::vector<obs::Span> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 11u);
+  const obs::Span* root = FindSpan(spans, "compound:pca_figure4");
+  const obs::Span* task = FindSpan(spans, "task:principal-component");
+  const obs::Span* prepare = FindSpan(spans, "prepare:principal-component");
+  const obs::Span* commit = FindSpan(spans, "commit:principal-component");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(task, nullptr);
+  ASSERT_NE(prepare, nullptr);
+  ASSERT_NE(commit, nullptr);
+  EXPECT_EQ(root->parent_id, 0u);
+  EXPECT_EQ(task->parent_id, root->span_id);
+  EXPECT_EQ(prepare->parent_id, task->span_id);
+  EXPECT_EQ(commit->parent_id, root->span_id);
+  // Figure 4's five operator kinds all ran, parented under the prepare.
+  for (const char* op :
+       {"op:convert_image_matrix", "op:compute_covariance",
+        "op:get_eigen_vector", "op:linear_combination",
+        "op:convert_matrix_image"}) {
+    const obs::Span* s = FindSpan(spans, op);
+    ASSERT_NE(s, nullptr) << op;
+    EXPECT_EQ(s->parent_id, prepare->span_id) << op;
+    EXPECT_EQ(s->trace_id, root->trace_id) << op;
+  }
+  EXPECT_EQ(tracer.dropped(), 0u);
+
+  std::string got = NormalizeDurations(tracer.DumpChromeJson());
+
+  if (std::getenv("GAEA_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath());
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << got;
+    GTEST_SKIP() << "golden regenerated at " << GoldenPath();
+  }
+
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.good()) << "missing golden fixture " << GoldenPath()
+                         << " (run with GAEA_UPDATE_GOLDEN=1 to create)";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "trace changed; if intentional, regenerate with GAEA_UPDATE_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace gaea

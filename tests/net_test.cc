@@ -7,7 +7,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -158,11 +161,41 @@ CLASS slow_out (
   TEMPORAL EXTENT: timestamp = abstime;
   DERIVED BY: slow-ident
 )
+CLASS nap_out (
+  ATTRIBUTES:
+    v = int4;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+  DERIVED BY: nap-ident
+)
 )";
 
-// Milliseconds the slow operator blocks; long enough that a queued request
-// behind it reliably outlives a short deadline even on a loaded CI machine.
-constexpr int kSlowMs = 300;
+// The slow operator parks on this gate instead of sleeping a tuned number
+// of milliseconds: tests admit work, assert on queue state while the worker
+// is provably blocked, then open the gate. No wall-clock coupling, so a
+// loaded CI machine cannot turn the saturation tests flaky.
+class Gate {
+ public:
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+// The nap operator really sleeps — only the graceful-shutdown test uses it,
+// where elapsed time is benign (shutdown waits however long it takes) and a
+// genuine drain-while-executing overlap is the point.
+constexpr int kNapMs = 50;
 
 ProcessDef MakeIdentityProcess(const char* name, const char* output,
                                const char* op) {
@@ -199,20 +232,36 @@ class NetTest : public ::testing::Test {
     OperatorSignature slow;
     slow.params = {TypeId::kInt};
     slow.result = TypeId::kInt;
-    slow.doc = "identity that waits, modeling an external procedure";
-    slow.fn = [](const ValueList& args) -> StatusOr<Value> {
-      std::this_thread::sleep_for(std::chrono::milliseconds(kSlowMs));
+    slow.doc = "identity that blocks on the test gate";
+    slow.fn = [this](const ValueList& args) -> StatusOr<Value> {
+      gate_.Wait();
       return args[0];
     };
     ASSERT_OK(kernel_->operators().Register("net_test_slow", std::move(slow)));
 
+    OperatorSignature nap;
+    nap.params = {TypeId::kInt};
+    nap.result = TypeId::kInt;
+    nap.doc = "identity that sleeps briefly, modeling an external procedure";
+    nap.fn = [](const ValueList& args) -> StatusOr<Value> {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kNapMs));
+      return args[0];
+    };
+    ASSERT_OK(kernel_->operators().Register("net_test_nap", std::move(nap)));
+
     ASSERT_OK(kernel_->ExecuteDdl(kSchema));
     ASSERT_OK(kernel_->DefineProcess(
         MakeIdentityProcess("slow-ident", "slow_out", "net_test_slow")));
+    ASSERT_OK(kernel_->DefineProcess(
+        MakeIdentityProcess("nap-ident", "nap_out", "net_test_nap")));
 
     server_ = std::make_unique<GaeaServer>(kernel_.get(), options);
     ASSERT_OK(server_->Start());
   }
+
+  // Any still-parked slow operator must be released before the server's
+  // drain (and the kernel teardown) can finish.
+  void TearDown() override { gate_.Open(); }
 
   Oid InsertSample(int v) {
     const ClassDef* cls =
@@ -231,20 +280,26 @@ class NetTest : public ::testing::Test {
     return std::move(client).value();
   }
 
-  // Waits until the server has admitted at least `n` worker requests.
-  void WaitForInFlight(uint64_t n) {
+  // Polls `pred` until it holds (bounded by the ctest timeout margin).
+  void WaitUntil(const std::function<bool()>& pred, const char* what) {
     auto deadline = std::chrono::steady_clock::now() +
                     std::chrono::seconds(10);
-    while (server_->stats().in_flight < n) {
-      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
-          << "in_flight never reached " << n;
+    while (!pred()) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline) << what;
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
+  }
+
+  // Waits until the server has admitted at least `n` worker requests.
+  void WaitForInFlight(uint64_t n) {
+    WaitUntil([this, n] { return server_->stats().in_flight >= n; },
+              "in_flight never reached the expected count");
   }
 
   std::unique_ptr<TempDir> dir_;
   std::unique_ptr<GaeaKernel> kernel_;
   std::unique_ptr<GaeaServer> server_;
+  Gate gate_;
 };
 
 TEST_F(NetTest, LoopbackRoundTrip) {
@@ -372,7 +427,7 @@ TEST_F(NetTest, ConcurrentSessions) {
 
 TEST_F(NetTest, DeadlineExpiryReturnsUnavailable) {
   GaeaServer::Options options;
-  options.workers = 1;  // one worker: the slow job blocks the queue
+  options.workers = 1;  // one worker: the gated job blocks the queue
   StartServer(options);
 
   Oid slow_input = InsertSample(1);
@@ -384,18 +439,27 @@ TEST_F(NetTest, DeadlineExpiryReturnsUnavailable) {
   });
   WaitForInFlight(1);
 
-  // Admitted behind a kSlowMs job with a far shorter deadline: by the time
-  // the worker frees up the deadline has passed, so the kernel is never
-  // touched and the client sees kUnavailable.
-  GaeaClient::Options client_options;
-  client_options.deadline_ms = 20;
-  auto client =
-      GaeaClient::Connect("127.0.0.1", server_->port(), client_options);
-  ASSERT_TRUE(client.ok());
-  auto expired = (*client)->Derive("slow-ident", {{"in", {InsertSample(2)}}});
-  ASSERT_FALSE(expired.ok());
-  EXPECT_EQ(expired.status().code(), StatusCode::kUnavailable);
+  // Queued behind the gated job with a short deadline. The job stays queued
+  // for as long as the gate is shut, so waiting out the deadline here is
+  // deterministic: the worker cannot pick it up early.
+  Oid input = InsertSample(2);
+  Status expired = Status::OK();
+  std::thread short_deadline([this, input, &expired] {
+    GaeaClient::Options client_options;
+    client_options.deadline_ms = 20;
+    auto client =
+        GaeaClient::Connect("127.0.0.1", server_->port(), client_options);
+    ASSERT_TRUE(client.ok());
+    expired = (*client)->Derive("slow-ident", {{"in", {input}}}).status();
+  });
+  WaitForInFlight(2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  gate_.Open();
+  short_deadline.join();
   blocker.join();
+
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.code(), StatusCode::kUnavailable);
   ServerStats stats = server_->stats();
   EXPECT_GE(stats.rejected_deadline, 1u);
   // Rejections live only in rejected_*, not also in requests_error.
@@ -405,7 +469,7 @@ TEST_F(NetTest, DeadlineExpiryReturnsUnavailable) {
 TEST_F(NetTest, BackpressureReturnsUnavailable) {
   GaeaServer::Options options;
   options.workers = 1;
-  options.max_inflight = 1;  // the slow job saturates admission
+  options.max_inflight = 1;  // the gated job saturates admission
   StartServer(options);
 
   Oid slow_input = InsertSample(1);
@@ -417,11 +481,12 @@ TEST_F(NetTest, BackpressureReturnsUnavailable) {
   });
   WaitForInFlight(1);
 
+  // Admission is synchronous: with the single slot provably held by the
+  // parked job, this derive is rejected at the door.
   auto client = Connect();
   auto rejected = (*client).Derive("slow-ident", {{"in", {InsertSample(2)}}});
   ASSERT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
-  blocker.join();
   ServerStats stats = server_->stats();
   EXPECT_GE(stats.rejected_overload, 1u);
   // Rejections live only in rejected_*, not also in requests_error.
@@ -430,6 +495,9 @@ TEST_F(NetTest, BackpressureReturnsUnavailable) {
   // Light requests bypass the worker pool, so a saturated server still
   // answers pings and stats.
   ASSERT_OK(client->Ping());
+
+  gate_.Open();
+  blocker.join();
 }
 
 TEST_F(NetTest, RetriedDeriveWithSameIdempotencyKeyExecutesOnce) {
@@ -487,18 +555,28 @@ TEST_F(NetTest, RetryPolicyAbsorbsBackpressure) {
 
   // Same saturation as BackpressureReturnsUnavailable, but this client is
   // allowed to retry: the kUnavailable rejections are absorbed by backoff
-  // and the call succeeds once the slow job drains.
-  GaeaClient::Options client_options;
-  client_options.retry.max_attempts = 50;
-  client_options.retry.initial_backoff_ms = 20;
-  client_options.retry.max_backoff_ms = 100;
-  ASSERT_OK_AND_ASSIGN(
-      std::unique_ptr<GaeaClient> client,
-      GaeaClient::Connect("127.0.0.1", server_->port(), client_options));
-  ASSERT_OK_AND_ASSIGN(Oid derived,
-                       client->Derive("slow-ident", {{"in", {InsertSample(2)}}}));
-  EXPECT_NE(derived, kInvalidOid);
+  // and the call succeeds once the parked job drains. The gate opens only
+  // after at least one retry has provably met the saturated server.
+  Oid input = InsertSample(2);
+  Oid derived = kInvalidOid;
+  std::thread retrying([this, input, &derived] {
+    GaeaClient::Options client_options;
+    client_options.retry.max_attempts = 50;
+    client_options.retry.initial_backoff_ms = 20;
+    client_options.retry.max_backoff_ms = 100;
+    auto client =
+        GaeaClient::Connect("127.0.0.1", server_->port(), client_options);
+    ASSERT_TRUE(client.ok());
+    auto oid = (*client)->Derive("slow-ident", {{"in", {input}}});
+    ASSERT_TRUE(oid.ok()) << oid.status().ToString();
+    derived = *oid;
+  });
+  WaitUntil([this] { return server_->stats().rejected_overload >= 1; },
+            "the retrying client never met the saturated server");
+  gate_.Open();
+  retrying.join();
   blocker.join();
+  EXPECT_NE(derived, kInvalidOid);
 
   ServerStats stats = server_->stats();
   // The retries really did meet a saturated server...
@@ -514,7 +592,7 @@ TEST_F(NetTest, GracefulShutdownDrainsInFlightWork) {
   std::thread in_flight([this, slow_input, &derive_ok] {
     auto client = GaeaClient::Connect("127.0.0.1", server_->port());
     ASSERT_TRUE(client.ok());
-    auto derived = (*client)->Derive("slow-ident", {{"in", {slow_input}}});
+    auto derived = (*client)->Derive("nap-ident", {{"in", {slow_input}}});
     derive_ok.store(derived.ok() && *derived != kInvalidOid);
   });
   WaitForInFlight(1);
@@ -529,41 +607,57 @@ TEST_F(NetTest, GracefulShutdownDrainsInFlightWork) {
   EXPECT_FALSE(late.ok());
 }
 
+// Opens a raw TCP connection to the loopback server — for frames the
+// GaeaClient would never send.
+int RawConnect(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+// Blocks for the next response frame and decodes its header.
+ResponseHeader AwaitResponse(int fd) {
+  FrameBuffer fb;
+  std::string payload;
+  for (;;) {
+    auto have = fb.Next(&payload);
+    EXPECT_TRUE(have.ok());
+    if (have.ok() && *have) break;
+    bool closed = false;
+    Status recv = RecvInto(fd, &fb, &closed);
+    EXPECT_TRUE(recv.ok()) << recv.ToString();
+    EXPECT_FALSE(closed) << "connection closed before a response";
+    if (!recv.ok() || closed) return ResponseHeader{};
+  }
+  BinaryReader reader(payload);
+  auto header = DecodeResponseHeader(&reader);
+  EXPECT_TRUE(header.ok());
+  return header.ok() ? *header : ResponseHeader{};
+}
+
+// Performs the hello handshake on a raw connection.
+void RawHandshake(int fd) {
+  RequestHeader hello;
+  hello.type = MsgType::kHello;
+  hello.id = 1;
+  BinaryWriter w;
+  EncodeRequestHeader(hello, &w);
+  EncodeHello(&w);
+  ASSERT_OK(SendAll(fd, EncodeFrame(w.buffer())));
+  EXPECT_EQ(AwaitResponse(fd).code, StatusCode::kOk);
+}
+
 TEST_F(NetTest, BadHelloAndHandshakeBypassAreRejected) {
   StartServer(GaeaServer::Options());
 
-  auto raw_connect = [this]() -> int {
-    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    EXPECT_GE(fd, 0);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<uint16_t>(server_->port()));
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    EXPECT_EQ(
-        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
-    return fd;
-  };
-  auto await_response = [](int fd) -> ResponseHeader {
-    FrameBuffer fb;
-    std::string payload;
-    for (;;) {
-      auto have = fb.Next(&payload);
-      EXPECT_TRUE(have.ok());
-      if (have.ok() && *have) break;
-      bool closed = false;
-      Status recv = RecvInto(fd, &fb, &closed);
-      EXPECT_TRUE(recv.ok()) << recv.ToString();
-      EXPECT_FALSE(closed) << "connection closed before a response";
-      if (!recv.ok() || closed) return ResponseHeader{};
-    }
-    BinaryReader reader(payload);
-    auto header = DecodeResponseHeader(&reader);
-    EXPECT_TRUE(header.ok());
-    return header.ok() ? *header : ResponseHeader{};
-  };
-
   // Wrong magic in the hello: kFailedPrecondition, then the server hangs up.
-  int fd = raw_connect();
+  int fd = RawConnect(server_->port());
   RequestHeader hello;
   hello.type = MsgType::kHello;
   hello.id = 1;
@@ -572,19 +666,132 @@ TEST_F(NetTest, BadHelloAndHandshakeBypassAreRejected) {
   w.PutU32(0xDEADBEEF);
   w.PutU16(kProtocolVersion);
   ASSERT_OK(SendAll(fd, EncodeFrame(w.buffer())));
-  EXPECT_EQ(await_response(fd).code, StatusCode::kFailedPrecondition);
+  EXPECT_EQ(AwaitResponse(fd).code, StatusCode::kFailedPrecondition);
   ::close(fd);
 
   // Skipping the handshake entirely is just as unacceptable.
-  fd = raw_connect();
+  fd = RawConnect(server_->port());
   RequestHeader ping;
   ping.type = MsgType::kPing;
   ping.id = 1;
   BinaryWriter w2;
   EncodeRequestHeader(ping, &w2);
   ASSERT_OK(SendAll(fd, EncodeFrame(w2.buffer())));
-  EXPECT_EQ(await_response(fd).code, StatusCode::kFailedPrecondition);
+  EXPECT_EQ(AwaitResponse(fd).code, StatusCode::kFailedPrecondition);
   ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Trace propagation over the wire (docs/OBSERVABILITY.md)
+// ---------------------------------------------------------------------------
+
+TEST(WireTest, TraceIdSurvivesHeaderRoundTrip) {
+  RequestHeader request;
+  request.type = MsgType::kDerive;
+  request.id = 9;
+  request.deadline_ms = 250;
+  request.idem = 0xAB;
+  request.trace_id = 0x1122334455667788ull;
+  BinaryWriter w;
+  EncodeRequestHeader(request, &w);
+  BinaryReader r(w.buffer());
+  ASSERT_OK_AND_ASSIGN(RequestHeader decoded, DecodeRequestHeader(&r));
+  EXPECT_EQ(decoded.trace_id, request.trace_id);
+
+  ResponseHeader response;
+  response.id = 9;
+  response.request_type = MsgType::kDerive;
+  response.code = StatusCode::kNotFound;
+  response.message = "nope";
+  response.trace_id = 0x8877665544332211ull;
+  BinaryWriter rw;
+  EncodeResponseHeader(response, &rw);
+  BinaryReader rr(rw.buffer());
+  ASSERT_OK_AND_ASSIGN(ResponseHeader rdecoded, DecodeResponseHeader(&rr));
+  EXPECT_EQ(rdecoded.trace_id, response.trace_id);
+  EXPECT_EQ(rdecoded.code, StatusCode::kNotFound);
+}
+
+TEST_F(NetTest, ServerEchoesRequestTraceId) {
+  StartServer(GaeaServer::Options());
+  int fd = RawConnect(server_->port());
+  RawHandshake(fd);
+
+  RequestHeader ping;
+  ping.type = MsgType::kPing;
+  ping.id = 2;
+  ping.trace_id = 0xBEEFCAFE;
+  BinaryWriter w;
+  EncodeRequestHeader(ping, &w);
+  ASSERT_OK(SendAll(fd, EncodeFrame(w.buffer())));
+  ResponseHeader reply = AwaitResponse(fd);
+  EXPECT_EQ(reply.code, StatusCode::kOk);
+  EXPECT_EQ(reply.trace_id, 0xBEEFCAFEu);
+  ::close(fd);
+}
+
+TEST_F(NetTest, DedupReplayEchoesOriginalTraceAndCountsNothingTwice) {
+  StartServer(GaeaServer::Options());
+  ASSERT_OK(kernel_->DefineProcess(
+      MakeIdentityProcess("remote-ident", "ident_out", nullptr)));
+  Oid input = InsertSample(7);
+
+  BinaryWriter body;
+  DeriveRequest derive;
+  derive.process = "remote-ident";
+  derive.inputs["in"] = {input};
+  EncodeDeriveRequest(derive, &body);
+
+  // One connection, one handshake: both sends share every counter baseline
+  // except what the derive itself moves.
+  int fd = RawConnect(server_->port());
+  RawHandshake(fd);
+  auto send_derive = [&](uint64_t trace_id) -> ResponseHeader {
+    RequestHeader header;
+    header.type = MsgType::kDerive;
+    header.id = 2;
+    header.idem = 0xFEEDFACE;  // same (idem, id) pair both times: a retry
+    header.trace_id = trace_id;
+    BinaryWriter w;
+    EncodeRequestHeader(header, &w);
+    w.PutRaw(body.buffer().data(), body.buffer().size());
+    Status sent = SendAll(fd, EncodeFrame(w.buffer()));
+    EXPECT_TRUE(sent.ok()) << sent.ToString();
+    return AwaitResponse(fd);
+  };
+
+  ResponseHeader original = send_derive(/*trace_id=*/101);
+  EXPECT_EQ(original.code, StatusCode::kOk);
+  EXPECT_EQ(original.trace_id, 101u);
+  uint64_t completed_after_first =
+      kernel_->metrics().GetCounter("gaea_derives_completed_total")->value();
+  uint64_t ok_after_first = server_->stats().requests_ok;
+
+  // The retry carries its own (different) trace id, but the replayed bytes
+  // are the original execution's response — original trace id included —
+  // and no execution metric moves.
+  ResponseHeader replay = send_derive(/*trace_id=*/202);
+  EXPECT_EQ(replay.code, StatusCode::kOk);
+  EXPECT_EQ(replay.trace_id, 101u);
+  EXPECT_EQ(server_->stats().dedup_hits, 1u);
+  EXPECT_EQ(
+      kernel_->metrics().GetCounter("gaea_derives_completed_total")->value(),
+      completed_after_first);
+  EXPECT_EQ(server_->stats().requests_ok, ok_after_first);
+  ::close(fd);
+}
+
+TEST_F(NetTest, MetricsEndpointServesPrometheusText) {
+  StartServer(GaeaServer::Options());
+  auto client = Connect();
+  ASSERT_OK(client->Ping());
+  ASSERT_OK_AND_ASSIGN(std::string text, client->Metrics());
+  EXPECT_NE(text.find("# TYPE gaead_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("gaead_requests_total "), std::string::npos);
+  EXPECT_NE(text.find("gaea_derivation_cache_hits"), std::string::npos);
+  EXPECT_NE(text.find("gaead_request_latency_micros_bucket"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -4,7 +4,10 @@
 //
 //   gaead --dir <db_dir> [--port N] [--host A.B.C.D] [--workers N]
 //         [--max-inflight N] [--derive-threads N]
-//         [--durability none|os|fsync]
+//         [--durability none|os|fsync] [--trace <file>]
+//
+// --trace enables span collection for the daemon's lifetime and writes the
+// Chrome trace JSON to <file> during shutdown (docs/OBSERVABILITY.md).
 //
 // SIGTERM / SIGINT shut down gracefully: the listener closes, admitted
 // requests drain, journals are flushed, then the process exits 0.
@@ -13,10 +16,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "gaea/kernel.h"
 #include "net/server.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -28,13 +33,14 @@ struct Flags {
   int max_inflight = 128;
   int derive_threads = 4;
   gaea::DurabilityMode durability = gaea::DurabilityMode::kOs;
+  std::string trace_file;  // empty = tracing off
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --dir <db_dir> [--port N] [--host A.B.C.D] "
                "[--workers N] [--max-inflight N] [--derive-threads N] "
-               "[--durability none|os|fsync]\n",
+               "[--durability none|os|fsync] [--trace <file>]\n",
                argv0);
   return 2;
 }
@@ -76,11 +82,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       flags.durability = *mode;
+    } else if (arg == "--trace" && (value = next())) {
+      flags.trace_file = value;
     } else {
       return Usage(argv[0]);
     }
   }
   if (flags.dir.empty()) return Usage(argv[0]);
+  if (!flags.trace_file.empty()) gaea::obs::Tracer::Global().Enable(true);
 
   // Block the shutdown signals before any thread exists so every server
   // thread inherits the mask and delivery funnels into sigwait below.
@@ -127,6 +136,16 @@ int main(int argc, char** argv) {
   std::printf("gaead: signal %s, draining\n", strsignal(signo));
   std::fflush(stdout);
   server.Shutdown();
+  if (!flags.trace_file.empty()) {
+    std::ofstream out(flags.trace_file);
+    if (out) {
+      out << gaea::obs::Tracer::Global().DumpChromeJson();
+      std::printf("gaead: wrote trace to %s\n", flags.trace_file.c_str());
+    } else {
+      std::fprintf(stderr, "gaead: cannot open trace file %s\n",
+                   flags.trace_file.c_str());
+    }
+  }
   std::printf("gaead: stopped\n");
   return 0;
 }
