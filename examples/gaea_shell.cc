@@ -27,6 +27,9 @@
 //   derive-batch <process> arg=oid[,oid...] ... [; <process> ...]
 //                            run derivations on the scheduler (cached)
 //   set-threads <n>          worker threads for derive-batch / compounds
+//   lint [--json]            run every static-analysis pass over the
+//                            current catalog (incrementally cached); --json
+//                            prints the machine-readable diagnostic list
 //   stats [--json]           catalog, derivation-cache and buffer-pool stats
 //                            (--json: machine-readable, for benches and CI)
 //   metrics                  Prometheus text exposition of every instrument
@@ -35,7 +38,8 @@
 //   trace <file>             dump collected spans as Chrome trace JSON
 //   quit
 //
-// Remote sessions additionally understand `metrics` (the kMetrics RPC);
+// Remote sessions additionally understand `metrics` (the kMetrics RPC) and
+// `lint [--json]` (the kLint RPC, analyzing the *server's* catalog);
 // trace and profile read the *local* process and are local-mode only.
 
 #include <cstdio>
@@ -44,6 +48,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/sarif.h"
 #include "gaea/kernel.h"
 #include "net/client.h"
 #include "obs/trace.h"
@@ -54,6 +59,20 @@ namespace {
 
 void PrintStatus(const Status& status) {
   std::printf("%s\n", status.ToString().c_str());
+}
+
+// Shared by the local and remote `lint` commands.
+void PrintDiagnostics(const std::vector<Diagnostic>& diags, bool json) {
+  if (json) {
+    std::printf("%s\n", DiagnosticsToJson(diags).c_str());
+    return;
+  }
+  size_t errors = 0;
+  for (const Diagnostic& d : diags) {
+    std::printf("%s\n", d.ToString().c_str());
+    if (d.severity == Severity::kError) ++errors;
+  }
+  std::printf("%zu finding(s), %zu error(s)\n", diags.size(), errors);
 }
 
 bool ParseDeriveRequests(std::istringstream& words,
@@ -88,6 +107,7 @@ class Shell {
     if (cmd == "net") return Net();
     if (cmd == "can-derive") return CanDerive(words);
     if (cmd == "tasks") return Tasks();
+    if (cmd == "lint") return Lint(words);
     if (cmd == "stats") return Stats(words);
     if (cmd == "metrics") return Metrics();
     if (cmd == "profile") return Profile();
@@ -318,6 +338,13 @@ class Shell {
     return true;
   }
 
+  bool Lint(std::istringstream& words) {
+    std::string flag;
+    words >> flag;
+    PrintDiagnostics(kernel_->LintCatalog(), flag == "--json");
+    return true;
+  }
+
   bool Stats(std::istringstream& words) {
     std::string flag;
     words >> flag;
@@ -518,9 +545,10 @@ class RemoteShell {
     if (cmd == "lineage") return Lineage(words);
     if (cmd == "stats") return Stats();
     if (cmd == "metrics") return Metrics();
+    if (cmd == "lint") return Lint(words);
     std::printf("unknown remote command: %s (remote commands: ddl, ddl-file, "
                 "derive, derive-batch, lineage, stats [--json], metrics, "
-                "ping, quit)\n",
+                "lint [--json], ping, quit)\n",
                 cmd.c_str());
     return true;
   }
@@ -642,6 +670,18 @@ class RemoteShell {
       return true;
     }
     std::printf("%s", text->c_str());
+    return true;
+  }
+
+  bool Lint(std::istringstream& words) {
+    std::string flag;
+    words >> flag;
+    auto diags = client_->Lint();
+    if (!diags.ok()) {
+      PrintStatus(diags.status());
+      return true;
+    }
+    PrintDiagnostics(*diags, flag == "--json");
     return true;
   }
 

@@ -1,0 +1,519 @@
+#include "analysis/abstract_value.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace gaea {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Endpoint product with the interval-arithmetic convention 0 * inf = 0.
+double SafeMul(double a, double b) {
+  if (a == 0.0 || b == 0.0) return 0.0;
+  return a * b;
+}
+
+}  // namespace
+
+Interval::Interval() : lo(-kInf), hi(kInf) {}
+
+Interval Interval::Top() { return Interval(); }
+
+Interval Interval::Point(double v) {
+  Interval i;
+  i.lo = v;
+  i.hi = v;
+  return i;
+}
+
+Interval Interval::Range(double lo, double hi) {
+  Interval i;
+  i.lo = lo;
+  i.hi = hi;
+  return i;
+}
+
+Interval Interval::AtLeast(double v, bool open) {
+  Interval i;
+  i.lo = v;
+  i.lo_open = open;
+  return i;
+}
+
+Interval Interval::AtMost(double v, bool open) {
+  Interval i;
+  i.hi = v;
+  i.hi_open = open;
+  return i;
+}
+
+bool Interval::IsTop() const {
+  return lo == -kInf && hi == kInf;
+}
+
+bool Interval::IsEmpty() const {
+  if (lo > hi) return true;
+  return lo == hi && (lo_open || hi_open);
+}
+
+bool Interval::IsPoint() const {
+  return lo == hi && !lo_open && !hi_open;
+}
+
+bool Interval::Contains(double v) const {
+  if (IsEmpty()) return false;
+  if (v < lo || (v == lo && lo_open)) return false;
+  if (v > hi || (v == hi && hi_open)) return false;
+  return true;
+}
+
+Interval Interval::Intersect(const Interval& o) const {
+  Interval r;
+  if (lo > o.lo || (lo == o.lo && lo_open)) {
+    r.lo = lo;
+    r.lo_open = lo_open;
+  } else {
+    r.lo = o.lo;
+    r.lo_open = o.lo_open;
+  }
+  if (hi < o.hi || (hi == o.hi && hi_open)) {
+    r.hi = hi;
+    r.hi_open = hi_open;
+  } else {
+    r.hi = o.hi;
+    r.hi_open = o.hi_open;
+  }
+  return r;
+}
+
+Interval Interval::Join(const Interval& o) const {
+  if (IsEmpty()) return o;
+  if (o.IsEmpty()) return *this;
+  Interval r;
+  if (lo < o.lo || (lo == o.lo && !lo_open)) {
+    r.lo = lo;
+    r.lo_open = lo_open;
+  } else {
+    r.lo = o.lo;
+    r.lo_open = o.lo_open;
+  }
+  if (hi > o.hi || (hi == o.hi && !hi_open)) {
+    r.hi = hi;
+    r.hi_open = hi_open;
+  } else {
+    r.hi = o.hi;
+    r.hi_open = o.hi_open;
+  }
+  return r;
+}
+
+bool Interval::Equals(const Interval& o) const {
+  return lo == o.lo && hi == o.hi && lo_open == o.lo_open &&
+         hi_open == o.hi_open;
+}
+
+bool Interval::AlwaysLess(const Interval& o) const {
+  if (IsEmpty() || o.IsEmpty()) return true;
+  return hi < o.lo || (hi == o.lo && (hi_open || o.lo_open));
+}
+
+bool Interval::AlwaysLessEq(const Interval& o) const {
+  if (IsEmpty() || o.IsEmpty()) return true;
+  return hi <= o.lo;
+}
+
+bool Interval::Disjoint(const Interval& o) const {
+  return AlwaysLess(o) || o.AlwaysLess(*this);
+}
+
+std::string Interval::ToString() const {
+  if (IsEmpty()) return "{}";
+  if (IsPoint()) {
+    std::ostringstream os;
+    os << "{" << lo << "}";
+    return os.str();
+  }
+  std::ostringstream os;
+  os << (lo == -kInf || lo_open ? "(" : "[");
+  if (lo == -kInf) {
+    os << "-inf";
+  } else {
+    os << lo;
+  }
+  os << ", ";
+  if (hi == kInf) {
+    os << "+inf";
+  } else {
+    os << hi;
+  }
+  os << (hi == kInf || hi_open ? ")" : "]");
+  return os.str();
+}
+
+Interval IntervalAdd(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return a.IsEmpty() ? a : b;
+  return Interval::Range(a.lo + b.lo, a.hi + b.hi);
+}
+
+Interval IntervalSub(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return a.IsEmpty() ? a : b;
+  return Interval::Range(a.lo - b.hi, a.hi - b.lo);
+}
+
+Interval IntervalMul(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return a.IsEmpty() ? a : b;
+  const double c[] = {SafeMul(a.lo, b.lo), SafeMul(a.lo, b.hi),
+                      SafeMul(a.hi, b.lo), SafeMul(a.hi, b.hi)};
+  return Interval::Range(*std::min_element(c, c + 4),
+                         *std::max_element(c, c + 4));
+}
+
+Interval IntervalDiv(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return a.IsEmpty() ? a : b;
+  if (b.Contains(0.0)) return Interval::Top();
+  const double c[] = {a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi};
+  return Interval::Range(*std::min_element(c, c + 4),
+                         *std::max_element(c, c + 4));
+}
+
+AbstractValue AbstractValue::Top() { return AbstractValue(); }
+
+AbstractValue AbstractValue::OfType(TypeId t) {
+  AbstractValue v;
+  v.type = t;
+  if (t == TypeId::kBool) v.range = Interval::Range(0, 1);
+  if (t == TypeId::kImage || t == TypeId::kMatrix || t == TypeId::kList) {
+    v.rows = Interval::AtLeast(0);
+    v.cols = Interval::AtLeast(0);
+  }
+  if (t == TypeId::kList) v.length = Interval::AtLeast(0);
+  return v;
+}
+
+AbstractValue AbstractValue::Constant(const Value& v) {
+  AbstractValue av = OfType(v.type());
+  av.maybe_null = v.is_null();
+  switch (v.type()) {
+    case TypeId::kBool: {
+      auto b = v.AsBool();
+      if (b.ok()) av.range = Interval::Point(*b ? 1 : 0);
+      break;
+    }
+    case TypeId::kInt:
+    case TypeId::kDouble: {
+      auto d = v.AsDouble();
+      if (d.ok()) {
+        av.range = Interval::Point(*d);
+        av.maybe_null = false;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return av;
+}
+
+AbstractValue AbstractValue::Bool(TriBool t) {
+  AbstractValue v = OfType(TypeId::kBool);
+  v.maybe_null = false;
+  if (t == TriBool::kTrue) v.range = Interval::Point(1);
+  if (t == TriBool::kFalse) v.range = Interval::Point(0);
+  return v;
+}
+
+TriBool AbstractValue::AsTriBool() const {
+  if (type != TypeId::kBool) return TriBool::kUnknown;
+  if (range.IsPoint()) {
+    return range.lo != 0.0 ? TriBool::kTrue : TriBool::kFalse;
+  }
+  return TriBool::kUnknown;
+}
+
+AbstractValue AbstractValue::Join(const AbstractValue& o) const {
+  AbstractValue r;
+  r.type = type == o.type ? type : TypeId::kNull;
+  r.elem = elem == o.elem ? elem : TypeId::kNull;
+  r.range = range.Join(o.range);
+  r.rows = rows.Join(o.rows);
+  r.cols = cols.Join(o.cols);
+  r.length = length.Join(o.length);
+  r.maybe_null = maybe_null || o.maybe_null;
+  return r;
+}
+
+bool AbstractValue::Equals(const AbstractValue& o) const {
+  return type == o.type && elem == o.elem && range.Equals(o.range) &&
+         rows.Equals(o.rows) && cols.Equals(o.cols) &&
+         length.Equals(o.length) && maybe_null == o.maybe_null;
+}
+
+std::string AbstractValue::ToString() const {
+  std::ostringstream os;
+  os << "AV(type=" << static_cast<int>(type) << " range=" << range.ToString();
+  if (!rows.IsTop() || !cols.IsTop()) {
+    os << " shape=" << rows.ToString() << "x" << cols.ToString();
+  }
+  if (!length.IsTop()) os << " len=" << length.ToString();
+  os << ")";
+  return os.str();
+}
+
+Status TransferRegistry::Register(const std::string& op, TransferFn fn) {
+  if (fns_.count(op) != 0) {
+    return Status::AlreadyExists("transfer function for '" + op + "'");
+  }
+  fns_[op] = std::move(fn);
+  return Status::OK();
+}
+
+const TransferFn* TransferRegistry::Find(const std::string& op) const {
+  auto it = fns_.find(op);
+  return it == fns_.end() ? nullptr : &it->second;
+}
+
+TriBool CompareIntervals(const std::string& cmp, const Interval& a,
+                         const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return TriBool::kUnknown;
+  if (cmp == "lt") {
+    if (a.AlwaysLess(b)) return TriBool::kTrue;
+    if (b.AlwaysLessEq(a)) return TriBool::kFalse;
+  } else if (cmp == "le") {
+    if (a.AlwaysLessEq(b)) return TriBool::kTrue;
+    if (b.AlwaysLess(a)) return TriBool::kFalse;
+  } else if (cmp == "gt") {
+    if (b.AlwaysLess(a)) return TriBool::kTrue;
+    if (a.AlwaysLessEq(b)) return TriBool::kFalse;
+  } else if (cmp == "ge") {
+    if (b.AlwaysLessEq(a)) return TriBool::kTrue;
+    if (a.AlwaysLess(b)) return TriBool::kFalse;
+  } else if (cmp == "eq") {
+    if (a.IsPoint() && b.IsPoint() && a.lo == b.lo) return TriBool::kTrue;
+    if (a.Disjoint(b)) return TriBool::kFalse;
+  } else if (cmp == "ne") {
+    if (a.Disjoint(b)) return TriBool::kTrue;
+    if (a.IsPoint() && b.IsPoint() && a.lo == b.lo) return TriBool::kFalse;
+  }
+  return TriBool::kUnknown;
+}
+
+namespace {
+
+AbstractValue ImageResult(const Interval& range, const Interval& rows,
+                          const Interval& cols) {
+  AbstractValue v = AbstractValue::OfType(TypeId::kImage);
+  v.range = range;
+  v.rows = rows;
+  v.cols = cols;
+  v.maybe_null = false;
+  return v;
+}
+
+AbstractValue ScalarResult(TypeId t, const Interval& range) {
+  AbstractValue v = AbstractValue::OfType(t);
+  v.range = range;
+  v.maybe_null = false;
+  return v;
+}
+
+const AbstractValue& Arg(const std::vector<AbstractValue>& args, size_t i) {
+  static const AbstractValue kTop;
+  return i < args.size() ? args[i] : kTop;
+}
+
+Status RegisterBuiltins(TransferRegistry* reg) {
+  using Args = std::vector<AbstractValue>;
+  // Scalar arithmetic.
+  GAEA_RETURN_IF_ERROR(reg->Register("add", [](const Args& a) {
+    return ScalarResult(TypeId::kDouble,
+                        IntervalAdd(Arg(a, 0).range, Arg(a, 1).range));
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("sub", [](const Args& a) {
+    return ScalarResult(TypeId::kDouble,
+                        IntervalSub(Arg(a, 0).range, Arg(a, 1).range));
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("mul", [](const Args& a) {
+    return ScalarResult(TypeId::kDouble,
+                        IntervalMul(Arg(a, 0).range, Arg(a, 1).range));
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("div", [](const Args& a) {
+    return ScalarResult(TypeId::kDouble,
+                        IntervalDiv(Arg(a, 0).range, Arg(a, 1).range));
+  }));
+  // Scalar comparisons.
+  for (const char* cmp : {"lt", "le", "gt", "ge", "eq", "ne"}) {
+    std::string name = cmp;
+    GAEA_RETURN_IF_ERROR(reg->Register(name, [name](const Args& a) {
+      return AbstractValue::Bool(
+          CompareIntervals(name, Arg(a, 0).range, Arg(a, 1).range));
+    }));
+  }
+  // Image accessors.
+  GAEA_RETURN_IF_ERROR(reg->Register("img_nrow", [](const Args& a) {
+    return ScalarResult(TypeId::kInt, Arg(a, 0).rows);
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("img_ncol", [](const Args& a) {
+    return ScalarResult(TypeId::kInt, Arg(a, 0).cols);
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("img_mean", [](const Args& a) {
+    return ScalarResult(TypeId::kDouble, Arg(a, 0).range);
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("img_size_eq", [](const Args& a) {
+    const AbstractValue& x = Arg(a, 0);
+    const AbstractValue& y = Arg(a, 1);
+    if (x.rows.Disjoint(y.rows) || x.cols.Disjoint(y.cols)) {
+      return AbstractValue::Bool(TriBool::kFalse);
+    }
+    if (x.rows.IsPoint() && y.rows.IsPoint() && x.rows.lo == y.rows.lo &&
+        x.cols.IsPoint() && y.cols.IsPoint() && x.cols.lo == y.cols.lo) {
+      return AbstractValue::Bool(TriBool::kTrue);
+    }
+    return AbstractValue::Bool(TriBool::kUnknown);
+  }));
+  // Pixel-wise image math: shapes must agree, so the output shape is the
+  // intersection of the operand shapes.
+  GAEA_RETURN_IF_ERROR(reg->Register("img_add", [](const Args& a) {
+    return ImageResult(IntervalAdd(Arg(a, 0).range, Arg(a, 1).range),
+                       Arg(a, 0).rows.Intersect(Arg(a, 1).rows),
+                       Arg(a, 0).cols.Intersect(Arg(a, 1).cols));
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("img_sub", [](const Args& a) {
+    return ImageResult(IntervalSub(Arg(a, 0).range, Arg(a, 1).range),
+                       Arg(a, 0).rows.Intersect(Arg(a, 1).rows),
+                       Arg(a, 0).cols.Intersect(Arg(a, 1).cols));
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("img_mul", [](const Args& a) {
+    return ImageResult(IntervalMul(Arg(a, 0).range, Arg(a, 1).range),
+                       Arg(a, 0).rows.Intersect(Arg(a, 1).rows),
+                       Arg(a, 0).cols.Intersect(Arg(a, 1).cols));
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("img_div", [](const Args& a) {
+    // ImgDivide maps 0-denominator pixels to 0, so the range is unbounded
+    // but the shape logic still applies.
+    return ImageResult(Interval::Top(),
+                       Arg(a, 0).rows.Intersect(Arg(a, 1).rows),
+                       Arg(a, 0).cols.Intersect(Arg(a, 1).cols));
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("ndvi", [](const Args& a) {
+    return ImageResult(Interval::Range(-1, 1),
+                       Arg(a, 0).rows.Intersect(Arg(a, 1).rows),
+                       Arg(a, 0).cols.Intersect(Arg(a, 1).cols));
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("img_scale", [](const Args& a) {
+    return ImageResult(IntervalMul(Arg(a, 0).range, Arg(a, 1).range),
+                       Arg(a, 0).rows, Arg(a, 0).cols);
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("img_threshold", [](const Args& a) {
+    return ImageResult(Interval::Range(0, 1), Arg(a, 0).rows, Arg(a, 0).cols);
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("img_blend", [](const Args& a) {
+    Interval unit = Interval::Range(0, 1);
+    Interval range = Interval::Top();
+    const Interval& w = Arg(a, 2).range;
+    if (!w.IsTop() && unit.Intersect(w).Equals(w)) {
+      range = Arg(a, 0).range.Join(Arg(a, 1).range);
+    }
+    return ImageResult(range, Arg(a, 0).rows.Intersect(Arg(a, 1).rows),
+                       Arg(a, 0).cols.Intersect(Arg(a, 1).cols));
+  }));
+  // Classification / analysis operators.
+  GAEA_RETURN_IF_ERROR(reg->Register("composite", [](const Args& a) {
+    AbstractValue v = Arg(a, 0);
+    v.type = TypeId::kList;
+    v.elem = TypeId::kImage;
+    return v;
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("unsuperclassify", [](const Args& a) {
+    const Interval& k = Arg(a, 1).range;
+    Interval labels = k.IsPoint() ? Interval::Range(0, k.lo - 1)
+                                  : Interval::AtLeast(0);
+    return ImageResult(labels, Arg(a, 0).rows, Arg(a, 0).cols);
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("maxlike", [](const Args& a) {
+    return ImageResult(Interval::AtLeast(0), Arg(a, 0).rows, Arg(a, 0).cols);
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("changemap", [](const Args& a) {
+    const Interval& k = Arg(a, 2).range;
+    Interval labels = k.IsPoint() ? Interval::Range(0, k.lo * k.lo - 1)
+                                  : Interval::AtLeast(0);
+    return ImageResult(labels, Arg(a, 0).rows.Intersect(Arg(a, 1).rows),
+                       Arg(a, 0).cols.Intersect(Arg(a, 1).cols));
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("watershed", [](const Args& a) {
+    return ImageResult(Interval::AtLeast(0), Arg(a, 0).rows, Arg(a, 0).cols);
+  }));
+  for (const char* name : {"pca", "spca"}) {
+    GAEA_RETURN_IF_ERROR(reg->Register(name, [](const Args& a) {
+      AbstractValue v = AbstractValue::OfType(TypeId::kList);
+      v.elem = TypeId::kImage;
+      v.rows = Arg(a, 0).rows;
+      v.cols = Arg(a, 0).cols;
+      const Interval& n = Arg(a, 1).range;
+      if (n.IsPoint()) v.length = n;
+      v.maybe_null = false;
+      return v;
+    }));
+  }
+  // Figure 4 matrix pipeline. Matrix rows/cols: convert_image_matrix stacks
+  // each band's pixels into a column, so rows = nrow*ncol, cols = #bands.
+  GAEA_RETURN_IF_ERROR(reg->Register("convert_image_matrix", [](const Args& a) {
+    AbstractValue v = AbstractValue::OfType(TypeId::kMatrix);
+    v.rows = IntervalMul(Arg(a, 0).rows, Arg(a, 0).cols);
+    v.cols = Arg(a, 0).length;
+    v.maybe_null = false;
+    return v;
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("compute_covariance", [](const Args& a) {
+    AbstractValue v = AbstractValue::OfType(TypeId::kMatrix);
+    v.rows = Arg(a, 0).cols;
+    v.cols = Arg(a, 0).cols;
+    v.maybe_null = false;
+    return v;
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("get_eigen_vector", [](const Args& a) {
+    AbstractValue v = AbstractValue::OfType(TypeId::kMatrix);
+    v.rows = Arg(a, 0).rows;
+    v.cols = Arg(a, 0).cols;
+    v.maybe_null = false;
+    return v;
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("linear_combination", [](const Args& a) {
+    AbstractValue v = AbstractValue::OfType(TypeId::kMatrix);
+    v.rows = Arg(a, 0).rows;
+    v.cols = Arg(a, 1).cols;
+    v.maybe_null = false;
+    return v;
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("convert_matrix_image", [](const Args& a) {
+    AbstractValue v = AbstractValue::OfType(TypeId::kList);
+    v.elem = TypeId::kImage;
+    v.rows = Arg(a, 1).range;
+    v.cols = Arg(a, 2).range;
+    v.length = Arg(a, 0).cols;
+    v.maybe_null = false;
+    return v;
+  }));
+  GAEA_RETURN_IF_ERROR(reg->Register("time_diff", [](const Args& a) {
+    (void)a;
+    return AbstractValue::OfType(TypeId::kInt);
+  }));
+  return Status::OK();
+}
+
+}  // namespace
+
+const TransferRegistry& BuiltinTransferFunctions() {
+  static const TransferRegistry* kRegistry = [] {
+    auto* reg = new TransferRegistry();
+    Status s = RegisterBuiltins(reg);
+    (void)s;  // registration of a fixed table cannot fail
+    return reg;
+  }();
+  return *kRegistry;
+}
+
+}  // namespace gaea

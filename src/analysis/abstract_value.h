@@ -1,0 +1,127 @@
+// Abstract domains for the GA4xx dataflow passes (docs/ANALYSIS.md).
+//
+// Mapping expressions are interpreted abstractly over intervals: a scalar is
+// tracked by its provable value range, an image by its pixel range and shape
+// (rows x cols), a matrix by its dimensions, and a SETOF list by its length
+// plus per-element facts. A TransferRegistry mirrors the operator registry:
+// each builtin operator gets a transfer function computing the output
+// abstraction from the input abstractions (e.g. ndvi() always lands in
+// [-1, 1]; convert_matrix_image(m, r, c) yields r x c images). Operators
+// without a registered transfer fall back to "top of the declared type".
+//
+// Everything here is deliberately conservative: facts are only recorded when
+// provable from literals, parameters (compile-time constants, §2.1.2) and
+// upstream assertions, so GA4xx errors mean the derivation can never work.
+
+#ifndef GAEA_ANALYSIS_ABSTRACT_VALUE_H_
+#define GAEA_ANALYSIS_ABSTRACT_VALUE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+#include "util/status.h"
+
+namespace gaea {
+
+// A closed-by-default interval over doubles. Only assertion refinement
+// introduces open bounds (gt/lt); arithmetic keeps results closed, which is
+// conservative. lo > hi encodes the empty interval (contradictory facts).
+struct Interval {
+  double lo;
+  double hi;
+  bool lo_open = false;
+  bool hi_open = false;
+
+  Interval();  // (-inf, +inf)
+  static Interval Top();
+  static Interval Point(double v);
+  static Interval Range(double lo, double hi);
+  static Interval AtLeast(double v, bool open = false);
+  static Interval AtMost(double v, bool open = false);
+
+  bool IsTop() const;
+  bool IsEmpty() const;
+  bool IsPoint() const;
+  bool Contains(double v) const;
+
+  Interval Intersect(const Interval& o) const;
+  Interval Join(const Interval& o) const;
+  bool Equals(const Interval& o) const;
+
+  // True when x < y (resp. x <= y) for every x in *this and y in `o`.
+  bool AlwaysLess(const Interval& o) const;
+  bool AlwaysLessEq(const Interval& o) const;
+  bool Disjoint(const Interval& o) const;
+
+  // "[-1, 1]", "[2, +inf)", "(-inf, +inf)", "{3}".
+  std::string ToString() const;
+};
+
+Interval IntervalAdd(const Interval& a, const Interval& b);
+Interval IntervalSub(const Interval& a, const Interval& b);
+Interval IntervalMul(const Interval& a, const Interval& b);
+// Top when b's range contains zero (the caller reports GA402/GA403).
+Interval IntervalDiv(const Interval& a, const Interval& b);
+
+// Three-valued truth for abstract comparisons.
+enum class TriBool : uint8_t { kFalse = 0, kTrue = 1, kUnknown = 2 };
+
+// Abstract value of one expression. Field meaning depends on `type`:
+//   scalars  range = provable value interval
+//   kImage   range = pixel-value interval, rows/cols = shape, bands unused
+//   kMatrix  rows/cols = dimensions
+//   kList    length = element count, elem = element type, and range/rows/
+//            cols describe every element (lists here are homogeneous)
+struct AbstractValue {
+  TypeId type = TypeId::kNull;  // kNull: type unknown
+  TypeId elem = TypeId::kNull;  // element type for kList
+  Interval range;
+  Interval rows;
+  Interval cols;
+  Interval length;
+  bool maybe_null = true;
+
+  static AbstractValue Top();
+  static AbstractValue OfType(TypeId t);
+  // Abstraction of a concrete constant (literal or parameter).
+  static AbstractValue Constant(const Value& v);
+  static AbstractValue Bool(TriBool t);
+
+  TriBool AsTriBool() const;
+  AbstractValue Join(const AbstractValue& o) const;
+  bool Equals(const AbstractValue& o) const;
+  std::string ToString() const;
+};
+
+// Transfer function: abstract output from abstract inputs.
+using TransferFn =
+    std::function<AbstractValue(const std::vector<AbstractValue>&)>;
+
+class TransferRegistry {
+ public:
+  TransferRegistry() = default;
+  TransferRegistry(const TransferRegistry&) = delete;
+  TransferRegistry& operator=(const TransferRegistry&) = delete;
+
+  Status Register(const std::string& op, TransferFn fn);
+  // nullptr when no transfer is registered for `op`.
+  const TransferFn* Find(const std::string& op) const;
+
+ private:
+  std::map<std::string, TransferFn> fns_;
+};
+
+// Transfer functions for every builtin operator with a useful abstraction
+// (src/types/builtin_ops.cc). The shared registry used by the dataflow pass.
+const TransferRegistry& BuiltinTransferFunctions();
+
+// Abstract comparison `a cmp b` for cmp in lt/le/gt/ge/eq/ne.
+TriBool CompareIntervals(const std::string& cmp, const Interval& a,
+                         const Interval& b);
+
+}  // namespace gaea
+
+#endif  // GAEA_ANALYSIS_ABSTRACT_VALUE_H_

@@ -1,0 +1,50 @@
+#include "analysis/analysis_cache.h"
+
+#include "analysis/analyzer.h"
+#include "analysis/cost.h"
+#include "analysis/dataflow.h"
+
+namespace gaea {
+
+const std::vector<Diagnostic>& AnalysisCache::Analyze(
+    uint64_t catalog_version, const ClassRegistry& classes,
+    const ProcessRegistry& processes, const OperatorRegistry& ops,
+    const std::set<std::string>* concept_covered) {
+  if (valid_ && catalog_version == analyzed_version_) {
+    ++stats_.cached_runs;
+    return cached_;
+  }
+  ++stats_.full_runs;
+  if (classes.size() != last_class_count_) {
+    // New classes can resolve previously-missing references (GA001/GA002),
+    // so cached per-process results are stale.
+    process_cache_.clear();
+    last_class_count_ = classes.size();
+  }
+  std::vector<Diagnostic> diags;
+  for (const ProcessDef* def : processes.ListLatest()) {
+    std::string key = def->name() + "#" + std::to_string(def->version());
+    auto it = process_cache_.find(key);
+    if (it == process_cache_.end()) {
+      ++stats_.process_analyses;
+      std::vector<Diagnostic> local;
+      AnalyzeProcess(*def, classes, ops, &local);
+      AnalyzeProcessCost(*def, &local);
+      it = process_cache_.emplace(key, std::move(local)).first;
+    } else {
+      ++stats_.process_cache_hits;
+    }
+    diags.insert(diags.end(), it->second.begin(), it->second.end());
+  }
+  AnalyzeCatalogGraph(classes, processes, &diags);
+  AnalyzePetriNet(classes, processes, &diags);
+  AnalyzeDataflow(classes, processes, ops, &diags);
+  AnalyzeCatalogCost(classes, processes, concept_covered, &diags);
+  NormalizeDiagnostics(&diags);
+  cached_ = std::move(diags);
+  analyzed_version_ = catalog_version;
+  valid_ = true;
+  return cached_;
+}
+
+}  // namespace gaea

@@ -1,0 +1,70 @@
+// Incremental re-analysis for the kernel (docs/ANALYSIS.md).
+//
+// ExecuteDdl re-lints the catalog after every script; without caching that
+// re-runs every pass over every process on each DDL statement. The cache
+// exploits two immutability facts of the Gaea model: process versions are
+// never edited in place ("in no case is the old process overwritten"), and
+// class definitions are never redefined. So:
+//
+//   * per-process results (GA0xx/GA3xx type+assertion lint, GA501/503/504
+//     local cost checks) are cached by "name#version" and reused until the
+//     class *set* changes (a new class can resolve a previously-missing
+//     reference);
+//   * whole-catalog passes (graph, Petri, interprocedural dataflow, GA502)
+//     are recomputed whenever the catalog version counter moves, and the
+//     assembled result is memoized against that counter, so back-to-back
+//     lints of an unchanged catalog are free.
+//
+// Not thread-safe; callers serialize (the kernel runs it under its DDL lock).
+
+#ifndef GAEA_ANALYSIS_ANALYSIS_CACHE_H_
+#define GAEA_ANALYSIS_ANALYSIS_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "catalog/class_def.h"
+#include "core/process_registry.h"
+#include "types/op_registry.h"
+
+namespace gaea {
+
+class AnalysisCache {
+ public:
+  struct Stats {
+    uint64_t full_runs = 0;           // catalog-version misses
+    uint64_t cached_runs = 0;         // whole-result reuses
+    uint64_t process_analyses = 0;    // per-process passes actually executed
+    uint64_t process_cache_hits = 0;  // per-process results reused
+  };
+
+  AnalysisCache() = default;
+  AnalysisCache(const AnalysisCache&) = delete;
+  AnalysisCache& operator=(const AnalysisCache&) = delete;
+
+  // Full catalog analysis at `catalog_version`, normalized. The returned
+  // reference stays valid until the next Analyze call.
+  const std::vector<Diagnostic>& Analyze(
+      uint64_t catalog_version, const ClassRegistry& classes,
+      const ProcessRegistry& processes, const OperatorRegistry& ops,
+      const std::set<std::string>* concept_covered);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  bool valid_ = false;
+  uint64_t analyzed_version_ = 0;
+  size_t last_class_count_ = 0;
+  std::vector<Diagnostic> cached_;
+  // "name#version" -> that process's local findings.
+  std::map<std::string, std::vector<Diagnostic>> process_cache_;
+  Stats stats_;
+};
+
+}  // namespace gaea
+
+#endif  // GAEA_ANALYSIS_ANALYSIS_CACHE_H_

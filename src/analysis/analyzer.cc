@@ -7,6 +7,8 @@
 #include <string>
 
 #include "analysis/assertion_lint.h"
+#include "analysis/cost.h"
+#include "analysis/dataflow.h"
 
 namespace gaea {
 
@@ -423,17 +425,23 @@ void AnalyzeCompoundProcess(const CompoundProcessDef& def,
       visit(stage.name, &path);
     }
   }
+  AnalyzeCompoundCost(def, out);
 }
 
 std::vector<Diagnostic> AnalyzeAll(const ClassRegistry& classes,
                                    const ProcessRegistry& processes,
-                                   const OperatorRegistry& ops) {
+                                   const OperatorRegistry& ops,
+                                   const std::set<std::string>* concept_covered) {
   std::vector<Diagnostic> out;
   for (const ProcessDef* def : processes.ListLatest()) {
     AnalyzeProcess(*def, classes, ops, &out);
+    AnalyzeProcessCost(*def, &out);
   }
   AnalyzeCatalogGraph(classes, processes, &out);
   AnalyzePetriNet(classes, processes, &out);
+  AnalyzeDataflow(classes, processes, ops, &out);
+  AnalyzeCatalogCost(classes, processes, concept_covered, &out);
+  NormalizeDiagnostics(&out);
   return out;
 }
 

@@ -25,6 +25,8 @@
 #ifndef GAEA_ANALYSIS_ANALYZER_H_
 #define GAEA_ANALYSIS_ANALYZER_H_
 
+#include <set>
+#include <string>
 #include <vector>
 
 #include "analysis/diagnostic.h"
@@ -65,8 +67,9 @@ void AnalyzeCatalogGraph(const ClassRegistry& classes,
                          std::vector<Diagnostic>* out);
 
 // Wiring, class-compatibility and cycle checks on a compound-process stage
-// network (GA104-GA107). Unlike CompoundProcessDef::Expand, reports every
-// defect instead of failing on the first.
+// network (GA104-GA107, plus the GA505 serial-chain cost check). Unlike
+// CompoundProcessDef::Expand, reports every defect instead of failing on
+// the first.
 void AnalyzeCompoundProcess(const CompoundProcessDef& def,
                             const ClassRegistry& classes,
                             const ProcessRegistry& processes,
@@ -79,11 +82,15 @@ void AnalyzePetriNet(const ClassRegistry& classes,
                      const ProcessRegistry& processes,
                      std::vector<Diagnostic>* out);
 
-// Runs every registry-level pass: AnalyzeProcess on the latest version of
-// each process, AnalyzeCatalogGraph, and AnalyzePetriNet.
-std::vector<Diagnostic> AnalyzeAll(const ClassRegistry& classes,
-                                   const ProcessRegistry& processes,
-                                   const OperatorRegistry& ops);
+// Runs every registry-level pass: AnalyzeProcess + per-process cost checks
+// on the latest version of each process, AnalyzeCatalogGraph,
+// AnalyzePetriNet, the GA4xx interprocedural dataflow pass, and — when
+// `concept_covered` (class names covered by a concept) is provided — the
+// GA502 dead-derivation check. The result is normalized (sorted, deduped).
+std::vector<Diagnostic> AnalyzeAll(
+    const ClassRegistry& classes, const ProcessRegistry& processes,
+    const OperatorRegistry& ops,
+    const std::set<std::string>* concept_covered = nullptr);
 
 }  // namespace gaea
 

@@ -1,0 +1,73 @@
+#include "analysis/baseline.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace gaea {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+std::vector<BaselineEntry> ParseBaseline(const std::string& text) {
+  std::vector<BaselineEntry> entries;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    BaselineEntry entry;
+    size_t space = line.find_first_of(" \t");
+    if (space == std::string::npos) {
+      entry.code = line;
+      entry.pattern = "*";
+    } else {
+      entry.code = line.substr(0, space);
+      entry.pattern = Trim(line.substr(space + 1));
+      if (entry.pattern.empty()) entry.pattern = "*";
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+StatusOr<std::vector<BaselineEntry>> LoadBaselineFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::NotFound("cannot read baseline file '" + path + "'");
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseBaseline(buffer.str());
+}
+
+bool BaselineMatches(const BaselineEntry& entry, const Diagnostic& diag) {
+  if (entry.code != "*" && entry.code != diag.code) return false;
+  if (entry.pattern == "*") return true;
+  return diag.file.find(entry.pattern) != std::string::npos ||
+         diag.location.find(entry.pattern) != std::string::npos;
+}
+
+size_t ApplyBaseline(const std::vector<BaselineEntry>& baseline,
+                     std::vector<Diagnostic>* diags) {
+  size_t before = diags->size();
+  diags->erase(std::remove_if(diags->begin(), diags->end(),
+                              [&baseline](const Diagnostic& d) {
+                                for (const BaselineEntry& entry : baseline) {
+                                  if (BaselineMatches(entry, d)) return true;
+                                }
+                                return false;
+                              }),
+               diags->end());
+  return before - diags->size();
+}
+
+}  // namespace gaea

@@ -1,0 +1,43 @@
+// Baseline suppression files for gaea_lint.
+//
+// A baseline lets CI lint a tree with known findings (e.g. the deliberately
+// broken fixtures under tests/fixtures/) without going red, while still
+// catching anything new. Format: one suppression per line,
+//
+//   # comment
+//   GA202 bad_schema.ddl      suppress GA202 anywhere matching the pattern
+//   *     bad_dataflow.ddl    suppress every code matching the pattern
+//
+// The pattern matches as a substring of the diagnostic's file or location;
+// "*" matches everything.
+
+#ifndef GAEA_ANALYSIS_BASELINE_H_
+#define GAEA_ANALYSIS_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "util/status.h"
+
+namespace gaea {
+
+struct BaselineEntry {
+  std::string code;     // diagnostic code, or "*"
+  std::string pattern;  // substring of file/location, or "*"
+};
+
+// Parses baseline text; blank lines and '#' comments are skipped.
+std::vector<BaselineEntry> ParseBaseline(const std::string& text);
+
+StatusOr<std::vector<BaselineEntry>> LoadBaselineFile(const std::string& path);
+
+bool BaselineMatches(const BaselineEntry& entry, const Diagnostic& diag);
+
+// Removes suppressed diagnostics in place; returns how many were removed.
+size_t ApplyBaseline(const std::vector<BaselineEntry>& baseline,
+                     std::vector<Diagnostic>* diags);
+
+}  // namespace gaea
+
+#endif  // GAEA_ANALYSIS_BASELINE_H_

@@ -1,0 +1,231 @@
+#include "analysis/cost.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace gaea {
+
+namespace {
+
+// An operator at or above this cost counts as "expensive" for GA501/GA504.
+constexpr double kHeavyCost = 8;
+// GA501 fires when at least this many expensive operators chain serially...
+constexpr int kSerialChainMin = 4;
+// ...and the work/span speedup bound is below this.
+constexpr double kSpeedupBoundMax = 1.5;
+
+struct ExprCost {
+  double work = 0;
+  double span = 0;
+  std::vector<std::string> path;  // leaf-first operator names
+};
+
+ExprCost EstimateExpr(const Expr& e) {
+  ExprCost best_child;
+  double children_work = 0;
+  for (const ExprPtr& c : e.children()) {
+    ExprCost child = EstimateExpr(*c);
+    children_work += child.work;
+    if (child.span > best_child.span) best_child = std::move(child);
+  }
+  double cost = e.kind() == Expr::Kind::kOpCall ? OperatorCost(e.name()) : 0;
+  ExprCost out;
+  out.work = children_work + cost;
+  out.span = best_child.span + cost;
+  out.path = std::move(best_child.path);
+  if (e.kind() == Expr::Kind::kOpCall) out.path.push_back(e.name());
+  return out;
+}
+
+std::string JoinPath(const std::vector<std::string>& path) {
+  std::string out;
+  for (const std::string& op : path) {
+    if (!out.empty()) out += " -> ";
+    out += op;
+  }
+  return out;
+}
+
+void CollectParamRefs(const Expr& e, std::set<std::string>* out) {
+  if (e.kind() == Expr::Kind::kParam) out->insert(e.name());
+  for (const ExprPtr& c : e.children()) CollectParamRefs(*c, out);
+}
+
+// Fingerprints every op-call subtree (by source rendering, which is a
+// faithful structural key) together with its tree-evaluation work.
+void CollectSubtrees(const Expr& e,
+                     std::map<std::string, std::pair<int, double>>* out) {
+  if (e.kind() == Expr::Kind::kOpCall) {
+    auto& entry = (*out)[e.ToString()];
+    entry.first += 1;
+    entry.second = EstimateExpr(e).work;
+  }
+  for (const ExprPtr& c : e.children()) CollectSubtrees(*c, out);
+}
+
+std::string FormatBound(double bound) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", bound);
+  return buf;
+}
+
+}  // namespace
+
+double OperatorCost(const std::string& op) {
+  // Scalar arithmetic / comparisons and extent predicates.
+  static const std::set<std::string> kCheap = {
+      "add", "sub", "mul", "div", "lt", "le", "gt", "ge", "eq", "ne",
+      "box_overlaps", "box_union", "box_intersect", "box_area", "time_diff"};
+  // Whole-image accessors and pixel-wise or per-pixel classification ops.
+  static const std::set<std::string> kImage = {
+      "img_nrow", "img_ncol", "img_type", "img_size_eq", "img_mean",
+      "img_add", "img_sub", "img_mul", "img_div", "ndvi", "img_scale",
+      "img_threshold", "img_blend", "composite", "unsuperclassify",
+      "maxlike", "changemap"};
+  // Matrix-shaped stages (Figure 4) and iterative segmentation.
+  static const std::set<std::string> kHeavy = {
+      "convert_image_matrix", "compute_covariance", "get_eigen_vector",
+      "linear_combination", "convert_matrix_image", "pca", "spca",
+      "watershed"};
+  if (kCheap.count(op) != 0) return 1;
+  if (kImage.count(op) != 0) return 4;
+  if (kHeavy.count(op) != 0) return kHeavyCost;
+  return 2;  // unknown operator: assume moderate
+}
+
+CostEstimate EstimateProcessCost(const ProcessDef& def) {
+  CostEstimate out;
+  for (const ProcessMapping& m : def.mappings()) {
+    ExprCost c = EstimateExpr(*m.expr);
+    out.work += c.work;
+    if (c.span > out.span) {
+      out.span = c.span;
+      out.critical_path = std::move(c.path);
+    }
+  }
+  return out;
+}
+
+void AnalyzeProcessCost(const ProcessDef& def, std::vector<Diagnostic>* out) {
+  const std::string proc_loc = "process " + def.name();
+  // GA501: serial critical path.
+  CostEstimate cost = EstimateProcessCost(def);
+  if (cost.span > 0) {
+    int heavy_on_path = 0;
+    for (const std::string& op : cost.critical_path) {
+      if (OperatorCost(op) >= kHeavyCost) ++heavy_on_path;
+    }
+    double bound = cost.work / cost.span;
+    if (heavy_on_path >= kSerialChainMin && bound < kSpeedupBoundMax) {
+      Emit(out, "GA501", proc_loc,
+           "serial critical path " + JoinPath(cost.critical_path) +
+               " accounts for " + FormatBound(cost.span) + " of " +
+               FormatBound(cost.work) +
+               " work units; parallel speedup is bounded by " +
+               FormatBound(bound) + "x");
+    }
+  }
+  // GA503: unused parameters fragment the DerivationCache key space.
+  if (!def.params().empty()) {
+    std::set<std::string> used;
+    for (const ExprPtr& a : def.assertions()) CollectParamRefs(*a, &used);
+    for (const ProcessMapping& m : def.mappings()) {
+      CollectParamRefs(*m.expr, &used);
+    }
+    for (const auto& [name, value] : def.params()) {
+      if (used.count(name) == 0) {
+        Emit(out, "GA503", proc_loc,
+             "parameter '" + name +
+                 "' is never referenced; it still keys the DerivationCache, "
+                 "so versions differing only in it never share entries");
+      }
+    }
+  }
+  // GA504: repeated expensive subexpressions.
+  std::map<std::string, std::pair<int, double>> subtrees;
+  for (const ExprPtr& a : def.assertions()) CollectSubtrees(*a, &subtrees);
+  for (const ProcessMapping& m : def.mappings()) {
+    CollectSubtrees(*m.expr, &subtrees);
+  }
+  std::vector<std::pair<std::string, std::pair<int, double>>> repeated;
+  for (const auto& entry : subtrees) {
+    if (entry.second.first >= 2 && entry.second.second >= kHeavyCost) {
+      repeated.push_back(entry);
+    }
+  }
+  // Report only maximal repeats: a duplicated subtree of a duplicated tree
+  // renders as a substring of it.
+  std::sort(repeated.begin(), repeated.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.second > b.second.second;
+            });
+  std::vector<std::string> reported;
+  for (const auto& [text, stats] : repeated) {
+    bool nested = false;
+    for (const std::string& outer : reported) {
+      if (outer.find(text) != std::string::npos) nested = true;
+    }
+    if (nested) continue;
+    reported.push_back(text);
+    Emit(out, "GA504", proc_loc,
+         "expensive subexpression '" + text + "' appears " +
+             std::to_string(stats.first) +
+             " times; tree evaluation recomputes it on every occurrence");
+  }
+}
+
+void AnalyzeCatalogCost(const ClassRegistry& classes,
+                        const ProcessRegistry& processes,
+                        const std::set<std::string>* concept_covered,
+                        std::vector<Diagnostic>* out) {
+  if (concept_covered == nullptr) return;
+  std::set<std::string> consumed;
+  for (const ProcessDef* def : processes.ListLatest()) {
+    for (const ProcessArg& arg : def->args()) consumed.insert(arg.class_name);
+  }
+  for (const ProcessDef* def : processes.ListLatest()) {
+    auto cls = classes.LookupByName(def->output_class());
+    if (!cls.ok() || (*cls)->kind() != ClassKind::kDerived) continue;
+    if (consumed.count(def->output_class()) != 0) continue;
+    if (concept_covered->count(def->output_class()) != 0) continue;
+    Emit(out, "GA502", "process " + def->name(),
+         "derived class '" + def->output_class() +
+             "' is consumed by no process and covered by no concept; the "
+             "derivation is a dead end");
+  }
+}
+
+void AnalyzeCompoundCost(const CompoundProcessDef& def,
+                         std::vector<Diagnostic>* out) {
+  const std::vector<CompoundStage>& stages = def.stages();
+  if (stages.size() < 3) return;
+  // Build stage precedence degrees from stage-to-stage bindings.
+  std::map<std::string, int> in_degree;
+  std::map<std::string, std::set<std::string>> successors;
+  for (const CompoundStage& stage : stages) in_degree[stage.name] = 0;
+  for (const CompoundStage& stage : stages) {
+    for (const auto& [binding, input] : stage.bindings) {
+      if (input.source != StageInput::Source::kStage) continue;
+      if (successors[input.name].insert(stage.name).second) {
+        ++in_degree[stage.name];
+      }
+    }
+  }
+  // A pure serial chain: every stage has at most one predecessor and one
+  // successor, exactly one root, and the chain covers every stage.
+  int roots = 0;
+  for (const CompoundStage& stage : stages) {
+    if (in_degree[stage.name] == 0) ++roots;
+    if (in_degree[stage.name] > 1 || successors[stage.name].size() > 1) {
+      return;
+    }
+  }
+  if (roots != 1) return;
+  Emit(out, "GA505", "compound " + def.name(),
+       "stage network of " + std::to_string(stages.size()) +
+           " stages is a pure serial chain; no two stages can ever run in "
+           "parallel");
+}
+
+}  // namespace gaea

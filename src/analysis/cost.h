@@ -1,0 +1,71 @@
+// GA5xx static cost / parallelism analysis (docs/ANALYSIS.md, docs/PERF.md).
+//
+// Each builtin operator gets a static unit cost (scalar ops are cheap,
+// pixel-wise image ops moderate, the Figure 4 matrix stages expensive). A
+// process template's *work* is the total cost over its mapping trees —
+// counting repeats, because the deriver evaluates trees, not DAGs — and its
+// *span* is the heaviest root-to-leaf operator chain. work/span bounds the
+// speedup any intra-derivation parallelism could achieve; a long heavy
+// chain with work/span near 1 is inherently serial, which is exactly why
+// ROADMAP's cpu_bound benchmark measures only ~1.15x at 4 threads on the
+// Figure 4 PCA pipeline.
+//
+// Checks:
+//   GA501  serial critical path: >= 4 expensive operators chained and
+//          work/span below 1.5x — names the chain and the speedup bound
+//   GA502  dead-end derivation: the output class is consumed by no process
+//          and covered by no concept (whole-catalog scope)
+//   GA503  declared parameter never referenced: params are part of the
+//          DerivationCache key (name#version#crc(params)#args), so an
+//          unused one splits otherwise-identical cache entries
+//   GA504  expensive subexpression repeated inside one template: tree
+//          evaluation recomputes it on every occurrence
+//   GA505  compound stage network is a pure serial chain: no two stages
+//          can ever run in parallel
+
+#ifndef GAEA_ANALYSIS_COST_H_
+#define GAEA_ANALYSIS_COST_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "catalog/class_def.h"
+#include "core/compound_process.h"
+#include "core/process.h"
+#include "core/process_registry.h"
+
+namespace gaea {
+
+// Static cost estimate of one process template's mappings.
+struct CostEstimate {
+  double work = 0;  // total operator cost, trees evaluated as trees
+  double span = 0;  // heaviest root-to-leaf operator chain
+  // Operator names along the critical path, in execution (leaf-first) order.
+  std::vector<std::string> critical_path;
+};
+
+// Unit cost of one operator (2 when unknown).
+double OperatorCost(const std::string& op);
+
+CostEstimate EstimateProcessCost(const ProcessDef& def);
+
+// Per-process checks: GA501, GA503, GA504.
+void AnalyzeProcessCost(const ProcessDef& def, std::vector<Diagnostic>* out);
+
+// Whole-catalog check: GA502. `concept_covered` holds class names covered
+// by at least one concept; pass nullptr when concept data is unavailable,
+// which disables the check rather than flooding it.
+void AnalyzeCatalogCost(const ClassRegistry& classes,
+                        const ProcessRegistry& processes,
+                        const std::set<std::string>* concept_covered,
+                        std::vector<Diagnostic>* out);
+
+// Compound-network check: GA505.
+void AnalyzeCompoundCost(const CompoundProcessDef& def,
+                         std::vector<Diagnostic>* out);
+
+}  // namespace gaea
+
+#endif  // GAEA_ANALYSIS_COST_H_

@@ -1,0 +1,415 @@
+#include "analysis/dataflow.h"
+
+#include <optional>
+#include <sstream>
+
+#include "analysis/assertion_lint.h"
+
+namespace gaea {
+
+namespace {
+
+// How many fixpoint passes over the derivation graph before giving up on
+// convergence. Derivation cycles (GA203) would otherwise iterate forever;
+// after the cap any still-changing summary simply stays conservative.
+constexpr int kMaxFixpointPasses = 4;
+
+// Facts about one bound process argument during abstract interpretation.
+struct ArgFacts {
+  const ClassDef* class_def = nullptr;
+  bool setof = false;
+  Interval card;  // number of bound objects
+  // Attribute facts refined by assertions, overriding the class summary.
+  std::map<std::string, AbstractValue> refined;
+};
+
+struct AbstractEnv {
+  std::map<std::string, ArgFacts> args;
+  const std::map<std::string, Value>* params = nullptr;
+  const OperatorRegistry* ops = nullptr;
+  const ClassSummaries* summaries = nullptr;
+};
+
+std::string ShapeString(const AbstractValue& v) {
+  return v.rows.ToString() + "x" + v.cols.ToString();
+}
+
+// The class-summary (or refined) abstraction of arg.attr.
+AbstractValue AttrFacts(const AbstractEnv& env, const ArgFacts& arg,
+                        const std::string& attr) {
+  auto refined = arg.refined.find(attr);
+  if (refined != arg.refined.end()) return refined->second;
+  if (arg.class_def == nullptr) return AbstractValue::Top();
+  if (env.summaries != nullptr) {
+    auto cls = env.summaries->find(arg.class_def->name());
+    if (cls != env.summaries->end()) {
+      auto it = cls->second.find(attr);
+      if (it != cls->second.end()) return it->second;
+    }
+  }
+  auto def = arg.class_def->FindAttribute(attr);
+  return def.ok() ? AbstractValue::OfType((*def)->type) : AbstractValue::Top();
+}
+
+// Abstract interpreter over one expression tree. When `out` is non-null the
+// per-node GA401-GA404 checks are emitted against `location`.
+class AbstractEvaluator {
+ public:
+  AbstractEvaluator(const AbstractEnv& env, std::string location,
+                    std::vector<Diagnostic>* out)
+      : env_(env), location_(std::move(location)), out_(out) {}
+
+  AbstractValue Eval(const Expr& e) {
+    switch (e.kind()) {
+      case Expr::Kind::kLiteral:
+        return AbstractValue::Constant(e.literal());
+      case Expr::Kind::kParam: {
+        if (env_.params != nullptr) {
+          auto it = env_.params->find(e.name());
+          if (it != env_.params->end()) {
+            return AbstractValue::Constant(it->second);
+          }
+        }
+        return AbstractValue::Top();
+      }
+      case Expr::Kind::kAttrRef: {
+        auto arg = env_.args.find(e.name());
+        if (arg == env_.args.end()) return AbstractValue::Top();
+        AbstractValue attr = AttrFacts(env_, arg->second, e.attr());
+        if (!arg->second.setof) return attr;
+        AbstractValue list = AbstractValue::OfType(TypeId::kList);
+        list.elem = attr.type;
+        list.range = attr.range;
+        list.rows = attr.rows;
+        list.cols = attr.cols;
+        list.length = arg->second.card;
+        list.maybe_null = attr.maybe_null;
+        return list;
+      }
+      case Expr::Kind::kCard: {
+        auto arg = env_.args.find(e.name());
+        AbstractValue v = AbstractValue::OfType(TypeId::kInt);
+        if (arg != env_.args.end()) v.range = arg->second.card;
+        v.maybe_null = false;
+        return v;
+      }
+      case Expr::Kind::kAnyOf: {
+        if (e.children().empty()) return AbstractValue::Top();
+        AbstractValue list = Eval(*e.children()[0]);
+        AbstractValue v;
+        v.type = list.type == TypeId::kList ? list.elem : list.type;
+        v.range = list.range;
+        v.rows = list.rows;
+        v.cols = list.cols;
+        v.maybe_null = list.maybe_null;
+        return v;
+      }
+      case Expr::Kind::kCommon: {
+        for (const ExprPtr& c : e.children()) Eval(*c);
+        return AbstractValue::Bool(TriBool::kUnknown);
+      }
+      case Expr::Kind::kOpCall: {
+        std::vector<AbstractValue> args;
+        args.reserve(e.children().size());
+        for (const ExprPtr& c : e.children()) args.push_back(Eval(*c));
+        CheckOpCall(e, args);
+        const TransferFn* fn = BuiltinTransferFunctions().Find(e.name());
+        if (fn != nullptr) return (*fn)(args);
+        return AbstractValue::Top();
+      }
+    }
+    return AbstractValue::Top();
+  }
+
+ private:
+  void Report(const std::string& code, const std::string& message) {
+    if (out_ != nullptr) Emit(out_, code, location_, message);
+  }
+
+  void CheckOpCall(const Expr& e, const std::vector<AbstractValue>& args) {
+    const std::string& op = e.name();
+    if (op == "div" && args.size() == 2) {
+      const Interval& d = args[1].range;
+      if (d.IsPoint() && d.lo == 0.0) {
+        Report("GA403", "divisor of '" + e.ToString() +
+                            "' is provably zero; the expression can never "
+                            "evaluate");
+      } else if (!d.IsTop() && !d.IsEmpty() && d.Contains(0.0)) {
+        Report("GA402", "divisor of '" + e.ToString() +
+                            "' has provable range " + d.ToString() +
+                            ", which includes zero");
+      }
+      return;
+    }
+    // Pixel-wise binary image operators require identical shapes.
+    static const char* kShapeOps[] = {"img_add",   "img_sub", "img_mul",
+                                      "img_div",   "ndvi",    "img_blend",
+                                      "changemap"};
+    for (const char* shape_op : kShapeOps) {
+      if (op == shape_op && args.size() >= 2) {
+        const AbstractValue& a = args[0];
+        const AbstractValue& b = args[1];
+        if (a.rows.Disjoint(b.rows) || a.cols.Disjoint(b.cols)) {
+          Report("GA401", "operand shapes of '" + op +
+                              "' are provably mismatched: " + ShapeString(a) +
+                              " vs " + ShapeString(b));
+        }
+        return;
+      }
+    }
+    if (op == "img_threshold" && args.size() == 2) {
+      const Interval& pixels = args[0].range;
+      const Interval& t = args[1].range;
+      if (!pixels.IsTop() && !t.IsTop() && pixels.Disjoint(t)) {
+        Report("GA404", "threshold " + t.ToString() +
+                            " lies outside the input's provable pixel range " +
+                            pixels.ToString() +
+                            "; the result is a constant image");
+      }
+      return;
+    }
+    if (op == "convert_matrix_image" && args.size() == 3) {
+      Interval pixels = IntervalMul(args[1].range, args[2].range);
+      if (args[0].rows.IsPoint() && pixels.IsPoint() &&
+          args[0].rows.lo != pixels.lo) {
+        Report("GA401", "matrix with " + args[0].rows.ToString() +
+                            " rows cannot unstack into " +
+                            args[1].range.ToString() + "x" +
+                            args[2].range.ToString() + " images");
+      }
+    }
+  }
+
+  const AbstractEnv& env_;
+  std::string location_;
+  std::vector<Diagnostic>* out_;
+};
+
+// Interval a comparison constrains its left-hand side to.
+Interval ConstraintInterval(const std::string& cmp, double k) {
+  if (cmp == "lt") return Interval::AtMost(k, /*open=*/true);
+  if (cmp == "le") return Interval::AtMost(k);
+  if (cmp == "gt") return Interval::AtLeast(k, /*open=*/true);
+  if (cmp == "ge") return Interval::AtLeast(k);
+  if (cmp == "eq") return Interval::Point(k);
+  return Interval::Top();  // ne refines nothing representable
+}
+
+std::string MirrorCmp(const std::string& cmp) {
+  if (cmp == "lt") return "gt";
+  if (cmp == "le") return "ge";
+  if (cmp == "gt") return "lt";
+  if (cmp == "ge") return "le";
+  return cmp;  // eq / ne are symmetric
+}
+
+bool IsComparison(const std::string& op) {
+  return op == "lt" || op == "le" || op == "gt" || op == "ge" || op == "eq" ||
+         op == "ne";
+}
+
+// Narrows the facts for `target cmp k` where target is card(arg), a scalar
+// arg's attribute, or img_nrow/img_ncol of such an attribute.
+void RefineTarget(const Expr& target, const std::string& cmp, double k,
+                  AbstractEnv* env) {
+  Interval constraint = ConstraintInterval(cmp, k);
+  if (target.kind() == Expr::Kind::kCard) {
+    auto arg = env->args.find(target.name());
+    if (arg != env->args.end()) {
+      arg->second.card = arg->second.card.Intersect(constraint);
+    }
+    return;
+  }
+  if (target.kind() == Expr::Kind::kAttrRef) {
+    auto arg = env->args.find(target.name());
+    if (arg == env->args.end() || arg->second.setof) return;
+    AbstractValue facts = AttrFacts(*env, arg->second, target.attr());
+    facts.range = facts.range.Intersect(constraint);
+    arg->second.refined[target.attr()] = facts;
+    return;
+  }
+  if (target.kind() == Expr::Kind::kOpCall &&
+      (target.name() == "img_nrow" || target.name() == "img_ncol") &&
+      target.children().size() == 1 &&
+      target.children()[0]->kind() == Expr::Kind::kAttrRef) {
+    const Expr& ref = *target.children()[0];
+    auto arg = env->args.find(ref.name());
+    if (arg == env->args.end() || arg->second.setof) return;
+    AbstractValue facts = AttrFacts(*env, arg->second, ref.attr());
+    if (target.name() == "img_nrow") {
+      facts.rows = facts.rows.Intersect(constraint);
+    } else {
+      facts.cols = facts.cols.Intersect(constraint);
+    }
+    arg->second.refined[ref.attr()] = facts;
+  }
+}
+
+// Assumes `assertion` holds and narrows `env` accordingly (best effort:
+// only `x cmp k` patterns over card/attr/shape are representable).
+void RefineEnv(const Expr& assertion, AbstractEnv* env) {
+  if (assertion.kind() != Expr::Kind::kOpCall ||
+      !IsComparison(assertion.name()) || assertion.children().size() != 2) {
+    return;
+  }
+  const Expr& lhs = *assertion.children()[0];
+  const Expr& rhs = *assertion.children()[1];
+  std::optional<Value> k;
+  if (env->ops != nullptr && env->params != nullptr) {
+    if ((k = FoldConstant(rhs, *env->params, *env->ops))) {
+      auto d = k->AsDouble();
+      if (d.ok()) RefineTarget(lhs, assertion.name(), *d, env);
+      return;
+    }
+    if ((k = FoldConstant(lhs, *env->params, *env->ops))) {
+      auto d = k->AsDouble();
+      if (d.ok()) RefineTarget(rhs, MirrorCmp(assertion.name()), *d, env);
+    }
+  }
+}
+
+// Builds the abstract environment for `def`. `include_min` seeds SETOF
+// cardinalities with the declared MIN (true when deriving — the scheduler
+// enforces it — false while judging whether assertions are vacuous).
+AbstractEnv BuildEnv(const ProcessDef& def, const ClassRegistry& classes,
+                     const OperatorRegistry& ops,
+                     const ClassSummaries& summaries, bool include_min) {
+  AbstractEnv env;
+  env.params = &def.params();
+  env.ops = &ops;
+  env.summaries = &summaries;
+  for (const ProcessArg& arg : def.args()) {
+    ArgFacts facts;
+    auto cls = classes.LookupByName(arg.class_name);
+    facts.class_def = cls.ok() ? *cls : nullptr;
+    facts.setof = arg.setof;
+    if (!arg.setof) {
+      facts.card = Interval::Point(1);
+    } else if (include_min) {
+      facts.card = Interval::AtLeast(arg.min_card);
+    } else {
+      facts.card = Interval::AtLeast(0);
+    }
+    env.args[arg.name] = std::move(facts);
+  }
+  return env;
+}
+
+bool SummariesEqual(const ClassSummaries& a, const ClassSummaries& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& [cls, attrs] : a) {
+    auto it = b.find(cls);
+    if (it == b.end() || it->second.size() != attrs.size()) return false;
+    for (const auto& [attr, av] : attrs) {
+      auto jt = it->second.find(attr);
+      if (jt == it->second.end() || !jt->second.Equals(av)) return false;
+    }
+  }
+  return true;
+}
+
+ClassSummaries InitialSummaries(const ClassRegistry& classes) {
+  ClassSummaries summaries;
+  for (const ClassDef* cls : classes.List()) {
+    auto& attrs = summaries[cls->name()];
+    for (const AttributeDef& attr : cls->attributes()) {
+      attrs[attr.name] = AbstractValue::OfType(attr.type);
+    }
+  }
+  return summaries;
+}
+
+}  // namespace
+
+ClassSummaries ComputeClassSummaries(const ClassRegistry& classes,
+                                     const ProcessRegistry& processes,
+                                     const OperatorRegistry& ops) {
+  ClassSummaries summaries = InitialSummaries(classes);
+  for (int pass = 0; pass < kMaxFixpointPasses; ++pass) {
+    ClassSummaries next = InitialSummaries(classes);
+    // attrs of derived classes already written by some producer this pass.
+    std::map<std::string, std::map<std::string, bool>> written;
+    for (const ProcessDef* def : processes.ListLatest()) {
+      if (!def->Validate(classes, ops).ok()) continue;
+      auto out_cls = classes.LookupByName(def->output_class());
+      if (!out_cls.ok() || (*out_cls)->kind() != ClassKind::kDerived) continue;
+      AbstractEnv env =
+          BuildEnv(*def, classes, ops, summaries, /*include_min=*/true);
+      for (const ExprPtr& assertion : def->assertions()) {
+        RefineEnv(*assertion, &env);
+      }
+      AbstractEvaluator eval(env, /*location=*/"", /*out=*/nullptr);
+      for (const ProcessMapping& m : def->mappings()) {
+        AbstractValue av = eval.Eval(*m.expr);
+        auto& slot = next[def->output_class()][m.attr];
+        bool& seen = written[def->output_class()][m.attr];
+        slot = seen ? slot.Join(av) : av;
+        seen = true;
+      }
+    }
+    if (SummariesEqual(next, summaries)) break;
+    summaries = std::move(next);
+  }
+  return summaries;
+}
+
+void AnalyzeProcessDataflow(const ProcessDef& def, const ClassRegistry& classes,
+                            const OperatorRegistry& ops,
+                            const ClassSummaries& summaries,
+                            std::vector<Diagnostic>* out) {
+  if (!def.Validate(classes, ops).ok()) return;  // GA0xx territory
+  // Phase 1: assertions, judged against prior assertions + upstream
+  // summaries only (no declared MIN), refined as they are assumed.
+  AbstractEnv env =
+      BuildEnv(def, classes, ops, summaries, /*include_min=*/false);
+  int index = 0;
+  for (const ExprPtr& assertion : def.assertions()) {
+    ++index;
+    std::string location =
+        "process " + def.name() + " / assertion " + std::to_string(index);
+    AbstractEvaluator eval(env, location, out);
+    AbstractValue av = eval.Eval(*assertion);
+    // Constant-only assertions are GA301/GA304's domain (assertion_lint).
+    if (!FoldConstant(*assertion, def.params(), ops).has_value()) {
+      TriBool truth = av.AsTriBool();
+      if (truth == TriBool::kTrue) {
+        Emit(out, "GA405",
+             location, "assertion '" + assertion->ToString() +
+                           "' is already entailed by prior assertions and "
+                           "upstream facts; it guards nothing");
+      } else if (truth == TriBool::kFalse) {
+        Emit(out, "GA406",
+             location, "assertion '" + assertion->ToString() +
+                           "' is contradicted by prior assertions and "
+                           "upstream facts; the process can never fire");
+      }
+    }
+    RefineEnv(*assertion, &env);
+  }
+  // Phase 2: mappings run only once the assertions and the declared MIN
+  // cardinalities hold.
+  for (auto& [name, facts] : env.args) {
+    auto arg = def.FindArg(name);
+    if (arg.ok() && (*arg)->setof) {
+      facts.card = facts.card.Intersect(Interval::AtLeast((*arg)->min_card));
+    }
+  }
+  for (const ProcessMapping& m : def.mappings()) {
+    std::string location = "process " + def.name() + " / mapping " +
+                           def.output_class() + "." + m.attr;
+    AbstractEvaluator eval(env, location, out);
+    eval.Eval(*m.expr);
+  }
+}
+
+void AnalyzeDataflow(const ClassRegistry& classes,
+                     const ProcessRegistry& processes,
+                     const OperatorRegistry& ops,
+                     std::vector<Diagnostic>* out) {
+  ClassSummaries summaries = ComputeClassSummaries(classes, processes, ops);
+  for (const ProcessDef* def : processes.ListLatest()) {
+    AnalyzeProcessDataflow(*def, classes, ops, summaries, out);
+  }
+}
+
+}  // namespace gaea

@@ -1,0 +1,71 @@
+// GA4xx interprocedural dataflow analysis (docs/ANALYSIS.md).
+//
+// Mapping expressions are abstractly interpreted over the interval/shape
+// domains of analysis/abstract_value.h. Facts flow *through* the derivation
+// graph: every derived class gets a per-attribute summary computed from the
+// mappings of the processes producing it (with that process's assertions
+// assumed to hold), and those summaries feed the analysis of downstream
+// processes. A bounded fixpoint (derivation cycles exist — GA203) makes the
+// summaries stable before any checking happens.
+//
+// Checks, all conservative (they only fire on provable facts):
+//   GA401  image operand shapes provably mismatched (e.g. an 8x8 product
+//          fed to img_add together with a 16x16 one, across processes)
+//   GA402  divisor interval contains zero (possible division by zero)
+//   GA403  divisor provably zero — the mapping can never evaluate
+//   GA404  threshold provably outside the input's value range (e.g.
+//          img_threshold at 5.0 on an ndvi output, which lives in [-1, 1])
+//   GA405  assertion entailed by prior assertions + upstream summaries
+//          (vacuous). The declared MIN is deliberately *excluded* from the
+//          entailment environment so the idiomatic restating assertion
+//          `card(bands) >= MIN` stays clean.
+//   GA406  assertion contradicted by the same facts — it can never hold
+//
+// Constant-only assertions are GA301/GA304's domain (assertion_lint) and
+// are skipped here.
+
+#ifndef GAEA_ANALYSIS_DATAFLOW_H_
+#define GAEA_ANALYSIS_DATAFLOW_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/abstract_value.h"
+#include "analysis/diagnostic.h"
+#include "catalog/class_def.h"
+#include "core/process.h"
+#include "core/process_registry.h"
+#include "types/op_registry.h"
+
+namespace gaea {
+
+// class name -> attribute name -> abstract value.
+using ClassSummaries =
+    std::map<std::string, std::map<std::string, AbstractValue>>;
+
+// Computes per-class attribute summaries by iterating the derivation graph
+// to a bounded fixpoint. Base classes stay at "top of the attribute type";
+// derived classes get the join over all producing processes' abstract
+// mapping results.
+ClassSummaries ComputeClassSummaries(const ClassRegistry& classes,
+                                     const ProcessRegistry& processes,
+                                     const OperatorRegistry& ops);
+
+// Runs the GA401-GA406 checks on one process, reading upstream facts from
+// `summaries`. Skips processes that do not type-check (GA0xx territory).
+void AnalyzeProcessDataflow(const ProcessDef& def, const ClassRegistry& classes,
+                            const OperatorRegistry& ops,
+                            const ClassSummaries& summaries,
+                            std::vector<Diagnostic>* out);
+
+// Whole-catalog pass: summaries + AnalyzeProcessDataflow on the latest
+// version of every process.
+void AnalyzeDataflow(const ClassRegistry& classes,
+                     const ProcessRegistry& processes,
+                     const OperatorRegistry& ops,
+                     std::vector<Diagnostic>* out);
+
+}  // namespace gaea
+
+#endif  // GAEA_ANALYSIS_DATAFLOW_H_

@@ -8,6 +8,8 @@
 #include <sstream>
 
 #include "analysis/analyzer.h"
+#include "analysis/cost.h"
+#include "analysis/dataflow.h"
 #include "ddl/parser.h"
 
 namespace gaea {
@@ -82,19 +84,24 @@ void LintConcepts(const std::vector<const ConceptStmt*>& stmts,
 }  // namespace
 
 StatusOr<std::vector<Diagnostic>> LintDdlScript(const std::string& source) {
-  GAEA_ASSIGN_OR_RETURN(std::vector<ParsedStatement> stmts,
-                        ParseScript(source));
+  GAEA_ASSIGN_OR_RETURN(std::vector<LocatedStatement> stmts,
+                        ParseScriptLocated(source));
 
   std::vector<Diagnostic> diags;
   OperatorRegistry ops;
   GAEA_RETURN_IF_ERROR(RegisterBuiltinOperators(&ops));
 
+  // Source line of each construct header ("class x", "process p", ...);
+  // diagnostics are anchored to it after all passes run.
+  std::map<std::string, int> construct_lines;
+
   // Assemble ephemeral registries. Classes first: processes and concepts
   // may legally reference a class defined anywhere in the script.
   ClassRegistry classes;
-  for (const ParsedStatement& stmt : stmts) {
-    const ClassDef* def = std::get_if<ClassDef>(&stmt);
+  for (const LocatedStatement& located : stmts) {
+    const ClassDef* def = std::get_if<ClassDef>(&located.stmt);
     if (def == nullptr) continue;
+    construct_lines.emplace("class " + def->name(), located.line);
     if (classes.Contains(def->name())) {
       Emit(&diags, "GA111", "class " + def->name(),
            "duplicate definition of class '" + def->name() + "'");
@@ -109,9 +116,11 @@ StatusOr<std::vector<Diagnostic>> LintDdlScript(const std::string& source) {
 
   ProcessRegistry processes;
   std::vector<const ConceptStmt*> concepts;
-  for (const ParsedStatement& stmt : stmts) {
-    if (const ProcessDef* def = std::get_if<ProcessDef>(&stmt)) {
+  for (const LocatedStatement& located : stmts) {
+    if (const ProcessDef* def = std::get_if<ProcessDef>(&located.stmt)) {
+      construct_lines.emplace("process " + def->name(), located.line);
       AnalyzeProcess(*def, classes, ops, &diags);
+      AnalyzeProcessCost(*def, &diags);
       auto registered = processes.Register(*def);
       if (!registered.ok() &&
           registered.status().code() == StatusCode::kAlreadyExists) {
@@ -119,7 +128,8 @@ StatusOr<std::vector<Diagnostic>> LintDdlScript(const std::string& source) {
              registered.status().message());
       }
     } else if (const ConceptStmt* concept_stmt =
-                   std::get_if<ConceptStmt>(&stmt)) {
+                   std::get_if<ConceptStmt>(&located.stmt)) {
+      construct_lines.emplace("concept " + concept_stmt->name, located.line);
       concepts.push_back(concept_stmt);
     }
   }
@@ -127,6 +137,21 @@ StatusOr<std::vector<Diagnostic>> LintDdlScript(const std::string& source) {
   LintConcepts(concepts, classes, &diags);
   AnalyzeCatalogGraph(classes, processes, &diags);
   AnalyzePetriNet(classes, processes, &diags);
+  AnalyzeDataflow(classes, processes, ops, &diags);
+  std::set<std::string> concept_covered;
+  for (const ConceptStmt* stmt : concepts) {
+    for (const std::string& member : stmt->member_classes) {
+      concept_covered.insert(member);
+    }
+  }
+  AnalyzeCatalogCost(classes, processes, &concept_covered, &diags);
+
+  for (Diagnostic& d : diags) {
+    std::string head = d.location.substr(0, d.location.find(" / "));
+    auto it = construct_lines.find(head);
+    if (it != construct_lines.end()) d.line = it->second;
+  }
+  NormalizeDiagnostics(&diags);
   return diags;
 }
 
@@ -139,9 +164,7 @@ StatusOr<std::vector<Diagnostic>> LintDdlFile(const std::string& path) {
   buffer << in.rdbuf();
   GAEA_ASSIGN_OR_RETURN(std::vector<Diagnostic> diags,
                         LintDdlScript(buffer.str()));
-  for (Diagnostic& d : diags) {
-    d.location = d.location.empty() ? path : path + ": " + d.location;
-  }
+  for (Diagnostic& d : diags) d.file = path;
   return diags;
 }
 

@@ -23,11 +23,12 @@
 
 namespace gaea {
 
-// Lints a DDL script held in memory.
+// Lints a DDL script held in memory. Diagnostics are normalized (sorted by
+// file/line/code, deduplicated) and anchored to the source line of their
+// enclosing construct where known.
 StatusOr<std::vector<Diagnostic>> LintDdlScript(const std::string& source);
 
-// Reads and lints a DDL file; diagnostics' locations are prefixed with the
-// file name.
+// Reads and lints a DDL file; diagnostics carry the path in their `file`.
 StatusOr<std::vector<Diagnostic>> LintDdlFile(const std::string& path);
 
 }  // namespace gaea

@@ -1,6 +1,8 @@
 #include "analysis/diagnostic.h"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 namespace gaea {
 
@@ -11,7 +13,16 @@ const char* SeverityName(Severity s) {
 std::string Diagnostic::ToString() const {
   std::ostringstream os;
   os << SeverityName(severity) << " " << code;
-  if (!location.empty()) os << " [" << location << "]";
+  std::string where;
+  if (!file.empty()) {
+    where = file;
+    if (line > 0) where += ":" + std::to_string(line);
+  }
+  if (!location.empty()) {
+    if (!where.empty()) where += ": ";
+    where += location;
+  }
+  if (!where.empty()) os << " [" << where << "]";
   os << ": " << message;
   return os.str();
 }
@@ -86,6 +97,30 @@ const std::vector<DiagnosticCodeInfo>& AllDiagnosticCodes() {
        "assertion references an attribute absent from the input classes"},
       {"GA304", Severity::kWarning, "assertion",
        "assertion is trivially true and guards nothing"},
+      // ---- GA4xx: interprocedural dataflow (abstract interpretation) ----
+      {"GA401", Severity::kError, "dataflow",
+       "image/matrix operand shapes are provably mismatched"},
+      {"GA402", Severity::kWarning, "dataflow",
+       "divisor's provable value range contains zero"},
+      {"GA403", Severity::kError, "dataflow",
+       "divisor is provably zero; the mapping can never evaluate"},
+      {"GA404", Severity::kError, "dataflow",
+       "threshold lies outside the input's provable value range"},
+      {"GA405", Severity::kWarning, "dataflow",
+       "assertion is entailed by upstream facts and guards nothing"},
+      {"GA406", Severity::kError, "dataflow",
+       "assertion is contradicted by upstream facts; it can never hold"},
+      // ---- GA5xx: cost / parallelism analysis ----
+      {"GA501", Severity::kWarning, "cost",
+       "serial critical path dominates; little speedup from parallelism"},
+      {"GA502", Severity::kWarning, "cost",
+       "dead-end derivation: output consumed by no process or concept"},
+      {"GA503", Severity::kWarning, "cost",
+       "declared parameter never referenced; fragments DerivationCache keys"},
+      {"GA504", Severity::kWarning, "cost",
+       "expensive subexpression repeated; tree evaluation recomputes it"},
+      {"GA505", Severity::kWarning, "cost",
+       "compound stage network is a pure serial chain"},
   };
   return kCodes;
 }
@@ -131,6 +166,22 @@ void Emit(std::vector<Diagnostic>* out, const std::string& code,
   d.location = std::move(location);
   d.message = std::move(message);
   out->push_back(std::move(d));
+}
+
+void NormalizeDiagnostics(std::vector<Diagnostic>* diags) {
+  auto key = [](const Diagnostic& d) {
+    return std::tie(d.file, d.line, d.code, d.location, d.message);
+  };
+  std::stable_sort(diags->begin(), diags->end(),
+                   [&key](const Diagnostic& a, const Diagnostic& b) {
+                     return key(a) < key(b);
+                   });
+  diags->erase(std::unique(diags->begin(), diags->end(),
+                           [&key](const Diagnostic& a, const Diagnostic& b) {
+                             return key(a) == key(b) &&
+                                    a.severity == b.severity;
+                           }),
+               diags->end());
 }
 
 }  // namespace gaea

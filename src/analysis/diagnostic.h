@@ -11,6 +11,11 @@
 //          networks, concept ISA structure
 //   GA2xx  Petri-net structural analysis of the derivation net
 //   GA3xx  assertion lint (trivially false/true, contradictions)
+//   GA4xx  dataflow: abstract interpretation of mapping expressions over
+//          interval/shape domains, propagated interprocedurally through
+//          the derivation graph
+//   GA5xx  cost/parallelism: static work/span estimation, dead derivations,
+//          DerivationCache key hygiene
 //
 // The full code table lives in AllDiagnosticCodes(); docs/ANALYSIS.md is the
 // user-facing rendering of it.
@@ -33,10 +38,13 @@ const char* SeverityName(Severity s);
 struct Diagnostic {
   std::string code;      // "GA001"
   Severity severity = Severity::kError;
-  std::string location;  // construct path; "file:line: ..." when known
+  std::string file;      // DDL file the finding is anchored to, if any
+  int line = 0;          // 1-based line of the enclosing construct; 0 unknown
+  std::string location;  // construct path, e.g. "process p / mapping c.a"
   std::string message;
 
-  // "error GA001 [process compute-ndvi]: output class 'x' is not defined".
+  // "error GA001 [schema.ddl:12: process compute-ndvi]: output class 'x'
+  // is not defined" (file/line prefix only when known).
   std::string ToString() const;
 };
 
@@ -44,7 +52,8 @@ struct Diagnostic {
 struct DiagnosticCodeInfo {
   const char* code;
   Severity severity;
-  const char* family;   // "type", "graph", "petri", "assertion"
+  const char* family;   // "type", "graph", "petri", "assertion",
+                        // "dataflow", "cost"
   const char* summary;  // one-line description
 };
 
@@ -65,6 +74,11 @@ bool HasCode(const std::vector<Diagnostic>& diags, const std::string& code);
 // Appends a diagnostic with the severity registered for `code`.
 void Emit(std::vector<Diagnostic>* out, const std::string& code,
           std::string location, std::string message);
+
+// Sorts by (file, line, code, location, message) and drops exact duplicates,
+// so output is stable, diffable, and golden-testable even when a finding is
+// reported by both a per-process and a whole-catalog pass.
+void NormalizeDiagnostics(std::vector<Diagnostic>* diags);
 
 }  // namespace gaea
 

@@ -1,0 +1,101 @@
+#include "analysis/sarif.h"
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace gaea {
+
+namespace {
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* SarifLevel(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+}  // namespace
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diags) {
+  std::ostringstream os;
+  os << "{\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : diags) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"code\":\"" << JsonEscape(d.code) << "\""
+       << ",\"severity\":\"" << SeverityName(d.severity) << "\""
+       << ",\"file\":\"" << JsonEscape(d.file) << "\""
+       << ",\"line\":" << d.line << ",\"location\":\""
+       << JsonEscape(d.location) << "\",\"message\":\""
+       << JsonEscape(d.message) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string DiagnosticsToSarif(const std::vector<Diagnostic>& diags) {
+  // Rules: one reportingDescriptor per distinct code seen, in table order.
+  std::set<std::string> used;
+  for (const Diagnostic& d : diags) used.insert(d.code);
+  std::ostringstream os;
+  os << "{\"version\":\"2.1.0\",\"$schema\":"
+        "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+        "Schemata/sarif-schema-2.1.0.json\",\"runs\":[{\"tool\":{\"driver\":"
+        "{\"name\":\"gaea-lint\",\"informationUri\":"
+        "\"https://example.invalid/gaea/docs/ANALYSIS.md\",\"rules\":[";
+  bool first = true;
+  for (const DiagnosticCodeInfo& info : AllDiagnosticCodes()) {
+    if (used.count(info.code) == 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"id\":\"" << info.code << "\",\"shortDescription\":{\"text\":\""
+       << JsonEscape(info.summary) << "\"},\"defaultConfiguration\":"
+       << "{\"level\":\"" << SarifLevel(info.severity) << "\"},"
+       << "\"properties\":{\"family\":\"" << info.family << "\"}}";
+  }
+  os << "]}},\"results\":[";
+  first = true;
+  for (const Diagnostic& d : diags) {
+    if (!first) os << ",";
+    first = false;
+    std::string text = d.message;
+    if (!d.location.empty()) text = d.location + ": " + text;
+    os << "{\"ruleId\":\"" << JsonEscape(d.code) << "\",\"level\":\""
+       << SarifLevel(d.severity) << "\",\"message\":{\"text\":\""
+       << JsonEscape(text) << "\"}";
+    if (!d.file.empty()) {
+      os << ",\"locations\":[{\"physicalLocation\":{\"artifactLocation\":"
+         << "{\"uri\":\"" << JsonEscape(d.file) << "\"}";
+      if (d.line > 0) {
+        os << ",\"region\":{\"startLine\":" << d.line << "}";
+      }
+      os << "}}]";
+    }
+    os << "}";
+  }
+  os << "]}]}";
+  return os.str();
+}
+
+}  // namespace gaea

@@ -1,0 +1,27 @@
+// Machine-readable renderings of analyzer diagnostics.
+//
+// DiagnosticsToJson emits a small stable JSON shape consumed by gaea_shell's
+// `lint --json` and scripts; DiagnosticsToSarif emits SARIF 2.1.0 (the
+// static-analysis interchange format GitHub code scanning ingests), with one
+// reportingDescriptor per distinct code and one result per finding.
+
+#ifndef GAEA_ANALYSIS_SARIF_H_
+#define GAEA_ANALYSIS_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+
+namespace gaea {
+
+// {"diagnostics":[{"code":...,"severity":...,"file":...,"line":...,
+//   "location":...,"message":...}, ...]}
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diags);
+
+// SARIF 2.1.0 log with a single run of the "gaea-lint" driver.
+std::string DiagnosticsToSarif(const std::vector<Diagnostic>& diags);
+
+}  // namespace gaea
+
+#endif  // GAEA_ANALYSIS_SARIF_H_

@@ -21,6 +21,16 @@ class Parser {
     return out;
   }
 
+  StatusOr<std::vector<LocatedStatement>> ScriptLocated() {
+    std::vector<LocatedStatement> out;
+    while (!Peek().Is(TokenKind::kEof)) {
+      int line = Peek().line;
+      GAEA_ASSIGN_OR_RETURN(ParsedStatement stmt, Statement());
+      out.push_back(LocatedStatement{std::move(stmt), line});
+    }
+    return out;
+  }
+
   StatusOr<ParsedStatement> Statement() {
     const Token& tok = Peek();
     if (tok.IsKeyword("class")) return ClassStatement();
@@ -366,6 +376,13 @@ StatusOr<std::vector<ParsedStatement>> ParseScript(const std::string& source) {
   GAEA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
   Parser parser(std::move(tokens));
   return parser.Script();
+}
+
+StatusOr<std::vector<LocatedStatement>> ParseScriptLocated(
+    const std::string& source) {
+  GAEA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ScriptLocated();
 }
 
 StatusOr<ParsedStatement> ParseStatement(const std::string& source) {

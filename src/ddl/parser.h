@@ -56,8 +56,19 @@ struct ConceptStmt {
 
 using ParsedStatement = std::variant<ClassDef, ProcessDef, ConceptStmt>;
 
+// A statement plus the 1-based source line its first token sits on, so
+// downstream consumers (the linter) can anchor diagnostics to DDL lines.
+struct LocatedStatement {
+  ParsedStatement stmt;
+  int line = 0;
+};
+
 // Parses a script of zero or more statements.
 StatusOr<std::vector<ParsedStatement>> ParseScript(const std::string& source);
+
+// Like ParseScript, but records the source line of each statement.
+StatusOr<std::vector<LocatedStatement>> ParseScriptLocated(
+    const std::string& source);
 
 // Parses exactly one statement.
 StatusOr<ParsedStatement> ParseStatement(const std::string& source);

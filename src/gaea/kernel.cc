@@ -4,6 +4,7 @@
 #include <set>
 
 #include "analysis/analyzer.h"
+#include "analysis/dataflow.h"
 #include "obs/trace.h"
 #include "query/qparser.h"
 #include "util/string_util.h"
@@ -196,7 +197,10 @@ Status GaeaKernel::ApplyStatement(ParsedStatement stmt) {
     // A derived class must reference a known process — enforced here rather
     // than in the catalog so base-first scripts still work when the process
     // arrives in the same script before first use.
-    return catalog_->DefineClass(std::move(*class_def)).status();
+    GAEA_RETURN_IF_ERROR(
+        catalog_->DefineClass(std::move(*class_def)).status());
+    ++catalog_version_;
+    return Status::OK();
   }
   if (auto* process_def = std::get_if<ProcessDef>(&stmt)) {
     return DefineProcess(std::move(*process_def)).status();
@@ -217,6 +221,7 @@ Status GaeaKernel::ApplyStatement(ParsedStatement stmt) {
       GAEA_RETURN_IF_ERROR(
           catalog_->AddConceptMember(concept_stmt->name, member));
     }
+    ++catalog_version_;
     return Status::OK();
   }
   return Status::Internal("unhandled DDL statement variant");
@@ -238,11 +243,26 @@ Status GaeaKernel::ExecuteDdl(const std::string& source,
     // it now stands. Cross-statement findings (a DERIVED BY process still
     // missing, an unreachable transition) are legal mid-bootstrap — a later
     // script may complete the network — so they do not fail the load.
-    std::vector<Diagnostic> found =
-        AnalyzeAll(catalog_->classes(), processes_, ops_);
+    // Incremental: only processes new to this script are re-analyzed.
+    const std::vector<Diagnostic>& found = LintCatalog();
     diagnostics->insert(diagnostics->end(), found.begin(), found.end());
   }
   return Status::OK();
+}
+
+const std::vector<Diagnostic>& GaeaKernel::LintCatalog() {
+  // GA502 needs to know which classes a concept vouches for: a derivation
+  // feeding no further process is not dead if an experiment-level concept
+  // covers its output.
+  std::set<std::string> covered;
+  for (const ConceptDef* concept_def : catalog_->concepts().List()) {
+    for (ClassId id : concept_def->member_classes) {
+      auto cls = catalog_->classes().LookupById(id);
+      if (cls.ok()) covered.insert((*cls)->name());
+    }
+  }
+  return analysis_cache_.Analyze(catalog_version_, catalog_->classes(),
+                                 processes_, ops_, &covered);
 }
 
 StatusOr<int> GaeaKernel::DefineProcess(ProcessDef def) {
@@ -252,6 +272,14 @@ StatusOr<int> GaeaKernel::DefineProcess(ProcessDef def) {
   // transition in every derivation net; refuse it at the door.
   std::vector<Diagnostic> diags;
   AnalyzeProcess(def, catalog_->classes(), ops_, &diags);
+  if (!HasErrors(diags)) {
+    // Dataflow errors (provable shape mismatch, zero divisor, contradicted
+    // assertion) are just as fatal as type errors: the template can never
+    // fire, or fires into a guaranteed runtime failure.
+    ClassSummaries summaries =
+        ComputeClassSummaries(catalog_->classes(), processes_, ops_);
+    AnalyzeProcessDataflow(def, catalog_->classes(), ops_, summaries, &diags);
+  }
   if (HasErrors(diags)) {
     std::string rendered;
     for (const Diagnostic& d : diags) {
@@ -271,6 +299,7 @@ StatusOr<int> GaeaKernel::DefineProcess(ProcessDef def) {
   BinaryWriter w;
   stored->Serialize(&w);
   GAEA_RETURN_IF_ERROR(process_journal_->Append(w.buffer()));
+  ++catalog_version_;
   return version;
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis_cache.h"
 #include "analysis/diagnostic.h"
 #include "catalog/catalog.h"
 #include "core/compound_process.h"
@@ -104,6 +105,25 @@ class GaeaKernel {
   // reports any error-severity diagnostic (e.g. a trivially false
   // assertion), in addition to ProcessDef::Validate.
   StatusOr<int> DefineProcess(ProcessDef def);
+
+  // ---- static analysis ----
+
+  // Runs every analysis pass over the current catalog and returns the
+  // normalized findings. Incremental: results are memoized per catalog
+  // version, and per-process passes are keyed on `name#version`, so after a
+  // DDL batch only new or re-versioned processes are re-analyzed (classes
+  // are never redefined and process versions are immutable, so old entries
+  // stay valid). The reference is invalidated by the next definition.
+  const std::vector<Diagnostic>& LintCatalog();
+
+  // Monotonic counter bumped by every successful definition; keys the
+  // incremental analysis cache above.
+  uint64_t catalog_version() const { return catalog_version_; }
+
+  // Cache effectiveness counters (tests, shell `lint` diagnostics).
+  const AnalysisCache::Stats& analysis_stats() const {
+    return analysis_cache_.stats();
+  }
 
   // ---- data & derivation ----
 
@@ -303,6 +323,8 @@ class GaeaKernel {
   Env* env_ = nullptr;
   obs::MetricsRegistry metrics_;
   obs::Profiler profiler_;
+  uint64_t catalog_version_ = 0;
+  AnalysisCache analysis_cache_;
 };
 
 }  // namespace gaea

@@ -114,7 +114,8 @@ StatusOr<std::string> GaeaClient::CallOnceLocked(MsgType type, uint64_t id,
   header.deadline_ms = options_.deadline_ms;
   header.trace_id = obs::Tracer::CurrentContext().trace_id;
   if (type != MsgType::kHello && type != MsgType::kPing &&
-      type != MsgType::kStats && type != MsgType::kMetrics) {
+      type != MsgType::kStats && type != MsgType::kMetrics &&
+      type != MsgType::kLint) {
     header.idem = options_.idem_nonce;
   }
   BinaryWriter payload;
@@ -265,6 +266,12 @@ StatusOr<std::string> GaeaClient::Metrics() {
   GAEA_ASSIGN_OR_RETURN(std::string reply, Call(MsgType::kMetrics, {}));
   BinaryReader reader(reply);
   return reader.GetString();
+}
+
+StatusOr<std::vector<Diagnostic>> GaeaClient::Lint() {
+  GAEA_ASSIGN_OR_RETURN(std::string reply, Call(MsgType::kLint, {}));
+  BinaryReader reader(reply);
+  return DecodeLintReply(&reader);
 }
 
 }  // namespace gaea::net

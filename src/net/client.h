@@ -99,6 +99,11 @@ class GaeaClient {
   // registry (kernel gaea_* and serving gaead_* metrics).
   StatusOr<std::string> Metrics();
 
+  // Remote GaeaKernel::LintCatalog: every static-analysis finding over the
+  // server's current catalog, normalized (sorted, deduped). Idempotent and
+  // safe to retry (no idem nonce is attached).
+  StatusOr<std::vector<Diagnostic>> Lint();
+
   void set_deadline_ms(uint32_t ms) { options_.deadline_ms = ms; }
   void set_retry(const RetryPolicy& retry) { options_.retry = retry; }
   uint64_t idem_nonce() const { return options_.idem_nonce; }

@@ -489,6 +489,13 @@ void GaeaServer::ExecuteJob(Job job) {
       EncodeLineageReply(reply, &body);
       break;
     }
+    case MsgType::kLint: {
+      // Read-only to callers, but LintCatalog memoizes into the kernel's
+      // analysis cache, so it takes the exclusive lock like a DDL.
+      std::unique_lock<std::shared_mutex> lock(kernel_mu_);
+      EncodeLintReply(kernel_->LintCatalog(), &body);
+      break;
+    }
     default:
       result = Status::Internal(std::string("request type ") +
                                 MsgTypeName(header.type) +

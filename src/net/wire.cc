@@ -63,6 +63,7 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kStats: return "Stats";
     case MsgType::kResponse: return "Response";
     case MsgType::kMetrics: return "Metrics";
+    case MsgType::kLint: return "Lint";
   }
   return "Unknown";
 }
@@ -71,7 +72,7 @@ namespace {
 
 bool IsKnownRequestType(uint8_t raw) {
   return raw >= static_cast<uint8_t>(MsgType::kHello) &&
-         raw <= static_cast<uint8_t>(MsgType::kMetrics) &&
+         raw <= static_cast<uint8_t>(MsgType::kLint) &&
          raw != static_cast<uint8_t>(MsgType::kResponse);
 }
 
@@ -237,6 +238,40 @@ StatusOr<LineageReply> DecodeLineageReply(BinaryReader* r) {
     reply.base_sources.push_back(oid);
   }
   return reply;
+}
+
+void EncodeLintReply(const std::vector<Diagnostic>& diags, BinaryWriter* w) {
+  w->PutU32(static_cast<uint32_t>(diags.size()));
+  for (const Diagnostic& d : diags) {
+    w->PutString(d.code);
+    w->PutU8(static_cast<uint8_t>(d.severity));
+    w->PutString(d.file);
+    w->PutU32(static_cast<uint32_t>(d.line < 0 ? 0 : d.line));
+    w->PutString(d.location);
+    w->PutString(d.message);
+  }
+}
+
+StatusOr<std::vector<Diagnostic>> DecodeLintReply(BinaryReader* r) {
+  GAEA_ASSIGN_OR_RETURN(uint32_t count, r->GetU32());
+  // A diagnostic encodes to at least 17 bytes (four length prefixes, the
+  // severity byte and the line), bounding how many fit in the payload.
+  GAEA_RETURN_IF_ERROR(CheckCount(*r, count, 17));
+  std::vector<Diagnostic> diags;
+  diags.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Diagnostic d;
+    GAEA_ASSIGN_OR_RETURN(d.code, r->GetString());
+    GAEA_ASSIGN_OR_RETURN(uint8_t severity, r->GetU8());
+    d.severity = static_cast<Severity>(severity);
+    GAEA_ASSIGN_OR_RETURN(d.file, r->GetString());
+    GAEA_ASSIGN_OR_RETURN(uint32_t line, r->GetU32());
+    d.line = static_cast<int>(line);
+    GAEA_ASSIGN_OR_RETURN(d.location, r->GetString());
+    GAEA_ASSIGN_OR_RETURN(d.message, r->GetString());
+    diags.push_back(std::move(d));
+  }
+  return diags;
 }
 
 Status SendAll(int fd, std::string_view data) {

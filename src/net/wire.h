@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/diagnostic.h"
 #include "core/scheduler.h"
 #include "storage/object_store.h"
 #include "util/serialize.h"
@@ -81,6 +82,7 @@ enum class MsgType : uint8_t {
   kStats = 8,          // body: empty
   kResponse = 9,       // ResponseHeader + per-request-type body
   kMetrics = 10,       // body: empty; reply: Prometheus text exposition
+  kLint = 11,          // body: empty; reply: diagnostic list (LintReply)
 };
 
 const char* MsgTypeName(MsgType type);
@@ -156,6 +158,13 @@ struct LineageReply {
 
 void EncodeLineageReply(const LineageReply& reply, BinaryWriter* w);
 StatusOr<LineageReply> DecodeLineageReply(BinaryReader* r);
+
+// Lint response body: the server kernel's full normalized diagnostic list
+// (GaeaKernel::LintCatalog). Diagnostics from a remote lint carry no file
+// (the catalog is not a file); `file`/`line` still travel so the format can
+// serve future script-scoped lints unchanged.
+void EncodeLintReply(const std::vector<Diagnostic>& diags, BinaryWriter* w);
+StatusOr<std::vector<Diagnostic>> DecodeLintReply(BinaryReader* r);
 
 // ---------------------------------------------------------------------------
 // Socket helpers shared by client and server session

@@ -7,14 +7,21 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/abstract_value.h"
 #include "analysis/analyzer.h"
 #include "analysis/assertion_lint.h"
+#include "analysis/baseline.h"
 #include "analysis/ddl_lint.h"
 #include "analysis/diagnostic.h"
+#include "analysis/sarif.h"
 #include "core/compound_process.h"
 #include "gaea/kernel.h"
 #include "test_util.h"
@@ -41,6 +48,39 @@ TEST(AnalysisGoodFixture, GisSchemaIsClean) {
       std::vector<Diagnostic> diags,
       LintDdlFile(std::string(GAEA_EXAMPLES_DIR) + "/gis_schema.ddl"));
   EXPECT_TRUE(diags.empty()) << FormatDiagnostics(diags);
+}
+
+// The near-miss mirrors of the GA4xx/GA5xx fixtures walk right up to each
+// defect and must stay silent: they pin the conservative side of every
+// new check (guarded divisors, matched shapes, restated MINs, parallel
+// heavy branches, referenced parameters).
+TEST(AnalysisGoodFixture, CleanDataflowIsClean) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Diagnostic> diags,
+                       LintDdlFile(FixturePath("clean_dataflow.ddl")));
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostics(diags);
+}
+
+TEST(AnalysisGoodFixture, CleanCostIsClean) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Diagnostic> diags,
+                       LintDdlFile(FixturePath("clean_cost.ddl")));
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostics(diags);
+}
+
+// Every checked-in example must lint without error-severity findings
+// (warnings — e.g. the Figure 4 serial chain — are allowed and asserted
+// exactly by the golden tests).
+TEST(AnalysisGoodFixture, AllExamplesHaveZeroErrors) {
+  size_t seen = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(GAEA_EXAMPLES_DIR)) {
+    if (entry.path().extension() != ".ddl") continue;
+    ++seen;
+    ASSERT_OK_AND_ASSIGN(std::vector<Diagnostic> diags,
+                         LintDdlFile(entry.path().string()));
+    EXPECT_EQ(CountErrors(diags), 0u)
+        << entry.path() << ":\n" << FormatDiagnostics(diags);
+  }
+  EXPECT_GE(seen, 2u);  // gis_schema.ddl and pca_figure4.ddl at minimum
 }
 
 // ---- the known-bad fixture: all four families ----
@@ -125,7 +165,9 @@ TEST_F(BadSchemaTest, AssertionFamily) {
   ExpectFinding("GA304", "ge(2, 1)");    // trivially true
 }
 
-// The ISSUE acceptance bar: >= 6 distinct codes spanning all four families.
+// The ISSUE acceptance bar: >= 6 distinct codes spanning at least the four
+// original families (the cost pass also fires here — dead orphan_map etc. —
+// so the check is a superset, not an equality).
 TEST_F(BadSchemaTest, CoversAllFourFamilies) {
   std::set<std::string> codes, families;
   for (const Diagnostic& d : diags()) {
@@ -135,8 +177,9 @@ TEST_F(BadSchemaTest, CoversAllFourFamilies) {
     families.insert(info->family);
   }
   EXPECT_GE(codes.size(), 6u);
-  EXPECT_EQ(families, (std::set<std::string>{"type", "graph", "petri",
-                                             "assertion"}));
+  for (const char* family : {"type", "graph", "petri", "assertion"}) {
+    EXPECT_TRUE(families.count(family)) << "missing family " << family;
+  }
 }
 
 TEST(AnalysisDdlLint, IdenticalRedefinitionIsGA113) {
@@ -291,6 +334,41 @@ TEST_F(CompoundAnalysisTest, ClassMismatchIsGA107) {
       << d->ToString();
 }
 
+TEST_F(CompoundAnalysisTest, PureSerialChainIsGA505) {
+  // a -> b -> c: three stages, no two of which can ever run in parallel.
+  CompoundProcessDef def("chain", "c");
+  ASSERT_OK(def.AddExternalInput("in", "scene"));
+  const char* names[] = {"a", "b", "c"};
+  for (int i = 0; i < 3; ++i) {
+    CompoundStage s;
+    s.name = names[i];
+    s.process_name = "classify";
+    s.bindings["bands"] =
+        i == 0 ? StageInput{StageInput::Source::kExternal, "in"}
+               : StageInput{StageInput::Source::kStage, names[i - 1]};
+    ASSERT_OK(def.AddStage(std::move(s)));
+  }
+  std::vector<Diagnostic> diags = Analyze(def);
+  const Diagnostic* d = FindByCode(diags, "GA505");
+  ASSERT_NE(d, nullptr) << FormatDiagnostics(diags);
+  EXPECT_NE(d->message.find("3 stages"), std::string::npos) << d->ToString();
+
+  // A diamond (one stage fans out to two) is not serial: no GA505.
+  CompoundProcessDef fan("fan", "left");
+  ASSERT_OK(fan.AddExternalInput("in", "scene"));
+  for (const char* name : {"root", "left", "right"}) {
+    CompoundStage s;
+    s.name = name;
+    s.process_name = "classify";
+    s.bindings["bands"] =
+        std::string(name) == "root"
+            ? StageInput{StageInput::Source::kExternal, "in"}
+            : StageInput{StageInput::Source::kStage, "root"};
+    ASSERT_OK(fan.AddStage(std::move(s)));
+  }
+  EXPECT_FALSE(HasCode(Analyze(fan), "GA505"));
+}
+
 // ---- constant folding / cardinality interval unit checks ----
 
 TEST(AssertionLint, FoldConstantEvaluatesPureOps) {
@@ -322,9 +400,356 @@ TEST(DiagnosticTable, CodesAreSortedUniqueAndComplete) {
     EXPECT_EQ(FindDiagnosticCode(all[i].code), &all[i]);
     EXPECT_NE(std::string(all[i].summary), "");
   }
-  EXPECT_EQ(families, (std::set<std::string>{"type", "graph", "petri",
-                                             "assertion"}));
+  EXPECT_EQ(families,
+            (std::set<std::string>{"type", "graph", "petri", "assertion",
+                                   "dataflow", "cost"}));
   EXPECT_EQ(FindDiagnosticCode("GA999"), nullptr);
+}
+
+// ---- GA4xx dataflow fixture: every code, trigger and near-miss ----
+
+class DataflowFixtureTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto diags_or = LintDdlFile(FixturePath("bad_dataflow.ddl"));
+    ASSERT_TRUE(diags_or.ok()) << diags_or.status().ToString();
+    diags_ = new std::vector<Diagnostic>(std::move(*diags_or));
+  }
+  static void TearDownTestSuite() {
+    delete diags_;
+    diags_ = nullptr;
+  }
+  const std::vector<Diagnostic>& diags() { return *diags_; }
+
+  void ExpectFinding(const std::string& code, const std::string& where) {
+    const Diagnostic* d = FindByCode(diags(), code);
+    ASSERT_NE(d, nullptr) << code << " not emitted:\n"
+                          << FormatDiagnostics(diags());
+    EXPECT_TRUE(d->location.find(where) != std::string::npos ||
+                d->message.find(where) != std::string::npos)
+        << code << " does not mention '" << where << "': " << d->ToString();
+  }
+
+  static std::vector<Diagnostic>* diags_;
+};
+
+std::vector<Diagnostic>* DataflowFixtureTest::diags_ = nullptr;
+
+TEST_F(DataflowFixtureTest, EveryDataflowCodeFires) {
+  ExpectFinding("GA401", "add-mismatched");   // 8x8 vs 16x16
+  ExpectFinding("GA402", "unguarded-ratio");  // [0, +inf) admits zero
+  ExpectFinding("GA403", "scale-by-zero");    // $z = 0
+  ExpectFinding("GA404", "impossible-threshold");  // 5.0 outside [-1, 1]
+  ExpectFinding("GA405", "vacuous-guard");    // card >= 2 after card >= 3
+  ExpectFinding("GA406", "contradictory-guard");   // > 10 and < 5
+}
+
+TEST_F(DataflowFixtureTest, ShapeMismatchNamesBothShapes) {
+  const Diagnostic* d = FindByCode(diags(), "GA401");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("{8}x{8}"), std::string::npos) << d->ToString();
+  EXPECT_NE(d->message.find("{16}x{16}"), std::string::npos) << d->ToString();
+}
+
+// GA404 is interprocedural: the [-1, 1] range is established by make-ndvi's
+// mapping and flows through the ndvi_map class summary into the analysis of
+// the downstream impossible-threshold process.
+TEST_F(DataflowFixtureTest, ThresholdRangeFlowsAcrossProcesses) {
+  const Diagnostic* d = FindByCode(diags(), "GA404");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("[-1, 1]"), std::string::npos) << d->ToString();
+}
+
+// ---- GA5xx cost fixture ----
+
+class CostFixtureTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto diags_or = LintDdlFile(FixturePath("bad_cost.ddl"));
+    ASSERT_TRUE(diags_or.ok()) << diags_or.status().ToString();
+    diags_ = new std::vector<Diagnostic>(std::move(*diags_or));
+  }
+  static void TearDownTestSuite() {
+    delete diags_;
+    diags_ = nullptr;
+  }
+  const std::vector<Diagnostic>& diags() { return *diags_; }
+  static std::vector<Diagnostic>* diags_;
+};
+
+std::vector<Diagnostic>* CostFixtureTest::diags_ = nullptr;
+
+TEST_F(CostFixtureTest, EveryCatalogCostCodeFires) {
+  EXPECT_TRUE(HasCode(diags(), "GA501")) << FormatDiagnostics(diags());
+  EXPECT_TRUE(HasCode(diags(), "GA502")) << FormatDiagnostics(diags());
+  EXPECT_TRUE(HasCode(diags(), "GA503")) << FormatDiagnostics(diags());
+  EXPECT_TRUE(HasCode(diags(), "GA504")) << FormatDiagnostics(diags());
+  EXPECT_EQ(CountErrors(diags()), 0u);  // cost findings are advisory
+}
+
+TEST_F(CostFixtureTest, DeadEndNamesTheClass) {
+  const Diagnostic* d = FindByCode(diags(), "GA502");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("dead_map"), std::string::npos) << d->ToString();
+}
+
+TEST_F(CostFixtureTest, UnusedParameterNamesCacheKeys) {
+  const Diagnostic* d = FindByCode(diags(), "GA503");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("'gain'"), std::string::npos) << d->ToString();
+  EXPECT_NE(d->message.find("DerivationCache"), std::string::npos);
+}
+
+// The ISSUE acceptance bar: on the Figure 4 PCA network the cost pass must
+// name the serial matrix chain and bound the achievable speedup at 1.2x —
+// consistent with the ~1.15x measured for the cpu-bound compound
+// (docs/PERF.md).
+TEST(CostAnalysis, Figure4PcaNamesTheSerialCriticalPath) {
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Diagnostic> diags,
+      LintDdlFile(std::string(GAEA_EXAMPLES_DIR) + "/pca_figure4.ddl"));
+  const Diagnostic* d = FindByCode(diags, "GA501");
+  ASSERT_NE(d, nullptr) << FormatDiagnostics(diags);
+  EXPECT_NE(d->message.find("convert_image_matrix -> compute_covariance -> "
+                            "get_eigen_vector -> linear_combination -> "
+                            "convert_matrix_image"),
+            std::string::npos)
+      << d->ToString();
+  EXPECT_NE(d->message.find("bounded by 1.2x"), std::string::npos)
+      << d->ToString();
+  // The repeated stacking step is the other half of Figure 4's story.
+  EXPECT_TRUE(HasCode(diags, "GA504")) << FormatDiagnostics(diags);
+}
+
+// ---- golden expected-diagnostics for the bad fixtures ----
+
+// Renders diagnostics with the file normalized to the fixture's basename
+// (the lint runs on an absolute path that varies by checkout) and compares
+// against <fixture>.golden; GAEA_UPDATE_GOLDEN=1 regenerates.
+void ExpectGoldenDiagnostics(const std::string& fixture) {
+  auto diags_or = LintDdlFile(FixturePath(fixture));
+  ASSERT_TRUE(diags_or.ok()) << diags_or.status().ToString();
+  std::string got;
+  for (Diagnostic d : *diags_or) {
+    d.file = fixture;
+    got += d.ToString();
+    got += '\n';
+  }
+
+  const std::string golden_path = FixturePath(fixture + ".golden");
+  if (std::getenv("GAEA_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << got;
+    GTEST_SKIP() << "golden regenerated at " << golden_path;
+  }
+
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden fixture " << golden_path
+                         << " (run with GAEA_UPDATE_GOLDEN=1 to create)";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str()) << "diagnostics changed; if intentional, "
+                                "regenerate with GAEA_UPDATE_GOLDEN=1";
+}
+
+TEST(AnalysisGolden, BadSchemaDiagnostics) {
+  ExpectGoldenDiagnostics("bad_schema.ddl");
+}
+
+TEST(AnalysisGolden, BadDataflowDiagnostics) {
+  ExpectGoldenDiagnostics("bad_dataflow.ddl");
+}
+
+TEST(AnalysisGolden, BadCostDiagnostics) {
+  ExpectGoldenDiagnostics("bad_cost.ddl");
+}
+
+// ---- interval / abstract-value domain unit checks ----
+
+TEST(IntervalDomain, ArithmeticIsConservative) {
+  Interval a = Interval::Range(1, 3);
+  Interval b = Interval::Range(-2, 2);
+  EXPECT_EQ(IntervalAdd(a, b).ToString(), "[-1, 5]");
+  EXPECT_EQ(IntervalSub(a, b).ToString(), "[-1, 5]");
+  EXPECT_EQ(IntervalMul(a, b).ToString(), "[-6, 6]");
+  // A divisor interval containing zero yields Top, never a wrong bound.
+  EXPECT_TRUE(IntervalDiv(a, b).IsTop());
+  EXPECT_EQ(IntervalDiv(Interval::Point(6), Interval::Point(2)).ToString(),
+            "{3}");
+}
+
+TEST(IntervalDomain, OpenBoundsExcludeEndpoints) {
+  // gt-refinement produces an open bound: (0, +inf) does not contain 0.
+  Interval strict = Interval::AtLeast(0);
+  strict.lo_open = true;
+  EXPECT_FALSE(strict.Contains(0));
+  EXPECT_TRUE(strict.Contains(0.5));
+  EXPECT_TRUE(Interval::AtLeast(0).Contains(0));
+}
+
+TEST(IntervalDomain, CompareAndIntersect) {
+  EXPECT_EQ(CompareIntervals("lt", Interval::Range(0, 1),
+                             Interval::Range(2, 3)),
+            TriBool::kTrue);
+  EXPECT_EQ(CompareIntervals("lt", Interval::Range(2, 3),
+                             Interval::Range(0, 1)),
+            TriBool::kFalse);
+  EXPECT_EQ(CompareIntervals("lt", Interval::Range(0, 5),
+                             Interval::Range(3, 4)),
+            TriBool::kUnknown);
+  EXPECT_TRUE(Interval::Range(0, 1).Intersect(Interval::Range(2, 3)).IsEmpty());
+  EXPECT_EQ(Interval::Point(1).Join(Interval::Point(4)).ToString(), "[1, 4]");
+}
+
+TEST(AbstractValueDomain, NdviTransferBoundsTheRange) {
+  const TransferRegistry& transfers = BuiltinTransferFunctions();
+  const TransferFn* fn = transfers.Find("ndvi");
+  ASSERT_NE(fn, nullptr);
+  AbstractValue img = AbstractValue::OfType(TypeId::kImage);
+  AbstractValue out = (*fn)({img, img});
+  EXPECT_EQ(out.range.ToString(), "[-1, 1]");
+}
+
+// ---- machine-readable output: JSON and SARIF 2.1.0 ----
+
+TEST(MachineOutput, JsonListsEveryFinding) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Diagnostic> diags,
+                       LintDdlFile(FixturePath("bad_cost.ddl")));
+  std::string json = DiagnosticsToJson(diags);
+  EXPECT_NE(json.find("\"diagnostics\":["), std::string::npos);
+  for (const Diagnostic& d : diags) {
+    EXPECT_NE(json.find("\"code\":\"" + d.code + "\""), std::string::npos);
+  }
+}
+
+TEST(MachineOutput, SarifIsStructurallyValid) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Diagnostic> diags,
+                       LintDdlFile(FixturePath("bad_cost.ddl")));
+  ASSERT_FALSE(diags.empty());
+  std::string sarif = DiagnosticsToSarif(diags);
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-schema-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"gaea-lint\""), std::string::npos);
+  // One result per finding, one reportingDescriptor per distinct code.
+  size_t results = 0;
+  for (size_t pos = 0; (pos = sarif.find("\"ruleId\":", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++results;
+  }
+  EXPECT_EQ(results, diags.size());
+  std::set<std::string> codes;
+  for (const Diagnostic& d : diags) codes.insert(d.code);
+  size_t rules = 0;
+  for (size_t pos = 0; (pos = sarif.find("\"shortDescription\"", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, codes.size());
+  // Line anchors survive into physicalLocation regions.
+  EXPECT_NE(sarif.find("\"startLine\":"), std::string::npos);
+}
+
+// ---- baseline suppression files ----
+
+TEST(BaselineSuppression, ParsesCodesPatternsAndComments) {
+  std::vector<BaselineEntry> entries = ParseBaseline(
+      "# comment\n"
+      "\n"
+      "GA502 bad_cost.ddl\n"
+      "* legacy/\n"
+      "GA503\n");
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].code, "GA502");
+  EXPECT_EQ(entries[0].pattern, "bad_cost.ddl");
+  EXPECT_EQ(entries[1].code, "*");
+  EXPECT_EQ(entries[2].pattern, "*");  // bare code suppresses everywhere
+}
+
+TEST(BaselineSuppression, SuppressesOnlyMatchingFindings) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Diagnostic> diags,
+                       LintDdlFile(FixturePath("bad_cost.ddl")));
+  size_t before = diags.size();
+  ASSERT_GT(before, 1u);
+
+  std::vector<Diagnostic> copy = diags;
+  size_t removed =
+      ApplyBaseline(ParseBaseline("GA502 bad_cost.ddl\n"), &copy);
+  EXPECT_EQ(removed, 1u);
+  EXPECT_FALSE(HasCode(copy, "GA502"));
+  EXPECT_TRUE(HasCode(copy, "GA501"));
+
+  copy = diags;
+  EXPECT_EQ(ApplyBaseline(ParseBaseline("* bad_cost.ddl\n"), &copy), before);
+  EXPECT_TRUE(copy.empty());
+
+  copy = diags;
+  // A pattern that matches nothing suppresses nothing.
+  EXPECT_EQ(ApplyBaseline(ParseBaseline("GA502 other.ddl\n"), &copy), 0u);
+  EXPECT_EQ(copy.size(), before);
+
+  EXPECT_EQ(LoadBaselineFile("/no/such/baseline.txt").status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---- incremental re-analysis (the kernel's AnalysisCache) ----
+
+TEST(AnalysisCacheTest, ExecuteDdlOnlyReanalyzesAffectedProcesses) {
+  ::gaea::testing::TempDir dir("analysis_cache");
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<GaeaKernel> kernel,
+                       GaeaKernel::Open({.dir = dir.path()}));
+
+  std::vector<Diagnostic> diags;
+  ASSERT_OK(kernel->ExecuteDdl(R"(
+    CLASS a ( ATTRIBUTES: x = int4; )
+    CLASS b ( ATTRIBUTES: x = int4; DERIVED BY: copy )
+    DEFINE PROCESS copy
+    OUTPUT b
+    ARGUMENT ( a src )
+    TEMPLATE { MAPPINGS: b.x = src.x; }
+  )",
+                               &diags));
+  const AnalysisCache::Stats& stats = kernel->analysis_stats();
+  EXPECT_EQ(stats.full_runs, 1u);
+  EXPECT_EQ(stats.process_analyses, 1u);
+
+  // Same catalog version: the memoized result is returned outright.
+  uint64_t version = kernel->catalog_version();
+  kernel->LintCatalog();
+  EXPECT_EQ(stats.cached_runs, 1u);
+  EXPECT_EQ(stats.full_runs, 1u);
+  EXPECT_EQ(kernel->catalog_version(), version);
+
+  // A second script moves the catalog version, so whole-catalog passes
+  // rerun; the new class also changes the class set, which conservatively
+  // flushes the per-process cache (a new class can resolve a previously
+  // missing reference).
+  diags.clear();
+  ASSERT_OK(kernel->ExecuteDdl(R"(
+    CLASS c ( ATTRIBUTES: x = int4; DERIVED BY: copy2 )
+    DEFINE PROCESS copy2
+    OUTPUT c
+    ARGUMENT ( a src )
+    TEMPLATE { MAPPINGS: c.x = src.x; }
+  )",
+                               &diags));
+  EXPECT_GT(kernel->catalog_version(), version);
+  EXPECT_EQ(stats.full_runs, 2u);
+
+  // A DDL batch that adds no class reuses both prior process results.
+  diags.clear();
+  ASSERT_OK(kernel->ExecuteDdl(R"(
+    DEFINE PROCESS copy2
+    OUTPUT c
+    ARGUMENT ( a other )
+    TEMPLATE { MAPPINGS: c.x = other.x; }
+  )",
+                               &diags));
+  EXPECT_EQ(stats.full_runs, 3u);
+  // `copy` v1 is reused; only the new copy2 version is (re)analyzed.
+  EXPECT_GE(stats.process_cache_hits, 1u);
 }
 
 // ---- enforcement policy: reject-on-error, warn-on-load ----

@@ -794,5 +794,35 @@ TEST_F(NetTest, MetricsEndpointServesPrometheusText) {
             std::string::npos);
 }
 
+TEST_F(NetTest, LintRoundTripsDiagnostics) {
+  StartServer(GaeaServer::Options());
+  auto client = Connect();
+
+  // A class derived by a process that does not exist yet: a known warning
+  // (GA101) the remote lint must surface with its full anchor intact.
+  ASSERT_OK(client->ExecuteDdl(
+      "CLASS ghost ( ATTRIBUTES: x = int4; DERIVED BY: later )"));
+
+  ASSERT_OK_AND_ASSIGN(std::vector<Diagnostic> diags, client->Lint());
+  const Diagnostic* ga101 = nullptr;
+  for (const Diagnostic& d : diags) {
+    if (d.code == "GA101" && d.location.find("ghost") != std::string::npos) {
+      ga101 = &d;
+    }
+  }
+  ASSERT_NE(ga101, nullptr) << FormatDiagnostics(diags);
+  EXPECT_EQ(ga101->severity, FindDiagnosticCode("GA101")->severity);
+  EXPECT_NE(ga101->message.find("later"), std::string::npos)
+      << ga101->ToString();
+
+  // The reply is normalized (sorted by file/line/code) and identical to
+  // what an in-process lint of the same kernel reports.
+  std::vector<Diagnostic> sorted = diags;
+  NormalizeDiagnostics(&sorted);
+  EXPECT_EQ(FormatDiagnostics(diags), FormatDiagnostics(sorted));
+  EXPECT_EQ(FormatDiagnostics(diags),
+            FormatDiagnostics(kernel_->LintCatalog()));
+}
+
 }  // namespace
 }  // namespace gaea::net

@@ -1,27 +1,39 @@
 // gaea-lint: static analysis of Gaea derivation networks from the command
-// line. Runs every analyzer pass (type/arity, graph, Petri, assertion lint)
-// over one or more DDL files; see docs/ANALYSIS.md for the diagnostic codes.
+// line. Runs every analyzer pass (type/arity, graph, Petri, assertion,
+// dataflow, cost) over one or more DDL files; see docs/ANALYSIS.md for the
+// diagnostic codes.
 //
-//   gaea_lint [--werror] [--quiet] file.ddl...   lint files
+//   gaea_lint [options] file.ddl...              lint files
 //   gaea_lint --list                             print the code table
 //   gaea_lint --explain GA301                    describe one code
 //
+// Options:
+//   --werror           warnings fail the run too
+//   --quiet            suppress per-finding output
+//   --format=FMT       text (default), json, or sarif (SARIF 2.1.0)
+//   --baseline FILE    suppress known findings (docs/ANALYSIS.md "Baselines")
+//
 // Exit status: 0 clean (warnings allowed unless --werror), 1 diagnostics at
 // error severity (or any with --werror), 2 usage / unreadable / unparsable.
+// Baseline-suppressed findings never affect the exit status.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "analysis/baseline.h"
 #include "analysis/ddl_lint.h"
 #include "analysis/diagnostic.h"
+#include "analysis/sarif.h"
 
 namespace {
 
 void PrintUsage() {
   std::fprintf(stderr,
-               "usage: gaea_lint [--werror] [--quiet] file.ddl...\n"
+               "usage: gaea_lint [--werror] [--quiet] [--format=text|json|"
+               "sarif]\n"
+               "                 [--baseline FILE] file.ddl...\n"
                "       gaea_lint --list\n"
                "       gaea_lint --explain CODE\n");
 }
@@ -36,6 +48,8 @@ void PrintCode(const gaea::DiagnosticCodeInfo& info) {
 int main(int argc, char** argv) {
   bool werror = false;
   bool quiet = false;
+  std::string format = "text";
+  std::string baseline_path;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -44,6 +58,20 @@ int main(int argc, char** argv) {
       werror = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {
       quiet = true;
+    } else if (std::strncmp(arg, "--format=", 9) == 0) {
+      format = arg + 9;
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::fprintf(stderr, "gaea_lint: unknown format '%s'\n",
+                     format.c_str());
+        PrintUsage();
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--baseline") == 0) {
+      if (i + 1 >= argc) {
+        PrintUsage();
+        return 2;
+      }
+      baseline_path = argv[++i];
     } else if (std::strcmp(arg, "--list") == 0) {
       for (const gaea::DiagnosticCodeInfo& info :
            gaea::AllDiagnosticCodes()) {
@@ -78,29 +106,56 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  size_t errors = 0;
-  size_t warnings = 0;
-  for (const std::string& file : files) {
-    auto diags = gaea::LintDdlFile(file);
-    if (!diags.ok()) {
+  std::vector<gaea::BaselineEntry> baseline;
+  if (!baseline_path.empty()) {
+    auto loaded = gaea::LoadBaselineFile(baseline_path);
+    if (!loaded.ok()) {
       std::fprintf(stderr, "gaea_lint: %s\n",
-                   diags.status().ToString().c_str());
+                   loaded.status().ToString().c_str());
       return 2;
     }
-    for (const gaea::Diagnostic& d : *diags) {
-      if (d.severity == gaea::Severity::kError) {
-        ++errors;
-      } else {
-        ++warnings;
-      }
-      if (!quiet) std::printf("%s\n", d.ToString().c_str());
+    baseline = *std::move(loaded);
+  }
+
+  // All files' findings are aggregated, normalized once (stable cross-file
+  // ordering for goldens and SARIF), then baseline-filtered.
+  std::vector<gaea::Diagnostic> diags;
+  for (const std::string& file : files) {
+    auto file_diags = gaea::LintDdlFile(file);
+    if (!file_diags.ok()) {
+      std::fprintf(stderr, "gaea_lint: %s\n",
+                   file_diags.status().ToString().c_str());
+      return 2;
+    }
+    diags.insert(diags.end(), file_diags->begin(), file_diags->end());
+  }
+  gaea::NormalizeDiagnostics(&diags);
+  size_t suppressed = gaea::ApplyBaseline(baseline, &diags);
+
+  size_t errors = 0;
+  size_t warnings = 0;
+  for (const gaea::Diagnostic& d : diags) {
+    if (d.severity == gaea::Severity::kError) {
+      ++errors;
+    } else {
+      ++warnings;
     }
   }
 
-  if (!quiet) {
-    std::printf("gaea_lint: %zu file(s), %zu error(s), %zu warning(s)\n",
+  if (format == "json") {
+    std::printf("%s\n", gaea::DiagnosticsToJson(diags).c_str());
+  } else if (format == "sarif") {
+    std::printf("%s\n", gaea::DiagnosticsToSarif(diags).c_str());
+  } else if (!quiet) {
+    for (const gaea::Diagnostic& d : diags) {
+      std::printf("%s\n", d.ToString().c_str());
+    }
+    std::printf("gaea_lint: %zu file(s), %zu error(s), %zu warning(s)",
                 files.size(), errors, warnings);
+    if (suppressed > 0) std::printf(", %zu suppressed", suppressed);
+    std::printf("\n");
   }
+
   if (errors > 0 || (werror && warnings > 0)) return 1;
   return 0;
 }
