@@ -1,12 +1,22 @@
-// Parallel derivation engine: speedup of DeriveBatch over 1/2/4/8 worker
-// threads and the derivation cache's hit rate on repeated derivations.
+// Parallel derivation engine: speedup over 1/2/4/8 derive threads at both
+// parallelism levels, and the derivation cache's hit rate on repeated
+// derivations.
 //
-// The primary workload is latency-bound: its process maps through an
-// operator that sleeps a few milliseconds, modeling the paper's §5 external
-// procedures (remote instruments, lab equipment, network services) whose
-// cost is wait, not CPU. This keeps the speedup measurement meaningful on
-// single-core CI machines; a CPU-bound workload is reported alongside as a
-// reference (its speedup is bounded by the machine's core count).
+// Two scaling workloads (docs/PERF.md "Two-level parallelism"):
+//
+//  * latency_bound — a 16-request DeriveBatch through an operator that
+//    sleeps a few milliseconds, modeling the paper's §5 external procedures
+//    (remote instruments, lab equipment, network services) whose cost is
+//    wait, not CPU. Scales at the TaskScheduler (batch) level and stays
+//    meaningful on single-core machines.
+//
+//  * cpu_bound — ONE derivation: unsupervised classification of a 512x512
+//    3-band scene (Figure 3's P20). A single DeriveRequest cannot scale at
+//    the batch level; the speedup measured here is intra-derivation — the
+//    TilePool splitting the k-means kernels into row-band tiles. Its curve
+//    is bounded by the machine's core count, so the >= 3x @ 4 threads gate
+//    only arms when std::thread::hardware_concurrency() >= 4 (CI runners);
+//    smaller machines just check that tiling is not a slowdown.
 //
 // Unlike the google-benchmark binaries this is a plain main: each
 // measurement is one timed DeriveBatch call, and the output is a custom
@@ -14,12 +24,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "gaea/kernel.h"
+#include "raster/scene.h"
 
 namespace gaea {
 namespace {
@@ -38,20 +50,41 @@ CLASS slow_out (
   TEMPORAL EXTENT: timestamp = abstime;
   DERIVED BY: slow-derive
 )
-CLASS busy_out (
+CLASS scene_band (
   ATTRIBUTES:
-    v = int4;
+    data = image;
   SPATIAL EXTENT: spatialextent = box;
   TEMPORAL EXTENT: timestamp = abstime;
-  DERIVED BY: busy-derive
 )
+CLASS class_map (
+  ATTRIBUTES:
+    data = image;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+  DERIVED BY: band-classify
+)
+DEFINE PROCESS band-classify
+OUTPUT class_map
+ARGUMENT ( SETOF scene_band bands MIN 3 )
+PARAMETERS { numclass = 8; }
+TEMPLATE {
+  ASSERTIONS:
+    card(bands) >= 3;
+    common(bands.spatialextent);
+  MAPPINGS:
+    class_map.data = unsuperclassify(composite(bands.data), $numclass);
+    class_map.spatialextent = ANYOF bands.spatialextent;
+    class_map.timestamp = ANYOF bands.timestamp;
+}
 )";
 
 constexpr int kSleepMs = 4;        // latency-bound operator wait
-constexpr int kSpinIters = 400000; // CPU-bound operator work
 constexpr int kBatchSize = 16;     // requests per timed batch
 constexpr int kCacheBatch = 8;     // requests in the repeated batch
 constexpr int kCacheRepeats = 12;  // repeats of the identical batch
+constexpr int kSceneRows = 512;    // cpu_bound scene height: 8 row-band tiles
+constexpr int kSceneCols = 512;
+constexpr int kSceneBands = 3;
 
 void RegisterBenchOperators(GaeaKernel* kernel) {
   OperatorSignature sleep_sig;
@@ -64,36 +97,20 @@ void RegisterBenchOperators(GaeaKernel* kernel) {
   };
   BENCH_CHECK_OK(kernel->operators().Register("bench_sleep_ident",
                                               std::move(sleep_sig)));
-
-  OperatorSignature spin_sig;
-  spin_sig.params = {TypeId::kInt};
-  spin_sig.result = TypeId::kInt;
-  spin_sig.doc = "identity that burns CPU";
-  spin_sig.fn = [](const ValueList& args) -> StatusOr<Value> {
-    int64_t v = args[0].AsInt().value();
-    volatile int64_t acc = v;
-    for (int i = 0; i < kSpinIters; ++i) acc = acc * 1103515245 + 12345;
-    return Value::Int(v + (acc & 0));
-  };
-  BENCH_CHECK_OK(kernel->operators().Register("bench_spin_ident",
-                                              std::move(spin_sig)));
 }
 
 void DefineBenchProcesses(GaeaKernel* kernel) {
-  auto define = [&](const char* name, const char* output, const char* op) {
-    ProcessDef def(name, output);
-    BENCH_CHECK_OK(def.AddArg({"in", "sample", false, 1}));
-    std::vector<ExprPtr> call_args;
-    call_args.push_back(Expr::AttrRef("in", "v"));
-    BENCH_CHECK_OK(def.AddMapping("v", Expr::OpCall(op, std::move(call_args))));
-    BENCH_CHECK_OK(
-        def.AddMapping("spatialextent", Expr::AttrRef("in", "spatialextent")));
-    BENCH_CHECK_OK(
-        def.AddMapping("timestamp", Expr::AttrRef("in", "timestamp")));
-    BENCH_CHECK_OK(kernel->DefineProcess(std::move(def)).status());
-  };
-  define("slow-derive", "slow_out", "bench_sleep_ident");
-  define("busy-derive", "busy_out", "bench_spin_ident");
+  ProcessDef def("slow-derive", "slow_out");
+  BENCH_CHECK_OK(def.AddArg({"in", "sample", false, 1}));
+  std::vector<ExprPtr> call_args;
+  call_args.push_back(Expr::AttrRef("in", "v"));
+  BENCH_CHECK_OK(def.AddMapping(
+      "v", Expr::OpCall("bench_sleep_ident", std::move(call_args))));
+  BENCH_CHECK_OK(
+      def.AddMapping("spatialextent", Expr::AttrRef("in", "spatialextent")));
+  BENCH_CHECK_OK(
+      def.AddMapping("timestamp", Expr::AttrRef("in", "timestamp")));
+  BENCH_CHECK_OK(kernel->DefineProcess(std::move(def)).status());
 }
 
 std::vector<Oid> InsertSamples(GaeaKernel* kernel, int count) {
@@ -124,12 +141,8 @@ std::vector<DeriveRequest> MakeBatch(const std::string& process,
   return requests;
 }
 
-// Runs one timed DeriveBatch of `process` over fresh inputs (distinct cache
-// keys: every request computes).
-double TimedBatchMs(GaeaKernel* kernel, const std::string& process,
-                    int threads) {
-  std::vector<Oid> inputs = InsertSamples(kernel, kBatchSize);
-  std::vector<DeriveRequest> batch = MakeBatch(process, inputs);
+double TimedDeriveMs(GaeaKernel* kernel, std::vector<DeriveRequest> batch,
+                     int threads) {
   kernel->SetDeriveThreads(threads);
   auto start = std::chrono::steady_clock::now();
   auto outcomes = kernel->DeriveBatch(batch);
@@ -141,23 +154,62 @@ double TimedBatchMs(GaeaKernel* kernel, const std::string& process,
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
 
+// One timed DeriveBatch of slow-derive over fresh inputs (distinct cache
+// keys: every request computes). Scales at the batch level: kBatchSize
+// independent tasks on the TaskScheduler.
+double TimedBatchMs(GaeaKernel* kernel, int threads) {
+  std::vector<Oid> inputs = InsertSamples(kernel, kBatchSize);
+  return TimedDeriveMs(kernel, MakeBatch("slow-derive", inputs), threads);
+}
+
+// One timed band-classify derivation over a freshly inserted scene (fresh
+// oids, so the DerivationCache never hits; the pixel data is identical on
+// every call, so every thread count classifies the same scene). A single
+// request cannot scale at the batch level — the speedup measured here is
+// the TilePool running the k-means kernels as row-band tiles.
+double TimedClassifyMs(GaeaKernel* kernel, int threads) {
+  const ClassDef* cls =
+      kernel->catalog().classes().LookupByName("scene_band").value();
+  SceneSpec spec;
+  spec.nrow = kSceneRows;
+  spec.ncol = kSceneCols;
+  spec.nbands = kSceneBands;
+  auto scene = GenerateScene(spec);
+  BENCH_CHECK_OK(scene.status());
+  std::vector<Oid> bands;
+  for (int i = 0; i < kSceneBands; ++i) {
+    DataObject obj(*cls);
+    BENCH_CHECK_OK(obj.Set(*cls, "data", Value::OfImage(std::move((*scene)[i]))));
+    BENCH_CHECK_OK(obj.Set(*cls, "spatialextent", Value::OfBox(Box(0, 0, 1, 1))));
+    BENCH_CHECK_OK(obj.Set(*cls, "timestamp", Value::Time(AbsTime(1))));
+    bands.push_back(kernel->Insert(std::move(obj)).value());
+  }
+  DeriveRequest request;
+  request.process = "band-classify";
+  request.inputs["bands"] = bands;
+  std::vector<DeriveRequest> batch;
+  batch.push_back(std::move(request));
+  return TimedDeriveMs(kernel, std::move(batch), threads);
+}
+
 struct ScalingResult {
   std::vector<int> threads;
   std::vector<double> ms;
   std::vector<double> speedup;
 };
 
-ScalingResult RunScaling(GaeaKernel* kernel, const std::string& process) {
+ScalingResult RunScaling(const char* label,
+                         const std::function<double(int)>& measure) {
   ScalingResult result;
   // Warm the code paths (first derivation pays catalog/journal setup).
-  (void)TimedBatchMs(kernel, process, 1);
+  (void)measure(1);
   for (int threads : {1, 2, 4, 8}) {
-    double ms = TimedBatchMs(kernel, process, threads);
+    double ms = measure(threads);
     result.threads.push_back(threads);
     result.ms.push_back(ms);
     result.speedup.push_back(result.ms.front() / ms);
-    std::printf("%-12s threads=%d  %8.2f ms  speedup %.2fx\n",
-                process.c_str(), threads, ms, result.speedup.back());
+    std::printf("%-14s threads=%d  %8.2f ms  speedup %.2fx\n", label, threads,
+                ms, result.speedup.back());
   }
   return result;
 }
@@ -232,23 +284,31 @@ int Run() {
   BENCH_CHECK_OK((*kernel)->ExecuteDdl(kSchema));
   DefineBenchProcesses(kernel->get());
 
-  ScalingResult latency = RunScaling(kernel->get(), "slow-derive");
-  ScalingResult cpu = RunScaling(kernel->get(), "busy-derive");
-  CacheResult cache = RunCacheWorkload(kernel->get());
+  GaeaKernel* k = kernel->get();
+  ScalingResult latency = RunScaling(
+      "latency_bound", [k](int threads) { return TimedBatchMs(k, threads); });
+  ScalingResult cpu = RunScaling(
+      "cpu_bound", [k](int threads) { return TimedClassifyMs(k, threads); });
+  CacheResult cache = RunCacheWorkload(k);
 
-  double speedup4 = latency.speedup[2];  // threads == 4
+  double speedup4 = latency.speedup[2];      // threads == 4
+  double cpu_speedup4 = cpu.speedup[2];      // threads == 4
+  unsigned hardware_threads = std::thread::hardware_concurrency();
 
   std::string json = "{\n  \"bench\": \"bench_parallel_derivation\",\n";
   AppendScalingJson(&json, "latency_bound", latency);
   json += ",\n";
   AppendScalingJson(&json, "cpu_bound", cpu);
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 ",\n  \"speedup_at_4_threads\": %.3f,\n"
+                "  \"cpu_speedup_at_4_threads\": %.3f,\n"
+                "  \"hardware_threads\": %u,\n"
                 "  \"cache\": {\"hits\": %llu, \"misses\": %llu, "
                 "\"hit_rate\": %.4f, \"first_batch_ms\": %.3f, "
                 "\"avg_repeat_ms\": %.3f}\n}\n",
-                speedup4, static_cast<unsigned long long>(cache.hits),
+                speedup4, cpu_speedup4, hardware_threads,
+                static_cast<unsigned long long>(cache.hits),
                 static_cast<unsigned long long>(cache.misses), cache.hit_rate,
                 cache.first_batch_ms, cache.avg_repeat_ms);
   json += buf;
@@ -267,6 +327,24 @@ int Run() {
   if (speedup4 < 2.5) {
     std::fprintf(stderr, "FAIL: speedup at 4 threads %.2fx < 2.5x\n",
                  speedup4);
+    rc = 1;
+  }
+  // Tile-level speedup is bounded by core count: only arm the 3x gate on
+  // machines that can physically reach it. Elsewhere tiling must at least
+  // not be a slowdown (the single-tile/admission paths keep overhead nil).
+  if (hardware_threads >= 4) {
+    if (cpu_speedup4 < 3.0) {
+      std::fprintf(stderr,
+                   "FAIL: cpu_bound speedup at 4 threads %.2fx < 3.0x "
+                   "(%u hardware threads)\n",
+                   cpu_speedup4, hardware_threads);
+      rc = 1;
+    }
+  } else if (cpu_speedup4 < 0.8) {
+    std::fprintf(stderr,
+                 "FAIL: cpu_bound at 4 threads is a %.2fx slowdown on a "
+                 "%u-thread machine; tiling overhead must be near zero\n",
+                 cpu_speedup4, hardware_threads);
     rc = 1;
   }
   if (cache.hit_rate < 0.9) {

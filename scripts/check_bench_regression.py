@@ -53,6 +53,28 @@ def extract_metrics(doc):
                      if float(p.get("ms", 0)) > 0]
             if rates:
                 metrics["%s/peak_batches_per_s" % section] = max(rates)
+        # The cpu_bound workload is ONE tiled derivation, so its curve is
+        # the intra-derivation (TilePool) speedup. Gate the *shape* of the
+        # curve — each point's speedup over the same run's 1-thread time —
+        # not its absolute height: same-run ratios are immune to machine
+        # noise (absolute slowdowns are caught by peak_batches_per_s
+        # above), and a tile scaling regression can hide at one thread
+        # count while the peak still looks fine. Speedups only compare
+        # like for like: the hardware thread count is part of the metric
+        # name, so a baseline recorded on a different machine shape is
+        # reported as missing, not regressed. Armed only when the machine
+        # has >= 4 hardware threads (same rule as the bench's own gate):
+        # below that, "parallel speedup" is scheduler/quota noise.
+        hw = doc.get("hardware_threads")
+        points = [p for p in doc.get("cpu_bound", [])
+                  if float(p.get("ms", 0)) > 0]
+        base_ms = next((float(p["ms"]) for p in points
+                        if int(p["threads"]) == 1), None)
+        if hw is not None and int(hw) >= 4 and base_ms:
+            for p in points:
+                metrics["cpu_bound/%dt_speedup@hw%d"
+                        % (int(p["threads"]), int(hw))] \
+                    = base_ms / float(p["ms"])
         return metrics
 
     if bench == "bench_server":

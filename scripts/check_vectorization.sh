@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Verifies that the per-pixel raster kernels still auto-vectorize.
+#
+# The SIMD half of the two-level parallelism design (docs/PERF.md) relies on
+# GCC turning the contiguous-row loops in src/raster/ into vector code under
+# the flags src/CMakeLists.txt sets for those TUs (-O3 -fno-math-errno
+# -fno-trapping-math; value-safe only — no -fassociative-math, reductions
+# must stay bit-stable). Nothing in a normal build fails when a kernel
+# silently drops back to scalar code, so CI compiles the four raster TUs
+# with -fopt-info-vec-optimized and fails if the number of vectorized loops
+# reported *inside each TU* falls below a floor set from the current
+# GCC 12 baseline (image 5 / image_ops 11 / classify 11 / matrix 12,
+# checked with ~20% headroom for compiler drift).
+#
+# Usage: scripts/check_vectorization.sh [compiler]   (default: g++)
+
+set -u
+cd "$(dirname "$0")/.."
+
+CXX="${1:-g++}"
+FLAGS="-std=c++20 -O3 -fno-math-errno -fno-trapping-math -fopt-info-vec-optimized -Isrc"
+
+# TU : minimum vectorized-loop count.
+TUS="
+src/raster/image.cc:4
+src/raster/image_ops.cc:8
+src/raster/classify.cc:8
+src/raster/matrix.cc:9
+"
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+fail=0
+for entry in $TUS; do
+  tu="${entry%:*}"
+  floor="${entry##*:}"
+  remarks="$tmpdir/$(basename "$tu").remarks"
+  if ! "$CXX" $FLAGS -c "$tu" -o "$tmpdir/out.o" 2> "$remarks"; then
+    echo "FAIL: $tu does not compile under $CXX $FLAGS"
+    cat "$remarks"
+    fail=1
+    continue
+  fi
+  # Count remarks attributed to the TU itself (headers vectorize too, but
+  # the contract is about this file's kernels).
+  count=$(grep -c "^$tu:.*loop vectorized" "$remarks")
+  if [ "$count" -lt "$floor" ]; then
+    echo "FAIL: $tu has $count vectorized loops, floor is $floor"
+    echo "      (a kernel stopped auto-vectorizing; diff the remarks below"
+    echo "       against the last green run)"
+    grep "loop vectorized" "$remarks" | sort -u
+    fail=1
+  else
+    echo "OK:   $tu  $count vectorized loops (floor $floor)"
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "vectorization check FAILED"
+  exit 1
+fi
+echo "vectorization check passed"

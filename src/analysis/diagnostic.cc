@@ -112,7 +112,8 @@ const std::vector<DiagnosticCodeInfo>& AllDiagnosticCodes() {
        "assertion is contradicted by upstream facts; it can never hold"},
       // ---- GA5xx: cost / parallelism analysis ----
       {"GA501", Severity::kWarning, "cost",
-       "serial critical path dominates; little speedup from parallelism"},
+       "serial non-tileable critical path dominates; little speedup from "
+       "parallelism"},
       {"GA502", Severity::kWarning, "cost",
        "dead-end derivation: output consumed by no process or concept"},
       {"GA503", Severity::kWarning, "cost",

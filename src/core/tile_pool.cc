@@ -1,0 +1,211 @@
+#include "core/tile_pool.h"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace gaea {
+
+namespace {
+// Set while a thread is executing a tile body; a nested ParallelRows from
+// inside an operator kernel runs inline instead of deadlocking the pool.
+thread_local bool t_in_tile = false;
+}  // namespace
+
+// All fields are guarded by TilePool::mu_. Claiming a tile is a handful of
+// instructions under the lock; a tile itself is >=64 rows of pixel work, so
+// the lock is never contended in any profile that matters.
+struct TilePool::Job {
+  int64_t nrows = 0;
+  int64_t ntiles = 0;
+  int64_t next = 0;  // next unclaimed tile
+  int64_t done = 0;  // tiles finished (either path)
+  const std::function<Status(int64_t, int64_t)>* fn = nullptr;
+  obs::TraceContext ctx;  // caller's trace context, adopted by helpers
+  Status error;           // status of the lowest-numbered failing tile
+  int64_t error_tile = -1;
+};
+
+TilePool& TilePool::Global() {
+  static TilePool pool;
+  return pool;
+}
+
+TilePool::TilePool() = default;
+
+TilePool::~TilePool() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    workers.swap(helpers_);
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers) t.join();
+}
+
+void TilePool::SetMaxParallel(int n) {
+  if (n < 1) n = 1;
+  std::vector<std::thread> excess;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    max_parallel_ = n;
+    target_helpers_ = static_cast<size_t>(n - 1);
+    while (helpers_.size() < target_helpers_) {
+      helpers_.emplace_back(&TilePool::HelperLoop, this, helpers_.size());
+    }
+    while (helpers_.size() > target_helpers_) {
+      excess.push_back(std::move(helpers_.back()));
+      helpers_.pop_back();
+    }
+  }
+  // Shrinking: woken helpers whose index is past the target exit on their
+  // own; join them outside the lock.
+  work_cv_.notify_all();
+  for (std::thread& t : excess) t.join();
+}
+
+int TilePool::max_parallel() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_parallel_;
+}
+
+TilePool::Stats TilePool::stats() const {
+  Stats s;
+  s.jobs = jobs_.load(std::memory_order_relaxed);
+  s.fanout_jobs = fanout_jobs_.load(std::memory_order_relaxed);
+  s.inline_jobs = inline_jobs_.load(std::memory_order_relaxed);
+  s.tiles = tiles_.load(std::memory_order_relaxed);
+  s.helper_tiles = helper_tiles_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.helpers = static_cast<int>(helpers_.size());
+  }
+  return s;
+}
+
+Status TilePool::RunTile(Job& job, int64_t tile) {
+  int64_t begin = tile * kTileRows;
+  int64_t end = std::min(job.nrows, begin + kTileRows);
+  tiles_.fetch_add(1, std::memory_order_relaxed);
+  bool saved = t_in_tile;
+  t_in_tile = true;
+  Status s = (*job.fn)(begin, end);
+  t_in_tile = saved;
+  return s;
+}
+
+void TilePool::FinishTile(Job& job, int64_t tile, Status s, bool on_helper) {
+  if (on_helper) helper_tiles_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++job.done;
+  if (!s.ok() && (job.error_tile < 0 || tile < job.error_tile)) {
+    job.error = std::move(s);
+    job.error_tile = tile;
+  }
+  if (job.done == job.ntiles) done_cv_.notify_all();
+}
+
+void TilePool::HelperLoop(size_t index) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    std::shared_ptr<Job> job;
+    for (const auto& j : active_) {
+      if (j->next < j->ntiles) {
+        job = j;
+        break;
+      }
+    }
+    if (!job) {
+      if (stop_ || index >= target_helpers_) return;
+      work_cv_.wait(lock);
+      continue;
+    }
+    int64_t tile = job->next++;
+    lock.unlock();
+    {
+      obs::ScopedContext trace_scope(job->ctx);
+      obs::SpanGuard span("tile", "tile");
+      Status s = RunTile(*job, tile);
+      FinishTile(*job, tile, std::move(s), /*on_helper=*/true);
+    }
+    lock.lock();
+  }
+}
+
+Status TilePool::ParallelRows(
+    const char* label, int64_t nrows,
+    const std::function<Status(int64_t, int64_t)>& fn) {
+  if (nrows <= 0) return Status::OK();
+  const int64_t ntiles = TileCount(nrows);
+  jobs_.fetch_add(1, std::memory_order_relaxed);
+
+  bool fan_out = ntiles > 1 && !t_in_tile;
+  if (fan_out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Admission: with no helpers there is nobody to hand tiles to, and once
+    // max_parallel fan-outs are in flight every thread already has work —
+    // further fan-outs would only add queueing overhead.
+    if (helpers_.empty() ||
+        active_.size() >= static_cast<size_t>(max_parallel_)) {
+      fan_out = false;
+    }
+  }
+
+  if (!fan_out) {
+    inline_jobs_.fetch_add(1, std::memory_order_relaxed);
+    Job job;
+    job.nrows = nrows;
+    job.ntiles = ntiles;
+    job.fn = &fn;
+    // Same contract as the fan-out path: every tile runs even after an
+    // error, and the lowest-indexed tile's error is returned — so the
+    // failure a caller observes is identical at every thread count.
+    Status first_error;
+    for (int64_t tile = 0; tile < ntiles; ++tile) {
+      Status s = RunTile(job, tile);
+      if (!s.ok() && first_error.ok()) first_error = std::move(s);
+    }
+    return first_error;
+  }
+
+  fanout_jobs_.fetch_add(1, std::memory_order_relaxed);
+  obs::SpanGuard span(std::string("tiles:") + label, "tile");
+  auto job = std::make_shared<Job>();
+  job->nrows = nrows;
+  job->ntiles = ntiles;
+  job->fn = &fn;
+  job->ctx = obs::Tracer::CurrentContext();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.push_back(job);
+  }
+  work_cv_.notify_all();
+
+  // The caller claims tiles alongside the helpers; it never waits while
+  // unclaimed work remains.
+  for (;;) {
+    int64_t tile;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job->next >= job->ntiles) break;
+      tile = job->next++;
+    }
+    obs::SpanGuard tile_span("tile", "tile");
+    Status s = RunTile(*job, tile);
+    FinishTile(*job, tile, std::move(s), /*on_helper=*/false);
+  }
+
+  Status result;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return job->done == job->ntiles; });
+    active_.erase(std::find(active_.begin(), active_.end(), job));
+    if (job->error_tile >= 0) result = job->error;
+  }
+  return result;
+}
+
+}  // namespace gaea

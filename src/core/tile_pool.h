@@ -1,0 +1,108 @@
+// Intra-derivation tile parallelism (docs/PERF.md "Two-level parallelism").
+//
+// The TaskScheduler parallelizes *across* independent derivations; the
+// TilePool parallelizes *within* one: a raster operator splits its row space
+// into fixed-height bands ("tiles") and fans them out onto a small pool of
+// persistent helper threads shared by the whole process. The calling thread
+// always participates, so a fan-out never blocks behind unrelated work.
+//
+// Determinism contract: tile geometry is a pure function of the row count —
+// never of the thread count or of which thread runs a tile. Operators that
+// reduce (sums, argmins, counts) compute per-tile partials and combine them
+// in ascending tile order, so an N-thread run produces bytes identical to a
+// 1-thread run. Rasters of at most kTileRows rows take a single-tile inline
+// path that is exactly the pre-tiling serial loop.
+
+#ifndef GAEA_CORE_TILE_POOL_H_
+#define GAEA_CORE_TILE_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gaea {
+
+class TilePool {
+ public:
+  // Rows per tile. Fixed: determinism requires geometry independent of the
+  // thread count, and 64 rows of any realistic width is enough work to
+  // amortize the queue handoff.
+  static constexpr int64_t kTileRows = 64;
+
+  // Process-wide pool; helper threads are shared by every concurrent
+  // derivation so total thread count stays bounded by SetMaxParallel.
+  static TilePool& Global();
+
+  // Allows up to `n` threads (the caller plus n-1 persistent helpers) to
+  // cooperate on one fan-out. Mirrors GaeaKernel::SetDeriveThreads; n < 1 is
+  // clamped to 1 (no helpers, every ParallelRows runs inline).
+  void SetMaxParallel(int n);
+  int max_parallel() const;
+
+  // Runs fn(row_begin, row_end) for every tile of [0, nrows). Returns OK iff
+  // every tile returned OK; on failure, the error of the lowest-numbered
+  // failing tile (deterministic across thread counts). The callback must
+  // only touch rows in [row_begin, row_end) of its output and may read any
+  // shared input. Runs inline (caller thread, ascending tile order) when the
+  // raster is a single tile, the pool has no helpers, the caller is itself a
+  // tile worker (no nested fan-out), or enough fan-outs are already in
+  // flight to keep every thread busy (admission control — see docs/PERF.md).
+  Status ParallelRows(const char* label, int64_t nrows,
+                      const std::function<Status(int64_t, int64_t)>& fn);
+
+  // Snapshot of lifetime counters, surfaced as gaea_tile_* gauges.
+  struct Stats {
+    uint64_t jobs = 0;          // ParallelRows calls
+    uint64_t fanout_jobs = 0;   // ... that dispatched to the helper pool
+    uint64_t inline_jobs = 0;   // ... that ran serially on the caller
+    uint64_t tiles = 0;         // tiles executed, any path
+    uint64_t helper_tiles = 0;  // tiles executed by helper threads
+    int helpers = 0;            // current helper thread count
+  };
+  Stats stats() const;
+
+  TilePool();
+  ~TilePool();
+  TilePool(const TilePool&) = delete;
+  TilePool& operator=(const TilePool&) = delete;
+
+ private:
+  struct Job;
+
+  void HelperLoop(size_t index);
+  Status RunTile(Job& job, int64_t tile);
+  void FinishTile(Job& job, int64_t tile, Status s, bool on_helper);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // helpers: a job gained claimable tiles
+  std::condition_variable done_cv_;  // callers: a job finished a tile
+  std::deque<std::shared_ptr<Job>> active_;
+  std::vector<std::thread> helpers_;
+  size_t target_helpers_ = 0;
+  int max_parallel_ = 1;
+  bool stop_ = false;
+
+  // Lifetime counters (relaxed: stats are advisory).
+  std::atomic<uint64_t> jobs_{0};
+  std::atomic<uint64_t> fanout_jobs_{0};
+  std::atomic<uint64_t> inline_jobs_{0};
+  std::atomic<uint64_t> tiles_{0};
+  std::atomic<uint64_t> helper_tiles_{0};
+};
+
+// Tile count for an `nrows`-row raster under the fixed geometry.
+inline int64_t TileCount(int64_t nrows) {
+  return nrows <= 0 ? 0 : (nrows + TilePool::kTileRows - 1) / TilePool::kTileRows;
+}
+
+}  // namespace gaea
+
+#endif  // GAEA_CORE_TILE_POOL_H_

@@ -5,6 +5,7 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/dataflow.h"
+#include "core/tile_pool.h"
 #include "obs/trace.h"
 #include "query/qparser.h"
 #include "util/string_util.h"
@@ -117,6 +118,19 @@ void GaeaKernel::WireObservability() {
         ->Set(process_journal_->appended());
     metrics_.GetGauge("gaea_journal_appends{journal=\"tasks\"}")
         ->Set(task_log_->journal_appended());
+
+    TilePool::Stats tiles = TilePool::Global().stats();
+    metrics_.GetGauge("gaea_tile_jobs_total")
+        ->Set(static_cast<int64_t>(tiles.jobs));
+    metrics_.GetGauge("gaea_tile_fanout_jobs_total")
+        ->Set(static_cast<int64_t>(tiles.fanout_jobs));
+    metrics_.GetGauge("gaea_tile_inline_jobs_total")
+        ->Set(static_cast<int64_t>(tiles.inline_jobs));
+    metrics_.GetGauge("gaea_tile_tiles_total")
+        ->Set(static_cast<int64_t>(tiles.tiles));
+    metrics_.GetGauge("gaea_tile_helper_tiles_total")
+        ->Set(static_cast<int64_t>(tiles.helper_tiles));
+    metrics_.GetGauge("gaea_tile_helpers")->Set(tiles.helpers);
 
     metrics_.GetGauge("gaea_store_next_oid")
         ->Set(static_cast<int64_t>(catalog_->store()->next_oid()));
@@ -323,6 +337,10 @@ StatusOr<std::vector<DeriveOutcome>> GaeaKernel::DeriveBatch(
 
 void GaeaKernel::SetDeriveThreads(int threads) {
   derive_threads_ = threads < 1 ? 1 : threads;
+  // One knob, two levels: the same budget caps batch-level scheduler
+  // workers and intra-derivation tile helpers. The TilePool's admission
+  // policy keeps the combination from oversubscribing (docs/PERF.md).
+  TilePool::Global().SetMaxParallel(derive_threads_);
 }
 
 StatusOr<Oid> GaeaKernel::DeriveCompound(

@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "core/tile_pool.h"
 #include "raster/image_ops.h"
 
 namespace gaea {
@@ -29,13 +30,36 @@ class Rng {
   uint64_t state_;
 };
 
-double Dist2(const std::vector<double>& a, const std::vector<double>& b) {
+double Dist2(const double* __restrict__ a, const double* __restrict__ b,
+             int64_t n) {
   double s = 0;
-  for (size_t i = 0; i < a.size(); ++i) {
+  for (int64_t i = 0; i < n; ++i) {
     double d = a[i] - b[i];
     s += d * d;
   }
   return s;
+}
+
+// Gathers the band stack into one contiguous (npix x nb) feature array,
+// row-band tiled. Pixel i's feature vector is features[i*nb .. i*nb+nb).
+std::vector<double> GatherFeatures(const std::vector<Image>& stack) {
+  const Image& first = stack[0];
+  const int64_t ncol = first.ncol64();
+  const int64_t nb = static_cast<int64_t>(stack.size());
+  std::vector<double> features(static_cast<size_t>(first.nrow64() * ncol * nb));
+  TilePool::Global().ParallelRows(
+      "gather_features", first.nrow64(), [&](int64_t r0, int64_t r1) {
+        for (int64_t j = 0; j < nb; ++j) {
+          const Image& img = stack[static_cast<size_t>(j)];
+          for (int64_t r = r0; r < r1; ++r) {
+            const double* row = img.RowF64(r);  // Composite() made float8
+            double* frow = features.data() + r * ncol * nb + j;
+            for (int64_t c = 0; c < ncol; ++c) frow[c * nb] = row[c];
+          }
+        }
+        return Status::OK();
+      });
+  return features;
 }
 
 }  // namespace
@@ -47,87 +71,140 @@ StatusOr<Image> UnsupervisedClassify(const std::vector<const Image*>& bands,
   }
   GAEA_ASSIGN_OR_RETURN(std::vector<Image> stack, Composite(bands));
   const Image& first = stack[0];
-  size_t npix = first.PixelCount();
-  if (npix < static_cast<size_t>(k)) {
+  const int64_t nrows = first.nrow64();
+  const int64_t ncol = first.ncol64();
+  const int64_t npix = nrows * ncol;
+  if (npix < k) {
     return Status::InvalidArgument("unsuperclassify: fewer pixels than classes");
   }
-  size_t nb = stack.size();
+  const int64_t nb = static_cast<int64_t>(stack.size());
+  const int64_t ntiles = TileCount(nrows);
+  TilePool& pool = TilePool::Global();
 
-  // Gather pixel feature vectors.
-  std::vector<std::vector<double>> px(npix, std::vector<double>(nb));
-  for (size_t j = 0; j < nb; ++j) {
-    const Image& img = stack[j];
-    size_t idx = 0;
-    for (int r = 0; r < img.nrow(); ++r) {
-      for (int c = 0; c < img.ncol(); ++c) {
-        px[idx++][j] = img.Get(r, c);
-      }
-    }
-  }
+  std::vector<double> px = GatherFeatures(stack);
+  auto feature = [&](int64_t i) { return px.data() + i * nb; };
 
   // Farthest-point (k-means++ without randomness beyond the first pick)
-  // seeding from a fixed PRNG: deterministic given inputs.
+  // seeding from a fixed PRNG: deterministic given inputs. Each tile finds
+  // its farthest pixel; partials combine in ascending tile order with a
+  // strict >, so the lowest pixel index wins ties exactly as the serial
+  // scan would.
   Rng rng(opts.seed);
-  std::vector<std::vector<double>> centers;
-  centers.reserve(k);
-  centers.push_back(px[rng.Index(npix)]);
-  std::vector<double> best_d2(npix, std::numeric_limits<double>::infinity());
-  while (static_cast<int>(centers.size()) < k) {
-    size_t far_idx = 0;
-    double far_d2 = -1;
-    for (size_t i = 0; i < npix; ++i) {
-      double d2 = Dist2(px[i], centers.back());
-      best_d2[i] = std::min(best_d2[i], d2);
-      if (best_d2[i] > far_d2) {
-        far_d2 = best_d2[i];
-        far_idx = i;
-      }
-    }
-    centers.push_back(px[far_idx]);
+  std::vector<double> centers;  // k x nb, row-major
+  centers.reserve(static_cast<size_t>(k) * nb);
+  {
+    const double* seed_px = feature(static_cast<int64_t>(rng.Index(npix)));
+    centers.insert(centers.end(), seed_px, seed_px + nb);
   }
-
-  // Lloyd iterations.
-  std::vector<int> assign(npix, 0);
-  for (int iter = 0; iter < opts.max_iterations; ++iter) {
-    bool moved = false;
-    for (size_t i = 0; i < npix; ++i) {
-      int best = 0;
-      double best_dist = std::numeric_limits<double>::infinity();
-      for (int c = 0; c < k; ++c) {
-        double d = Dist2(px[i], centers[c]);
-        if (d < best_dist) {
-          best_dist = d;
-          best = c;
+  std::vector<double> best_d2(static_cast<size_t>(npix),
+                              std::numeric_limits<double>::infinity());
+  struct Farthest {
+    double d2 = -1;
+    int64_t idx = 0;
+  };
+  while (static_cast<int64_t>(centers.size()) / nb < k) {
+    const double* last = centers.data() + centers.size() - nb;
+    std::vector<Farthest> partial(static_cast<size_t>(ntiles));
+    pool.ParallelRows("kmeans_seed", nrows, [&](int64_t r0, int64_t r1) {
+      Farthest far;
+      for (int64_t i = r0 * ncol; i < r1 * ncol; ++i) {
+        double d2 = Dist2(feature(i), last, nb);
+        double& best = best_d2[static_cast<size_t>(i)];
+        best = std::min(best, d2);
+        if (best > far.d2) {
+          far.d2 = best;
+          far.idx = i;
         }
       }
-      if (assign[i] != best) {
-        assign[i] = best;
-        moved = true;
+      partial[static_cast<size_t>(r0 / TilePool::kTileRows)] = far;
+      return Status::OK();
+    });
+    Farthest far;
+    for (const Farthest& p : partial) {
+      if (p.d2 > far.d2) far = p;
+    }
+    const double* fp = feature(far.idx);
+    centers.insert(centers.end(), fp, fp + nb);
+  }
+
+  // Lloyd iterations: tiled assignment (pure per-pixel argmin) and tiled
+  // center updates (per-tile sums combined in ascending tile order).
+  std::vector<int32_t> assign(static_cast<size_t>(npix), 0);
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    std::vector<uint8_t> tile_moved(static_cast<size_t>(ntiles), 0);
+    pool.ParallelRows("kmeans_assign", nrows, [&](int64_t r0, int64_t r1) {
+      bool moved = false;
+      for (int64_t i = r0 * ncol; i < r1 * ncol; ++i) {
+        int32_t best = 0;
+        double best_dist = std::numeric_limits<double>::infinity();
+        for (int64_t c = 0; c < k; ++c) {
+          double d = Dist2(feature(i), centers.data() + c * nb, nb);
+          if (d < best_dist) {
+            best_dist = d;
+            best = static_cast<int32_t>(c);
+          }
+        }
+        if (assign[static_cast<size_t>(i)] != best) {
+          assign[static_cast<size_t>(i)] = best;
+          moved = true;
+        }
       }
-    }
+      tile_moved[static_cast<size_t>(r0 / TilePool::kTileRows)] = moved;
+      return Status::OK();
+    });
+    bool moved = false;
+    for (uint8_t m : tile_moved) moved |= m != 0;
     if (!moved) break;
-    std::vector<std::vector<double>> sums(k, std::vector<double>(nb, 0.0));
-    std::vector<int64_t> counts(k, 0);
-    for (size_t i = 0; i < npix; ++i) {
-      counts[assign[i]]++;
-      for (size_t j = 0; j < nb; ++j) sums[assign[i]][j] += px[i][j];
+
+    std::vector<std::vector<double>> sum_partial(
+        static_cast<size_t>(ntiles),
+        std::vector<double>(static_cast<size_t>(k) * nb, 0.0));
+    std::vector<std::vector<int64_t>> count_partial(
+        static_cast<size_t>(ntiles),
+        std::vector<int64_t>(static_cast<size_t>(k), 0));
+    pool.ParallelRows("kmeans_update", nrows, [&](int64_t r0, int64_t r1) {
+      size_t tile = static_cast<size_t>(r0 / TilePool::kTileRows);
+      std::vector<double>& sums = sum_partial[tile];
+      std::vector<int64_t>& counts = count_partial[tile];
+      for (int64_t i = r0 * ncol; i < r1 * ncol; ++i) {
+        int32_t c = assign[static_cast<size_t>(i)];
+        counts[static_cast<size_t>(c)]++;
+        const double* __restrict__ f = feature(i);
+        double* __restrict__ s = sums.data() + static_cast<int64_t>(c) * nb;
+        for (int64_t j = 0; j < nb; ++j) s[j] += f[j];
+      }
+      return Status::OK();
+    });
+    std::vector<double> sums(static_cast<size_t>(k) * nb, 0.0);
+    std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+    for (int64_t t = 0; t < ntiles; ++t) {
+      const auto& sp = sum_partial[static_cast<size_t>(t)];
+      for (size_t i = 0; i < sums.size(); ++i) sums[i] += sp[i];
+      const auto& cp = count_partial[static_cast<size_t>(t)];
+      for (size_t i = 0; i < counts.size(); ++i) counts[i] += cp[i];
     }
-    for (int c = 0; c < k; ++c) {
-      if (counts[c] == 0) continue;  // keep old center for empty cluster
-      for (size_t j = 0; j < nb; ++j) {
-        centers[c][j] = sums[c][j] / counts[c];
+    for (int64_t c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) continue;  // keep old center
+      for (int64_t j = 0; j < nb; ++j) {
+        centers[static_cast<size_t>(c * nb + j)] =
+            sums[static_cast<size_t>(c * nb + j)] /
+            static_cast<double>(counts[static_cast<size_t>(c)]);
       }
     }
   }
 
   GAEA_ASSIGN_OR_RETURN(
       Image out, Image::Create(first.nrow(), first.ncol(), PixelType::kInt32));
-  size_t idx = 0;
-  for (int r = 0; r < first.nrow(); ++r) {
-    for (int c = 0; c < first.ncol(); ++c) {
-      out.Set(r, c, assign[idx++]);
-    }
-  }
+  GAEA_RETURN_IF_ERROR(
+      pool.ParallelRows("kmeans_emit", nrows, [&](int64_t r0, int64_t r1) {
+        std::vector<double> row(ncol);
+        for (int64_t r = r0; r < r1; ++r) {
+          const int32_t* arow = assign.data() + r * ncol;
+          for (int64_t c = 0; c < ncol; ++c) row[static_cast<size_t>(c)] = arow[c];
+          out.WriteRow(r, row.data());
+        }
+        return Status::OK();
+      }));
   return out;
 }
 
@@ -138,29 +215,57 @@ StatusOr<Image> MaxLikelihoodClassify(const std::vector<const Image*>& bands,
   if (!training.SameShape(first)) {
     return Status::InvalidArgument("maxlike: training image shape mismatch");
   }
-  size_t nb = stack.size();
+  const int64_t nrows = first.nrow64();
+  const int64_t ncol = first.ncol64();
+  const int64_t nb = static_cast<int64_t>(stack.size());
+  const int64_t ntiles = TileCount(nrows);
+  TilePool& pool = TilePool::Global();
 
-  // Per-class mean and diagonal variance over labeled pixels.
+  // Per-class mean and diagonal variance over labeled pixels: per-tile
+  // label->sums maps merged in ascending tile order (deterministic for any
+  // thread count; a single-tile raster reproduces the serial pass).
   struct ClassStats {
     std::vector<double> sum, sum2;
     int64_t n = 0;
   };
+  std::vector<std::map<int, ClassStats>> partial(static_cast<size_t>(ntiles));
+  pool.ParallelRows("maxlike_train", nrows, [&](int64_t r0, int64_t r1) {
+    std::map<int, ClassStats>& local =
+        partial[static_cast<size_t>(r0 / TilePool::kTileRows)];
+    std::vector<double> lrow(ncol);
+    for (int64_t r = r0; r < r1; ++r) {
+      training.ReadRow(r, lrow.data());
+      for (int64_t c = 0; c < ncol; ++c) {
+        int label = static_cast<int>(lrow[static_cast<size_t>(c)]);
+        if (label < 0) continue;
+        ClassStats& cs = local[label];
+        if (cs.sum.empty()) {
+          cs.sum.assign(static_cast<size_t>(nb), 0.0);
+          cs.sum2.assign(static_cast<size_t>(nb), 0.0);
+        }
+        for (int64_t j = 0; j < nb; ++j) {
+          double v = stack[static_cast<size_t>(j)].RowF64(r)[c];
+          cs.sum[static_cast<size_t>(j)] += v;
+          cs.sum2[static_cast<size_t>(j)] += v * v;
+        }
+        cs.n++;
+      }
+    }
+    return Status::OK();
+  });
   std::map<int, ClassStats> stats;
-  for (int r = 0; r < first.nrow(); ++r) {
-    for (int c = 0; c < first.ncol(); ++c) {
-      int label = static_cast<int>(training.Get(r, c));
-      if (label < 0) continue;
-      ClassStats& cs = stats[label];
-      if (cs.sum.empty()) {
-        cs.sum.assign(nb, 0.0);
-        cs.sum2.assign(nb, 0.0);
+  for (const auto& local : partial) {
+    for (const auto& [label, cs] : local) {
+      ClassStats& merged = stats[label];
+      if (merged.sum.empty()) {
+        merged.sum.assign(static_cast<size_t>(nb), 0.0);
+        merged.sum2.assign(static_cast<size_t>(nb), 0.0);
       }
-      for (size_t j = 0; j < nb; ++j) {
-        double v = stack[j].Get(r, c);
-        cs.sum[j] += v;
-        cs.sum2[j] += v * v;
+      for (int64_t j = 0; j < nb; ++j) {
+        merged.sum[static_cast<size_t>(j)] += cs.sum[static_cast<size_t>(j)];
+        merged.sum2[static_cast<size_t>(j)] += cs.sum2[static_cast<size_t>(j)];
       }
-      cs.n++;
+      merged.n += cs.n;
     }
   }
   if (stats.empty()) {
@@ -175,38 +280,50 @@ StatusOr<Image> MaxLikelihoodClassify(const std::vector<const Image*>& bands,
   for (const auto& [label, cs] : stats) {
     Gaussian g;
     g.label = label;
-    g.mean.resize(nb);
-    g.var.resize(nb);
-    for (size_t j = 0; j < nb; ++j) {
-      g.mean[j] = cs.sum[j] / cs.n;
-      double var = cs.sum2[j] / cs.n - g.mean[j] * g.mean[j];
-      g.var[j] = std::max(var, 1e-6);  // floor to keep log-likelihood finite
+    g.mean.resize(static_cast<size_t>(nb));
+    g.var.resize(static_cast<size_t>(nb));
+    for (int64_t j = 0; j < nb; ++j) {
+      g.mean[static_cast<size_t>(j)] =
+          cs.sum[static_cast<size_t>(j)] / static_cast<double>(cs.n);
+      double var = cs.sum2[static_cast<size_t>(j)] / static_cast<double>(cs.n) -
+                   g.mean[static_cast<size_t>(j)] * g.mean[static_cast<size_t>(j)];
+      g.var[static_cast<size_t>(j)] =
+          std::max(var, 1e-6);  // floor to keep log-likelihood finite
     }
     models.push_back(std::move(g));
   }
 
   GAEA_ASSIGN_OR_RETURN(
       Image out, Image::Create(first.nrow(), first.ncol(), PixelType::kInt32));
-  std::vector<double> feat(nb);
-  for (int r = 0; r < first.nrow(); ++r) {
-    for (int c = 0; c < first.ncol(); ++c) {
-      for (size_t j = 0; j < nb; ++j) feat[j] = stack[j].Get(r, c);
-      double best_ll = -std::numeric_limits<double>::infinity();
-      int best_label = models[0].label;
-      for (const Gaussian& g : models) {
-        double ll = 0;
-        for (size_t j = 0; j < nb; ++j) {
-          double d = feat[j] - g.mean[j];
-          ll += -0.5 * (d * d / g.var[j] + std::log(g.var[j]));
+  GAEA_RETURN_IF_ERROR(
+      pool.ParallelRows("maxlike_classify", nrows, [&](int64_t r0, int64_t r1) {
+        std::vector<double> feat(static_cast<size_t>(nb));
+        std::vector<double> orow(static_cast<size_t>(ncol));
+        for (int64_t r = r0; r < r1; ++r) {
+          for (int64_t c = 0; c < ncol; ++c) {
+            for (int64_t j = 0; j < nb; ++j) {
+              feat[static_cast<size_t>(j)] = stack[static_cast<size_t>(j)].RowF64(r)[c];
+            }
+            double best_ll = -std::numeric_limits<double>::infinity();
+            int best_label = models[0].label;
+            for (const Gaussian& g : models) {
+              double ll = 0;
+              for (int64_t j = 0; j < nb; ++j) {
+                double d = feat[static_cast<size_t>(j)] - g.mean[static_cast<size_t>(j)];
+                double var = g.var[static_cast<size_t>(j)];
+                ll += -0.5 * (d * d / var + std::log(var));
+              }
+              if (ll > best_ll) {
+                best_ll = ll;
+                best_label = g.label;
+              }
+            }
+            orow[static_cast<size_t>(c)] = best_label;
+          }
+          out.WriteRow(r, orow.data());
         }
-        if (ll > best_ll) {
-          best_ll = ll;
-          best_label = g.label;
-        }
-      }
-      out.Set(r, c, best_label);
-    }
-  }
+        return Status::OK();
+      }));
   return out;
 }
 
@@ -228,12 +345,24 @@ StatusOr<double> ChangedFraction(const Image& change_map) {
   if (change_map.empty()) {
     return Status::InvalidArgument("changemap fraction of empty image");
   }
+  const int64_t ncol = change_map.ncol64();
+  std::vector<int64_t> partial(
+      static_cast<size_t>(TileCount(change_map.nrow64())), 0);
+  TilePool::Global().ParallelRows(
+      "changed_fraction", change_map.nrow64(), [&](int64_t r0, int64_t r1) {
+        std::vector<double> row(static_cast<size_t>(ncol));
+        int64_t changed = 0;
+        for (int64_t r = r0; r < r1; ++r) {
+          change_map.ReadRow(r, row.data());
+          for (int64_t c = 0; c < ncol; ++c) {
+            if (row[static_cast<size_t>(c)] >= 0) ++changed;
+          }
+        }
+        partial[static_cast<size_t>(r0 / TilePool::kTileRows)] = changed;
+        return Status::OK();
+      });
   int64_t changed = 0;
-  for (int r = 0; r < change_map.nrow(); ++r) {
-    for (int c = 0; c < change_map.ncol(); ++c) {
-      if (change_map.Get(r, c) >= 0) ++changed;
-    }
-  }
+  for (int64_t p : partial) changed += p;
   return static_cast<double>(changed) /
          static_cast<double>(change_map.PixelCount());
 }

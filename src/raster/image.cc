@@ -8,6 +8,7 @@
 #include <limits>
 #include <sstream>
 
+#include "core/tile_pool.h"
 #include "util/string_util.h"
 
 namespace gaea {
@@ -193,6 +194,88 @@ Status Image::SetAt(int r, int c, double v) {
   return Status::OK();
 }
 
+const double* Image::RowF64(int64_t r) const {
+  assert(type_ == PixelType::kFloat64 && r >= 0 && r < nrow_);
+  return reinterpret_cast<const double*>(data_.data()) +
+         r * static_cast<int64_t>(ncol_);
+}
+
+double* Image::MutableRowF64(int64_t r) {
+  assert(type_ == PixelType::kFloat64 && r >= 0 && r < nrow_);
+  return reinterpret_cast<double*>(data_.data()) +
+         r * static_cast<int64_t>(ncol_);
+}
+
+void Image::ReadRow(int64_t r, double* out) const {
+  assert(r >= 0 && r < nrow_);
+  const int64_t n = ncol_;
+  const uint8_t* base = data_.data() + static_cast<size_t>(r) * n * PixelSize(type_);
+  switch (type_) {
+    case PixelType::kUInt8: {
+      for (int64_t i = 0; i < n; ++i) out[i] = base[i];
+      return;
+    }
+    case PixelType::kInt16: {
+      const int16_t* p = reinterpret_cast<const int16_t*>(base);
+      for (int64_t i = 0; i < n; ++i) out[i] = p[i];
+      return;
+    }
+    case PixelType::kInt32: {
+      const int32_t* p = reinterpret_cast<const int32_t*>(base);
+      for (int64_t i = 0; i < n; ++i) out[i] = p[i];
+      return;
+    }
+    case PixelType::kFloat32: {
+      const float* p = reinterpret_cast<const float*>(base);
+      for (int64_t i = 0; i < n; ++i) out[i] = p[i];
+      return;
+    }
+    case PixelType::kFloat64:
+      std::memcpy(out, base, static_cast<size_t>(n) * sizeof(double));
+      return;
+  }
+}
+
+void Image::WriteRow(int64_t r, const double* in) {
+  assert(r >= 0 && r < nrow_);
+  const int64_t n = ncol_;
+  uint8_t* base = data_.data() + static_cast<size_t>(r) * n * PixelSize(type_);
+  // Each leg applies exactly the ClampTo() of SetRaw for its type.
+  switch (type_) {
+    case PixelType::kUInt8: {
+      for (int64_t i = 0; i < n; ++i) {
+        base[i] =
+            static_cast<uint8_t>(std::clamp(std::round(in[i]), 0.0, 255.0));
+      }
+      return;
+    }
+    case PixelType::kInt16: {
+      int16_t* p = reinterpret_cast<int16_t*>(base);
+      for (int64_t i = 0; i < n; ++i) {
+        p[i] = static_cast<int16_t>(
+            std::clamp(std::round(in[i]), -32768.0, 32767.0));
+      }
+      return;
+    }
+    case PixelType::kInt32: {
+      int32_t* p = reinterpret_cast<int32_t*>(base);
+      for (int64_t i = 0; i < n; ++i) {
+        p[i] = static_cast<int32_t>(
+            std::clamp(std::round(in[i]), -2147483648.0, 2147483647.0));
+      }
+      return;
+    }
+    case PixelType::kFloat32: {
+      float* p = reinterpret_cast<float*>(base);
+      for (int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(in[i]);
+      return;
+    }
+    case PixelType::kFloat64:
+      std::memcpy(base, in, static_cast<size_t>(n) * sizeof(double));
+      return;
+  }
+}
+
 Image::Stats Image::ComputeStats() const {
   Stats s;
   size_t n = PixelCount();
@@ -200,12 +283,18 @@ Image::Stats Image::ComputeStats() const {
   s.min = std::numeric_limits<double>::infinity();
   s.max = -std::numeric_limits<double>::infinity();
   double sum = 0, sum2 = 0;
-  for (size_t i = 0; i < n; ++i) {
-    double v = GetRaw(i);
-    s.min = std::min(s.min, v);
-    s.max = std::max(s.max, v);
-    sum += v;
-    sum2 += v * v;
+  // Row-at-a-time so the widening loop vectorizes; the reduction itself
+  // stays scalar in pixel order (bit-stable accumulation).
+  std::vector<double> row(ncol_);
+  for (int64_t r = 0; r < nrow_; ++r) {
+    ReadRow(r, row.data());
+    for (int64_t c = 0; c < ncol_; ++c) {
+      double v = row[c];
+      s.min = std::min(s.min, v);
+      s.max = std::max(s.max, v);
+      sum += v;
+      sum2 += v * v;
+    }
   }
   s.mean = sum / static_cast<double>(n);
   double var = sum2 / static_cast<double>(n) - s.mean * s.mean;
@@ -236,8 +325,15 @@ StatusOr<Image> Image::ConvertTo(PixelType type) const {
   if (type == type_) return *this;
   if (empty()) return Image();
   GAEA_ASSIGN_OR_RETURN(Image out, Create(nrow_, ncol_, type));
-  size_t n = PixelCount();
-  for (size_t i = 0; i < n; ++i) out.SetRaw(i, GetRaw(i));
+  GAEA_RETURN_IF_ERROR(TilePool::Global().ParallelRows(
+      "convert", nrow_, [&](int64_t r0, int64_t r1) {
+        std::vector<double> row(ncol_);
+        for (int64_t r = r0; r < r1; ++r) {
+          ReadRow(r, row.data());
+          out.WriteRow(r, row.data());
+        }
+        return Status::OK();
+      }));
   return out;
 }
 

@@ -56,6 +56,11 @@ class Image {
 
   int nrow() const { return nrow_; }
   int ncol() const { return ncol_; }
+  // Overflow-safe accessors: loop bounds in raster kernels index with
+  // int64_t against these so row*ncol arithmetic can't wrap (docs/PERF.md).
+  int64_t nrow64() const { return nrow_; }
+  int64_t ncol64() const { return ncol_; }
+  size_t SizeBytes() const { return data_.size(); }
   PixelType pixel_type() const { return type_; }
   size_t PixelCount() const {
     return static_cast<size_t>(nrow_) * static_cast<size_t>(ncol_);
@@ -69,6 +74,18 @@ class Image {
   // Checked accessors.
   StatusOr<double> At(int r, int c) const;
   Status SetAt(int r, int c, double v);
+
+  // Row access for vectorized kernels. The typed pointers are only valid
+  // while the image is alive and unresized; RowF64 requires
+  // pixel_type() == kFloat64 (asserted in debug builds).
+  const double* RowF64(int64_t r) const;
+  double* MutableRowF64(int64_t r);
+  // Conversion row access for any pixel type: ReadRow widens row `r` into
+  // `out[0..ncol)` exactly as Get() would; WriteRow narrows with the same
+  // clamping as Set(). The per-type switch sits outside the column loop, so
+  // each leg is a contiguous loop the compiler can vectorize.
+  void ReadRow(int64_t r, double* out) const;
+  void WriteRow(int64_t r, const double* in);
 
   bool SameShape(const Image& other) const {
     return nrow_ == other.nrow_ && ncol_ == other.ncol_;

