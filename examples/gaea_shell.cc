@@ -33,13 +33,18 @@
 //   stats [--json]           catalog, derivation-cache and buffer-pool stats
 //                            (--json: machine-readable, for benches and CI)
 //   metrics                  Prometheus text exposition of every instrument
+//   checkpoint               take one fuzzy checkpoint now
+//   checkpoint policy <bytes> <tasks>
+//                            arm the background checkpoint policy (0 0
+//                            disables; local mode only)
 //   profile                  per-process / per-operator cumulative timings
 //   trace on|off             enable / disable span collection
 //   trace <file>             dump collected spans as Chrome trace JSON
 //   quit
 //
-// Remote sessions additionally understand `metrics` (the kMetrics RPC) and
-// `lint [--json]` (the kLint RPC, analyzing the *server's* catalog);
+// Remote sessions additionally understand `metrics` (the kMetrics RPC),
+// `lint [--json]` (the kLint RPC, analyzing the *server's* catalog) and
+// `checkpoint` (the kCheckpoint RPC, checkpointing the *server's* database);
 // trace and profile read the *local* process and are local-mode only.
 
 #include <cstdio>
@@ -110,6 +115,7 @@ class Shell {
     if (cmd == "lint") return Lint(words);
     if (cmd == "stats") return Stats(words);
     if (cmd == "metrics") return Metrics();
+    if (cmd == "checkpoint") return Checkpoint(words);
     if (cmd == "profile") return Profile();
     if (cmd == "trace") return Trace(words);
     if (cmd == "derive-batch") return DeriveBatch(words);
@@ -379,6 +385,39 @@ class Shell {
     return true;
   }
 
+  bool Checkpoint(std::istringstream& words) {
+    std::string sub;
+    words >> sub;
+    if (sub == "policy") {
+      uint64_t bytes = 0, tasks = 0;
+      if (!(words >> bytes >> tasks)) {
+        std::printf("usage: checkpoint policy <journal_bytes> <tasks>\n");
+        return true;
+      }
+      kernel_->SetCheckpointPolicy({bytes, tasks});
+      std::printf("checkpoint policy: journal_bytes=%llu tasks=%llu\n",
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<unsigned long long>(tasks));
+      return true;
+    }
+    if (!sub.empty()) {
+      std::printf("usage: checkpoint | checkpoint policy <bytes> <tasks>\n");
+      return true;
+    }
+    auto info = kernel_->Checkpoint();
+    if (!info.ok()) {
+      PrintStatus(info.status());
+      return true;
+    }
+    std::printf("checkpoint %llu: %llu bytes in %llu us, %llu journal "
+                "records archived\n",
+                static_cast<unsigned long long>(info->seq),
+                static_cast<unsigned long long>(info->snapshot_bytes),
+                static_cast<unsigned long long>(info->duration_us),
+                static_cast<unsigned long long>(info->truncated_records));
+    return true;
+  }
+
   bool Profile() {
     std::printf("%s", kernel_->profiler().Table().c_str());
     return true;
@@ -546,9 +585,10 @@ class RemoteShell {
     if (cmd == "stats") return Stats();
     if (cmd == "metrics") return Metrics();
     if (cmd == "lint") return Lint(words);
+    if (cmd == "checkpoint") return Checkpoint();
     std::printf("unknown remote command: %s (remote commands: ddl, ddl-file, "
                 "derive, derive-batch, lineage, stats [--json], metrics, "
-                "lint [--json], ping, quit)\n",
+                "lint [--json], checkpoint, ping, quit)\n",
                 cmd.c_str());
     return true;
   }
@@ -682,6 +722,21 @@ class RemoteShell {
       return true;
     }
     PrintDiagnostics(*diags, flag == "--json");
+    return true;
+  }
+
+  bool Checkpoint() {
+    auto reply = client_->Checkpoint();
+    if (!reply.ok()) {
+      PrintStatus(reply.status());
+      return true;
+    }
+    std::printf("checkpoint %llu: %llu bytes in %llu us, %llu journal "
+                "records archived\n",
+                static_cast<unsigned long long>(reply->seq),
+                static_cast<unsigned long long>(reply->snapshot_bytes),
+                static_cast<unsigned long long>(reply->duration_us),
+                static_cast<unsigned long long>(reply->truncated_records));
     return true;
   }
 

@@ -17,6 +17,8 @@ Understood schemas:
   * bench_parallel_derivation: 1/ms per (section, threads) scaling point.
   * bench_server: throughput_rps per client count plus the backpressure
     run.
+  * bench_recovery: full-replay-over-checkpoint restart speedup at the
+    longest history, plus checkpointed restarts/second there.
 Unknown schemas are skipped with a note rather than failing, so adding a
 new bench never breaks CI before a baseline exists.
 """
@@ -85,6 +87,22 @@ def extract_metrics(doc):
         bp = doc.get("backpressure")
         if bp and "throughput_rps" in bp:
             metrics["backpressure_rps"] = float(bp["throughput_rps"])
+        return metrics
+
+    if bench == "bench_recovery":
+        # Gate the headline ratio (how much a checkpoint buys at the
+        # longest history) and the absolute checkpointed restart rate
+        # there. Both are higher-is-better; the ratio is same-run so it is
+        # largely immune to machine noise.
+        speedup = doc.get("checkpoint_speedup_at_10x")
+        if speedup:
+            metrics["checkpoint_speedup_at_10x"] = float(speedup)
+        points = [p for p in doc.get("restart", [])
+                  if float(p.get("ckpt_ms", 0)) > 0]
+        if points:
+            longest = max(points, key=lambda p: int(p["tasks"]))
+            metrics["ckpt_restarts_per_s@%d" % int(longest["tasks"])] \
+                = 1000.0 / float(longest["ckpt_ms"])
         return metrics
 
     return None  # unknown schema

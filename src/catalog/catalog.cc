@@ -18,7 +18,8 @@ constexpr uint8_t kRecMember = 4;
 }  // namespace
 
 StatusOr<std::unique_ptr<Catalog>> Catalog::Open(const std::string& dir,
-                                                 Env* env) {
+                                                 Env* env,
+                                                 const JournalRecovery* recovery) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
@@ -34,9 +35,20 @@ StatusOr<std::unique_ptr<Catalog>> Catalog::Open(const std::string& dir,
   GAEA_ASSIGN_OR_RETURN(cat->by_time_,
                         BTree::Open(dir + "/bytime.idx", 256, env));
   cat->replaying_ = true;
-  Status replay = cat->journal_->Replay([&cat](const std::string& record) {
-    return cat->ReplayRecord(record);
-  });
+  uint64_t start_lsn = 0;
+  Status replay = Status::OK();
+  if (recovery != nullptr && recovery->load_snapshot) {
+    // Snapshot records are catalog journal records: one replay path.
+    replay = recovery->load_snapshot([&cat](const std::string& record) {
+      return cat->ReplayRecord(record);
+    });
+    start_lsn = recovery->start_lsn;
+  }
+  if (replay.ok()) {
+    replay = cat->journal_->Replay(
+        [&cat](const std::string& record) { return cat->ReplayRecord(record); },
+        start_lsn);
+  }
   cat->replaying_ = false;
   GAEA_RETURN_IF_ERROR(replay);
   GAEA_RETURN_IF_ERROR(cat->RebuildDerivedIndexes());
@@ -48,17 +60,19 @@ Status Catalog::RebuildDerivedIndexes() {
   // an index page while the object it points at never reached the store
   // (BTree::Open already reset either tree if it was torn wholesale).
   for (BTree* tree : {by_class_.get(), by_time_.get()}) {
-    std::vector<std::pair<int64_t, uint64_t>> dangling;
+    // Snapshot the entries, then probe the store: Contains takes the store
+    // index lock, and taking it inside this tree's Scan would invert the
+    // order ObjectStore::ForEach-driven rebuilds establish.
+    std::vector<std::pair<int64_t, uint64_t>> entries;
     GAEA_RETURN_IF_ERROR(
         tree->Scan(std::numeric_limits<int64_t>::min(),
                    std::numeric_limits<int64_t>::max(),
                    [&](int64_t key, uint64_t value) -> Status {
-                     if (!store_->Contains(static_cast<Oid>(value))) {
-                       dangling.emplace_back(key, value);
-                     }
+                     entries.emplace_back(key, value);
                      return Status::OK();
                    }));
-    for (const auto& [key, value] : dangling) {
+    for (const auto& [key, value] : entries) {
+      if (store_->Contains(static_cast<Oid>(value))) continue;
       GAEA_RETURN_IF_ERROR(tree->Delete(key, value));
     }
   }
@@ -339,6 +353,43 @@ StatusOr<std::vector<Oid>> Catalog::ObjectsInTimeRangeUnlocked(
         return Status::OK();
       }));
   return out;
+}
+
+Status Catalog::SnapshotDefinitions(
+    const std::function<Status(const std::string&)>& sink,
+    uint64_t* covered_lsn) const {
+  std::shared_lock lock(mu_);
+  auto emit = [&sink](uint8_t tag, const BinaryWriter& w) -> Status {
+    std::string record;
+    record.push_back(static_cast<char>(tag));
+    record.append(w.buffer());
+    return sink(record);
+  };
+  // Classes and concepts in id order: replaying the stream re-registers
+  // them with their original ids (the registries honor preset ids) and
+  // leaves next_id_ exactly where the journal would have. Concept member
+  // classes travel inside the ConceptDef record, so only ISA edges need
+  // separate records.
+  for (const ClassDef* def : classes_.List()) {
+    BinaryWriter w;
+    def->Serialize(&w);
+    GAEA_RETURN_IF_ERROR(emit(kRecClassDef, w));
+  }
+  for (const ConceptDef* def : concepts_.List()) {
+    BinaryWriter w;
+    def->Serialize(&w);
+    GAEA_RETURN_IF_ERROR(emit(kRecConceptDef, w));
+  }
+  for (const auto& [child, parent] : concepts_.IsAEdges()) {
+    BinaryWriter w;
+    w.PutU32(child);
+    w.PutU32(parent);
+    GAEA_RETURN_IF_ERROR(emit(kRecIsA, w));
+  }
+  // DDL appends hold mu_ exclusively, so this count is exactly the journal
+  // position the definitions above reflect.
+  *covered_lsn = journal_->record_count();
+  return Status::OK();
 }
 
 Status Catalog::Flush() {

@@ -29,9 +29,12 @@ namespace gaea {
 class Catalog {
  public:
   // Opens (creating if needed) the catalog in directory `dir` and replays
-  // the definition journal. All file I/O goes through `env`.
-  static StatusOr<std::unique_ptr<Catalog>> Open(const std::string& dir,
-                                                 Env* env = Env::Default());
+  // the definition journal — in full, or, when `recovery` is given, from a
+  // checkpoint snapshot plus the journal tail past recovery->start_lsn.
+  // All file I/O goes through `env`.
+  static StatusOr<std::unique_ptr<Catalog>> Open(
+      const std::string& dir, Env* env = Env::Default(),
+      const JournalRecovery* recovery = nullptr);
 
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
@@ -84,6 +87,28 @@ class Catalog {
   const std::string& dir() const { return dir_; }
 
   Status Flush();
+
+  // ---- checkpointing (src/recovery/) ----
+
+  // Streams the current definition state (classes, concepts with their
+  // member classes, ISA edges) as catalog journal records and reports the
+  // journal LSN the stream covers. Atomic under the shared lock: DDL takes
+  // the lock exclusively, so definitions and the covered LSN cannot move
+  // mid-capture; object traffic is not excluded (objects are not journaled).
+  Status SnapshotDefinitions(
+      const std::function<Status(const std::string&)>& sink,
+      uint64_t* covered_lsn) const;
+
+  uint64_t JournalRecordCount() const { return journal_->record_count(); }
+  uint64_t JournalBaseLsn() const { return journal_->base_lsn(); }
+  uint64_t JournalBytes() const { return journal_->size_bytes(); }
+  Status SyncJournal() { return journal_->Sync(); }
+  Status TruncateJournalPrefix(uint64_t upto_lsn,
+                               const std::string& archive_path) {
+    // Exclusive: TruncatePrefix swaps the live file and append handle.
+    std::unique_lock lock(mu_);
+    return journal_->TruncatePrefix(upto_lsn, archive_path);
+  }
 
   // Journal Sync policy for the definition journal (see DurabilityMode).
   void SetDurability(DurabilityMode mode) { journal_->set_durability(mode); }

@@ -100,31 +100,58 @@ std::unique_ptr<TaskLog> TaskLog::InMemory() {
 }
 
 StatusOr<std::unique_ptr<TaskLog>> TaskLog::Open(const std::string& path,
-                                                 Env* env) {
+                                                 Env* env,
+                                                 const JournalRecovery* recovery) {
   auto log = InMemory();
   GAEA_ASSIGN_OR_RETURN(std::unique_ptr<Journal> journal,
                         Journal::Open(path, env));
-  GAEA_RETURN_IF_ERROR(
-      journal->Replay([&log](const std::string& record) -> Status {
-        BinaryReader r(record);
-        GAEA_ASSIGN_OR_RETURN(Task task, Task::Deserialize(&r));
-        // Re-inserting through Append would re-journal; index directly.
-        TaskId expected = static_cast<TaskId>(log->tasks_.size()) + 1;
-        if (task.id != expected) {
-          return Status::Corruption("task journal out of order: got id " +
-                                    std::to_string(task.id) + ", expected " +
-                                    std::to_string(expected));
-        }
-        size_t idx = log->tasks_.size();
-        for (Oid oid : task.outputs) log->producer_index_[oid] = idx;
-        for (Oid oid : task.AllInputs()) {
-          log->consumer_index_[oid].push_back(idx);
-        }
-        log->tasks_.push_back(std::move(task));
-        return Status::OK();
-      }));
+  auto apply = [&log](const std::string& record) -> Status {
+    BinaryReader r(record);
+    GAEA_ASSIGN_OR_RETURN(Task task, Task::Deserialize(&r));
+    // Re-inserting through Append would re-journal; index directly.
+    TaskId expected = static_cast<TaskId>(log->tasks_.size()) + 1;
+    if (task.id != expected) {
+      return Status::Corruption("task journal out of order: got id " +
+                                std::to_string(task.id) + ", expected " +
+                                std::to_string(expected));
+    }
+    size_t idx = log->tasks_.size();
+    for (Oid oid : task.outputs) log->producer_index_[oid] = idx;
+    for (Oid oid : task.AllInputs()) {
+      log->consumer_index_[oid].push_back(idx);
+    }
+    log->tasks_.push_back(std::move(task));
+    return Status::OK();
+  };
+  uint64_t start_lsn = 0;
+  if (recovery != nullptr && recovery->load_snapshot) {
+    GAEA_RETURN_IF_ERROR(recovery->load_snapshot(apply));
+    start_lsn = recovery->start_lsn;
+    // The sequential-id check above implicitly verified the snapshot; the
+    // journal tail must continue exactly where the snapshot stops.
+    if (static_cast<uint64_t>(log->tasks_.size()) != start_lsn) {
+      return Status::Corruption(
+          "task snapshot holds " + std::to_string(log->tasks_.size()) +
+          " tasks but claims to cover LSN " + std::to_string(start_lsn));
+    }
+  }
+  GAEA_RETURN_IF_ERROR(journal->Replay(apply, start_lsn));
   log->journal_ = std::move(journal);
   return log;
+}
+
+Status TaskLog::Snapshot(const std::function<Status(const std::string&)>& sink,
+                         uint64_t* covered_lsn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Task& task : tasks_) {
+    BinaryWriter w;
+    task.Serialize(&w);
+    GAEA_RETURN_IF_ERROR(sink(w.buffer()));
+  }
+  // Appends hold mu_ while journaling, so the journal count equals the
+  // number of tasks just streamed (task id N lives at journal LSN N - 1).
+  *covered_lsn = journal_ == nullptr ? tasks_.size() : journal_->record_count();
+  return Status::OK();
 }
 
 StatusOr<TaskId> TaskLog::Append(Task task) {

@@ -68,8 +68,12 @@ class TaskLog {
   // In-memory log (benchmarking, scratch sessions).
   static std::unique_ptr<TaskLog> InMemory();
   // Durable log: replays `path` then appends to it; I/O goes through `env`.
-  static StatusOr<std::unique_ptr<TaskLog>> Open(const std::string& path,
-                                                 Env* env = Env::Default());
+  // With `recovery`, the snapshot loads first and the journal replays only
+  // from recovery->start_lsn (a task's journal LSN is its id - 1, so the
+  // sequential-id replay check holds across the seam).
+  static StatusOr<std::unique_ptr<TaskLog>> Open(
+      const std::string& path, Env* env = Env::Default(),
+      const JournalRecovery* recovery = nullptr);
 
   // Journal Sync policy (no-op for an in-memory log).
   void SetDurability(DurabilityMode mode) {
@@ -107,6 +111,33 @@ class TaskLog {
   StatusOr<const Task*> FindCompleted(
       const std::string& process_name, int process_version,
       const std::map<std::string, std::vector<Oid>>& inputs) const;
+
+  // ---- checkpointing (src/recovery/) ----
+
+  // Streams every task as a journal record (id order) and reports the
+  // journal LSN covered. Atomic under the log mutex, so the stream and the
+  // LSN agree even while derivations append concurrently.
+  Status Snapshot(const std::function<Status(const std::string&)>& sink,
+                  uint64_t* covered_lsn) const;
+
+  uint64_t JournalRecordCount() const {
+    return journal_ == nullptr ? 0 : journal_->record_count();
+  }
+  uint64_t JournalBaseLsn() const {
+    return journal_ == nullptr ? 0 : journal_->base_lsn();
+  }
+  uint64_t JournalBytes() const {
+    return journal_ == nullptr ? 0 : journal_->size_bytes();
+  }
+  Status SyncJournal() {
+    return journal_ == nullptr ? Status::OK() : journal_->Sync();
+  }
+  Status TruncateJournalPrefix(uint64_t upto_lsn,
+                               const std::string& archive_path) {
+    if (journal_ == nullptr) return Status::OK();
+    std::lock_guard<std::mutex> lock(mu_);
+    return journal_->TruncatePrefix(upto_lsn, archive_path);
+  }
 
  private:
   mutable std::mutex mu_;

@@ -39,19 +39,47 @@ std::unique_ptr<ExperimentManager> ExperimentManager::InMemory() {
 }
 
 StatusOr<std::unique_ptr<ExperimentManager>> ExperimentManager::Open(
-    const std::string& path, Env* env) {
+    const std::string& path, Env* env, const JournalRecovery* recovery) {
   auto mgr = InMemory();
   GAEA_ASSIGN_OR_RETURN(std::unique_ptr<Journal> journal,
                         Journal::Open(path, env));
-  GAEA_RETURN_IF_ERROR(
-      journal->Replay([&mgr](const std::string& record) -> Status {
-        BinaryReader r(record);
-        GAEA_ASSIGN_OR_RETURN(Experiment e, Experiment::Deserialize(&r));
-        mgr->experiments_.push_back(std::move(e));
-        return Status::OK();
-      }));
+  auto apply = [&mgr](const std::string& record) -> Status {
+    BinaryReader r(record);
+    GAEA_ASSIGN_OR_RETURN(Experiment e, Experiment::Deserialize(&r));
+    if (e.id != static_cast<ExperimentId>(mgr->experiments_.size()) + 1) {
+      return Status::Corruption("experiment journal out of order: got id " +
+                                std::to_string(e.id));
+    }
+    mgr->experiments_.push_back(std::move(e));
+    return Status::OK();
+  };
+  uint64_t start_lsn = 0;
+  if (recovery != nullptr && recovery->load_snapshot) {
+    GAEA_RETURN_IF_ERROR(recovery->load_snapshot(apply));
+    start_lsn = recovery->start_lsn;
+    if (static_cast<uint64_t>(mgr->experiments_.size()) != start_lsn) {
+      return Status::Corruption(
+          "experiment snapshot holds " +
+          std::to_string(mgr->experiments_.size()) +
+          " records but claims to cover LSN " + std::to_string(start_lsn));
+    }
+  }
+  GAEA_RETURN_IF_ERROR(journal->Replay(apply, start_lsn));
   mgr->journal_ = std::move(journal);
   return mgr;
+}
+
+Status ExperimentManager::Snapshot(
+    const std::function<Status(const std::string&)>& sink,
+    uint64_t* covered_lsn) const {
+  for (const Experiment& e : experiments_) {
+    BinaryWriter w;
+    e.Serialize(&w);
+    GAEA_RETURN_IF_ERROR(sink(w.buffer()));
+  }
+  *covered_lsn =
+      journal_ == nullptr ? experiments_.size() : journal_->record_count();
+  return Status::OK();
 }
 
 StatusOr<ExperimentId> ExperimentManager::Define(Experiment experiment) {

@@ -57,9 +57,11 @@ class ExperimentManager {
  public:
   static std::unique_ptr<ExperimentManager> InMemory();
   // Durable: replays `path` then appends new definitions to it; file I/O
-  // goes through `env`.
+  // goes through `env`. With `recovery`, the snapshot loads first and the
+  // journal replays only from recovery->start_lsn.
   static StatusOr<std::unique_ptr<ExperimentManager>> Open(
-      const std::string& path, Env* env = Env::Default());
+      const std::string& path, Env* env = Env::Default(),
+      const JournalRecovery* recovery = nullptr);
 
   // Journal Sync policy (no-op for an in-memory manager).
   void SetDurability(DurabilityMode mode) {
@@ -79,6 +81,34 @@ class ExperimentManager {
                                          Catalog* catalog, Deriver* deriver,
                                          Interpolator* interpolator,
                                          const TaskLog* log) const;
+
+  // ---- checkpointing (src/recovery/) ----
+  // Like the manager itself, not internally synchronized: the kernel
+  // serializes Define against Snapshot (DDL is exclusive, checkpoint
+  // shared, on the server path).
+
+  // Streams every experiment as a journal record (id order) and reports
+  // the journal LSN covered.
+  Status Snapshot(const std::function<Status(const std::string&)>& sink,
+                  uint64_t* covered_lsn) const;
+
+  uint64_t JournalRecordCount() const {
+    return journal_ == nullptr ? 0 : journal_->record_count();
+  }
+  uint64_t JournalBaseLsn() const {
+    return journal_ == nullptr ? 0 : journal_->base_lsn();
+  }
+  uint64_t JournalBytes() const {
+    return journal_ == nullptr ? 0 : journal_->size_bytes();
+  }
+  Status SyncJournal() {
+    return journal_ == nullptr ? Status::OK() : journal_->Sync();
+  }
+  Status TruncateJournalPrefix(uint64_t upto_lsn,
+                               const std::string& archive_path) {
+    if (journal_ == nullptr) return Status::OK();
+    return journal_->TruncatePrefix(upto_lsn, archive_path);
+  }
 
  private:
   ExperimentManager() = default;

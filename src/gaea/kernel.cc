@@ -1,5 +1,6 @@
 #include "gaea/kernel.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <set>
 
@@ -18,6 +19,34 @@ StatusOr<std::unique_ptr<GaeaKernel>> GaeaKernel::Open(
     return Status::InvalidArgument("GaeaKernel needs a database directory");
   }
   Env* env = options.env != nullptr ? options.env : Env::Default();
+  GAEA_ASSIGN_OR_RETURN(std::vector<recovery::RecoveryPlan> plans,
+                        recovery::BuildRecoveryPlans(env, options.dir));
+  uint64_t newest_seq = 0;
+  for (const recovery::RecoveryPlan& plan : plans) {
+    newest_seq = std::max(newest_seq, plan.checkpoint_seq);
+  }
+  Status last_error = Status::OK();
+  for (size_t i = 0; i < plans.size(); ++i) {
+    auto kernel = OpenWithPlan(options, env, plans[i]);
+    if (kernel.ok()) {
+      (*kernel)->recovery_fallbacks_ = i;
+      (*kernel)->checkpoint_seq_.store(newest_seq, std::memory_order_release);
+      return kernel;
+    }
+    // Only corruption justifies retrying under an older plan — an
+    // environmental error (ENOSPC, permissions) would fail every candidate
+    // identically. Each attempt starts from a fresh kernel, so a plan that
+    // died mid-load leaves nothing behind.
+    if (kernel.status().code() != StatusCode::kCorruption) {
+      return kernel.status();
+    }
+    last_error = kernel.status();
+  }
+  return last_error;
+}
+
+StatusOr<std::unique_ptr<GaeaKernel>> GaeaKernel::OpenWithPlan(
+    const Options& options, Env* env, const recovery::RecoveryPlan& plan) {
   std::unique_ptr<GaeaKernel> kernel(new GaeaKernel());
   kernel->dir_ = options.dir;
   kernel->user_ = options.user;
@@ -25,29 +54,122 @@ StatusOr<std::unique_ptr<GaeaKernel>> GaeaKernel::Open(
   kernel->durability_ = options.durability;
   kernel->primitives_ = PrimitiveClassRegistry::WithBuiltins();
   GAEA_RETURN_IF_ERROR(RegisterBuiltinOperators(&kernel->ops_));
+  kernel->recovered_checkpoint_seq_ = plan.checkpoint_seq;
+
+  // Builds the recovery hook one journal-backed component feeds its Open:
+  // snapshot load + tail replay under a checkpoint plan, archive chain +
+  // full live replay under the last-resort plan, nothing when the plan
+  // does not mention the component (fresh database).
+  auto make_recovery = [env, &plan](const std::string& name,
+                                    const std::string& db_dir,
+                                    JournalRecovery* out) -> bool {
+    auto it = plan.components.find(name);
+    if (it == plan.components.end()) return false;
+    const recovery::ComponentPlan& cp = it->second;
+    if (cp.has_snapshot) {
+      recovery::SnapshotEntry entry = cp.entry;
+      out->load_snapshot =
+          [env, db_dir, entry](
+              const std::function<Status(const std::string&)>& apply) {
+            return recovery::ReadSnapshot(env, db_dir, entry, apply);
+          };
+      out->start_lsn = cp.start_lsn;
+      return true;
+    }
+    if (cp.archives.empty()) return false;
+    std::vector<std::string> archives = cp.archives;
+    uint64_t expected = cp.start_lsn;
+    out->load_snapshot =
+        [env, archives, expected](
+            const std::function<Status(const std::string&)>& apply) -> Status {
+      GAEA_ASSIGN_OR_RETURN(uint64_t cursor,
+                            recovery::ReplayArchiveChain(env, archives, apply));
+      if (cursor != expected) {
+        return Status::Corruption(
+            "archive chain ends at LSN " + std::to_string(cursor) +
+            ", expected " + std::to_string(expected));
+      }
+      return Status::OK();
+    };
+    out->start_lsn = expected;
+    return true;
+  };
 
   // The catalog creates the directory and replays class/concept records.
-  GAEA_ASSIGN_OR_RETURN(kernel->catalog_, Catalog::Open(options.dir, env));
+  JournalRecovery catalog_rec;
+  const JournalRecovery* catalog_rec_ptr =
+      make_recovery("catalog", options.dir, &catalog_rec) ? &catalog_rec
+                                                          : nullptr;
+  GAEA_ASSIGN_OR_RETURN(kernel->catalog_,
+                        Catalog::Open(options.dir, env, catalog_rec_ptr));
   kernel->catalog_->SetDurability(options.durability);
 
-  // Processes journal.
+  // Processes journal. The registry re-derives each version number as it
+  // registers (per name, ascending), so both the snapshot stream and the
+  // journal tail reproduce the exact version history.
   GAEA_ASSIGN_OR_RETURN(kernel->process_journal_,
                         Journal::Open(options.dir + "/process.journal", env));
   kernel->process_journal_->set_durability(options.durability);
-  GAEA_RETURN_IF_ERROR(kernel->process_journal_->Replay(
-      [&kernel](const std::string& record) -> Status {
-        BinaryReader r(record);
-        GAEA_ASSIGN_OR_RETURN(ProcessDef def, ProcessDef::Deserialize(&r));
-        return kernel->processes_.Register(std::move(def)).status();
-      }));
+  auto apply_process = [&kernel](const std::string& record) -> Status {
+    BinaryReader r(record);
+    GAEA_ASSIGN_OR_RETURN(ProcessDef def, ProcessDef::Deserialize(&r));
+    return kernel->processes_.Register(std::move(def)).status();
+  };
+  JournalRecovery process_rec;
+  uint64_t process_start = 0;
+  if (make_recovery("process", options.dir, &process_rec)) {
+    GAEA_RETURN_IF_ERROR(process_rec.load_snapshot(apply_process));
+    process_start = process_rec.start_lsn;
+  }
+  GAEA_RETURN_IF_ERROR(
+      kernel->process_journal_->Replay(apply_process, process_start));
 
-  GAEA_ASSIGN_OR_RETURN(kernel->task_log_,
-                        TaskLog::Open(options.dir + "/tasks.journal", env));
+  JournalRecovery tasks_rec;
+  const JournalRecovery* tasks_rec_ptr =
+      make_recovery("tasks", options.dir, &tasks_rec) ? &tasks_rec : nullptr;
+  GAEA_ASSIGN_OR_RETURN(
+      kernel->task_log_,
+      TaskLog::Open(options.dir + "/tasks.journal", env, tasks_rec_ptr));
   kernel->task_log_->SetDurability(options.durability);
+
+  JournalRecovery exp_rec;
+  const JournalRecovery* exp_rec_ptr =
+      make_recovery("experiments", options.dir, &exp_rec) ? &exp_rec : nullptr;
   GAEA_ASSIGN_OR_RETURN(
       kernel->experiments_,
-      ExperimentManager::Open(options.dir + "/experiments.journal", env));
+      ExperimentManager::Open(options.dir + "/experiments.journal", env,
+                              exp_rec_ptr));
   kernel->experiments_->SetDurability(options.durability);
+
+  // OID allocator floor recorded in the manifest: belt-and-suspenders
+  // against reallocating an OID whose index pages died with the crash.
+  if (plan.next_oid > 0) {
+    kernel->catalog_->store()->EnsureNextOidAtLeast(plan.next_oid);
+  }
+
+  // What this startup actually replayed from journals (checkpoints exist
+  // to bound this number; stats/CI assert on it). Archive-chain records
+  // count too — the full-replay plan really does the whole history.
+  uint64_t replayed = 0;
+  auto add_replayed = [&](const std::string& name, uint64_t count) {
+    auto it = plan.components.find(name);
+    uint64_t start = (it != plan.components.end() && it->second.has_snapshot)
+                         ? it->second.entry.covered_lsn
+                         : 0;
+    replayed += count - std::min(start, count);
+  };
+  add_replayed("catalog", kernel->catalog_->JournalRecordCount());
+  add_replayed("process", kernel->process_journal_->record_count());
+  add_replayed("tasks", kernel->task_log_->JournalRecordCount());
+  add_replayed("experiments", kernel->experiments_->JournalRecordCount());
+  kernel->records_replayed_ = replayed;
+  if (plan.checkpoint_seq > 0) {
+    auto it = plan.components.find("tasks");
+    if (it != plan.components.end() && it->second.has_snapshot) {
+      kernel->ckpt_covered_tasks_.store(it->second.entry.covered_lsn,
+                                        std::memory_order_release);
+    }
+  }
 
   kernel->deriver_ = std::make_unique<Deriver>(
       kernel->catalog_.get(), &kernel->processes_, &kernel->ops_,
@@ -132,6 +254,22 @@ void GaeaKernel::WireObservability() {
         ->Set(static_cast<int64_t>(tiles.helper_tiles));
     metrics_.GetGauge("gaea_tile_helpers")->Set(tiles.helpers);
 
+    metrics_.GetGauge("gaea_checkpoint_seq")
+        ->Set(static_cast<int64_t>(
+            checkpoint_seq_.load(std::memory_order_acquire)));
+    metrics_.GetGauge("gaea_checkpoint_last_duration_micros")
+        ->Set(static_cast<int64_t>(
+            last_checkpoint_duration_us_.load(std::memory_order_acquire)));
+    metrics_.GetGauge("gaea_checkpoint_last_snapshot_bytes")
+        ->Set(static_cast<int64_t>(
+            last_checkpoint_bytes_.load(std::memory_order_acquire)));
+    metrics_.GetGauge("gaea_recovery_records_replayed")
+        ->Set(static_cast<int64_t>(records_replayed_));
+    metrics_.GetGauge("gaea_recovery_checkpoint_seq")
+        ->Set(static_cast<int64_t>(recovered_checkpoint_seq_));
+    metrics_.GetGauge("gaea_recovery_fallbacks")
+        ->Set(static_cast<int64_t>(recovery_fallbacks_));
+
     metrics_.GetGauge("gaea_store_next_oid")
         ->Set(static_cast<int64_t>(catalog_->store()->next_oid()));
     metrics_.GetGauge("gaea_store_scrubbed_entries")
@@ -198,6 +336,150 @@ Status GaeaKernel::Recover(Env* env) {
   }
   recovery_report_ = std::move(report);
   return Status::OK();
+}
+
+Status GaeaKernel::SnapshotProcesses(
+    const std::function<Status(const std::string&)>& sink,
+    uint64_t* covered_lsn) const {
+  // Grouped by name, versions ascending: registration re-derives each
+  // version number, and per-name ordering is all that matters (names are
+  // independent). Must not race DefineProcess — see Checkpoint().
+  for (const ProcessDef* latest : processes_.ListLatest()) {
+    GAEA_ASSIGN_OR_RETURN(std::vector<const ProcessDef*> history,
+                          processes_.History(latest->name()));
+    for (const ProcessDef* def : history) {
+      BinaryWriter w;
+      def->Serialize(&w);
+      GAEA_RETURN_IF_ERROR(sink(w.buffer()));
+    }
+  }
+  *covered_lsn = process_journal_->record_count();
+  return Status::OK();
+}
+
+std::vector<recovery::CheckpointSource> GaeaKernel::BuildCheckpointSources() {
+  std::vector<recovery::CheckpointSource> sources;
+  {
+    recovery::CheckpointSource s;
+    s.component = "catalog";
+    s.capture = [this](const std::function<Status(const std::string&)>& sink,
+                       uint64_t* lsn) {
+      return catalog_->SnapshotDefinitions(sink, lsn);
+    };
+    s.sync_journal = [this] { return catalog_->SyncJournal(); };
+    s.base_lsn = [this] { return catalog_->JournalBaseLsn(); };
+    s.truncate_prefix = [this](uint64_t upto, const std::string& path) {
+      return catalog_->TruncateJournalPrefix(upto, path);
+    };
+    sources.push_back(std::move(s));
+  }
+  {
+    recovery::CheckpointSource s;
+    s.component = "process";
+    s.capture = [this](const std::function<Status(const std::string&)>& sink,
+                       uint64_t* lsn) { return SnapshotProcesses(sink, lsn); };
+    s.sync_journal = [this] { return process_journal_->Sync(); };
+    s.base_lsn = [this] { return process_journal_->base_lsn(); };
+    s.truncate_prefix = [this](uint64_t upto, const std::string& path) {
+      return process_journal_->TruncatePrefix(upto, path);
+    };
+    sources.push_back(std::move(s));
+  }
+  {
+    recovery::CheckpointSource s;
+    s.component = "tasks";
+    s.capture = [this](const std::function<Status(const std::string&)>& sink,
+                       uint64_t* lsn) { return task_log_->Snapshot(sink, lsn); };
+    s.sync_journal = [this] { return task_log_->SyncJournal(); };
+    s.base_lsn = [this] { return task_log_->JournalBaseLsn(); };
+    s.truncate_prefix = [this](uint64_t upto, const std::string& path) {
+      return task_log_->TruncateJournalPrefix(upto, path);
+    };
+    sources.push_back(std::move(s));
+  }
+  {
+    recovery::CheckpointSource s;
+    s.component = "experiments";
+    s.capture = [this](const std::function<Status(const std::string&)>& sink,
+                       uint64_t* lsn) {
+      return experiments_->Snapshot(sink, lsn);
+    };
+    s.sync_journal = [this] { return experiments_->SyncJournal(); };
+    s.base_lsn = [this] { return experiments_->JournalBaseLsn(); };
+    s.truncate_prefix = [this](uint64_t upto, const std::string& path) {
+      return experiments_->TruncateJournalPrefix(upto, path);
+    };
+    sources.push_back(std::move(s));
+  }
+  return sources;
+}
+
+StatusOr<recovery::CheckpointInfo> GaeaKernel::Checkpoint() {
+  std::lock_guard<std::mutex> lock(checkpoint_mu_);
+  obs::SpanGuard span("checkpoint", "kernel");
+  metrics_.GetCounter("gaea_checkpoints_total")->Inc();
+  // Objects referenced by captured tasks — and the next_oid floor the
+  // manifest records — must be durable before the manifest can claim them.
+  Status flushed = catalog_->Flush();
+  StatusOr<recovery::CheckpointInfo> info =
+      flushed.ok() ? recovery::RunCheckpoint(env_, dir_,
+                                             BuildCheckpointSources(),
+                                             catalog_->store()->next_oid())
+                   : StatusOr<recovery::CheckpointInfo>(flushed);
+  if (!info.ok()) {
+    checkpoint_failures_.fetch_add(1, std::memory_order_acq_rel);
+    metrics_.GetCounter("gaea_checkpoint_failures_total")->Inc();
+    return info;
+  }
+  checkpoints_taken_.fetch_add(1, std::memory_order_acq_rel);
+  checkpoint_seq_.store(info->seq, std::memory_order_release);
+  last_checkpoint_duration_us_.store(info->duration_us,
+                                     std::memory_order_release);
+  last_checkpoint_bytes_.store(info->snapshot_bytes,
+                               std::memory_order_release);
+  auto covered = info->covered.find("tasks");
+  if (covered != info->covered.end()) {
+    ckpt_covered_tasks_.store(covered->second, std::memory_order_release);
+  }
+  ckpt_bytes_floor_.store(catalog_->JournalBytes() +
+                              task_log_->JournalBytes() +
+                              experiments_->JournalBytes() +
+                              process_journal_->size_bytes(),
+                          std::memory_order_release);
+  return info;
+}
+
+void GaeaKernel::SetCheckpointPolicy(const CheckpointPolicy& policy) {
+  policy_journal_bytes_.store(policy.journal_bytes, std::memory_order_release);
+  policy_tasks_.store(policy.tasks, std::memory_order_release);
+}
+
+GaeaKernel::CheckpointPolicy GaeaKernel::checkpoint_policy() const {
+  CheckpointPolicy policy;
+  policy.journal_bytes = policy_journal_bytes_.load(std::memory_order_acquire);
+  policy.tasks = policy_tasks_.load(std::memory_order_acquire);
+  return policy;
+}
+
+StatusOr<bool> GaeaKernel::MaybeCheckpoint() {
+  CheckpointPolicy policy = checkpoint_policy();
+  if (policy.journal_bytes == 0 && policy.tasks == 0) return false;
+  bool due = false;
+  if (policy.tasks > 0) {
+    uint64_t total = task_log_->JournalRecordCount();
+    uint64_t covered = ckpt_covered_tasks_.load(std::memory_order_acquire);
+    due = total > covered && total - covered >= policy.tasks;
+  }
+  if (!due && policy.journal_bytes > 0) {
+    uint64_t live = catalog_->JournalBytes() + task_log_->JournalBytes() +
+                    experiments_->JournalBytes() +
+                    process_journal_->size_bytes();
+    uint64_t floor = ckpt_bytes_floor_.load(std::memory_order_acquire);
+    due = live > floor && live - floor >= policy.journal_bytes;
+  }
+  if (!due) return false;
+  GAEA_RETURN_IF_ERROR(Checkpoint().status());
+  return true;
 }
 
 void GaeaKernel::SetClock(AbsTime now) {
@@ -510,6 +792,21 @@ GaeaKernel::Stats GaeaKernel::GetStats() const {
   stats.experiments = experiments_->List().size();
   stats.quarantined_tasks = recovery_report_.quarantined.size();
   stats.durability = DurabilityModeName(durability_);
+  stats.records_replayed = records_replayed_;
+  stats.recovered_checkpoint_seq = recovered_checkpoint_seq_;
+  stats.recovery_fallbacks = recovery_fallbacks_;
+  stats.checkpoint_seq = checkpoint_seq_.load(std::memory_order_acquire);
+  stats.checkpoints_taken =
+      checkpoints_taken_.load(std::memory_order_acquire);
+  stats.checkpoint_failures =
+      checkpoint_failures_.load(std::memory_order_acquire);
+  stats.last_checkpoint_duration_us =
+      last_checkpoint_duration_us_.load(std::memory_order_acquire);
+  stats.last_checkpoint_bytes =
+      last_checkpoint_bytes_.load(std::memory_order_acquire);
+  stats.journal_records_total =
+      catalog_->JournalRecordCount() + process_journal_->record_count() +
+      task_log_->JournalRecordCount() + experiments_->JournalRecordCount();
   stats.derivation_cache = derivation_cache_->stats();
   auto fill_pool = [](const BufferPool* pool, PoolStats* out) {
     out->hits = pool->hits();
@@ -562,6 +859,18 @@ std::string GaeaKernel::Stats::ToJson() const {
   field(&json, "experiments", experiments);
   field(&json, "quarantined_tasks", quarantined_tasks);
   json += ",\"durability\":\"" + durability + "\"";
+  json += ",\"recovery\":{";
+  field(&json, "records_replayed", records_replayed, /*first=*/true);
+  field(&json, "checkpoint_seq", recovered_checkpoint_seq);
+  field(&json, "fallbacks", recovery_fallbacks);
+  json += "},\"checkpoint\":{";
+  field(&json, "seq", checkpoint_seq, /*first=*/true);
+  field(&json, "taken", checkpoints_taken);
+  field(&json, "failures", checkpoint_failures);
+  field(&json, "last_duration_us", last_checkpoint_duration_us);
+  field(&json, "last_bytes", last_checkpoint_bytes);
+  field(&json, "journal_records", journal_records_total);
+  json += "}";
   json += ",\"derivation_cache\":{";
   field(&json, "entries", derivation_cache.entries, /*first=*/true);
   field(&json, "capacity", derivation_cache.capacity);

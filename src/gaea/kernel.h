@@ -11,7 +11,9 @@
 #ifndef GAEA_GAEA_KERNEL_H_
 #define GAEA_GAEA_KERNEL_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,7 @@
 #include "obs/profile.h"
 #include "query/interpolate.h"
 #include "query/query.h"
+#include "recovery/checkpoint.h"
 #include "storage/buffer_pool.h"
 #include "types/compound_op.h"
 #include "types/op_registry.h"
@@ -54,8 +57,12 @@ class GaeaKernel {
     DurabilityMode durability = DurabilityMode::kOs;
   };
 
-  // Opens (creating if needed) a Gaea database, replaying all journals and
-  // running crash recovery (see Recover below).
+  // Opens (creating if needed) a Gaea database and runs crash recovery:
+  // loads the newest valid checkpoint (src/recovery/) and replays only the
+  // journal tails past it, falling back to the previous checkpoint and
+  // finally to a full replay (archive chain + live journals) when a
+  // snapshot turns out to be corrupt. Ends with the startup invariant check
+  // (see Recover below).
   static StatusOr<std::unique_ptr<GaeaKernel>> Open(const Options& options);
 
   GaeaKernel(const GaeaKernel&) = delete;
@@ -237,6 +244,20 @@ class GaeaKernel {
     size_t experiments = 0;
     size_t quarantined_tasks = 0;    // flagged by startup recovery
     std::string durability = "os";   // journal Sync policy in effect
+
+    // Recovery & checkpoint state (docs/ROBUSTNESS.md). records_replayed
+    // is what the last Open actually replayed from the journals;
+    // checkpoint_seq is the newest installed checkpoint (0 = none).
+    uint64_t records_replayed = 0;
+    uint64_t recovered_checkpoint_seq = 0;
+    uint64_t recovery_fallbacks = 0;
+    uint64_t checkpoint_seq = 0;
+    uint64_t checkpoints_taken = 0;
+    uint64_t checkpoint_failures = 0;
+    uint64_t last_checkpoint_duration_us = 0;
+    uint64_t last_checkpoint_bytes = 0;
+    uint64_t journal_records_total = 0;  // across all live journals
+
     DerivationCache::Stats derivation_cache;
     PoolStats heap_pool;   // object store: heap file frames
     PoolStats index_pool;  // object store: OID index frames
@@ -268,6 +289,46 @@ class GaeaKernel {
 
   DurabilityMode durability() const { return durability_; }
 
+  // ---- checkpointing ----
+
+  // Takes one fuzzy checkpoint: flushes the object store, captures every
+  // journal-backed component under its own lock (derivations keep running),
+  // installs snapshots + manifest atomically, truncates the journal
+  // prefixes the *previous* checkpoint covers into archive segments, and
+  // GCs all but the latest two checkpoints. Serialized internally; safe
+  // against concurrent derivations and inserts, but must not race DDL
+  // (process/experiment definition) — the server guarantees that by
+  // running DDL under its exclusive lock and Checkpoint under the shared
+  // one.
+  StatusOr<recovery::CheckpointInfo> Checkpoint();
+
+  // Background checkpoint policy: a checkpoint is due when the live
+  // journals hold at least `journal_bytes` bytes appended since the last
+  // checkpoint, or at least `tasks` task records past the last covered
+  // LSN. Zero disables a threshold; both zero (the default) disables
+  // MaybeCheckpoint entirely.
+  struct CheckpointPolicy {
+    uint64_t journal_bytes = 0;
+    uint64_t tasks = 0;
+  };
+  void SetCheckpointPolicy(const CheckpointPolicy& policy);
+  CheckpointPolicy checkpoint_policy() const;
+
+  // Runs Checkpoint() if the policy says one is due. Returns whether one
+  // ran. gaead's background poll thread and post-batch hooks call this.
+  StatusOr<bool> MaybeCheckpoint();
+
+  // How this kernel came up: 0 = full journal replay, else the manifest
+  // sequence number the state was loaded from.
+  uint64_t recovered_checkpoint_seq() const {
+    return recovered_checkpoint_seq_;
+  }
+  // Journal records replayed at startup (tail past the checkpoint, or the
+  // whole history without one) — the quantity checkpoints exist to bound.
+  uint64_t records_replayed() const { return records_replayed_; }
+  // Candidate recovery plans that failed (corrupt snapshot → fallback).
+  uint64_t recovery_fallbacks() const { return recovery_fallbacks_; }
+
   // ---- lineage & Petri net ----
   LineageGraph lineage() const { return LineageGraph(task_log_.get()); }
   StatusOr<DerivationNet> BuildDerivationNet() const {
@@ -294,6 +355,18 @@ class GaeaKernel {
 
  private:
   GaeaKernel() = default;
+
+  // One attempt to bring the kernel up under `plan`; kCorruption makes
+  // Open move on to the next candidate with a fresh kernel.
+  static StatusOr<std::unique_ptr<GaeaKernel>> OpenWithPlan(
+      const Options& options, Env* env, const recovery::RecoveryPlan& plan);
+  // The per-component capture/sync/truncate hooks RunCheckpoint drives.
+  std::vector<recovery::CheckpointSource> BuildCheckpointSources();
+  // Streams the process registry (name order, versions ascending) and the
+  // covered process-journal LSN; mirrors Catalog::SnapshotDefinitions.
+  Status SnapshotProcesses(
+      const std::function<Status(const std::string&)>& sink,
+      uint64_t* covered_lsn) const;
 
   Status ApplyStatement(ParsedStatement stmt);
   // The startup invariant check described at RecoveryReport; `env` is the
@@ -325,6 +398,28 @@ class GaeaKernel {
   obs::Profiler profiler_;
   uint64_t catalog_version_ = 0;
   AnalysisCache analysis_cache_;
+
+  // ---- checkpoint state ----
+  // Serializes Checkpoint()/MaybeCheckpoint() runs; never held while a
+  // component lock is (each capture hook takes and releases its own).
+  std::mutex checkpoint_mu_;
+  // Policy thresholds, readable without blocking on a running checkpoint.
+  std::atomic<uint64_t> policy_journal_bytes_{0};
+  std::atomic<uint64_t> policy_tasks_{0};
+  // Set once by Open; read-only afterwards.
+  uint64_t recovered_checkpoint_seq_ = 0;
+  uint64_t records_replayed_ = 0;
+  uint64_t recovery_fallbacks_ = 0;
+  // Updated by Checkpoint(), read by stats/metrics threads.
+  std::atomic<uint64_t> checkpoint_seq_{0};    // newest installed manifest
+  std::atomic<uint64_t> checkpoints_taken_{0};
+  std::atomic<uint64_t> checkpoint_failures_{0};
+  std::atomic<uint64_t> last_checkpoint_duration_us_{0};
+  std::atomic<uint64_t> last_checkpoint_bytes_{0};
+  // Policy inputs: task-journal LSN covered by the newest checkpoint, and
+  // the live-journal byte floor right after it (post-truncation).
+  std::atomic<uint64_t> ckpt_covered_tasks_{0};
+  std::atomic<uint64_t> ckpt_bytes_floor_{0};
 };
 
 }  // namespace gaea

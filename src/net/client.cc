@@ -115,7 +115,7 @@ StatusOr<std::string> GaeaClient::CallOnceLocked(MsgType type, uint64_t id,
   header.trace_id = obs::Tracer::CurrentContext().trace_id;
   if (type != MsgType::kHello && type != MsgType::kPing &&
       type != MsgType::kStats && type != MsgType::kMetrics &&
-      type != MsgType::kLint) {
+      type != MsgType::kLint && type != MsgType::kCheckpoint) {
     header.idem = options_.idem_nonce;
   }
   BinaryWriter payload;
@@ -272,6 +272,12 @@ StatusOr<std::vector<Diagnostic>> GaeaClient::Lint() {
   GAEA_ASSIGN_OR_RETURN(std::string reply, Call(MsgType::kLint, {}));
   BinaryReader reader(reply);
   return DecodeLintReply(&reader);
+}
+
+StatusOr<CheckpointReply> GaeaClient::Checkpoint() {
+  GAEA_ASSIGN_OR_RETURN(std::string reply, Call(MsgType::kCheckpoint, {}));
+  BinaryReader reader(reply);
+  return DecodeCheckpointReply(&reader);
 }
 
 }  // namespace gaea::net

@@ -104,6 +104,11 @@ class GaeaClient {
   // safe to retry (no idem nonce is attached).
   StatusOr<std::vector<Diagnostic>> Lint();
 
+  // Remote GaeaKernel::Checkpoint: takes one fuzzy checkpoint on the server
+  // and reports its sequence number and sizes. Safe to retry (no idem
+  // nonce): a second run just takes the next checkpoint.
+  StatusOr<CheckpointReply> Checkpoint();
+
   void set_deadline_ms(uint32_t ms) { options_.deadline_ms = ms; }
   void set_retry(const RetryPolicy& retry) { options_.retry = retry; }
   uint64_t idem_nonce() const { return options_.idem_nonce; }

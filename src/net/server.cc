@@ -121,7 +121,27 @@ Status GaeaServer::Start() {
   for (int i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  if (options_.checkpoint_poll_ms > 0) {
+    checkpoint_thread_ = std::thread([this] { CheckpointLoop(); });
+  }
   return Status::OK();
+}
+
+void GaeaServer::CheckpointLoop() {
+  // Sleep in short slices so Shutdown is never stuck behind a long poll
+  // interval; the actual work happens at most every checkpoint_poll_ms.
+  int64_t slept_ms = 0;
+  for (;;) {
+    if (draining_.load(std::memory_order_acquire)) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    slept_ms += 50;
+    if (slept_ms < options_.checkpoint_poll_ms) continue;
+    slept_ms = 0;
+    std::shared_lock<std::shared_mutex> lock(kernel_mu_);
+    // Policy misfires (e.g. a full disk) surface in the kernel's
+    // checkpoint-failure counter and metrics; the loop itself keeps going.
+    (void)kernel_->MaybeCheckpoint();
+  }
 }
 
 void GaeaServer::AcceptLoop() {
@@ -496,16 +516,40 @@ void GaeaServer::ExecuteJob(Job job) {
       EncodeLintReply(kernel_->LintCatalog(), &body);
       break;
     }
+    case MsgType::kCheckpoint: {
+      // Shared: checkpoints are fuzzy against derivations and inserts, and
+      // the shared lock excludes exactly what they must not race — DDL
+      // (process/experiment definition runs exclusive). Concurrent
+      // checkpoint requests serialize on the kernel's internal mutex.
+      std::shared_lock<std::shared_mutex> lock(kernel_mu_);
+      auto info = kernel_->Checkpoint();
+      if (!info.ok()) {
+        result = info.status();
+        break;
+      }
+      CheckpointReply reply;
+      reply.seq = info->seq;
+      reply.duration_us = info->duration_us;
+      reply.snapshot_bytes = info->snapshot_bytes;
+      reply.truncated_records = info->truncated_records;
+      EncodeCheckpointReply(reply, &body);
+      break;
+    }
     default:
       result = Status::Internal(std::string("request type ") +
                                 MsgTypeName(header.type) +
                                 " on the worker path");
       break;
   }
-  std::string encoded;
-  Respond(*job.session, header.id, header.type, header.trace_id, result,
-          body.buffer(), &encoded);
-  if (header.idem != 0) DedupFinish(header, result, std::move(encoded));
+  std::string encoded = EncodeResponsePayload(header.id, header.type,
+                                              header.trace_id, result,
+                                              body.buffer());
+  // Record the response in the idempotency cache BEFORE it can reach the
+  // client: once the client holds the reply it may retry immediately, and
+  // that retry must find the completed entry, not the pending marker.
+  if (header.idem != 0) DedupFinish(header, result, encoded);
+  CountResponse(result);
+  (void)job.session->Send(encoded);
   FinishJob(job, result);
 }
 
@@ -532,9 +576,11 @@ void GaeaServer::FinishJob(const Job& job, const Status& result) {
   drained_cv_.notify_all();
 }
 
-void GaeaServer::Respond(Session& session, uint64_t id, MsgType request_type,
-                         uint64_t trace_id, const Status& status,
-                         std::string_view body, std::string* encoded) {
+std::string GaeaServer::EncodeResponsePayload(uint64_t id,
+                                              MsgType request_type,
+                                              uint64_t trace_id,
+                                              const Status& status,
+                                              std::string_view body) {
   ResponseHeader header;
   header.id = id;
   header.request_type = request_type;
@@ -544,7 +590,10 @@ void GaeaServer::Respond(Session& session, uint64_t id, MsgType request_type,
   BinaryWriter payload;
   EncodeResponseHeader(header, &payload);
   if (status.ok()) payload.PutRaw(body.data(), body.size());
-  if (encoded != nullptr) *encoded = payload.buffer();
+  return payload.buffer();
+}
+
+void GaeaServer::CountResponse(const Status& status) {
   if (status.ok()) {
     requests_ok_->Inc();
   } else if (status.code() != StatusCode::kUnavailable) {
@@ -552,9 +601,18 @@ void GaeaServer::Respond(Session& session, uint64_t id, MsgType request_type,
     // tallied in rejected_*; counting them here too would double-book them.
     requests_error_->Inc();
   }
+}
+
+void GaeaServer::Respond(Session& session, uint64_t id, MsgType request_type,
+                         uint64_t trace_id, const Status& status,
+                         std::string_view body, std::string* encoded) {
+  std::string payload =
+      EncodeResponsePayload(id, request_type, trace_id, status, body);
+  if (encoded != nullptr) *encoded = payload;
+  CountResponse(status);
   // A failed send means the peer vanished; its reader will notice and the
   // session gets reaped, so the error is intentionally not propagated.
-  (void)session.Send(payload.buffer());
+  (void)session.Send(payload);
 }
 
 ServerStats GaeaServer::stats() const {
@@ -602,6 +660,7 @@ void GaeaServer::Shutdown() {
     return;
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
 
   // Drain: every admitted request gets executed and answered.
   {

@@ -78,6 +78,11 @@ class GaeaServer {
     // Responses remembered per (idem nonce, request id) so a client retry
     // after a lost response never re-executes the request (clamped >= 1).
     size_t dedup_capacity = 1024;
+    // When > 0, a background thread polls the kernel's checkpoint policy
+    // (GaeaKernel::MaybeCheckpoint) this often under the shared kernel
+    // lock, so checkpoints ride along with serving without blocking it.
+    // 0 disables the thread (checkpoints then only happen on request).
+    int checkpoint_poll_ms = 0;
   };
 
   GaeaServer(GaeaKernel* kernel, Options options);
@@ -117,6 +122,7 @@ class GaeaServer {
 
   void AcceptLoop();
   void WorkerLoop();
+  void CheckpointLoop();
   void ExecuteJob(Job job);
   void FinishJob(const Job& job, const Status& result);
 
@@ -124,6 +130,11 @@ class GaeaServer {
   void Respond(Session& session, uint64_t id, MsgType request_type,
                uint64_t trace_id, const Status& status, std::string_view body,
                std::string* encoded = nullptr);
+  static std::string EncodeResponsePayload(uint64_t id, MsgType request_type,
+                                           uint64_t trace_id,
+                                           const Status& status,
+                                           std::string_view body);
+  void CountResponse(const Status& status);
 
   // ---- idempotency cache ----
   // A request with header.idem != 0 is looked up in a bounded LRU keyed by
@@ -158,6 +169,7 @@ class GaeaServer {
   std::atomic<bool> draining_{false};
 
   std::thread accept_thread_;
+  std::thread checkpoint_thread_;
   std::vector<std::thread> workers_;
 
   // Serializes catalog/process mutation against derivations (shared for

@@ -64,6 +64,7 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kResponse: return "Response";
     case MsgType::kMetrics: return "Metrics";
     case MsgType::kLint: return "Lint";
+    case MsgType::kCheckpoint: return "Checkpoint";
   }
   return "Unknown";
 }
@@ -72,7 +73,7 @@ namespace {
 
 bool IsKnownRequestType(uint8_t raw) {
   return raw >= static_cast<uint8_t>(MsgType::kHello) &&
-         raw <= static_cast<uint8_t>(MsgType::kLint) &&
+         raw <= static_cast<uint8_t>(MsgType::kCheckpoint) &&
          raw != static_cast<uint8_t>(MsgType::kResponse);
 }
 
@@ -237,6 +238,22 @@ StatusOr<LineageReply> DecodeLineageReply(BinaryReader* r) {
     GAEA_ASSIGN_OR_RETURN(Oid oid, r->GetU64());
     reply.base_sources.push_back(oid);
   }
+  return reply;
+}
+
+void EncodeCheckpointReply(const CheckpointReply& reply, BinaryWriter* w) {
+  w->PutU64(reply.seq);
+  w->PutU64(reply.duration_us);
+  w->PutU64(reply.snapshot_bytes);
+  w->PutU64(reply.truncated_records);
+}
+
+StatusOr<CheckpointReply> DecodeCheckpointReply(BinaryReader* r) {
+  CheckpointReply reply;
+  GAEA_ASSIGN_OR_RETURN(reply.seq, r->GetU64());
+  GAEA_ASSIGN_OR_RETURN(reply.duration_us, r->GetU64());
+  GAEA_ASSIGN_OR_RETURN(reply.snapshot_bytes, r->GetU64());
+  GAEA_ASSIGN_OR_RETURN(reply.truncated_records, r->GetU64());
   return reply;
 }
 

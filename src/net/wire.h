@@ -83,6 +83,7 @@ enum class MsgType : uint8_t {
   kResponse = 9,       // ResponseHeader + per-request-type body
   kMetrics = 10,       // body: empty; reply: Prometheus text exposition
   kLint = 11,          // body: empty; reply: diagnostic list (LintReply)
+  kCheckpoint = 12,    // body: empty; reply: CheckpointReply
 };
 
 const char* MsgTypeName(MsgType type);
@@ -158,6 +159,20 @@ struct LineageReply {
 
 void EncodeLineageReply(const LineageReply& reply, BinaryWriter* w);
 StatusOr<LineageReply> DecodeLineageReply(BinaryReader* r);
+
+// Checkpoint response body (GaeaKernel::Checkpoint on the server). Like
+// Lint, the request is sent without an idempotency nonce: re-running a
+// checkpoint after a lost response is safe (the retry just takes the next
+// sequence number) and cheaper than remembering responses for it.
+struct CheckpointReply {
+  uint64_t seq = 0;
+  uint64_t duration_us = 0;
+  uint64_t snapshot_bytes = 0;
+  uint64_t truncated_records = 0;
+};
+
+void EncodeCheckpointReply(const CheckpointReply& reply, BinaryWriter* w);
+StatusOr<CheckpointReply> DecodeCheckpointReply(BinaryReader* r);
 
 // Lint response body: the server kernel's full normalized diagnostic list
 // (GaeaKernel::LintCatalog). Diagnostics from a remote lint carry no file

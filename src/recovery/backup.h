@@ -1,0 +1,70 @@
+// Incremental backup and restore-to-point for a Gaea database directory.
+//
+// A backup mirrors the database layout: the live journals and object-store
+// files are recopied every run (they advance), while checkpoint manifests,
+// snapshot files, and archive segments — all immutable once installed — are
+// copied only when the backup does not already hold them. That makes the
+// steady-state cost of a backup proportional to what changed since the last
+// one, not to history size.
+//
+// Restore comes in two flavors:
+//   * RestoreBackup: byte-level mirror back into a fresh directory.
+//   * RestoreToPoint: rebuilds the journals in *full-history* form
+//     (archive chain + live tail concatenated, no checkpoints directory),
+//     cutting the task journal at a target LSN and deleting the stored
+//     outputs of every dropped task — the database comes up exactly as it
+//     was when task N was the newest.
+//
+// Run against a quiescent database: journal copies are crash-consistent on
+// their own (CRC-framed), but the object-store page files are not while a
+// server is actively writing them. gaea_backup is the CLI (docs/ROBUSTNESS.md).
+
+#ifndef GAEA_RECOVERY_BACKUP_H_
+#define GAEA_RECOVERY_BACKUP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/env.h"
+#include "util/status.h"
+
+namespace gaea {
+namespace recovery {
+
+struct BackupInfo {
+  uint64_t files_copied = 0;
+  uint64_t files_skipped = 0;  // immutable files the backup already held
+  uint64_t bytes_copied = 0;
+};
+
+// Creates or refreshes the backup of `db_dir` at `backup_dir`.
+StatusOr<BackupInfo> CreateBackup(Env* env, const std::string& db_dir,
+                                  const std::string& backup_dir);
+
+// Mirrors `backup_dir` into `dest_dir` (created if needed). The restored
+// directory recovers exactly like the original would have.
+StatusOr<BackupInfo> RestoreBackup(Env* env, const std::string& backup_dir,
+                                   const std::string& dest_dir);
+
+struct RestoreToPointReport {
+  uint64_t tasks_kept = 0;
+  uint64_t tasks_dropped = 0;
+  uint64_t objects_deleted = 0;  // stored outputs of dropped tasks
+};
+
+// Restores `backup_dir` into `dest_dir` with the task history cut at
+// `tasks_lsn` (keep task journal records [0, tasks_lsn), i.e. tasks with id
+// <= tasks_lsn). Journals are materialized in full-history form; the other
+// components keep their complete history — definitions are append-only and
+// harmless to retain. Outputs of dropped tasks are deleted from the object
+// store so queries cannot see data "from the future" of the restore point.
+StatusOr<RestoreToPointReport> RestoreToPoint(Env* env,
+                                              const std::string& backup_dir,
+                                              const std::string& dest_dir,
+                                              uint64_t tasks_lsn);
+
+}  // namespace recovery
+}  // namespace gaea
+
+#endif  // GAEA_RECOVERY_BACKUP_H_

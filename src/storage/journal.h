@@ -29,6 +29,11 @@ namespace gaea {
 // CRC-32 (IEEE 802.3 polynomial) of `data`.
 uint32_t Crc32(const void* data, size_t size);
 
+// One journal frame ([u32 len][u32 crc][payload]) as bytes. Snapshot files
+// and archive segments (src/recovery/) share the journal's on-disk framing,
+// so one reader — Journal::ReplayFile — parses all three.
+std::string EncodeJournalFrame(std::string_view record);
+
 // When appended records become durable (journal Sync policy):
 //   kNone  — never fsynced; a crash may lose anything since open.
 //   kOs    — fsynced at Sync() points (kernel Flush, server shutdown); a
@@ -38,6 +43,17 @@ enum class DurabilityMode : uint8_t { kNone = 0, kOs = 1, kFsync = 2 };
 
 const char* DurabilityModeName(DurabilityMode mode);
 StatusOr<DurabilityMode> ParseDurabilityMode(std::string_view text);
+
+// Optional recovery override for a journal-backed component's Open: first
+// `load_snapshot` streams checkpoint records through the component's normal
+// replay path, then the live journal replays only from `start_lsn`. The
+// component stays ignorant of checkpoint file formats — the kernel builds
+// one of these per component from a RecoveryPlan (src/recovery/).
+struct JournalRecovery {
+  std::function<Status(const std::function<Status(const std::string&)>& apply)>
+      load_snapshot;
+  uint64_t start_lsn = 0;
+};
 
 class Journal {
  public:
@@ -58,14 +74,56 @@ class Journal {
   // bury a torn frame under new records.
   Status Append(const std::string& record);
 
-  // Replays every intact record in order, reading the file in fixed-size
-  // chunks (startup memory stays flat no matter how large the log grew). A
-  // torn tail (truncated frame or CRC mismatch on the final record) ends
-  // replay without error and is truncated away, so subsequent appends
-  // continue a clean log; corruption before the tail is reported and leaves
-  // the file untouched. Holds the append lock for the duration, so `fn`
-  // must not Append to this journal.
-  Status Replay(const std::function<Status(const std::string&)>& fn) const;
+  // Replays every intact record with LSN >= `start_lsn` in order, reading
+  // the file in fixed-size chunks (startup memory stays flat no matter how
+  // large the log grew). A record's LSN is its index in the journal's full
+  // history: the file's base LSN (0 for a never-truncated journal, recorded
+  // in a leading control record after TruncatePrefix) plus its position in
+  // the file. A torn tail (truncated frame or CRC mismatch on the final
+  // record) ends replay without error and is truncated away, so subsequent
+  // appends continue a clean log; corruption before the tail is reported
+  // and leaves the file untouched. start_lsn below the file's base is
+  // kCorruption — those records were truncated away and cannot be replayed.
+  // Holds the append lock for the duration, so `fn` must not Append to
+  // this journal. Also (re)computes base_lsn()/record_count().
+  Status Replay(const std::function<Status(const std::string&)>& fn,
+                uint64_t start_lsn = 0) const;
+
+  // Replays any journal-format file (snapshot, archive segment, or a
+  // journal not opened for append) without taking ownership of it. `fn`
+  // receives each record's LSN (file base + position) and payload. With
+  // `strict` set, a torn or truncated tail is kCorruption instead of a
+  // clean stop — snapshot files are written whole and renamed into place,
+  // so any deviation means the file is damaged. A missing file is
+  // kNotFound either way.
+  static Status ReplayFile(
+      Env* env, const std::string& path, bool strict,
+      const std::function<Status(uint64_t lsn, const std::string&)>& fn);
+
+  // Archives and drops the frame prefix [base_lsn(), upto_lsn): the dropped
+  // frames are streamed into a fresh journal-format file at `archive_path`
+  // (control record carrying the old base, written to `archive_path`.tmp,
+  // then atomically renamed), and the live file is rewritten — also via
+  // tmp + rename — to a control record with base `upto_lsn` followed by
+  // the surviving tail. The append handle is reopened on the new file.
+  // No-op when upto_lsn <= base_lsn(); requires a fully replayed journal
+  // (Replay computes the record accounting this depends on).
+  Status TruncatePrefix(uint64_t upto_lsn, const std::string& archive_path);
+
+  // First LSN still present in the file (0 until a TruncatePrefix).
+  uint64_t base_lsn() const {
+    return base_lsn_.load(std::memory_order_acquire);
+  }
+  // One past the last record's LSN — the journal's total logical length.
+  // Valid after Replay; kept current by Append and TruncatePrefix.
+  uint64_t record_count() const {
+    return record_count_.load(std::memory_order_acquire);
+  }
+  // Bytes of intact records currently in the file.
+  uint64_t size_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
 
   // Number of records appended through this handle (not total in file).
   int64_t appended() const { return appended_.load(std::memory_order_acquire); }
@@ -93,6 +151,8 @@ class Journal {
   std::string path_;
   mutable uint64_t size_ = 0;   // bytes of intact records (guarded by mu_)
   mutable bool broken_ = false; // torn tail on disk that could not be healed
+  mutable std::atomic<uint64_t> base_lsn_{0};  // set by Replay/TruncatePrefix
+  mutable std::atomic<uint64_t> record_count_{0};
   std::atomic<int64_t> appended_{0};
   std::atomic<DurabilityMode> durability_{DurabilityMode::kOs};
 };

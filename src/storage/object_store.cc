@@ -71,20 +71,28 @@ StatusOr<std::unique_ptr<ObjectStore>> ObjectStore::Open(
     }
     store->scrubbed_entries_ = dangling.size();
   }
+  // Collect the heap's records first, then reconcile against the index:
+  // touching the index inside ForEachReadable would nest the index lock
+  // under the heap lock — the reverse of every other path (index scan →
+  // heap read) and a lock-order cycle.
+  std::vector<std::pair<Rid, Oid>> heap_records;
   GAEA_RETURN_IF_ERROR(store->heap_->ForEachReadable(
-      [&store](const Rid& rid, const std::string& record) -> Status {
+      [&heap_records](const Rid& rid, const std::string& record) -> Status {
         Oid oid = kInvalidOid;
         if (!UnwrapOid(record, &oid) || oid == kInvalidOid) {
           return Status::OK();  // not a record this store wrote
         }
-        if (store->index_->LookupFirst(static_cast<int64_t>(oid)).ok()) {
-          return Status::OK();
-        }
-        GAEA_RETURN_IF_ERROR(
-            store->index_->Insert(static_cast<int64_t>(oid), rid.Encode()));
-        store->restored_entries_++;
+        heap_records.emplace_back(rid, oid);
         return Status::OK();
       }));
+  for (const auto& [rid, oid] : heap_records) {
+    if (store->index_->LookupFirst(static_cast<int64_t>(oid)).ok()) {
+      continue;
+    }
+    GAEA_RETURN_IF_ERROR(
+        store->index_->Insert(static_cast<int64_t>(oid), rid.Encode()));
+    store->restored_entries_++;
+  }
 
   // Recover the next OID as (max stored OID) + 1.
   Oid max_oid = 0;
@@ -153,17 +161,29 @@ Status ObjectStore::Delete(Oid oid) {
 
 Status ObjectStore::ForEach(
     const std::function<Status(Oid, const std::string&)>& fn) const {
-  return index_->Scan(
+  // Snapshot the index first so the callback runs with no store lock held:
+  // callers reconcile *other* indexes from here (Catalog::
+  // RebuildDerivedIndexes), and invoking them mid-scan would nest their
+  // locks under this index's — a lock-order cycle with paths that consult
+  // this store while holding theirs.
+  std::vector<std::pair<int64_t, uint64_t>> entries;
+  GAEA_RETURN_IF_ERROR(index_->Scan(
       std::numeric_limits<int64_t>::min(), std::numeric_limits<int64_t>::max(),
-      [this, &fn](int64_t key, uint64_t rid_enc) -> Status {
-        GAEA_ASSIGN_OR_RETURN(std::string record,
-                              heap_->Read(Rid::Decode(rid_enc)));
-        if (record.size() < kOidHeaderBytes) {
-          return Status::Corruption("object " + std::to_string(key) +
-                                    ": heap record shorter than OID header");
-        }
-        return fn(static_cast<Oid>(key), record.substr(kOidHeaderBytes));
-      });
+      [&entries](int64_t key, uint64_t rid_enc) -> Status {
+        entries.emplace_back(key, rid_enc);
+        return Status::OK();
+      }));
+  for (const auto& [key, rid_enc] : entries) {
+    GAEA_ASSIGN_OR_RETURN(std::string record,
+                          heap_->Read(Rid::Decode(rid_enc)));
+    if (record.size() < kOidHeaderBytes) {
+      return Status::Corruption("object " + std::to_string(key) +
+                                ": heap record shorter than OID header");
+    }
+    GAEA_RETURN_IF_ERROR(fn(static_cast<Oid>(key),
+                            record.substr(kOidHeaderBytes)));
+  }
+  return Status::OK();
 }
 
 Status ObjectStore::Flush() {

@@ -76,7 +76,13 @@ Status RunWorkload(const std::string& dir, Env* env,
                         kernel->catalog().classes().LookupByName("reading"));
 
   std::vector<Oid> readings;
+  const int first_ckpt = options.rounds / 3;
+  const int second_ckpt = (2 * options.rounds) / 3;
   for (int round = 0; round < options.rounds; ++round) {
+    if (options.checkpoints &&
+        (round == first_ckpt || round == second_ckpt)) {
+      GAEA_RETURN_IF_ERROR(kernel->Checkpoint().status());
+    }
     GAEA_ASSIGN_OR_RETURN(
         Oid oid, InsertReading(kernel.get(), *reading,
                                static_cast<int64_t>(rng() % 1000),

@@ -28,6 +28,12 @@ namespace gaea::crashtest {
 struct WorkloadOptions {
   uint64_t seed = 1;
   int rounds = 6;  // insert + derive (+ sometimes flush) iterations
+  // Take fuzzy checkpoints (GaeaKernel::Checkpoint) a third and two thirds
+  // of the way through, so the crash sweep also lands inside snapshot
+  // writes, manifest installs, and journal truncation — and recovery after
+  // the second checkpoint exercises the load-snapshot + tail-replay path,
+  // not just full replay.
+  bool checkpoints = true;
 };
 
 // Runs the randomized workload against the database in `dir`, with all I/O

@@ -1,5 +1,6 @@
 #include "util/env.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -186,6 +187,46 @@ class PosixEnv : public Env {
   Status Truncate(const std::string& path, uint64_t size) override {
     if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
       return Status::IOError(Errno("truncate", path));
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError(Errno("rename", from + " -> " + to));
+    }
+    // The rename itself is atomic, but the directory entry only survives a
+    // crash once the parent directory is fsynced.
+    return SyncParentDir(to);
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IOError(Errno("mkdir", path));
+    }
+    return SyncParentDir(path);
+  }
+
+  StatusOr<std::vector<std::string>> ListDir(
+      const std::string& path) override {
+    DIR* d = ::opendir(path.c_str());
+    if (d == nullptr) {
+      if (errno == ENOENT) return Status::NotFound(Errno("opendir", path));
+      return Status::IOError(Errno("opendir", path));
+    }
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(d)) {
+      std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(std::move(name));
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IOError(Errno("unlink", path));
     }
     return Status::OK();
   }
@@ -398,6 +439,33 @@ StatusOr<uint64_t> FaultInjectingEnv::FileSize(const std::string& path) {
 Status FaultInjectingEnv::Truncate(const std::string& path, uint64_t size) {
   GAEA_RETURN_IF_ERROR(AdmitPageWrite(0));
   return base_->Truncate(path, size);
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  // All-or-nothing like a page write: rename is atomic on a real file
+  // system, so the injected crash means the rename never happened — the
+  // checkpoint manifest install either completed or left the old state.
+  GAEA_RETURN_IF_ERROR(AdmitPageWrite(0));
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingEnv::CreateDir(const std::string& path) {
+  // Not counted as a write op: directory creation is a one-time no-op in
+  // steady state, and counting it would dilute the crash-point sweep over
+  // the writes that actually carry data.
+  GAEA_RETURN_IF_ERROR(CheckAlive());
+  return base_->CreateDir(path);
+}
+
+StatusOr<std::vector<std::string>> FaultInjectingEnv::ListDir(
+    const std::string& path) {
+  return base_->ListDir(path);
+}
+
+Status FaultInjectingEnv::RemoveFile(const std::string& path) {
+  GAEA_RETURN_IF_ERROR(AdmitPageWrite(0));
+  return base_->RemoveFile(path);
 }
 
 Status FaultInjectingEnv::SyncDir(const std::string& dir) {

@@ -16,6 +16,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/status.h"
 
@@ -90,6 +91,27 @@ class Env {
   virtual bool FileExists(const std::string& path) = 0;
   virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
   virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  // Atomically replaces `to` with `from` (POSIX rename), then fsyncs the
+  // destination's parent directory so the new directory entry is durable.
+  // This is the install primitive for checkpoint manifests and snapshots:
+  // readers observe either the old file or the complete new one, never a
+  // partial write.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  // Creates `path` (one level); OK if it already exists. The parent
+  // directory is fsynced so the entry survives a crash.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  // Names of the entries in `path` ("." and ".." excluded), unsorted;
+  // kNotFound if the directory does not exist.
+  virtual StatusOr<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
+
+  // Removes a file; OK (not an error) if it is already gone, so checkpoint
+  // GC retried after a crash converges instead of tripping over its own
+  // earlier progress.
+  virtual Status RemoveFile(const std::string& path) = 0;
 
   // Fsyncs the directory itself, making directory entries (freshly created
   // files) durable — a file created and fsynced is still lost by a crash if
@@ -175,6 +197,15 @@ class FaultInjectingEnv : public Env {
   bool FileExists(const std::string& path) override;
   StatusOr<uint64_t> FileSize(const std::string& path) override;
   Status Truncate(const std::string& path, uint64_t size) override;
+  // Rename is a metadata write: it counts as one all-or-nothing write op,
+  // so the crash-point sweep covers checkpoint install (the crashing
+  // rename never happens — the old file, if any, stays in place).
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status CreateDir(const std::string& path) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& path) override;
+  // RemoveFile also counts as a write op: a crash mid-GC leaves stray
+  // snapshot files that recovery must ignore.
+  Status RemoveFile(const std::string& path) override;
   Status SyncDir(const std::string& dir) override;
   uint64_t NowMicros() override { return base_->NowMicros(); }
 
@@ -248,6 +279,19 @@ class FakeClockEnv : public Env {
   }
   Status Truncate(const std::string& path, uint64_t size) override {
     return base_->Truncate(path, size);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return base_->RenameFile(from, to);
+  }
+  Status CreateDir(const std::string& path) override {
+    return base_->CreateDir(path);
+  }
+  StatusOr<std::vector<std::string>> ListDir(
+      const std::string& path) override {
+    return base_->ListDir(path);
+  }
+  Status RemoveFile(const std::string& path) override {
+    return base_->RemoveFile(path);
   }
   Status SyncDir(const std::string& dir) override {
     return base_->SyncDir(dir);

@@ -392,6 +392,44 @@ TEST_F(NetTest, ErrorsCarryStatusCodeAcrossTheWire) {
   EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
 }
 
+TEST_F(NetTest, CheckpointOverTheWire) {
+  StartServer(GaeaServer::Options());
+  auto client = Connect();
+  ASSERT_OK(kernel_->DefineProcess(
+      MakeIdentityProcess("remote-ident", "ident_out", nullptr)));
+  Oid input = InsertSample(1);
+  ASSERT_OK(client->Derive("remote-ident", {{"in", {input}}}).status());
+
+  ASSERT_OK_AND_ASSIGN(CheckpointReply first, client->Checkpoint());
+  EXPECT_EQ(first.seq, 1u);
+  EXPECT_GT(first.snapshot_bytes, 0u);
+
+  // Checkpoints keep numbering across requests, and the stats RPC reports
+  // the newest one.
+  ASSERT_OK(client->Derive("remote-ident", {{"in", {InsertSample(2)}}})
+                .status());
+  ASSERT_OK_AND_ASSIGN(CheckpointReply second, client->Checkpoint());
+  EXPECT_EQ(second.seq, 2u);
+  ASSERT_OK_AND_ASSIGN(std::string stats, client->StatsJson());
+  EXPECT_NE(stats.find("\"checkpoint\":{\"seq\":2"), std::string::npos);
+  EXPECT_NE(stats.find("\"recovery\":{"), std::string::npos);
+}
+
+TEST_F(NetTest, BackgroundCheckpointPolicyFires) {
+  GaeaServer::Options options;
+  options.checkpoint_poll_ms = 10;
+  StartServer(options);
+  kernel_->SetCheckpointPolicy({0, /*tasks=*/1});
+  auto client = Connect();
+  ASSERT_OK(kernel_->DefineProcess(
+      MakeIdentityProcess("remote-ident", "ident_out", nullptr)));
+  ASSERT_OK(
+      client->Derive("remote-ident", {{"in", {InsertSample(3)}}}).status());
+  // The poll thread notices the one-task backlog and checkpoints on its own.
+  WaitUntil([this] { return kernel_->GetStats().checkpoint_seq >= 1; },
+            "background checkpoint never ran");
+}
+
 TEST_F(NetTest, ConcurrentSessions) {
   StartServer(GaeaServer::Options());
   ASSERT_OK(kernel_->DefineProcess(

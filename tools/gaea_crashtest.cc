@@ -53,15 +53,22 @@ bool ParseU64(const char* text, uint64_t* out) {
   return true;
 }
 
-// The database directory is flat (journals, heap, index files), so a
-// non-recursive sweep is enough to reclaim each crash cycle's scratch.
-void RemoveTree(const std::string& dir) {
+// The database directory is one level deep (journals and page files at the
+// top, checkpoints/ and archive/ subdirectories), so a depth-one sweep is
+// enough to reclaim each crash cycle's scratch.
+void RemoveTree(const std::string& dir, int depth = 0) {
   DIR* handle = ::opendir(dir.c_str());
   if (handle == nullptr) return;
   while (dirent* entry = ::readdir(handle)) {
     std::string name = entry->d_name;
     if (name == "." || name == "..") continue;
-    ::unlink((dir + "/" + name).c_str());
+    std::string path = dir + "/" + name;
+    struct stat st;
+    if (::lstat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      if (depth < 2) RemoveTree(path, depth + 1);
+    } else {
+      ::unlink(path.c_str());
+    }
   }
   ::closedir(handle);
   ::rmdir(dir.c_str());

@@ -5,9 +5,17 @@
 //   gaead --dir <db_dir> [--port N] [--host A.B.C.D] [--workers N]
 //         [--max-inflight N] [--derive-threads N]
 //         [--durability none|os|fsync] [--trace <file>]
+//         [--checkpoint-bytes N] [--checkpoint-tasks N]
+//         [--checkpoint-poll-ms N]
 //
 // --trace enables span collection for the daemon's lifetime and writes the
 // Chrome trace JSON to <file> during shutdown (docs/OBSERVABILITY.md).
+//
+// --checkpoint-bytes / --checkpoint-tasks arm the background checkpoint
+// policy (docs/ROBUSTNESS.md): a checkpoint is taken once the live journals
+// grow by N bytes, or N task records land, past the previous one. A poll
+// thread evaluates the policy every --checkpoint-poll-ms (default 1000)
+// whenever at least one threshold is set.
 //
 // SIGTERM / SIGINT shut down gracefully: the listener closes, admitted
 // requests drain, journals are flushed, then the process exits 0.
@@ -34,13 +42,18 @@ struct Flags {
   int derive_threads = 4;
   gaea::DurabilityMode durability = gaea::DurabilityMode::kOs;
   std::string trace_file;  // empty = tracing off
+  int checkpoint_bytes = 0;    // 0 = byte threshold off
+  int checkpoint_tasks = 0;    // 0 = task threshold off
+  int checkpoint_poll_ms = 1000;
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --dir <db_dir> [--port N] [--host A.B.C.D] "
                "[--workers N] [--max-inflight N] [--derive-threads N] "
-               "[--durability none|os|fsync] [--trace <file>]\n",
+               "[--durability none|os|fsync] [--trace <file>] "
+               "[--checkpoint-bytes N] [--checkpoint-tasks N] "
+               "[--checkpoint-poll-ms N]\n",
                argv0);
   return 2;
 }
@@ -84,6 +97,12 @@ int main(int argc, char** argv) {
       flags.durability = *mode;
     } else if (arg == "--trace" && (value = next())) {
       flags.trace_file = value;
+    } else if (arg == "--checkpoint-bytes" && (value = next()) &&
+               ParseInt(value, &flags.checkpoint_bytes)) {
+    } else if (arg == "--checkpoint-tasks" && (value = next()) &&
+               ParseInt(value, &flags.checkpoint_tasks)) {
+    } else if (arg == "--checkpoint-poll-ms" && (value = next()) &&
+               ParseInt(value, &flags.checkpoint_poll_ms)) {
     } else {
       return Usage(argv[0]);
     }
@@ -111,12 +130,24 @@ int main(int argc, char** argv) {
   }
   (*kernel)->SetClock(gaea::AbsTime::FromDate(1993, 8, 24).value());
   (*kernel)->SetDeriveThreads(flags.derive_threads);
+  if (flags.checkpoint_bytes > 0 || flags.checkpoint_tasks > 0) {
+    gaea::GaeaKernel::CheckpointPolicy policy;
+    policy.journal_bytes = static_cast<uint64_t>(
+        flags.checkpoint_bytes > 0 ? flags.checkpoint_bytes : 0);
+    policy.tasks = static_cast<uint64_t>(
+        flags.checkpoint_tasks > 0 ? flags.checkpoint_tasks : 0);
+    (*kernel)->SetCheckpointPolicy(policy);
+  }
 
   gaea::net::GaeaServer::Options server_options;
   server_options.host = flags.host;
   server_options.port = flags.port;
   server_options.workers = flags.workers;
   server_options.max_inflight = flags.max_inflight;
+  if (flags.checkpoint_bytes > 0 || flags.checkpoint_tasks > 0) {
+    server_options.checkpoint_poll_ms =
+        flags.checkpoint_poll_ms > 0 ? flags.checkpoint_poll_ms : 1000;
+  }
   gaea::net::GaeaServer server(kernel->get(), server_options);
   gaea::Status started = server.Start();
   if (!started.ok()) {
