@@ -6,7 +6,7 @@
 //
 // The second form proxies commands through GaeaClient to a running gaead
 // (docs/NET.md); remote sessions speak the RPC subset: ddl, ddl-file,
-// derive, derive-batch, lineage, stats [--json], ping, quit.
+// insert, derive, derive-batch, lineage, stats [--json], ping, quit.
 //
 // Commands (one per line; '#' starts a comment):
 //   ddl <<END ... END        multi-line DDL block
@@ -43,9 +43,11 @@
 //   quit
 //
 // Remote sessions additionally understand `metrics` (the kMetrics RPC),
-// `lint [--json]` (the kLint RPC, analyzing the *server's* catalog) and
-// `checkpoint` (the kCheckpoint RPC, checkpointing the *server's* database);
-// trace and profile read the *local* process and are local-mode only.
+// `lint [--json]` (the kLint RPC, analyzing the *server's* catalog),
+// `checkpoint` (the kCheckpoint RPC, checkpointing the *server's* database)
+// and `insert <class> attr=<value> ...` (the kInsertObject RPC; values are
+// ints, box:x0,y0,x1,y1, time:<t>, or bare text). trace and profile read
+// the *local* process and are local-mode only.
 
 #include <cstdio>
 #include <cstdlib>
@@ -557,6 +559,27 @@ bool ParseDeriveRequests(std::istringstream& words,
   return !requests->empty();
 }
 
+// Parses one attribute literal for the remote insert command:
+// "box:x0,y0,x1,y1" and "time:<t>" are tagged forms, a run of digits (with
+// optional sign) is an int, anything else is text.
+StatusOr<Value> ParseAttrValue(const std::string& text) {
+  if (text.rfind("box:", 0) == 0) {
+    double c[4];
+    if (std::sscanf(text.c_str() + 4, "%lf,%lf,%lf,%lf", &c[0], &c[1], &c[2],
+                    &c[3]) != 4) {
+      return Status::InvalidArgument("malformed box literal: " + text);
+    }
+    return Value::OfBox(Box(c[0], c[1], c[2], c[3]));
+  }
+  if (text.rfind("time:", 0) == 0) {
+    return Value::Time(AbsTime(std::strtoll(text.c_str() + 5, nullptr, 10)));
+  }
+  char* end = nullptr;
+  long long n = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() && *end == '\0') return Value::Int(n);
+  return Value::String(text);
+}
+
 // The remote mode: the same line-oriented surface, proxied through
 // GaeaClient to a gaead. Only the RPC subset is available; everything else
 // names the commands that are.
@@ -579,6 +602,7 @@ class RemoteShell {
     }
     if (cmd == "ddl") return DdlBlock(words, in);
     if (cmd == "ddl-file") return DdlFile(words);
+    if (cmd == "insert") return Insert(words);
     if (cmd == "derive") return Derive(words);
     if (cmd == "derive-batch") return DeriveBatch(words);
     if (cmd == "lineage") return Lineage(words);
@@ -587,8 +611,8 @@ class RemoteShell {
     if (cmd == "lint") return Lint(words);
     if (cmd == "checkpoint") return Checkpoint();
     std::printf("unknown remote command: %s (remote commands: ddl, ddl-file, "
-                "derive, derive-batch, lineage, stats [--json], metrics, "
-                "lint [--json], checkpoint, ping, quit)\n",
+                "insert, derive, derive-batch, lineage, stats [--json], "
+                "metrics, lint [--json], checkpoint, ping, quit)\n",
                 cmd.c_str());
     return true;
   }
@@ -622,6 +646,40 @@ class RemoteShell {
     std::string source((std::istreambuf_iterator<char>(in)),
                        std::istreambuf_iterator<char>());
     PrintStatus(client_->ExecuteDdl(source));
+    return true;
+  }
+
+  bool Insert(std::istringstream& words) {
+    net::InsertObjectRequest request;
+    words >> request.class_name;
+    bool parsed = !request.class_name.empty();
+    std::string pair;
+    while (parsed && words >> pair) {
+      size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        parsed = false;
+        break;
+      }
+      auto value = ParseAttrValue(pair.substr(eq + 1));
+      if (!value.ok()) {
+        PrintStatus(value.status());
+        return true;
+      }
+      request.attrs.emplace_back(pair.substr(0, eq), *std::move(value));
+    }
+    if (!parsed || request.attrs.empty()) {
+      std::printf(
+          "usage: insert <class> attr=<int|box:x0,y0,x1,y1|time:t|text> "
+          "...\n");
+      return true;
+    }
+    auto oid = client_->InsertObject(request);
+    if (!oid.ok()) {
+      PrintStatus(oid.status());
+      return true;
+    }
+    std::printf("%s -> #%llu\n", request.class_name.c_str(),
+                static_cast<unsigned long long>(*oid));
     return true;
   }
 

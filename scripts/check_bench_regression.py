@@ -19,6 +19,8 @@ Understood schemas:
     run.
   * bench_recovery: full-replay-over-checkpoint restart speedup at the
     longest history, plus checkpointed restarts/second there.
+  * bench_cluster: single-node vs 2-replica mixed-workload throughput and
+    the same-run replica speedup ratio.
 Unknown schemas are skipped with a note rather than failing, so adding a
 new bench never breaks CI before a baseline exists.
 """
@@ -87,6 +89,21 @@ def extract_metrics(doc):
         bp = doc.get("backpressure")
         if bp and "throughput_rps" in bp:
             metrics["backpressure_rps"] = float(bp["throughput_rps"])
+        return metrics
+
+    if bench == "bench_cluster":
+        # Gate the headline replica speedup (same-run ratio, so largely
+        # immune to machine noise — the acceptance bar is >= 1.7x) plus the
+        # absolute mixed-workload rates on both routing modes.
+        single = doc.get("single_node", {})
+        cluster = doc.get("cluster", {})
+        if "throughput_rps" in single:
+            metrics["single_node_rps"] = float(single["throughput_rps"])
+        if "throughput_rps" in cluster:
+            metrics["cluster/aggregate_rps"] = float(cluster["throughput_rps"])
+        speedup = doc.get("speedup")
+        if speedup:
+            metrics["cluster/replica_speedup"] = float(speedup)
         return metrics
 
     if bench == "bench_recovery":

@@ -220,6 +220,44 @@ StatusOr<Oid> Catalog::InsertObject(DataObject obj) {
   return oid;
 }
 
+Status Catalog::ApplyReplicatedRecord(const std::string& record) {
+  std::unique_lock lock(mu_);
+  GAEA_RETURN_IF_ERROR(ReplayRecord(record));
+  return journal_->Append(record);
+}
+
+Status Catalog::InsertObjectAt(DataObject obj, Oid oid) {
+  std::unique_lock lock(mu_);
+  if (store_->Contains(oid)) {
+    return Status::AlreadyExists("object " + std::to_string(oid) +
+                                 " already stored");
+  }
+  GAEA_ASSIGN_OR_RETURN(const ClassDef* def,
+                        classes_.LookupById(obj.class_id()));
+  GAEA_RETURN_IF_ERROR(obj.TypeCheck(*def));
+  obj.set_oid(oid);
+  BinaryWriter w;
+  obj.Serialize(&w);
+  GAEA_RETURN_IF_ERROR(store_->PutWithOid(oid, w.buffer()));
+  store_->EnsureNextOidAtLeast(oid + 1);
+  GAEA_RETURN_IF_ERROR(
+      by_class_->Insert(static_cast<int64_t>(obj.class_id()), oid));
+  if (def->has_temporal_extent()) {
+    auto ts = obj.Timestamp(*def);
+    if (ts.ok()) {
+      GAEA_RETURN_IF_ERROR(by_time_->Insert(ts->seconds(), oid));
+    }
+  }
+  if (def->has_spatial_extent()) {
+    auto extent = obj.SpatialExtent(*def);
+    if (extent.ok() && !extent->empty()) {
+      GAEA_RETURN_IF_ERROR(
+          spatial_index_[obj.class_id()].Insert(*extent, oid));
+    }
+  }
+  return Status::OK();
+}
+
 StatusOr<DataObject> Catalog::GetObject(Oid oid) const {
   std::shared_lock lock(mu_);
   return GetObjectUnlocked(oid);

@@ -113,6 +113,25 @@ class Catalog {
   // Journal Sync policy for the definition journal (see DurabilityMode).
   void SetDurability(DurabilityMode mode) { journal_->set_durability(mode); }
 
+  // ---- replication (src/replication/) ----
+
+  // Applies one shipped definition record exactly as replay would, then
+  // appends it verbatim to the local journal — the replica's definition
+  // journal stays byte-equivalent to the primary's logical history.
+  Status ApplyReplicatedRecord(const std::string& record);
+
+  // Stores `obj` under the primary-assigned `oid` (type-checked, all
+  // secondary indexes updated) and raises the OID allocator past it, so a
+  // replica never hands out an OID the primary already used. kAlreadyExists
+  // when `oid` is occupied — the caller treats that as an idempotent skip.
+  Status InsertObjectAt(DataObject obj, Oid oid);
+
+  // Definition-journal read for the shipper; see Journal::ReadRange.
+  Status ReadJournalRange(uint64_t from, size_t max_records, size_t max_bytes,
+                          std::vector<std::string>* out, uint64_t* next) const {
+    return journal_->ReadRange(from, max_records, max_bytes, out, next);
+  }
+
   // Buffer-pool stats of the object store's heap pool (kernel stats).
   ObjectStore* store() { return store_.get(); }
   const ObjectStore* store() const { return store_.get(); }

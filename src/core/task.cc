@@ -177,6 +177,26 @@ StatusOr<TaskId> TaskLog::Append(Task task) {
   return id;
 }
 
+StatusOr<const Task*> TaskLog::ApplyReplicated(const std::string& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BinaryReader r(record);
+  GAEA_ASSIGN_OR_RETURN(Task task, Task::Deserialize(&r));
+  TaskId expected = static_cast<TaskId>(tasks_.size()) + 1;
+  if (task.id != expected) {
+    return Status::FailedPrecondition(
+        "replicated task out of order: got id " + std::to_string(task.id) +
+        ", expected " + std::to_string(expected));
+  }
+  if (journal_ != nullptr) {
+    GAEA_RETURN_IF_ERROR(journal_->Append(record));
+  }
+  size_t idx = tasks_.size();
+  for (Oid oid : task.outputs) producer_index_[oid] = idx;
+  for (Oid oid : task.AllInputs()) consumer_index_[oid].push_back(idx);
+  tasks_.push_back(std::move(task));
+  return &tasks_.back();
+}
+
 StatusOr<const Task*> TaskLog::Get(TaskId id) const {
   std::lock_guard<std::mutex> lock(mu_);
   if (id == kInvalidTaskId || id > tasks_.size()) {

@@ -112,6 +112,25 @@ class TaskLog {
       const std::string& process_name, int process_version,
       const std::map<std::string, std::vector<Oid>>& inputs) const;
 
+  // ---- replication (src/replication/) ----
+
+  // Applies one shipped task record: deserializes, enforces the sequential-
+  // id invariant (kFailedPrecondition on a gap so the applier retries after
+  // the missing prefix ships), indexes, and appends the record verbatim to
+  // the local journal. Returns the applied task (pointer stable across
+  // appends) so the caller can rematerialize its outputs.
+  StatusOr<const Task*> ApplyReplicated(const std::string& record);
+
+  // Task-journal read for the shipper; see Journal::ReadRange.
+  Status ReadJournalRange(uint64_t from, size_t max_records, size_t max_bytes,
+                          std::vector<std::string>* out, uint64_t* next) const {
+    if (journal_ == nullptr) {
+      *next = from;
+      return Status::OK();
+    }
+    return journal_->ReadRange(from, max_records, max_bytes, out, next);
+  }
+
   // ---- checkpointing (src/recovery/) ----
 
   // Streams every task as a journal record (id order) and reports the

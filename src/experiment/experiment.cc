@@ -104,6 +104,22 @@ StatusOr<ExperimentId> ExperimentManager::Define(Experiment experiment) {
   return id;
 }
 
+Status ExperimentManager::ApplyReplicated(const std::string& record) {
+  BinaryReader r(record);
+  GAEA_ASSIGN_OR_RETURN(Experiment e, Experiment::Deserialize(&r));
+  ExperimentId expected = static_cast<ExperimentId>(experiments_.size()) + 1;
+  if (e.id != expected) {
+    return Status::FailedPrecondition(
+        "replicated experiment out of order: got id " + std::to_string(e.id) +
+        ", expected " + std::to_string(expected));
+  }
+  if (journal_ != nullptr) {
+    GAEA_RETURN_IF_ERROR(journal_->Append(record));
+  }
+  experiments_.push_back(std::move(e));
+  return Status::OK();
+}
+
 StatusOr<const Experiment*> ExperimentManager::Get(
     const std::string& name) const {
   for (const Experiment& e : experiments_) {

@@ -82,6 +82,23 @@ class ExperimentManager {
                                          Interpolator* interpolator,
                                          const TaskLog* log) const;
 
+  // ---- replication (src/replication/) ----
+
+  // Applies one shipped experiment record (sequential-id checked:
+  // kFailedPrecondition on a gap) and appends it verbatim to the local
+  // journal. Serialized externally, like Define.
+  Status ApplyReplicated(const std::string& record);
+
+  // Experiment-journal read for the shipper; see Journal::ReadRange.
+  Status ReadJournalRange(uint64_t from, size_t max_records, size_t max_bytes,
+                          std::vector<std::string>* out, uint64_t* next) const {
+    if (journal_ == nullptr) {
+      *next = from;
+      return Status::OK();
+    }
+    return journal_->ReadRange(from, max_records, max_bytes, out, next);
+  }
+
   // ---- checkpointing (src/recovery/) ----
   // Like the manager itself, not internally synchronized: the kernel
   // serializes Define against Snapshot (DDL is exclusive, checkpoint

@@ -9,6 +9,7 @@
 #include "core/tile_pool.h"
 #include "obs/trace.h"
 #include "query/qparser.h"
+#include "replication/shipper.h"
 #include "util/string_util.h"
 
 namespace gaea {
@@ -141,6 +142,18 @@ StatusOr<std::unique_ptr<GaeaKernel>> GaeaKernel::OpenWithPlan(
                               exp_rec_ptr));
   kernel->experiments_->SetDurability(options.durability);
 
+  // Cluster members additionally journal base-object bytes so inserts ship
+  // to replicas. Not covered by checkpoints (the object store itself is the
+  // durable state); replay is idempotent, so a full pass per open is a
+  // reconciliation on the primary and the shipped objects on a replica.
+  if (options.replicated) {
+    GAEA_ASSIGN_OR_RETURN(
+        kernel->object_journal_,
+        Journal::Open(options.dir + "/objects.journal", env));
+    kernel->object_journal_->set_durability(options.durability);
+    GAEA_RETURN_IF_ERROR(kernel->ReplayObjectJournal());
+  }
+
   // OID allocator floor recorded in the manifest: belt-and-suspenders
   // against reallocating an OID whose index pages died with the crash.
   if (plan.next_oid > 0) {
@@ -162,6 +175,9 @@ StatusOr<std::unique_ptr<GaeaKernel>> GaeaKernel::OpenWithPlan(
   add_replayed("process", kernel->process_journal_->record_count());
   add_replayed("tasks", kernel->task_log_->JournalRecordCount());
   add_replayed("experiments", kernel->experiments_->JournalRecordCount());
+  if (kernel->object_journal_ != nullptr) {
+    add_replayed("objects", kernel->object_journal_->record_count());
+  }
   kernel->records_replayed_ = replayed;
   if (plan.checkpoint_seq > 0) {
     auto it = plan.components.find("tasks");
@@ -183,6 +199,17 @@ StatusOr<std::unique_ptr<GaeaKernel>> GaeaKernel::OpenWithPlan(
       kernel->catalog_.get(), &kernel->processes_, kernel->deriver_.get(),
       kernel->interpolator_.get());
   GAEA_RETURN_IF_ERROR(kernel->Recover(env));
+  // Cluster members seed the derivation cache from the recovered task log:
+  // a derive the client retries across a primary crash then hits the cache
+  // and returns the original OIDs instead of recording a duplicate task
+  // (exactly-once together with the server's idempotency dedup).
+  if (kernel->object_journal_ != nullptr) {
+    // Restore derived objects whose pages never reached disk before warming
+    // the cache: warming only memoizes tasks whose output is stored, and a
+    // replicated kernel must hold the exact bytes it shipped to replicas.
+    GAEA_RETURN_IF_ERROR(kernel->RematerializeMissingOutputs());
+    kernel->WarmDerivationCache();
+  }
   kernel->WireObservability();
   return kernel;
 }
@@ -674,6 +701,322 @@ StatusOr<Oid> GaeaKernel::DeriveOrReuse(
   return oid;
 }
 
+// ---------------------------------------------------------------------------
+// Replication
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& GaeaKernel::ReplicationComponents() {
+  static const std::vector<std::string>* kComponents =
+      new std::vector<std::string>{"catalog", "process", "objects", "tasks",
+                                   "experiments"};
+  return *kComponents;
+}
+
+uint64_t GaeaKernel::ComponentRecordCount(const std::string& component) const {
+  if (component == "catalog") return catalog_->JournalRecordCount();
+  if (component == "process") return process_journal_->record_count();
+  if (component == "objects") {
+    return object_journal_ == nullptr ? 0 : object_journal_->record_count();
+  }
+  if (component == "tasks") return task_log_->JournalRecordCount();
+  if (component == "experiments") return experiments_->JournalRecordCount();
+  return 0;
+}
+
+uint64_t GaeaKernel::ClusterLsn() const {
+  uint64_t total = 0;
+  for (const std::string& component : ReplicationComponents()) {
+    total += ComponentRecordCount(component);
+  }
+  return total;
+}
+
+std::vector<std::pair<std::string, uint64_t>> GaeaKernel::ReplicationCursors()
+    const {
+  std::vector<std::pair<std::string, uint64_t>> cursors;
+  for (const std::string& component : ReplicationComponents()) {
+    cursors.emplace_back(component, ComponentRecordCount(component));
+  }
+  return cursors;
+}
+
+StatusOr<Oid> GaeaKernel::Insert(DataObject obj) {
+  GAEA_ASSIGN_OR_RETURN(Oid oid, catalog_->InsertObject(std::move(obj)));
+  if (object_journal_ != nullptr) {
+    GAEA_RETURN_IF_ERROR(AppendObjectRecord(oid));
+  }
+  return oid;
+}
+
+Status GaeaKernel::AppendObjectRecord(Oid oid) {
+  // Journal the exact stored bytes, not a re-serialization: the replica's
+  // store ends up byte-identical and convergence checks can compare raw
+  // payloads.
+  GAEA_ASSIGN_OR_RETURN(std::string payload, catalog_->store()->Get(oid));
+  BinaryWriter w;
+  w.PutU64(oid);
+  w.PutString(payload);
+  return object_journal_->Append(w.buffer());
+}
+
+Status GaeaKernel::ApplyObjectRecord(const std::string& record) {
+  BinaryReader r(record);
+  GAEA_ASSIGN_OR_RETURN(Oid oid, r.GetU64());
+  GAEA_ASSIGN_OR_RETURN(std::string payload, r.GetString());
+  BinaryReader obj_reader(payload);
+  GAEA_ASSIGN_OR_RETURN(DataObject obj, DataObject::Deserialize(&obj_reader));
+  Status inserted = catalog_->InsertObjectAt(std::move(obj), oid);
+  // Duplicate delivery (or a primary replaying its own journal) is a no-op.
+  if (inserted.code() == StatusCode::kAlreadyExists) return Status::OK();
+  return inserted;
+}
+
+Status GaeaKernel::ReplayObjectJournal() {
+  return object_journal_->Replay(
+      [this](const std::string& record) { return ApplyObjectRecord(record); });
+}
+
+Status GaeaKernel::JournalInterpolationOutputs(uint64_t from_task_id) {
+  uint64_t total = task_log_->size();
+  for (TaskId id = from_task_id + 1; id <= total; ++id) {
+    GAEA_ASSIGN_OR_RETURN(const Task* task, task_log_->Get(id));
+    if (task->status != TaskStatus::kCompleted || task->process_version != 0) {
+      continue;
+    }
+    for (Oid oid : task->outputs) {
+      GAEA_RETURN_IF_ERROR(AppendObjectRecord(oid));
+    }
+  }
+  return Status::OK();
+}
+
+Status GaeaKernel::ShipRange(const std::string& component, uint64_t from,
+                             size_t max_records, size_t max_bytes,
+                             std::vector<std::string>* out, uint64_t* next) {
+  *next = from;
+  auto read_live = [&](uint64_t f, size_t records_left, size_t bytes_left,
+                       uint64_t* n) -> Status {
+    if (component == "catalog") {
+      return catalog_->ReadJournalRange(f, records_left, bytes_left, out, n);
+    }
+    if (component == "process") {
+      return process_journal_->ReadRange(f, records_left, bytes_left, out, n);
+    }
+    if (component == "objects") {
+      if (object_journal_ == nullptr) {
+        *n = f;
+        return Status::OK();
+      }
+      return object_journal_->ReadRange(f, records_left, bytes_left, out, n);
+    }
+    if (component == "tasks") {
+      return task_log_->ReadJournalRange(f, records_left, bytes_left, out, n);
+    }
+    if (component == "experiments") {
+      return experiments_->ReadJournalRange(f, records_left, bytes_left, out,
+                                            n);
+    }
+    return Status::InvalidArgument("unknown replication component: " +
+                                   component);
+  };
+  size_t bytes = 0;
+  while (out->size() < max_records && bytes < max_bytes) {
+    size_t before = out->size();
+    Status live = read_live(*next, max_records - out->size(),
+                            max_bytes - bytes, next);
+    if (live.code() == StatusCode::kOutOfRange) {
+      // The prefix was truncated into the archive chain by a concurrent
+      // checkpoint; ship from the segments, then loop to cross the seam
+      // back into the live journal.
+      GAEA_RETURN_IF_ERROR(replication::ReadFromArchives(
+          env_, dir_, component, *next, max_records - out->size(),
+          max_bytes - bytes, out, next));
+    } else {
+      GAEA_RETURN_IF_ERROR(live);
+    }
+    if (out->size() == before) break;  // at the tail (or byte cap reached)
+    for (size_t i = before; i < out->size(); ++i) bytes += (*out)[i].size();
+  }
+  return Status::OK();
+}
+
+Status GaeaKernel::ApplyReplicated(const std::string& component, uint64_t from,
+                                   const std::vector<std::string>& records) {
+  uint64_t count = ComponentRecordCount(component);
+  if (from > count) {
+    return Status::FailedPrecondition(
+        "replication gap in " + component + ": batch starts at LSN " +
+        std::to_string(from) + " but only " + std::to_string(count) +
+        " records applied");
+  }
+  // Records below the local count were already applied (duplicate delivery,
+  // or a batch straddling the replica's cursor) — skip them idempotently.
+  size_t skip = static_cast<size_t>(
+      std::min<uint64_t>(count - from, records.size()));
+  for (size_t i = skip; i < records.size(); ++i) {
+    const std::string& record = records[i];
+    if (component == "catalog") {
+      GAEA_RETURN_IF_ERROR(catalog_->ApplyReplicatedRecord(record));
+      ++catalog_version_;
+    } else if (component == "process") {
+      BinaryReader r(record);
+      GAEA_ASSIGN_OR_RETURN(ProcessDef def, ProcessDef::Deserialize(&r));
+      int expected = def.version();
+      GAEA_ASSIGN_OR_RETURN(int version,
+                            processes_.Register(std::move(def)));
+      if (version != expected) {
+        return Status::Corruption(
+            "replicated process record carries version " +
+            std::to_string(expected) + " but registered as v" +
+            std::to_string(version));
+      }
+      GAEA_RETURN_IF_ERROR(process_journal_->Append(record));
+      ++catalog_version_;
+    } else if (component == "objects") {
+      if (object_journal_ == nullptr) {
+        return Status::FailedPrecondition(
+            "cannot apply object records: kernel not opened replicated");
+      }
+      GAEA_RETURN_IF_ERROR(ApplyObjectRecord(record));
+      GAEA_RETURN_IF_ERROR(object_journal_->Append(record));
+    } else if (component == "tasks") {
+      BinaryReader r(record);
+      GAEA_ASSIGN_OR_RETURN(Task task, Task::Deserialize(&r));
+      if (task.status == TaskStatus::kCompleted) {
+        // Cross-component cursors are read without a global lock on the
+        // primary, so a task can ship before its process version or input
+        // objects. kFailedPrecondition makes the applier retry once the
+        // missing prefix ships; nothing was persisted.
+        for (const auto& [arg, oids] : task.inputs) {
+          for (Oid oid : oids) {
+            if (!catalog_->ContainsObject(oid)) {
+              return Status::FailedPrecondition(
+                  "task #" + std::to_string(task.id) + " input object " +
+                  std::to_string(oid) + " not yet shipped");
+            }
+          }
+        }
+        if (task.process_version >= 1) {
+          if (!processes_.Version(task.process_name, task.process_version)
+                   .ok()) {
+            return Status::FailedPrecondition(
+                "task #" + std::to_string(task.id) + " process " +
+                task.process_name + " v" +
+                std::to_string(task.process_version) + " not yet shipped");
+          }
+          // Store outputs before the task record, mirroring the primary's
+          // insert-then-log order (a crash between the two leaves the same
+          // state Recover already handles).
+          GAEA_RETURN_IF_ERROR(RematerializeTask(task));
+        } else {
+          // Interpolation (v0) and external (v-1) outputs cannot be re-run
+          // here; their bytes ship through the objects component.
+          for (Oid oid : task.outputs) {
+            if (!catalog_->ContainsObject(oid)) {
+              return Status::FailedPrecondition(
+                  "task #" + std::to_string(task.id) + " output object " +
+                  std::to_string(oid) + " not yet shipped");
+            }
+          }
+        }
+      }
+      GAEA_RETURN_IF_ERROR(task_log_->ApplyReplicated(record).status());
+    } else if (component == "experiments") {
+      GAEA_RETURN_IF_ERROR(experiments_->ApplyReplicated(record));
+    } else {
+      return Status::InvalidArgument("unknown replication component: " +
+                                     component);
+    }
+  }
+  return Status::OK();
+}
+
+Status GaeaKernel::RematerializeMissingOutputs() {
+  // Task order is id order, so an input that is itself a derived object was
+  // rematerialized by an earlier iteration. Tasks the deriver cannot re-run
+  // (external, interpolation, multi-output) ship their bytes through the
+  // objects journal instead and were restored by its replay; tasks whose
+  // process vanished were already quarantined by Recover.
+  for (const Task& task : task_log_->tasks()) {
+    if (task.status != TaskStatus::kCompleted || task.process_version < 1 ||
+        task.outputs.size() != 1) {
+      continue;
+    }
+    if (catalog_->ContainsObject(task.outputs[0])) continue;
+    if (!processes_.Version(task.process_name, task.process_version).ok()) {
+      continue;
+    }
+    GAEA_RETURN_IF_ERROR(RematerializeTask(task));
+  }
+  return Status::OK();
+}
+
+Status GaeaKernel::RematerializeTask(const Task& task) {
+  bool missing = false;
+  for (Oid oid : task.outputs) {
+    if (!catalog_->ContainsObject(oid)) missing = true;
+  }
+  if (!missing) return Status::OK();  // duplicate remat after a crash
+  if (task.outputs.size() != 1) {
+    return Status::FailedPrecondition(
+        "task #" + std::to_string(task.id) +
+        " has multiple outputs; cannot rematerialize");
+  }
+  GAEA_ASSIGN_OR_RETURN(
+      const ProcessDef* proc,
+      processes_.Version(task.process_name, task.process_version));
+  // Pure compute half of a derivation: processes are deterministic, so the
+  // replica's object is attribute-identical to the primary's.
+  Deriver::Prepared prepared = deriver_->Prepare(*proc, task.inputs);
+  GAEA_RETURN_IF_ERROR(prepared.status);
+  return catalog_->InsertObjectAt(std::move(*prepared.output),
+                                  task.outputs[0]);
+}
+
+StatusOr<Oid> GaeaKernel::TryRecordedDerive(
+    const std::string& process,
+    const std::map<std::string, std::vector<Oid>>& inputs, int version) {
+  const ProcessDef* proc;
+  if (version > 0) {
+    GAEA_ASSIGN_OR_RETURN(proc, processes_.Version(process, version));
+  } else {
+    GAEA_ASSIGN_OR_RETURN(proc, processes_.Latest(process));
+  }
+  int resolved_version = proc->version();
+  std::string key = DerivationCache::MakeKey(*proc, inputs);
+  if (std::optional<Oid> hit = derivation_cache_->Lookup(key)) {
+    if (catalog_->ContainsObject(*hit)) return *hit;
+    derivation_cache_->InvalidateOutput(*hit);
+  }
+  const auto& tasks = task_log_->tasks();
+  for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) {
+    if (it->status == TaskStatus::kCompleted &&
+        it->process_version == resolved_version &&
+        it->process_name == process && it->inputs == inputs &&
+        it->outputs.size() == 1 &&
+        catalog_->ContainsObject(it->outputs[0])) {
+      derivation_cache_->Insert(key, it->outputs[0]);
+      return it->outputs[0];
+    }
+  }
+  return Status::NotFound("no recorded derivation of " + process +
+                          " with these inputs");
+}
+
+void GaeaKernel::WarmDerivationCache() {
+  for (const Task& task : task_log_->tasks()) {
+    if (task.status != TaskStatus::kCompleted || task.process_version < 1 ||
+        task.outputs.size() != 1) {
+      continue;
+    }
+    if (!catalog_->ContainsObject(task.outputs[0])) continue;
+    auto proc = processes_.Version(task.process_name, task.process_version);
+    if (!proc.ok()) continue;
+    derivation_cache_->Insert(DerivationCache::MakeKey(**proc, task.inputs),
+                              task.outputs[0]);
+  }
+}
+
 Status GaeaKernel::Evict(Oid oid) {
   if (!catalog_->ContainsObject(oid)) {
     return Status::NotFound("object " + std::to_string(oid) + " is not stored");
@@ -733,7 +1076,12 @@ StatusOr<TaskId> GaeaKernel::RecordExternalTask(
 }
 
 StatusOr<QueryResult> GaeaKernel::Query(const QueryRequest& request) {
-  return query_engine_->Execute(request);
+  if (object_journal_ == nullptr) return query_engine_->Execute(request);
+  uint64_t watermark = task_log_->size();
+  StatusOr<QueryResult> result = query_engine_->Execute(request);
+  // A query may interpolate (synthetic v0 tasks); ship those outputs.
+  GAEA_RETURN_IF_ERROR(JournalInterpolationOutputs(watermark));
+  return result;
 }
 
 StatusOr<QueryResult> GaeaKernel::QueryText(const std::string& gql) {
@@ -807,6 +1155,10 @@ GaeaKernel::Stats GaeaKernel::GetStats() const {
   stats.journal_records_total =
       catalog_->JournalRecordCount() + process_journal_->record_count() +
       task_log_->JournalRecordCount() + experiments_->JournalRecordCount();
+  if (object_journal_ != nullptr) {
+    stats.journal_records_total += object_journal_->record_count();
+  }
+  stats.cluster_lsn = ClusterLsn();
   stats.derivation_cache = derivation_cache_->stats();
   auto fill_pool = [](const BufferPool* pool, PoolStats* out) {
     out->hits = pool->hits();
@@ -858,6 +1210,7 @@ std::string GaeaKernel::Stats::ToJson() const {
   field(&json, "tasks", tasks);
   field(&json, "experiments", experiments);
   field(&json, "quarantined_tasks", quarantined_tasks);
+  field(&json, "cluster_lsn", cluster_lsn);
   json += ",\"durability\":\"" + durability + "\"";
   json += ",\"recovery\":{";
   field(&json, "records_replayed", records_replayed, /*first=*/true);
@@ -906,8 +1259,16 @@ StatusOr<bool> GaeaKernel::CanDerive(const std::string& class_name) const {
 
 StatusOr<ReproductionReport> GaeaKernel::Reproduce(
     const std::string& experiment) {
-  return experiments_->Reproduce(experiment, catalog_.get(), deriver_.get(),
-                                 interpolator_.get(), task_log_.get());
+  if (object_journal_ == nullptr) {
+    return experiments_->Reproduce(experiment, catalog_.get(), deriver_.get(),
+                                   interpolator_.get(), task_log_.get());
+  }
+  uint64_t watermark = task_log_->size();
+  StatusOr<ReproductionReport> report = experiments_->Reproduce(
+      experiment, catalog_.get(), deriver_.get(), interpolator_.get(),
+      task_log_.get());
+  GAEA_RETURN_IF_ERROR(JournalInterpolationOutputs(watermark));
+  return report;
 }
 
 Status GaeaKernel::Flush() {

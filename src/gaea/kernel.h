@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/analysis_cache.h"
@@ -55,6 +56,12 @@ class GaeaKernel {
     // Journal Sync policy applied to every journal (catalog, process, task,
     // experiment); see DurabilityMode in storage/journal.h.
     DurabilityMode durability = DurabilityMode::kOs;
+    // Cluster member (primary or replica): additionally journals base-object
+    // inserts into objects.journal so they ship to replicas like every other
+    // component (derived objects never need this — replicas rematerialize
+    // them from shipped task records). Off by default: a standalone kernel
+    // pays no insert-journaling cost.
+    bool replicated = false;
   };
 
   // Opens (creating if needed) a Gaea database and runs crash recovery:
@@ -134,9 +141,9 @@ class GaeaKernel {
 
   // ---- data & derivation ----
 
-  StatusOr<Oid> Insert(DataObject obj) {
-    return catalog_->InsertObject(std::move(obj));
-  }
+  // Stores a base object. On a replicated kernel the stored payload is also
+  // journaled (objects.journal) so replicas receive it via shipping.
+  StatusOr<Oid> Insert(DataObject obj);
   StatusOr<DataObject> Get(Oid oid) const { return catalog_->GetObject(oid); }
 
   // Fires a process on explicit inputs; records the task.
@@ -257,6 +264,7 @@ class GaeaKernel {
     uint64_t last_checkpoint_duration_us = 0;
     uint64_t last_checkpoint_bytes = 0;
     uint64_t journal_records_total = 0;  // across all live journals
+    uint64_t cluster_lsn = 0;            // see ClusterLsn()
 
     DerivationCache::Stats derivation_cache;
     PoolStats heap_pool;   // object store: heap file frames
@@ -329,6 +337,54 @@ class GaeaKernel {
   // Candidate recovery plans that failed (corrupt snapshot → fallback).
   uint64_t recovery_fallbacks() const { return recovery_fallbacks_; }
 
+  // ---- replication (src/replication/, docs/ROBUSTNESS.md) ----
+
+  // The journal-backed components a cluster ships, in apply order (each may
+  // reference state established by its predecessors: a task needs its
+  // process version and input objects, an experiment its tasks).
+  static const std::vector<std::string>& ReplicationComponents();
+
+  bool replicated() const { return object_journal_ != nullptr; }
+
+  // Cluster LSN: the sum of every component journal's logical length
+  // (record_count, which TruncatePrefix preserves). Monotonic; two kernels
+  // with equal cluster LSNs that shipped from the same history hold the
+  // same definitions, tasks and experiments.
+  uint64_t ClusterLsn() const;
+
+  // component -> record_count for every replication component; a replica's
+  // ShipBatch cursors are exactly its own counts.
+  std::vector<std::pair<std::string, uint64_t>> ReplicationCursors() const;
+
+  // Reads records of `component` with LSN >= `from` for shipping: live
+  // journal first, archive-chain fallback when a checkpoint truncated the
+  // prefix away (the TruncatePrefix-vs-live-shipper race). `*next` is one
+  // past the last record returned.
+  Status ShipRange(const std::string& component, uint64_t from,
+                   size_t max_records, size_t max_bytes,
+                   std::vector<std::string>* out, uint64_t* next);
+
+  // Applies shipped records of `component` starting at LSN `from` — journal
+  // append verbatim plus the in-memory apply, exactly like replay. Records
+  // below the current count are skipped (duplicate delivery is idempotent);
+  // a gap is kFailedPrecondition and the applier retries after the missing
+  // prefix ships. Completed task records eagerly rematerialize their
+  // outputs: the process is re-run (pure, deterministic) and the output
+  // stored under the primary-recorded OID, so replicas hold byte-identical
+  // derived objects. Caller must hold the server's exclusive kernel lock
+  // (or otherwise exclude concurrent definition readers).
+  Status ApplyReplicated(const std::string& component, uint64_t from,
+                         const std::vector<std::string>& records);
+
+  // Read-only derivation lookup for replica serving: resolves the process,
+  // consults the derivation cache and the task log, and returns the
+  // recorded output when this exact derivation already ran. kNotFound when
+  // the request is novel — a replica answers that with a bounce to the
+  // primary instead of forking history with a local write.
+  StatusOr<Oid> TryRecordedDerive(
+      const std::string& process,
+      const std::map<std::string, std::vector<Oid>>& inputs, int version = 0);
+
   // ---- lineage & Petri net ----
   LineageGraph lineage() const { return LineageGraph(task_log_.get()); }
   StatusOr<DerivationNet> BuildDerivationNet() const {
@@ -369,6 +425,37 @@ class GaeaKernel {
       uint64_t* covered_lsn) const;
 
   Status ApplyStatement(ParsedStatement stmt);
+  // record_count of one replication component's journal (0 when the
+  // component has no journal on this kernel).
+  uint64_t ComponentRecordCount(const std::string& component) const;
+  // Replays objects.journal idempotently (insert-if-absent at the recorded
+  // OID) — on the primary a reconciliation no-op, on a replica the base
+  // objects the primary shipped. Runs after the catalog is open (class
+  // definitions must exist) and before Recover's invariant check.
+  Status ReplayObjectJournal();
+  // Applies one objects.journal record: [u64 oid][string DataObject bytes].
+  Status ApplyObjectRecord(const std::string& record);
+  // Journals the stored bytes of `oid` into objects.journal.
+  Status AppendObjectRecord(Oid oid);
+  // Journals the outputs of interpolation tasks (process_version 0) recorded
+  // after `from_task_id` into objects.journal: interpolation outputs are
+  // inserted by the interpolator, not through Insert, yet replicas cannot
+  // rematerialize them (the requested instant lives only in the output), so
+  // a replicated kernel ships the bytes instead. Query/Reproduce call this
+  // after running.
+  Status JournalInterpolationOutputs(uint64_t from_task_id);
+  // Re-runs a replicated completed task and stores its outputs under the
+  // recorded OIDs (skipping ones already present).
+  Status RematerializeTask(const Task& task);
+  // Eagerly re-derives every completed single-output task whose stored
+  // output a crash took with it. Replicas rematerialize when task records
+  // arrive, so a replicated primary must do the same at open or its store
+  // diverges from what it already shipped.
+  Status RematerializeMissingOutputs();
+  // Seeds the derivation cache from the recovered task log so a derive
+  // retried across a restart finds the memoized output instead of running
+  // twice (exactly-once under client retry + idempotency dedup).
+  void WarmDerivationCache();
   // The startup invariant check described at RecoveryReport; `env` is the
   // file system the quarantine journal is written through.
   Status Recover(Env* env);
@@ -383,6 +470,8 @@ class GaeaKernel {
   std::unique_ptr<Catalog> catalog_;
   ProcessRegistry processes_;
   std::unique_ptr<Journal> process_journal_;
+  // Base-object insert journal; non-null only on replicated kernels.
+  std::unique_ptr<Journal> object_journal_;
   std::unique_ptr<TaskLog> task_log_;
   std::unique_ptr<ExperimentManager> experiments_;
   std::unique_ptr<Deriver> deriver_;

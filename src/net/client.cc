@@ -48,6 +48,11 @@ StatusOr<std::unique_ptr<GaeaClient>> GaeaClient::Connect(
   return client;
 }
 
+std::unique_ptr<GaeaClient> GaeaClient::Create(const std::string& host,
+                                               int port, Options options) {
+  return std::unique_ptr<GaeaClient>(new GaeaClient(host, port, options));
+}
+
 GaeaClient::~GaeaClient() {
   if (fd_ >= 0) ::close(fd_);
 }
@@ -113,9 +118,16 @@ StatusOr<std::string> GaeaClient::CallOnceLocked(MsgType type, uint64_t id,
   header.id = id;
   header.deadline_ms = options_.deadline_ms;
   header.trace_id = obs::Tracer::CurrentContext().trace_id;
+  header.min_lsn = min_lsn_.load(std::memory_order_relaxed);
+  // Read-only / replication-plumbing requests carry no idempotency nonce:
+  // re-executing them is harmless and remembering their (often large)
+  // responses would churn the server's dedup cache. kInsertObject is a
+  // mutation and keeps the nonce.
   if (type != MsgType::kHello && type != MsgType::kPing &&
       type != MsgType::kStats && type != MsgType::kMetrics &&
-      type != MsgType::kLint && type != MsgType::kCheckpoint) {
+      type != MsgType::kLint && type != MsgType::kCheckpoint &&
+      type != MsgType::kSubscribe && type != MsgType::kShipBatch &&
+      type != MsgType::kReplicaStatus && type != MsgType::kGetObject) {
     header.idem = options_.idem_nonce;
   }
   BinaryWriter payload;
@@ -137,6 +149,13 @@ StatusOr<std::string> GaeaClient::CallOnceLocked(MsgType type, uint64_t id,
     BinaryReader reader(response);
     GAEA_ASSIGN_OR_RETURN(ResponseHeader rh, DecodeResponseHeader(&reader));
     if (rh.id != header.id) continue;  // stale answer from a prior timeout
+    // Track the largest cluster LSN seen even on errors — the header is
+    // stamped regardless of the outcome.
+    uint64_t seen = applied_lsn_.load(std::memory_order_relaxed);
+    while (rh.applied_lsn > seen &&
+           !applied_lsn_.compare_exchange_weak(seen, rh.applied_lsn,
+                                               std::memory_order_relaxed)) {
+    }
     GAEA_RETURN_IF_ERROR(ResponseStatus(rh));
     return response.substr(reader.position());
   }
@@ -278,6 +297,48 @@ StatusOr<CheckpointReply> GaeaClient::Checkpoint() {
   GAEA_ASSIGN_OR_RETURN(std::string reply, Call(MsgType::kCheckpoint, {}));
   BinaryReader reader(reply);
   return DecodeCheckpointReply(&reader);
+}
+
+StatusOr<SubscribeReply> GaeaClient::Subscribe(const std::string& replica_id) {
+  BinaryWriter body;
+  body.PutString(replica_id);
+  GAEA_ASSIGN_OR_RETURN(std::string reply,
+                        Call(MsgType::kSubscribe, body.buffer()));
+  BinaryReader reader(reply);
+  return DecodeSubscribeReply(&reader);
+}
+
+StatusOr<ShipReply> GaeaClient::ShipBatch(const ShipRequest& request) {
+  BinaryWriter body;
+  EncodeShipRequest(request, &body);
+  GAEA_ASSIGN_OR_RETURN(std::string reply,
+                        Call(MsgType::kShipBatch, body.buffer()));
+  BinaryReader reader(reply);
+  return DecodeShipReply(&reader);
+}
+
+StatusOr<ReplicaStatusReply> GaeaClient::ReplicaStatus() {
+  GAEA_ASSIGN_OR_RETURN(std::string reply, Call(MsgType::kReplicaStatus, {}));
+  BinaryReader reader(reply);
+  return DecodeReplicaStatusReply(&reader);
+}
+
+StatusOr<Oid> GaeaClient::InsertObject(const InsertObjectRequest& request) {
+  BinaryWriter body;
+  EncodeInsertObjectRequest(request, &body);
+  GAEA_ASSIGN_OR_RETURN(std::string reply,
+                        Call(MsgType::kInsertObject, body.buffer()));
+  BinaryReader reader(reply);
+  return reader.GetU64();
+}
+
+StatusOr<std::string> GaeaClient::GetObjectRaw(Oid oid) {
+  BinaryWriter body;
+  body.PutU64(oid);
+  GAEA_ASSIGN_OR_RETURN(std::string reply,
+                        Call(MsgType::kGetObject, body.buffer()));
+  BinaryReader reader(reply);
+  return reader.GetString();
 }
 
 }  // namespace gaea::net

@@ -18,6 +18,7 @@
 #ifndef GAEA_NET_CLIENT_H_
 #define GAEA_NET_CLIENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -65,6 +66,12 @@ class GaeaClient {
   static StatusOr<std::unique_ptr<GaeaClient>> Connect(const std::string& host,
                                                        int port);
 
+  // Constructs without dialing: the first call connects (and, with a retry
+  // policy, keeps redialing through backoff). This is what lets a cluster
+  // client ride out a primary that is down at the moment of the call.
+  static std::unique_ptr<GaeaClient> Create(const std::string& host, int port,
+                                            Options options);
+
   ~GaeaClient();
 
   GaeaClient(const GaeaClient&) = delete;
@@ -109,9 +116,38 @@ class GaeaClient {
   // nonce): a second run just takes the next checkpoint.
   StatusOr<CheckpointReply> Checkpoint();
 
+  // ---- replication RPCs (docs/NET.md "Replication") ----
+
+  // Announces `replica_id` to the shipping server; the reply carries its
+  // current per-component journal lengths (a fresh replica's start cursors).
+  StatusOr<SubscribeReply> Subscribe(const std::string& replica_id);
+
+  // Pulls every component's tail past the request's cursors.
+  StatusOr<ShipReply> ShipBatch(const ShipRequest& request);
+
+  // Role, cluster LSN and subscribed peers of the connected server.
+  StatusOr<ReplicaStatusReply> ReplicaStatus();
+
+  // Inserts a base object on the server (primary only); returns its OID.
+  StatusOr<Oid> InsertObject(const InsertObjectRequest& request);
+
+  // Raw serialized DataObject bytes of `oid`, exactly as stored.
+  StatusOr<std::string> GetObjectRaw(Oid oid);
+
   void set_deadline_ms(uint32_t ms) { options_.deadline_ms = ms; }
   void set_retry(const RetryPolicy& retry) { options_.retry = retry; }
   uint64_t idem_nonce() const { return options_.idem_nonce; }
+
+  // Read-your-writes token stamped into every request header (0 = none):
+  // the server must have applied at least this cluster LSN before
+  // answering. The cluster client sets it from applied_lsn() before
+  // routing a read to a replica.
+  void set_min_lsn(uint64_t lsn) { min_lsn_.store(lsn); }
+  uint64_t min_lsn() const { return min_lsn_.load(); }
+
+  // Largest cluster LSN any response from this connection has carried —
+  // after a write, the LSN that write is covered by.
+  uint64_t applied_lsn() const { return applied_lsn_.load(); }
 
  private:
   GaeaClient(std::string host, int port, Options options);
@@ -136,6 +172,8 @@ class GaeaClient {
   FrameBuffer frames_;
   uint64_t next_id_ = 0;
   std::mt19937_64 rng_;  // backoff jitter
+  std::atomic<uint64_t> min_lsn_{0};
+  std::atomic<uint64_t> applied_lsn_{0};
 };
 
 }  // namespace gaea::net

@@ -1,0 +1,170 @@
+#include "net/cluster_client.h"
+
+#include <random>
+#include <utility>
+
+namespace gaea::net {
+
+GaeaClusterClient::GaeaClusterClient(Endpoint primary,
+                                     std::vector<Endpoint> replicas,
+                                     Options options)
+    : options_(options) {
+  // All connections share one idempotency nonce, so a request that fails
+  // over between endpoints still names the same piece of work.
+  while (options_.idem_nonce == 0) {
+    std::random_device rd;
+    options_.idem_nonce = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  }
+  primary_.endpoint = std::move(primary);
+  replicas_.reserve(replicas.size());
+  for (Endpoint& endpoint : replicas) {
+    Conn conn;
+    conn.endpoint = std::move(endpoint);
+    replicas_.push_back(std::move(conn));
+  }
+}
+
+GaeaClient* GaeaClusterClient::Dial(Conn* conn, bool primary) {
+  if (conn->client == nullptr) {
+    GaeaClient::Options copts;
+    copts.deadline_ms = options_.deadline_ms;
+    copts.idem_nonce = options_.idem_nonce;
+    // The primary carries the retry budget; a replica gets one shot — its
+    // retry is the fallback to the primary.
+    if (primary) copts.retry = options_.retry;
+    conn->client = GaeaClient::Create(conn->endpoint.host,
+                                      conn->endpoint.port, copts);
+  }
+  return conn->client.get();
+}
+
+void GaeaClusterClient::Absorb(const GaeaClient* client) {
+  uint64_t seen = client->applied_lsn();
+  uint64_t token = token_.load(std::memory_order_relaxed);
+  while (seen > token &&
+         !token_.compare_exchange_weak(token, seen,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+bool GaeaClusterClient::BounceToPrimary(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:        // behind min_lsn / overloaded
+    case StatusCode::kIOError:            // replica gone
+    case StatusCode::kNotFound:           // derivation not recorded there yet
+    case StatusCode::kFailedPrecondition: // replica refuses (read-only etc.)
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status GaeaClusterClient::ExecuteDdl(const std::string& source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GaeaClient* primary = Dial(&primary_, /*primary=*/true);
+  Status result = primary->ExecuteDdl(source);
+  Absorb(primary);
+  return result;
+}
+
+StatusOr<int> GaeaClusterClient::DefineProcess(const ProcessDef& def) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GaeaClient* primary = Dial(&primary_, /*primary=*/true);
+  auto result = primary->DefineProcess(def);
+  Absorb(primary);
+  return result;
+}
+
+StatusOr<Oid> GaeaClusterClient::InsertObject(
+    const InsertObjectRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GaeaClient* primary = Dial(&primary_, /*primary=*/true);
+  auto result = primary->InsertObject(request);
+  Absorb(primary);
+  return result;
+}
+
+StatusOr<std::vector<DeriveOutcome>> GaeaClusterClient::DeriveBatch(
+    const std::vector<DeriveRequest>& requests) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GaeaClient* primary = Dial(&primary_, /*primary=*/true);
+  auto result = primary->DeriveBatch(requests);
+  Absorb(primary);
+  return result;
+}
+
+StatusOr<Oid> GaeaClusterClient::Derive(
+    const std::string& process,
+    const std::map<std::string, std::vector<Oid>>& inputs, int version,
+    bool* cache_hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; !replicas_.empty() && i < 1; ++i) {
+    Conn& conn = replicas_[next_replica_++ % replicas_.size()];
+    GaeaClient* replica = Dial(&conn, /*primary=*/false);
+    replica->set_min_lsn(token_.load());
+    auto result = replica->Derive(process, inputs, version, cache_hit);
+    Absorb(replica);
+    if (result.ok() || !BounceToPrimary(result.status())) return result;
+  }
+  GaeaClient* primary = Dial(&primary_, /*primary=*/true);
+  auto result = primary->Derive(process, inputs, version, cache_hit);
+  Absorb(primary);
+  return result;
+}
+
+StatusOr<std::string> GaeaClusterClient::GetObjectRaw(Oid oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; !replicas_.empty() && i < 1; ++i) {
+    Conn& conn = replicas_[next_replica_++ % replicas_.size()];
+    GaeaClient* replica = Dial(&conn, /*primary=*/false);
+    replica->set_min_lsn(token_.load());
+    auto result = replica->GetObjectRaw(oid);
+    Absorb(replica);
+    if (result.ok() || !BounceToPrimary(result.status())) return result;
+  }
+  GaeaClient* primary = Dial(&primary_, /*primary=*/true);
+  auto result = primary->GetObjectRaw(oid);
+  Absorb(primary);
+  return result;
+}
+
+StatusOr<LineageReply> GaeaClusterClient::Lineage(Oid oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; !replicas_.empty() && i < 1; ++i) {
+    Conn& conn = replicas_[next_replica_++ % replicas_.size()];
+    GaeaClient* replica = Dial(&conn, /*primary=*/false);
+    replica->set_min_lsn(token_.load());
+    auto result = replica->Lineage(oid);
+    Absorb(replica);
+    if (result.ok() || !BounceToPrimary(result.status())) return result;
+  }
+  GaeaClient* primary = Dial(&primary_, /*primary=*/true);
+  auto result = primary->Lineage(oid);
+  Absorb(primary);
+  return result;
+}
+
+StatusOr<std::string> GaeaClusterClient::StatsJson() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; !replicas_.empty() && i < 1; ++i) {
+    Conn& conn = replicas_[next_replica_++ % replicas_.size()];
+    GaeaClient* replica = Dial(&conn, /*primary=*/false);
+    auto result = replica->StatsJson();
+    Absorb(replica);
+    if (result.ok() || !BounceToPrimary(result.status())) return result;
+  }
+  GaeaClient* primary = Dial(&primary_, /*primary=*/true);
+  auto result = primary->StatsJson();
+  Absorb(primary);
+  return result;
+}
+
+StatusOr<ReplicaStatusReply> GaeaClusterClient::PrimaryStatus() {
+  std::lock_guard<std::mutex> lock(mu_);
+  GaeaClient* primary = Dial(&primary_, /*primary=*/true);
+  auto result = primary->ReplicaStatus();
+  Absorb(primary);
+  return result;
+}
+
+}  // namespace gaea::net

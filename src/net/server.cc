@@ -7,9 +7,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
+#include "catalog/class_def.h"
+#include "catalog/data_object.h"
 #include "core/process.h"
 #include "obs/trace.h"
 
@@ -401,6 +404,21 @@ void GaeaServer::ExecuteJob(Job job) {
     }
   }
 
+  // Read-your-writes gate: a request stamped with min_lsn must observe at
+  // least that much applied history. A primary trivially satisfies its own
+  // writes; a lagging replica waits a bounded time for the applier, then
+  // bounces the request back (kUnavailable is never dedup-recorded, so the
+  // client's retry on another endpoint executes for real).
+  if (header.min_lsn > 0) {
+    Status wait = WaitForMinLsn(header.min_lsn);
+    if (!wait.ok()) {
+      if (header.idem != 0) DedupAbort(header);
+      Respond(*job.session, header.id, header.type, header.trace_id, wait, {});
+      FinishJob(job, wait);
+      return;
+    }
+  }
+
   // The request's trace becomes this worker thread's ambient context, so
   // every span below (kernel derive-batch, scheduler tasks, operators)
   // parents into it.
@@ -408,11 +426,24 @@ void GaeaServer::ExecuteJob(Job job) {
   obs::SpanGuard request_span(
       std::string("request:") + MsgTypeName(header.type), "server");
 
+  // Capacity-modeling stall for benchmarks (Options::service_floor_us):
+  // occupies the worker exactly like a slow storage or external-procedure
+  // call would, without burning CPU the client threads need.
+  if (options_.service_floor_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.service_floor_us));
+  }
+
   BinaryReader reader(job.body);
   Status result = Status::OK();
   BinaryWriter body;
   switch (header.type) {
     case MsgType::kDdl: {
+      if (options_.replica) {
+        result = Status::FailedPrecondition(
+            "replica is read-only; run ddl on the primary");
+        break;
+      }
       auto source = reader.GetString();
       if (!source.ok()) {
         result = source.status();
@@ -423,6 +454,11 @@ void GaeaServer::ExecuteJob(Job job) {
       break;
     }
     case MsgType::kDefineProcess: {
+      if (options_.replica) {
+        result = Status::FailedPrecondition(
+            "replica is read-only; define processes on the primary");
+        break;
+      }
       auto def = ProcessDef::Deserialize(&reader);
       if (!def.ok()) {
         result = def.status();
@@ -444,6 +480,21 @@ void GaeaServer::ExecuteJob(Job job) {
         break;
       }
       std::shared_lock<std::shared_mutex> lock(kernel_mu_);
+      if (options_.replica) {
+        // Replicas only answer derivations that already ran somewhere:
+        // a novel request is kNotFound and the client bounces it to the
+        // primary, so history never forks.
+        auto oid = kernel_->TryRecordedDerive(request->process,
+                                              request->inputs,
+                                              request->version);
+        if (!oid.ok()) {
+          result = oid.status();
+        } else {
+          body.PutU64(*oid);
+          body.PutBool(true);
+        }
+        break;
+      }
       auto outcomes = kernel_->DeriveBatch({*request});
       if (!outcomes.ok()) {
         result = outcomes.status();
@@ -477,6 +528,25 @@ void GaeaServer::ExecuteJob(Job job) {
       }
       if (!result.ok()) break;
       std::shared_lock<std::shared_mutex> lock(kernel_mu_);
+      if (options_.replica) {
+        // All-or-nothing: one novel request bounces the whole batch to the
+        // primary (the partial answers would be recomputed there anyway).
+        body.PutU32(static_cast<uint32_t>(requests.size()));
+        for (const DeriveRequest& request : requests) {
+          auto oid = kernel_->TryRecordedDerive(request.process,
+                                                request.inputs,
+                                                request.version);
+          if (!oid.ok()) {
+            result = oid.status();
+            break;
+          }
+          DeriveOutcome outcome;
+          outcome.oid = *oid;
+          outcome.cache_hit = true;
+          EncodeDeriveOutcome(outcome, &body);
+        }
+        break;
+      }
       auto outcomes = kernel_->DeriveBatch(requests);
       if (!outcomes.ok()) {
         result = outcomes.status();
@@ -535,6 +605,21 @@ void GaeaServer::ExecuteJob(Job job) {
       EncodeCheckpointReply(reply, &body);
       break;
     }
+    case MsgType::kSubscribe:
+      result = HandleSubscribe(&reader, &body);
+      break;
+    case MsgType::kShipBatch:
+      result = HandleShipBatch(&reader, &body);
+      break;
+    case MsgType::kReplicaStatus:
+      result = HandleReplicaStatus(&body);
+      break;
+    case MsgType::kInsertObject:
+      result = HandleInsertObject(&reader, &body);
+      break;
+    case MsgType::kGetObject:
+      result = HandleGetObject(&reader, &body);
+      break;
     default:
       result = Status::Internal(std::string("request type ") +
                                 MsgTypeName(header.type) +
@@ -580,17 +665,148 @@ std::string GaeaServer::EncodeResponsePayload(uint64_t id,
                                               MsgType request_type,
                                               uint64_t trace_id,
                                               const Status& status,
-                                              std::string_view body) {
+                                              std::string_view body) const {
   ResponseHeader header;
   header.id = id;
   header.request_type = request_type;
   header.code = status.code();
   header.message = status.message();
   header.trace_id = trace_id;
+  // Every response — even an error — carries the server's current cluster
+  // LSN; clients max it into their read-your-writes token.
+  header.applied_lsn = kernel_->ClusterLsn();
   BinaryWriter payload;
   EncodeResponseHeader(header, &payload);
   if (status.ok()) payload.PutRaw(body.data(), body.size());
   return payload.buffer();
+}
+
+Status GaeaServer::WithExclusiveKernel(const std::function<Status()>& fn) {
+  std::unique_lock<std::shared_mutex> lock(kernel_mu_);
+  return fn();
+}
+
+Status GaeaServer::WaitForMinLsn(uint64_t min_lsn) {
+  if (kernel_->ClusterLsn() >= min_lsn) return Status::OK();
+  int waited_ms = 0;
+  while (waited_ms < options_.replica_wait_ms &&
+         !draining_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    waited_ms += 5;
+    if (kernel_->ClusterLsn() >= min_lsn) return Status::OK();
+  }
+  return Status::Unavailable(
+      "behind: applied LSN " + std::to_string(kernel_->ClusterLsn()) +
+      " < requested min_lsn " + std::to_string(min_lsn));
+}
+
+Status GaeaServer::HandleSubscribe(BinaryReader* r, BinaryWriter* body) {
+  GAEA_ASSIGN_OR_RETURN(std::string replica_id, r->GetString());
+  SubscribeReply reply;
+  {
+    std::shared_lock<std::shared_mutex> lock(kernel_mu_);
+    reply.cluster_lsn = kernel_->ClusterLsn();
+    for (const auto& [component, count] : kernel_->ReplicationCursors()) {
+      reply.components.push_back(ShipCursor{component, count});
+    }
+  }
+  if (!replica_id.empty()) {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    peers_[replica_id].last_seen_us = env_->NowMicros();
+  }
+  EncodeSubscribeReply(reply, body);
+  return Status::OK();
+}
+
+Status GaeaServer::HandleShipBatch(BinaryReader* r, BinaryWriter* body) {
+  GAEA_ASSIGN_OR_RETURN(ShipRequest request, DecodeShipRequest(r));
+  ShipReply reply;
+  // The sum of the replica's cursors is its applied cluster LSN — what it
+  // is acknowledging by asking for everything past them.
+  uint64_t acked = 0;
+  // Keep the whole reply under the frame bound even if every component's
+  // per-component byte budget is maxed out.
+  size_t budget = static_cast<size_t>(12) << 20;
+  {
+    std::shared_lock<std::shared_mutex> lock(kernel_mu_);
+    reply.primary_lsn = kernel_->ClusterLsn();
+    for (const ShipCursor& cursor : request.cursors) {
+      acked += cursor.from;
+      if (budget == 0) break;
+      ShipSegment segment;
+      segment.component = cursor.component;
+      segment.from = cursor.from;
+      uint64_t next = cursor.from;
+      GAEA_RETURN_IF_ERROR(kernel_->ShipRange(
+          cursor.component, cursor.from, request.max_records,
+          std::min<size_t>(request.max_bytes, budget), &segment.records,
+          &next));
+      for (const std::string& record : segment.records) {
+        budget -= std::min(budget, record.size());
+      }
+      if (!segment.records.empty()) {
+        reply.segments.push_back(std::move(segment));
+      }
+    }
+  }
+  if (!request.replica_id.empty()) {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    PeerState& peer = peers_[request.replica_id];
+    peer.acked_lsn = std::max(peer.acked_lsn, acked);
+    peer.last_seen_us = env_->NowMicros();
+  }
+  EncodeShipReply(reply, body);
+  return Status::OK();
+}
+
+Status GaeaServer::HandleReplicaStatus(BinaryWriter* body) {
+  ReplicaStatusReply reply;
+  reply.role = options_.replica ? 1 : 0;
+  reply.primary = options_.primary;
+  {
+    std::shared_lock<std::shared_mutex> lock(kernel_mu_);
+    reply.cluster_lsn = kernel_->ClusterLsn();
+  }
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    for (const auto& [id, peer] : peers_) {
+      reply.peers.push_back(
+          ReplicaStatusReply::Peer{id, peer.acked_lsn, peer.last_seen_us});
+    }
+  }
+  EncodeReplicaStatusReply(reply, body);
+  return Status::OK();
+}
+
+Status GaeaServer::HandleInsertObject(BinaryReader* r, BinaryWriter* body) {
+  GAEA_ASSIGN_OR_RETURN(InsertObjectRequest request,
+                        DecodeInsertObjectRequest(r));
+  if (options_.replica) {
+    return Status::FailedPrecondition(
+        "replica is read-only; insert objects on the primary");
+  }
+  // Shared, like a derive: object insertion serializes on the catalog's own
+  // mutex; the shared kernel lock only excludes concurrent DDL.
+  std::shared_lock<std::shared_mutex> lock(kernel_mu_);
+  GAEA_ASSIGN_OR_RETURN(
+      const ClassDef* def,
+      kernel_->catalog().classes().LookupByName(request.class_name));
+  DataObject obj(*def);
+  for (const auto& [attr, value] : request.attrs) {
+    GAEA_RETURN_IF_ERROR(obj.Set(*def, attr, value));
+  }
+  GAEA_ASSIGN_OR_RETURN(Oid oid, kernel_->Insert(std::move(obj)));
+  body->PutU64(oid);
+  return Status::OK();
+}
+
+Status GaeaServer::HandleGetObject(BinaryReader* r, BinaryWriter* body) {
+  GAEA_ASSIGN_OR_RETURN(uint64_t oid, r->GetU64());
+  std::shared_lock<std::shared_mutex> lock(kernel_mu_);
+  GAEA_ASSIGN_OR_RETURN(std::string payload,
+                        kernel_->catalog().store()->Get(oid));
+  body->PutString(payload);
+  return Status::OK();
 }
 
 void GaeaServer::CountResponse(const Status& status) {

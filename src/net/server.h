@@ -26,6 +26,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <list>
 #include <map>
 #include <utility>
@@ -83,6 +84,25 @@ class GaeaServer {
     // lock, so checkpoints ride along with serving without blocking it.
     // 0 disables the thread (checkpoints then only happen on request).
     int checkpoint_poll_ms = 0;
+    // Replica mode (docs/ROBUSTNESS.md "Replication"): writes (ddl,
+    // define-process, insert-object) are refused with kFailedPrecondition,
+    // and derive requests answer from the recorded history only
+    // (GaeaKernel::TryRecordedDerive) — a novel derivation is kNotFound so
+    // the client bounces it to the primary.
+    bool replica = false;
+    // How long a request carrying min_lsn may wait for the local cluster
+    // LSN to catch up before it is answered kUnavailable (the client then
+    // retries elsewhere, typically on the primary).
+    int replica_wait_ms = 500;
+    // Informational: the "host:port" this replica ships from, echoed by the
+    // replica-status RPC. Empty on a primary.
+    std::string primary;
+    // Benchmark hook: holds the worker this long on every worker-path
+    // request, modeling storage / external-procedure latency so capacity
+    // benches (bench_cluster) measure how throughput scales with node
+    // count instead of loopback syscall speed. Zero (production) adds
+    // nothing to the request path.
+    int service_floor_us = 0;
   };
 
   GaeaServer(GaeaKernel* kernel, Options options);
@@ -105,6 +125,11 @@ class GaeaServer {
 
   // {"server": {...}, "kernel": {...}} — the stats RPC's payload.
   std::string StatsJson() const;
+
+  // Runs fn under the exclusive kernel lock, serialized against every
+  // in-flight request. The replication applier uses this so replaying a
+  // shipped batch never races a concurrently served derive or read.
+  Status WithExclusiveKernel(const std::function<Status()>& fn);
 
  private:
   friend class Session;
@@ -130,11 +155,24 @@ class GaeaServer {
   void Respond(Session& session, uint64_t id, MsgType request_type,
                uint64_t trace_id, const Status& status, std::string_view body,
                std::string* encoded = nullptr);
-  static std::string EncodeResponsePayload(uint64_t id, MsgType request_type,
-                                           uint64_t trace_id,
-                                           const Status& status,
-                                           std::string_view body);
+  // Non-static: stamps the kernel's current cluster LSN into the response
+  // header's applied_lsn, the token clients carry for read-your-writes.
+  std::string EncodeResponsePayload(uint64_t id, MsgType request_type,
+                                    uint64_t trace_id, const Status& status,
+                                    std::string_view body) const;
   void CountResponse(const Status& status);
+
+  // ---- replication handlers (called from ExecuteJob; each takes the
+  // kernel lock it needs) ----
+  Status HandleSubscribe(BinaryReader* r, BinaryWriter* body);
+  Status HandleShipBatch(BinaryReader* r, BinaryWriter* body);
+  Status HandleReplicaStatus(BinaryWriter* body);
+  Status HandleInsertObject(BinaryReader* r, BinaryWriter* body);
+  Status HandleGetObject(BinaryReader* r, BinaryWriter* body);
+  // Blocks until the kernel's cluster LSN reaches header.min_lsn or
+  // replica_wait_ms elapses; kUnavailable on timeout so the client can
+  // bounce the read to the primary instead of seeing stale state.
+  Status WaitForMinLsn(uint64_t min_lsn);
 
   // ---- idempotency cache ----
   // A request with header.idem != 0 is looked up in a bounded LRU keyed by
@@ -188,6 +226,16 @@ class GaeaServer {
   std::mutex dedup_mu_;
   std::map<DedupKey, DedupEntry> dedup_;
   std::list<DedupKey> dedup_lru_;  // completed entries, oldest first
+
+  // Replica bookkeeping on the shipping side: last cursor position each
+  // subscriber acknowledged (the cursors it sent with its latest ship
+  // request) and when it was last heard from. Surfaced by replica-status.
+  struct PeerState {
+    uint64_t acked_lsn = 0;
+    uint64_t last_seen_us = 0;
+  };
+  mutable std::mutex peers_mu_;
+  std::map<std::string, PeerState> peers_;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;    // workers wait for jobs / stop

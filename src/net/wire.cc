@@ -65,6 +65,11 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kMetrics: return "Metrics";
     case MsgType::kLint: return "Lint";
     case MsgType::kCheckpoint: return "Checkpoint";
+    case MsgType::kSubscribe: return "Subscribe";
+    case MsgType::kShipBatch: return "ShipBatch";
+    case MsgType::kReplicaStatus: return "ReplicaStatus";
+    case MsgType::kInsertObject: return "InsertObject";
+    case MsgType::kGetObject: return "GetObject";
   }
   return "Unknown";
 }
@@ -73,7 +78,7 @@ namespace {
 
 bool IsKnownRequestType(uint8_t raw) {
   return raw >= static_cast<uint8_t>(MsgType::kHello) &&
-         raw <= static_cast<uint8_t>(MsgType::kCheckpoint) &&
+         raw <= static_cast<uint8_t>(MsgType::kGetObject) &&
          raw != static_cast<uint8_t>(MsgType::kResponse);
 }
 
@@ -85,6 +90,7 @@ void EncodeRequestHeader(const RequestHeader& header, BinaryWriter* w) {
   w->PutU32(header.deadline_ms);
   w->PutU64(header.idem);
   w->PutU64(header.trace_id);
+  w->PutU64(header.min_lsn);
 }
 
 StatusOr<RequestHeader> DecodeRequestHeader(BinaryReader* r) {
@@ -99,6 +105,7 @@ StatusOr<RequestHeader> DecodeRequestHeader(BinaryReader* r) {
   GAEA_ASSIGN_OR_RETURN(header.deadline_ms, r->GetU32());
   GAEA_ASSIGN_OR_RETURN(header.idem, r->GetU64());
   GAEA_ASSIGN_OR_RETURN(header.trace_id, r->GetU64());
+  GAEA_ASSIGN_OR_RETURN(header.min_lsn, r->GetU64());
   return header;
 }
 
@@ -120,6 +127,7 @@ void EncodeResponseHeader(const ResponseHeader& header, BinaryWriter* w) {
   w->PutU8(static_cast<uint8_t>(header.code));
   w->PutString(header.message);
   w->PutU64(header.trace_id);
+  w->PutU64(header.applied_lsn);
 }
 
 StatusOr<ResponseHeader> DecodeResponseHeader(BinaryReader* r) {
@@ -141,6 +149,7 @@ StatusOr<ResponseHeader> DecodeResponseHeader(BinaryReader* r) {
   header.code = static_cast<StatusCode>(code);
   GAEA_ASSIGN_OR_RETURN(header.message, r->GetString());
   GAEA_ASSIGN_OR_RETURN(header.trace_id, r->GetU64());
+  GAEA_ASSIGN_OR_RETURN(header.applied_lsn, r->GetU64());
   return header;
 }
 
@@ -255,6 +264,147 @@ StatusOr<CheckpointReply> DecodeCheckpointReply(BinaryReader* r) {
   GAEA_ASSIGN_OR_RETURN(reply.snapshot_bytes, r->GetU64());
   GAEA_ASSIGN_OR_RETURN(reply.truncated_records, r->GetU64());
   return reply;
+}
+
+void EncodeShipRequest(const ShipRequest& request, BinaryWriter* w) {
+  w->PutString(request.replica_id);
+  w->PutU32(static_cast<uint32_t>(request.cursors.size()));
+  for (const ShipCursor& c : request.cursors) {
+    w->PutString(c.component);
+    w->PutU64(c.from);
+  }
+  w->PutU32(request.max_records);
+  w->PutU32(request.max_bytes);
+}
+
+StatusOr<ShipRequest> DecodeShipRequest(BinaryReader* r) {
+  ShipRequest request;
+  GAEA_ASSIGN_OR_RETURN(request.replica_id, r->GetString());
+  GAEA_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  GAEA_RETURN_IF_ERROR(CheckCount(*r, n, sizeof(uint32_t) + sizeof(uint64_t)));
+  request.cursors.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ShipCursor c;
+    GAEA_ASSIGN_OR_RETURN(c.component, r->GetString());
+    GAEA_ASSIGN_OR_RETURN(c.from, r->GetU64());
+    request.cursors.push_back(std::move(c));
+  }
+  GAEA_ASSIGN_OR_RETURN(request.max_records, r->GetU32());
+  GAEA_ASSIGN_OR_RETURN(request.max_bytes, r->GetU32());
+  return request;
+}
+
+void EncodeShipReply(const ShipReply& reply, BinaryWriter* w) {
+  w->PutU64(reply.primary_lsn);
+  w->PutU32(static_cast<uint32_t>(reply.segments.size()));
+  for (const ShipSegment& s : reply.segments) {
+    w->PutString(s.component);
+    w->PutU64(s.from);
+    w->PutU32(static_cast<uint32_t>(s.records.size()));
+    for (const std::string& rec : s.records) w->PutString(rec);
+  }
+}
+
+StatusOr<ShipReply> DecodeShipReply(BinaryReader* r) {
+  ShipReply reply;
+  GAEA_ASSIGN_OR_RETURN(reply.primary_lsn, r->GetU64());
+  GAEA_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  GAEA_RETURN_IF_ERROR(CheckCount(*r, n, 2 * sizeof(uint32_t)));
+  reply.segments.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ShipSegment s;
+    GAEA_ASSIGN_OR_RETURN(s.component, r->GetString());
+    GAEA_ASSIGN_OR_RETURN(s.from, r->GetU64());
+    GAEA_ASSIGN_OR_RETURN(uint32_t count, r->GetU32());
+    GAEA_RETURN_IF_ERROR(CheckCount(*r, count, sizeof(uint32_t)));
+    s.records.reserve(count);
+    for (uint32_t j = 0; j < count; ++j) {
+      GAEA_ASSIGN_OR_RETURN(std::string rec, r->GetString());
+      s.records.push_back(std::move(rec));
+    }
+    reply.segments.push_back(std::move(s));
+  }
+  return reply;
+}
+
+void EncodeSubscribeReply(const SubscribeReply& reply, BinaryWriter* w) {
+  w->PutU64(reply.cluster_lsn);
+  w->PutU32(static_cast<uint32_t>(reply.components.size()));
+  for (const ShipCursor& c : reply.components) {
+    w->PutString(c.component);
+    w->PutU64(c.from);
+  }
+}
+
+StatusOr<SubscribeReply> DecodeSubscribeReply(BinaryReader* r) {
+  SubscribeReply reply;
+  GAEA_ASSIGN_OR_RETURN(reply.cluster_lsn, r->GetU64());
+  GAEA_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  GAEA_RETURN_IF_ERROR(CheckCount(*r, n, sizeof(uint32_t) + sizeof(uint64_t)));
+  reply.components.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ShipCursor c;
+    GAEA_ASSIGN_OR_RETURN(c.component, r->GetString());
+    GAEA_ASSIGN_OR_RETURN(c.from, r->GetU64());
+    reply.components.push_back(std::move(c));
+  }
+  return reply;
+}
+
+void EncodeReplicaStatusReply(const ReplicaStatusReply& reply,
+                              BinaryWriter* w) {
+  w->PutU8(reply.role);
+  w->PutU64(reply.cluster_lsn);
+  w->PutString(reply.primary);
+  w->PutU32(static_cast<uint32_t>(reply.peers.size()));
+  for (const ReplicaStatusReply::Peer& p : reply.peers) {
+    w->PutString(p.replica_id);
+    w->PutU64(p.acked_lsn);
+    w->PutU64(p.last_seen_us);
+  }
+}
+
+StatusOr<ReplicaStatusReply> DecodeReplicaStatusReply(BinaryReader* r) {
+  ReplicaStatusReply reply;
+  GAEA_ASSIGN_OR_RETURN(reply.role, r->GetU8());
+  GAEA_ASSIGN_OR_RETURN(reply.cluster_lsn, r->GetU64());
+  GAEA_ASSIGN_OR_RETURN(reply.primary, r->GetString());
+  GAEA_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  GAEA_RETURN_IF_ERROR(
+      CheckCount(*r, n, sizeof(uint32_t) + 2 * sizeof(uint64_t)));
+  reply.peers.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ReplicaStatusReply::Peer p;
+    GAEA_ASSIGN_OR_RETURN(p.replica_id, r->GetString());
+    GAEA_ASSIGN_OR_RETURN(p.acked_lsn, r->GetU64());
+    GAEA_ASSIGN_OR_RETURN(p.last_seen_us, r->GetU64());
+    reply.peers.push_back(std::move(p));
+  }
+  return reply;
+}
+
+void EncodeInsertObjectRequest(const InsertObjectRequest& request,
+                               BinaryWriter* w) {
+  w->PutString(request.class_name);
+  w->PutU32(static_cast<uint32_t>(request.attrs.size()));
+  for (const auto& [name, value] : request.attrs) {
+    w->PutString(name);
+    value.Serialize(w);
+  }
+}
+
+StatusOr<InsertObjectRequest> DecodeInsertObjectRequest(BinaryReader* r) {
+  InsertObjectRequest request;
+  GAEA_ASSIGN_OR_RETURN(request.class_name, r->GetString());
+  GAEA_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  GAEA_RETURN_IF_ERROR(CheckCount(*r, n, sizeof(uint32_t) + 1));
+  request.attrs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    GAEA_ASSIGN_OR_RETURN(std::string name, r->GetString());
+    GAEA_ASSIGN_OR_RETURN(Value value, Value::Deserialize(r));
+    request.attrs.emplace_back(std::move(name), std::move(value));
+  }
+  return request;
 }
 
 void EncodeLintReply(const std::vector<Diagnostic>& diags, BinaryWriter* w) {

@@ -15,11 +15,13 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "analysis/diagnostic.h"
 #include "core/scheduler.h"
 #include "storage/object_store.h"
+#include "types/value.h"
 #include "util/serialize.h"
 #include "util/status.h"
 
@@ -32,10 +34,14 @@ namespace gaea::net {
 constexpr uint32_t kMagic = 0x47414541;  // "GAEA"
 // v2 added RequestHeader.idem (client idempotency nonce) and the trace_id
 // field on both headers (request trace propagation, echoed in replies).
+// v3 added the replication verbs (Subscribe / ShipBatch / ReplicaStatus),
+// remote object insert/get, RequestHeader.min_lsn (the read-your-writes
+// LSN token a replica must reach before answering) and
+// ResponseHeader.applied_lsn (the answering server's cluster LSN).
 // Both sides of the protocol live in this tree, so the version is bumped
 // rather than relying on trailing-byte tolerance for fields the server
 // must act on.
-constexpr uint16_t kProtocolVersion = 2;
+constexpr uint16_t kProtocolVersion = 3;
 
 // Upper bound on one frame's payload; anything larger is a protocol error
 // (kCorruption) and the connection is dropped rather than buffered.
@@ -84,6 +90,13 @@ enum class MsgType : uint8_t {
   kMetrics = 10,       // body: empty; reply: Prometheus text exposition
   kLint = 11,          // body: empty; reply: diagnostic list (LintReply)
   kCheckpoint = 12,    // body: empty; reply: CheckpointReply
+  // ---- replication (docs/NET.md "Replication") ----
+  kSubscribe = 13,     // body: string replica_id; reply: SubscribeReply
+  kShipBatch = 14,     // body: ShipRequest; reply: ShipReply
+  kReplicaStatus = 15, // body: empty; reply: ReplicaStatusReply
+  // ---- remote object access (writes pin to the primary) ----
+  kInsertObject = 16,  // body: InsertObjectRequest; reply: u64 oid
+  kGetObject = 17,     // body: u64 oid; reply: string (DataObject bytes)
 };
 
 const char* MsgTypeName(MsgType type);
@@ -105,6 +118,11 @@ struct RequestHeader {
   uint32_t deadline_ms = 0;
   uint64_t idem = 0;
   uint64_t trace_id = 0;
+  // Read-your-writes token (0 = none): the smallest cluster LSN the
+  // answering server must have applied before executing this request. A
+  // replica that has not caught up waits briefly, then answers kUnavailable
+  // so the client can bounce the read to the primary (docs/ROBUSTNESS.md).
+  uint64_t min_lsn = 0;
 };
 
 void EncodeRequestHeader(const RequestHeader& header, BinaryWriter* w);
@@ -129,6 +147,13 @@ struct ResponseHeader {
   StatusCode code = StatusCode::kOk;
   std::string message;
   uint64_t trace_id = 0;
+  // The answering server's cluster LSN (sum of its component journal
+  // lengths) at response time. Clients remember the largest value they have
+  // seen and echo it as min_lsn on replica-bound reads, which is what makes
+  // read-your-writes hold across the fleet. A dedup replay carries the
+  // original execution's LSN — older, therefore still safe to max into the
+  // client's token.
+  uint64_t applied_lsn = 0;
 };
 
 void EncodeResponseHeader(const ResponseHeader& header, BinaryWriter* w);
@@ -173,6 +198,83 @@ struct CheckpointReply {
 
 void EncodeCheckpointReply(const CheckpointReply& reply, BinaryWriter* w);
 StatusOr<CheckpointReply> DecodeCheckpointReply(BinaryReader* r);
+
+// ---- replication bodies ----
+
+// One component cursor: ship records of `component` starting at LSN `from`.
+struct ShipCursor {
+  std::string component;
+  uint64_t from = 0;
+};
+
+// kShipBatch request: a replica asking the primary for every component's
+// tail past its own journal lengths. The caps bound one reply frame; the
+// shipper never exceeds kMaxFramePayload regardless.
+struct ShipRequest {
+  std::string replica_id;
+  std::vector<ShipCursor> cursors;
+  uint32_t max_records = 512;          // per component
+  uint32_t max_bytes = 4u << 20;       // per component, soft (>= 1 record)
+};
+
+void EncodeShipRequest(const ShipRequest& request, BinaryWriter* w);
+StatusOr<ShipRequest> DecodeShipRequest(BinaryReader* r);
+
+// kShipBatch reply: per-component record runs, each contiguous from `from`.
+struct ShipSegment {
+  std::string component;
+  uint64_t from = 0;
+  std::vector<std::string> records;
+};
+
+struct ShipReply {
+  uint64_t primary_lsn = 0;  // shipper's cluster LSN when the read started
+  std::vector<ShipSegment> segments;
+};
+
+void EncodeShipReply(const ShipReply& reply, BinaryWriter* w);
+StatusOr<ShipReply> DecodeShipReply(BinaryReader* r);
+
+// kSubscribe reply: where the primary's history currently ends, per
+// component — the replica's starting point for ShipBatch polling.
+struct SubscribeReply {
+  uint64_t cluster_lsn = 0;
+  std::vector<ShipCursor> components;  // component -> record_count
+};
+
+void EncodeSubscribeReply(const SubscribeReply& reply, BinaryWriter* w);
+StatusOr<SubscribeReply> DecodeSubscribeReply(BinaryReader* r);
+
+// kReplicaStatus reply. On a primary, `peers` lists every subscribed
+// replica with the cluster LSN its last ShipBatch acknowledged; on a
+// replica, `peers` is empty and `primary` names the endpoint it ships from.
+struct ReplicaStatusReply {
+  uint8_t role = 0;  // 0 = primary, 1 = replica
+  uint64_t cluster_lsn = 0;
+  std::string primary;  // "host:port" (replicas only)
+  struct Peer {
+    std::string replica_id;
+    uint64_t acked_lsn = 0;
+    uint64_t last_seen_us = 0;
+  };
+  std::vector<Peer> peers;
+};
+
+void EncodeReplicaStatusReply(const ReplicaStatusReply& reply,
+                              BinaryWriter* w);
+StatusOr<ReplicaStatusReply> DecodeReplicaStatusReply(BinaryReader* r);
+
+// kInsertObject request: a base object as class name + named attribute
+// values; the server type-checks against the class definition and assigns
+// the OID. Values absent from `attrs` stay null.
+struct InsertObjectRequest {
+  std::string class_name;
+  std::vector<std::pair<std::string, Value>> attrs;
+};
+
+void EncodeInsertObjectRequest(const InsertObjectRequest& request,
+                               BinaryWriter* w);
+StatusOr<InsertObjectRequest> DecodeInsertObjectRequest(BinaryReader* r);
 
 // Lint response body: the server kernel's full normalized diagnostic list
 // (GaeaKernel::LintCatalog). Diagnostics from a remote lint carry no file

@@ -1,0 +1,145 @@
+#include "replication/applier.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace gaea {
+namespace replication {
+
+ReplicationApplier::ReplicationApplier(GaeaKernel* kernel,
+                                       net::GaeaServer* server,
+                                       Options options)
+    : kernel_(kernel), server_(server), options_(std::move(options)) {
+  if (options_.poll_ms < 1) options_.poll_ms = 1;
+}
+
+ReplicationApplier::~ReplicationApplier() { Stop(); }
+
+Status ReplicationApplier::Start() {
+  if (started_) return Status::FailedPrecondition("applier already started");
+  if (!kernel_->replicated()) {
+    return Status::FailedPrecondition(
+        "kernel was not opened with Options::replicated; the objects journal "
+        "is required to apply shipped history");
+  }
+  started_ = true;
+  thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void ReplicationApplier::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+}
+
+Status ReplicationApplier::Apply(const std::string& component, uint64_t from,
+                                 const std::vector<std::string>& records) {
+  if (server_ != nullptr) {
+    return server_->WithExclusiveKernel([&] {
+      return kernel_->ApplyReplicated(component, from, records);
+    });
+  }
+  return kernel_->ApplyReplicated(component, from, records);
+}
+
+Status ReplicationApplier::PollOnce(net::GaeaClient* client) {
+  net::ShipRequest request;
+  request.replica_id = options_.replica_id;
+  request.max_records = options_.max_records;
+  request.max_bytes = options_.max_bytes;
+  for (const auto& [component, count] : kernel_->ReplicationCursors()) {
+    request.cursors.push_back(net::ShipCursor{component, count});
+  }
+  GAEA_ASSIGN_OR_RETURN(net::ShipReply reply, client->ShipBatch(request));
+
+  uint64_t applied = 0;
+  Status result = Status::OK();
+  // Segments arrive in cursor order — the kernel's canonical component
+  // order (catalog before process before objects before tasks before
+  // experiments) — so intra-batch dependencies resolve front to back. A
+  // kFailedPrecondition means a cross-batch ordering hole (e.g. a task
+  // whose input object ships next round): stop here, the next poll's
+  // cursors pick up exactly where this one left off.
+  for (const net::ShipSegment& segment : reply.segments) {
+    result = Apply(segment.component, segment.from, segment.records);
+    if (!result.ok()) break;
+    applied += segment.records.size();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.polls;
+    stats_.primary_lsn = reply.primary_lsn;
+    if (applied > 0) {
+      ++stats_.batches_applied;
+      stats_.records_applied += applied;
+    }
+    if (result.ok()) {
+      stats_.last_error.clear();
+    } else {
+      stats_.last_error = result.ToString();
+    }
+  }
+  if (result.code() == StatusCode::kFailedPrecondition) {
+    // Expected transient: not an error for the loop.
+    return Status::OK();
+  }
+  return result;
+}
+
+void ReplicationApplier::Loop() {
+  std::unique_ptr<net::GaeaClient> client;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (client == nullptr) {
+      net::GaeaClient::Options copts;
+      auto connected = net::GaeaClient::Connect(options_.primary_host,
+                                                options_.primary_port, copts);
+      if (!connected.ok()) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.last_error = connected.status().ToString();
+      } else {
+        client = *std::move(connected);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.reconnects;
+      }
+    }
+    if (client != nullptr) {
+      Status polled = PollOnce(client.get());
+      if (polled.code() == StatusCode::kIOError ||
+          polled.code() == StatusCode::kUnavailable) {
+        // Primary gone (crashed, restarting, draining): drop the connection
+        // and dial again next tick. Cursors live in the kernel, so catch-up
+        // resumes from the exact record where shipping stopped.
+        client.reset();
+      }
+    }
+    // Sleep in small slices so Stop() is responsive at large poll_ms.
+    int slept = 0;
+    while (slept < options_.poll_ms &&
+           !stop_.load(std::memory_order_acquire)) {
+      int slice = std::min(options_.poll_ms - slept, 10);
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      slept += slice;
+    }
+  }
+}
+
+bool ReplicationApplier::WaitForLsn(uint64_t lsn, int timeout_ms) const {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (kernel_->ClusterLsn() < lsn) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+ReplicationApplier::Stats ReplicationApplier::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace replication
+}  // namespace gaea

@@ -1,0 +1,104 @@
+// ReplicationApplier: the replica side of journal shipping (docs/NET.md
+// "Replication", docs/ROBUSTNESS.md "Replication & failover").
+//
+// A background thread polls the primary with ShipBatch, offering the local
+// kernel's per-component journal lengths as cursors, and applies each
+// returned segment through GaeaKernel::ApplyReplicated — the same code path
+// replay uses, so a replica's on-disk journals are byte-identical to the
+// primary's prefix. When the replica also serves traffic, each apply runs
+// under the server's exclusive kernel lock so it never races a concurrently
+// served read or derive.
+//
+// Failure handling is deliberately dumb and safe: a dead primary means the
+// poll fails and is retried on the next tick (the ship cursors are re-read
+// from the kernel each round, so nothing is lost); a kFailedPrecondition
+// from ApplyReplicated (cross-component ordering — e.g. a task record
+// arriving before the object it reads) stops the current round and resolves
+// itself the next one.
+
+#ifndef GAEA_REPLICATION_APPLIER_H_
+#define GAEA_REPLICATION_APPLIER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "gaea/kernel.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "util/status.h"
+
+namespace gaea {
+namespace replication {
+
+class ReplicationApplier {
+ public:
+  struct Options {
+    std::string primary_host = "127.0.0.1";
+    int primary_port = 0;
+    // Name this replica reports to the primary (shown by replica-status).
+    std::string replica_id = "replica";
+    int poll_ms = 50;
+    uint32_t max_records = 512;      // per component per poll
+    uint32_t max_bytes = 4u << 20;   // per component per poll
+  };
+
+  struct Stats {
+    uint64_t polls = 0;
+    uint64_t batches_applied = 0;   // non-empty replies applied
+    uint64_t records_applied = 0;
+    uint64_t reconnects = 0;
+    uint64_t primary_lsn = 0;       // from the last successful reply
+    std::string last_error;         // most recent poll/apply failure, if any
+  };
+
+  // `server` may be null (in-process tests apply directly to the kernel);
+  // when set, every apply runs under GaeaServer::WithExclusiveKernel.
+  ReplicationApplier(GaeaKernel* kernel, net::GaeaServer* server,
+                     Options options);
+  ~ReplicationApplier();
+
+  ReplicationApplier(const ReplicationApplier&) = delete;
+  ReplicationApplier& operator=(const ReplicationApplier&) = delete;
+
+  // Spawns the poll thread. The primary does not need to be reachable yet —
+  // the thread keeps dialing until it is.
+  Status Start();
+
+  // Stops and joins the poll thread. Idempotent; run by the destructor.
+  void Stop();
+
+  // One synchronous poll-and-apply round using the given connection.
+  // Exposed for deterministic tests; the background thread calls this too.
+  Status PollOnce(net::GaeaClient* client);
+
+  // Blocks until the local kernel's cluster LSN reaches `lsn` or
+  // `timeout_ms` elapses; true on success.
+  bool WaitForLsn(uint64_t lsn, int timeout_ms) const;
+
+  Stats stats() const;
+
+ private:
+  void Loop();
+  Status Apply(const std::string& component, uint64_t from,
+               const std::vector<std::string>& records);
+
+  GaeaKernel* kernel_;
+  net::GaeaServer* server_;  // nullable
+  Options options_;
+
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  bool started_ = false;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace replication
+}  // namespace gaea
+
+#endif  // GAEA_REPLICATION_APPLIER_H_

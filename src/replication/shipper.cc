@@ -1,0 +1,91 @@
+#include "replication/shipper.h"
+
+#include <algorithm>
+
+#include "recovery/checkpoint.h"
+#include "storage/journal.h"
+
+namespace gaea {
+namespace replication {
+
+namespace {
+
+struct Segment {
+  std::string path;
+  uint64_t base = 0;
+  uint64_t upto = 0;
+};
+
+}  // namespace
+
+Status ReadFromArchives(Env* env, const std::string& db_dir,
+                        const std::string& component, uint64_t from,
+                        size_t max_records, size_t max_bytes,
+                        std::vector<std::string>* out, uint64_t* next) {
+  *next = from;
+  const std::string archive_dir = recovery::ArchiveDirPath(db_dir);
+  StatusOr<std::vector<std::string>> names = env->ListDir(archive_dir);
+  if (!names.ok()) {
+    if (names.status().code() == StatusCode::kNotFound) {
+      return Status::Corruption("no archive directory under " + db_dir +
+                                " but " + component + " LSN " +
+                                std::to_string(from) + " was truncated away");
+    }
+    return names.status();
+  }
+  std::vector<Segment> segments;
+  for (const std::string& name : *names) {
+    Segment seg;
+    std::string seg_component;
+    if (!recovery::ParseArchiveSegmentName(name, &seg_component, &seg.base,
+                                           &seg.upto)) {
+      continue;
+    }
+    if (seg_component != component || seg.upto <= from) continue;
+    seg.path = archive_dir + "/" + name;
+    segments.push_back(std::move(seg));
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const Segment& a, const Segment& b) { return a.base < b.base; });
+  if (segments.empty()) {
+    return Status::Corruption("no archive segment covers " + component +
+                              " LSN " + std::to_string(from));
+  }
+
+  uint64_t cursor = from;
+  size_t bytes = 0;
+  bool full = false;
+  for (const Segment& seg : segments) {
+    if (full) break;
+    if (seg.base > cursor) {
+      return Status::Corruption(
+          "archive chain gap for " + component + ": need LSN " +
+          std::to_string(cursor) + ", next segment starts at " +
+          std::to_string(seg.base));
+    }
+    GAEA_RETURN_IF_ERROR(Journal::ReplayFile(
+        env, seg.path, /*strict=*/true,
+        [&](uint64_t lsn, const std::string& record) -> Status {
+          if (full || lsn < cursor) return Status::OK();  // overlap / skip
+          if (lsn > cursor) {
+            return Status::Corruption(
+                "archive segment " + seg.path + " jumps from LSN " +
+                std::to_string(cursor) + " to " + std::to_string(lsn));
+          }
+          if (out->size() >= max_records ||
+              (bytes > 0 && bytes + record.size() > max_bytes)) {
+            full = true;
+            return Status::OK();
+          }
+          bytes += record.size();
+          out->push_back(record);
+          cursor = lsn + 1;
+          return Status::OK();
+        }));
+  }
+  *next = cursor;
+  return Status::OK();
+}
+
+}  // namespace replication
+}  // namespace gaea

@@ -1,0 +1,38 @@
+// Archive-chain shipping: reading truncated journal prefixes for replicas.
+//
+// A checkpoint's TruncatePrefix moves the journal prefix a replica may still
+// need into archive/<component>.<base>-<upto>.seg. Journal::ReadRange reports
+// that case as kOutOfRange; the kernel's ShipRange then falls through to
+// ReadFromArchives, which serves the requested LSNs out of the segment chain.
+// Segments can overlap (a crash between the two truncation renames re-archives
+// a prefix), so reads dedup with an LSN cursor exactly like
+// recovery::ReplayArchiveChain does.
+
+#ifndef GAEA_REPLICATION_SHIPPER_H_
+#define GAEA_REPLICATION_SHIPPER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/env.h"
+#include "util/status.h"
+
+namespace gaea {
+namespace replication {
+
+// Reads records of `component` with LSN >= `from` out of the archive chain
+// under `db_dir`, stopping after `max_records` records or roughly `max_bytes`
+// payload bytes (at least one record is returned when any qualifies).
+// `*next` is one past the last record delivered; when the chain is exhausted
+// before the caps are hit, the caller continues from `*next` in the live
+// journal. A `from` that falls before the chain or in a gap between segments
+// is kCorruption — those records exist nowhere.
+Status ReadFromArchives(Env* env, const std::string& db_dir,
+                        const std::string& component, uint64_t from,
+                        size_t max_records, size_t max_bytes,
+                        std::vector<std::string>* out, uint64_t* next);
+
+}  // namespace replication
+}  // namespace gaea
+
+#endif  // GAEA_REPLICATION_SHIPPER_H_

@@ -286,6 +286,40 @@ Status Journal::Replay(const std::function<Status(const std::string&)>& fn,
   return Status::OK();
 }
 
+Status Journal::ReadRange(uint64_t from, size_t max_records, size_t max_bytes,
+                          std::vector<std::string>* out,
+                          uint64_t* next) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *next = from;
+  uint64_t base = base_lsn_.load(std::memory_order_acquire);
+  uint64_t count = record_count_.load(std::memory_order_acquire);
+  if (from < base) {
+    return Status::OutOfRange(
+        "journal " + path_ + " holds LSNs [" + std::to_string(base) + ", " +
+        std::to_string(count) + "); LSN " + std::to_string(from) +
+        " was truncated into the archive chain");
+  }
+  if (from >= count) return Status::OK();  // caller is at the tail
+  size_t bytes = 0;
+  ScanState scan;
+  Status result = ScanJournal(
+      env_, path_,
+      [&](uint64_t lsn, const std::string& record) -> Status {
+        if (lsn < from) return Status::OK();
+        if (out->size() >= max_records ||
+            (bytes > 0 && bytes + record.size() > max_bytes)) {
+          return Status::OK();  // full; keep scanning the accounting only
+        }
+        bytes += record.size();
+        out->push_back(record);
+        *next = lsn + 1;
+        return Status::OK();
+      },
+      &scan);
+  if (result.code() == StatusCode::kNotFound) return Status::OK();
+  return result;
+}
+
 Status Journal::ReplayFile(
     Env* env, const std::string& path, bool strict,
     const std::function<Status(uint64_t lsn, const std::string&)>& fn) {

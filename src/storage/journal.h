@@ -20,6 +20,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/env.h"
 #include "util/status.h"
@@ -99,6 +100,19 @@ class Journal {
   static Status ReplayFile(
       Env* env, const std::string& path, bool strict,
       const std::function<Status(uint64_t lsn, const std::string&)>& fn);
+
+  // Reads intact records with LSN >= `from` into `out`, stopping after
+  // `max_records` records or roughly `max_bytes` payload bytes (at least one
+  // record is returned when any qualifies). `*next` is set to one past the
+  // last record delivered (== `from` when the journal holds nothing at or
+  // after it — the caller is at the tail). Built for the replication
+  // shipper: unlike Replay, a `from` below base_lsn() is kOutOfRange, not
+  // kCorruption — the prefix was moved to an archive segment by a concurrent
+  // TruncatePrefix, and the caller must ship from the archive chain instead.
+  // Holds the append lock for the duration, so the read never observes a
+  // half-truncated file.
+  Status ReadRange(uint64_t from, size_t max_records, size_t max_bytes,
+                   std::vector<std::string>* out, uint64_t* next) const;
 
   // Archives and drops the frame prefix [base_lsn(), upto_lsn): the dropped
   // frames are streamed into a fresh journal-format file at `archive_path`

@@ -1,0 +1,226 @@
+#include "testing/flaky_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace gaea::testing {
+
+namespace {
+
+// Reads exactly n bytes into buf; false on EOF/error or when `stop` flips.
+bool ReadFull(int fd, char* buf, size_t n, const std::atomic<bool>& stop) {
+  size_t got = 0;
+  while (got < n) {
+    if (stop.load(std::memory_order_acquire)) return false;
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) return false;
+    if (ready <= 0) continue;
+    ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r <= 0) return false;
+    got += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const char* buf, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t w = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct FlakyProxy::Link {
+  int client_fd = -1;
+  int upstream_fd = -1;
+  std::thread up;    // client -> upstream
+  std::thread down;  // upstream -> client
+  std::atomic<bool> dead{false};
+
+  void CloseBoth() {
+    bool expected = false;
+    if (!dead.compare_exchange_strong(expected, true)) return;
+    ::shutdown(client_fd, SHUT_RDWR);
+    ::shutdown(upstream_fd, SHUT_RDWR);
+  }
+};
+
+FlakyProxy::FlakyProxy(Options options) : options_(std::move(options)) {}
+
+FlakyProxy::~FlakyProxy() { Stop(); }
+
+Status FlakyProxy::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket: " + std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.listen_port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status =
+        Status::IOError("bind: " + std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    Status status =
+        Status::IOError("listen: " + std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void FlakyProxy::Stop() {
+  if (stop_.exchange(true)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Link>> links;
+  {
+    std::lock_guard<std::mutex> lock(links_mu_);
+    links.swap(links_);
+  }
+  for (auto& link : links) link->CloseBoth();
+  for (auto& link : links) {
+    if (link->up.joinable()) link->up.join();
+    if (link->down.joinable()) link->down.join();
+    ::close(link->client_fd);
+    ::close(link->upstream_fd);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void FlakyProxy::AcceptLoop() {
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) return;
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) return;
+    if (ready <= 0) continue;
+    int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) continue;
+
+    int upstream_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in up{};
+    up.sin_family = AF_INET;
+    up.sin_port = htons(static_cast<uint16_t>(options_.upstream_port));
+    if (::inet_pton(AF_INET, options_.upstream_host.c_str(), &up.sin_addr) !=
+            1 ||
+        ::connect(upstream_fd, reinterpret_cast<sockaddr*>(&up), sizeof(up)) !=
+            0) {
+      ::close(upstream_fd);
+      ::close(client_fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::setsockopt(upstream_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto link = std::make_unique<Link>();
+    link->client_fd = client_fd;
+    link->upstream_fd = upstream_fd;
+    Link* raw = link.get();
+    link->up = std::thread([this, raw] { PumpClientToUpstream(raw); });
+    link->down = std::thread([this, raw] { PumpUpstreamToClient(raw); });
+    std::lock_guard<std::mutex> lock(links_mu_);
+    links_.push_back(std::move(link));
+  }
+}
+
+void FlakyProxy::PumpClientToUpstream(Link* link) {
+  // Verbatim splice: requests are never faulted, only their answers.
+  char buf[4096];
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire) || link->dead.load()) return;
+    pollfd pfd{link->client_fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    ssize_t r = ::recv(link->client_fd, buf, sizeof(buf), 0);
+    if (r <= 0) break;
+    if (!WriteFull(link->upstream_fd, buf, static_cast<size_t>(r))) break;
+  }
+  link->CloseBoth();
+}
+
+void FlakyProxy::PumpUpstreamToClient(Link* link) {
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire) || link->dead.load()) return;
+    // One wire frame: [u32 len][u32 crc][payload].
+    char header[8];
+    if (!ReadFull(link->upstream_fd, header, sizeof(header), stop_)) break;
+    uint32_t len = 0;
+    std::memcpy(&len, header, sizeof(len));
+    std::string frame(header, sizeof(header));
+    frame.resize(sizeof(header) + len);
+    if (len > 0 &&
+        !ReadFull(link->upstream_fd, frame.data() + sizeof(header), len,
+                  stop_)) {
+      break;
+    }
+
+    uint64_t n = response_frames_.fetch_add(1) + 1;
+    if (options_.drop_every_n > 0 &&
+        n % static_cast<uint64_t>(options_.drop_every_n) == 0) {
+      dropped_.fetch_add(1);
+      break;  // frame vanishes, connection dies with it
+    }
+    if (options_.delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(options_.delay_ms));
+    }
+    if (options_.truncate_every_n > 0 &&
+        n % static_cast<uint64_t>(options_.truncate_every_n) == 0) {
+      truncated_.fetch_add(1);
+      (void)WriteFull(link->client_fd, frame.data(), frame.size() / 2);
+      break;  // torn frame, then the connection dies
+    }
+    if (!WriteFull(link->client_fd, frame.data(), frame.size())) break;
+    if (options_.duplicate_every_n > 0 &&
+        n % static_cast<uint64_t>(options_.duplicate_every_n) == 0) {
+      duplicated_.fetch_add(1);
+      if (!WriteFull(link->client_fd, frame.data(), frame.size())) break;
+    }
+  }
+  link->CloseBoth();
+}
+
+FlakyProxy::Counters FlakyProxy::counters() const {
+  Counters counters;
+  counters.frames_forwarded = response_frames_.load();
+  counters.frames_dropped = dropped_.load();
+  counters.frames_duplicated = duplicated_.load();
+  counters.frames_truncated = truncated_.load();
+  return counters;
+}
+
+}  // namespace gaea::testing

@@ -1,0 +1,93 @@
+// FlakyProxy: a frame-aware TCP proxy for fault-injecting the gaead wire
+// protocol (tests/replication_test.cc, docs/ROBUSTNESS.md).
+//
+// Clients connect to the proxy instead of the server; the proxy dials the
+// real server per accepted connection and pumps bytes both ways. The
+// server→client direction is parsed into wire frames
+// ([u32 len][u32 crc][payload]) so faults land on message boundaries:
+//   * delay_ms     — every response frame is held this long before
+//                    forwarding (injected replication / read lag);
+//   * drop_every_n — the Nth response frame vanishes and the connection is
+//                    cut, like a mid-flight primary crash (the client sees
+//                    kIOError and must retry under the same request id);
+//   * duplicate_every_n — the Nth response frame is delivered twice (the
+//                    client must skip the stale copy by request id);
+//   * truncate_every_n  — the Nth response frame is cut mid-payload and the
+//                    connection closed (a torn frame must never parse).
+// The client→server direction is forwarded verbatim, so a request is either
+// fully delivered or not at all — exactly the ambiguity idempotent retry
+// exists to resolve.
+
+#ifndef GAEA_TESTING_FLAKY_TRANSPORT_H_
+#define GAEA_TESTING_FLAKY_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gaea::testing {
+
+class FlakyProxy {
+ public:
+  struct Options {
+    std::string upstream_host = "127.0.0.1";
+    int upstream_port = 0;
+    int listen_port = 0;  // 0 = ephemeral; see port() after Start
+    int delay_ms = 0;
+    int drop_every_n = 0;       // 0 = never
+    int duplicate_every_n = 0;  // 0 = never
+    int truncate_every_n = 0;   // 0 = never
+  };
+
+  struct Counters {
+    uint64_t frames_forwarded = 0;
+    uint64_t frames_dropped = 0;
+    uint64_t frames_duplicated = 0;
+    uint64_t frames_truncated = 0;
+  };
+
+  explicit FlakyProxy(Options options);
+  ~FlakyProxy();
+
+  FlakyProxy(const FlakyProxy&) = delete;
+  FlakyProxy& operator=(const FlakyProxy&) = delete;
+
+  Status Start();
+  void Stop();
+
+  int port() const { return port_; }
+  Counters counters() const;
+
+ private:
+  struct Link;  // one client connection + its upstream socket
+
+  void AcceptLoop();
+  void PumpClientToUpstream(Link* link);
+  void PumpUpstreamToClient(Link* link);
+
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+
+  std::mutex links_mu_;
+  std::vector<std::unique_ptr<Link>> links_;
+
+  // Global across connections, so "every Nth frame" means Nth response the
+  // proxy has seen, however many sessions are open.
+  std::atomic<uint64_t> response_frames_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> duplicated_{0};
+  std::atomic<uint64_t> truncated_{0};
+};
+
+}  // namespace gaea::testing
+
+#endif  // GAEA_TESTING_FLAKY_TRANSPORT_H_

@@ -300,6 +300,78 @@ TEST(JournalTruncateTest, ArchiveChainDedupsOverlapAndRejectsGaps) {
   EXPECT_EQ(broken.status().code(), StatusCode::kCorruption);
 }
 
+// Segments delivered out of order or more than once — the shapes a crashed
+// checkpoint, a re-listed archive directory, or a retried ship can produce.
+TEST(JournalTruncateTest, ArchiveChainOutOfOrderAndDuplicateSegments) {
+  TempDir dir("chain_edges");
+  Env* env = Env::Default();
+  ASSERT_OK_AND_ASSIGN(auto journal,
+                       Journal::Open(dir.file("j.journal"), env));
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_OK(journal->Append("rec" + std::to_string(i)));
+  }
+  ASSERT_OK(journal->Replay([](const std::string&) { return Status::OK(); }));
+  const std::string seg_a = dir.file("j.0-3.seg");   // records [0, 3)
+  const std::string seg_b = dir.file("j.3-6.seg");   // records [3, 6)
+  const std::string seg_c = dir.file("j.6-9.seg");   // records [6, 9)
+  ASSERT_OK(journal->TruncatePrefix(3, seg_a));
+  ASSERT_OK(journal->TruncatePrefix(6, seg_b));
+  ASSERT_OK(journal->TruncatePrefix(9, seg_c));
+
+  auto collect = [&](const std::vector<std::string>& chain,
+                     std::vector<std::string>* out) {
+    return recovery::ReplayArchiveChain(env, chain,
+                                        [out](const std::string& rec) {
+                                          out->push_back(rec);
+                                          return Status::OK();
+                                        });
+  };
+
+  // Duplicated segments are fully skipped wherever they reappear: every
+  // record of the duplicate is below the cursor by the time it replays.
+  std::vector<std::string> records;
+  ASSERT_OK_AND_ASSIGN(uint64_t cursor,
+                       collect({seg_a, seg_a, seg_b, seg_c, seg_a}, &records));
+  EXPECT_EQ(cursor, 9u);
+  ASSERT_EQ(records.size(), 9u);
+  EXPECT_EQ(records.front(), "rec0");
+  EXPECT_EQ(records.back(), "rec8");
+
+  // Out-of-order delivery that jumps ahead is a hole at replay time, not a
+  // silently reordered history: the chain refuses at the first gap.
+  records.clear();
+  auto swapped = collect({seg_b, seg_a, seg_c}, &records);
+  ASSERT_FALSE(swapped.ok());
+  EXPECT_EQ(swapped.status().code(), StatusCode::kCorruption);
+  EXPECT_TRUE(records.empty()) << "no record may apply past a gap";
+
+  // A gap in the middle (lost segment) is refused even when everything
+  // before and after is pristine.
+  records.clear();
+  auto holey = collect({seg_a, seg_c}, &records);
+  ASSERT_FALSE(holey.ok());
+  EXPECT_EQ(holey.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(records.size(), 3u) << "the intact prefix replays, the hole stops";
+
+  // A wider segment arriving after a narrower one (re-archive after a crash
+  // between checkpoint steps) continues exactly where the overlap ends.
+  ASSERT_OK_AND_ASSIGN(auto journal2,
+                       Journal::Open(dir.file("k.journal"), env));
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_OK(journal2->Append("k" + std::to_string(i)));
+  }
+  ASSERT_OK(journal2->Replay([](const std::string&) { return Status::OK(); }));
+  const std::string k_narrow = dir.file("k.0-2.seg");
+  const std::string k_wide = dir.file("k.2-6.seg");
+  ASSERT_OK(journal2->TruncatePrefix(2, k_narrow));
+  ASSERT_OK(journal2->TruncatePrefix(6, k_wide));
+  records.clear();
+  ASSERT_OK_AND_ASSIGN(cursor, collect({k_narrow, k_narrow, k_wide}, &records));
+  EXPECT_EQ(cursor, 6u);
+  ASSERT_EQ(records.size(), 6u);
+  EXPECT_EQ(records[2], "k2");
+}
+
 // ---------------------------------------------------------------------------
 // Env: the rename install primitive and its crash point
 // ---------------------------------------------------------------------------

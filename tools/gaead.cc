@@ -6,7 +6,22 @@
 //         [--max-inflight N] [--derive-threads N]
 //         [--durability none|os|fsync] [--trace <file>]
 //         [--checkpoint-bytes N] [--checkpoint-tasks N]
-//         [--checkpoint-poll-ms N]
+//         [--checkpoint-poll-ms N] [--port-file <file>]
+//         [--replicated] [--replica-of host:port] [--replica-id <name>]
+//         [--replica-poll-ms N] [--bootstrap-from <backup_dir>]
+//
+// --port 0 binds an ephemeral port; the bound port is printed on the
+// "listening" line and, with --port-file, written (just the number) to the
+// given file so scripts and tests can find the daemon without parsing
+// stdout. A port that is already in use is a clean error and exit code 1.
+//
+// --replicated opens the kernel with the objects journal so this primary
+// can ship its full state to replicas. --replica-of puts the daemon in
+// replica mode (docs/ROBUSTNESS.md): writes are refused, derives answer
+// from recorded history only, and a background applier polls the given
+// primary for journal tails. --bootstrap-from seeds an empty --dir from a
+// backup directory (recovery::RestoreBackup) before opening, which is how a
+// new replica avoids replaying the primary's entire history over the wire.
 //
 // --trace enables span collection for the daemon's lifetime and writes the
 // Chrome trace JSON to <file> during shutdown (docs/OBSERVABILITY.md).
@@ -25,11 +40,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "gaea/kernel.h"
 #include "net/server.h"
 #include "obs/trace.h"
+#include "recovery/backup.h"
+#include "replication/applier.h"
 
 namespace {
 
@@ -45,6 +63,12 @@ struct Flags {
   int checkpoint_bytes = 0;    // 0 = byte threshold off
   int checkpoint_tasks = 0;    // 0 = task threshold off
   int checkpoint_poll_ms = 1000;
+  std::string port_file;       // empty = don't write
+  bool replicated = false;
+  std::string replica_of;      // "host:port"; empty = primary
+  std::string replica_id;
+  int replica_poll_ms = 50;
+  std::string bootstrap_from;  // backup dir; empty = open --dir as-is
 };
 
 int Usage(const char* argv0) {
@@ -53,7 +77,10 @@ int Usage(const char* argv0) {
                "[--workers N] [--max-inflight N] [--derive-threads N] "
                "[--durability none|os|fsync] [--trace <file>] "
                "[--checkpoint-bytes N] [--checkpoint-tasks N] "
-               "[--checkpoint-poll-ms N]\n",
+               "[--checkpoint-poll-ms N] [--port-file <file>] "
+               "[--replicated] [--replica-of host:port] "
+               "[--replica-id <name>] [--replica-poll-ms N] "
+               "[--bootstrap-from <backup_dir>]\n",
                argv0);
   return 2;
 }
@@ -64,6 +91,13 @@ bool ParseInt(const char* text, int* out) {
   if (end == text || *end != '\0') return false;
   *out = static_cast<int>(value);
   return true;
+}
+
+bool ParseHostPort(const std::string& text, std::string* host, int* port) {
+  size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  *host = text.substr(0, colon);
+  return ParseInt(text.c_str() + colon + 1, port) && *port > 0;
 }
 
 }  // namespace
@@ -103,12 +137,33 @@ int main(int argc, char** argv) {
                ParseInt(value, &flags.checkpoint_tasks)) {
     } else if (arg == "--checkpoint-poll-ms" && (value = next()) &&
                ParseInt(value, &flags.checkpoint_poll_ms)) {
+    } else if (arg == "--port-file" && (value = next())) {
+      flags.port_file = value;
+    } else if (arg == "--replicated") {
+      flags.replicated = true;
+    } else if (arg == "--replica-of" && (value = next())) {
+      flags.replica_of = value;
+    } else if (arg == "--replica-id" && (value = next())) {
+      flags.replica_id = value;
+    } else if (arg == "--replica-poll-ms" && (value = next()) &&
+               ParseInt(value, &flags.replica_poll_ms)) {
+    } else if (arg == "--bootstrap-from" && (value = next())) {
+      flags.bootstrap_from = value;
     } else {
       return Usage(argv[0]);
     }
   }
   if (flags.dir.empty()) return Usage(argv[0]);
   if (!flags.trace_file.empty()) gaea::obs::Tracer::Global().Enable(true);
+
+  std::string primary_host;
+  int primary_port = 0;
+  if (!flags.replica_of.empty() &&
+      !ParseHostPort(flags.replica_of, &primary_host, &primary_port)) {
+    std::fprintf(stderr, "gaead: --replica-of wants host:port, got %s\n",
+                 flags.replica_of.c_str());
+    return 2;
+  }
 
   // Block the shutdown signals before any thread exists so every server
   // thread inherits the mask and delivery funnels into sigwait below.
@@ -118,10 +173,27 @@ int main(int argc, char** argv) {
   sigaddset(&mask, SIGINT);
   pthread_sigmask(SIG_BLOCK, &mask, nullptr);
 
+  gaea::Env* env = gaea::Env::Default();
+  if (!flags.bootstrap_from.empty() && !env->FileExists(flags.dir)) {
+    auto restored =
+        gaea::recovery::RestoreBackup(env, flags.bootstrap_from, flags.dir);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "gaead: bootstrap from %s failed: %s\n",
+                   flags.bootstrap_from.c_str(),
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("gaead: bootstrapped %s from backup %s\n", flags.dir.c_str(),
+                flags.bootstrap_from.c_str());
+  }
+
   gaea::GaeaKernel::Options kernel_options;
   kernel_options.dir = flags.dir;
   kernel_options.user = "gaead";
   kernel_options.durability = flags.durability;
+  // Replicas always need the objects journal; a primary needs it as soon as
+  // anything will ever subscribe to it.
+  kernel_options.replicated = flags.replicated || !flags.replica_of.empty();
   auto kernel = gaea::GaeaKernel::Open(kernel_options);
   if (!kernel.ok()) {
     std::fprintf(stderr, "gaead: open %s failed: %s\n", flags.dir.c_str(),
@@ -148,24 +220,72 @@ int main(int argc, char** argv) {
     server_options.checkpoint_poll_ms =
         flags.checkpoint_poll_ms > 0 ? flags.checkpoint_poll_ms : 1000;
   }
+  server_options.replica = !flags.replica_of.empty();
+  server_options.primary = flags.replica_of;
   gaea::net::GaeaServer server(kernel->get(), server_options);
   gaea::Status started = server.Start();
   if (!started.ok()) {
-    std::fprintf(stderr, "gaead: %s\n", started.ToString().c_str());
+    if (started.message().find("bind") != std::string::npos) {
+      std::fprintf(stderr,
+                   "gaead: cannot listen on %s:%d: %s (is another gaead "
+                   "running? try --port 0 for an ephemeral port)\n",
+                   flags.host.c_str(), flags.port,
+                   started.message().c_str());
+    } else {
+      std::fprintf(stderr, "gaead: %s\n", started.ToString().c_str());
+    }
     return 1;
+  }
+  if (!flags.port_file.empty()) {
+    std::ofstream out(flags.port_file);
+    if (!out) {
+      std::fprintf(stderr, "gaead: cannot write port file %s\n",
+                   flags.port_file.c_str());
+      server.Shutdown();
+      return 1;
+    }
+    out << server.port() << "\n";
   }
   std::printf(
       "gaead listening on %s:%d (db %s, %d workers, %d in-flight, "
-      "durability %s)\n",
+      "durability %s%s)\n",
       flags.host.c_str(), server.port(), flags.dir.c_str(),
       server_options.workers, server_options.max_inflight,
-      gaea::DurabilityModeName(flags.durability));
+      gaea::DurabilityModeName(flags.durability),
+      server_options.replica ? ", replica" : "");
   std::fflush(stdout);
+
+  std::unique_ptr<gaea::replication::ReplicationApplier> applier;
+  if (!flags.replica_of.empty()) {
+    gaea::replication::ReplicationApplier::Options applier_options;
+    applier_options.primary_host = primary_host;
+    applier_options.primary_port = primary_port;
+    applier_options.replica_id =
+        !flags.replica_id.empty()
+            ? flags.replica_id
+            : "replica-" + std::to_string(server.port());
+    applier_options.poll_ms = flags.replica_poll_ms;
+    applier = std::make_unique<gaea::replication::ReplicationApplier>(
+        kernel->get(), &server, applier_options);
+    gaea::Status applying = applier->Start();
+    if (!applying.ok()) {
+      std::fprintf(stderr, "gaead: applier: %s\n",
+                   applying.ToString().c_str());
+      server.Shutdown();
+      return 1;
+    }
+    std::printf("gaead: shipping from %s as %s every %d ms\n",
+                flags.replica_of.c_str(),
+                applier_options.replica_id.c_str(), flags.replica_poll_ms);
+    std::fflush(stdout);
+  }
 
   int signo = 0;
   sigwait(&mask, &signo);
   std::printf("gaead: signal %s, draining\n", strsignal(signo));
   std::fflush(stdout);
+  // Applier first: no new history may land while the server drains.
+  if (applier != nullptr) applier->Stop();
   server.Shutdown();
   if (!flags.trace_file.empty()) {
     std::ofstream out(flags.trace_file);
