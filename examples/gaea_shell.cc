@@ -19,6 +19,10 @@
 //   show <oid>               print one object
 //   select <gql...>          run a GQL query (rest of line)
 //   lineage <oid>            derivation chain + base sources
+//   provenance ancestors|descendants|why|where <oid> [--json] [--depth N]
+//   provenance diff <oid> <oid> [--json]
+//                            indexed provenance queries (docs/PROVENANCE.md);
+//                            also available remotely (replica-servable)
 //   dot <oid>                Graphviz derivation diagram
 //   compare <oid> <oid>      compare two derivations
 //   net                      Graphviz of the class-derivation Petri net
@@ -85,6 +89,49 @@ void PrintDiagnostics(const std::vector<Diagnostic>& diags, bool json) {
 bool ParseDeriveRequests(std::istringstream& words,
                          std::vector<DeriveRequest>* requests);
 
+// Parsed form of `provenance <subcommand> <oid> [<oid2>] [--json]
+// [--depth N]`, shared by the local and remote shells.
+struct ProvenanceArgs {
+  net::ProvenanceKind kind = net::ProvenanceKind::kAncestors;
+  Oid oid = kInvalidOid;
+  Oid oid_b = kInvalidOid;
+  uint32_t max_depth = 0;
+  bool json = false;
+};
+
+bool ParseProvenanceArgs(std::istringstream& words, ProvenanceArgs* out) {
+  std::string sub;
+  words >> sub;
+  sub = StrToLower(sub);
+  if (sub == "ancestors") out->kind = net::ProvenanceKind::kAncestors;
+  else if (sub == "descendants") out->kind = net::ProvenanceKind::kDescendants;
+  else if (sub == "why") out->kind = net::ProvenanceKind::kWhy;
+  else if (sub == "where") out->kind = net::ProvenanceKind::kWhere;
+  else if (sub == "diff") out->kind = net::ProvenanceKind::kDiff;
+  else return false;
+  if (!(words >> out->oid)) return false;
+  if (out->kind == net::ProvenanceKind::kDiff && !(words >> out->oid_b)) {
+    return false;
+  }
+  std::string flag;
+  while (words >> flag) {
+    if (flag == "--json") {
+      out->json = true;
+    } else if (flag == "--depth") {
+      if (!(words >> out->max_depth)) return false;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintProvenanceUsage() {
+  std::printf(
+      "usage: provenance ancestors|descendants|why|where <oid> [--json] "
+      "[--depth N]\n       provenance diff <oid> <oid> [--json]\n");
+}
+
 class Shell {
  public:
   explicit Shell(GaeaKernel* kernel) : kernel_(kernel) {}
@@ -109,6 +156,7 @@ class Shell {
     if (cmd == "show") return Show(words);
     if (cmd == "select") return Select(std::string(line));
     if (cmd == "lineage") return Lineage(words);
+    if (cmd == "provenance") return Provenance(words);
     if (cmd == "dot") return Dot(words);
     if (cmd == "compare") return Compare(words);
     if (cmd == "net") return Net();
@@ -296,6 +344,43 @@ class Shell {
       std::printf(" #%llu", static_cast<unsigned long long>(base));
     }
     std::printf("\n");
+    return true;
+  }
+
+  bool Provenance(std::istringstream& words) {
+    ProvenanceArgs args;
+    if (!ParseProvenanceArgs(words, &args)) {
+      PrintProvenanceUsage();
+      return true;
+    }
+    auto print = [&args](const auto& result) {
+      if (!result.ok()) {
+        PrintStatus(result.status());
+      } else if (args.json) {
+        std::printf("%s\n", result->ToJson().c_str());
+      } else {
+        std::printf("%s", result->ToText().c_str());
+      }
+    };
+    switch (args.kind) {
+      case net::ProvenanceKind::kAncestors:
+        print(kernel_->ProvenanceAncestors(args.oid,
+                                           static_cast<int>(args.max_depth)));
+        break;
+      case net::ProvenanceKind::kDescendants:
+        print(kernel_->ProvenanceDescendants(
+            args.oid, static_cast<int>(args.max_depth)));
+        break;
+      case net::ProvenanceKind::kWhy:
+        print(kernel_->ProvenanceWhy(args.oid));
+        break;
+      case net::ProvenanceKind::kWhere:
+        print(kernel_->ProvenanceWhere(args.oid));
+        break;
+      case net::ProvenanceKind::kDiff:
+        print(kernel_->ProvenanceDiff(args.oid, args.oid_b));
+        break;
+    }
     return true;
   }
 
@@ -606,13 +691,15 @@ class RemoteShell {
     if (cmd == "derive") return Derive(words);
     if (cmd == "derive-batch") return DeriveBatch(words);
     if (cmd == "lineage") return Lineage(words);
+    if (cmd == "provenance") return Provenance(words);
     if (cmd == "stats") return Stats();
     if (cmd == "metrics") return Metrics();
     if (cmd == "lint") return Lint(words);
     if (cmd == "checkpoint") return Checkpoint();
     std::printf("unknown remote command: %s (remote commands: ddl, ddl-file, "
-                "insert, derive, derive-batch, lineage, stats [--json], "
-                "metrics, lint [--json], checkpoint, ping, quit)\n",
+                "insert, derive, derive-batch, lineage, provenance, "
+                "stats [--json], metrics, lint [--json], checkpoint, ping, "
+                "quit)\n",
                 cmd.c_str());
     return true;
   }
@@ -746,6 +833,30 @@ class RemoteShell {
       std::printf(" #%llu", static_cast<unsigned long long>(base));
     }
     std::printf("\n");
+    return true;
+  }
+
+  bool Provenance(std::istringstream& words) {
+    ProvenanceArgs args;
+    if (!ParseProvenanceArgs(words, &args)) {
+      PrintProvenanceUsage();
+      return true;
+    }
+    net::ProvenanceRequest request;
+    request.kind = args.kind;
+    request.oid = args.oid;
+    request.oid_b = args.oid_b;
+    request.max_depth = args.max_depth;
+    auto reply = client_->Provenance(request);
+    if (!reply.ok()) {
+      PrintStatus(reply.status());
+      return true;
+    }
+    if (args.json) {
+      std::printf("%s\n", reply->json.c_str());
+    } else {
+      std::printf("%s", reply->text.c_str());
+    }
     return true;
   }
 

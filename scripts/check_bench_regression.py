@@ -106,6 +106,18 @@ def extract_metrics(doc):
             metrics["cluster/replica_speedup"] = float(speedup)
         return metrics
 
+    if bench == "bench_provenance":
+        # Gate the headline index-over-scan speedup (same-run ratio, so
+        # largely immune to machine noise — the acceptance bar is >= 100x)
+        # plus the absolute indexed query rate.
+        speedup = doc.get("index_speedup")
+        if speedup:
+            metrics["provenance/index_speedup"] = float(speedup)
+        query_us = float(doc.get("index_query_us", 0))
+        if query_us > 0:
+            metrics["provenance/indexed_qps"] = 1e6 / query_us
+        return metrics
+
     if bench == "bench_recovery":
         # Gate the headline ratio (how much a checkpoint buys at the
         # longest history) and the absolute checkpointed restart rate

@@ -97,6 +97,17 @@ EOF
 done
 [ "$CONVERGED" = 1 ]
 
+# Provenance is replica-servable: a `why` query for the last derivation
+# (oid 6, smoke-ident over oid 5) answered by replica r1 from its own
+# locally rebuilt index — no proxying to the primary.
+printf 'provenance why 6 --json\nquit\n' \
+  | "$SHELL_BIN" --connect 127.0.0.1:47486 | tee "$D/provenance.out"
+grep -q '"query":"why"' "$D/provenance.out"
+grep -q '"output":6' "$D/provenance.out"
+grep -q '"process":"smoke-ident"' "$D/provenance.out"
+grep -q '"witnesses":{"a":\[5\]}' "$D/provenance.out"
+! grep -qi 'error\|refused\|cannot' "$D/provenance.out"
+
 kill -TERM "$R1_PID" "$R2_PID" "$PRIMARY_PID"
 wait "$R1_PID" "$R2_PID" "$PRIMARY_PID"
 echo "cluster smoke passed"

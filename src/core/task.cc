@@ -174,6 +174,9 @@ StatusOr<TaskId> TaskLog::Append(Task task) {
   for (Oid oid : task.AllInputs()) consumer_index_[oid].push_back(idx);
   TaskId id = task.id;
   tasks_.push_back(std::move(task));
+  if (commit_hook_) {
+    GAEA_RETURN_IF_ERROR(commit_hook_(tasks_.back()));
+  }
   return id;
 }
 
@@ -194,6 +197,9 @@ StatusOr<const Task*> TaskLog::ApplyReplicated(const std::string& record) {
   for (Oid oid : task.outputs) producer_index_[oid] = idx;
   for (Oid oid : task.AllInputs()) consumer_index_[oid].push_back(idx);
   tasks_.push_back(std::move(task));
+  if (commit_hook_) {
+    GAEA_RETURN_IF_ERROR(commit_hook_(tasks_.back()));
+  }
   return &tasks_.back();
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -89,6 +90,17 @@ class TaskLog {
   // Records a task; assigns and returns its id.
   StatusOr<TaskId> Append(Task task);
 
+  // Called under the log mutex after a task commits (Append or
+  // ApplyReplicated), with the committed task. Because the mutex serializes
+  // commits, the hook observes tasks in id order exactly once per handle —
+  // the provenance index keys its incremental maintenance on this. A hook
+  // error propagates to the committer (the task itself is already durable;
+  // the hook's own recovery path must absorb the gap).
+  void SetCommitHook(std::function<Status(const Task&)> hook) {
+    std::lock_guard<std::mutex> lock(mu_);
+    commit_hook_ = std::move(hook);
+  }
+
   StatusOr<const Task*> Get(TaskId id) const;
   // Not synchronized with concurrent appends — call only from single-
   // threaded sections (shell, tests, lineage reports).
@@ -164,6 +176,7 @@ class TaskLog {
   std::map<Oid, size_t> producer_index_;
   std::map<Oid, std::vector<size_t>> consumer_index_;
   std::unique_ptr<Journal> journal_;
+  std::function<Status(const Task&)> commit_hook_;
 };
 
 }  // namespace gaea

@@ -133,6 +133,20 @@ StatusOr<std::unique_ptr<GaeaKernel>> GaeaKernel::OpenWithPlan(
       TaskLog::Open(options.dir + "/tasks.journal", env, tasks_rec_ptr));
   kernel->task_log_->SetDurability(options.durability);
 
+  // Provenance index: catch up with the recovered log (rebuilding from it
+  // when a tree came up torn or ahead of the journals), then hook task
+  // commits so the index advances inside the log mutex — a query never
+  // observes a half-indexed task, and replication apply is covered by the
+  // same hook.
+  GAEA_ASSIGN_OR_RETURN(kernel->prov_index_,
+                        provenance::ProvenanceIndex::Open(options.dir, env));
+  GAEA_RETURN_IF_ERROR(kernel->prov_index_->CatchUp(*kernel->task_log_));
+  provenance::ProvenanceIndex* prov = kernel->prov_index_.get();
+  kernel->task_log_->SetCommitHook(
+      [prov](const Task& task) { return prov->IndexTask(task); });
+  kernel->prov_source_ = std::make_unique<provenance::DbTaskSource>(
+      env, options.dir, kernel->task_log_.get());
+
   JournalRecovery exp_rec;
   const JournalRecovery* exp_rec_ptr =
       make_recovery("experiments", options.dir, &exp_rec) ? &exp_rec : nullptr;
@@ -267,6 +281,15 @@ void GaeaKernel::WireObservability() {
         ->Set(process_journal_->appended());
     metrics_.GetGauge("gaea_journal_appends{journal=\"tasks\"}")
         ->Set(task_log_->journal_appended());
+
+    metrics_.GetGauge("gaea_provenance_index_entries")
+        ->Set(prov_index_->entry_count());
+    metrics_.GetGauge("gaea_provenance_indexed_through")
+        ->Set(static_cast<int64_t>(prov_index_->indexed_through()));
+    metrics_.GetGauge("gaea_provenance_index_rebuilds")
+        ->Set(static_cast<int64_t>(prov_index_->rebuilds()));
+    metrics_.GetGauge("gaea_provenance_archive_fetches")
+        ->Set(static_cast<int64_t>(prov_source_->archive_fetches()));
 
     TilePool::Stats tiles = TilePool::Global().stats();
     metrics_.GetGauge("gaea_tile_jobs_total")
@@ -473,6 +496,9 @@ StatusOr<recovery::CheckpointInfo> GaeaKernel::Checkpoint() {
                               experiments_->JournalBytes() +
                               process_journal_->size_bytes(),
                           std::memory_order_release);
+  // Persist the provenance index watermark alongside: recovery then only
+  // re-indexes the post-checkpoint tail instead of re-passing the history.
+  GAEA_RETURN_IF_ERROR(prov_index_->Flush());
   return info;
 }
 
@@ -1159,6 +1185,10 @@ GaeaKernel::Stats GaeaKernel::GetStats() const {
     stats.journal_records_total += object_journal_->record_count();
   }
   stats.cluster_lsn = ClusterLsn();
+  stats.prov_index_entries = static_cast<uint64_t>(prov_index_->entry_count());
+  stats.prov_indexed_through = prov_index_->indexed_through();
+  stats.prov_index_rebuilds = prov_index_->rebuilds();
+  stats.prov_archive_fetches = prov_source_->archive_fetches();
   stats.derivation_cache = derivation_cache_->stats();
   auto fill_pool = [](const BufferPool* pool, PoolStats* out) {
     out->hits = pool->hits();
@@ -1224,6 +1254,12 @@ std::string GaeaKernel::Stats::ToJson() const {
   field(&json, "last_bytes", last_checkpoint_bytes);
   field(&json, "journal_records", journal_records_total);
   json += "}";
+  json += ",\"provenance\":{";
+  field(&json, "index_entries", prov_index_entries, /*first=*/true);
+  field(&json, "indexed_through", prov_indexed_through);
+  field(&json, "rebuilds", prov_index_rebuilds);
+  field(&json, "archive_fetches", prov_archive_fetches);
+  json += "}";
   json += ",\"derivation_cache\":{";
   field(&json, "entries", derivation_cache.entries, /*first=*/true);
   field(&json, "capacity", derivation_cache.capacity);
@@ -1273,7 +1309,76 @@ StatusOr<ReproductionReport> GaeaKernel::Reproduce(
 
 Status GaeaKernel::Flush() {
   GAEA_RETURN_IF_ERROR(catalog_->Flush());
+  GAEA_RETURN_IF_ERROR(prov_index_->Flush());
   return process_journal_->Sync();
+}
+
+// ---- provenance queries ----
+
+namespace {
+// Counts and times one provenance query; kind labels the metric.
+class ProvQueryScope {
+ public:
+  ProvQueryScope(obs::MetricsRegistry* metrics, Env* env, const char* kind)
+      : metrics_(metrics), env_(env),
+        span_(std::string("provenance:") + kind, "kernel"),
+        start_us_(env->NowMicros()) {
+    metrics_->GetCounter(std::string("gaea_provenance_queries_total{kind=\"") +
+                         kind + "\"}")
+        ->Inc();
+  }
+  ~ProvQueryScope() {
+    metrics_->GetHistogram("gaea_provenance_query_micros")
+        ->Observe(env_->NowMicros() - start_us_);
+  }
+
+ private:
+  obs::MetricsRegistry* const metrics_;
+  Env* const env_;
+  obs::SpanGuard span_;
+  const uint64_t start_us_;
+};
+}  // namespace
+
+StatusOr<provenance::ClosureResult> GaeaKernel::ProvenanceAncestors(
+    Oid oid, int max_depth) {
+  ProvQueryScope scope(&metrics_, env_, "ancestors");
+  provenance::ProvenanceEngine engine(prov_index_.get(), prov_source_.get(),
+                                      &processes_);
+  provenance::ProvenanceEngine::Limits limits;
+  limits.max_depth = max_depth;
+  return engine.Ancestors(oid, limits);
+}
+
+StatusOr<provenance::ClosureResult> GaeaKernel::ProvenanceDescendants(
+    Oid oid, int max_depth) {
+  ProvQueryScope scope(&metrics_, env_, "descendants");
+  provenance::ProvenanceEngine engine(prov_index_.get(), prov_source_.get(),
+                                      &processes_);
+  provenance::ProvenanceEngine::Limits limits;
+  limits.max_depth = max_depth;
+  return engine.Descendants(oid, limits);
+}
+
+StatusOr<provenance::WhyResult> GaeaKernel::ProvenanceWhy(Oid oid) {
+  ProvQueryScope scope(&metrics_, env_, "why");
+  provenance::ProvenanceEngine engine(prov_index_.get(), prov_source_.get(),
+                                      &processes_);
+  return engine.Why(oid);
+}
+
+StatusOr<provenance::WhereResult> GaeaKernel::ProvenanceWhere(Oid oid) {
+  ProvQueryScope scope(&metrics_, env_, "where");
+  provenance::ProvenanceEngine engine(prov_index_.get(), prov_source_.get(),
+                                      &processes_);
+  return engine.Where(oid);
+}
+
+StatusOr<provenance::DiffResult> GaeaKernel::ProvenanceDiff(Oid a, Oid b) {
+  ProvQueryScope scope(&metrics_, env_, "diff");
+  provenance::ProvenanceEngine engine(prov_index_.get(), prov_source_.get(),
+                                      &processes_);
+  return engine.Diff(a, b);
 }
 
 }  // namespace gaea

@@ -34,6 +34,8 @@
 #include "experiment/experiment.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "provenance/prov_index.h"
+#include "provenance/prov_query.h"
 #include "query/interpolate.h"
 #include "query/query.h"
 #include "recovery/checkpoint.h"
@@ -266,6 +268,12 @@ class GaeaKernel {
     uint64_t journal_records_total = 0;  // across all live journals
     uint64_t cluster_lsn = 0;            // see ClusterLsn()
 
+    // Provenance index state (docs/PROVENANCE.md).
+    uint64_t prov_index_entries = 0;
+    uint64_t prov_indexed_through = 0;
+    uint64_t prov_index_rebuilds = 0;
+    uint64_t prov_archive_fetches = 0;
+
     DerivationCache::Stats derivation_cache;
     PoolStats heap_pool;   // object store: heap file frames
     PoolStats index_pool;  // object store: OID index frames
@@ -385,6 +393,27 @@ class GaeaKernel {
       const std::string& process,
       const std::map<std::string, std::vector<Oid>>& inputs, int version = 0);
 
+  // ---- provenance (src/provenance/, docs/PROVENANCE.md) ----
+  // Indexed lineage queries: closure/why/where resolve through the B+tree
+  // index (never a log scan); diff additionally reads the versioned process
+  // registry. All are reads — replicas serve them over the wire. max_depth
+  // 0 = unbounded.
+  StatusOr<provenance::ClosureResult> ProvenanceAncestors(Oid oid,
+                                                          int max_depth = 0);
+  StatusOr<provenance::ClosureResult> ProvenanceDescendants(Oid oid,
+                                                            int max_depth = 0);
+  StatusOr<provenance::WhyResult> ProvenanceWhy(Oid oid);
+  StatusOr<provenance::WhereResult> ProvenanceWhere(Oid oid);
+  StatusOr<provenance::DiffResult> ProvenanceDiff(Oid a, Oid b);
+
+  const provenance::ProvenanceIndex& provenance_index() const {
+    return *prov_index_;
+  }
+  // Task fetches that crossed into the archive chain (metrics, tests).
+  uint64_t provenance_archive_fetches() const {
+    return prov_source_->archive_fetches();
+  }
+
   // ---- lineage & Petri net ----
   LineageGraph lineage() const { return LineageGraph(task_log_.get()); }
   StatusOr<DerivationNet> BuildDerivationNet() const {
@@ -473,6 +502,8 @@ class GaeaKernel {
   // Base-object insert journal; non-null only on replicated kernels.
   std::unique_ptr<Journal> object_journal_;
   std::unique_ptr<TaskLog> task_log_;
+  std::unique_ptr<provenance::ProvenanceIndex> prov_index_;
+  std::unique_ptr<provenance::DbTaskSource> prov_source_;
   std::unique_ptr<ExperimentManager> experiments_;
   std::unique_ptr<Deriver> deriver_;
   std::unique_ptr<DerivationCache> derivation_cache_;

@@ -275,6 +275,16 @@ StatusOr<LineageReply> GaeaClient::Lineage(Oid oid) {
   return DecodeLineageReply(&reader);
 }
 
+StatusOr<ProvenanceReply> GaeaClient::Provenance(
+    const ProvenanceRequest& request) {
+  BinaryWriter body;
+  EncodeProvenanceRequest(request, &body);
+  GAEA_ASSIGN_OR_RETURN(std::string reply,
+                        Call(MsgType::kProvenance, body.buffer()));
+  BinaryReader reader(reply);
+  return DecodeProvenanceReply(&reader);
+}
+
 StatusOr<std::string> GaeaClient::StatsJson() {
   GAEA_ASSIGN_OR_RETURN(std::string reply, Call(MsgType::kStats, {}));
   BinaryReader reader(reply);

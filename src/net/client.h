@@ -99,6 +99,10 @@ class GaeaClient {
   // Remote lineage query: process chain + base sources of `oid`.
   StatusOr<LineageReply> Lineage(Oid oid);
 
+  // Remote provenance query (closure/why/where/diff over the lineage
+  // index); served by replicas too — the index is replicated state.
+  StatusOr<ProvenanceReply> Provenance(const ProvenanceRequest& request);
+
   // Combined server+kernel counters as a JSON document.
   StatusOr<std::string> StatsJson();
 

@@ -579,6 +579,70 @@ void GaeaServer::ExecuteJob(Job job) {
       EncodeLineageReply(reply, &body);
       break;
     }
+    case MsgType::kProvenance: {
+      // Pure read over the provenance index — replica-servable: the index
+      // is rebuilt from the same replicated task history the primary holds.
+      auto request = DecodeProvenanceRequest(&reader);
+      if (!request.ok()) {
+        result = request.status();
+        break;
+      }
+      std::shared_lock<std::shared_mutex> lock(kernel_mu_);
+      ProvenanceReply reply;
+      reply.kind = request->kind;
+      switch (request->kind) {
+        case ProvenanceKind::kAncestors:
+        case ProvenanceKind::kDescendants: {
+          bool anc = request->kind == ProvenanceKind::kAncestors;
+          auto closure =
+              anc ? kernel_->ProvenanceAncestors(
+                        request->oid, static_cast<int>(request->max_depth))
+                  : kernel_->ProvenanceDescendants(
+                        request->oid, static_cast<int>(request->max_depth));
+          if (!closure.ok()) {
+            result = closure.status();
+            break;
+          }
+          reply.oids = closure->oids;
+          reply.tasks = closure->tasks;
+          reply.text = closure->ToText();
+          reply.json = closure->ToJson();
+          break;
+        }
+        case ProvenanceKind::kWhy: {
+          auto why = kernel_->ProvenanceWhy(request->oid);
+          if (!why.ok()) {
+            result = why.status();
+            break;
+          }
+          reply.text = why->ToText();
+          reply.json = why->ToJson();
+          break;
+        }
+        case ProvenanceKind::kWhere: {
+          auto where = kernel_->ProvenanceWhere(request->oid);
+          if (!where.ok()) {
+            result = where.status();
+            break;
+          }
+          reply.text = where->ToText();
+          reply.json = where->ToJson();
+          break;
+        }
+        case ProvenanceKind::kDiff: {
+          auto diff = kernel_->ProvenanceDiff(request->oid, request->oid_b);
+          if (!diff.ok()) {
+            result = diff.status();
+            break;
+          }
+          reply.text = diff->ToText();
+          reply.json = diff->ToJson();
+          break;
+        }
+      }
+      if (result.ok()) EncodeProvenanceReply(reply, &body);
+      break;
+    }
     case MsgType::kLint: {
       // Read-only to callers, but LintCatalog memoizes into the kernel's
       // analysis cache, so it takes the exclusive lock like a DDL.

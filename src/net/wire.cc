@@ -70,6 +70,7 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kReplicaStatus: return "ReplicaStatus";
     case MsgType::kInsertObject: return "InsertObject";
     case MsgType::kGetObject: return "GetObject";
+    case MsgType::kProvenance: return "Provenance";
   }
   return "Unknown";
 }
@@ -78,7 +79,7 @@ namespace {
 
 bool IsKnownRequestType(uint8_t raw) {
   return raw >= static_cast<uint8_t>(MsgType::kHello) &&
-         raw <= static_cast<uint8_t>(MsgType::kGetObject) &&
+         raw <= static_cast<uint8_t>(MsgType::kProvenance) &&
          raw != static_cast<uint8_t>(MsgType::kResponse);
 }
 
@@ -247,6 +248,63 @@ StatusOr<LineageReply> DecodeLineageReply(BinaryReader* r) {
     GAEA_ASSIGN_OR_RETURN(Oid oid, r->GetU64());
     reply.base_sources.push_back(oid);
   }
+  return reply;
+}
+
+void EncodeProvenanceRequest(const ProvenanceRequest& request,
+                             BinaryWriter* w) {
+  w->PutU8(static_cast<uint8_t>(request.kind));
+  w->PutU64(request.oid);
+  w->PutU64(request.oid_b);
+  w->PutU32(request.max_depth);
+}
+
+StatusOr<ProvenanceRequest> DecodeProvenanceRequest(BinaryReader* r) {
+  ProvenanceRequest request;
+  GAEA_ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
+  if (kind > static_cast<uint8_t>(ProvenanceKind::kDiff)) {
+    return Status::Corruption("bad provenance kind tag");
+  }
+  request.kind = static_cast<ProvenanceKind>(kind);
+  GAEA_ASSIGN_OR_RETURN(request.oid, r->GetU64());
+  GAEA_ASSIGN_OR_RETURN(request.oid_b, r->GetU64());
+  GAEA_ASSIGN_OR_RETURN(request.max_depth, r->GetU32());
+  return request;
+}
+
+void EncodeProvenanceReply(const ProvenanceReply& reply, BinaryWriter* w) {
+  w->PutU8(static_cast<uint8_t>(reply.kind));
+  w->PutU32(static_cast<uint32_t>(reply.oids.size()));
+  for (Oid oid : reply.oids) w->PutU64(oid);
+  w->PutU32(static_cast<uint32_t>(reply.tasks.size()));
+  for (uint64_t id : reply.tasks) w->PutU64(id);
+  w->PutString(reply.text);
+  w->PutString(reply.json);
+}
+
+StatusOr<ProvenanceReply> DecodeProvenanceReply(BinaryReader* r) {
+  ProvenanceReply reply;
+  GAEA_ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
+  if (kind > static_cast<uint8_t>(ProvenanceKind::kDiff)) {
+    return Status::Corruption("bad provenance kind tag");
+  }
+  reply.kind = static_cast<ProvenanceKind>(kind);
+  GAEA_ASSIGN_OR_RETURN(uint32_t noids, r->GetU32());
+  GAEA_RETURN_IF_ERROR(CheckCount(*r, noids, sizeof(uint64_t)));
+  reply.oids.reserve(noids);
+  for (uint32_t i = 0; i < noids; ++i) {
+    GAEA_ASSIGN_OR_RETURN(Oid oid, r->GetU64());
+    reply.oids.push_back(oid);
+  }
+  GAEA_ASSIGN_OR_RETURN(uint32_t ntasks, r->GetU32());
+  GAEA_RETURN_IF_ERROR(CheckCount(*r, ntasks, sizeof(uint64_t)));
+  reply.tasks.reserve(ntasks);
+  for (uint32_t i = 0; i < ntasks; ++i) {
+    GAEA_ASSIGN_OR_RETURN(uint64_t id, r->GetU64());
+    reply.tasks.push_back(id);
+  }
+  GAEA_ASSIGN_OR_RETURN(reply.text, r->GetString());
+  GAEA_ASSIGN_OR_RETURN(reply.json, r->GetString());
   return reply;
 }
 

@@ -97,6 +97,8 @@ enum class MsgType : uint8_t {
   // ---- remote object access (writes pin to the primary) ----
   kInsertObject = 16,  // body: InsertObjectRequest; reply: u64 oid
   kGetObject = 17,     // body: u64 oid; reply: string (DataObject bytes)
+  // ---- provenance (docs/PROVENANCE.md; replica-servable read) ----
+  kProvenance = 18,    // body: ProvenanceRequest; reply: ProvenanceReply
 };
 
 const char* MsgTypeName(MsgType type);
@@ -184,6 +186,42 @@ struct LineageReply {
 
 void EncodeLineageReply(const LineageReply& reply, BinaryWriter* w);
 StatusOr<LineageReply> DecodeLineageReply(BinaryReader* r);
+
+// Provenance query request (GaeaKernel::Provenance* on the server; the
+// index is replicated state, so replicas serve these without a bounce).
+enum class ProvenanceKind : uint8_t {
+  kAncestors = 0,
+  kDescendants = 1,
+  kWhy = 2,
+  kWhere = 3,
+  kDiff = 4,
+};
+
+struct ProvenanceRequest {
+  ProvenanceKind kind = ProvenanceKind::kAncestors;
+  Oid oid = kInvalidOid;
+  Oid oid_b = kInvalidOid;   // second operand, kDiff only
+  uint32_t max_depth = 0;    // closure depth guard; 0 = unbounded
+};
+
+void EncodeProvenanceRequest(const ProvenanceRequest& request,
+                             BinaryWriter* w);
+StatusOr<ProvenanceRequest> DecodeProvenanceRequest(BinaryReader* r);
+
+// Provenance response body. `oids`/`tasks` carry the closure for the
+// traversal kinds (empty otherwise); `text` and `json` carry both
+// renderings for every kind, so shells and batch tools need no
+// re-rendering logic client-side.
+struct ProvenanceReply {
+  ProvenanceKind kind = ProvenanceKind::kAncestors;
+  std::vector<Oid> oids;
+  std::vector<uint64_t> tasks;
+  std::string text;
+  std::string json;
+};
+
+void EncodeProvenanceReply(const ProvenanceReply& reply, BinaryWriter* w);
+StatusOr<ProvenanceReply> DecodeProvenanceReply(BinaryReader* r);
 
 // Checkpoint response body (GaeaKernel::Checkpoint on the server). Like
 // Lint, the request is sent without an idempotency nonce: re-running a

@@ -1,0 +1,158 @@
+#include "provenance/prov_index.h"
+
+#include <algorithm>
+
+namespace gaea {
+namespace provenance {
+
+namespace {
+constexpr char kMetaMagic[] = "gaea-prov-meta v1\n";
+}  // namespace
+
+StatusOr<std::unique_ptr<ProvenanceIndex>> ProvenanceIndex::Open(
+    const std::string& dir, Env* env) {
+  std::unique_ptr<ProvenanceIndex> index(new ProvenanceIndex(dir, env));
+  GAEA_RETURN_IF_ERROR(index->OpenTrees());
+  GAEA_RETURN_IF_ERROR(index->LoadMeta());
+  return index;
+}
+
+Status ProvenanceIndex::OpenTrees() {
+  GAEA_ASSIGN_OR_RETURN(by_input_,
+                        BTree::Open(InPath(), /*pool_capacity=*/256, env_));
+  GAEA_ASSIGN_OR_RETURN(by_output_,
+                        BTree::Open(OutPath(), /*pool_capacity=*/256, env_));
+  torn_on_open_ = by_input_->repaired_on_open() ||
+                  by_output_->repaired_on_open();
+  return Status::OK();
+}
+
+Status ProvenanceIndex::LoadMeta() {
+  indexed_through_.store(0, std::memory_order_release);
+  if (!env_->FileExists(MetaPath())) {
+    // No watermark: either a fresh database or a crash before the first
+    // Flush. Non-empty trees then force a conservative full re-pass, which
+    // the idempotent inserts turn into a verification walk.
+    return Status::OK();
+  }
+  GAEA_ASSIGN_OR_RETURN(std::unique_ptr<SequentialFile> file,
+                        env_->NewSequentialFile(MetaPath()));
+  char buf[64];
+  GAEA_ASSIGN_OR_RETURN(size_t n, file->Read(sizeof(buf) - 1, buf));
+  buf[n] = '\0';
+  std::string contents(buf, n);
+  size_t magic_len = sizeof(kMetaMagic) - 1;
+  if (contents.size() < magic_len ||
+      contents.compare(0, magic_len, kMetaMagic) != 0) {
+    // Unreadable watermark — treat as absent; CatchUp re-passes the log.
+    torn_on_open_ = true;
+    return Status::OK();
+  }
+  uint64_t through = 0;
+  for (size_t i = magic_len; i < contents.size(); ++i) {
+    char c = contents[i];
+    if (c == '\n') break;
+    if (c < '0' || c > '9') {
+      torn_on_open_ = true;
+      return Status::OK();
+    }
+    through = through * 10 + static_cast<uint64_t>(c - '0');
+  }
+  indexed_through_.store(through, std::memory_order_release);
+  return Status::OK();
+}
+
+Status ProvenanceIndex::StoreMeta() {
+  std::string tmp = MetaPath() + ".tmp";
+  GAEA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                        env_->NewWritableFile(tmp));
+  std::string contents = std::string(kMetaMagic) +
+                         std::to_string(indexed_through()) + "\n";
+  GAEA_RETURN_IF_ERROR(file->Append(contents));
+  GAEA_RETURN_IF_ERROR(file->Sync());
+  return env_->RenameFile(tmp, MetaPath());
+}
+
+Status ProvenanceIndex::Reset() {
+  by_input_.reset();
+  by_output_.reset();
+  GAEA_RETURN_IF_ERROR(env_->RemoveFile(InPath()));
+  GAEA_RETURN_IF_ERROR(env_->RemoveFile(OutPath()));
+  GAEA_RETURN_IF_ERROR(env_->RemoveFile(MetaPath()));
+  indexed_through_.store(0, std::memory_order_release);
+  rebuilds_.fetch_add(1, std::memory_order_acq_rel);
+  GAEA_RETURN_IF_ERROR(OpenTrees());
+  torn_on_open_ = false;
+  return Status::OK();
+}
+
+Status ProvenanceIndex::InsertEntry(BTree* tree, Oid oid, TaskId id) {
+  Status s = tree->Insert(static_cast<int64_t>(oid), id);
+  if (s.code() == StatusCode::kAlreadyExists) return Status::OK();
+  return s;
+}
+
+Status ProvenanceIndex::IndexTask(const Task& task) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (Oid oid : task.outputs) {
+    GAEA_RETURN_IF_ERROR(InsertEntry(by_output_.get(), oid, task.id));
+  }
+  for (Oid oid : task.AllInputs()) {
+    GAEA_RETURN_IF_ERROR(InsertEntry(by_input_.get(), oid, task.id));
+  }
+  uint64_t through = indexed_through_.load(std::memory_order_acquire);
+  if (task.id > through) {
+    indexed_through_.store(task.id, std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<TaskId>> ProvenanceIndex::TasksByOutput(Oid oid) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  GAEA_ASSIGN_OR_RETURN(std::vector<uint64_t> values,
+                        by_output_->Lookup(static_cast<int64_t>(oid)));
+  return std::vector<TaskId>(values.begin(), values.end());
+}
+
+StatusOr<std::vector<TaskId>> ProvenanceIndex::TasksByInput(Oid oid) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  GAEA_ASSIGN_OR_RETURN(std::vector<uint64_t> values,
+                        by_input_->Lookup(static_cast<int64_t>(oid)));
+  return std::vector<TaskId>(values.begin(), values.end());
+}
+
+Status ProvenanceIndex::CatchUp(const TaskLog& log) {
+  uint64_t total = log.size();
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    bool ahead = indexed_through_.load(std::memory_order_acquire) > total;
+    bool stale_trees =
+        total == 0 && (by_input_->Count() > 0 || by_output_->Count() > 0);
+    if (torn_on_open_ || ahead || stale_trees) {
+      // The trees saw history the recovered log does not hold (or came up
+      // torn): the journal chain is the source of truth, rebuild from it.
+      GAEA_RETURN_IF_ERROR(Reset());
+    }
+  }
+  uint64_t from = indexed_through();
+  for (TaskId id = from + 1; id <= total; ++id) {
+    GAEA_ASSIGN_OR_RETURN(const Task* task, log.Get(id));
+    GAEA_RETURN_IF_ERROR(IndexTask(*task));
+  }
+  return Status::OK();
+}
+
+int64_t ProvenanceIndex::entry_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return by_input_->Count() + by_output_->Count();
+}
+
+Status ProvenanceIndex::Flush() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  GAEA_RETURN_IF_ERROR(by_input_->Flush());
+  GAEA_RETURN_IF_ERROR(by_output_->Flush());
+  return StoreMeta();
+}
+
+}  // namespace provenance
+}  // namespace gaea

@@ -1,0 +1,118 @@
+// Secondary lineage index over the task log (docs/PROVENANCE.md).
+//
+// The task log is the durable record of how every derived object came to be,
+// but on its own a lineage question ("what produced OID 42? what consumed
+// it?") costs a scan of the whole history. This module maintains two disk
+// B+trees beside the journals so lineage queries never scan:
+//
+//   prov_out.idx : output OID -> task id   (at most one task per OID —
+//                                           derivations are immutable)
+//   prov_in.idx  : input OID  -> task id   (every task that consumed it)
+//
+// Entries are added incrementally at commit time (TaskLog's commit hook
+// fires inside the log mutex, so the index never lags a committed task
+// within a session) and caught up from the recovered log on open. The trees
+// are *derived state*: the journal chain is the source of truth, and any
+// torn or inconsistent tree is simply rebuilt from it — like the object
+// store rebuilding its OID index from heap records.
+//
+// Concurrency: one reader/writer lock covers both trees, and IndexTask
+// inserts every entry of a task under the exclusive side. A concurrent
+// query therefore sees a task either not at all or fully indexed — never a
+// half-indexed task (asserted by tests/provenance_stress_test.cc).
+
+#ifndef GAEA_PROVENANCE_PROV_INDEX_H_
+#define GAEA_PROVENANCE_PROV_INDEX_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/task.h"
+#include "storage/btree.h"
+#include "util/env.h"
+#include "util/status.h"
+
+namespace gaea {
+namespace provenance {
+
+class ProvenanceIndex {
+ public:
+  // Opens (creating if needed) the index trees under `dir` (the database
+  // directory). A torn tree — or a watermark ahead of what the caller's log
+  // can justify — is detected here or in CatchUp and rebuilt from the log.
+  static StatusOr<std::unique_ptr<ProvenanceIndex>> Open(
+      const std::string& dir, Env* env = Env::Default());
+
+  ProvenanceIndex(const ProvenanceIndex&) = delete;
+  ProvenanceIndex& operator=(const ProvenanceIndex&) = delete;
+
+  // Indexes one committed task: every output and input OID, atomically with
+  // respect to queries. Idempotent — re-indexing an already-indexed task
+  // (journal catch-up after a crash that lost the watermark) is a no-op,
+  // entry by entry, so the tree bytes match a single clean build.
+  Status IndexTask(const Task& task);
+
+  // Task ids that produced `oid`, ascending (at most one in a well-formed
+  // log). Empty for base data.
+  StatusOr<std::vector<TaskId>> TasksByOutput(Oid oid) const;
+
+  // Task ids that consumed `oid` as an input, ascending.
+  StatusOr<std::vector<TaskId>> TasksByInput(Oid oid) const;
+
+  // Brings the index up to date with the recovered `log`: rebuilds from
+  // scratch when a tree came up torn or the watermark overshoots the log
+  // (a crash lost journal records the index already saw), otherwise indexes
+  // the tail past the watermark. Call once at open, before queries.
+  Status CatchUp(const TaskLog& log);
+
+  // Highest task id the index covers.
+  uint64_t indexed_through() const {
+    return indexed_through_.load(std::memory_order_acquire);
+  }
+
+  // Total entries across both trees (metrics).
+  int64_t entry_count() const;
+
+  // Full rebuilds performed (0 in a clean lifetime; metrics).
+  uint64_t rebuilds() const {
+    return rebuilds_.load(std::memory_order_acquire);
+  }
+
+  // Flushes both trees and persists the watermark sidecar. The watermark is
+  // advisory: a stale-low value after a crash only costs an idempotent
+  // re-pass over the tail.
+  Status Flush();
+
+ private:
+  ProvenanceIndex(std::string dir, Env* env) : dir_(std::move(dir)), env_(env) {}
+
+  std::string InPath() const { return dir_ + "/prov_in.idx"; }
+  std::string OutPath() const { return dir_ + "/prov_out.idx"; }
+  std::string MetaPath() const { return dir_ + "/prov.meta"; }
+
+  Status OpenTrees();
+  // Drops both trees and the watermark; the caller re-indexes from the log.
+  Status Reset();
+  // Inserts one (oid, task) entry, tolerating kAlreadyExists. Caller holds
+  // the exclusive lock.
+  Status InsertEntry(BTree* tree, Oid oid, TaskId id);
+  Status LoadMeta();
+  Status StoreMeta();
+
+  const std::string dir_;
+  Env* const env_;
+  mutable std::shared_mutex mu_;
+  std::unique_ptr<BTree> by_input_;
+  std::unique_ptr<BTree> by_output_;
+  std::atomic<uint64_t> indexed_through_{0};
+  std::atomic<uint64_t> rebuilds_{0};
+  bool torn_on_open_ = false;
+};
+
+}  // namespace provenance
+}  // namespace gaea
+
+#endif  // GAEA_PROVENANCE_PROV_INDEX_H_

@@ -351,6 +351,11 @@ StatusOr<int> BTree::Height() const {
   }
 }
 
-Status BTree::Flush() { return pool_->Flush(); }
+Status BTree::Flush() {
+  // Page bytes are mutated under mu_ while holding only a frame pin, so the
+  // pool flush must exclude mutators or it reads a page mid-write.
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return pool_->Flush();
+}
 
 }  // namespace gaea

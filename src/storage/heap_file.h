@@ -71,7 +71,12 @@ class HeapFile {
   // Number of live records.
   StatusOr<int64_t> Count() const;
 
-  Status Flush() { return pool_->Flush(); }
+  // Serialized against mutators: page bytes are written under mu_ while
+  // holding only a frame pin, which the pool flush cannot see.
+  Status Flush() {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return pool_->Flush();
+  }
 
   BufferPool* pool() { return pool_.get(); }
   const BufferPool* pool() const { return pool_.get(); }

@@ -1,0 +1,147 @@
+// Golden-output test: the Figure 4 PCA pipeline's provenance, serialized.
+//
+// Runs the paper's principal-component process over three co-registered
+// bands with a pinned clock and single scheduler thread (same determinism
+// recipe as tests/golden_trace_test.cc), then pins the JSON renderings of
+// the ancestry closure, why-provenance, and where-provenance of the PCA
+// map against a checked-in fixture. The golden freezes OID/task-id
+// assignment, witness ordering, the per-mapping contributor sets, and the
+// serialization format the shell/RPC/gaea_provq all share.
+//
+// Regenerate after an intentional format change with:
+//   GAEA_UPDATE_GOLDEN=1 ./provenance_golden_test
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gaea/kernel.h"
+#include "raster/scene.h"
+#include "test_util.h"
+
+namespace gaea {
+namespace {
+
+using ::gaea::testing::TempDir;
+
+// Figure 4's PCA dataflow network (same template as golden_trace_test).
+constexpr char kPcaSchema[] = R"(
+CLASS scene_band (
+  ATTRIBUTES:
+    band = int4;
+    data = image;
+  SPATIAL EXTENT:
+    spatialextent = box;
+  TEMPORAL EXTENT:
+    timestamp = abstime;
+)
+
+CLASS pca_map (
+  ATTRIBUTES:
+    data = image;
+  SPATIAL EXTENT:
+    spatialextent = box;
+  TEMPORAL EXTENT:
+    timestamp = abstime;
+  DERIVED BY: principal-component
+)
+
+DEFINE PROCESS principal-component
+OUTPUT pca_map
+ARGUMENT ( SETOF scene_band bands MIN 2 )
+TEMPLATE {
+  ASSERTIONS:
+    card(bands) >= 2;
+    common(bands.spatialextent);
+  MAPPINGS:
+    pca_map.data = ANYOF convert_matrix_image(
+        linear_combination(
+            convert_image_matrix(bands.data),
+            get_eigen_vector(compute_covariance(
+                convert_image_matrix(bands.data)))),
+        8, 8);
+    pca_map.spatialextent = ANYOF bands.spatialextent;
+    pca_map.timestamp = ANYOF bands.timestamp;
+}
+)";
+
+std::string GoldenPath() {
+  return std::string(GAEA_FIXTURE_DIR) + "/golden_provenance_pca.json";
+}
+
+TEST(ProvenanceGoldenTest, Figure4PcaProvenanceMatchesGolden) {
+  TempDir dir("prov_golden");
+  GaeaKernel::Options options;
+  options.dir = dir.path();
+  options.user = "prov";
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<GaeaKernel> kernel,
+                       GaeaKernel::Open(options));
+  kernel->SetClock(AbsTime(123456));
+  kernel->SetDeriveThreads(1);
+  ASSERT_OK(kernel->ExecuteDdl(kPcaSchema));
+
+  // Three co-registered 8x8 bands: OIDs 1..3 by construction.
+  const ClassDef* band_class =
+      kernel->catalog().classes().LookupByName("scene_band").value();
+  SceneSpec spec;
+  spec.nrow = 8;
+  spec.ncol = 8;
+  spec.nbands = 3;
+  auto bands = GenerateScene(spec).value();
+  Box region(0, 0, 10, 10);
+  std::vector<Oid> scene;
+  for (int b = 0; b < 3; ++b) {
+    DataObject obj(*band_class);
+    ASSERT_OK(obj.Set(*band_class, "band", Value::Int(b)));
+    ASSERT_OK(obj.Set(*band_class, "data",
+                      Value::OfImage(std::move(bands[b]))));
+    ASSERT_OK(obj.Set(*band_class, "spatialextent", Value::OfBox(region)));
+    ASSERT_OK(obj.Set(*band_class, "timestamp", Value::Time(AbsTime(100))));
+    ASSERT_OK_AND_ASSIGN(Oid oid, kernel->Insert(std::move(obj)));
+    scene.push_back(oid);
+  }
+
+  ASSERT_OK_AND_ASSIGN(Oid pca,
+                       kernel->Derive("principal-component",
+                                      {{"bands", scene}}));
+
+  ASSERT_OK_AND_ASSIGN(provenance::ClosureResult ancestors,
+                       kernel->ProvenanceAncestors(pca));
+  ASSERT_OK_AND_ASSIGN(provenance::WhyResult why, kernel->ProvenanceWhy(pca));
+  ASSERT_OK_AND_ASSIGN(provenance::WhereResult where,
+                       kernel->ProvenanceWhere(pca));
+
+  // Structural expectations first, so a mismatch reads as a diagnosis and
+  // not just a golden diff: the map rests on exactly the three bands.
+  EXPECT_EQ(ancestors.oids, scene);
+  EXPECT_EQ(why.base_witnesses, scene);
+  EXPECT_EQ(why.process, "principal-component");
+  ASSERT_EQ(where.entries.size(), 3u);
+  EXPECT_EQ(where.entries[0].attr, "data");
+
+  std::string got = ancestors.ToJson() + "\n" + why.ToJson() + "\n" +
+                    where.ToJson() + "\n";
+
+  if (std::getenv("GAEA_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath());
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << got;
+    GTEST_SKIP() << "golden regenerated at " << GoldenPath();
+  }
+
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.good()) << "missing golden fixture " << GoldenPath()
+                         << " (run with GAEA_UPDATE_GOLDEN=1 to create)";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str()) << "provenance serialization changed; if "
+                                "intentional, regenerate with "
+                                "GAEA_UPDATE_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace gaea

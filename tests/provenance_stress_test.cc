@@ -1,0 +1,249 @@
+// Concurrency stress for the provenance index (docs/PROVENANCE.md):
+// closure queries and index-invariant probes race a 4-thread DeriveBatch
+// writer and a checkpoint loop.
+//
+// The invariant under attack is "no half-indexed task": IndexTask inserts
+// every output and input entry of a task under one exclusive lock, so a
+// concurrent reader must see a task either fully or not at all — a task id
+// surfaced by TasksByOutput(oid) must already have *all* of its outputs in
+// the output tree and *all* of its inputs in the input tree. The CI matrix
+// runs this suite under TSan (and ASan/UBSan), where a torn or unlocked
+// path shows up as a race report rather than a flaky assert.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gaea/kernel.h"
+#include "provenance/prov_index.h"
+#include "test_util.h"
+
+namespace gaea {
+namespace {
+
+using ::gaea::testing::TempDir;
+
+// The bench's alternating-chain shape: one pair of processes gives
+// unbounded depth without self-loop classes.
+constexpr char kChainSchema[] = R"(
+CLASS link_a (
+  ATTRIBUTES:
+    value = int4;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+)
+CLASS link_b (
+  ATTRIBUTES:
+    value = int4;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+  DERIVED BY: a2b
+)
+CLASS link_c (
+  ATTRIBUTES:
+    value = int4;
+  SPATIAL EXTENT: spatialextent = box;
+  TEMPORAL EXTENT: timestamp = abstime;
+  DERIVED BY: b2c
+)
+DEFINE PROCESS a2b
+OUTPUT link_b
+ARGUMENT ( link_a src )
+TEMPLATE {
+  MAPPINGS:
+    link_b.value = src.value;
+    link_b.spatialextent = src.spatialextent;
+    link_b.timestamp = src.timestamp;
+}
+DEFINE PROCESS b2c
+OUTPUT link_c
+ARGUMENT ( link_b src )
+TEMPLATE {
+  MAPPINGS:
+    link_c.value = src.value;
+    link_c.spatialextent = src.spatialextent;
+    link_c.timestamp = src.timestamp;
+}
+DEFINE PROCESS c2b
+OUTPUT link_b
+ARGUMENT ( link_c src )
+TEMPLATE {
+  MAPPINGS:
+    link_b.value = src.value;
+    link_b.spatialextent = src.spatialextent;
+    link_b.timestamp = src.timestamp;
+}
+)";
+
+constexpr int kChains = 24;
+constexpr int kLevels = 20;
+
+// Collects failures from worker threads; gtest EXPECTs stay on the main
+// thread where they are thread-safe.
+class ErrorSink {
+ public:
+  void Add(const std::string& message) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (errors_.size() < 20) errors_.push_back(message);
+  }
+  std::vector<std::string> Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return errors_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::string> errors_;
+};
+
+bool Contains(const std::vector<TaskId>& ids, TaskId id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+// Asserts task `tid` is fully indexed: every output in the output tree,
+// every input in the input tree. Reports into `sink` on violation.
+void CheckFullyIndexed(const GaeaKernel& kernel, TaskId tid,
+                       ErrorSink* sink) {
+  auto task = kernel.tasks().Get(tid);
+  if (!task.ok()) {
+    sink->Add("indexed task #" + std::to_string(tid) +
+              " not in log: " + task.status().ToString());
+    return;
+  }
+  const provenance::ProvenanceIndex& index = kernel.provenance_index();
+  for (Oid out : (*task)->outputs) {
+    auto ids = index.TasksByOutput(out);
+    if (!ids.ok() || !Contains(*ids, tid)) {
+      sink->Add("task #" + std::to_string(tid) + " half-indexed: output " +
+                std::to_string(out) + " missing from prov_out");
+    }
+  }
+  for (Oid in : (*task)->AllInputs()) {
+    auto ids = index.TasksByInput(in);
+    if (!ids.ok() || !Contains(*ids, tid)) {
+      sink->Add("task #" + std::to_string(tid) + " half-indexed: input " +
+                std::to_string(in) + " missing from prov_in");
+    }
+  }
+}
+
+TEST(ProvenanceStressTest, QueriesRaceDeriveBatchAndCheckpoint) {
+  TempDir dir("prov_stress");
+  GaeaKernel::Options options;
+  options.dir = dir.path();
+  options.user = "prov_stress";
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<GaeaKernel> kernel,
+                       GaeaKernel::Open(options));
+  kernel->SetClock(AbsTime(1));
+  ASSERT_OK(kernel->ExecuteDdl(kChainSchema));
+  kernel->SetDeriveThreads(4);
+
+  const ClassDef* base_cls =
+      kernel->catalog().classes().LookupByName("link_a").value();
+  std::vector<Oid> heads(kChains);
+  for (int c = 0; c < kChains; ++c) {
+    DataObject obj(*base_cls);
+    ASSERT_OK(obj.Set(*base_cls, "value", Value::Int(c)));
+    ASSERT_OK(obj.Set(*base_cls, "spatialextent",
+                      Value::OfBox(Box(0, 0, 1, 1))));
+    ASSERT_OK(obj.Set(*base_cls, "timestamp", Value::Time(AbsTime(c + 1))));
+    ASSERT_OK_AND_ASSIGN(heads[c], kernel->Insert(std::move(obj)));
+  }
+
+  std::atomic<Oid> max_oid{heads.back()};
+  std::atomic<bool> done{false};
+  ErrorSink sink;
+
+  // Two query threads: random ancestry closures plus the half-indexed
+  // probe on every task id the index surfaces for the sampled OID.
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&kernel, &max_oid, &done, &sink, t] {
+      std::mt19937 rng(1000 + t);
+      while (!done.load(std::memory_order_acquire)) {
+        Oid oid = 1 + rng() % max_oid.load(std::memory_order_acquire);
+        auto closure = kernel->ProvenanceAncestors(oid);
+        if (!closure.ok()) {
+          sink.Add("ancestors(" + std::to_string(oid) +
+                   "): " + closure.status().ToString());
+          continue;
+        }
+        auto producers = kernel->provenance_index().TasksByOutput(oid);
+        if (!producers.ok()) {
+          sink.Add("TasksByOutput(" + std::to_string(oid) +
+                   "): " + producers.status().ToString());
+          continue;
+        }
+        for (TaskId tid : *producers) {
+          CheckFullyIndexed(*kernel, tid, &sink);
+        }
+        // Every task the closure crossed must be fully indexed too.
+        for (TaskId tid : closure->tasks) {
+          CheckFullyIndexed(*kernel, tid, &sink);
+        }
+      }
+    });
+  }
+
+  // A checkpoint loop: flushes the index trees and truncates journal
+  // prefixes while derivations and queries run.
+  std::thread checkpointer([&kernel, &done, &sink] {
+    while (!done.load(std::memory_order_acquire)) {
+      auto info = kernel->Checkpoint();
+      if (!info.ok()) sink.Add("checkpoint: " + info.status().ToString());
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  // The writer (main thread): level-parallel DeriveBatch, 4 workers.
+  for (int level = 0; level < kLevels; ++level) {
+    const char* process =
+        level == 0 ? "a2b" : (level % 2 == 1 ? "b2c" : "c2b");
+    std::vector<DeriveRequest> requests(kChains);
+    for (int c = 0; c < kChains; ++c) {
+      requests[c].process = process;
+      requests[c].inputs = {{"src", {heads[c]}}};
+    }
+    auto outcomes = kernel->DeriveBatch(requests);
+    ASSERT_OK(outcomes);
+    for (int c = 0; c < kChains; ++c) {
+      ASSERT_OK((*outcomes)[c].status);
+      heads[c] = (*outcomes)[c].oid;
+      max_oid.store(std::max(max_oid.load(), heads[c]),
+                    std::memory_order_release);
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  checkpointer.join();
+
+  for (const std::string& error : sink.Take()) {
+    ADD_FAILURE() << error;
+  }
+
+  // Quiesced: the index covers exactly the committed log, and every task
+  // in the history is fully indexed.
+  const uint64_t total = kernel->tasks().size();
+  EXPECT_EQ(total, static_cast<uint64_t>(kChains) * kLevels);
+  EXPECT_EQ(kernel->provenance_index().indexed_through(), total);
+  ErrorSink final_sink;
+  for (TaskId tid = 1; tid <= total; ++tid) {
+    CheckFullyIndexed(*kernel, tid, &final_sink);
+  }
+  for (const std::string& error : final_sink.Take()) {
+    ADD_FAILURE() << error;
+  }
+  // The deepest chain closure resolves cleanly after the dust settles.
+  ASSERT_OK_AND_ASSIGN(provenance::ClosureResult closure,
+                       kernel->ProvenanceAncestors(heads[0]));
+  EXPECT_EQ(closure.tasks.size(), static_cast<size_t>(kLevels));
+}
+
+}  // namespace
+}  // namespace gaea
